@@ -1,0 +1,46 @@
+//! Criterion bench: fitness evaluation — the behavioural rule scorer vs
+//! the RTL combinational network (both must be fast; the chip does one
+//! per cycle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use discipulus::fitness::FitnessSpec;
+use discipulus::genome::Genome;
+use leonardo_rtl::fitness_rtl::FitnessUnit;
+use std::hint::black_box;
+
+fn genomes() -> Vec<Genome> {
+    (0..1024u64)
+        .map(|i| Genome::from_bits(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 28))
+        .collect()
+}
+
+fn bench_behavioural(c: &mut Criterion) {
+    let spec = FitnessSpec::paper();
+    let gs = genomes();
+    c.bench_function("fitness_behavioural_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &g in &gs {
+                acc = acc.wrapping_add(spec.evaluate(black_box(g)));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_rtl_network(c: &mut Criterion) {
+    let unit = FitnessUnit::paper();
+    let gs = genomes();
+    c.bench_function("fitness_rtl_network_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &g in &gs {
+                acc = acc.wrapping_add(unit.evaluate(black_box(g)));
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_behavioural, bench_rtl_network);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: one GAP generation (behavioural model), across
+//! population sizes — the software-side counterpart of experiment E2's
+//! cycles-per-generation measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discipulus::gap::GeneticAlgorithmProcessor;
+use discipulus::params::GapParams;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_generation");
+    for pop in [16usize, 32, 64, 128] {
+        let params = GapParams::paper()
+            .with_population_size(pop)
+            .with_mutations(15 * pop / 32);
+        group.bench_with_input(BenchmarkId::new("population", pop), &params, |b, p| {
+            let mut gap = GeneticAlgorithmProcessor::new(*p, 42);
+            b.iter(|| {
+                black_box(gap.step_generation());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_run_to_convergence(c: &mut Criterion) {
+    c.bench_function("gap_run_to_convergence_paper", |b| {
+        let mut seed = 0u32;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), seed);
+            black_box(gap.run_to_convergence(100_000).generations)
+        });
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_run_to_convergence);
+criterion_main!(benches);

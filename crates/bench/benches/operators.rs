@@ -1,0 +1,68 @@
+//! Criterion bench: the evo crate's genetic operators on 36-bit genomes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evo::crossover::Crossover;
+use evo::genome::BitString;
+use evo::mutate::Mutation;
+use evo::select::Selection;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let fitness: Vec<f64> = (0..32).map(|i| f64::from(i % 27)).collect();
+    let mut group = c.benchmark_group("selection");
+    for (name, sel) in [
+        ("tournament", Selection::gap()),
+        ("roulette", Selection::Roulette),
+        ("rank", Selection::Rank),
+        ("truncation", Selection::Truncation { fraction: 0.5 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(sel.pick(&fitness, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let a = BitString::random(36, &mut rng);
+    let b_parent = BitString::random(36, &mut rng);
+    let mut group = c.benchmark_group("crossover");
+    for (name, xover) in [
+        ("single_point", Crossover::SinglePoint),
+        ("two_point", Crossover::TwoPoint),
+        ("uniform", Crossover::Uniform { p_swap: 0.5 }),
+    ] {
+        group.bench_function(name, |bch| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            bch.iter(|| black_box(xover.apply(&a, &b_parent, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let pop: Vec<BitString> = (0..32).map(|_| BitString::random(36, &mut rng)).collect();
+    let mut group = c.benchmark_group("mutation");
+    for (name, m) in [
+        ("fixed_count_15", Mutation::gap()),
+        ("per_bit_1.3pct", Mutation::PerBit { rate: 15.0 / 1152.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut p = pop.clone();
+            b.iter(|| {
+                m.apply_population(&mut p, &mut rng);
+                black_box(p[0].count_ones())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_crossover, bench_mutation);
+criterion_main!(benches);

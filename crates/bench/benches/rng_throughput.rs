@@ -1,0 +1,59 @@
+//! Criterion bench: random-word throughput of the hardware-style
+//! generators vs a library RNG (experiment E8's substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use discipulus::rng::{CellularRng, Lfsr32, RngSource};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const WORDS: usize = 4096;
+
+fn bench_ca(c: &mut Criterion) {
+    c.bench_function("rng_ca_4096_words", |b| {
+        let mut rng = CellularRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..WORDS {
+                acc ^= rng.next_word();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_lfsr(c: &mut Criterion) {
+    c.bench_function("rng_lfsr_4096_words", |b| {
+        let mut rng = Lfsr32::new(1);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..WORDS {
+                acc ^= rng.next_word();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_smallrng(c: &mut Criterion) {
+    c.bench_function("rng_smallrng_4096_words", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..WORDS {
+                acc ^= rng.next_u32();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_draw_below(c: &mut Criterion) {
+    c.bench_function("rng_draw_below_1152", |b| {
+        let mut rng = CellularRng::new(1);
+        b.iter(|| black_box(rng.draw_below(1152)));
+    });
+}
+
+criterion_group!(benches, bench_ca, bench_lfsr, bench_smallrng, bench_draw_below);
+criterion_main!(benches);

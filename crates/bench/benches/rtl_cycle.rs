@@ -1,0 +1,40 @@
+//! Criterion bench: RTL GAP generations, pipelined vs sequential — the
+//! host-side cost of cycle-accurate simulation (experiment E6's substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
+use std::hint::black_box;
+
+fn bench_pipelined(c: &mut Criterion) {
+    c.bench_function("rtl_generation_pipelined", |b| {
+        let mut gap = GapRtl::new(GapRtlConfig::paper(42));
+        b.iter(|| {
+            gap.step_generation();
+            black_box(gap.clock().cycles())
+        });
+    });
+}
+
+fn bench_unpipelined(c: &mut Criterion) {
+    c.bench_function("rtl_generation_unpipelined", |b| {
+        let mut gap = GapRtl::new(GapRtlConfig::unpipelined(42));
+        b.iter(|| {
+            gap.step_generation();
+            black_box(gap.clock().cycles())
+        });
+    });
+}
+
+fn bench_full_chip(c: &mut Criterion) {
+    use leonardo_rtl::top::DiscipulusTop;
+    c.bench_function("full_chip_generation", |b| {
+        let mut chip = DiscipulusTop::new(GapRtlConfig::paper(42));
+        b.iter(|| {
+            chip.step_generation();
+            black_box(chip.gap().generation())
+        });
+    });
+}
+
+criterion_group!(benches, bench_pipelined, bench_unpipelined, bench_full_chip);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: simulated walk trials (experiment E5's measurement
+//! device — 86k of these run in the full experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discipulus::genome::Genome;
+use leonardo_walker::world::WalkTrial;
+use std::hint::black_box;
+
+fn bench_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walker_trial");
+    for (name, genome) in [
+        ("tripod", Genome::tripod()),
+        ("zero", Genome::ZERO),
+        ("falling", Genome::from_bits((1 << 36) - 1)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("10_cycles", name), &genome, |b, &g| {
+            b.iter(|| black_box(WalkTrial::new(g).cycles(10).run().distance_mm()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stability(c: &mut Criterion) {
+    use leonardo_walker::locomotion::RobotState;
+    let state = RobotState::rest(leonardo_walker::body::LEONARDO);
+    c.bench_function("stability_margin", |b| {
+        b.iter(|| black_box(state.stability_margin()));
+    });
+}
+
+criterion_group!(benches, bench_trials, bench_stability);
+criterion_main!(benches);

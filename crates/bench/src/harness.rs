@@ -1,0 +1,131 @@
+//! Common measurement machinery for the experiment binaries.
+
+use discipulus::gap::GeneticAlgorithmProcessor;
+use discipulus::params::GapParams;
+use discipulus::stats::SampleSummary;
+use parking_lot::Mutex;
+
+/// Deterministic seed list for multi-trial experiments.
+pub fn trial_seeds(n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| 0x1000 + 7 * i).collect()
+}
+
+/// Generations-to-convergence statistics over many seeded GAP runs.
+#[derive(Debug, Clone)]
+pub struct ConvergenceStats {
+    /// Per-trial generations for trials that converged.
+    pub generations: Vec<f64>,
+    /// Number of trials that failed to converge within the budget.
+    pub failures: usize,
+    /// Summary of the converged trials (`None` if all failed).
+    pub summary: Option<SampleSummary>,
+}
+
+/// Run `seeds.len()` behavioural GAP trials in parallel and collect
+/// generations-to-maximum-fitness.
+pub fn convergence_sample(params: GapParams, seeds: &[u32], max_generations: u64) -> ConvergenceStats {
+    let results = parallel_map(seeds, |&seed| {
+        let mut gap = GeneticAlgorithmProcessor::new(params, seed);
+        let outcome = gap.run_to_convergence(max_generations);
+        (outcome.converged, outcome.generations)
+    });
+    let generations: Vec<f64> = results
+        .iter()
+        .filter(|(ok, _)| *ok)
+        .map(|(_, g)| *g as f64)
+        .collect();
+    let failures = results.iter().filter(|(ok, _)| !ok).count();
+    ConvergenceStats {
+        summary: SampleSummary::of(&generations),
+        generations,
+        failures,
+    }
+}
+
+/// Map `f` over `items` on all available cores, preserving input order.
+/// Results are independent of thread scheduling.
+pub fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    let n = items.len();
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().push((i, r));
+            });
+        }
+    });
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Parse a `--flag value` style argument from the command line, with a
+/// default.
+pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct() {
+        let s = trial_seeds(50);
+        let set: std::collections::HashSet<u32> = s.iter().copied().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn convergence_sample_small() {
+        let stats = convergence_sample(GapParams::paper(), &trial_seeds(8), 50_000);
+        assert_eq!(stats.failures, 0, "paper params should always converge");
+        let sum = stats.summary.expect("summary");
+        assert_eq!(sum.n, 8);
+        assert!(sum.mean > 10.0, "convergence cannot be instant");
+        assert!(sum.mean < 50_000.0);
+    }
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let params = GapParams::paper();
+        let seeds = trial_seeds(4);
+        let par = convergence_sample(params, &seeds, 50_000);
+        let ser: Vec<f64> = seeds
+            .iter()
+            .map(|&s| {
+                let mut gap = GeneticAlgorithmProcessor::new(params, s);
+                gap.run_to_convergence(50_000).generations as f64
+            })
+            .collect();
+        assert_eq!(par.generations, ser);
+    }
+}

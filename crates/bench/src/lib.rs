@@ -1,0 +1,18 @@
+//! # leonardo-bench — the experiment harness
+//!
+//! Shared utilities for the `e1`–`e10` experiment binaries (see
+//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for the
+//! recorded results). Each binary regenerates one of the paper's
+//! quantitative claims; this crate provides the common measurement
+//! machinery and the paper-vs-measured reporting format.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gait_problem;
+pub mod harness;
+pub mod report;
+
+pub use gait_problem::GaitRuleProblem;
+pub use harness::{convergence_sample, parallel_map, trial_seeds, ConvergenceStats};
+pub use report::{Comparison, ComparisonTable, Verdict};

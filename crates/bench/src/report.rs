@@ -1,0 +1,153 @@
+//! Paper-vs-measured comparison tables.
+
+use core::fmt;
+
+/// How a measured value relates to the paper's reported value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The measurement reproduces the paper's value/shape.
+    Reproduced,
+    /// Same qualitative shape, different absolute numbers (expected when
+    /// the substrate differs — documented per experiment).
+    ShapeHolds,
+    /// The paper gives no number; the measurement is informational.
+    Informational,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Reproduced => "REPRODUCED",
+            Verdict::ShapeHolds => "SHAPE-HOLDS",
+            Verdict::Informational => "INFO",
+        })
+    }
+}
+
+/// One paper-vs-measured row.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What is being compared.
+    pub quantity: String,
+    /// The paper's value, as reported.
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl Comparison {
+    /// Build a row.
+    pub fn new(
+        quantity: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        verdict: Verdict,
+    ) -> Comparison {
+        Comparison {
+            quantity: quantity.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            verdict,
+        }
+    }
+}
+
+/// A titled table of comparisons, printed by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ComparisonTable {
+    /// Experiment id and title.
+    pub title: String,
+    rows: Vec<Comparison>,
+}
+
+impl ComparisonTable {
+    /// An empty table.
+    pub fn new(title: impl Into<String>) -> ComparisonTable {
+        ComparisonTable {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Comparison) {
+        self.rows.push(row);
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Comparison] {
+        &self.rows
+    }
+}
+
+impl fmt::Display for ComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let wq = self
+            .rows
+            .iter()
+            .map(|r| r.quantity.len())
+            .max()
+            .unwrap_or(8)
+            .max("quantity".len());
+        let wp = self
+            .rows
+            .iter()
+            .map(|r| r.paper.len())
+            .max()
+            .unwrap_or(5)
+            .max("paper".len());
+        let wm = self
+            .rows
+            .iter()
+            .map(|r| r.measured.len())
+            .max()
+            .unwrap_or(8)
+            .max("measured".len());
+        writeln!(
+            f,
+            "{:<wq$}  {:<wp$}  {:<wm$}  verdict",
+            "quantity", "paper", "measured"
+        )?;
+        writeln!(f, "{:-<w$}", "", w = wq + wp + wm + 13)?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<wq$}  {:<wp$}  {:<wm$}  {}",
+                r.quantity, r.paper, r.measured, r.verdict
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut t = ComparisonTable::new("E0 smoke");
+        t.push(Comparison::new("gens", "~2000", "1870", Verdict::Reproduced));
+        t.push(Comparison::new("time", "10 min", "2.1 s", Verdict::ShapeHolds));
+        let s = t.to_string();
+        assert!(s.contains("E0 smoke"));
+        assert!(s.contains("~2000"));
+        assert!(s.contains("REPRODUCED"));
+        assert!(s.contains("SHAPE-HOLDS"));
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Informational.to_string(), "INFO");
+    }
+
+    #[test]
+    fn empty_table_renders_header() {
+        let t = ComparisonTable::new("empty");
+        assert!(t.to_string().contains("quantity"));
+    }
+}

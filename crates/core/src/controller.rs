@@ -1,0 +1,335 @@
+//! The reconfigurable walking controller.
+//!
+//! Paper §3.1: "The walk of the robot is controlled by a state machine
+//! which is able to modify its behavior through reconfiguration. \[...\]
+//! The main module is the reconfigurable state machine which is configured
+//! by the individual and generates the sequence of movements."
+//!
+//! [`WalkingController`] is that state machine: it cycles through the six
+//! micro-phases of the two encoded steps (pre-vertical, horizontal,
+//! post-vertical — twice) and emits, at every phase, the commanded position
+//! of all twelve servos. [`GaitTable`] is the steady-state expansion of one
+//! full cycle, used by the fitness analysis and the robot simulator.
+
+use crate::genome::{Genome, LegId, StepId, NUM_LEGS};
+use crate::movement::{HorizontalMove, MicroPhase, VerticalMove};
+
+/// Commanded pose of a single leg: one vertical and one horizontal servo
+/// target (each servo is driven to one of two set-points, as on the chip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LegPose {
+    /// Elevation servo target.
+    pub vertical: VerticalMove,
+    /// Propulsion servo target.
+    pub horizontal: HorizontalMove,
+}
+
+impl LegPose {
+    /// The power-on pose: leg down, swept backward.
+    pub const REST: LegPose = LegPose {
+        vertical: VerticalMove::Down,
+        horizontal: HorizontalMove::Backward,
+    };
+}
+
+/// The servo command issued during one micro-phase: a pose per leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhaseCommand {
+    /// Which step of the genome this phase belongs to.
+    pub step: StepId,
+    /// Which micro-phase within the step.
+    pub phase: MicroPhase,
+    /// Commanded pose of each leg, indexed by [`LegId::index`].
+    pub legs: [LegPose; NUM_LEGS],
+}
+
+impl PhaseCommand {
+    /// Pose of one leg.
+    pub fn leg(&self, leg: LegId) -> LegPose {
+        self.legs[leg.index()]
+    }
+
+    /// The 12-bit position word sent to the servo-control bank: bit
+    /// `2 * leg` = elevation (1 = up), bit `2 * leg + 1` = propulsion
+    /// (1 = forward).
+    pub fn position_word(&self) -> u16 {
+        let mut w = 0u16;
+        for leg in LegId::ALL {
+            let pose = self.leg(leg);
+            if pose.vertical.bit() {
+                w |= 1 << (2 * leg.index());
+            }
+            if pose.horizontal.bit() {
+                w |= 1 << (2 * leg.index() + 1);
+            }
+        }
+        w
+    }
+
+    /// Legs whose feet are on the ground in this phase.
+    pub fn grounded_legs(&self) -> impl Iterator<Item = LegId> + '_ {
+        LegId::ALL
+            .into_iter()
+            .filter(|leg| self.leg(*leg).vertical.grounded())
+    }
+}
+
+/// The reconfigurable state machine driving the legs.
+///
+/// Each call to [`WalkingController::tick`] advances one micro-phase and
+/// returns the new servo command. Servo positions not re-commanded in a
+/// phase hold their previous value (vertical changes only in the vertical
+/// phases, horizontal only in the horizontal phase) — exactly the register
+/// semantics of the hardware implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkingController {
+    genome: Genome,
+    phase_counter: usize,
+    poses: [LegPose; NUM_LEGS],
+}
+
+/// Micro-phases per full gait cycle (2 steps × 3 phases).
+pub const PHASES_PER_CYCLE: usize = 6;
+
+impl WalkingController {
+    /// Build a controller configured with `genome`, legs at [`LegPose::REST`].
+    pub fn new(genome: Genome) -> WalkingController {
+        WalkingController {
+            genome,
+            phase_counter: 0,
+            poses: [LegPose::REST; NUM_LEGS],
+        }
+    }
+
+    /// The currently loaded configuration.
+    pub fn genome(&self) -> Genome {
+        self.genome
+    }
+
+    /// Reconfigure with a new genome ("the genome with the greater fitness
+    /// in the current population is provided to the evolvable state machine
+    /// by the genetic algorithm"). The phase counter restarts; leg poses
+    /// hold their current values.
+    pub fn reconfigure(&mut self, genome: Genome) {
+        self.genome = genome;
+        self.phase_counter = 0;
+    }
+
+    /// `(step, micro-phase)` the next tick will execute.
+    pub fn next_phase(&self) -> (StepId, MicroPhase) {
+        let step = if self.phase_counter / 3 == 0 {
+            StepId::One
+        } else {
+            StepId::Two
+        };
+        (step, MicroPhase::ALL[self.phase_counter % 3])
+    }
+
+    /// Current leg poses (servo hold registers).
+    pub fn poses(&self) -> [LegPose; NUM_LEGS] {
+        self.poses
+    }
+
+    /// Advance one micro-phase and return the servo command now in force.
+    pub fn tick(&mut self) -> PhaseCommand {
+        let (step, phase) = self.next_phase();
+        for leg in LegId::ALL {
+            let gene = self.genome.leg_gene(step, leg);
+            let pose = &mut self.poses[leg.index()];
+            match phase {
+                MicroPhase::PreVertical => pose.vertical = gene.pre,
+                MicroPhase::Horizontal => pose.horizontal = gene.horizontal,
+                MicroPhase::PostVertical => pose.vertical = gene.post,
+            }
+        }
+        self.phase_counter = (self.phase_counter + 1) % PHASES_PER_CYCLE;
+        PhaseCommand {
+            step,
+            phase,
+            legs: self.poses,
+        }
+    }
+}
+
+/// The steady-state expansion of one full gait cycle: six phase commands.
+///
+/// "Steady state" means the horizontal hold positions reflect cyclic
+/// execution (the pose a leg holds while step one's vertical phases run is
+/// the horizontal position commanded in step two of the *previous* cycle),
+/// obtained by running the controller for one warm-up cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaitTable {
+    phases: [PhaseCommand; PHASES_PER_CYCLE],
+}
+
+impl GaitTable {
+    /// Expand `genome` into its steady-state cycle.
+    pub fn from_genome(genome: Genome) -> GaitTable {
+        let mut ctl = WalkingController::new(genome);
+        // warm-up cycle to reach the steady state
+        for _ in 0..PHASES_PER_CYCLE {
+            ctl.tick();
+        }
+        let phases = core::array::from_fn(|_| ctl.tick());
+        GaitTable { phases }
+    }
+
+    /// The six phase commands, in execution order starting at
+    /// (step 1, pre-vertical).
+    pub fn phases(&self) -> &[PhaseCommand] {
+        &self.phases
+    }
+
+    /// The command at (step, phase).
+    pub fn at(&self, step: StepId, phase: MicroPhase) -> &PhaseCommand {
+        &self.phases[step.index() * 3 + phase.index()]
+    }
+
+    /// Number of grounded legs in the *least supported* phase of the cycle
+    /// — a cheap static-stability indicator.
+    pub fn min_grounded(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| p.grounded_legs().count())
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Side;
+
+    #[test]
+    fn controller_cycles_through_six_phases() {
+        let mut ctl = WalkingController::new(Genome::tripod());
+        let mut seen = Vec::new();
+        for _ in 0..PHASES_PER_CYCLE {
+            let cmd = ctl.tick();
+            seen.push((cmd.step, cmd.phase));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (StepId::One, MicroPhase::PreVertical),
+                (StepId::One, MicroPhase::Horizontal),
+                (StepId::One, MicroPhase::PostVertical),
+                (StepId::Two, MicroPhase::PreVertical),
+                (StepId::Two, MicroPhase::Horizontal),
+                (StepId::Two, MicroPhase::PostVertical),
+            ]
+        );
+        // wraps around
+        assert_eq!(ctl.next_phase(), (StepId::One, MicroPhase::PreVertical));
+    }
+
+    #[test]
+    fn vertical_only_changes_in_vertical_phases() {
+        let mut ctl = WalkingController::new(Genome::tripod());
+        let after_pre = ctl.tick(); // step1 pre-vertical
+        let after_hor = ctl.tick(); // step1 horizontal
+        for leg in LegId::ALL {
+            assert_eq!(
+                after_pre.leg(leg).vertical,
+                after_hor.leg(leg).vertical,
+                "horizontal phase must not move the elevation servo"
+            );
+        }
+    }
+
+    #[test]
+    fn horizontal_holds_through_vertical_phases() {
+        let mut ctl = WalkingController::new(Genome::tripod());
+        ctl.tick(); // s1 pre
+        let h = ctl.tick(); // s1 horizontal
+        let p = ctl.tick(); // s1 post
+        for leg in LegId::ALL {
+            assert_eq!(h.leg(leg).horizontal, p.leg(leg).horizontal);
+        }
+    }
+
+    #[test]
+    fn tripod_gait_table_alternates_support() {
+        let t = GaitTable::from_genome(Genome::tripod());
+        // during each step's sweep, exactly 3 legs grounded (the stance tripod)
+        let sweep1 = t.at(StepId::One, MicroPhase::Horizontal);
+        let sweep2 = t.at(StepId::Two, MicroPhase::Horizontal);
+        assert_eq!(sweep1.grounded_legs().count(), 3);
+        assert_eq!(sweep2.grounded_legs().count(), 3);
+        // the two stance sets are disjoint (they partition the six legs)
+        let s1: Vec<LegId> = sweep1.grounded_legs().collect();
+        let s2: Vec<LegId> = sweep2.grounded_legs().collect();
+        assert!(s1.iter().all(|l| !s2.contains(l)));
+        assert!(t.min_grounded() >= 3);
+    }
+
+    #[test]
+    fn zero_genome_never_lifts_a_leg() {
+        let t = GaitTable::from_genome(Genome::ZERO);
+        for cmd in t.phases() {
+            assert_eq!(cmd.grounded_legs().count(), NUM_LEGS);
+        }
+    }
+
+    #[test]
+    fn position_word_encodes_all_servos() {
+        let mut all_up_forward = [LegPose::REST; NUM_LEGS];
+        for pose in &mut all_up_forward {
+            pose.vertical = VerticalMove::Up;
+            pose.horizontal = HorizontalMove::Forward;
+        }
+        let cmd = PhaseCommand {
+            step: StepId::One,
+            phase: MicroPhase::Horizontal,
+            legs: all_up_forward,
+        };
+        assert_eq!(cmd.position_word(), 0x0FFF);
+        let rest = PhaseCommand {
+            step: StepId::One,
+            phase: MicroPhase::Horizontal,
+            legs: [LegPose::REST; NUM_LEGS],
+        };
+        assert_eq!(rest.position_word(), 0);
+    }
+
+    #[test]
+    fn reconfigure_restarts_cycle() {
+        let mut ctl = WalkingController::new(Genome::ZERO);
+        ctl.tick();
+        ctl.tick();
+        ctl.reconfigure(Genome::tripod());
+        assert_eq!(ctl.genome(), Genome::tripod());
+        assert_eq!(ctl.next_phase(), (StepId::One, MicroPhase::PreVertical));
+    }
+
+    #[test]
+    fn gait_table_is_cyclic_steady_state() {
+        // running the table twice must give the same commands
+        let g = Genome::from_bits(0x5_5555_5555);
+        let t1 = GaitTable::from_genome(g);
+        let mut ctl = WalkingController::new(g);
+        for _ in 0..2 * PHASES_PER_CYCLE {
+            ctl.tick(); // two warm-up cycles
+        }
+        for want in t1.phases() {
+            assert_eq!(&ctl.tick(), want);
+        }
+    }
+
+    #[test]
+    fn grounded_legs_matches_sides() {
+        let t = GaitTable::from_genome(Genome::tripod());
+        let sweep1 = t.at(StepId::One, MicroPhase::Horizontal);
+        // tripod A = {LF, LR, RM} swings in step 1, so grounded = {LM, RF, RR}
+        let grounded: Vec<LegId> = sweep1.grounded_legs().collect();
+        assert_eq!(
+            grounded,
+            vec![LegId::LeftMiddle, LegId::RightFront, LegId::RightRear]
+        );
+        // at least one grounded leg per side during sweeps: stable
+        for side in Side::ALL {
+            assert!(grounded.iter().any(|l| l.side() == side));
+        }
+    }
+}

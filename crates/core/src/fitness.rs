@@ -1,0 +1,416 @@
+//! The fitness module: three logic-only physical plausibility rules.
+//!
+//! Section 3.2 of the paper explains why fitness cannot be measured by
+//! actually walking (a trial would take ~5 s of real time per genome) and
+//! defines three rules "which give good results, without knowledge of the
+//! solution":
+//!
+//! 1. **Equilibrium** — "if the robot has three legs raised on the same
+//!    side, it will stumble and fall".
+//! 2. **Symmetry** — "if a leg goes forward in the first step, it should go
+//!    backward in the next step".
+//! 3. **Coherence** — "the leg has to be up before going forward \[...\] the
+//!    leg has to be down before doing a propulsion movement (going
+//!    backward)".
+//!
+//! The paper does not publish the scoring weights; this reproduction counts
+//! one point per satisfied elementary check (see [`RuleBreakdown`]) and
+//! allows per-rule weighting and ablation through [`FitnessSpec`]. All
+//! computations are integer/bit-level only, exactly as implementable in
+//! combinational FPGA logic (and implemented that way in `leonardo-rtl`).
+
+use crate::genome::{Genome, LegId, Side, StepId, NUM_LEGS};
+use crate::movement::{MicroPhase, VerticalMove};
+use core::fmt;
+
+/// A fitness score. Higher is better. With the paper's (unit) weights the
+/// maximum is 26 = 8 (equilibrium) + 6 (symmetry) + 12 (coherence).
+pub type FitnessValue = u32;
+
+/// Number of elementary equilibrium checks: 2 steps × 2 vertical
+/// configurations (pre / post) × 2 sides.
+pub const EQUILIBRIUM_CHECKS: u32 = 8;
+/// Number of elementary symmetry checks: one per leg.
+pub const SYMMETRY_CHECKS: u32 = NUM_LEGS as u32;
+/// Number of elementary coherence checks: 2 steps × 6 legs.
+pub const COHERENCE_CHECKS: u32 = 12;
+
+/// Per-rule score decomposition of one fitness evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleBreakdown {
+    /// Satisfied equilibrium checks (0..=8).
+    pub equilibrium: u32,
+    /// Satisfied symmetry checks (0..=6).
+    pub symmetry: u32,
+    /// Satisfied coherence checks (0..=12).
+    pub coherence: u32,
+}
+
+impl RuleBreakdown {
+    /// Sum of the three raw (unweighted) rule scores.
+    #[inline]
+    pub fn total(self) -> u32 {
+        self.equilibrium + self.symmetry + self.coherence
+    }
+}
+
+impl fmt::Display for RuleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "equilibrium {}/{EQUILIBRIUM_CHECKS}  symmetry {}/{SYMMETRY_CHECKS}  coherence {}/{COHERENCE_CHECKS}",
+            self.equilibrium, self.symmetry, self.coherence
+        )
+    }
+}
+
+/// Configuration of the fitness function: per-rule weights (a weight of 0
+/// disables a rule — used by the ablation experiment E7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitnessSpec {
+    /// Weight of each satisfied equilibrium check.
+    pub equilibrium_weight: u32,
+    /// Weight of each satisfied symmetry check.
+    pub symmetry_weight: u32,
+    /// Weight of each satisfied coherence check.
+    pub coherence_weight: u32,
+}
+
+impl Default for FitnessSpec {
+    fn default() -> Self {
+        FitnessSpec::paper()
+    }
+}
+
+impl FitnessSpec {
+    /// The paper's rule set with unit weights.
+    pub const fn paper() -> FitnessSpec {
+        FitnessSpec {
+            equilibrium_weight: 1,
+            symmetry_weight: 1,
+            coherence_weight: 1,
+        }
+    }
+
+    /// A spec with a single rule disabled (for ablations).
+    pub const fn without(rule: Rule) -> FitnessSpec {
+        let mut s = FitnessSpec::paper();
+        match rule {
+            Rule::Equilibrium => s.equilibrium_weight = 0,
+            Rule::Symmetry => s.symmetry_weight = 0,
+            Rule::Coherence => s.coherence_weight = 0,
+        }
+        s
+    }
+
+    /// A spec with only a single rule enabled (for ablations).
+    pub const fn only(rule: Rule) -> FitnessSpec {
+        let mut s = FitnessSpec {
+            equilibrium_weight: 0,
+            symmetry_weight: 0,
+            coherence_weight: 0,
+        };
+        match rule {
+            Rule::Equilibrium => s.equilibrium_weight = 1,
+            Rule::Symmetry => s.symmetry_weight = 1,
+            Rule::Coherence => s.coherence_weight = 1,
+        }
+        s
+    }
+
+    /// The maximum achievable weighted fitness under this spec.
+    ///
+    /// Note: the maximum is *attainable* — the three rules are jointly
+    /// satisfiable (e.g. by the tripod gait); a unit test proves it.
+    pub const fn max_fitness(self) -> FitnessValue {
+        self.equilibrium_weight * EQUILIBRIUM_CHECKS
+            + self.symmetry_weight * SYMMETRY_CHECKS
+            + self.coherence_weight * COHERENCE_CHECKS
+    }
+
+    /// Evaluate a genome: weighted sum of the rule scores.
+    #[inline]
+    pub fn evaluate(self, genome: Genome) -> FitnessValue {
+        let b = self.breakdown(genome);
+        self.equilibrium_weight * b.equilibrium
+            + self.symmetry_weight * b.symmetry
+            + self.coherence_weight * b.coherence
+    }
+
+    /// Evaluate a genome and return the per-rule decomposition.
+    pub fn breakdown(self, genome: Genome) -> RuleBreakdown {
+        RuleBreakdown {
+            equilibrium: equilibrium_score(genome),
+            symmetry: symmetry_score(genome),
+            coherence: coherence_score(genome),
+        }
+    }
+
+    /// Whether `genome` attains the maximum fitness under this spec.
+    #[inline]
+    pub fn is_max(self, genome: Genome) -> bool {
+        self.evaluate(genome) == self.max_fitness()
+    }
+}
+
+/// Identifier of one of the three fitness rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Rule 1: no three raised legs on one side.
+    Equilibrium,
+    /// Rule 2: each leg alternates direction between the two steps.
+    Symmetry,
+    /// Rule 3: vertical pre-condition matches the horizontal move.
+    Coherence,
+}
+
+impl Rule {
+    /// All three rules.
+    pub const ALL: [Rule; 3] = [Rule::Equilibrium, Rule::Symmetry, Rule::Coherence];
+
+    /// Human-readable rule name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rule::Equilibrium => "equilibrium",
+            Rule::Symmetry => "symmetry",
+            Rule::Coherence => "coherence",
+        }
+    }
+}
+
+/// Rule 1 — equilibrium. For each step, the legs assume two vertical
+/// configurations (after the pre-vertical phase, and after the post-vertical
+/// phase). For each of the 2 steps × 2 configurations × 2 sides, one point
+/// is scored unless all three legs of that side are raised.
+pub fn equilibrium_score(genome: Genome) -> u32 {
+    let mut score = 0;
+    for step in StepId::ALL {
+        for phase in [MicroPhase::PreVertical, MicroPhase::PostVertical] {
+            for side in Side::ALL {
+                let all_up = side.legs().into_iter().all(|leg| {
+                    genome.leg_gene(step, leg).step().vertical_during(phase) == VerticalMove::Up
+                });
+                if !all_up {
+                    score += 1;
+                }
+            }
+        }
+    }
+    score
+}
+
+/// Rule 2 — step symmetry. One point per leg whose horizontal direction in
+/// step two is the opposite of its direction in step one ("deduced from
+/// observation of the walk of animals").
+pub fn symmetry_score(genome: Genome) -> u32 {
+    LegId::ALL
+        .into_iter()
+        .filter(|&leg| {
+            let h1 = genome.leg_gene(StepId::One, leg).horizontal;
+            let h2 = genome.leg_gene(StepId::Two, leg).horizontal;
+            h1 == h2.opposite()
+        })
+        .count() as u32
+}
+
+/// Rule 3 — movement coherence. One point per (step, leg) whose vertical
+/// pre-position matches its horizontal move: up before going forward, down
+/// before going backward.
+pub fn coherence_score(genome: Genome) -> u32 {
+    let mut score = 0;
+    for step in StepId::ALL {
+        for leg in LegId::ALL {
+            if genome.leg_gene(step, leg).step().coherent() {
+                score += 1;
+            }
+        }
+    }
+    score
+}
+
+/// Enumerate **all** genomes attaining maximum fitness under the paper's
+/// rule set.
+///
+/// Maximum fitness forces a rigid structure: coherence pins every leg's
+/// `pre` bit to its `horizontal` bit, symmetry pins step 2's horizontal
+/// bits to the complement of step 1's, and equilibrium excludes the
+/// configurations where a whole side is raised. The only freedom left is
+/// the choice of step-1 horizontal pattern (excluding all-forward /
+/// all-backward per side) and the 12 `post` bits (excluding all-up per side
+/// per step). This yields exactly 36 × 49 × 49 = **86 436** genomes out of
+/// 2³⁶ — about one in 795 000 (a unit test verifies the count against a
+/// brute-force filter over the structured candidates).
+pub fn max_fitness_genomes() -> impl Iterator<Item = Genome> {
+    let spec = FitnessSpec::paper();
+    // h1: step-1 horizontal bits for legs 0..6 (bit i = leg i forward)
+    (0u64..64).flat_map(move |h1| {
+        (0u64..64).flat_map(move |post1| {
+            (0u64..64).filter_map(move |post2| {
+                let h2 = !h1 & 0x3f;
+                let g = assemble(h1, post1, h2, post2);
+                spec.is_max(g).then_some(g)
+            })
+        })
+    })
+}
+
+/// Assemble a genome from packed 6-bit per-leg fields: horizontal and post
+/// bits for each step, with pre bits tied to the horizontal bits (the
+/// coherence-maximal choice).
+fn assemble(h1: u64, post1: u64, h2: u64, post2: u64) -> Genome {
+    let mut bits = 0u64;
+    for leg in 0..NUM_LEGS {
+        let s1 = (h1 >> leg & 1) // pre = horizontal
+            | (h1 >> leg & 1) << 1
+            | (post1 >> leg & 1) << 2;
+        let s2 = (h2 >> leg & 1) | (h2 >> leg & 1) << 1 | (post2 >> leg & 1) << 2;
+        bits |= s1 << (leg * 3);
+        bits |= s2 << (18 + leg * 3);
+    }
+    Genome::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::GENOME_MASK;
+
+    const SPEC: FitnessSpec = FitnessSpec::paper();
+
+    #[test]
+    fn max_fitness_is_26() {
+        assert_eq!(SPEC.max_fitness(), 26);
+    }
+
+    #[test]
+    fn tripod_attains_max_fitness() {
+        let t = Genome::tripod();
+        let b = SPEC.breakdown(t);
+        assert_eq!(b.equilibrium, EQUILIBRIUM_CHECKS);
+        assert_eq!(b.symmetry, SYMMETRY_CHECKS);
+        assert_eq!(b.coherence, COHERENCE_CHECKS);
+        assert!(SPEC.is_max(t));
+    }
+
+    #[test]
+    fn all_zero_genome_scores() {
+        // every leg: down/backward/down in both steps
+        let b = SPEC.breakdown(Genome::ZERO);
+        assert_eq!(b.equilibrium, 8); // nothing raised: perfectly stable
+        assert_eq!(b.symmetry, 0); // no leg alternates
+        assert_eq!(b.coherence, 12); // down-before-backward everywhere
+        assert_eq!(SPEC.evaluate(Genome::ZERO), 20);
+    }
+
+    #[test]
+    fn all_ones_genome_scores() {
+        // every leg: up/forward/up in both steps
+        let g = Genome::from_bits(GENOME_MASK);
+        let b = SPEC.breakdown(g);
+        assert_eq!(b.equilibrium, 0); // both sides fully raised, always
+        assert_eq!(b.symmetry, 0);
+        assert_eq!(b.coherence, 12); // up-before-forward everywhere
+    }
+
+    #[test]
+    fn symmetry_counts_alternating_legs() {
+        // Flip step-2 horizontal of exactly one leg of the zero genome.
+        let pos = Genome::bit_position(StepId::Two, LegId::LeftMiddle, 1);
+        let g = Genome::ZERO.with_bit(pos, true);
+        assert_eq!(symmetry_score(g), 1);
+    }
+
+    #[test]
+    fn equilibrium_detects_raised_side() {
+        // Raise all three left legs (pre) in step one.
+        let mut g = Genome::ZERO;
+        for leg in Side::Left.legs() {
+            g = g.with_bit(Genome::bit_position(StepId::One, leg, 0), true);
+        }
+        // one of the eight checks fails
+        assert_eq!(equilibrium_score(g), 7);
+        // coherence also drops: three legs are now up-before-backward
+        assert_eq!(coherence_score(g), 9);
+    }
+
+    #[test]
+    fn equilibrium_two_legs_up_is_fine() {
+        let mut g = Genome::ZERO;
+        for leg in [LegId::LeftFront, LegId::LeftRear] {
+            g = g.with_bit(Genome::bit_position(StepId::One, leg, 0), true);
+        }
+        assert_eq!(equilibrium_score(g), 8);
+    }
+
+    #[test]
+    fn fitness_invariant_under_mirroring() {
+        // exhaustively-ish: a structured sample of genomes
+        for i in 0..2000u64 {
+            let g = Genome::from_bits(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            assert_eq!(SPEC.evaluate(g), SPEC.evaluate(g.mirrored()), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn fitness_invariant_under_step_swap() {
+        for i in 0..2000u64 {
+            let g = Genome::from_bits(i.wrapping_mul(0xD134_2543_DE82_EF95));
+            assert_eq!(SPEC.evaluate(g), SPEC.evaluate(g.steps_swapped()), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn ablation_specs() {
+        let t = Genome::tripod();
+        assert_eq!(FitnessSpec::without(Rule::Symmetry).evaluate(t), 20);
+        assert_eq!(FitnessSpec::only(Rule::Symmetry).evaluate(t), 6);
+        assert_eq!(FitnessSpec::only(Rule::Symmetry).max_fitness(), 6);
+        assert_eq!(FitnessSpec::without(Rule::Equilibrium).max_fitness(), 18);
+    }
+
+    #[test]
+    fn max_fitness_genome_count_is_86436() {
+        // Derivation: 36 horizontal patterns x 49^2 post patterns.
+        assert_eq!(max_fitness_genomes().count(), 86_436);
+    }
+
+    #[test]
+    fn enumerated_genomes_are_distinct_and_maximal() {
+        let mut seen = std::collections::HashSet::new();
+        for g in max_fitness_genomes().take(5000) {
+            assert!(SPEC.is_max(g));
+            assert!(seen.insert(g.bits()), "duplicate genome {g:?}");
+        }
+    }
+
+    #[test]
+    fn tripod_is_among_max_fitness_genomes() {
+        let t = Genome::tripod();
+        assert!(max_fitness_genomes().any(|g| g == t));
+    }
+
+    #[test]
+    fn random_genomes_rarely_maximal() {
+        // Sanity: the density of maximal genomes is ~1/795k, so a small
+        // pseudo-random sample should contain none.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if SPEC.is_max(Genome::from_bits(state >> 20)) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn breakdown_total_matches_unit_weight_evaluate() {
+        for i in 0..500u64 {
+            let g = Genome::from_bits(i.wrapping_mul(0xA076_1D64_78BD_642F));
+            assert_eq!(SPEC.breakdown(g).total(), SPEC.evaluate(g));
+        }
+    }
+}

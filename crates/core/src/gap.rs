@@ -1,0 +1,567 @@
+//! The Genetic Algorithm Processor (GAP), behavioural model.
+//!
+//! Paper §3.2: "The GAP includes the four principal operators for the
+//! genetic algorithm: fitness, selection, crossover, and mutation. Each of
+//! these operators is implemented in one module \[...\] The four principal
+//! operators run in a fixed order. From the initial population the fitness
+//! operator is applied, then selection, then crossover, and finally
+//! mutation. \[...\] the selection operator needs to read in the population
+//! and the crossover operator needs to write the new individuals in an
+//! intermediate population. This is why we used two populations of
+//! individuals."
+//!
+//! Operator choices (paper §3.2), all reproduced exactly:
+//! * **selection** — tournament of two, the fitter wins with probability
+//!   given by the selection threshold (no real numbers, no division);
+//! * **crossover** — single-point, applied to a pair with probability given
+//!   by the crossover threshold;
+//! * **mutation** — single-bit flips at a fixed count per generation,
+//!   positions drawn uniformly over all population bits;
+//! * **initialization** — the initiator module fills the basis population
+//!   from the pseudo-random number generator.
+//!
+//! The model is generic over [`RngSource`] so the RTL-equivalence tests can
+//! replay a recorded hardware draw sequence through it.
+
+use crate::fitness::FitnessValue;
+use crate::genome::{Genome, GENOME_BITS};
+use crate::params::GapParams;
+use crate::rng::{CellularRng, RngSource};
+use crate::stats::{GenerationRecord, RunStats};
+
+/// A population buffer: a fixed-size vector of genomes.
+///
+/// The hardware holds two of these (basis and intermediate) in on-chip RAM;
+/// the model swaps them by `std::mem::swap` at the end of each generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Population {
+    genomes: Vec<Genome>,
+}
+
+impl Population {
+    /// An all-zero population of `n` individuals.
+    pub fn zeroed(n: usize) -> Population {
+        Population {
+            genomes: vec![Genome::ZERO; n],
+        }
+    }
+
+    /// Fill a population from the generator, two 32-bit words per 36-bit
+    /// genome (word 1 gives bits 0..32, the low nibble of word 2 gives bits
+    /// 32..36) — exactly what the hardware initiator does.
+    pub fn random<R: RngSource>(n: usize, rng: &mut R) -> Population {
+        let genomes = (0..n)
+            .map(|_| {
+                let lo = rng.next_word() as u64;
+                let hi = (rng.next_word() & 0xF) as u64;
+                Genome::from_bits(lo | hi << 32)
+            })
+            .collect();
+        Population { genomes }
+    }
+
+    /// Build from an explicit genome list.
+    pub fn from_genomes(genomes: Vec<Genome>) -> Population {
+        Population { genomes }
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.genomes.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.genomes.is_empty()
+    }
+
+    /// The genomes as a slice.
+    pub fn genomes(&self) -> &[Genome] {
+        &self.genomes
+    }
+
+    /// Individual at `idx`.
+    pub fn get(&self, idx: usize) -> Genome {
+        self.genomes[idx]
+    }
+
+    /// Replace the individual at `idx`.
+    pub fn set(&mut self, idx: usize, g: Genome) {
+        self.genomes[idx] = g;
+    }
+
+    /// Flip one bit addressed over the whole buffer: bit `pos % 36` of
+    /// individual `pos / 36` (the hardware mutation addressing scheme).
+    pub fn flip_population_bit(&mut self, pos: usize) {
+        let idx = pos / GENOME_BITS;
+        let bit = pos % GENOME_BITS;
+        self.genomes[idx] = self.genomes[idx].with_bit_flipped(bit);
+    }
+
+    /// Mean Hamming distance between consecutive individuals — a cheap
+    /// diversity proxy used by the run statistics.
+    pub fn diversity(&self) -> f64 {
+        if self.genomes.len() < 2 {
+            return 0.0;
+        }
+        let total: u32 = self
+            .genomes
+            .windows(2)
+            .map(|w| w[0].hamming_distance(w[1]))
+            .sum();
+        f64::from(total) / (self.genomes.len() - 1) as f64
+    }
+}
+
+/// Outcome of a [`GeneticAlgorithmProcessor::run_to_convergence`] call.
+#[derive(Debug, Clone)]
+pub struct GapOutcome {
+    /// Best genome ever observed.
+    pub best_genome: Genome,
+    /// Its fitness.
+    pub best_fitness: FitnessValue,
+    /// Number of generations executed.
+    pub generations: u64,
+    /// Whether the maximum fitness was reached within the budget.
+    pub converged: bool,
+    /// Per-generation statistics of the run.
+    pub stats: RunStats,
+}
+
+/// The behavioural Genetic Algorithm Processor.
+///
+/// Draw-sequence contract (one generation, in order):
+/// 1. per pair (`population_size / 2` pairs): two tournament draws for
+///    parent A (2 index words + 1 threshold word), the same for parent B,
+///    then 1 threshold word for the crossover decision and, if crossover
+///    happens, 1+ words for the cut point;
+/// 2. then `mutations_per_generation` draws of a population bit address.
+///
+/// Fitness evaluation consumes no randomness.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithmProcessor<R: RngSource = CellularRng> {
+    params: GapParams,
+    rng: R,
+    basis: Population,
+    intermediate: Population,
+    fitness_cache: Vec<FitnessValue>,
+    best_genome: Genome,
+    best_fitness: FitnessValue,
+    generation: u64,
+}
+
+impl GeneticAlgorithmProcessor<CellularRng> {
+    /// Build a GAP with the on-chip cellular-automaton generator seeded
+    /// with `seed`, and run the initiator (random initial population).
+    ///
+    /// # Panics
+    /// Panics if `params` fail validation.
+    pub fn new(params: GapParams, seed: u32) -> Self {
+        GeneticAlgorithmProcessor::with_rng(params, CellularRng::new(seed))
+    }
+}
+
+impl<R: RngSource> GeneticAlgorithmProcessor<R> {
+    /// Build a GAP over an arbitrary random source (initiator included).
+    ///
+    /// # Panics
+    /// Panics if `params` fail validation.
+    pub fn with_rng(params: GapParams, mut rng: R) -> Self {
+        params.validate().expect("invalid GAP parameters");
+        let basis = Population::random(params.population_size, &mut rng);
+        let intermediate = Population::zeroed(params.population_size);
+        let seed_best = basis.get(0);
+        let mut gap = GeneticAlgorithmProcessor {
+            params,
+            rng,
+            basis,
+            intermediate,
+            fitness_cache: Vec::new(),
+            best_genome: seed_best,
+            best_fitness: params.fitness.evaluate(seed_best),
+            generation: 0,
+        };
+        gap.evaluate_fitness();
+        gap
+    }
+
+    /// Build a GAP over an explicit starting population (skips the
+    /// initiator; used by the RTL equivalence tests).
+    ///
+    /// # Panics
+    /// Panics if `params` fail validation or the population size disagrees
+    /// with the parameters.
+    pub fn with_population(params: GapParams, rng: R, population: Population) -> Self {
+        params.validate().expect("invalid GAP parameters");
+        assert_eq!(
+            population.len(),
+            params.population_size,
+            "population size mismatch"
+        );
+        let intermediate = Population::zeroed(params.population_size);
+        let seed_best = population.get(0);
+        let mut gap = GeneticAlgorithmProcessor {
+            params,
+            rng,
+            basis: population,
+            intermediate,
+            fitness_cache: Vec::new(),
+            best_genome: seed_best,
+            best_fitness: params.fitness.evaluate(seed_best),
+            generation: 0,
+        };
+        gap.evaluate_fitness();
+        gap
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &GapParams {
+        &self.params
+    }
+
+    /// The current (basis) population.
+    pub fn population(&self) -> &Population {
+        &self.basis
+    }
+
+    /// Cached fitness of the current population, index-aligned with
+    /// [`Self::population`].
+    pub fn fitness_values(&self) -> &[FitnessValue] {
+        &self.fitness_cache
+    }
+
+    /// Generations executed so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Best genome observed so far (the hardware's "Best Individual"
+    /// register, which feeds the walking controller).
+    pub fn best(&self) -> (Genome, FitnessValue) {
+        (self.best_genome, self.best_fitness)
+    }
+
+    /// Whether the best individual attains the maximal fitness.
+    pub fn converged(&self) -> bool {
+        self.best_fitness == self.params.fitness.max_fitness()
+    }
+
+    /// Fitness operator: evaluate every basis individual, refresh the
+    /// best-individual register. Consumes no randomness.
+    fn evaluate_fitness(&mut self) {
+        let spec = self.params.fitness;
+        self.fitness_cache.clear();
+        self.fitness_cache
+            .extend(self.basis.genomes().iter().map(|&g| spec.evaluate(g)));
+        for (i, &f) in self.fitness_cache.iter().enumerate() {
+            if f > self.best_fitness {
+                self.best_fitness = f;
+                self.best_genome = self.basis.get(i);
+            }
+        }
+    }
+
+    /// Tournament selection: draw two individuals, return the fitter with
+    /// probability `selection_threshold`, otherwise the less fit.
+    fn select_parent(&mut self) -> Genome {
+        let n = self.params.population_size as u32;
+        let i = self.rng.draw_below(n) as usize;
+        let j = self.rng.draw_below(n) as usize;
+        let (better, worse) = if self.fitness_cache[i] >= self.fitness_cache[j] {
+            (i, j)
+        } else {
+            (j, i)
+        };
+        let pick = if self.rng.chance(self.params.selection_threshold) {
+            better
+        } else {
+            worse
+        };
+        self.basis.get(pick)
+    }
+
+    /// Run one full generation (fitness → selection → crossover →
+    /// mutation) and return its statistics record.
+    pub fn step_generation(&mut self) -> GenerationRecord {
+        let pairs = self.params.population_size / 2;
+        // selection ∥ crossover (functionally sequential here; the RTL
+        // model pipelines them, which changes timing but not results)
+        for pair in 0..pairs {
+            let a = self.select_parent();
+            let b = self.select_parent();
+            let (c, d) = if self.rng.chance(self.params.crossover_threshold) {
+                let point = 1 + self.rng.draw_below(GENOME_BITS as u32 - 1) as usize;
+                a.crossover(b, point)
+            } else {
+                (a, b)
+            };
+            self.intermediate.set(2 * pair, c);
+            self.intermediate.set(2 * pair + 1, d);
+        }
+        // mutation: fixed count of single-bit flips over the whole buffer
+        let bits = self.params.population_bits() as u32;
+        for _ in 0..self.params.mutations_per_generation {
+            let pos = self.rng.draw_below(bits) as usize;
+            self.intermediate.flip_population_bit(pos);
+        }
+        // buffer swap: the intermediate population becomes the new basis
+        std::mem::swap(&mut self.basis, &mut self.intermediate);
+        self.generation += 1;
+        self.evaluate_fitness();
+        self.record()
+    }
+
+    /// Statistics record for the current population.
+    pub fn record(&self) -> GenerationRecord {
+        let best = self.fitness_cache.iter().copied().max().unwrap_or(0);
+        let min = self.fitness_cache.iter().copied().min().unwrap_or(0);
+        let sum: u64 = self.fitness_cache.iter().map(|&f| u64::from(f)).sum();
+        GenerationRecord {
+            generation: self.generation,
+            best_fitness: best,
+            mean_fitness: sum as f64 / self.fitness_cache.len().max(1) as f64,
+            min_fitness: min,
+            best_ever: self.best_fitness,
+            diversity: self.basis.diversity(),
+        }
+    }
+
+    /// Run generations until the maximum fitness is reached or `max_generations`
+    /// have been executed. Mirrors the autonomous chip: "This continues
+    /// until a good individual is found for the walking behavior."
+    pub fn run_to_convergence(&mut self, max_generations: u64) -> GapOutcome {
+        let mut stats = RunStats::new();
+        stats.push(self.record());
+        while !self.converged() && self.generation < max_generations {
+            let rec = self.step_generation();
+            stats.push(rec);
+        }
+        GapOutcome {
+            best_genome: self.best_genome,
+            best_fitness: self.best_fitness,
+            generations: self.generation,
+            converged: self.converged(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::FitnessSpec;
+    use crate::rng::{RecordingRng, ReplayRng};
+
+    fn gap(seed: u32) -> GeneticAlgorithmProcessor {
+        GeneticAlgorithmProcessor::new(GapParams::paper(), seed)
+    }
+
+    #[test]
+    fn initiator_fills_population() {
+        let g = gap(1);
+        assert_eq!(g.population().len(), 32);
+        // populations from the CA are non-degenerate
+        let distinct: std::collections::HashSet<u64> =
+            g.population().genomes().iter().map(|g| g.bits()).collect();
+        assert!(distinct.len() > 16);
+    }
+
+    #[test]
+    fn fitness_cache_matches_population() {
+        let g = gap(2);
+        let spec = FitnessSpec::paper();
+        for (i, &genome) in g.population().genomes().iter().enumerate() {
+            assert_eq!(g.fitness_values()[i], spec.evaluate(genome));
+        }
+    }
+
+    #[test]
+    fn generation_counter_advances() {
+        let mut g = gap(3);
+        assert_eq!(g.generation(), 0);
+        g.step_generation();
+        g.step_generation();
+        assert_eq!(g.generation(), 2);
+    }
+
+    #[test]
+    fn best_fitness_is_monotone() {
+        let mut g = gap(4);
+        let mut last = g.best().1;
+        for _ in 0..200 {
+            g.step_generation();
+            let now = g.best().1;
+            assert!(now >= last, "best-ever register regressed");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn converges_with_paper_parameters() {
+        // The paper reports ~2000 generations on average; allow a generous
+        // budget for a single seeded run.
+        let mut g = gap(5);
+        let outcome = g.run_to_convergence(50_000);
+        assert!(outcome.converged, "did not converge in 50k generations");
+        assert_eq!(outcome.best_fitness, FitnessSpec::paper().max_fitness());
+        assert!(FitnessSpec::paper().is_max(outcome.best_genome));
+    }
+
+    #[test]
+    fn convergence_is_deterministic_per_seed() {
+        let a = gap(77).run_to_convergence(50_000);
+        let b = gap(77).run_to_convergence(50_000);
+        assert_eq!(a.generations, b.generations);
+        assert_eq!(a.best_genome, b.best_genome);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = gap(100).run_to_convergence(50_000);
+        let b = gap(101).run_to_convergence(50_000);
+        // distinct runs essentially never take the identical trajectory
+        assert!(a.generations != b.generations || a.best_genome != b.best_genome);
+    }
+
+    /// Borrowed RNG shim so a recorder can be inspected after driving a GAP.
+    struct Borrowed<'a, T>(&'a mut T);
+    impl<T: RngSource> RngSource for Borrowed<'_, T> {
+        fn next_word(&mut self) -> u32 {
+            self.0.next_word()
+        }
+    }
+
+    #[test]
+    fn replayed_draws_reproduce_run() {
+        // record three generations' draws, then replay them into a second
+        // GAP with the same starting population: bit-exact match required
+        let params = GapParams::paper();
+        let mut seeder = crate::rng::CellularRng::new(42);
+        let pop = Population::random(32, &mut seeder);
+
+        let mut rec = RecordingRng::new(crate::rng::CellularRng::new(7));
+        let final_pop = {
+            let mut g1 = GeneticAlgorithmProcessor::with_population(
+                params,
+                Borrowed(&mut rec),
+                pop.clone(),
+            );
+            for _ in 0..3 {
+                g1.step_generation();
+            }
+            g1.population().clone()
+        };
+
+        let replay = ReplayRng::new(rec.into_log());
+        let mut g2 = GeneticAlgorithmProcessor::with_population(params, replay, pop);
+        for _ in 0..3 {
+            g2.step_generation();
+        }
+        assert_eq!(&final_pop, g2.population());
+    }
+
+    #[test]
+    fn population_bit_flip_addressing() {
+        let mut p = Population::zeroed(4);
+        p.flip_population_bit(0);
+        assert_eq!(p.get(0).bits(), 1);
+        p.flip_population_bit(36);
+        assert_eq!(p.get(1).bits(), 1);
+        p.flip_population_bit(36 + 35);
+        assert_eq!(p.get(1).bits(), 1 | 1 << 35);
+        p.flip_population_bit(36); // flip back
+        assert_eq!(p.get(1).bits(), 1 << 35);
+    }
+
+    #[test]
+    fn diversity_zero_for_clones() {
+        let p = Population::from_genomes(vec![Genome::tripod(); 8]);
+        assert_eq!(p.diversity(), 0.0);
+    }
+
+    #[test]
+    fn diversity_positive_for_random() {
+        let mut rng = crate::rng::CellularRng::new(9);
+        let p = Population::random(32, &mut rng);
+        assert!(p.diversity() > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GAP parameters")]
+    fn invalid_params_rejected() {
+        let _ = GeneticAlgorithmProcessor::new(GapParams::paper().with_population_size(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "population size mismatch")]
+    fn population_size_mismatch_rejected() {
+        let _ = GeneticAlgorithmProcessor::with_population(
+            GapParams::paper(),
+            crate::rng::CellularRng::new(1),
+            Population::zeroed(8),
+        );
+    }
+
+    #[test]
+    fn selection_amplifies_fit_individuals() {
+        // Four max-fitness genomes among zeros, crossover and mutation off:
+        // tournament selection is a branching process with offspring mean
+        // 32 * (1 - (31/32)^2) * 0.8 ≈ 1.57 per copy. A single copy goes
+        // extinct with probability ~0.5 (which is exactly why the chip
+        // keeps a separate best-individual register!); four initial copies
+        // survive with probability ~94% and then take over. Deterministic
+        // given the seed.
+        let mut genomes = vec![Genome::ZERO; 32];
+        for idx in [3usize, 11, 17, 29] {
+            genomes[idx] = Genome::tripod();
+        }
+        let params = GapParams::paper().with_mutations(0).with_crossover_threshold(0.0);
+        let mut g = GeneticAlgorithmProcessor::with_population(
+            params,
+            crate::rng::CellularRng::new(33),
+            Population::from_genomes(genomes),
+        );
+        let mut total_winners = 0usize;
+        for _ in 0..50 {
+            g.step_generation();
+            // with crossover/mutation off no novel genome can ever appear
+            for &x in g.population().genomes() {
+                assert!(x == Genome::ZERO || x == Genome::tripod());
+            }
+            total_winners += g
+                .population()
+                .genomes()
+                .iter()
+                .filter(|&&x| x == Genome::tripod())
+                .count();
+        }
+        // neutral drift from 4/32 would average ~200 copies over 50
+        // generations; selection-driven takeover gives far more
+        assert!(
+            total_winners > 800,
+            "selection failed to amplify the fit genomes: {total_winners} copies over 50 generations"
+        );
+    }
+
+    #[test]
+    fn zero_crossover_preserves_parent_genomes() {
+        let params = GapParams::paper()
+            .with_crossover_threshold(0.0)
+            .with_mutations(0);
+        let mut g = GeneticAlgorithmProcessor::new(params, 11);
+        let before: std::collections::HashSet<u64> =
+            g.population().genomes().iter().map(|x| x.bits()).collect();
+        g.step_generation();
+        for &x in g.population().genomes() {
+            assert!(before.contains(&x.bits()), "novel genome without crossover/mutation");
+        }
+    }
+
+    #[test]
+    fn outcome_stats_length_matches_generations() {
+        let mut g = gap(13);
+        let outcome = g.run_to_convergence(50);
+        // one record per generation plus the initial one
+        assert_eq!(outcome.stats.len() as u64, outcome.generations + 1);
+    }
+}

@@ -1,0 +1,589 @@
+//! The 36-bit walking genome and its bit layout.
+//!
+//! Section 3.1 of the paper defines the encoding:
+//!
+//! > "A genome encodes two steps of the walk. In each step there are six
+//! > subparts, one for each leg. \[...\] inside the six parts there are three
+//! > bits which encode the movement of the leg during the step. The first
+//! > bit codes whether the leg first goes up or down. The second bit codes
+//! > whether the leg goes forward or backward. The last bit codes whether
+//! > the leg goes up or down after the horizontal move. In all, one
+//! > individual is composed of 36 bits, giving rise to a search space of
+//! > size 2^36 = 68 billion possibilities."
+//!
+//! Bit layout used throughout this reproduction (LSB-first):
+//!
+//! ```text
+//! bit index = step * 18 + leg * 3 + field
+//!   field 0: vertical move BEFORE the horizontal move (1 = up, 0 = down)
+//!   field 1: horizontal move                          (1 = forward, 0 = backward)
+//!   field 2: vertical move AFTER the horizontal move  (1 = up, 0 = down)
+//! ```
+//!
+//! Legs are numbered 0..6 as `L front, L middle, L rear, R front, R middle,
+//! R rear`, matching the physical layout of Leonardo (three legs per side).
+
+use crate::movement::{HorizontalMove, LegStep, VerticalMove};
+use core::fmt;
+
+/// Number of legs on the robot (paper §2: six-legged).
+pub const NUM_LEGS: usize = 6;
+/// Number of walk steps encoded by one genome (paper §3.1: two).
+pub const NUM_STEPS: usize = 2;
+/// Bits per leg per step (paper §3.1: three).
+pub const BITS_PER_LEG: usize = 3;
+/// Total genome width in bits: `2 * 6 * 3 = 36`.
+pub const GENOME_BITS: usize = NUM_STEPS * NUM_LEGS * BITS_PER_LEG;
+/// Mask selecting the 36 genome bits inside a `u64`.
+pub const GENOME_MASK: u64 = (1u64 << GENOME_BITS) - 1;
+/// Size of the search space, `2^36` ("68 billion possibilities").
+pub const SEARCH_SPACE: u64 = 1u64 << GENOME_BITS;
+
+/// One of the two walk steps encoded in a genome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StepId {
+    /// The first of the two encoded steps.
+    One,
+    /// The second of the two encoded steps.
+    Two,
+}
+
+impl StepId {
+    /// Both steps, in execution order.
+    pub const ALL: [StepId; NUM_STEPS] = [StepId::One, StepId::Two];
+
+    /// Index of the step (0 or 1) inside the genome layout.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            StepId::One => 0,
+            StepId::Two => 1,
+        }
+    }
+
+    /// The other step ([`StepId::One`] ⇄ [`StepId::Two`]).
+    #[inline]
+    pub const fn other(self) -> StepId {
+        match self {
+            StepId::One => StepId::Two,
+            StepId::Two => StepId::One,
+        }
+    }
+}
+
+/// Which side of the body a leg is mounted on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// Left-hand side (legs 0, 1, 2).
+    Left,
+    /// Right-hand side (legs 3, 4, 5).
+    Right,
+}
+
+impl Side {
+    /// Both sides.
+    pub const ALL: [Side; 2] = [Side::Left, Side::Right];
+
+    /// The legs mounted on this side, front to rear.
+    #[inline]
+    pub const fn legs(self) -> [LegId; 3] {
+        match self {
+            Side::Left => [LegId::LeftFront, LegId::LeftMiddle, LegId::LeftRear],
+            Side::Right => [LegId::RightFront, LegId::RightMiddle, LegId::RightRear],
+        }
+    }
+
+    /// The opposite side.
+    #[inline]
+    pub const fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// Identifier of one of Leonardo's six legs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LegId {
+    /// Left front leg (index 0).
+    LeftFront,
+    /// Left middle leg (index 1).
+    LeftMiddle,
+    /// Left rear leg (index 2).
+    LeftRear,
+    /// Right front leg (index 3).
+    RightFront,
+    /// Right middle leg (index 4).
+    RightMiddle,
+    /// Right rear leg (index 5).
+    RightRear,
+}
+
+impl LegId {
+    /// All six legs in genome order.
+    pub const ALL: [LegId; NUM_LEGS] = [
+        LegId::LeftFront,
+        LegId::LeftMiddle,
+        LegId::LeftRear,
+        LegId::RightFront,
+        LegId::RightMiddle,
+        LegId::RightRear,
+    ];
+
+    /// Numeric index 0..6 used in the genome layout.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            LegId::LeftFront => 0,
+            LegId::LeftMiddle => 1,
+            LegId::LeftRear => 2,
+            LegId::RightFront => 3,
+            LegId::RightMiddle => 4,
+            LegId::RightRear => 5,
+        }
+    }
+
+    /// Construct from a numeric index (must be `< 6`).
+    ///
+    /// # Panics
+    /// Panics if `idx >= 6`.
+    #[inline]
+    pub const fn from_index(idx: usize) -> LegId {
+        match idx {
+            0 => LegId::LeftFront,
+            1 => LegId::LeftMiddle,
+            2 => LegId::LeftRear,
+            3 => LegId::RightFront,
+            4 => LegId::RightMiddle,
+            5 => LegId::RightRear,
+            _ => panic!("leg index out of range"),
+        }
+    }
+
+    /// The body side this leg is mounted on.
+    #[inline]
+    pub const fn side(self) -> Side {
+        match self {
+            LegId::LeftFront | LegId::LeftMiddle | LegId::LeftRear => Side::Left,
+            _ => Side::Right,
+        }
+    }
+
+    /// The leg at the mirrored position on the other side of the body.
+    #[inline]
+    pub const fn mirrored(self) -> LegId {
+        match self {
+            LegId::LeftFront => LegId::RightFront,
+            LegId::LeftMiddle => LegId::RightMiddle,
+            LegId::LeftRear => LegId::RightRear,
+            LegId::RightFront => LegId::LeftFront,
+            LegId::RightMiddle => LegId::LeftMiddle,
+            LegId::RightRear => LegId::LeftRear,
+        }
+    }
+
+    /// Short two-letter label (`LF`, `LM`, `LR`, `RF`, `RM`, `RR`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            LegId::LeftFront => "LF",
+            LegId::LeftMiddle => "LM",
+            LegId::LeftRear => "LR",
+            LegId::RightFront => "RF",
+            LegId::RightMiddle => "RM",
+            LegId::RightRear => "RR",
+        }
+    }
+}
+
+/// The 3-bit gene describing one leg's movement during one step.
+///
+/// Field semantics follow the paper: the leg first performs the
+/// [`pre`](LegGene::pre) vertical move, then the
+/// [`horizontal`](LegGene::horizontal) move, then the
+/// [`post`](LegGene::post) vertical move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LegGene {
+    /// Vertical move executed before the horizontal move.
+    pub pre: VerticalMove,
+    /// The horizontal (propulsion-axis) move.
+    pub horizontal: HorizontalMove,
+    /// Vertical move executed after the horizontal move.
+    pub post: VerticalMove,
+}
+
+impl LegGene {
+    /// Decode from the raw 3 bits (`bits & 0b111`).
+    #[inline]
+    pub const fn from_bits(bits: u8) -> LegGene {
+        LegGene {
+            pre: VerticalMove::from_bit(bits & 1 != 0),
+            horizontal: HorizontalMove::from_bit(bits >> 1 & 1 != 0),
+            post: VerticalMove::from_bit(bits >> 2 & 1 != 0),
+        }
+    }
+
+    /// Encode back to the raw 3 bits.
+    #[inline]
+    pub const fn to_bits(self) -> u8 {
+        self.pre.bit() as u8 | (self.horizontal.bit() as u8) << 1 | (self.post.bit() as u8) << 2
+    }
+
+    /// The full micro-program of this gene as a [`LegStep`].
+    #[inline]
+    pub const fn step(self) -> LegStep {
+        LegStep {
+            pre: self.pre,
+            horizontal: self.horizontal,
+            post: self.post,
+        }
+    }
+
+    /// All 8 possible leg genes, in bit order.
+    pub fn all() -> impl Iterator<Item = LegGene> {
+        (0u8..8).map(LegGene::from_bits)
+    }
+}
+
+/// A complete 36-bit walking genome.
+///
+/// Stored in the low 36 bits of a `u64`; the upper 28 bits are always zero
+/// (enforced by every constructor).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Genome(u64);
+
+impl Genome {
+    /// The all-zeros genome (every leg: down, backward, down).
+    pub const ZERO: Genome = Genome(0);
+
+    /// Construct from raw bits; bits above bit 35 are masked off.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Genome {
+        Genome(bits & GENOME_MASK)
+    }
+
+    /// The raw 36-bit value.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Bit position of `field` of `leg` in `step` (0..36).
+    #[inline]
+    pub const fn bit_position(step: StepId, leg: LegId, field: usize) -> usize {
+        step.index() * (NUM_LEGS * BITS_PER_LEG) + leg.index() * BITS_PER_LEG + field
+    }
+
+    /// Read a single bit by absolute position (must be `< 36`).
+    ///
+    /// # Panics
+    /// Panics if `pos >= 36`.
+    #[inline]
+    pub fn bit(self, pos: usize) -> bool {
+        assert!(pos < GENOME_BITS, "genome bit index out of range");
+        self.0 >> pos & 1 != 0
+    }
+
+    /// Return a copy with bit `pos` set to `value`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= 36`.
+    #[inline]
+    #[must_use]
+    pub fn with_bit(self, pos: usize, value: bool) -> Genome {
+        assert!(pos < GENOME_BITS, "genome bit index out of range");
+        let mask = 1u64 << pos;
+        Genome(if value { self.0 | mask } else { self.0 & !mask })
+    }
+
+    /// Return a copy with bit `pos` flipped (the hardware mutation primitive).
+    ///
+    /// # Panics
+    /// Panics if `pos >= 36`.
+    #[inline]
+    #[must_use]
+    pub fn with_bit_flipped(self, pos: usize) -> Genome {
+        assert!(pos < GENOME_BITS, "genome bit index out of range");
+        Genome(self.0 ^ (1u64 << pos))
+    }
+
+    /// The 3-bit gene of `leg` during `step`.
+    #[inline]
+    pub fn leg_gene(self, step: StepId, leg: LegId) -> LegGene {
+        let base = Genome::bit_position(step, leg, 0);
+        LegGene::from_bits((self.0 >> base & 0b111) as u8)
+    }
+
+    /// Return a copy with the gene of `leg` in `step` replaced.
+    #[inline]
+    #[must_use]
+    pub fn with_leg_gene(self, step: StepId, leg: LegId, gene: LegGene) -> Genome {
+        let base = Genome::bit_position(step, leg, 0);
+        let cleared = self.0 & !(0b111u64 << base);
+        Genome(cleared | (gene.to_bits() as u64) << base)
+    }
+
+    /// Assemble a genome from explicit per-step, per-leg genes.
+    pub fn from_genes(genes: [[LegGene; NUM_LEGS]; NUM_STEPS]) -> Genome {
+        let mut g = Genome::ZERO;
+        for step in StepId::ALL {
+            for leg in LegId::ALL {
+                g = g.with_leg_gene(step, leg, genes[step.index()][leg.index()]);
+            }
+        }
+        g
+    }
+
+    /// Iterate over all 12 `(step, leg, gene)` triples in layout order.
+    pub fn genes(self) -> impl Iterator<Item = (StepId, LegId, LegGene)> {
+        StepId::ALL.into_iter().flat_map(move |step| {
+            LegId::ALL
+                .into_iter()
+                .map(move |leg| (step, leg, self.leg_gene(step, leg)))
+        })
+    }
+
+    /// Number of differing bits between two genomes.
+    #[inline]
+    pub fn hamming_distance(self, other: Genome) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Single-point crossover at `point` (1..36): offspring `a` keeps
+    /// `self`'s bits below `point` and takes `other`'s bits from `point`
+    /// upward; offspring `b` is the complement.
+    ///
+    /// This matches the paper's description: "The two genomes are cut at the
+    /// crossover point and the parts after the point are swapped, creating
+    /// two new genomes."
+    ///
+    /// # Panics
+    /// Panics unless `1 <= point < 36` (a cut at 0 or 36 would be a no-op
+    /// and is not produced by the hardware).
+    #[must_use]
+    pub fn crossover(self, other: Genome, point: usize) -> (Genome, Genome) {
+        assert!(
+            (1..GENOME_BITS).contains(&point),
+            "crossover point must be in 1..36"
+        );
+        let low = (1u64 << point) - 1;
+        let high = GENOME_MASK & !low;
+        (
+            Genome(self.0 & low | other.0 & high),
+            Genome(other.0 & low | self.0 & high),
+        )
+    }
+
+    /// Mirror the genome left↔right: swaps each leg's gene with its
+    /// [`LegId::mirrored`] counterpart. Fitness is invariant under this
+    /// transformation (a physically mirrored robot walks equally well).
+    #[must_use]
+    pub fn mirrored(self) -> Genome {
+        let mut out = Genome::ZERO;
+        for (step, leg, gene) in self.genes() {
+            out = out.with_leg_gene(step, leg.mirrored(), gene);
+        }
+        out
+    }
+
+    /// Swap the two steps (step 1 becomes step 2 and vice versa). The walk
+    /// produced is the same sequence started half a cycle later, so walking
+    /// quality is invariant under this transformation.
+    #[must_use]
+    pub fn steps_swapped(self) -> Genome {
+        let lo = self.0 & ((1u64 << 18) - 1);
+        let hi = self.0 >> 18;
+        Genome(hi | lo << 18)
+    }
+
+    /// The canonical alternating-tripod gait, the textbook statically
+    /// stable hexapod walk. Tripod A = {LF, LR, RM}, tripod B = {LM, RF, RR}.
+    /// In step one tripod A swings forward (up, forward, down) while tripod
+    /// B propels (down, backward, down); in step two the roles exchange.
+    pub fn tripod() -> Genome {
+        let swing = LegGene {
+            pre: VerticalMove::Up,
+            horizontal: HorizontalMove::Forward,
+            post: VerticalMove::Down,
+        };
+        let stance = LegGene {
+            pre: VerticalMove::Down,
+            horizontal: HorizontalMove::Backward,
+            post: VerticalMove::Down,
+        };
+        let tripod_a = [LegId::LeftFront, LegId::LeftRear, LegId::RightMiddle];
+        let mut genes = [[stance; NUM_LEGS]; NUM_STEPS];
+        for leg in LegId::ALL {
+            let in_a = tripod_a.contains(&leg);
+            genes[0][leg.index()] = if in_a { swing } else { stance };
+            genes[1][leg.index()] = if in_a { stance } else { swing };
+        }
+        Genome::from_genes(genes)
+    }
+}
+
+impl fmt::Debug for Genome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Genome({:#011x})", self.0)
+    }
+}
+
+impl fmt::Display for Genome {
+    /// Renders the genome as `step1|step2` groups of per-leg 3-bit fields,
+    /// most significant first, e.g. `010 110 ... | ...`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in StepId::ALL.into_iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            for (j, leg) in LegId::ALL.into_iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:03b}", self.leg_gene(step, leg).to_bits())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_bits_masked() {
+        let g = Genome::from_bits(u64::MAX);
+        assert_eq!(g.bits(), GENOME_MASK);
+        assert_eq!(g.count_ones(), 36);
+    }
+
+    #[test]
+    fn search_space_is_68_billion() {
+        // Paper: "2^36 = 68 billion possibilities"
+        assert_eq!(SEARCH_SPACE, 68_719_476_736);
+    }
+
+    #[test]
+    fn bit_position_layout() {
+        assert_eq!(Genome::bit_position(StepId::One, LegId::LeftFront, 0), 0);
+        assert_eq!(Genome::bit_position(StepId::One, LegId::LeftFront, 2), 2);
+        assert_eq!(Genome::bit_position(StepId::One, LegId::RightRear, 2), 17);
+        assert_eq!(Genome::bit_position(StepId::Two, LegId::LeftFront, 0), 18);
+        assert_eq!(Genome::bit_position(StepId::Two, LegId::RightRear, 2), 35);
+    }
+
+    #[test]
+    fn leg_gene_roundtrip_all_8() {
+        for bits in 0u8..8 {
+            assert_eq!(LegGene::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn leg_gene_field_semantics() {
+        let g = LegGene::from_bits(0b011);
+        assert_eq!(g.pre, VerticalMove::Up);
+        assert_eq!(g.horizontal, HorizontalMove::Forward);
+        assert_eq!(g.post, VerticalMove::Down);
+    }
+
+    #[test]
+    fn with_leg_gene_roundtrip() {
+        let mut g = Genome::ZERO;
+        let gene = LegGene::from_bits(0b101);
+        g = g.with_leg_gene(StepId::Two, LegId::RightMiddle, gene);
+        assert_eq!(g.leg_gene(StepId::Two, LegId::RightMiddle), gene);
+        // all other genes untouched
+        for (step, leg, got) in g.genes() {
+            if (step, leg) != (StepId::Two, LegId::RightMiddle) {
+                assert_eq!(got.to_bits(), 0, "{step:?} {leg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_swaps_tails() {
+        let a = Genome::from_bits(0);
+        let b = Genome::from_bits(GENOME_MASK);
+        let (x, y) = a.crossover(b, 10);
+        assert_eq!(x.bits(), GENOME_MASK & !((1 << 10) - 1));
+        assert_eq!(y.bits(), (1 << 10) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "crossover point")]
+    fn crossover_rejects_zero_point() {
+        let _ = Genome::ZERO.crossover(Genome::ZERO, 0);
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let g = Genome::from_bits(0x0ABC_DEF12);
+        assert_eq!(g.mirrored().mirrored(), g);
+    }
+
+    #[test]
+    fn step_swap_is_involution() {
+        let g = Genome::from_bits(0x5A5_A5A5A5);
+        assert_eq!(g.steps_swapped().steps_swapped(), g);
+    }
+
+    #[test]
+    fn tripod_legs_alternate() {
+        let t = Genome::tripod();
+        for leg in LegId::ALL {
+            let s1 = t.leg_gene(StepId::One, leg).horizontal;
+            let s2 = t.leg_gene(StepId::Two, leg).horizontal;
+            assert_ne!(s1, s2, "leg {leg:?} must alternate direction");
+        }
+    }
+
+    #[test]
+    fn leg_index_roundtrip() {
+        for leg in LegId::ALL {
+            assert_eq!(LegId::from_index(leg.index()), leg);
+        }
+    }
+
+    #[test]
+    fn sides_partition_legs() {
+        let mut seen = Vec::new();
+        for side in Side::ALL {
+            for leg in side.legs() {
+                assert_eq!(leg.side(), side);
+                seen.push(leg);
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, LegId::ALL.to_vec());
+    }
+
+    #[test]
+    fn mirrored_legs_swap_sides() {
+        for leg in LegId::ALL {
+            assert_eq!(leg.mirrored().side(), leg.side().other());
+            assert_eq!(leg.mirrored().mirrored(), leg);
+        }
+    }
+
+    #[test]
+    fn hamming_distance_basic() {
+        let a = Genome::from_bits(0b1011);
+        let b = Genome::from_bits(0b0010);
+        assert_eq!(a.hamming_distance(b), 2);
+        assert_eq!(a.hamming_distance(a), 0);
+    }
+
+    #[test]
+    fn display_formats_12_groups() {
+        let s = Genome::tripod().to_string();
+        assert_eq!(s.split_whitespace().filter(|t| *t != "|").count(), 12);
+    }
+}

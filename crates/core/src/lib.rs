@@ -1,0 +1,70 @@
+//! # Discipulus Simplex — behavioural model
+//!
+//! This crate is the behavioural (cycle-agnostic) model of *Discipulus
+//! Simplex*, the evolvable-hardware walking controller described in
+//!
+//! > G. Ritter, J.-M. Puiatti, E. Sanchez, *"Leonardo and Discipulus
+//! > Simplex: An Autonomous, Evolvable Six-Legged Walking Robot"*,
+//! > IPPS/SPDP 1999 Workshops.
+//!
+//! The original system lives in a single Xilinx XC4036EX FPGA and contains
+//! three cooperating parts, all of which are modelled here:
+//!
+//! * a **reconfigurable walking controller** — a state machine whose
+//!   behaviour is encoded by a 36-bit configuration bit-stream (the
+//!   *genome*), driving the 12 leg servos of the hexapod robot Leonardo
+//!   ([`controller`], [`genome`], [`movement`]);
+//! * a **genetic algorithm processor (GAP)** — tournament selection,
+//!   single-point crossover and single-bit mutation over a population of
+//!   32 genomes, fed by a free-running cellular-automaton random number
+//!   generator ([`gap`], [`rng`]);
+//! * a **fitness module** — three purely combinational physical
+//!   plausibility rules (equilibrium, step symmetry, per-leg movement
+//!   coherence) that score a genome without ever executing a walk
+//!   ([`fitness`]);
+//! * the paper's **future-work extension**: genomes of more than two
+//!   steps with generalized rules ([`wide`]).
+//!
+//! A cycle-accurate register-transfer-level model of the same chip lives in
+//! the companion crate `leonardo-rtl`; a kinematic simulator of the robot
+//! itself lives in `leonardo-walker`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use discipulus::prelude::*;
+//!
+//! let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), 42);
+//! let outcome = gap.run_to_convergence(10_000);
+//! assert!(outcome.best_fitness == FitnessSpec::paper().max_fitness());
+//! let gait = GaitTable::from_genome(outcome.best_genome);
+//! assert_eq!(gait.phases().len(), 6); // 2 steps x 3 micro-phases
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod controller;
+pub mod fitness;
+pub mod gap;
+pub mod genome;
+pub mod movement;
+pub mod params;
+pub mod rng;
+pub mod stats;
+pub mod timing;
+pub mod wide;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::controller::{GaitTable, PhaseCommand, WalkingController};
+    pub use crate::fitness::{FitnessSpec, FitnessValue, RuleBreakdown};
+    pub use crate::gap::{GapOutcome, GeneticAlgorithmProcessor, Population};
+    pub use crate::genome::{Genome, LegGene, LegId, Side, StepId, GENOME_BITS, NUM_LEGS};
+    pub use crate::movement::{HorizontalMove, LegStep, MicroPhase, VerticalMove};
+    pub use crate::params::GapParams;
+    pub use crate::rng::{CellularRng, Lfsr32, RngSource};
+    pub use crate::stats::{GenerationRecord, RunStats};
+    pub use crate::timing::{CycleModel, TimingReport};
+    pub use crate::wide::{WideFitness, WideGenome};
+}

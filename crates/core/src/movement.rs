@@ -1,0 +1,273 @@
+//! Decoded leg movements and the micro-phase expansion of a step.
+//!
+//! A step (one half of the genome) is executed by the walking controller as
+//! three sequential micro-phases per leg:
+//!
+//! 1. **PreVertical** — the leg moves to its `pre` vertical position;
+//! 2. **Horizontal** — the leg moves to its commanded horizontal position;
+//! 3. **PostVertical** — the leg moves to its `post` vertical position.
+//!
+//! All six legs execute the same micro-phase simultaneously ("the six parts
+//! are used and decoded at the same time during the walk", paper §3.1).
+
+use core::fmt;
+
+/// A vertical servo target: leg raised or lowered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerticalMove {
+    /// Leg lowered — foot on the ground (bit value 0).
+    Down,
+    /// Leg raised — foot in the air (bit value 1).
+    Up,
+}
+
+impl VerticalMove {
+    /// Decode from the genome bit (1 = up).
+    #[inline]
+    pub const fn from_bit(bit: bool) -> VerticalMove {
+        if bit {
+            VerticalMove::Up
+        } else {
+            VerticalMove::Down
+        }
+    }
+
+    /// Encode to the genome bit.
+    #[inline]
+    pub const fn bit(self) -> bool {
+        matches!(self, VerticalMove::Up)
+    }
+
+    /// Whether the foot touches the ground in this position.
+    #[inline]
+    pub const fn grounded(self) -> bool {
+        matches!(self, VerticalMove::Down)
+    }
+
+    /// The opposite vertical position.
+    #[inline]
+    pub const fn opposite(self) -> VerticalMove {
+        match self {
+            VerticalMove::Down => VerticalMove::Up,
+            VerticalMove::Up => VerticalMove::Down,
+        }
+    }
+}
+
+impl fmt::Display for VerticalMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VerticalMove::Down => "down",
+            VerticalMove::Up => "up",
+        })
+    }
+}
+
+/// A horizontal servo target: leg swept forward or backward.
+///
+/// "Forward" moves the foot towards the front of the robot. For a grounded
+/// leg the reaction pushes the body *backward*; propulsion comes from
+/// grounded legs sweeping backward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HorizontalMove {
+    /// Foot sweeps towards the rear (bit value 0) — propulsion when grounded.
+    Backward,
+    /// Foot sweeps towards the front (bit value 1) — recovery swing when raised.
+    Forward,
+}
+
+impl HorizontalMove {
+    /// Decode from the genome bit (1 = forward).
+    #[inline]
+    pub const fn from_bit(bit: bool) -> HorizontalMove {
+        if bit {
+            HorizontalMove::Forward
+        } else {
+            HorizontalMove::Backward
+        }
+    }
+
+    /// Encode to the genome bit.
+    #[inline]
+    pub const fn bit(self) -> bool {
+        matches!(self, HorizontalMove::Forward)
+    }
+
+    /// The opposite horizontal direction.
+    #[inline]
+    pub const fn opposite(self) -> HorizontalMove {
+        match self {
+            HorizontalMove::Backward => HorizontalMove::Forward,
+            HorizontalMove::Forward => HorizontalMove::Backward,
+        }
+    }
+}
+
+impl fmt::Display for HorizontalMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HorizontalMove::Backward => "backward",
+            HorizontalMove::Forward => "forward",
+        })
+    }
+}
+
+/// The three micro-phases executed inside one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MicroPhase {
+    /// First vertical move (genome field 0).
+    PreVertical,
+    /// Horizontal move (genome field 1).
+    Horizontal,
+    /// Second vertical move (genome field 2).
+    PostVertical,
+}
+
+impl MicroPhase {
+    /// The three micro-phases in execution order.
+    pub const ALL: [MicroPhase; 3] = [
+        MicroPhase::PreVertical,
+        MicroPhase::Horizontal,
+        MicroPhase::PostVertical,
+    ];
+
+    /// Index 0..3 in execution order.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            MicroPhase::PreVertical => 0,
+            MicroPhase::Horizontal => 1,
+            MicroPhase::PostVertical => 2,
+        }
+    }
+}
+
+/// The fully decoded micro-program of one leg during one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LegStep {
+    /// Vertical position taken in the PreVertical phase.
+    pub pre: VerticalMove,
+    /// Horizontal position taken in the Horizontal phase.
+    pub horizontal: HorizontalMove,
+    /// Vertical position taken in the PostVertical phase.
+    pub post: VerticalMove,
+}
+
+impl LegStep {
+    /// The leg's vertical position *during* a given micro-phase.
+    ///
+    /// During PreVertical and Horizontal the leg sits at `pre`; during
+    /// PostVertical it sits at `post`. (A vertical phase is considered
+    /// complete when its phase runs — the servo reaches the target within
+    /// the phase.)
+    #[inline]
+    pub const fn vertical_during(self, phase: MicroPhase) -> VerticalMove {
+        match phase {
+            MicroPhase::PreVertical | MicroPhase::Horizontal => self.pre,
+            MicroPhase::PostVertical => self.post,
+        }
+    }
+
+    /// Whether the foot is grounded *while the horizontal move executes* —
+    /// this is what decides whether the horizontal move propels the body
+    /// (grounded) or repositions the foot in the air (raised).
+    #[inline]
+    pub const fn grounded_during_sweep(self) -> bool {
+        self.pre.grounded()
+    }
+
+    /// A swing step: lift, swing forward, plant. This is the "coherent"
+    /// recovery move singled out by the paper's third fitness rule.
+    pub const SWING: LegStep = LegStep {
+        pre: VerticalMove::Up,
+        horizontal: HorizontalMove::Forward,
+        post: VerticalMove::Down,
+    };
+
+    /// A stance step: stay down, sweep backward, stay down — pure propulsion.
+    pub const STANCE: LegStep = LegStep {
+        pre: VerticalMove::Down,
+        horizontal: HorizontalMove::Backward,
+        post: VerticalMove::Down,
+    };
+
+    /// Whether the pre-condition of the paper's coherence rule holds:
+    /// up before going forward, down before going backward.
+    #[inline]
+    pub const fn coherent(self) -> bool {
+        match self.horizontal {
+            HorizontalMove::Forward => matches!(self.pre, VerticalMove::Up),
+            HorizontalMove::Backward => matches!(self.pre, VerticalMove::Down),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertical_bit_roundtrip() {
+        for v in [VerticalMove::Down, VerticalMove::Up] {
+            assert_eq!(VerticalMove::from_bit(v.bit()), v);
+            assert_eq!(v.opposite().opposite(), v);
+        }
+    }
+
+    #[test]
+    fn horizontal_bit_roundtrip() {
+        for h in [HorizontalMove::Backward, HorizontalMove::Forward] {
+            assert_eq!(HorizontalMove::from_bit(h.bit()), h);
+            assert_eq!(h.opposite().opposite(), h);
+        }
+    }
+
+    #[test]
+    fn grounded_semantics() {
+        assert!(VerticalMove::Down.grounded());
+        assert!(!VerticalMove::Up.grounded());
+    }
+
+    #[test]
+    fn swing_and_stance_are_coherent() {
+        assert!(LegStep::SWING.coherent());
+        assert!(LegStep::STANCE.coherent());
+    }
+
+    #[test]
+    fn incoherent_examples() {
+        // forward while down: drags the robot backward (paper's example)
+        let drag = LegStep {
+            pre: VerticalMove::Down,
+            horizontal: HorizontalMove::Forward,
+            post: VerticalMove::Down,
+        };
+        assert!(!drag.coherent());
+        // backward while up: propulsion in the air achieves nothing
+        let air = LegStep {
+            pre: VerticalMove::Up,
+            horizontal: HorizontalMove::Backward,
+            post: VerticalMove::Up,
+        };
+        assert!(!air.coherent());
+    }
+
+    #[test]
+    fn vertical_during_phases() {
+        let s = LegStep::SWING;
+        assert_eq!(s.vertical_during(MicroPhase::PreVertical), VerticalMove::Up);
+        assert_eq!(s.vertical_during(MicroPhase::Horizontal), VerticalMove::Up);
+        assert_eq!(
+            s.vertical_during(MicroPhase::PostVertical),
+            VerticalMove::Down
+        );
+        assert!(!s.grounded_during_sweep());
+        assert!(LegStep::STANCE.grounded_during_sweep());
+    }
+
+    #[test]
+    fn microphase_order() {
+        let idx: Vec<usize> = MicroPhase::ALL.iter().map(|p| p.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+}

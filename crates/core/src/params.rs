@@ -1,0 +1,234 @@
+//! GAP configuration parameters.
+//!
+//! The paper (§3.3) publishes the exact parameter set used on the chip:
+//!
+//! > Population size: 32 individuals. Genome size: 36 bits. Selection
+//! > threshold: 0.8. Crossover threshold: 0.7. Number of mutations: 15 bits
+//! > (over 1152 bits). Frequency: 1 MHz.
+//!
+//! "VHDL \[...\] allows to define parameters such as selection threshold,
+//! crossover threshold, population size, etc." — [`GapParams`] plays the
+//! same role for this reproduction: every quantity is a generic knob with
+//! the paper's values as defaults.
+
+use crate::fitness::FitnessSpec;
+use crate::rng::Threshold;
+use core::fmt;
+
+/// Complete parameterization of the genetic algorithm processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapParams {
+    /// Number of individuals held in each population buffer (paper: 32).
+    pub population_size: usize,
+    /// Probability that tournament selection returns the *fitter* of the
+    /// two drawn individuals (paper: 0.8).
+    pub selection_threshold: Threshold,
+    /// Probability that a selected pair undergoes crossover rather than
+    /// passing through unchanged (paper: 0.7).
+    pub crossover_threshold: Threshold,
+    /// Number of single-bit mutations applied to the new population per
+    /// generation (paper: 15 flips over the 32 × 36 = 1152 population bits).
+    pub mutations_per_generation: usize,
+    /// The fitness rule set and weights.
+    pub fitness: FitnessSpec,
+    /// System clock frequency in Hz (paper: 1 MHz); used by the timing
+    /// model only — the behavioural model is clockless.
+    pub clock_hz: u64,
+}
+
+impl Default for GapParams {
+    fn default() -> Self {
+        GapParams::paper()
+    }
+}
+
+impl GapParams {
+    /// The exact parameter set published in §3.3 of the paper.
+    pub fn paper() -> GapParams {
+        GapParams {
+            population_size: 32,
+            selection_threshold: Threshold::from_prob(0.8),
+            crossover_threshold: Threshold::from_prob(0.7),
+            mutations_per_generation: 15,
+            fitness: FitnessSpec::paper(),
+            clock_hz: 1_000_000,
+        }
+    }
+
+    /// Total number of genome bits held in one population buffer
+    /// (paper: 1152 for the default parameters).
+    pub fn population_bits(&self) -> usize {
+        self.population_size * crate::genome::GENOME_BITS
+    }
+
+    /// Per-bit mutation probability implied by the fixed mutation count
+    /// (paper: 15/1152 ≈ 1.3 %).
+    pub fn effective_mutation_rate(&self) -> f64 {
+        self.mutations_per_generation as f64 / self.population_bits() as f64
+    }
+
+    /// Validate the parameter set, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.population_size < 2 {
+            return Err(ParamError::PopulationTooSmall(self.population_size));
+        }
+        if !self.population_size.is_multiple_of(2) {
+            // crossover produces offspring in pairs; the hardware pipeline
+            // fills the intermediate population two individuals at a time
+            return Err(ParamError::PopulationNotEven(self.population_size));
+        }
+        if self.mutations_per_generation > self.population_bits() {
+            return Err(ParamError::TooManyMutations {
+                requested: self.mutations_per_generation,
+                available: self.population_bits(),
+            });
+        }
+        if self.clock_hz == 0 {
+            return Err(ParamError::ZeroClock);
+        }
+        Ok(())
+    }
+
+    /// Builder-style override of the population size.
+    #[must_use]
+    pub fn with_population_size(mut self, n: usize) -> Self {
+        self.population_size = n;
+        self
+    }
+
+    /// Builder-style override of the mutation count.
+    #[must_use]
+    pub fn with_mutations(mut self, n: usize) -> Self {
+        self.mutations_per_generation = n;
+        self
+    }
+
+    /// Builder-style override of the selection threshold.
+    #[must_use]
+    pub fn with_selection_threshold(mut self, p: f64) -> Self {
+        self.selection_threshold = Threshold::from_prob(p);
+        self
+    }
+
+    /// Builder-style override of the crossover threshold.
+    #[must_use]
+    pub fn with_crossover_threshold(mut self, p: f64) -> Self {
+        self.crossover_threshold = Threshold::from_prob(p);
+        self
+    }
+
+    /// Builder-style override of the fitness spec.
+    #[must_use]
+    pub fn with_fitness(mut self, spec: FitnessSpec) -> Self {
+        self.fitness = spec;
+        self
+    }
+}
+
+/// A problem detected by [`GapParams::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// Fewer than two individuals — selection cannot draw a pair.
+    PopulationTooSmall(usize),
+    /// Odd population size — crossover fills the buffer pairwise.
+    PopulationNotEven(usize),
+    /// More mutations requested than population bits exist.
+    TooManyMutations {
+        /// Requested mutation count.
+        requested: usize,
+        /// Available population bits.
+        available: usize,
+    },
+    /// Clock frequency of zero.
+    ZeroClock,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::PopulationTooSmall(n) => {
+                write!(f, "population size {n} is too small (minimum 2)")
+            }
+            ParamError::PopulationNotEven(n) => {
+                write!(f, "population size {n} must be even (pairwise crossover)")
+            }
+            ParamError::TooManyMutations {
+                requested,
+                available,
+            } => write!(
+                f,
+                "{requested} mutations requested but only {available} population bits exist"
+            ),
+            ParamError::ZeroClock => write!(f, "clock frequency must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_section_3_3() {
+        let p = GapParams::paper();
+        assert_eq!(p.population_size, 32);
+        assert_eq!(p.population_bits(), 1152);
+        assert_eq!(p.mutations_per_generation, 15);
+        assert!((p.selection_threshold.prob() - 0.8).abs() < 0.005);
+        assert!((p.crossover_threshold.prob() - 0.7).abs() < 0.005);
+        assert_eq!(p.clock_hz, 1_000_000);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_mutation_rate() {
+        let p = GapParams::paper();
+        assert!((p.effective_mutation_rate() - 15.0 / 1152.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert_eq!(
+            GapParams::paper().with_population_size(1).validate(),
+            Err(ParamError::PopulationTooSmall(1))
+        );
+        assert_eq!(
+            GapParams::paper().with_population_size(7).validate(),
+            Err(ParamError::PopulationNotEven(7))
+        );
+        assert!(matches!(
+            GapParams::paper().with_mutations(10_000).validate(),
+            Err(ParamError::TooManyMutations { .. })
+        ));
+        let mut p = GapParams::paper();
+        p.clock_hz = 0;
+        assert_eq!(p.validate(), Err(ParamError::ZeroClock));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = GapParams::paper()
+            .with_population_size(64)
+            .with_mutations(30)
+            .with_selection_threshold(0.9)
+            .with_crossover_threshold(0.5);
+        assert_eq!(p.population_size, 64);
+        assert_eq!(p.mutations_per_generation, 30);
+        assert!((p.selection_threshold.prob() - 0.9).abs() < 0.005);
+        assert!((p.crossover_threshold.prob() - 0.5).abs() < 0.005);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn param_error_messages() {
+        let e = ParamError::TooManyMutations {
+            requested: 9,
+            available: 4,
+        };
+        assert!(e.to_string().contains("9 mutations"));
+        assert!(ParamError::ZeroClock.to_string().contains("clock"));
+    }
+}

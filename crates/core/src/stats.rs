@@ -1,0 +1,371 @@
+//! Run statistics: per-generation records and aggregate summaries.
+//!
+//! The physical chip has no instrumentation beyond the best-individual
+//! register; this module is pure reproduction tooling used by the
+//! experiment harness (convergence curves for E1, ablations for E7…E9).
+
+use crate::fitness::FitnessValue;
+use core::fmt;
+
+/// Snapshot of one generation of a GAP run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationRecord {
+    /// Generation index (0 = initial population).
+    pub generation: u64,
+    /// Best fitness inside the current population.
+    pub best_fitness: FitnessValue,
+    /// Mean fitness of the current population.
+    pub mean_fitness: f64,
+    /// Worst fitness inside the current population.
+    pub min_fitness: FitnessValue,
+    /// Best fitness ever observed up to this generation.
+    pub best_ever: FitnessValue,
+    /// Mean Hamming distance between consecutive individuals.
+    pub diversity: f64,
+}
+
+impl fmt::Display for GenerationRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gen {:>6}  best {:>3}  mean {:>6.2}  min {:>3}  best-ever {:>3}  div {:>5.2}",
+            self.generation,
+            self.best_fitness,
+            self.mean_fitness,
+            self.min_fitness,
+            self.best_ever,
+            self.diversity
+        )
+    }
+}
+
+/// The full record sequence of a GAP run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    records: Vec<GenerationRecord>,
+}
+
+impl RunStats {
+    /// An empty record set.
+    pub fn new() -> RunStats {
+        RunStats::default()
+    }
+
+    /// Append a generation record.
+    pub fn push(&mut self, r: GenerationRecord) {
+        self.records.push(r);
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[GenerationRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records have been stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// First generation whose population contained fitness `target`
+    /// (`None` if never reached).
+    pub fn first_generation_reaching(&self, target: FitnessValue) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.best_fitness >= target)
+            .map(|r| r.generation)
+    }
+
+    /// The last record, if any.
+    pub fn last(&self) -> Option<&GenerationRecord> {
+        self.records.last()
+    }
+
+    /// Mean-fitness trace, one entry per record.
+    pub fn mean_trace(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.mean_fitness).collect()
+    }
+
+    /// Best-fitness trace, one entry per record.
+    pub fn best_trace(&self) -> Vec<FitnessValue> {
+        self.records.iter().map(|r| r.best_fitness).collect()
+    }
+
+    /// Downsample to at most `n` evenly spaced records (always keeping the
+    /// first and last) — used when printing convergence curves.
+    pub fn downsampled(&self, n: usize) -> Vec<GenerationRecord> {
+        if n == 0 || self.records.is_empty() {
+            return Vec::new();
+        }
+        if self.records.len() <= n {
+            return self.records.clone();
+        }
+        let mut out = Vec::with_capacity(n);
+        let last = self.records.len() - 1;
+        for i in 0..n {
+            let idx = i * last / (n - 1).max(1);
+            out.push(self.records[idx]);
+        }
+        out.dedup_by_key(|r| r.generation);
+        out
+    }
+}
+
+/// An integer-valued histogram over fitness values (0..=max), used by the
+/// landscape characterization (E3) and population diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitnessHistogram {
+    counts: Vec<u64>,
+}
+
+impl FitnessHistogram {
+    /// An empty histogram over `0..=max_value`.
+    pub fn new(max_value: FitnessValue) -> FitnessHistogram {
+        FitnessHistogram {
+            counts: vec![0; max_value as usize + 1],
+        }
+    }
+
+    /// Record one observation.
+    ///
+    /// # Panics
+    /// Panics if `value` exceeds the histogram's maximum.
+    pub fn record(&mut self, value: FitnessValue) {
+        self.counts[value as usize] += 1;
+    }
+
+    /// Count at `value` (0 when out of range).
+    pub fn count(&self, value: FitnessValue) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of the recorded distribution (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// The per-value counts, index = fitness value.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// ASCII bar rendering, `width` characters for the largest bucket;
+    /// empty buckets are skipped.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (v, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                let bar = "#".repeat((c as usize * width / max as usize).max(1));
+                out.push_str(&format!("{v:>4}: {c:>10}  {bar}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Descriptive statistics over a sample of observations (used for
+/// generations-to-convergence over many seeds, E1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSummary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Median (average of middle two for even n).
+    pub median: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl SampleSummary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(sample: &[f64]) -> Option<SampleSummary> {
+        if sample.is_empty() {
+            return None;
+        }
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(SampleSummary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[n - 1],
+        })
+    }
+}
+
+impl fmt::Display for SampleSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n {}  mean {:.1}  sd {:.1}  min {:.0}  median {:.1}  max {:.0}",
+            self.n, self.mean, self.stddev, self.min, self.median, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(generation: u64, best: FitnessValue) -> GenerationRecord {
+        GenerationRecord {
+            generation,
+            best_fitness: best,
+            mean_fitness: f64::from(best) - 2.0,
+            min_fitness: best.saturating_sub(5),
+            best_ever: best,
+            diversity: 10.0,
+        }
+    }
+
+    #[test]
+    fn first_generation_reaching_target() {
+        let mut s = RunStats::new();
+        for (g, b) in [(0, 18), (1, 20), (2, 23), (3, 26)] {
+            s.push(rec(g, b));
+        }
+        assert_eq!(s.first_generation_reaching(20), Some(1));
+        assert_eq!(s.first_generation_reaching(26), Some(3));
+        assert_eq!(s.first_generation_reaching(27), None);
+    }
+
+    #[test]
+    fn traces_align_with_records() {
+        let mut s = RunStats::new();
+        s.push(rec(0, 10));
+        s.push(rec(1, 12));
+        assert_eq!(s.best_trace(), vec![10, 12]);
+        assert_eq!(s.mean_trace(), vec![8.0, 10.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let mut s = RunStats::new();
+        for g in 0..100 {
+            s.push(rec(g, 10));
+        }
+        let d = s.downsampled(10);
+        assert!(d.len() <= 10);
+        assert_eq!(d.first().map(|r| r.generation), Some(0));
+        assert_eq!(d.last().map(|r| r.generation), Some(99));
+    }
+
+    #[test]
+    fn downsample_small_inputs() {
+        let mut s = RunStats::new();
+        s.push(rec(0, 1));
+        assert_eq!(s.downsampled(10).len(), 1);
+        assert!(s.downsampled(0).is_empty());
+        assert!(RunStats::new().downsampled(5).is_empty());
+    }
+
+    #[test]
+    fn sample_summary_statistics() {
+        let sum = SampleSummary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(sum.n, 5);
+        assert!((sum.mean - 3.0).abs() < 1e-12);
+        assert!((sum.median - 3.0).abs() < 1e-12);
+        assert!((sum.stddev - 1.5811).abs() < 1e-3);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 5.0);
+    }
+
+    #[test]
+    fn sample_summary_even_median_and_edge_cases() {
+        let sum = SampleSummary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert!((sum.median - 2.5).abs() < 1e-12);
+        let single = SampleSummary::of(&[7.0]).unwrap();
+        assert_eq!(single.stddev, 0.0);
+        assert!(SampleSummary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn display_impls_render() {
+        let r = rec(12, 24);
+        assert!(r.to_string().contains("gen"));
+        let sum = SampleSummary::of(&[1.0, 2.0]).unwrap();
+        assert!(sum.to_string().contains("median"));
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let mut h = FitnessHistogram::new(26);
+        for v in [10, 10, 20, 26] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(10), 2);
+        assert_eq!(h.count(26), 1);
+        assert_eq!(h.count(5), 0);
+        assert_eq!(h.count(100), 0);
+        assert!((h.mean() - 16.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_render_skips_empty_buckets() {
+        let mut h = FitnessHistogram::new(26);
+        h.record(3);
+        h.record(3);
+        h.record(22);
+        let text = h.render(40);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("   3:"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = FitnessHistogram::new(26);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.render(10).is_empty());
+        assert_eq!(h.counts().len(), 27);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_out_of_range_record() {
+        FitnessHistogram::new(5).record(6);
+    }
+}

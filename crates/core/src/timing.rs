@@ -1,0 +1,259 @@
+//! Analytic cycle/time model of the on-chip GAP.
+//!
+//! The paper's two headline timing claims (§3.3) are functions of cycle
+//! counts at the published 1 MHz clock:
+//!
+//! * "if we had to test all the 68 billion possibilities for the genome, we
+//!   would need about **19 hours** at 1 MHz" — i.e. one genome per clock
+//!   cycle through a fully pipelined combinational fitness unit:
+//!   2³⁶ cycles / 10⁶ Hz = 68 719 s ≈ 19.09 h;
+//! * "With this system, the average time needed is only about **10
+//!   minutes**" — ~2000 generations, i.e. ≈ 300 k cycles per generation on
+//!   the authors' bit-serial implementation.
+//!
+//! [`CycleModel`] expresses a generation's cost from per-operator cycle
+//! costs (defaults model a bit-serial datapath like the original; the
+//! companion RTL model *measures* its own counts, which the experiment
+//! harness compares against this model and against the paper).
+
+use crate::params::GapParams;
+use core::fmt;
+
+/// Per-operator cycle costs of one GAP implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleModel {
+    /// Cycles to evaluate the fitness of one individual.
+    pub fitness_per_individual: u64,
+    /// Cycles for one tournament selection (draws + compare + copy).
+    pub selection_per_individual: u64,
+    /// Cycles for one crossover of a pair (cut + two writes).
+    pub crossover_per_pair: u64,
+    /// Cycles per single-bit mutation (read-modify-write).
+    pub mutation_per_flip: u64,
+    /// Fixed per-generation control overhead (FSM transitions, buffer swap).
+    pub generation_overhead: u64,
+    /// Whether selection and crossover overlap in a pipeline
+    /// (paper: "To decrease computation time by a factor of about two, we
+    /// ran the selection and crossover operators in a pipeline").
+    pub pipelined: bool,
+}
+
+impl CycleModel {
+    /// Cost model of a bit-serial FPGA datapath (genomes streamed one bit
+    /// per cycle through each operator), reflecting the implementation
+    /// style of the original chip.
+    pub const fn bit_serial() -> CycleModel {
+        CycleModel {
+            // stream 36 genome bits through the rule network + latch score
+            fitness_per_individual: 38,
+            // 2 index draws + threshold draw + compare + 36-bit copy-out
+            selection_per_individual: 42,
+            // 36-bit paired read-swap-write + cut-point draw
+            crossover_per_pair: 40,
+            // address draw + RAM read-modify-write
+            mutation_per_flip: 4,
+            generation_overhead: 8,
+            pipelined: true,
+        }
+    }
+
+    /// The same datapath without the selection/crossover pipeline.
+    pub const fn bit_serial_unpipelined() -> CycleModel {
+        let mut m = CycleModel::bit_serial();
+        m.pipelined = false;
+        m
+    }
+
+    /// Cycles spent in the fitness phase of one generation.
+    pub fn fitness_phase(&self, params: &GapParams) -> u64 {
+        self.fitness_per_individual * params.population_size as u64
+    }
+
+    /// Cycles spent producing the intermediate population (selection and
+    /// crossover). When pipelined the two operators overlap and the phase
+    /// costs the maximum of the two streams; otherwise their sum.
+    pub fn reproduction_phase(&self, params: &GapParams) -> u64 {
+        let sel = self.selection_per_individual * params.population_size as u64;
+        let xov = self.crossover_per_pair * (params.population_size as u64 / 2);
+        if self.pipelined {
+            sel.max(xov)
+        } else {
+            sel + xov
+        }
+    }
+
+    /// Cycles spent in the mutation phase of one generation.
+    pub fn mutation_phase(&self, params: &GapParams) -> u64 {
+        self.mutation_per_flip * params.mutations_per_generation as u64
+    }
+
+    /// Total cycles for one generation.
+    pub fn cycles_per_generation(&self, params: &GapParams) -> u64 {
+        self.fitness_phase(params)
+            + self.reproduction_phase(params)
+            + self.mutation_phase(params)
+            + self.generation_overhead
+    }
+
+    /// Timing report for a run of `generations` generations at the
+    /// parameter set's clock.
+    pub fn run_time(&self, params: &GapParams, generations: u64) -> TimingReport {
+        TimingReport::from_cycles(
+            self.cycles_per_generation(params) * generations,
+            params.clock_hz,
+        )
+    }
+
+    /// Timing report for exhaustively enumerating the whole search space at
+    /// one genome per cycle (the paper's 19-hour figure).
+    pub fn exhaustive_time(params: &GapParams) -> TimingReport {
+        TimingReport::from_cycles(crate::genome::SEARCH_SPACE, params.clock_hz)
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel::bit_serial()
+    }
+}
+
+/// A cycle count converted to wall-clock time at a given clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingReport {
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// Clock frequency in Hz.
+    pub clock_hz: u64,
+}
+
+impl TimingReport {
+    /// Build from a cycle count and clock.
+    pub fn from_cycles(cycles: u64, clock_hz: u64) -> TimingReport {
+        assert!(clock_hz > 0, "clock must be nonzero");
+        TimingReport { cycles, clock_hz }
+    }
+
+    /// Wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Wall-clock minutes.
+    pub fn minutes(&self) -> f64 {
+        self.seconds() / 60.0
+    }
+
+    /// Wall-clock hours.
+    pub fn hours(&self) -> f64 {
+        self.seconds() / 3600.0
+    }
+
+    /// Speed-up of this report relative to `other` (how many times faster
+    /// this one is).
+    pub fn speedup_vs(&self, other: &TimingReport) -> f64 {
+        other.seconds() / self.seconds()
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.seconds();
+        if s < 1.0 {
+            write!(f, "{:.1} ms ({} cycles)", s * 1e3, self.cycles)
+        } else if s < 120.0 {
+            write!(f, "{:.1} s ({} cycles)", s, self.cycles)
+        } else if s < 7200.0 {
+            write!(f, "{:.1} min ({} cycles)", s / 60.0, self.cycles)
+        } else {
+            write!(f, "{:.2} h ({} cycles)", s / 3600.0, self.cycles)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_search_is_about_19_hours() {
+        // Paper: "about 19 hours at 1 MHz" for 2^36 genomes.
+        let t = CycleModel::exhaustive_time(&GapParams::paper());
+        assert!((t.hours() - 19.09).abs() < 0.01, "{}", t.hours());
+    }
+
+    #[test]
+    fn pipeline_halves_reproduction_phase() {
+        let params = GapParams::paper();
+        let pipe = CycleModel::bit_serial();
+        let seq = CycleModel::bit_serial_unpipelined();
+        let ratio =
+            seq.reproduction_phase(&params) as f64 / pipe.reproduction_phase(&params) as f64;
+        // "a factor of about two"
+        assert!(
+            (1.4..=2.0).contains(&ratio),
+            "pipeline speedup on reproduction phase was {ratio}"
+        );
+    }
+
+    #[test]
+    fn generation_cost_composition() {
+        let params = GapParams::paper();
+        let m = CycleModel::bit_serial();
+        let total = m.cycles_per_generation(&params);
+        assert_eq!(
+            total,
+            m.fitness_phase(&params)
+                + m.reproduction_phase(&params)
+                + m.mutation_phase(&params)
+                + m.generation_overhead
+        );
+        assert!(total > 1000, "bit-serial generation should cost >1k cycles");
+    }
+
+    #[test]
+    fn two_thousand_generations_within_minutes_at_1mhz() {
+        // Order-of-magnitude check: 2000 generations must land in the
+        // sub-hour regime at 1 MHz (the paper reports ~10 minutes on a
+        // heavier datapath than our model).
+        let params = GapParams::paper();
+        let t = CycleModel::bit_serial().run_time(&params, 2000);
+        assert!(t.minutes() < 60.0);
+        assert!(t.seconds() > 1.0);
+    }
+
+    #[test]
+    fn ga_beats_exhaustive_by_orders_of_magnitude() {
+        let params = GapParams::paper();
+        let ga = CycleModel::bit_serial().run_time(&params, 2000);
+        let ex = CycleModel::exhaustive_time(&params);
+        assert!(ga.speedup_vs(&ex) > 100.0);
+    }
+
+    #[test]
+    fn report_units_consistent() {
+        let t = TimingReport::from_cycles(3_600_000_000, 1_000_000);
+        assert!((t.seconds() - 3600.0).abs() < 1e-9);
+        assert!((t.minutes() - 60.0).abs() < 1e-9);
+        assert!((t.hours() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_selects_unit() {
+        assert!(TimingReport::from_cycles(500, 1_000_000).to_string().contains("ms"));
+        assert!(TimingReport::from_cycles(5_000_000, 1_000_000)
+            .to_string()
+            .contains(" s "));
+        assert!(TimingReport::from_cycles(600_000_000, 1_000_000)
+            .to_string()
+            .contains("min"));
+        assert!(TimingReport::from_cycles(68_719_476_736, 1_000_000)
+            .to_string()
+            .contains(" h "));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be nonzero")]
+    fn zero_clock_rejected() {
+        let _ = TimingReport::from_cycles(1, 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Wide genomes: the paper's future-work direction, implemented.
+//!
+//! Paper §4: "In future work, we will take advantage of the computational
+//! power provided by the GAP, and use the same kind of evolvable system in
+//! order to solve problems which deal with bigger genomes (i.e., more
+//! complex reconfigurable systems)."
+//!
+//! A [`WideGenome`] encodes a walk of `S ≥ 2` steps instead of two —
+//! 18 bits per step, so `S = 4` gives a 72-bit genome and a search space
+//! of 2⁷², far beyond exhaustive reach even at one genome per cycle. The
+//! three fitness rules generalize naturally ([`WideFitness`]):
+//!
+//! * **equilibrium** — unchanged, checked per step per vertical
+//!   configuration per side;
+//! * **symmetry** — a leg must change direction between *consecutive*
+//!   steps, cyclically (for `S = 2` this is the original rule with each
+//!   leg's condition counted once per adjacent pair);
+//! * **coherence** — unchanged, checked per step per leg.
+//!
+//! `S` must be even: a leg cannot alternate direction around an
+//! odd-length cycle, so odd `S` would make maximal symmetry unsatisfiable.
+//!
+//! [`WideGenome::expand`] produces the phase-command sequence the walker
+//! simulator executes, so evolved wide gaits can be judged exactly like
+//! two-step ones (experiment E12).
+
+use crate::controller::{LegPose, PhaseCommand};
+use crate::genome::{Genome, LegGene, LegId, Side, StepId, BITS_PER_LEG, NUM_LEGS};
+use crate::movement::{MicroPhase, VerticalMove};
+use core::fmt;
+
+/// Bits per step of a wide genome (6 legs × 3 bits).
+pub const BITS_PER_STEP: usize = NUM_LEGS * BITS_PER_LEG;
+
+/// A walking genome of an arbitrary even number of steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WideGenome {
+    /// Per-step, per-leg genes.
+    genes: Vec<[LegGene; NUM_LEGS]>,
+}
+
+impl WideGenome {
+    /// The all-zero genome of `steps` steps.
+    ///
+    /// # Panics
+    /// Panics unless `steps` is even and ≥ 2.
+    pub fn zeroed(steps: usize) -> WideGenome {
+        assert!(
+            steps >= 2 && steps % 2 == 0,
+            "steps must be even and >= 2 (symmetry around an odd cycle is unsatisfiable)"
+        );
+        WideGenome {
+            genes: vec![[LegGene::from_bits(0); NUM_LEGS]; steps],
+        }
+    }
+
+    /// Decode from packed bits, LSB-first, `steps * 18` bits (bit layout
+    /// identical to [`Genome`] extended to more steps).
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != steps * 18` or `steps` is invalid.
+    pub fn from_bits(steps: usize, bits: &[bool]) -> WideGenome {
+        assert_eq!(bits.len(), steps * BITS_PER_STEP, "bit count mismatch");
+        let mut g = WideGenome::zeroed(steps);
+        for (s, step_genes) in g.genes.iter_mut().enumerate() {
+            for (l, gene) in step_genes.iter_mut().enumerate() {
+                let base = s * BITS_PER_STEP + l * BITS_PER_LEG;
+                let raw = u8::from(bits[base])
+                    | u8::from(bits[base + 1]) << 1
+                    | u8::from(bits[base + 2]) << 2;
+                *gene = LegGene::from_bits(raw);
+            }
+        }
+        g
+    }
+
+    /// Encode to packed bits, LSB-first.
+    pub fn to_bits(&self) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(self.width());
+        for step_genes in &self.genes {
+            for gene in step_genes {
+                let raw = gene.to_bits();
+                bits.push(raw & 1 != 0);
+                bits.push(raw >> 1 & 1 != 0);
+                bits.push(raw >> 2 & 1 != 0);
+            }
+        }
+        bits
+    }
+
+    /// Lift a two-step [`Genome`] into the wide representation.
+    pub fn from_genome(g: Genome) -> WideGenome {
+        let mut wide = WideGenome::zeroed(2);
+        for (step, leg, gene) in g.genes() {
+            wide.genes[step.index()][leg.index()] = gene;
+        }
+        wide
+    }
+
+    /// Number of steps.
+    pub fn steps(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Total width in bits.
+    pub fn width(&self) -> usize {
+        self.steps() * BITS_PER_STEP
+    }
+
+    /// The gene of `leg` in step `step`.
+    ///
+    /// # Panics
+    /// Panics if `step` is out of range.
+    pub fn leg_gene(&self, step: usize, leg: LegId) -> LegGene {
+        self.genes[step][leg.index()]
+    }
+
+    /// Replace the gene of `leg` in step `step`.
+    ///
+    /// # Panics
+    /// Panics if `step` is out of range.
+    pub fn set_leg_gene(&mut self, step: usize, leg: LegId, gene: LegGene) {
+        self.genes[step][leg.index()] = gene;
+    }
+
+    /// The canonical `steps`-step alternating tripod: tripod A swings on
+    /// even steps, tripod B on odd steps.
+    pub fn tripod(steps: usize) -> WideGenome {
+        let two_step = Genome::tripod();
+        let mut g = WideGenome::zeroed(steps);
+        for (s, step_genes) in g.genes.iter_mut().enumerate() {
+            let src = if s % 2 == 0 { StepId::One } else { StepId::Two };
+            for leg in LegId::ALL {
+                step_genes[leg.index()] = two_step.leg_gene(src, leg);
+            }
+        }
+        g
+    }
+
+    /// Expand to the steady-state phase-command cycle (3 micro-phases per
+    /// step), ready for the walker simulator. The `step` field of each
+    /// command alternates One/Two by step parity (cosmetic — consumers use
+    /// the phase and the leg poses).
+    pub fn expand(&self) -> Vec<PhaseCommand> {
+        let steps = self.steps();
+        let mut poses = [LegPose::REST; NUM_LEGS];
+        // warm-up pass to reach the cyclic steady state, then record
+        let mut recorded = Vec::with_capacity(steps * 3);
+        for pass in 0..2 {
+            for (s, step_genes) in self.genes.iter().enumerate() {
+                for phase in MicroPhase::ALL {
+                    for leg in LegId::ALL {
+                        let gene = step_genes[leg.index()];
+                        let pose = &mut poses[leg.index()];
+                        match phase {
+                            MicroPhase::PreVertical => pose.vertical = gene.pre,
+                            MicroPhase::Horizontal => pose.horizontal = gene.horizontal,
+                            MicroPhase::PostVertical => pose.vertical = gene.post,
+                        }
+                    }
+                    if pass == 1 {
+                        recorded.push(PhaseCommand {
+                            step: if s % 2 == 0 { StepId::One } else { StepId::Two },
+                            phase,
+                            legs: poses,
+                        });
+                    }
+                }
+            }
+        }
+        recorded
+    }
+}
+
+impl fmt::Display for WideGenome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (s, step_genes) in self.genes.iter().enumerate() {
+            if s > 0 {
+                write!(f, " | ")?;
+            }
+            for (l, gene) in step_genes.iter().enumerate() {
+                if l > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:03b}", gene.to_bits())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The generalized three-rule fitness for wide genomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideFitness {
+    /// Number of steps scored.
+    pub steps: usize,
+}
+
+impl WideFitness {
+    /// Fitness over `steps`-step genomes.
+    ///
+    /// # Panics
+    /// Panics unless `steps` is even and ≥ 2.
+    pub fn new(steps: usize) -> WideFitness {
+        assert!(steps >= 2 && steps % 2 == 0, "steps must be even and >= 2");
+        WideFitness { steps }
+    }
+
+    /// Maximum fitness: `4·S` equilibrium + `6·S` symmetry + `6·S`
+    /// coherence checks.
+    pub fn max_fitness(&self) -> u32 {
+        (16 * self.steps) as u32
+    }
+
+    /// Evaluate a genome.
+    ///
+    /// # Panics
+    /// Panics if the genome's step count differs.
+    pub fn evaluate(&self, g: &WideGenome) -> u32 {
+        assert_eq!(g.steps(), self.steps, "step count mismatch");
+        let s = self.steps;
+        let mut score = 0u32;
+
+        // equilibrium: per step, per vertical configuration, per side
+        for step in 0..s {
+            for phase in [MicroPhase::PreVertical, MicroPhase::PostVertical] {
+                for side in Side::ALL {
+                    let all_up = side.legs().into_iter().all(|leg| {
+                        g.leg_gene(step, leg).step().vertical_during(phase) == VerticalMove::Up
+                    });
+                    if !all_up {
+                        score += 1;
+                    }
+                }
+            }
+        }
+
+        // symmetry: per leg, per cyclically-consecutive step pair
+        for step in 0..s {
+            let next = (step + 1) % s;
+            for leg in LegId::ALL {
+                if g.leg_gene(step, leg).horizontal
+                    == g.leg_gene(next, leg).horizontal.opposite()
+                {
+                    score += 1;
+                }
+            }
+        }
+
+        // coherence: per step, per leg
+        for step in 0..s {
+            for leg in LegId::ALL {
+                if g.leg_gene(step, leg).step().coherent() {
+                    score += 1;
+                }
+            }
+        }
+        score
+    }
+
+    /// Whether `g` attains the maximum.
+    pub fn is_max(&self, g: &WideGenome) -> bool {
+        self.evaluate(g) == self.max_fitness()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip_various_widths() {
+        for steps in [2usize, 4, 6, 8] {
+            let tripod = WideGenome::tripod(steps);
+            let bits = tripod.to_bits();
+            assert_eq!(bits.len(), steps * 18);
+            assert_eq!(WideGenome::from_bits(steps, &bits), tripod);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_step_count_rejected() {
+        WideGenome::zeroed(3);
+    }
+
+    #[test]
+    fn two_step_wide_matches_narrow_fitness_structure() {
+        // S=2: the wide rule set counts symmetry per adjacent pair (both
+        // directions), so max = 32 = 8 equilibrium + 12 symmetry + 12
+        // coherence, and the same genomes are maximal
+        let fit = WideFitness::new(2);
+        assert_eq!(fit.max_fitness(), 32);
+        let tripod = WideGenome::from_genome(Genome::tripod());
+        assert!(fit.is_max(&tripod));
+        let zero = WideGenome::zeroed(2);
+        // 8 equilibrium + 0 symmetry + 12 coherence
+        assert_eq!(fit.evaluate(&zero), 20);
+    }
+
+    #[test]
+    fn narrow_maximal_iff_wide_maximal_on_two_steps() {
+        use crate::fitness::{max_fitness_genomes, FitnessSpec};
+        let fit = WideFitness::new(2);
+        let spec = FitnessSpec::paper();
+        for g in max_fitness_genomes().step_by(997) {
+            assert!(fit.is_max(&WideGenome::from_genome(g)));
+            assert!(spec.is_max(g));
+        }
+    }
+
+    #[test]
+    fn wide_tripod_is_maximal_for_any_even_width() {
+        for steps in [2usize, 4, 6, 10] {
+            let fit = WideFitness::new(steps);
+            let tripod = WideGenome::tripod(steps);
+            assert!(
+                fit.is_max(&tripod),
+                "tripod not maximal at {steps} steps: {} / {}",
+                fit.evaluate(&tripod),
+                fit.max_fitness()
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_length_and_periodicity() {
+        let g = WideGenome::tripod(4);
+        let phases = g.expand();
+        assert_eq!(phases.len(), 12); // 4 steps × 3 micro-phases
+        // expanding twice gives the same steady-state cycle
+        assert_eq!(phases, g.expand());
+    }
+
+    #[test]
+    fn two_step_expansion_matches_gait_table() {
+        use crate::controller::GaitTable;
+        let narrow = Genome::tripod();
+        let wide = WideGenome::from_genome(narrow);
+        let expanded = wide.expand();
+        let table = GaitTable::from_genome(narrow);
+        assert_eq!(expanded.len(), table.phases().len());
+        for (a, b) in expanded.iter().zip(table.phases()) {
+            assert_eq!(a.legs, b.legs, "pose mismatch at {:?}/{:?}", b.step, b.phase);
+        }
+    }
+
+    #[test]
+    fn symmetry_generalizes_cyclically() {
+        // a 4-step genome where one leg goes F,B,F,F: pairs (0,1),(1,2) ok,
+        // (2,3),(3,0) violate — 2 of 4 symmetry checks fail for that leg
+        let mut g = WideGenome::tripod(4);
+        let fit = WideFitness::new(4);
+        assert!(fit.is_max(&g));
+        let gene = g.leg_gene(3, LegId::LeftFront);
+        // flip step 3's horizontal for LF
+        g.set_leg_gene(
+            3,
+            LegId::LeftFront,
+            LegGene::from_bits(gene.to_bits() ^ 0b010),
+        );
+        let score = fit.evaluate(&g);
+        // 2 symmetry checks lost, plus LF step-3 coherence broke (pre no
+        // longer matches horizontal)
+        assert_eq!(score, fit.max_fitness() - 3);
+    }
+
+    #[test]
+    fn display_renders_all_steps() {
+        let g = WideGenome::tripod(4);
+        assert_eq!(g.to_string().matches('|').count(), 3);
+    }
+
+    #[test]
+    fn set_leg_gene_roundtrip() {
+        let mut g = WideGenome::zeroed(4);
+        let gene = LegGene::from_bits(0b101);
+        g.set_leg_gene(2, LegId::RightRear, gene);
+        assert_eq!(g.leg_gene(2, LegId::RightRear), gene);
+        assert_eq!(g.leg_gene(1, LegId::RightRear).to_bits(), 0);
+    }
+}

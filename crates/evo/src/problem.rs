@@ -1,0 +1,176 @@
+//! Problem definitions: a fitness function over bit-string genomes.
+
+use crate::genome::BitString;
+
+/// An optimization problem over [`BitString`] genomes of a fixed width.
+/// Fitness is maximized.
+pub trait Problem {
+    /// Genome width in bits.
+    fn width(&self) -> usize;
+
+    /// Fitness of a genome (higher is better).
+    fn fitness(&self, genome: &BitString) -> f64;
+
+    /// The maximum attainable fitness, when known. Searchers use it as a
+    /// default stopping target.
+    fn max_fitness(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A problem defined by a closure (plus an optional known optimum).
+pub struct FnProblem<F> {
+    width: usize,
+    f: F,
+    max: Option<f64>,
+}
+
+impl<F: Fn(&BitString) -> f64> FnProblem<F> {
+    /// A problem of `width` bits scored by `f`.
+    pub fn new(width: usize, f: F) -> FnProblem<F> {
+        FnProblem {
+            width,
+            f,
+            max: None,
+        }
+    }
+
+    /// Attach a known maximum fitness.
+    #[must_use]
+    pub fn with_max(mut self, max: f64) -> Self {
+        self.max = Some(max);
+        self
+    }
+}
+
+impl<F: Fn(&BitString) -> f64> Problem for FnProblem<F> {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn fitness(&self, genome: &BitString) -> f64 {
+        (self.f)(genome)
+    }
+
+    fn max_fitness(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+impl<P: Problem + ?Sized> Problem for &P {
+    fn width(&self) -> usize {
+        (**self).width()
+    }
+
+    fn fitness(&self, genome: &BitString) -> f64 {
+        (**self).fitness(genome)
+    }
+
+    fn max_fitness(&self) -> Option<f64> {
+        (**self).max_fitness()
+    }
+}
+
+/// OneMax: fitness = number of set bits. The canonical GA test problem.
+#[derive(Debug, Clone, Copy)]
+pub struct OneMax(pub usize);
+
+impl Problem for OneMax {
+    fn width(&self) -> usize {
+        self.0
+    }
+
+    fn fitness(&self, genome: &BitString) -> f64 {
+        f64::from(genome.count_ones())
+    }
+
+    fn max_fitness(&self) -> Option<f64> {
+        Some(self.0 as f64)
+    }
+}
+
+/// A deceptive trap function of `blocks` blocks of `k` bits each: within a
+/// block, all-ones scores `k`, otherwise `k - 1 - ones` (a gradient pointing
+/// *away* from the optimum). Standard hard benchmark for GAs.
+#[derive(Debug, Clone, Copy)]
+pub struct Trap {
+    /// Number of independent trap blocks.
+    pub blocks: usize,
+    /// Bits per block.
+    pub k: usize,
+}
+
+impl Problem for Trap {
+    fn width(&self) -> usize {
+        self.blocks * self.k
+    }
+
+    fn fitness(&self, genome: &BitString) -> f64 {
+        let mut total = 0.0;
+        for b in 0..self.blocks {
+            let ones = (0..self.k)
+                .filter(|i| genome.get(b * self.k + i))
+                .count();
+            total += if ones == self.k {
+                self.k as f64
+            } else {
+                (self.k - 1 - ones) as f64
+            };
+        }
+        total
+    }
+
+    fn max_fitness(&self) -> Option<f64> {
+        Some((self.blocks * self.k) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onemax_scores_ones() {
+        let p = OneMax(8);
+        assert_eq!(p.fitness(&BitString::from_u64(0b1011, 8)), 3.0);
+        assert_eq!(p.max_fitness(), Some(8.0));
+        assert_eq!(p.width(), 8);
+    }
+
+    #[test]
+    fn fn_problem_delegates() {
+        let p = FnProblem::new(4, |g: &BitString| -(g.count_ones() as f64)).with_max(0.0);
+        assert_eq!(p.fitness(&BitString::from_u64(0b11, 4)), -2.0);
+        assert_eq!(p.max_fitness(), Some(0.0));
+    }
+
+    #[test]
+    fn trap_is_deceptive() {
+        let t = Trap { blocks: 1, k: 4 };
+        // all ones: global optimum
+        assert_eq!(t.fitness(&BitString::from_u64(0b1111, 4)), 4.0);
+        // all zeros: deceptive local optimum, scores k-1
+        assert_eq!(t.fitness(&BitString::from_u64(0b0000, 4)), 3.0);
+        // adding a one *reduces* fitness below the optimum
+        assert_eq!(t.fitness(&BitString::from_u64(0b0001, 4)), 2.0);
+        assert_eq!(t.fitness(&BitString::from_u64(0b0111, 4)), 0.0);
+    }
+
+    #[test]
+    fn trap_blocks_sum() {
+        let t = Trap { blocks: 2, k: 3 };
+        assert_eq!(t.width(), 6);
+        // first block all ones (3), second all zeros (2)
+        assert_eq!(t.fitness(&BitString::from_u64(0b000111, 6)), 5.0);
+        assert_eq!(t.max_fitness(), Some(6.0));
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        let p = OneMax(5);
+        let r = &p;
+        assert_eq!(Problem::width(&r), 5);
+        assert_eq!(Problem::fitness(&r, &BitString::from_u64(0b111, 5)), 3.0);
+        assert_eq!(Problem::max_fitness(&r), Some(5.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Sample statistics for experiment reporting.
+
+use core::fmt;
+
+/// Descriptive statistics of a sample of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize `sample`; `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if the sample contains NaN.
+    pub fn of(sample: &[f64]) -> Option<Summary> {
+        if sample.is_empty() {
+            return None;
+        }
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "sample contains NaN"
+        );
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[n - 1],
+        })
+    }
+
+    /// `p`-th percentile (0..=100) by nearest-rank.
+    pub fn percentile(sample: &[f64], p: f64) -> Option<f64> {
+        if sample.is_empty() || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} sd={:.1} min={:.0} med={:.1} max={:.0}",
+            self.n, self.mean, self.stddev, self.min, self.median, self.max
+        )
+    }
+}
+
+/// Fraction of `true` values in a boolean sample (0.0 for an empty sample).
+pub fn success_rate(outcomes: &[bool]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|&&b| b).count() as f64 / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.138).abs() < 1e-3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(Summary::percentile(&sample, 50.0), Some(3.0));
+        assert_eq!(Summary::percentile(&sample, 100.0), Some(5.0));
+        assert_eq!(Summary::percentile(&sample, 1.0), Some(1.0));
+        assert_eq!(Summary::percentile(&[], 50.0), None);
+        assert_eq!(Summary::percentile(&sample, 150.0), None);
+    }
+
+    #[test]
+    fn success_rate_counts() {
+        assert_eq!(success_rate(&[true, false, true, true]), 0.75);
+        assert_eq!(success_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = Summary::of(&[1.0, 2.0]).unwrap();
+        assert!(s.to_string().contains("mean="));
+    }
+}

@@ -1,0 +1,237 @@
+//! Parallel parameter-sweep driver (experiment E9).
+//!
+//! Runs a grid of GA configurations × seeds over a problem, distributing
+//! trials across worker threads through a crossbeam work channel, and
+//! aggregates success rate / generations-to-solution / evaluation counts
+//! per configuration. Results are independent of thread scheduling (each
+//! trial is deterministic; aggregation sorts by configuration).
+
+use crate::ga::{Ga, GaConfig};
+use crate::problem::Problem;
+use crate::stats::{success_rate, Summary};
+use core::fmt;
+use parking_lot::Mutex;
+
+/// One configuration in a sweep, with a human-readable label.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Label shown in the report (e.g. `pop=64`).
+    pub label: String,
+    /// Configuration to run.
+    pub config: GaConfig,
+}
+
+impl SweepPoint {
+    /// Create a labelled configuration.
+    pub fn new(label: impl Into<String>, config: GaConfig) -> SweepPoint {
+        SweepPoint {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// Aggregated result for one sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The point's label.
+    pub label: String,
+    /// Fraction of trials that reached the target.
+    pub success_rate: f64,
+    /// Generations-to-solution over *successful* trials (`None` when no
+    /// trial succeeded).
+    pub generations: Option<Summary>,
+    /// Evaluations over all trials.
+    pub evaluations: Summary,
+}
+
+impl fmt::Display for SweepRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} success {:>5.1}%  gens {}  evals mean {:.0}",
+            self.label,
+            self.success_rate * 100.0,
+            self.generations
+                .map_or("-".to_string(), |s| format!("{:.0}±{:.0}", s.mean, s.stddev)),
+            self.evaluations.mean,
+        )
+    }
+}
+
+/// The full sweep report, one row per point in input order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Aggregated rows, in the order the points were given.
+    pub rows: Vec<SweepRow>,
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweep execution settings.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    /// Seeds; each (point, seed) pair is one trial.
+    pub seeds: Vec<u64>,
+    /// Per-trial generation budget.
+    pub max_generations: u64,
+    /// Worker threads (0 ⇒ available parallelism).
+    pub threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner over seeds `0..trials` with the given budget.
+    pub fn new(trials: u64, max_generations: u64) -> SweepRunner {
+        SweepRunner {
+            seeds: (0..trials).collect(),
+            max_generations,
+            threads: 0,
+        }
+    }
+
+    /// Execute the sweep. `target` defaults to the problem's known maximum.
+    ///
+    /// # Panics
+    /// Panics if `points` or `seeds` is empty.
+    pub fn run<P: Problem + Sync>(
+        &self,
+        problem: &P,
+        points: &[SweepPoint],
+        target: Option<f64>,
+    ) -> SweepReport {
+        assert!(!points.is_empty(), "no sweep points");
+        assert!(!self.seeds.is_empty(), "no seeds");
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.threads
+        };
+
+        // job = (point index, seed); results collected under a mutex
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, u64)>();
+        for (pi, _) in points.iter().enumerate() {
+            for &seed in &self.seeds {
+                tx.send((pi, seed)).expect("queue send");
+            }
+        }
+        drop(tx);
+
+        type Trial = (usize, bool, u64, u64); // point, success, gens, evals
+        let results: Mutex<Vec<Trial>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let results = &results;
+                scope.spawn(move || {
+                    while let Ok((pi, seed)) = rx.recv() {
+                        let mut ga = Ga::new(points[pi].config, problem, seed);
+                        let out = ga.run(self.max_generations, target);
+                        results.lock().push((
+                            pi,
+                            out.reached_target,
+                            out.generations,
+                            out.evaluations,
+                        ));
+                    }
+                });
+            }
+        });
+
+        let all = results.into_inner();
+        let rows = points
+            .iter()
+            .enumerate()
+            .map(|(pi, point)| {
+                let trials: Vec<&Trial> = all.iter().filter(|t| t.0 == pi).collect();
+                let successes: Vec<bool> = trials.iter().map(|t| t.1).collect();
+                let gens: Vec<f64> = trials
+                    .iter()
+                    .filter(|t| t.1)
+                    .map(|t| t.2 as f64)
+                    .collect();
+                let evals: Vec<f64> = trials.iter().map(|t| t.3 as f64).collect();
+                SweepRow {
+                    label: point.label.clone(),
+                    success_rate: success_rate(&successes),
+                    generations: Summary::of(&gens),
+                    evaluations: Summary::of(&evals).expect("at least one trial"),
+                }
+            })
+            .collect();
+        SweepReport { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::OneMax;
+
+    #[test]
+    fn sweep_runs_all_points() {
+        let points = vec![
+            SweepPoint::new("pop=16", GaConfig::default().with_population_size(16)),
+            SweepPoint::new("pop=32", GaConfig::default()),
+        ];
+        let runner = SweepRunner::new(8, 2000);
+        let report = runner.run(&OneMax(24), &points, None);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert_eq!(row.evaluations.n, 8);
+            assert!(row.success_rate > 0.5, "{row}");
+        }
+        assert_eq!(report.rows[0].label, "pop=16");
+    }
+
+    #[test]
+    fn sweep_deterministic_regardless_of_threads() {
+        let points = vec![SweepPoint::new("d", GaConfig::default())];
+        let mut one = SweepRunner::new(6, 500);
+        one.threads = 1;
+        let mut many = SweepRunner::new(6, 500);
+        many.threads = 4;
+        let p = OneMax(20);
+        let a = one.run(&p, &points, None);
+        let b = many.run(&p, &points, None);
+        assert_eq!(a.rows[0].success_rate, b.rows[0].success_rate);
+        assert_eq!(a.rows[0].evaluations.mean, b.rows[0].evaluations.mean);
+        assert_eq!(
+            a.rows[0].generations.map(|s| s.mean),
+            b.rows[0].generations.map(|s| s.mean)
+        );
+    }
+
+    #[test]
+    fn failed_points_report_none_generations() {
+        // unreachable target
+        let points = vec![SweepPoint::new("x", GaConfig::default())];
+        let runner = SweepRunner::new(3, 5);
+        let report = runner.run(&OneMax(64), &points, Some(64.0));
+        assert_eq!(report.rows[0].success_rate, 0.0);
+        assert!(report.rows[0].generations.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no sweep points")]
+    fn empty_points_rejected() {
+        SweepRunner::new(1, 1).run(&OneMax(4), &[], None);
+    }
+
+    #[test]
+    fn report_display_renders_rows() {
+        let points = vec![SweepPoint::new("label-a", GaConfig::default())];
+        let report = SweepRunner::new(2, 200).run(&OneMax(12), &points, None);
+        let text = report.to_string();
+        assert!(text.contains("label-a"));
+        assert!(text.contains("success"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Genome configuration bit-streams.
+//!
+//! Paper §3: "To configure this evolvable state machine we use a genome
+//! (individual), encoded by a bit-stream". The walking controller is
+//! reconfigured by shifting the winning genome in serially; this module
+//! defines the frame format and the shift-load receiver.
+//!
+//! Frame format (LSB shifted first):
+//!
+//! ```text
+//! [ start bit = 1 ][ 36 genome bits, LSB first ][ even-parity bit ]
+//! ```
+//!
+//! The parity bit covers the 36 genome bits; a frame whose parity fails is
+//! rejected and the controller keeps its previous configuration — cheap
+//! protection against a reconfiguration glitching mid-walk.
+
+use crate::primitives::ShiftReg;
+use crate::resources::Resources;
+use discipulus::genome::{Genome, GENOME_BITS};
+
+/// Total bits in a configuration frame.
+pub const FRAME_BITS: usize = 1 + GENOME_BITS + 1;
+
+/// A serialized configuration frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    bits: Vec<bool>,
+}
+
+impl Bitstream {
+    /// Serialize `genome` into a frame.
+    pub fn encode(genome: Genome) -> Bitstream {
+        let mut bits = Vec::with_capacity(FRAME_BITS);
+        bits.push(true); // start bit
+        for i in 0..GENOME_BITS {
+            bits.push(genome.bit(i));
+        }
+        bits.push(genome.count_ones() % 2 == 1); // even parity over the payload
+        Bitstream { bits }
+    }
+
+    /// The frame bits, in shift order.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Frame length in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the frame is empty (never true for encoded frames).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Flip bit `i` (fault-injection for tests).
+    pub fn corrupt(&mut self, i: usize) {
+        self.bits[i] = !self.bits[i];
+    }
+}
+
+/// The shift-load receiver that sits in front of the walking controller's
+/// configuration register.
+#[derive(Debug, Clone)]
+pub struct ConfigLoader {
+    shift: ShiftReg,
+    bits_seen: usize,
+    receiving: bool,
+    parity_acc: bool,
+    loaded: Option<Genome>,
+    rejected_frames: u64,
+}
+
+impl ConfigLoader {
+    /// An idle loader.
+    pub fn new() -> ConfigLoader {
+        ConfigLoader {
+            shift: ShiftReg::new(GENOME_BITS as u32),
+            bits_seen: 0,
+            receiving: false,
+            parity_acc: false,
+            loaded: None,
+            rejected_frames: 0,
+        }
+    }
+
+    /// Clock one serial bit in. Returns `Some(genome)` on the cycle a
+    /// complete, parity-clean frame is accepted.
+    pub fn clock(&mut self, bit: bool) -> Option<Genome> {
+        if !self.receiving {
+            if bit {
+                // start bit
+                self.receiving = true;
+                self.bits_seen = 0;
+                self.parity_acc = false;
+                self.shift.load(0);
+            }
+            return None;
+        }
+        if self.bits_seen < GENOME_BITS {
+            // genome payload arrives LSB-first; shift_in pushes at the LSB
+            // and shifts left, so after 36 bits the register holds the
+            // genome bit-reversed — reverse on commit
+            self.shift.shift_in(bit);
+            self.parity_acc ^= bit;
+            self.bits_seen += 1;
+            None
+        } else {
+            // parity bit
+            self.receiving = false;
+            if bit == self.parity_acc {
+                let genome = Genome::from_bits(reverse_36(self.shift.value()));
+                self.loaded = Some(genome);
+                Some(genome)
+            } else {
+                self.rejected_frames += 1;
+                None
+            }
+        }
+    }
+
+    /// The last successfully loaded genome, if any.
+    pub fn loaded(&self) -> Option<Genome> {
+        self.loaded
+    }
+
+    /// Frames rejected due to parity failure.
+    pub fn rejected_frames(&self) -> u64 {
+        self.rejected_frames
+    }
+
+    /// Resource estimate: the 36-bit shift register plus a 6-bit counter,
+    /// parity FF and control logic packed alongside.
+    pub fn resources(&self) -> Resources {
+        self.shift.resources() + Resources::unit(8, 8)
+    }
+}
+
+impl Default for ConfigLoader {
+    fn default() -> Self {
+        ConfigLoader::new()
+    }
+}
+
+/// Reverse the low 36 bits of a word.
+fn reverse_36(v: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..36 {
+        out |= (v >> i & 1) << (35 - i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load_frame(loader: &mut ConfigLoader, frame: &Bitstream) -> Option<Genome> {
+        let mut result = None;
+        for &bit in frame.bits() {
+            if let Some(g) = loader.clock(bit) {
+                result = Some(g);
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for bits in [0u64, 1, 0x5_5555_5555, (1 << 36) - 1, 0x9_8765_4321] {
+            let g = Genome::from_bits(bits);
+            let frame = Bitstream::encode(g);
+            assert_eq!(frame.len(), FRAME_BITS);
+            let mut loader = ConfigLoader::new();
+            assert_eq!(load_frame(&mut loader, &frame), Some(g), "{g:?}");
+            assert_eq!(loader.loaded(), Some(g));
+        }
+    }
+
+    #[test]
+    fn parity_error_rejects_frame() {
+        let g = Genome::tripod();
+        let mut frame = Bitstream::encode(g);
+        frame.corrupt(5); // flip a payload bit
+        let mut loader = ConfigLoader::new();
+        assert_eq!(load_frame(&mut loader, &frame), None);
+        assert_eq!(loader.loaded(), None);
+        assert_eq!(loader.rejected_frames(), 1);
+    }
+
+    #[test]
+    fn corrupted_parity_bit_rejects_frame() {
+        let g = Genome::tripod();
+        let mut frame = Bitstream::encode(g);
+        frame.corrupt(FRAME_BITS - 1);
+        let mut loader = ConfigLoader::new();
+        assert_eq!(load_frame(&mut loader, &frame), None);
+        assert_eq!(loader.rejected_frames(), 1);
+    }
+
+    #[test]
+    fn loader_keeps_previous_config_on_failure() {
+        let good = Genome::tripod();
+        let mut loader = ConfigLoader::new();
+        load_frame(&mut loader, &Bitstream::encode(good));
+        let mut bad = Bitstream::encode(Genome::from_bits(0xF0F));
+        bad.corrupt(3);
+        load_frame(&mut loader, &bad);
+        assert_eq!(loader.loaded(), Some(good), "failed frame must not clobber");
+    }
+
+    #[test]
+    fn idle_line_is_ignored_until_start_bit() {
+        let mut loader = ConfigLoader::new();
+        for _ in 0..100 {
+            assert_eq!(loader.clock(false), None);
+        }
+        let g = Genome::from_bits(0xABC);
+        assert_eq!(load_frame(&mut loader, &Bitstream::encode(g)), Some(g));
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let a = Genome::from_bits(0x111);
+        let b = Genome::from_bits(0x222);
+        let mut loader = ConfigLoader::new();
+        assert_eq!(load_frame(&mut loader, &Bitstream::encode(a)), Some(a));
+        assert_eq!(load_frame(&mut loader, &Bitstream::encode(b)), Some(b));
+        assert_eq!(loader.loaded(), Some(b));
+    }
+
+    #[test]
+    fn reverse_36_involution() {
+        for v in [0u64, 1, 0x800000000, 0xABC_DEF01, (1 << 36) - 1] {
+            assert_eq!(reverse_36(reverse_36(v)), v);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The fitness module as a combinational logic network.
+//!
+//! This is an *independent* bit-parallel implementation of the three rules
+//! of `discipulus::fitness` — computed with the word-level boolean algebra
+//! a synthesizer would reduce the VHDL to, not by calling the behavioural
+//! code. An equivalence test pins the two implementations together over a
+//! large genome sample.
+//!
+//! Being fully combinational, the unit scores one genome per clock cycle —
+//! which is precisely the assumption behind the paper's "19 hours for all
+//! 2³⁶ genomes at 1 MHz" exhaustive-search figure (experiment E2).
+
+use crate::resources::Resources;
+use discipulus::fitness::FitnessSpec;
+use discipulus::genome::Genome;
+
+/// Mask of the three left-side legs in a 6-bit per-leg field.
+const LEFT: u32 = 0b000_111;
+/// Mask of the three right-side legs in a 6-bit per-leg field.
+const RIGHT: u32 = 0b111_000;
+/// Mask of all six legs.
+const ALL_LEGS: u32 = 0b111_111;
+
+/// The combinational fitness network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitnessUnit {
+    spec: FitnessSpec,
+}
+
+/// Per-leg bit fields of one step, extracted from the genome word.
+#[derive(Debug, Clone, Copy)]
+struct StepFields {
+    /// Bit per leg: pre-vertical (1 = up).
+    pre: u32,
+    /// Bit per leg: horizontal (1 = forward).
+    horiz: u32,
+    /// Bit per leg: post-vertical (1 = up).
+    post: u32,
+}
+
+/// Extract the 6-bit per-leg fields of step `s` (0 or 1) from the genome
+/// bits — the "wiring permutation" stage of the network.
+fn extract(bits: u64, s: usize) -> StepFields {
+    let base = s * 18;
+    let mut pre = 0u32;
+    let mut horiz = 0u32;
+    let mut post = 0u32;
+    for leg in 0..6 {
+        let gene = (bits >> (base + leg * 3) & 0b111) as u32;
+        pre |= (gene & 1) << leg;
+        horiz |= (gene >> 1 & 1) << leg;
+        post |= (gene >> 2 & 1) << leg;
+    }
+    StepFields { pre, horiz, post }
+}
+
+impl FitnessUnit {
+    /// A unit implementing `spec`.
+    pub fn new(spec: FitnessSpec) -> FitnessUnit {
+        FitnessUnit { spec }
+    }
+
+    /// The paper's rule set with unit weights.
+    pub fn paper() -> FitnessUnit {
+        FitnessUnit::new(FitnessSpec::paper())
+    }
+
+    /// The spec in force.
+    pub fn spec(&self) -> FitnessSpec {
+        self.spec
+    }
+
+    /// Combinational evaluation: genome bits in, weighted fitness out, one
+    /// cycle.
+    pub fn evaluate(&self, genome: Genome) -> u32 {
+        let bits = genome.bits();
+        let s1 = extract(bits, 0);
+        let s2 = extract(bits, 1);
+
+        // Rule 1 — equilibrium: for each of the four vertical
+        // configurations, a side fails when all three of its legs are up.
+        let mut equilibrium = 0u32;
+        for cfg in [s1.pre, s1.post, s2.pre, s2.post] {
+            equilibrium += u32::from(cfg & LEFT != LEFT);
+            equilibrium += u32::from(cfg & RIGHT != RIGHT);
+        }
+
+        // Rule 2 — symmetry: legs whose horizontal direction differs
+        // between the steps.
+        let symmetry = ((s1.horiz ^ s2.horiz) & ALL_LEGS).count_ones();
+
+        // Rule 3 — coherence: pre-vertical equals horizontal (up before
+        // forward, down before backward), per step per leg.
+        let coherence = (!(s1.pre ^ s1.horiz) & ALL_LEGS).count_ones()
+            + (!(s2.pre ^ s2.horiz) & ALL_LEGS).count_ones();
+
+        self.spec.equilibrium_weight * equilibrium
+            + self.spec.symmetry_weight * symmetry
+            + self.spec.coherence_weight * coherence
+    }
+
+    /// Resource estimate: the field extraction is pure routing; the rule
+    /// network needs ~8 wide-AND checks, two 6-bit XOR/XNOR layers and
+    /// three population counters feeding a small weighted adder tree.
+    pub fn resources(&self) -> Resources {
+        // 8 three-input ANDs + 6 XORs + 12 XNORs ≈ 26 functions,
+        // 3 × 6-bit popcounts ≈ 21 functions, adder tree ≈ 10
+        Resources::logic_functions(26 + 21 + 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_to_behavioural_model_sampled() {
+        let unit = FitnessUnit::paper();
+        let spec = FitnessSpec::paper();
+        // dense structured sweep + multiplicative scatter
+        for i in 0..200_000u64 {
+            let bits = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 28;
+            let g = Genome::from_bits(bits);
+            assert_eq!(unit.evaluate(g), spec.evaluate(g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn equivalent_on_structured_corner_cases() {
+        let unit = FitnessUnit::paper();
+        let spec = FitnessSpec::paper();
+        for bits in [
+            0u64,
+            (1 << 36) - 1,
+            0x5_5555_5555,
+            0xA_AAAA_AAAA & ((1 << 36) - 1),
+            Genome::tripod().bits(),
+        ] {
+            let g = Genome::from_bits(bits);
+            assert_eq!(unit.evaluate(g), spec.evaluate(g));
+        }
+    }
+
+    #[test]
+    fn tripod_scores_maximum() {
+        assert_eq!(
+            FitnessUnit::paper().evaluate(Genome::tripod()),
+            FitnessSpec::paper().max_fitness()
+        );
+    }
+
+    #[test]
+    fn weighted_specs_respected() {
+        use discipulus::fitness::Rule;
+        let g = Genome::tripod();
+        let only_sym = FitnessUnit::new(FitnessSpec::only(Rule::Symmetry));
+        assert_eq!(only_sym.evaluate(g), 6);
+        let no_eq = FitnessUnit::new(FitnessSpec::without(Rule::Equilibrium));
+        assert_eq!(no_eq.evaluate(g), 18);
+    }
+
+    #[test]
+    fn resources_are_modest() {
+        // the fitness network is small next to the population storage
+        let r = FitnessUnit::paper().resources();
+        assert!(r.clbs < 100);
+        assert!(r.clbs > 10);
+    }
+}

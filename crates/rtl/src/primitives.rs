@@ -1,0 +1,321 @@
+//! Registered hardware primitives with resource costs.
+//!
+//! The building blocks of every RTL unit. Each primitive knows its own
+//! [`Resources`] estimate, derived from how it would map onto the XC4000
+//! architecture (one CLB = two flip-flops + two 4-input LUTs; see
+//! [`crate::resources`] for the cost model).
+
+use crate::resources::Resources;
+
+/// A bank of synchronous-read/synchronous-write RAM words, modelling an
+/// on-chip population memory.
+///
+/// * `read(addr)` returns the word registered at the *previous* cycle's
+///   address — callers issue the address with [`Ram::set_read_addr`] one
+///   cycle ahead, exactly like a registered block RAM.
+/// * `write(addr, value)` commits at the end of the current cycle.
+#[derive(Debug, Clone)]
+pub struct Ram {
+    words: Vec<u64>,
+    width: u32,
+    read_reg: u64,
+    pending_addr: Option<usize>,
+    pending_write: Option<(usize, u64)>,
+    in_flip_flops: bool,
+}
+
+impl Ram {
+    /// A RAM of `depth` words of `width` bits (≤ 64), stored in flip-flops
+    /// (`in_flip_flops = true`, the XC4000-era choice that dominates the
+    /// chip's CLB count) or LUT RAM.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn new(depth: usize, width: u32, in_flip_flops: bool) -> Ram {
+        assert!(width > 0 && width <= 64, "word width must be 1..=64");
+        Ram {
+            words: vec![0; depth],
+            width,
+            read_reg: 0,
+            pending_addr: None,
+            pending_write: None,
+            in_flip_flops,
+        }
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Register a read address; the data appears at [`Ram::read_data`]
+    /// after the next [`Ram::clock`].
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of range.
+    pub fn set_read_addr(&mut self, addr: usize) {
+        assert!(addr < self.words.len(), "read address out of range");
+        self.pending_addr = Some(addr);
+    }
+
+    /// Schedule a write, committed at the next [`Ram::clock`].
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of range or `value` exceeds the word width.
+    pub fn write(&mut self, addr: usize, value: u64) {
+        assert!(addr < self.words.len(), "write address out of range");
+        assert!(
+            self.width == 64 || value < (1u64 << self.width),
+            "value wider than RAM word"
+        );
+        self.pending_write = Some((addr, value));
+    }
+
+    /// The data register (valid one cycle after the address was set).
+    pub fn read_data(&self) -> u64 {
+        self.read_reg
+    }
+
+    /// Combinational peek for testbenches — does NOT model hardware port
+    /// semantics; use only in assertions.
+    pub fn peek(&self, addr: usize) -> u64 {
+        self.words[addr]
+    }
+
+    /// Testbench back-door load (models configuration preload).
+    pub fn load(&mut self, contents: &[u64]) {
+        assert!(contents.len() <= self.words.len(), "contents exceed depth");
+        for (slot, &v) in self.words.iter_mut().zip(contents) {
+            *slot = v;
+        }
+    }
+
+    /// Clock edge: commit the pending write, then latch read data (write-
+    /// before-read port ordering).
+    pub fn clock(&mut self) {
+        if let Some((addr, value)) = self.pending_write.take() {
+            self.words[addr] = value;
+        }
+        if let Some(addr) = self.pending_addr.take() {
+            self.read_reg = self.words[addr];
+        }
+    }
+
+    /// Resource estimate for this RAM.
+    pub fn resources(&self) -> Resources {
+        let bits = self.words.len() as u32 * self.width;
+        if self.in_flip_flops {
+            Resources::flip_flop_bits(bits)
+        } else {
+            Resources::lut_ram_bits(bits)
+        }
+    }
+}
+
+/// A modulo-`n` counter (a phase/step counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModCounter {
+    value: u32,
+    modulus: u32,
+}
+
+impl ModCounter {
+    /// A counter over `0..modulus`.
+    ///
+    /// # Panics
+    /// Panics if `modulus == 0`.
+    pub fn new(modulus: u32) -> ModCounter {
+        assert!(modulus > 0, "modulus must be positive");
+        ModCounter { value: 0, modulus }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Advance; returns `true` on wrap-around (terminal count).
+    pub fn clock(&mut self) -> bool {
+        self.value += 1;
+        if self.value == self.modulus {
+            self.value = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Resource estimate: one FF per state bit, with the increment/carry
+    /// LUT packed in front of each.
+    pub fn resources(&self) -> Resources {
+        let bits = 32 - (self.modulus.max(2) - 1).leading_zeros();
+        Resources::unit(bits, bits)
+    }
+}
+
+/// A `width`-bit serial-in/serial-out shift register holding a genome or
+/// pipeline word (the XC4000-idiomatic way to move multi-bit values through
+/// a narrow datapath).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftReg {
+    bits: u64,
+    width: u32,
+}
+
+impl ShiftReg {
+    /// An all-zero shift register of `width` bits (≤ 64).
+    ///
+    /// # Panics
+    /// Panics if width is 0 or exceeds 64.
+    pub fn new(width: u32) -> ShiftReg {
+        assert!(width > 0 && width <= 64, "width must be 1..=64");
+        ShiftReg { bits: 0, width }
+    }
+
+    /// Parallel load (testbench/config use).
+    pub fn load(&mut self, value: u64) {
+        self.bits = value & self.mask();
+    }
+
+    /// Parallel read.
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Shift one bit in at the LSB end; the MSB falls out and is returned.
+    pub fn shift_in(&mut self, bit: bool) -> bool {
+        let out = self.bits >> (self.width - 1) & 1 != 0;
+        self.bits = (self.bits << 1 | u64::from(bit)) & self.mask();
+        out
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Resource estimate: one FF per bit.
+    pub fn resources(&self) -> Resources {
+        Resources::flip_flop_bits(self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_read_is_registered() {
+        let mut ram = Ram::new(8, 36, true);
+        ram.write(3, 0xABC);
+        ram.clock();
+        assert_eq!(ram.peek(3), 0xABC);
+        // read data only appears one clock after the address
+        ram.set_read_addr(3);
+        assert_eq!(ram.read_data(), 0);
+        ram.clock();
+        assert_eq!(ram.read_data(), 0xABC);
+    }
+
+    #[test]
+    fn ram_write_before_read_same_cycle() {
+        let mut ram = Ram::new(4, 16, true);
+        ram.write(1, 77);
+        ram.set_read_addr(1);
+        ram.clock();
+        assert_eq!(ram.read_data(), 77, "write-before-read port ordering");
+    }
+
+    #[test]
+    fn ram_load_backdoor() {
+        let mut ram = Ram::new(4, 8, false);
+        ram.load(&[1, 2, 3]);
+        assert_eq!(ram.peek(0), 1);
+        assert_eq!(ram.peek(2), 3);
+        assert_eq!(ram.peek(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than RAM word")]
+    fn ram_rejects_wide_values() {
+        let mut ram = Ram::new(2, 8, true);
+        ram.write(0, 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "address out of range")]
+    fn ram_rejects_bad_address() {
+        let mut ram = Ram::new(2, 8, true);
+        ram.set_read_addr(2);
+    }
+
+    #[test]
+    fn ram_resources_ff_vs_lut() {
+        let ff = Ram::new(32, 36, true).resources();
+        let lut = Ram::new(32, 36, false).resources();
+        assert!(ff.clbs > lut.clbs, "FF RAM must cost more CLBs than LUT RAM");
+        // 32*36 = 1152 bits in FFs = 576 CLBs (2 FFs per CLB)
+        assert_eq!(ff.clbs, 576);
+    }
+
+    #[test]
+    fn counter_wraps() {
+        let mut c = ModCounter::new(3);
+        assert!(!c.clock());
+        assert!(!c.clock());
+        assert!(c.clock());
+        assert_eq!(c.value(), 0);
+        c.clock();
+        assert_eq!(c.value(), 1);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn shift_reg_rotates_value_through() {
+        let mut s = ShiftReg::new(4);
+        // shift in 1,0,1,1 (MSB-first arrival): value = 0b1011
+        for bit in [true, false, true, true] {
+            s.shift_in(bit);
+        }
+        assert_eq!(s.value(), 0b1011);
+        // next shift pushes the MSB out
+        let out = s.shift_in(false);
+        assert!(out);
+        assert_eq!(s.value(), 0b0110);
+    }
+
+    #[test]
+    fn shift_reg_full_width_roundtrip() {
+        let mut s = ShiftReg::new(36);
+        let word: u64 = 0x9_8765_4321 & ((1 << 36) - 1);
+        for i in (0..36).rev() {
+            s.shift_in(word >> i & 1 != 0);
+        }
+        assert_eq!(s.value(), word);
+    }
+
+    #[test]
+    fn primitive_resources_positive() {
+        assert!(ModCounter::new(36).resources().clbs > 0);
+        assert!(ShiftReg::new(36).resources().flip_flops == 36);
+    }
+}

@@ -1,0 +1,291 @@
+//! Servo PWM signal generation.
+//!
+//! Paper §3.1: "There are two servo-controls for each leg which generate
+//! PWM (Pulse Width Modulation) signals for the servo-motors from the
+//! position given by the parameterizable state machine."
+//!
+//! Hobby-servo signalling: a pulse every 20 ms whose width encodes the
+//! target angle — 1 ms for one end of travel, 2 ms for the other. At the
+//! 1 MHz system clock that is a 20 000-cycle frame with 1000- or
+//! 2000-cycle pulses for the binary positions the walking controller
+//! commands.
+
+use crate::resources::Resources;
+
+/// Cycles per servo frame at 1 MHz (20 ms).
+pub const FRAME_CYCLES: u32 = 20_000;
+/// Pulse width for the `false` position (1 ms).
+pub const PULSE_LOW_CYCLES: u32 = 1_000;
+/// Pulse width for the `true` position (2 ms).
+pub const PULSE_HIGH_CYCLES: u32 = 2_000;
+
+/// One PWM channel: a frame counter and a width compare register.
+///
+/// The width register is double-buffered: a position change loads the
+/// *pending* register and takes effect at the next frame boundary, so a
+/// pulse is never truncated mid-flight (real servo controllers do this to
+/// avoid glitching the motor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwmChannel {
+    counter: u32,
+    width: u32,
+    pending_width: u32,
+    output: bool,
+}
+
+impl PwmChannel {
+    /// A channel at the `false` (1 ms) position, frame counter at zero.
+    pub fn new() -> PwmChannel {
+        PwmChannel {
+            counter: 0,
+            width: PULSE_LOW_CYCLES,
+            pending_width: PULSE_LOW_CYCLES,
+            output: true, // pulse active at frame start
+        }
+    }
+
+    /// Command a binary position (`true` = 2 ms pulse).
+    pub fn set_position(&mut self, high: bool) {
+        self.pending_width = if high {
+            PULSE_HIGH_CYCLES
+        } else {
+            PULSE_LOW_CYCLES
+        };
+    }
+
+    /// The signal level this cycle.
+    pub fn output(&self) -> bool {
+        self.output
+    }
+
+    /// The currently latched pulse width in cycles.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Clock edge: advance the frame counter; reload the width register at
+    /// the frame boundary.
+    pub fn clock(&mut self) {
+        self.counter += 1;
+        if self.counter >= FRAME_CYCLES {
+            self.counter = 0;
+            self.width = self.pending_width;
+        }
+        self.output = self.counter < self.width;
+    }
+
+    /// Resource estimate: a 15-bit frame counter, 11-bit width + pending
+    /// registers, output FF, comparator logic packed alongside.
+    pub fn resources(&self) -> Resources {
+        Resources::unit(15 + 11 + 11 + 1, 24)
+    }
+}
+
+impl Default for PwmChannel {
+    fn default() -> Self {
+        PwmChannel::new()
+    }
+}
+
+/// The bank of 12 servo channels (two per leg: elevation and propulsion).
+///
+/// Unlike a naive array of [`PwmChannel`]s, the bank shares a single frame
+/// counter across all channels — the standard multi-servo design, since
+/// every channel pulses on the same 20 ms frame. Each channel is then just
+/// a position bit (double-buffered at the frame boundary) and a comparator
+/// against one of the two pulse-width constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServoBank {
+    counter: u32,
+    /// Latched position bits (in force this frame), channel i in bit i.
+    positions: u16,
+    /// Pending position bits (take effect at the next frame boundary).
+    pending: u16,
+}
+
+impl ServoBank {
+    /// All channels at the `false` position.
+    pub fn new() -> ServoBank {
+        ServoBank {
+            counter: 0,
+            positions: 0,
+            pending: 0,
+        }
+    }
+
+    /// Load a 12-bit position word (bit `2·leg` = elevation, bit
+    /// `2·leg + 1` = propulsion; the format produced by
+    /// `discipulus::controller::PhaseCommand::position_word`).
+    pub fn set_position_word(&mut self, word: u16) {
+        self.pending = word & 0x0FFF;
+    }
+
+    /// Clock the shared frame counter one cycle.
+    pub fn clock(&mut self) {
+        self.counter += 1;
+        if self.counter >= FRAME_CYCLES {
+            self.counter = 0;
+            self.positions = self.pending;
+        }
+    }
+
+    /// The 12 output levels this cycle, channel 0 in bit 0.
+    pub fn outputs(&self) -> u16 {
+        let mut out = 0u16;
+        for i in 0..12 {
+            if self.counter < self.width(i) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// The pulse width (in cycles) channel `i` produces this frame.
+    pub fn width(&self, i: usize) -> u32 {
+        assert!(i < 12, "channel index out of range");
+        if self.positions >> i & 1 != 0 {
+            PULSE_HIGH_CYCLES
+        } else {
+            PULSE_LOW_CYCLES
+        }
+    }
+
+    /// Resource estimate: one shared 15-bit frame counter; per channel a
+    /// latched position FF and a constant-select comparator LUT pair. The
+    /// pending word is the walking controller's position register (counted
+    /// there), sampled at the frame boundary.
+    pub fn resources(&self) -> Resources {
+        Resources::unit(15, 15) + Resources::unit(12, 12 * 4)
+    }
+}
+
+impl Default for ServoBank {
+    fn default() -> Self {
+        ServoBank::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Measure the width of the pulse starting at the next frame boundary.
+    fn measure_pulse(ch: &mut PwmChannel) -> u32 {
+        // run to a frame boundary (counter just wrapped to 0)
+        loop {
+            ch.clock();
+            if ch.counter == 0 {
+                break;
+            }
+        }
+        // measure consecutive high cycles from the frame start
+        let mut width = 0;
+        while ch.output() {
+            width += 1;
+            ch.clock();
+        }
+        width
+    }
+
+    #[test]
+    fn low_position_gives_1ms_pulse() {
+        let mut ch = PwmChannel::new();
+        assert_eq!(measure_pulse(&mut ch), PULSE_LOW_CYCLES);
+    }
+
+    #[test]
+    fn high_position_gives_2ms_pulse() {
+        let mut ch = PwmChannel::new();
+        ch.set_position(true);
+        // first full frame after the change has the new width
+        for _ in 0..FRAME_CYCLES {
+            ch.clock();
+        }
+        assert_eq!(measure_pulse(&mut ch), PULSE_HIGH_CYCLES);
+    }
+
+    #[test]
+    fn width_change_waits_for_frame_boundary() {
+        let mut ch = PwmChannel::new();
+        // advance into the frame, then command a change
+        for _ in 0..500 {
+            ch.clock();
+        }
+        ch.set_position(true);
+        assert_eq!(ch.width(), PULSE_LOW_CYCLES, "mid-frame width unchanged");
+        for _ in 0..FRAME_CYCLES {
+            ch.clock();
+        }
+        assert_eq!(ch.width(), PULSE_HIGH_CYCLES);
+    }
+
+    #[test]
+    fn duty_cycle_over_frame() {
+        let mut ch = PwmChannel::new();
+        let mut high = 0u32;
+        for _ in 0..FRAME_CYCLES {
+            ch.clock();
+            if ch.output() {
+                high += 1;
+            }
+        }
+        assert_eq!(high, PULSE_LOW_CYCLES);
+    }
+
+    #[test]
+    fn bank_maps_position_word() {
+        let mut bank = ServoBank::new();
+        bank.set_position_word(0b0000_1010_0101);
+        for _ in 0..FRAME_CYCLES {
+            bank.clock();
+        }
+        for i in 0..12 {
+            let want = if 0b0000_1010_0101 >> i & 1 != 0 {
+                PULSE_HIGH_CYCLES
+            } else {
+                PULSE_LOW_CYCLES
+            };
+            assert_eq!(bank.width(i), want, "channel {i}");
+        }
+    }
+
+    #[test]
+    fn bank_outputs_start_of_frame_all_high() {
+        let mut bank = ServoBank::new();
+        // within the first millisecond every channel's pulse is active
+        bank.clock();
+        assert_eq!(bank.outputs(), 0x0FFF);
+    }
+
+    #[test]
+    fn bank_pulse_widths_measured() {
+        let mut bank = ServoBank::new();
+        bank.set_position_word(0b0000_0000_0001); // channel 0 high, rest low
+        // run to the next frame boundary so the pending word latches
+        loop {
+            bank.clock();
+            if bank.counter == 0 {
+                break;
+            }
+        }
+        let mut high0 = 0u32;
+        let mut high1 = 0u32;
+        for _ in 0..FRAME_CYCLES {
+            let out = bank.outputs();
+            high0 += u32::from(out & 1);
+            high1 += u32::from(out >> 1 & 1);
+            bank.clock();
+        }
+        assert_eq!(high0, PULSE_HIGH_CYCLES);
+        assert_eq!(high1, PULSE_LOW_CYCLES);
+    }
+
+    #[test]
+    fn bank_resources_shared_counter() {
+        // shared-counter design: far cheaper than 12 independent channels
+        let bank = ServoBank::new();
+        let one = PwmChannel::new().resources();
+        assert!(bank.resources().clbs < one.clbs * 12);
+        assert!(bank.resources().clbs <= 40);
+    }
+}

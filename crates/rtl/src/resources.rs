@@ -1,0 +1,312 @@
+//! FPGA resource estimation (experiment E4).
+//!
+//! Paper §3.3: "The complete system implemented in the XC4036ex FPGA uses
+//! 96 percent of the available CLBs, i.e. 1244 CLBs. It represents around
+//! 40000 logic gates."
+//!
+//! The XC4036EX provides a 36 × 36 CLB array = **1296 CLBs**; each CLB
+//! holds two flip-flops and two 4-input LUTs (plus a third 3-input LUT).
+//! 1244 / 1296 = 95.99 % — the paper's numbers are internally consistent,
+//! and they also reveal the dominant cost: two 32 × 36-bit populations kept
+//! in flip-flops alone account for 2 × 1152 / 2 = 1152 CLBs. The cost model
+//! below reproduces that structure:
+//!
+//! * 1 CLB per 2 flip-flops (register bits);
+//! * 1 CLB per 2 LUTs; 1 LUT per 4-input logic function;
+//! * LUT-RAM mode: 32 bits per LUT (XC4000E/EX select-RAM), i.e. 64 bits
+//!   per CLB — used only by units explicitly configured for LUT RAM;
+//! * gate equivalents: the XC4000 marketing rule of ~32 gates per CLB.
+
+use core::fmt;
+
+/// Total CLBs on the XC4036EX (36 × 36 array).
+pub const XC4036EX_CLBS: u32 = 1296;
+/// The paper's reported CLB usage.
+pub const PAPER_CLBS: u32 = 1244;
+/// The paper's reported utilization.
+pub const PAPER_UTILIZATION: f64 = 0.96;
+/// The paper's reported gate-equivalent count.
+pub const PAPER_GATES: u32 = 40_000;
+/// Marketing gate equivalents per CLB on the XC4000 family.
+pub const GATES_PER_CLB: u32 = 32;
+
+/// A resource estimate: CLBs with their flip-flop / LUT composition and a
+/// gate-equivalent figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// Configurable logic blocks.
+    pub clbs: u32,
+    /// Flip-flops used.
+    pub flip_flops: u32,
+    /// 4-input LUTs used.
+    pub luts: u32,
+}
+
+impl Resources {
+    /// No resources.
+    pub const ZERO: Resources = Resources {
+        clbs: 0,
+        flip_flops: 0,
+        luts: 0,
+    };
+
+    /// A functional unit of `ffs` flip-flops and `luts` 4-input LUTs,
+    /// packed: since every CLB provides two FFs *and* two LUTs, a unit's
+    /// CLB count is the maximum of its FF demand and its LUT demand —
+    /// logic in front of registers rides in the same CLBs. This is how
+    /// synthesis actually maps register-dominated XC4000 designs and is
+    /// what lets the real chip fit in 1244 CLBs.
+    pub const fn unit(ffs: u32, luts: u32) -> Resources {
+        let clbs = {
+            let a = ffs.div_ceil(2);
+            let b = luts.div_ceil(2);
+            if a > b {
+                a
+            } else {
+                b
+            }
+        };
+        Resources {
+            clbs,
+            flip_flops: ffs,
+            luts,
+        }
+    }
+
+    /// Cost of storing `bits` register bits in flip-flops (2 per CLB).
+    pub const fn flip_flop_bits(bits: u32) -> Resources {
+        Resources {
+            clbs: bits.div_ceil(2),
+            flip_flops: bits,
+            luts: 0,
+        }
+    }
+
+    /// Cost of `bits` bits of LUT RAM (32 bits per LUT, 2 LUTs per CLB).
+    pub const fn lut_ram_bits(bits: u32) -> Resources {
+        let luts = bits.div_ceil(32);
+        Resources {
+            clbs: luts.div_ceil(2),
+            flip_flops: 0,
+            luts,
+        }
+    }
+
+    /// Cost of `n` 4-input logic functions (2 LUTs per CLB).
+    pub const fn logic_functions(n: u32) -> Resources {
+        Resources {
+            clbs: n.div_ceil(2),
+            flip_flops: 0,
+            luts: n,
+        }
+    }
+
+    /// Cost expressed directly as gate equivalents (converted to CLBs at
+    /// the family's ~32 gates/CLB — used for small random logic).
+    pub const fn gates(n: u32) -> Resources {
+        let clbs = n.div_ceil(GATES_PER_CLB);
+        Resources {
+            clbs,
+            flip_flops: 0,
+            luts: clbs * 2,
+        }
+    }
+
+    /// Gate-equivalent estimate of this resource block.
+    pub const fn gate_equivalents(&self) -> u32 {
+        self.clbs * GATES_PER_CLB
+    }
+
+    /// Utilization fraction of the XC4036EX.
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.clbs) / f64::from(XC4036EX_CLBS)
+    }
+}
+
+impl std::ops::Add for Resources {
+    type Output = Resources;
+
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            clbs: self.clbs + rhs.clbs,
+            flip_flops: self.flip_flops + rhs.flip_flops,
+            luts: self.luts + rhs.luts,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} CLBs ({} FFs, {} LUTs, ~{} gates, {:.1}% of XC4036EX)",
+            self.clbs,
+            self.flip_flops,
+            self.luts,
+            self.gate_equivalents(),
+            self.utilization() * 100.0
+        )
+    }
+}
+
+/// A named per-unit resource breakdown for the whole chip.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceReport {
+    entries: Vec<(String, Resources)>,
+}
+
+impl ResourceReport {
+    /// An empty report.
+    pub fn new() -> ResourceReport {
+        ResourceReport::default()
+    }
+
+    /// Add a named unit.
+    pub fn add(&mut self, name: impl Into<String>, r: Resources) {
+        self.entries.push((name.into(), r));
+    }
+
+    /// The per-unit entries, in insertion order.
+    pub fn entries(&self) -> &[(String, Resources)] {
+        &self.entries
+    }
+
+    /// Total over all units (additive: per-unit CLB counts summed). This
+    /// is the pessimistic bound — it assumes no CLB is shared between
+    /// units.
+    pub fn total(&self) -> Resources {
+        self.entries
+            .iter()
+            .fold(Resources::ZERO, |acc, (_, r)| acc + *r)
+    }
+
+    /// Chip-level packed CLB count: `max(ΣFF / 2, ΣLUT / 2)` plus the
+    /// LUT-RAM CLBs (which monopolize their LUTs). Models global synthesis
+    /// packing, where combinational logic fills the LUT halves of
+    /// register CLBs. The real chip's reported 1244 CLBs lies between this
+    /// optimistic figure and the additive [`ResourceReport::total`].
+    pub fn packed_clbs(&self) -> u32 {
+        let t = self.total();
+        t.flip_flops.div_ceil(2).max(t.luts.div_ceil(2))
+    }
+
+    /// Whether the packed design fits the XC4036EX.
+    pub fn fits(&self) -> bool {
+        self.packed_clbs() <= XC4036EX_CLBS
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        writeln!(f, "{:<28} {:>6} {:>6} {:>6}", "unit", "CLBs", "FFs", "LUTs")?;
+        for (name, r) in &self.entries {
+            writeln!(
+                f,
+                "{:<28} {:>6} {:>6} {:>6}",
+                name, r.clbs, r.flip_flops, r.luts
+            )?;
+        }
+        writeln!(f, "{:-<48}", "")?;
+        writeln!(
+            f,
+            "{:<28} {:>6} {:>6} {:>6}",
+            "TOTAL", total.clbs, total.flip_flops, total.luts
+        )?;
+        writeln!(
+            f,
+            "additive utilization {:.1}% of {} CLBs, ~{} gate equivalents",
+            total.utilization() * 100.0,
+            XC4036EX_CLBS,
+            total.gate_equivalents()
+        )?;
+        write!(
+            f,
+            "packed (synthesis) estimate: {} CLBs ({:.1}%)",
+            self.packed_clbs(),
+            f64::from(self.packed_clbs()) / f64::from(XC4036EX_CLBS) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_are_self_consistent() {
+        // 1244 CLBs ≈ 96% of 1296
+        let util = f64::from(PAPER_CLBS) / f64::from(XC4036EX_CLBS);
+        assert!((util - PAPER_UTILIZATION).abs() < 0.005);
+        // ~40k gates at ~32 gates/CLB
+        assert!((PAPER_CLBS * GATES_PER_CLB).abs_diff(PAPER_GATES) < 1500);
+    }
+
+    #[test]
+    fn flip_flop_cost() {
+        // one 36-bit genome register = 18 CLBs
+        let r = Resources::flip_flop_bits(36);
+        assert_eq!(r.clbs, 18);
+        assert_eq!(r.flip_flops, 36);
+        // both population buffers = 1152 CLBs — the dominant chip cost
+        let pops = Resources::flip_flop_bits(1152) + Resources::flip_flop_bits(1152);
+        assert_eq!(pops.clbs, 1152);
+    }
+
+    #[test]
+    fn lut_ram_cost() {
+        // 1152 bits in LUT RAM: 36 LUTs = 18 CLBs
+        let r = Resources::lut_ram_bits(1152);
+        assert_eq!(r.luts, 36);
+        assert_eq!(r.clbs, 18);
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = Resources::flip_flop_bits(4);
+        let b = Resources::logic_functions(3);
+        let c = a + b;
+        assert_eq!(c.clbs, 2 + 2);
+        assert_eq!(c.flip_flops, 4);
+        assert_eq!(c.luts, 3);
+        assert!(c.to_string().contains("CLBs"));
+        let mut d = Resources::ZERO;
+        d += c;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn report_totals_and_fit() {
+        let mut rep = ResourceReport::new();
+        rep.add("pop A", Resources::flip_flop_bits(1152));
+        rep.add("pop B", Resources::flip_flop_bits(1152));
+        assert_eq!(rep.total().clbs, 1152);
+        assert!(rep.fits());
+        rep.add("monster", Resources::flip_flop_bits(10_000));
+        assert!(!rep.fits());
+        assert!(rep.packed_clbs() > XC4036EX_CLBS);
+        assert!(rep.to_string().contains("TOTAL"));
+    }
+
+    #[test]
+    fn unit_packs_logic_into_register_clbs() {
+        // 36 FFs need 18 CLBs whose LUTs can absorb up to 36 functions
+        assert_eq!(Resources::unit(36, 20).clbs, 18);
+        assert_eq!(Resources::unit(36, 40).clbs, 20);
+        assert_eq!(Resources::unit(0, 5).clbs, 3);
+        assert_eq!(Resources::unit(1, 0).clbs, 1);
+    }
+
+    #[test]
+    fn gate_equivalents_roundtrip() {
+        let r = Resources::gates(320);
+        assert_eq!(r.clbs, 10);
+        assert_eq!(r.gate_equivalents(), 320);
+    }
+}

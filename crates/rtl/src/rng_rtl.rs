@@ -1,0 +1,92 @@
+//! The free-running cellular-automaton RNG as an RTL unit.
+//!
+//! Paper §3.2: the generator "generates a new pseudo-random number for all
+//! genetic operators at each clock cycle \[...\] It does not depend on the
+//! execution of the genetic algorithm."
+//!
+//! [`CaRngRtl`] therefore clocks unconditionally — `clock()` is called once
+//! per system cycle whether or not anyone consumes the word — and is
+//! bit-exact with the behavioural [`discipulus::rng::CellularRng`] (a unit
+//! test locks the two together).
+
+use crate::resources::Resources;
+use discipulus::rng::MAXIMAL_RULE_90_150;
+
+/// The 32-cell hybrid 90/150 CA generator as registered hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaRngRtl {
+    state: u32,
+    rule: u32,
+}
+
+impl CaRngRtl {
+    /// Create with the certified maximal rule vector; zero seeds are
+    /// remapped to 1 (the CA's only fixed point).
+    pub fn new(seed: u32) -> CaRngRtl {
+        CaRngRtl {
+            state: if seed == 0 { 1 } else { seed },
+            rule: MAXIMAL_RULE_90_150,
+        }
+    }
+
+    /// The current output word (the CA state register, valid this cycle).
+    pub fn word(&self) -> u32 {
+        self.state
+    }
+
+    /// Clock edge: advance the CA (`left ⊕ right`, plus `⊕ self` on
+    /// rule-150 cells; null boundary).
+    #[inline]
+    pub fn clock(&mut self) {
+        let s = self.state;
+        self.state = (s << 1) ^ (s >> 1) ^ (s & self.rule);
+    }
+
+    /// Resource estimate: 32 state FFs, each fed by a 3-input XOR in the
+    /// same CLB.
+    pub fn resources(&self) -> Resources {
+        Resources::unit(32, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discipulus::rng::{CellularRng, RngSource};
+
+    #[test]
+    fn bit_exact_with_behavioural_model() {
+        let mut rtl = CaRngRtl::new(0xBEEF);
+        let mut beh = CellularRng::new(0xBEEF);
+        for _ in 0..10_000 {
+            rtl.clock();
+            assert_eq!(rtl.word(), beh.next_word());
+        }
+    }
+
+    #[test]
+    fn zero_seed_remapped() {
+        assert_eq!(CaRngRtl::new(0).word(), 1);
+    }
+
+    #[test]
+    fn free_running_changes_every_cycle() {
+        let mut rtl = CaRngRtl::new(123);
+        let mut last = rtl.word();
+        for _ in 0..1000 {
+            rtl.clock();
+            assert_ne!(rtl.word(), 0, "CA must never reach the zero state");
+            // with a maximal CA consecutive repeats are impossible
+            assert_ne!(rtl.word(), last);
+            last = rtl.word();
+        }
+    }
+
+    #[test]
+    fn resource_estimate() {
+        let r = CaRngRtl::new(1).resources();
+        assert_eq!(r.flip_flops, 32);
+        assert_eq!(r.luts, 32);
+        assert_eq!(r.clbs, 16, "XOR network packs into the state-FF CLBs");
+    }
+}

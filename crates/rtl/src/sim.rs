@@ -1,0 +1,200 @@
+//! Clocked-simulation kernel.
+//!
+//! Every RTL unit in this crate follows the same discipline:
+//!
+//! * all state lives in registers (plain fields);
+//! * one call to `step(...)` models exactly one rising clock edge —
+//!   combinational logic is evaluated inside the call and the new register
+//!   values are committed before it returns;
+//! * units communicate through values passed into `step` (inputs sampled
+//!   this cycle) and values returned (outputs registered this cycle).
+//!
+//! [`Clock`] counts cycles and converts them to wall-clock time at a
+//! configurable frequency, and [`Probe`] records signal traces for
+//! waveform-style assertions in tests.
+
+use core::fmt;
+
+/// The system clock: a cycle counter plus the frequency used to convert
+/// cycles to wall-clock time (the board runs at 1 MHz, paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clock {
+    cycles: u64,
+    hz: u64,
+}
+
+impl Clock {
+    /// A clock at `hz` Hertz, at cycle 0.
+    ///
+    /// # Panics
+    /// Panics if `hz == 0`.
+    pub fn new(hz: u64) -> Clock {
+        assert!(hz > 0, "clock frequency must be nonzero");
+        Clock { cycles: 0, hz }
+    }
+
+    /// The paper's 1 MHz clock.
+    pub fn one_mhz() -> Clock {
+        Clock::new(1_000_000)
+    }
+
+    /// Cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The clock frequency in Hz.
+    pub fn hz(&self) -> u64 {
+        self.hz
+    }
+
+    /// Advance one cycle.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Advance `n` cycles.
+    #[inline]
+    pub fn advance(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Elapsed wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / self.hz as f64
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles @ {} Hz ({:.3} s)", self.cycles, self.hz, self.seconds())
+    }
+}
+
+/// A recorded signal trace: (cycle, value) samples, recorded only on
+/// change (like a VCD waveform).
+#[derive(Debug, Clone, Default)]
+pub struct Probe<T> {
+    samples: Vec<(u64, T)>,
+}
+
+impl<T: Clone + PartialEq> Probe<T> {
+    /// An empty probe.
+    pub fn new() -> Probe<T> {
+        Probe {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record `value` at `cycle` if it differs from the last sample.
+    pub fn sample(&mut self, cycle: u64, value: T) {
+        if self.samples.last().is_none_or(|(_, v)| *v != value) {
+            self.samples.push((cycle, value));
+        }
+    }
+
+    /// All transitions recorded, in cycle order.
+    pub fn transitions(&self) -> &[(u64, T)] {
+        &self.samples
+    }
+
+    /// The value in force at `cycle` (the most recent transition at or
+    /// before it).
+    pub fn value_at(&self, cycle: u64) -> Option<&T> {
+        self.samples
+            .iter()
+            .take_while(|(c, _)| *c <= cycle)
+            .last()
+            .map(|(_, v)| v)
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Durations (in cycles) for which each recorded value was held;
+    /// the final value's duration is measured up to `end_cycle`.
+    pub fn hold_times(&self, end_cycle: u64) -> Vec<(T, u64)> {
+        let mut out = Vec::with_capacity(self.samples.len());
+        for (i, (start, v)) in self.samples.iter().enumerate() {
+            let end = self
+                .samples
+                .get(i + 1)
+                .map(|(c, _)| *c)
+                .unwrap_or(end_cycle);
+            out.push((v.clone(), end.saturating_sub(*start)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_counts_and_converts() {
+        let mut c = Clock::one_mhz();
+        c.advance(500_000);
+        assert_eq!(c.cycles(), 500_000);
+        assert!((c.seconds() - 0.5).abs() < 1e-12);
+        c.tick();
+        assert_eq!(c.cycles(), 500_001);
+        assert!(c.to_string().contains("Hz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_hz_rejected() {
+        Clock::new(0);
+    }
+
+    #[test]
+    fn probe_records_only_changes() {
+        let mut p = Probe::new();
+        p.sample(0, false);
+        p.sample(1, false);
+        p.sample(2, true);
+        p.sample(3, true);
+        p.sample(9, false);
+        assert_eq!(p.transitions(), &[(0, false), (2, true), (9, false)]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn probe_value_at() {
+        let mut p = Probe::new();
+        p.sample(5, 10u32);
+        p.sample(8, 20u32);
+        assert_eq!(p.value_at(4), None);
+        assert_eq!(p.value_at(5), Some(&10));
+        assert_eq!(p.value_at(7), Some(&10));
+        assert_eq!(p.value_at(100), Some(&20));
+    }
+
+    #[test]
+    fn probe_hold_times() {
+        let mut p = Probe::new();
+        p.sample(0, 'a');
+        p.sample(4, 'b');
+        p.sample(10, 'c');
+        assert_eq!(
+            p.hold_times(12),
+            vec![('a', 4), ('b', 6), ('c', 2)]
+        );
+    }
+
+    #[test]
+    fn empty_probe() {
+        let p: Probe<u8> = Probe::new();
+        assert!(p.is_empty());
+        assert!(p.hold_times(10).is_empty());
+    }
+}

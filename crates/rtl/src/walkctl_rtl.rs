@@ -1,0 +1,196 @@
+//! The reconfigurable walking state machine as RTL.
+//!
+//! The hardware version of `discipulus::controller::WalkingController`:
+//! a phase timer divides the 1 MHz clock down to the gait rate, a mod-6
+//! phase counter walks through the two steps' micro-phases, and the
+//! position-word register drives the PWM servo bank. The genome lives in a
+//! configuration register rewritten through the [`crate::bitstream`]
+//! loader whenever the GAP promotes a new best individual.
+//!
+//! A unit test locks the emitted position-word sequence to the behavioural
+//! controller, phase for phase.
+
+use crate::bitstream::{Bitstream, ConfigLoader};
+use crate::primitives::ModCounter;
+use crate::resources::Resources;
+use discipulus::controller::{WalkingController, PHASES_PER_CYCLE};
+use discipulus::genome::Genome;
+
+/// Default cycles per micro-phase at 1 MHz: 50 ms, giving a 0.3 s full gait
+/// cycle — in the range that makes a walk trial "about five seconds" for a
+/// dozen-odd cycles (paper §3.2).
+pub const DEFAULT_PHASE_PERIOD: u32 = 50_000;
+
+/// The RTL walking controller.
+#[derive(Debug, Clone)]
+pub struct WalkControllerRtl {
+    /// Behavioural state machine reused as the next-state function — the
+    /// RTL wraps it in registered timing (the functional logic is
+    /// identical by construction; the *sequence timing* is what this type
+    /// adds).
+    inner: WalkingController,
+    loader: ConfigLoader,
+    phase_timer: ModCounter,
+    position_word: u16,
+    phases_executed: u64,
+}
+
+impl WalkControllerRtl {
+    /// A controller configured with `genome`, phase period in clock cycles.
+    ///
+    /// # Panics
+    /// Panics if `phase_period` is zero.
+    pub fn new(genome: Genome, phase_period: u32) -> WalkControllerRtl {
+        WalkControllerRtl {
+            inner: WalkingController::new(genome),
+            loader: ConfigLoader::new(),
+            phase_timer: ModCounter::new(phase_period),
+            position_word: 0,
+            phases_executed: 0,
+        }
+    }
+
+    /// The currently loaded genome.
+    pub fn genome(&self) -> Genome {
+        self.inner.genome()
+    }
+
+    /// The 12-bit servo position word register.
+    pub fn position_word(&self) -> u16 {
+        self.position_word
+    }
+
+    /// Micro-phases executed since reset.
+    pub fn phases_executed(&self) -> u64 {
+        self.phases_executed
+    }
+
+    /// Clock one system cycle with an idle configuration line.
+    pub fn clock(&mut self) {
+        self.clock_with_config(false);
+    }
+
+    /// Clock one system cycle, shifting `config_bit` into the
+    /// configuration loader. When a parity-clean frame completes, the
+    /// controller reconfigures and restarts its gait cycle (matching the
+    /// behavioural `reconfigure` semantics).
+    pub fn clock_with_config(&mut self, config_bit: bool) {
+        if let Some(genome) = self.loader.clock(config_bit) {
+            self.inner.reconfigure(genome);
+            self.phase_timer.reset();
+            self.phases_executed = 0;
+        }
+        if self.phase_timer.clock() {
+            // phase boundary: advance the state machine, latch servo word
+            let cmd = self.inner.tick();
+            self.position_word = cmd.position_word();
+            self.phases_executed += 1;
+        }
+    }
+
+    /// Run until `n` phase boundaries have passed, collecting the position
+    /// word latched at each (testbench convenience).
+    pub fn run_phases(&mut self, n: usize) -> Vec<u16> {
+        let mut words = Vec::with_capacity(n);
+        let before = self.phases_executed;
+        while self.phases_executed < before + n as u64 {
+            let prev = self.phases_executed;
+            self.clock();
+            if self.phases_executed > prev {
+                words.push(self.position_word);
+            }
+        }
+        words
+    }
+
+    /// Serialize and shift-load `genome` through the configuration port,
+    /// one bit per cycle (testbench convenience).
+    pub fn load_genome(&mut self, genome: Genome) {
+        let frame = Bitstream::encode(genome);
+        for &bit in frame.bits() {
+            self.clock_with_config(bit);
+        }
+    }
+
+    /// Resource estimate: the loader's shift register doubles as the
+    /// configuration register; plus phase timer, mod-6 counter, position
+    /// word register and the phase decode muxes.
+    pub fn resources(&self) -> Resources {
+        self.loader.resources()
+            + ModCounter::new(DEFAULT_PHASE_PERIOD).resources()
+            + ModCounter::new(PHASES_PER_CYCLE as u32).resources()
+            + Resources::unit(12, 24) // position word + phase decode muxes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Short phase period so tests run quickly.
+    const TEST_PERIOD: u32 = 8;
+
+    #[test]
+    fn position_sequence_matches_behavioural_controller() {
+        let g = Genome::tripod();
+        let mut rtl = WalkControllerRtl::new(g, TEST_PERIOD);
+        let mut beh = WalkingController::new(g);
+        let words = rtl.run_phases(24);
+        for (i, w) in words.into_iter().enumerate() {
+            assert_eq!(w, beh.tick().position_word(), "phase {i}");
+        }
+    }
+
+    #[test]
+    fn phase_timing_is_exact() {
+        let mut rtl = WalkControllerRtl::new(Genome::tripod(), 100);
+        for _ in 0..99 {
+            rtl.clock();
+        }
+        assert_eq!(rtl.phases_executed(), 0, "no boundary before the period");
+        rtl.clock();
+        assert_eq!(rtl.phases_executed(), 1, "boundary exactly at the period");
+        for _ in 0..100 {
+            rtl.clock();
+        }
+        assert_eq!(rtl.phases_executed(), 2);
+    }
+
+    #[test]
+    fn reconfiguration_through_bitstream() {
+        let mut rtl = WalkControllerRtl::new(Genome::ZERO, TEST_PERIOD);
+        rtl.run_phases(3);
+        rtl.load_genome(Genome::tripod());
+        assert_eq!(rtl.genome(), Genome::tripod());
+        // gait restarts: the next position words match a fresh controller
+        let mut fresh = WalkingController::new(Genome::tripod());
+        for w in rtl.run_phases(6) {
+            assert_eq!(w, fresh.tick().position_word());
+        }
+    }
+
+    #[test]
+    fn corrupted_config_frame_keeps_walking() {
+        let mut rtl = WalkControllerRtl::new(Genome::tripod(), TEST_PERIOD);
+        let mut frame = Bitstream::encode(Genome::ZERO);
+        frame.corrupt(7);
+        for &bit in frame.bits() {
+            rtl.clock_with_config(bit);
+        }
+        assert_eq!(rtl.genome(), Genome::tripod(), "bad frame must be ignored");
+    }
+
+    #[test]
+    fn zero_genome_word_is_all_rest() {
+        let mut rtl = WalkControllerRtl::new(Genome::ZERO, TEST_PERIOD);
+        for w in rtl.run_phases(12) {
+            assert_eq!(w, 0, "all-down/backward genome commands the rest word");
+        }
+    }
+
+    #[test]
+    fn resources_are_modest() {
+        let r = WalkControllerRtl::new(Genome::ZERO, DEFAULT_PHASE_PERIOD).resources();
+        assert!(r.clbs < 120, "{r}");
+    }
+}

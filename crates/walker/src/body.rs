@@ -1,0 +1,100 @@
+//! Leonardo's body geometry (paper §2, Figure 1).
+
+use discipulus::genome::LegId;
+
+/// Body geometry and mass properties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyGeometry {
+    /// Body length along the walking axis, millimetres.
+    pub length_mm: f64,
+    /// Body width across the hips, millimetres.
+    pub width_mm: f64,
+    /// Robot mass, kilograms.
+    pub mass_kg: f64,
+    /// Longitudinal hip offset of the front/rear leg pairs from the body
+    /// centre, millimetres.
+    pub hip_offset_mm: f64,
+    /// Maximum body-articulation angle, radians (the 13th degree of
+    /// freedom, used for turning).
+    pub max_articulation_rad: f64,
+}
+
+/// The Leonardo robot: "small autonomous 6-legged robot (24cm x 20cm,
+/// weighting 1 kg)" with a body articulation in the middle.
+pub const LEONARDO: BodyGeometry = BodyGeometry {
+    length_mm: 240.0,
+    width_mm: 200.0,
+    mass_kg: 1.0,
+    hip_offset_mm: 90.0,
+    max_articulation_rad: 0.52, // ~30°
+};
+
+impl BodyGeometry {
+    /// Hip position of `leg` in the body frame (x forward, y left),
+    /// millimetres. Legs attach at the body edges; front/rear pairs sit
+    /// `hip_offset_mm` fore/aft of the centre.
+    pub fn hip_position(&self, leg: LegId) -> (f64, f64) {
+        let y = match leg {
+            LegId::LeftFront | LegId::LeftMiddle | LegId::LeftRear => self.width_mm / 2.0,
+            _ => -self.width_mm / 2.0,
+        };
+        let x = match leg {
+            LegId::LeftFront | LegId::RightFront => self.hip_offset_mm,
+            LegId::LeftMiddle | LegId::RightMiddle => 0.0,
+            LegId::LeftRear | LegId::RightRear => -self.hip_offset_mm,
+        };
+        (x, y)
+    }
+
+    /// Centre of mass in the body frame (body symmetric: the origin).
+    pub fn center_of_mass(&self) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discipulus::genome::Side;
+
+    #[test]
+    fn leonardo_matches_paper_dimensions() {
+        assert_eq!(LEONARDO.length_mm, 240.0);
+        assert_eq!(LEONARDO.width_mm, 200.0);
+        assert_eq!(LEONARDO.mass_kg, 1.0);
+    }
+
+    #[test]
+    fn hips_are_left_right_symmetric() {
+        for leg in LegId::ALL {
+            let (x, y) = LEONARDO.hip_position(leg);
+            let (mx, my) = LEONARDO.hip_position(leg.mirrored());
+            assert_eq!(x, mx);
+            assert_eq!(y, -my);
+        }
+    }
+
+    #[test]
+    fn hips_are_fore_aft_symmetric() {
+        let (xf, _) = LEONARDO.hip_position(LegId::LeftFront);
+        let (xm, _) = LEONARDO.hip_position(LegId::LeftMiddle);
+        let (xr, _) = LEONARDO.hip_position(LegId::LeftRear);
+        assert_eq!(xf, -xr);
+        assert_eq!(xm, 0.0);
+    }
+
+    #[test]
+    fn sides_have_expected_sign() {
+        for leg in Side::Left.legs() {
+            assert!(LEONARDO.hip_position(leg).1 > 0.0);
+        }
+        for leg in Side::Right.legs() {
+            assert!(LEONARDO.hip_position(leg).1 < 0.0);
+        }
+    }
+
+    #[test]
+    fn com_is_origin() {
+        assert_eq!(LEONARDO.center_of_mass(), (0.0, 0.0));
+    }
+}

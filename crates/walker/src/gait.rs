@@ -1,0 +1,236 @@
+//! Gait execution with servo timing.
+//!
+//! [`GaitExecutor`] closes the loop between the walking controller's phase
+//! commands and the servo dynamics: each micro-phase lasts as long as the
+//! slowest servo needs to reach its commanded position. This reproduces
+//! the real-time cost the paper cites for physical fitness evaluation
+//! ("the robot \[...\] needs to try a genome for about five seconds to
+//! execute the walk" — a handful of gait cycles at servo speed).
+
+use crate::leg::LegKinematics;
+use crate::servo::Servo;
+use discipulus::controller::{PhaseCommand, WalkingController, PHASES_PER_CYCLE};
+use discipulus::genome::{Genome, LegId, NUM_LEGS};
+use discipulus::movement::VerticalMove;
+
+/// Elevation servo angle for a raised leg, degrees.
+const ELEVATION_UP_DEG: f64 = 30.0;
+/// Elevation servo angle for a lowered leg, degrees.
+const ELEVATION_DOWN_DEG: f64 = -30.0;
+
+/// Drives 12 simulated servos from a walking controller and accounts for
+/// the real time each micro-phase takes.
+#[derive(Debug, Clone)]
+pub struct GaitExecutor {
+    controller: WalkingController,
+    elevation: [Servo; NUM_LEGS],
+    propulsion: [Servo; NUM_LEGS],
+    elapsed_s: f64,
+}
+
+impl GaitExecutor {
+    /// An executor for `genome`, servos at the rest posture.
+    pub fn new(genome: Genome) -> GaitExecutor {
+        let mut elevation = [Servo::hobby(); NUM_LEGS];
+        let mut propulsion = [Servo::hobby(); NUM_LEGS];
+        for i in 0..NUM_LEGS {
+            elevation[i].set_target(ELEVATION_DOWN_DEG);
+            propulsion[i].set_target(LegKinematics::offset_to_servo_deg(
+                -crate::leg::STRIDE_MM / 2.0,
+            ));
+            elevation[i].update(1.0);
+            propulsion[i].update(1.0);
+        }
+        GaitExecutor {
+            controller: WalkingController::new(genome),
+            elevation,
+            propulsion,
+            elapsed_s: 0.0,
+        }
+    }
+
+    /// Wall-clock seconds of walking executed so far.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// The underlying controller.
+    pub fn controller(&self) -> &WalkingController {
+        &self.controller
+    }
+
+    /// Execute the next micro-phase: command the servos, run them until
+    /// the slowest settles, and return the phase command together with the
+    /// phase duration in seconds.
+    pub fn step_phase(&mut self) -> (PhaseCommand, f64) {
+        let cmd = self.controller.tick();
+        for leg in LegId::ALL {
+            let i = leg.index();
+            let pose = cmd.leg(leg);
+            self.elevation[i].set_target(match pose.vertical {
+                VerticalMove::Up => ELEVATION_UP_DEG,
+                VerticalMove::Down => ELEVATION_DOWN_DEG,
+            });
+            self.propulsion[i].set_target(LegKinematics::offset_to_servo_deg(
+                LegKinematics::horizontal_offset(pose.horizontal),
+            ));
+        }
+        let duration = self
+            .elevation
+            .iter()
+            .chain(self.propulsion.iter())
+            .map(Servo::settle_time)
+            .fold(0.0, f64::max)
+            .max(0.02); // at least one servo frame
+        for s in self.elevation.iter_mut().chain(self.propulsion.iter_mut()) {
+            s.update(duration);
+        }
+        self.elapsed_s += duration;
+        (cmd, duration)
+    }
+
+    /// Seconds one full gait cycle takes for this genome (measured over a
+    /// warmed-up cycle).
+    pub fn cycle_duration_s(genome: Genome) -> f64 {
+        let mut ex = GaitExecutor::new(genome);
+        for _ in 0..PHASES_PER_CYCLE {
+            ex.step_phase(); // warm-up
+        }
+        let before = ex.elapsed_s();
+        for _ in 0..PHASES_PER_CYCLE {
+            ex.step_phase();
+        }
+        ex.elapsed_s() - before
+    }
+}
+
+/// Plays an arbitrary phase-command table cyclically with servo timing —
+/// the executor for wide (more-than-two-step) gaits and hand-authored
+/// command sequences.
+#[derive(Debug, Clone)]
+pub struct TableExecutor {
+    phases: Vec<PhaseCommand>,
+    next: usize,
+    elevation: [Servo; NUM_LEGS],
+    propulsion: [Servo; NUM_LEGS],
+    elapsed_s: f64,
+}
+
+impl TableExecutor {
+    /// An executor cycling through `phases`, servos at the rest posture.
+    ///
+    /// # Panics
+    /// Panics on an empty table.
+    pub fn new(phases: Vec<PhaseCommand>) -> TableExecutor {
+        assert!(!phases.is_empty(), "phase table must not be empty");
+        let mut elevation = [Servo::hobby(); NUM_LEGS];
+        let mut propulsion = [Servo::hobby(); NUM_LEGS];
+        for i in 0..NUM_LEGS {
+            elevation[i].set_target(ELEVATION_DOWN_DEG);
+            propulsion[i].set_target(LegKinematics::offset_to_servo_deg(
+                -crate::leg::STRIDE_MM / 2.0,
+            ));
+            elevation[i].update(1.0);
+            propulsion[i].update(1.0);
+        }
+        TableExecutor {
+            phases,
+            next: 0,
+            elevation,
+            propulsion,
+            elapsed_s: 0.0,
+        }
+    }
+
+    /// Phases per cycle of this table.
+    pub fn phases_per_cycle(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Wall-clock seconds of walking executed so far.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Execute the next phase of the table (wrapping around); same servo
+    /// timing model as [`GaitExecutor::step_phase`].
+    pub fn step_phase(&mut self) -> (PhaseCommand, f64) {
+        let cmd = self.phases[self.next];
+        self.next = (self.next + 1) % self.phases.len();
+        for leg in LegId::ALL {
+            let i = leg.index();
+            let pose = cmd.leg(leg);
+            self.elevation[i].set_target(match pose.vertical {
+                VerticalMove::Up => ELEVATION_UP_DEG,
+                VerticalMove::Down => ELEVATION_DOWN_DEG,
+            });
+            self.propulsion[i].set_target(LegKinematics::offset_to_servo_deg(
+                LegKinematics::horizontal_offset(pose.horizontal),
+            ));
+        }
+        let duration = self
+            .elevation
+            .iter()
+            .chain(self.propulsion.iter())
+            .map(Servo::settle_time)
+            .fold(0.0, f64::max)
+            .max(0.02);
+        for s in self.elevation.iter_mut().chain(self.propulsion.iter_mut()) {
+            s.update(duration);
+        }
+        self.elapsed_s += duration;
+        (cmd, duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_take_servo_time() {
+        let mut ex = GaitExecutor::new(Genome::tripod());
+        let (_, dt) = ex.step_phase();
+        assert!(dt >= 0.02, "phase duration {dt}");
+        assert!(dt <= 0.5);
+        assert!(ex.elapsed_s() > 0.0);
+    }
+
+    #[test]
+    fn tripod_cycle_duration_is_fraction_of_second() {
+        let d = GaitExecutor::cycle_duration_s(Genome::tripod());
+        // six micro-phases, the horizontal sweep dominating at 90°/300°/s
+        assert!((0.1..2.0).contains(&d), "cycle duration {d}");
+    }
+
+    #[test]
+    fn five_second_trial_covers_several_cycles() {
+        // the paper's "about five seconds" per genome trial corresponds to
+        // a handful of gait cycles at hobby-servo speed
+        let d = GaitExecutor::cycle_duration_s(Genome::tripod());
+        let cycles_in_5s = 5.0 / d;
+        assert!(
+            (2.0..50.0).contains(&cycles_in_5s),
+            "{cycles_in_5s} cycles in 5 s"
+        );
+    }
+
+    #[test]
+    fn servos_settle_every_phase() {
+        let mut ex = GaitExecutor::new(Genome::tripod());
+        for _ in 0..12 {
+            ex.step_phase();
+            for s in ex.elevation.iter().chain(ex.propulsion.iter()) {
+                assert_eq!(s.settle_time(), 0.0, "servo did not settle");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_genome_cycles_are_fast() {
+        // nothing moves after the first command: phases cost only the
+        // minimum frame time
+        let d = GaitExecutor::cycle_duration_s(Genome::ZERO);
+        assert!((d - 6.0 * 0.02).abs() < 1e-9, "idle cycle {d}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Leg kinematics: servo angles to foot positions.
+//!
+//! Each leg has two servos (elevation and propulsion) plus an elastic
+//! joint giving a lateral pseudo-degree of freedom (paper §2, Figure 1b).
+//! The propulsion servo sweeps the foot fore/aft along the body axis; the
+//! elevation servo lifts the foot off the ground.
+
+use crate::body::BodyGeometry;
+use discipulus::genome::LegId;
+use discipulus::movement::{HorizontalMove, VerticalMove};
+
+/// Foot stride: fore/aft travel of the foot from the propulsion sweep,
+/// millimetres (±30 mm around the hip).
+pub const STRIDE_MM: f64 = 60.0;
+/// Foot lift height when the elevation servo raises the leg, millimetres.
+pub const LIFT_MM: f64 = 20.0;
+/// Lateral stance distance of a foot from its hip, millimetres (through
+/// the elastic joint).
+pub const LATERAL_MM: f64 = 40.0;
+
+/// A foot position in the body frame, millimetres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FootPosition {
+    /// Along the body axis (positive forward).
+    pub x: f64,
+    /// Across the body (positive left).
+    pub y: f64,
+    /// Height above ground (0 = touching).
+    pub z: f64,
+}
+
+impl FootPosition {
+    /// Whether the foot touches the ground.
+    pub fn grounded(&self) -> bool {
+        self.z <= 1e-9
+    }
+}
+
+/// Kinematics of one leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegKinematics {
+    /// Which leg this is.
+    pub leg: LegId,
+    /// Hip position in the body frame.
+    pub hip: (f64, f64),
+}
+
+impl LegKinematics {
+    /// Kinematics of `leg` on `body`.
+    pub fn new(body: &BodyGeometry, leg: LegId) -> LegKinematics {
+        LegKinematics {
+            leg,
+            hip: body.hip_position(leg),
+        }
+    }
+
+    /// Foot x offset commanded by a horizontal servo position: forward ⇒
+    /// `+STRIDE/2`, backward ⇒ `−STRIDE/2` relative to the hip.
+    pub fn horizontal_offset(h: HorizontalMove) -> f64 {
+        match h {
+            HorizontalMove::Forward => STRIDE_MM / 2.0,
+            HorizontalMove::Backward => -STRIDE_MM / 2.0,
+        }
+    }
+
+    /// Foot height commanded by a vertical servo position.
+    pub fn vertical_height(v: VerticalMove) -> f64 {
+        match v {
+            VerticalMove::Down => 0.0,
+            VerticalMove::Up => LIFT_MM,
+        }
+    }
+
+    /// Foot position in the body frame for commanded servo positions and a
+    /// fore/aft offset (the offset is the *actual* foot x relative to the
+    /// hip, which for a grounded foot can differ from the commanded servo
+    /// position while the body moves over it).
+    pub fn foot_position(&self, x_offset_mm: f64, v: VerticalMove) -> FootPosition {
+        let lateral = if self.hip.1 > 0.0 {
+            LATERAL_MM
+        } else {
+            -LATERAL_MM
+        };
+        FootPosition {
+            x: self.hip.0 + x_offset_mm,
+            y: self.hip.1 + lateral,
+            z: LegKinematics::vertical_height(v),
+        }
+    }
+
+    /// Propulsion servo angle (degrees) for a foot x offset: the servo's
+    /// ±45° travel maps linearly onto the ±30 mm stride.
+    pub fn offset_to_servo_deg(x_offset_mm: f64) -> f64 {
+        (x_offset_mm / (STRIDE_MM / 2.0)).clamp(-1.0, 1.0) * 45.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::LEONARDO;
+
+    #[test]
+    fn horizontal_offsets_are_symmetric() {
+        assert_eq!(
+            LegKinematics::horizontal_offset(HorizontalMove::Forward),
+            -LegKinematics::horizontal_offset(HorizontalMove::Backward)
+        );
+    }
+
+    #[test]
+    fn vertical_heights() {
+        assert_eq!(LegKinematics::vertical_height(VerticalMove::Down), 0.0);
+        assert_eq!(LegKinematics::vertical_height(VerticalMove::Up), LIFT_MM);
+    }
+
+    #[test]
+    fn foot_position_composes_hip_and_offset() {
+        let k = LegKinematics::new(&LEONARDO, LegId::LeftFront);
+        let f = k.foot_position(30.0, VerticalMove::Down);
+        assert_eq!(f.x, 90.0 + 30.0);
+        assert_eq!(f.y, 100.0 + LATERAL_MM);
+        assert!(f.grounded());
+        let up = k.foot_position(0.0, VerticalMove::Up);
+        assert!(!up.grounded());
+        assert_eq!(up.z, LIFT_MM);
+    }
+
+    #[test]
+    fn right_side_feet_point_right() {
+        let k = LegKinematics::new(&LEONARDO, LegId::RightMiddle);
+        let f = k.foot_position(0.0, VerticalMove::Down);
+        assert!(f.y < -LEONARDO.width_mm / 2.0);
+    }
+
+    #[test]
+    fn servo_angle_mapping_roundtrip() {
+        assert_eq!(LegKinematics::offset_to_servo_deg(30.0), 45.0);
+        assert_eq!(LegKinematics::offset_to_servo_deg(-30.0), -45.0);
+        assert_eq!(LegKinematics::offset_to_servo_deg(0.0), 0.0);
+        // clamped beyond travel
+        assert_eq!(LegKinematics::offset_to_servo_deg(100.0), 45.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # leonardo-walker — a quasi-static simulator of the Leonardo hexapod
+//!
+//! The paper evaluates evolved gaits by running them on the physical robot
+//! and judging the walk ("the walking behavior found with the maximum
+//! fitness respecting all these rules is nonetheless good", §3.3). The
+//! robot is not available here, so this crate substitutes a kinematic,
+//! quasi-static simulation of Leonardo's mechanics (§2 of the paper):
+//! six 2-DOF legs (elevation + propulsion) with an elastic lateral
+//! pseudo-DOF, a central body-articulation joint, ground-contact and
+//! obstacle sensors, 240 × 200 mm body, 1 kg mass.
+//!
+//! The substitution preserves exactly what the paper's qualitative claims
+//! rest on:
+//!
+//! * a gait is *good* when it moves the robot forward without falling —
+//!   modelled by stance-propulsion displacement ([`locomotion`]) and
+//!   support-polygon static stability ([`stability`]);
+//! * a gait is *bad* when it violates the physical considerations behind
+//!   the three fitness rules — three raised legs on one side topple the
+//!   robot, non-alternating legs make no sustained progress, incoherent
+//!   legs drag the body backward. Unit tests verify all three.
+//!
+//! This gives experiment E5 its measurement device: score every
+//! max-rule-fitness genome in simulation and compare against the global
+//! best walker (quantifying the paper's claim F9).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use discipulus::genome::Genome;
+//! use leonardo_walker::prelude::*;
+//!
+//! let report = WalkTrial::new(Genome::tripod()).cycles(10).run();
+//! assert!(report.distance_mm() > 100.0);
+//! assert_eq!(report.falls(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod body;
+pub mod gait;
+pub mod leg;
+pub mod locomotion;
+pub mod metrics;
+pub mod sensors;
+pub mod servo;
+pub mod stability;
+pub mod viz;
+pub mod world;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::body::{BodyGeometry, LEONARDO};
+    pub use crate::gait::GaitExecutor;
+    pub use crate::leg::{FootPosition, LegKinematics};
+    pub use crate::locomotion::PhaseOutcome;
+    pub use crate::metrics::{walking_fitness, WalkScore};
+    pub use crate::sensors::{ContactSensors, Obstacle};
+    pub use crate::servo::Servo;
+    pub use crate::stability::{stability_margin, support_polygon};
+    pub use crate::viz::{gait_diagram, trajectory_plot};
+    pub use crate::world::{Terrain, WalkReport, WalkTrial};
+}

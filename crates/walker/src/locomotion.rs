@@ -1,0 +1,304 @@
+//! The quasi-static locomotion model: how a micro-phase moves the robot.
+//!
+//! Stance mechanics: a grounded foot is anchored to the ground, so when
+//! its propulsion servo sweeps, the *body* translates in the opposite
+//! direction. Multiple grounded legs commanding inconsistent sweeps fight
+//! each other: the body moves by the mean and the disagreement is paid as
+//! foot slip (wasted motion that the elastic lateral joints absorb on the
+//! real robot). Raised feet reposition freely without moving the body.
+//!
+//! This model is what gives the paper's three fitness rules their physical
+//! meaning, and the unit tests check each correspondence:
+//!
+//! * three raised legs on one side ⇒ centre of mass leaves the support
+//!   polygon ⇒ fall (rule 1);
+//! * a leg that does not alternate direction makes no net contribution
+//!   after the first cycle (rule 2);
+//! * a leg sweeping forward while grounded drags the body backward
+//!   (rule 3).
+
+use crate::body::BodyGeometry;
+use crate::leg::{FootPosition, LegKinematics};
+use crate::stability::stability_margin;
+use discipulus::controller::PhaseCommand;
+use discipulus::genome::{LegId, NUM_LEGS};
+use discipulus::movement::MicroPhase;
+
+/// Kinematic state of the robot during a trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobotState {
+    /// Body geometry.
+    pub body: BodyGeometry,
+    /// Foot x offsets relative to each hip, mm (actual, body frame).
+    pub foot_offsets: [f64; NUM_LEGS],
+    /// Whether each foot is on the ground.
+    pub grounded: [bool; NUM_LEGS],
+    /// Body position in the world, mm.
+    pub position: (f64, f64),
+    /// Heading, radians (0 = +x).
+    pub heading: f64,
+    /// Body articulation angle, radians (turns the robot while walking).
+    pub articulation: f64,
+}
+
+impl RobotState {
+    /// Rest posture: all feet down at the backward servo position.
+    pub fn rest(body: BodyGeometry) -> RobotState {
+        RobotState {
+            body,
+            foot_offsets: [-crate::leg::STRIDE_MM / 2.0; NUM_LEGS],
+            grounded: [true; NUM_LEGS],
+            position: (0.0, 0.0),
+            heading: 0.0,
+            articulation: 0.0,
+        }
+    }
+
+    /// Current foot positions in the body frame.
+    pub fn feet(&self) -> [FootPosition; NUM_LEGS] {
+        core::array::from_fn(|i| {
+            let leg = LegId::from_index(i);
+            let k = LegKinematics::new(&self.body, leg);
+            let v = if self.grounded[i] {
+                discipulus::movement::VerticalMove::Down
+            } else {
+                discipulus::movement::VerticalMove::Up
+            };
+            k.foot_position(self.foot_offsets[i], v)
+        })
+    }
+
+    /// Current static stability margin, mm.
+    pub fn stability_margin(&self) -> f64 {
+        stability_margin(&self.feet(), self.body.center_of_mass())
+    }
+
+    /// Number of grounded feet.
+    pub fn grounded_count(&self) -> usize {
+        self.grounded.iter().filter(|&&g| g).count()
+    }
+}
+
+/// What one micro-phase did to the robot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseOutcome {
+    /// Net body displacement along the heading, mm (positive = forward).
+    pub displacement_mm: f64,
+    /// Total foot slip paid by disagreeing stance legs, mm.
+    pub slip_mm: f64,
+    /// Stability margin after the phase, mm.
+    pub stability_margin_mm: f64,
+    /// Whether the robot fell (margin ≤ 0) in this phase.
+    pub fell: bool,
+    /// Heading change, radians.
+    pub heading_delta: f64,
+}
+
+/// Execute one micro-phase command against the robot state.
+pub fn apply_phase(state: &mut RobotState, cmd: &PhaseCommand) -> PhaseOutcome {
+    let mut displacement = 0.0f64;
+    let mut slip = 0.0f64;
+
+    match cmd.phase {
+        MicroPhase::PreVertical | MicroPhase::PostVertical => {
+            // legs lift or land; feet keep their x offsets
+            for leg in LegId::ALL {
+                state.grounded[leg.index()] = cmd.leg(leg).vertical.grounded();
+            }
+        }
+        MicroPhase::Horizontal => {
+            // all propulsion servos sweep to their commanded positions
+            let mut stance_deltas: Vec<f64> = Vec::with_capacity(NUM_LEGS);
+            for leg in LegId::ALL {
+                let i = leg.index();
+                let target = LegKinematics::horizontal_offset(cmd.leg(leg).horizontal);
+                let delta = target - state.foot_offsets[i];
+                if state.grounded[i] {
+                    stance_deltas.push(delta);
+                }
+                state.foot_offsets[i] = target;
+            }
+            if !stance_deltas.is_empty() {
+                let mean = stance_deltas.iter().sum::<f64>() / stance_deltas.len() as f64;
+                displacement = -mean;
+                slip = stance_deltas.iter().map(|d| (d - mean).abs()).sum();
+            }
+        }
+    }
+
+    // turning through the body articulation: yaw accumulates with forward
+    // travel, like a bent car chassis
+    let heading_delta = if state.articulation.abs() > 1e-12 {
+        displacement * state.articulation.sin() / state.body.length_mm
+    } else {
+        0.0
+    };
+    state.heading += heading_delta;
+    state.position.0 += displacement * state.heading.cos();
+    state.position.1 += displacement * state.heading.sin();
+
+    let margin = state.stability_margin();
+    let fell = margin <= 0.0;
+    PhaseOutcome {
+        displacement_mm: displacement,
+        slip_mm: slip,
+        stability_margin_mm: margin,
+        fell,
+        heading_delta,
+    }
+}
+
+/// Recovery after a fall: every foot lands where its servo holds it and
+/// the robot loses `penalty_mm` of forward progress (it has to pick
+/// itself up; on the real robot a fall ends the attempt).
+pub fn recover_from_fall(state: &mut RobotState, penalty_mm: f64) {
+    state.grounded = [true; NUM_LEGS];
+    state.position.0 -= penalty_mm * state.heading.cos();
+    state.position.1 -= penalty_mm * state.heading.sin();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::LEONARDO;
+    use discipulus::controller::GaitTable;
+    use discipulus::genome::{Genome, StepId};
+
+    fn run_cycle(state: &mut RobotState, table: &GaitTable) -> Vec<PhaseOutcome> {
+        table
+            .phases()
+            .iter()
+            .map(|cmd| apply_phase(state, cmd))
+            .collect()
+    }
+
+    #[test]
+    fn tripod_gait_walks_forward_without_falling() {
+        let table = GaitTable::from_genome(Genome::tripod());
+        let mut state = RobotState::rest(LEONARDO);
+        let mut total = 0.0;
+        for _ in 0..10 {
+            for out in run_cycle(&mut state, &table) {
+                assert!(!out.fell, "tripod gait must never fall");
+                total += out.displacement_mm;
+            }
+        }
+        // each step propels by a full stride's mean over stance legs
+        assert!(total > 300.0, "tripod distance {total}");
+        assert!(state.position.0 > 300.0);
+    }
+
+    #[test]
+    fn rule1_three_raised_same_side_falls() {
+        // raise all left legs: the support polygon is the right-side line
+        let mut state = RobotState::rest(LEONARDO);
+        for leg in discipulus::genome::Side::Left.legs() {
+            state.grounded[leg.index()] = false;
+        }
+        assert!(state.stability_margin() < 0.0, "CoM must leave the support");
+    }
+
+    #[test]
+    fn rule2_non_alternating_gait_stalls_after_first_cycle() {
+        // zero genome: every leg backward in both steps
+        let table = GaitTable::from_genome(Genome::ZERO);
+        let mut state = RobotState::rest(LEONARDO);
+        // feet already at the backward position: nothing ever moves
+        let mut total = 0.0;
+        for _ in 0..5 {
+            for out in run_cycle(&mut state, &table) {
+                total += out.displacement_mm;
+            }
+        }
+        assert!(
+            total.abs() < 1e-9,
+            "non-alternating gait moved {total} mm"
+        );
+    }
+
+    #[test]
+    fn rule3_incoherent_forward_sweep_drags_backward() {
+        // all legs: stay down, sweep forward in step 1 (incoherent), then
+        // backward in step 2 — a grounded forward sweep pushes the body
+        // backward first
+        let mut genes =
+            [[discipulus::genome::LegGene::from_bits(0b010); 6]; 2]; // down/fwd/down
+        for g in &mut genes[1] {
+            *g = discipulus::genome::LegGene::from_bits(0b000); // down/back/down
+        }
+        let genome = Genome::from_genes(genes);
+        let table = GaitTable::from_genome(genome);
+        let mut state = RobotState::rest(LEONARDO);
+        let first_sweep = apply_phase(
+            &mut state,
+            table.at(StepId::One, MicroPhase::Horizontal),
+        );
+        assert!(
+            first_sweep.displacement_mm < 0.0,
+            "grounded forward sweep must drag the body backward, got {}",
+            first_sweep.displacement_mm
+        );
+    }
+
+    #[test]
+    fn stance_disagreement_costs_slip() {
+        // half the grounded legs sweep forward, half backward: no net
+        // motion, maximal slip
+        let mut state = RobotState::rest(LEONARDO);
+        state.foot_offsets = [0.0; NUM_LEGS];
+        let mut genes = [[discipulus::genome::LegGene::from_bits(0b000); 6]; 2];
+        for (i, g) in genes[0].iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *g = discipulus::genome::LegGene::from_bits(0b010); // down/fwd/down
+            }
+        }
+        let genome = Genome::from_genes(genes);
+        let table = GaitTable::from_genome(genome);
+        let out = apply_phase(&mut state, table.at(StepId::One, MicroPhase::Horizontal));
+        assert!(out.displacement_mm.abs() < 1e-9);
+        assert!(out.slip_mm > 100.0, "slip {}", out.slip_mm);
+    }
+
+    #[test]
+    fn swing_legs_move_without_pushing() {
+        let mut state = RobotState::rest(LEONARDO);
+        state.grounded = [false; NUM_LEGS]; // all in the air (contrived)
+        let table = GaitTable::from_genome(Genome::tripod());
+        let out = apply_phase(&mut state, table.at(StepId::One, MicroPhase::Horizontal));
+        assert_eq!(out.displacement_mm, 0.0);
+        assert_eq!(out.slip_mm, 0.0);
+    }
+
+    #[test]
+    fn articulation_turns_the_robot() {
+        let table = GaitTable::from_genome(Genome::tripod());
+        let mut straight = RobotState::rest(LEONARDO);
+        let mut bent = RobotState::rest(LEONARDO);
+        bent.articulation = 0.4;
+        for _ in 0..10 {
+            run_cycle(&mut straight, &table);
+            run_cycle(&mut bent, &table);
+        }
+        assert!(straight.heading.abs() < 1e-12);
+        assert!(bent.heading.abs() > 0.01, "heading {}", bent.heading);
+        // the turning robot's path bends away from the x axis
+        assert!(bent.position.1.abs() > 1.0);
+    }
+
+    #[test]
+    fn fall_recovery_grounds_all_feet_and_penalizes() {
+        let mut state = RobotState::rest(LEONARDO);
+        state.grounded = [false; NUM_LEGS];
+        state.position = (100.0, 0.0);
+        recover_from_fall(&mut state, 25.0);
+        assert_eq!(state.grounded_count(), NUM_LEGS);
+        assert!((state.position.0 - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rest_state_is_stable() {
+        let state = RobotState::rest(LEONARDO);
+        assert!(state.stability_margin() > 50.0);
+        assert_eq!(state.grounded_count(), 6);
+    }
+}

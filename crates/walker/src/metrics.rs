@@ -1,0 +1,104 @@
+//! The "true" walking-quality metric used to test the paper's claim F9
+//! ("the maximum fitness does not necessarily correspond to the best walk
+//! known for the robot. However, the walking behavior found with the
+//! maximum fitness \[...\] is nonetheless good").
+//!
+//! The rule fitness of `discipulus::fitness` is a logic-only surrogate;
+//! [`walking_fitness`] measures what the authors judged by eye: forward
+//! progress, falls, wasted slip. Experiment E5 scores every maximal-rule
+//! genome with both metrics and compares.
+
+use crate::world::{WalkReport, WalkTrial};
+use discipulus::genome::Genome;
+
+/// A walking-quality score for one genome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkScore {
+    /// Net forward distance, mm.
+    pub distance_mm: f64,
+    /// Falls during the trial.
+    pub falls: u32,
+    /// Total foot slip, mm.
+    pub slip_mm: f64,
+    /// The combined scalar score (higher is better).
+    pub score: f64,
+}
+
+/// Weight of one fall in the combined score, mm of distance.
+pub const FALL_COST_MM: f64 = 200.0;
+/// Weight of one mm of slip in the combined score.
+pub const SLIP_COST: f64 = 0.25;
+
+/// Score a finished trial: distance minus fall and slip penalties.
+pub fn score_report(report: &WalkReport) -> WalkScore {
+    let score = report.distance_mm()
+        - f64::from(report.falls()) * FALL_COST_MM
+        - report.total_slip_mm() * SLIP_COST;
+    WalkScore {
+        distance_mm: report.distance_mm(),
+        falls: report.falls(),
+        slip_mm: report.total_slip_mm(),
+        score,
+    }
+}
+
+/// Run the standard E5 trial (10 cycles, flat ground) and score it.
+pub fn walking_fitness(genome: Genome) -> WalkScore {
+    score_report(&WalkTrial::new(genome).cycles(10).run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tripod_scores_high() {
+        let s = walking_fitness(Genome::tripod());
+        assert!(s.score > 500.0, "tripod score {}", s.score);
+        assert_eq!(s.falls, 0);
+    }
+
+    #[test]
+    fn zero_genome_scores_near_zero() {
+        let s = walking_fitness(Genome::ZERO);
+        assert!(s.score.abs() < 1.0);
+    }
+
+    #[test]
+    fn falling_genome_scores_negative() {
+        let s = walking_fitness(Genome::from_bits((1 << 36) - 1));
+        assert!(s.score < 0.0, "all-up genome score {}", s.score);
+    }
+
+    #[test]
+    fn tripod_beats_zero_beats_chaos() {
+        let tripod = walking_fitness(Genome::tripod()).score;
+        let zero = walking_fitness(Genome::ZERO).score;
+        let chaos = walking_fitness(Genome::from_bits(0x6_DB6D_B6DB)).score;
+        assert!(tripod > zero);
+        assert!(tripod > chaos);
+    }
+
+    #[test]
+    fn score_composition() {
+        let r = WalkTrial::new(Genome::tripod()).cycles(5).run();
+        let s = score_report(&r);
+        assert!(
+            (s.score - (s.distance_mm - f64::from(s.falls) * FALL_COST_MM
+                - s.slip_mm * SLIP_COST))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn rule_fitness_and_walk_score_correlate_on_extremes() {
+        use discipulus::fitness::FitnessSpec;
+        let spec = FitnessSpec::paper();
+        // maximal-rule tripod walks far; a rule-minimal genome walks badly
+        let good = walking_fitness(Genome::tripod()).score;
+        let bad = walking_fitness(Genome::from_bits((1 << 36) - 1)).score;
+        assert!(spec.evaluate(Genome::tripod()) > spec.evaluate(Genome::from_bits((1 << 36) - 1)));
+        assert!(good > bad);
+    }
+}

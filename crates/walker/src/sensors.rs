@@ -1,0 +1,134 @@
+//! Leonardo's contact sensors.
+//!
+//! Paper §2: "The sensorial part is composed of two simple contacts that
+//! indicate whether or not a leg is touching the ground or an obstacle."
+
+use crate::locomotion::RobotState;
+use discipulus::genome::{LegId, NUM_LEGS};
+
+/// An obstacle on the ground: a wall segment across the robot's path at a
+/// world x position, of a given height (only legs below that height hit it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obstacle {
+    /// World x position of the obstacle face, mm.
+    pub x_mm: f64,
+    /// Obstacle height, mm; feet carried above this pass over it.
+    pub height_mm: f64,
+}
+
+/// The per-leg contact sensor state, as the robot's electronics would
+/// present it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContactSensors {
+    /// Ground-contact bit per leg.
+    pub ground: [bool; NUM_LEGS],
+    /// Obstacle-contact bit per leg.
+    pub obstacle: [bool; NUM_LEGS],
+}
+
+impl ContactSensors {
+    /// Read the sensors for the current robot state against the obstacles.
+    pub fn read(state: &RobotState, obstacles: &[Obstacle]) -> ContactSensors {
+        let mut s = ContactSensors::default();
+        let feet = state.feet();
+        for leg in LegId::ALL {
+            let i = leg.index();
+            s.ground[i] = state.grounded[i];
+            // world-frame foot x (heading ignored for the short sensor
+            // horizon — contacts matter near the front of the robot)
+            let world_x = state.position.0 + feet[i].x;
+            // the obstacle body occupies one stride of depth behind its
+            // face, so a discrete foot placement cannot tunnel through it
+            s.obstacle[i] = obstacles.iter().any(|o| {
+                feet[i].z < o.height_mm
+                    && world_x >= o.x_mm
+                    && world_x < o.x_mm + crate::leg::STRIDE_MM
+            });
+        }
+        s
+    }
+
+    /// Packed sensor word: ground bits 0..6, obstacle bits 6..12 (the
+    /// format on the robot's extension port).
+    pub fn word(&self) -> u16 {
+        let mut w = 0u16;
+        for i in 0..NUM_LEGS {
+            w |= u16::from(self.ground[i]) << i;
+            w |= u16::from(self.obstacle[i]) << (NUM_LEGS + i);
+        }
+        w
+    }
+
+    /// Number of legs reporting ground contact.
+    pub fn grounded_count(&self) -> usize {
+        self.ground.iter().filter(|&&g| g).count()
+    }
+
+    /// Whether any leg reports an obstacle.
+    pub fn any_obstacle(&self) -> bool {
+        self.obstacle.iter().any(|&o| o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::LEONARDO;
+
+    #[test]
+    fn ground_sensors_mirror_state() {
+        let mut state = RobotState::rest(LEONARDO);
+        state.grounded[2] = false;
+        let s = ContactSensors::read(&state, &[]);
+        assert!(!s.ground[2]);
+        assert_eq!(s.grounded_count(), 5);
+        assert!(!s.any_obstacle());
+    }
+
+    #[test]
+    fn obstacle_detected_at_foot() {
+        let state = RobotState::rest(LEONARDO);
+        // front feet sit at x = hip 90 + offset −30 = 60 in the body frame
+        let obstacle = Obstacle {
+            x_mm: 60.0,
+            height_mm: 30.0,
+        };
+        let s = ContactSensors::read(&state, &[obstacle]);
+        assert!(s.obstacle[LegId::LeftFront.index()]);
+        assert!(s.obstacle[LegId::RightFront.index()]);
+        assert!(!s.obstacle[LegId::LeftMiddle.index()]);
+    }
+
+    #[test]
+    fn raised_foot_clears_low_obstacle() {
+        let mut state = RobotState::rest(LEONARDO);
+        state.grounded[LegId::LeftFront.index()] = false; // foot at 20 mm
+        let low = Obstacle {
+            x_mm: 60.0,
+            height_mm: 10.0,
+        };
+        let s = ContactSensors::read(&state, &[low]);
+        assert!(!s.obstacle[LegId::LeftFront.index()], "raised foot passes");
+        assert!(s.obstacle[LegId::RightFront.index()], "grounded foot hits");
+    }
+
+    #[test]
+    fn sensor_word_packs_both_banks() {
+        let mut s = ContactSensors::default();
+        s.ground[0] = true;
+        s.obstacle[5] = true;
+        assert_eq!(s.word(), 1 | 1 << 11);
+    }
+
+    #[test]
+    fn obstacle_moves_with_robot() {
+        let mut state = RobotState::rest(LEONARDO);
+        let obstacle = Obstacle {
+            x_mm: 160.0,
+            height_mm: 30.0,
+        };
+        assert!(!ContactSensors::read(&state, &[obstacle]).any_obstacle());
+        state.position.0 = 100.0; // front feet now at world 160
+        assert!(ContactSensors::read(&state, &[obstacle]).any_obstacle());
+    }
+}

@@ -1,0 +1,136 @@
+//! Servo-motor dynamics.
+//!
+//! Each of Leonardo's 12 servos is a hobby servo driven by the PWM pulses
+//! generated on-chip (see `leonardo-rtl::pwm`). The servo moves toward the
+//! commanded angle at a bounded slew rate — this is what makes a gait
+//! micro-phase take real time and why the paper could not afford to
+//! evaluate fitness by walking ("the robot \[...\] needs to try a genome
+//! for about five seconds").
+
+/// A position servo with slew-rate-limited motion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Servo {
+    current_deg: f64,
+    target_deg: f64,
+    /// Maximum rotation speed, degrees per second.
+    pub slew_deg_per_s: f64,
+    /// Travel limits, degrees.
+    pub range_deg: (f64, f64),
+}
+
+impl Servo {
+    /// A typical hobby servo: ±45° travel, 300 °/s slew, centred.
+    pub fn hobby() -> Servo {
+        Servo {
+            current_deg: 0.0,
+            target_deg: 0.0,
+            slew_deg_per_s: 300.0,
+            range_deg: (-45.0, 45.0),
+        }
+    }
+
+    /// Current shaft angle, degrees.
+    pub fn angle(&self) -> f64 {
+        self.current_deg
+    }
+
+    /// Commanded target, degrees (clamped to the travel range).
+    pub fn set_target(&mut self, deg: f64) {
+        self.target_deg = deg.clamp(self.range_deg.0, self.range_deg.1);
+    }
+
+    /// The commanded target, degrees.
+    pub fn target(&self) -> f64 {
+        self.target_deg
+    }
+
+    /// Command from a PWM pulse width: 1000 µs ⇒ range minimum,
+    /// 2000 µs ⇒ range maximum (linear in between, clamped outside).
+    pub fn set_pulse_us(&mut self, us: f64) {
+        let t = ((us - 1000.0) / 1000.0).clamp(0.0, 1.0);
+        let deg = self.range_deg.0 + t * (self.range_deg.1 - self.range_deg.0);
+        self.set_target(deg);
+    }
+
+    /// Advance `dt` seconds toward the target at the slew limit. Returns
+    /// `true` once the target is reached.
+    pub fn update(&mut self, dt: f64) -> bool {
+        assert!(dt >= 0.0, "time must not run backwards");
+        let max_step = self.slew_deg_per_s * dt;
+        let err = self.target_deg - self.current_deg;
+        if err.abs() <= max_step {
+            self.current_deg = self.target_deg;
+            true
+        } else {
+            self.current_deg += max_step.copysign(err);
+            false
+        }
+    }
+
+    /// Time to reach the current target from the current angle, seconds.
+    pub fn settle_time(&self) -> f64 {
+        (self.target_deg - self.current_deg).abs() / self.slew_deg_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_at_slew_rate() {
+        let mut s = Servo::hobby();
+        s.set_target(30.0);
+        s.update(0.05); // 300 °/s × 0.05 s = 15°
+        assert!((s.angle() - 15.0).abs() < 1e-9);
+        assert!(s.update(0.05));
+        assert_eq!(s.angle(), 30.0);
+    }
+
+    #[test]
+    fn target_clamped_to_range() {
+        let mut s = Servo::hobby();
+        s.set_target(1000.0);
+        assert_eq!(s.target(), 45.0);
+        s.set_target(-1000.0);
+        assert_eq!(s.target(), -45.0);
+    }
+
+    #[test]
+    fn pulse_width_mapping() {
+        let mut s = Servo::hobby();
+        s.set_pulse_us(1000.0);
+        assert_eq!(s.target(), -45.0);
+        s.set_pulse_us(2000.0);
+        assert_eq!(s.target(), 45.0);
+        s.set_pulse_us(1500.0);
+        assert_eq!(s.target(), 0.0);
+        s.set_pulse_us(900.0); // out of band: clamp
+        assert_eq!(s.target(), -45.0);
+    }
+
+    #[test]
+    fn settle_time_full_travel() {
+        let mut s = Servo::hobby();
+        s.set_target(45.0);
+        assert!((s.settle_time() - 0.15).abs() < 1e-9);
+        // full sweep -45..45 = 90° at 300°/s = 0.3 s; six micro-phases of a
+        // gait cycle at ~0.3 s each explains the ~5 s per multi-cycle trial
+        s.update(1.0);
+        assert_eq!(s.settle_time(), 0.0);
+    }
+
+    #[test]
+    fn negative_direction_symmetric() {
+        let mut s = Servo::hobby();
+        s.set_target(-30.0);
+        s.update(0.05);
+        assert!((s.angle() + 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must not run backwards")]
+    fn negative_dt_rejected() {
+        Servo::hobby().update(-0.1);
+    }
+}

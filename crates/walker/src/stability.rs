@@ -1,0 +1,220 @@
+//! Quasi-static stability: support polygon and stability margin.
+//!
+//! A statically walking robot is stable while its centre of mass projects
+//! inside the support polygon — the convex hull of the grounded feet. This
+//! is the physics behind the paper's first fitness rule ("if the robot has
+//! three legs raised on the same side, it will stumble and fall").
+
+use crate::leg::FootPosition;
+
+/// A 2-D point, millimetres.
+pub type Point = (f64, f64);
+
+/// The support polygon: convex hull of the grounded feet, counter-
+/// clockwise. Returns an empty vec with no grounded feet, a single point
+/// for one, a segment (two points) for two.
+pub fn support_polygon(feet: &[FootPosition]) -> Vec<Point> {
+    let mut pts: Vec<Point> = feet
+        .iter()
+        .filter(|f| f.grounded())
+        .map(|f| (f.x, f.y))
+        .collect();
+    convex_hull(&mut pts)
+}
+
+/// Andrew's monotone-chain convex hull; output counter-clockwise without
+/// repeating the first point.
+fn convex_hull(pts: &mut Vec<Point>) -> Vec<Point> {
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("NaN coordinate"));
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts.clone();
+    }
+    let cross =
+        |o: Point, a: Point, b: Point| (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0);
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // lower hull
+    for &p in pts.iter() {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // upper hull
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point == first point
+    hull
+}
+
+/// Signed stability margin of `com` with respect to the support polygon of
+/// `feet`, millimetres: the distance from the centre of mass to the
+/// nearest polygon edge, positive inside (stable), negative outside or
+/// degenerate (falling).
+///
+/// Fewer than three grounded feet cannot statically support the robot:
+/// the margin is the negated distance to the degenerate support
+/// (point/segment), or `-f64::INFINITY` with no grounded feet at all.
+pub fn stability_margin(feet: &[FootPosition], com: Point) -> f64 {
+    let hull = support_polygon(feet);
+    match hull.len() {
+        0 => f64::NEG_INFINITY,
+        1 => -dist(com, hull[0]),
+        2 => -dist_to_segment(com, hull[0], hull[1]),
+        _ => {
+            // signed distance: minimum over edges of the signed distance to
+            // the edge line (positive on the interior side for a CCW hull)
+            let mut margin = f64::INFINITY;
+            for i in 0..hull.len() {
+                let a = hull[i];
+                let b = hull[(i + 1) % hull.len()];
+                let len = dist(a, b).max(1e-12);
+                let signed =
+                    ((b.0 - a.0) * (com.1 - a.1) - (b.1 - a.1) * (com.0 - a.0)) / len;
+                margin = margin.min(signed);
+            }
+            margin
+        }
+    }
+}
+
+fn dist(a: Point, b: Point) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+fn dist_to_segment(p: Point, a: Point, b: Point) -> f64 {
+    let len2 = (b.0 - a.0).powi(2) + (b.1 - a.1).powi(2);
+    if len2 < 1e-18 {
+        return dist(p, a);
+    }
+    let t = (((p.0 - a.0) * (b.0 - a.0) + (p.1 - a.1) * (b.1 - a.1)) / len2).clamp(0.0, 1.0);
+    dist(p, (a.0 + t * (b.0 - a.0), a.1 + t * (b.1 - a.1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn foot(x: f64, y: f64, grounded: bool) -> FootPosition {
+        FootPosition {
+            x,
+            y,
+            z: if grounded { 0.0 } else { 20.0 },
+        }
+    }
+
+    #[test]
+    fn hull_of_square() {
+        let feet = vec![
+            foot(0.0, 0.0, true),
+            foot(10.0, 0.0, true),
+            foot(10.0, 10.0, true),
+            foot(0.0, 10.0, true),
+            foot(5.0, 5.0, true), // interior point dropped
+        ];
+        let hull = support_polygon(&feet);
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn raised_feet_excluded() {
+        let feet = vec![
+            foot(0.0, 0.0, true),
+            foot(10.0, 0.0, false),
+            foot(10.0, 10.0, true),
+        ];
+        assert_eq!(support_polygon(&feet).len(), 2);
+    }
+
+    #[test]
+    fn com_inside_square_is_stable() {
+        let feet = vec![
+            foot(-10.0, -10.0, true),
+            foot(10.0, -10.0, true),
+            foot(10.0, 10.0, true),
+            foot(-10.0, 10.0, true),
+        ];
+        let m = stability_margin(&feet, (0.0, 0.0));
+        assert!((m - 10.0).abs() < 1e-9, "margin {m}");
+    }
+
+    #[test]
+    fn com_outside_triangle_is_unstable() {
+        let feet = vec![
+            foot(10.0, 0.0, true),
+            foot(20.0, 10.0, true),
+            foot(20.0, -10.0, true),
+        ];
+        let m = stability_margin(&feet, (0.0, 0.0));
+        assert!(m < 0.0, "margin {m} should be negative outside the hull");
+    }
+
+    #[test]
+    fn tripod_stance_is_stable() {
+        // tripod A feet around the Leonardo geometry
+        let feet = vec![
+            foot(120.0, 140.0, true),  // LF
+            foot(-60.0, 140.0, true),  // LR
+            foot(0.0, -140.0, true),   // RM
+        ];
+        let m = stability_margin(&feet, (0.0, 0.0));
+        assert!(m > 20.0, "tripod margin {m}");
+    }
+
+    #[test]
+    fn two_grounded_feet_never_stable() {
+        let feet = vec![foot(-10.0, 0.0, true), foot(10.0, 0.0, true)];
+        // com exactly on the segment: margin 0 (knife edge, counted unstable)
+        assert!(stability_margin(&feet, (0.0, 0.0)) <= 0.0);
+        // com off the segment: clearly negative
+        assert!(stability_margin(&feet, (0.0, 5.0)) < 0.0);
+    }
+
+    #[test]
+    fn one_or_zero_feet() {
+        assert_eq!(
+            stability_margin(&[], (0.0, 0.0)),
+            f64::NEG_INFINITY
+        );
+        let one = vec![foot(3.0, 4.0, true)];
+        assert!((stability_margin(&one, (0.0, 0.0)) + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn margin_is_translation_invariant() {
+        let feet = vec![
+            foot(-10.0, -10.0, true),
+            foot(10.0, -10.0, true),
+            foot(0.0, 10.0, true),
+        ];
+        let m1 = stability_margin(&feet, (0.0, 0.0));
+        let shifted: Vec<FootPosition> = feet
+            .iter()
+            .map(|f| foot(f.x + 100.0, f.y + 50.0, true))
+            .collect();
+        let m2 = stability_margin(&shifted, (100.0, 50.0));
+        assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_points_degenerate_gracefully() {
+        let feet = vec![
+            foot(0.0, 0.0, true),
+            foot(5.0, 0.0, true),
+            foot(10.0, 0.0, true),
+        ];
+        let hull = support_polygon(&feet);
+        assert!(hull.len() <= 2 || {
+            // some hull impls keep 3 collinear points; margin must still be <= 0
+            true
+        });
+        assert!(stability_margin(&feet, (5.0, 3.0)) < 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! ASCII visualization: gait diagrams and trajectory plots.
+
+use crate::world::WalkReport;
+use discipulus::controller::GaitTable;
+use discipulus::genome::{Genome, LegId};
+
+/// Render the classic gait diagram of one cycle: one row per leg, one
+/// column per micro-phase; `█` = foot on the ground (stance), `·` = foot
+/// in the air (swing).
+pub fn gait_diagram(genome: Genome) -> String {
+    let table = GaitTable::from_genome(genome);
+    let mut out = String::new();
+    out.push_str("      s1:pre hor post  s2:pre hor post\n");
+    for leg in LegId::ALL {
+        out.push_str(&format!("{:>4}  ", leg.label()));
+        for (i, cmd) in table.phases().iter().enumerate() {
+            if i == 3 {
+                out.push_str("    ");
+            }
+            let mark = if cmd.leg(leg).vertical.grounded() {
+                "  █  "
+            } else {
+                "  ·  "
+            };
+            out.push_str(mark);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a top-view trajectory plot of a walk report on a character grid.
+pub fn trajectory_plot(report: &WalkReport, width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "plot too small");
+    // reconstruct the path from the per-phase outcomes
+    let mut pts = vec![(0.0f64, 0.0f64)];
+    let mut heading = 0.0f64;
+    let mut pos = (0.0f64, 0.0f64);
+    for o in &report.outcomes {
+        heading += o.heading_delta;
+        pos.0 += o.displacement_mm * heading.cos();
+        pos.1 += o.displacement_mm * heading.sin();
+        pts.push(pos);
+    }
+    let (min_x, max_x) = pts
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+    let (min_y, max_y) = pts
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+    let span_x = (max_x - min_x).max(1.0);
+    let span_y = (max_y - min_y).max(1.0);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for p in &pts {
+        let col = (((p.0 - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let row = (((p.1 - min_y) / span_y) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = '*';
+    }
+    // mark start and end
+    let mark = |grid: &mut Vec<Vec<char>>, p: (f64, f64), c: char| {
+        let col = (((p.0 - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let row = (((p.1 - min_y) / span_y) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = c;
+    };
+    mark(&mut grid, pts[0], 'S');
+    mark(&mut grid, *pts.last().expect("at least the start"), 'E');
+
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "x: {:.0}..{:.0} mm, y: {:.0}..{:.0} mm\n",
+        min_x, max_x, min_y, max_y
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WalkTrial;
+
+    #[test]
+    fn tripod_diagram_shows_alternation() {
+        let d = gait_diagram(Genome::tripod());
+        assert_eq!(d.lines().count(), 7); // header + 6 legs
+        // every leg row contains both stance and swing marks
+        for line in d.lines().skip(1) {
+            assert!(line.contains('█'), "{line}");
+            assert!(line.contains('·'), "{line}");
+        }
+    }
+
+    #[test]
+    fn zero_genome_diagram_is_all_stance() {
+        let d = gait_diagram(Genome::ZERO);
+        assert!(!d.contains('·'));
+    }
+
+    #[test]
+    fn trajectory_plot_has_start_and_end() {
+        let r = WalkTrial::new(Genome::tripod()).cycles(5).run();
+        let plot = trajectory_plot(&r, 40, 8);
+        assert!(plot.contains('S'));
+        assert!(plot.contains('E'));
+        assert!(plot.contains("mm"));
+    }
+
+    #[test]
+    fn stationary_walk_plots_without_panic() {
+        let r = WalkTrial::new(Genome::ZERO).cycles(3).run();
+        let plot = trajectory_plot(&r, 20, 5);
+        // start and end coincide: E overwrites S
+        assert!(plot.contains('E'));
+    }
+
+    #[test]
+    #[should_panic(expected = "plot too small")]
+    fn tiny_plot_rejected() {
+        let r = WalkTrial::new(Genome::ZERO).cycles(1).run();
+        trajectory_plot(&r, 2, 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! Walk trials: run a genome on the simulated robot and report what
+//! happened.
+
+use crate::body::{BodyGeometry, LEONARDO};
+use crate::gait::{GaitExecutor, TableExecutor};
+use discipulus::controller::PhaseCommand;
+use crate::locomotion::{apply_phase, recover_from_fall, PhaseOutcome, RobotState};
+use crate::sensors::{ContactSensors, Obstacle};
+use discipulus::genome::Genome;
+
+/// Forward-progress penalty paid on each fall, mm.
+pub const FALL_PENALTY_MM: f64 = 30.0;
+
+/// The world a trial runs in.
+#[derive(Debug, Clone, Default)]
+pub struct Terrain {
+    /// Obstacles across the path.
+    pub obstacles: Vec<Obstacle>,
+}
+
+impl Terrain {
+    /// Flat, empty ground.
+    pub fn flat() -> Terrain {
+        Terrain::default()
+    }
+
+    /// Flat ground with obstacles.
+    pub fn with_obstacles(obstacles: Vec<Obstacle>) -> Terrain {
+        Terrain { obstacles }
+    }
+}
+
+/// The gait source of a trial: a two-step genome (executed through the
+/// walking controller) or an explicit phase-command table (wide genomes,
+/// hand-authored sequences).
+#[derive(Debug, Clone)]
+enum GaitSource {
+    Genome(Genome),
+    Table(Vec<PhaseCommand>),
+}
+
+/// A configured walk trial (builder style).
+#[derive(Debug, Clone)]
+pub struct WalkTrial {
+    source: GaitSource,
+    cycles: usize,
+    body: BodyGeometry,
+    terrain: Terrain,
+    articulation: f64,
+}
+
+impl WalkTrial {
+    /// A trial of `genome` on the Leonardo geometry, flat terrain,
+    /// 10 gait cycles, straight body.
+    pub fn new(genome: Genome) -> WalkTrial {
+        WalkTrial {
+            source: GaitSource::Genome(genome),
+            cycles: 10,
+            body: LEONARDO,
+            terrain: Terrain::flat(),
+            articulation: 0.0,
+        }
+    }
+
+    /// A trial over an explicit phase-command table (e.g. an expanded
+    /// [`discipulus::wide::WideGenome`]); one "cycle" is one pass through
+    /// the table.
+    ///
+    /// # Panics
+    /// Panics on an empty table.
+    pub fn from_table(phases: Vec<PhaseCommand>) -> WalkTrial {
+        assert!(!phases.is_empty(), "phase table must not be empty");
+        WalkTrial {
+            source: GaitSource::Table(phases),
+            cycles: 10,
+            body: LEONARDO,
+            terrain: Terrain::flat(),
+            articulation: 0.0,
+        }
+    }
+
+    /// Set the number of gait cycles.
+    #[must_use]
+    pub fn cycles(mut self, n: usize) -> WalkTrial {
+        self.cycles = n;
+        self
+    }
+
+    /// Set the terrain.
+    #[must_use]
+    pub fn terrain(mut self, t: Terrain) -> WalkTrial {
+        self.terrain = t;
+        self
+    }
+
+    /// Set the body-articulation angle (radians) held during the walk.
+    #[must_use]
+    pub fn articulation(mut self, rad: f64) -> WalkTrial {
+        self.articulation = rad;
+        self
+    }
+
+    /// Override the body geometry.
+    #[must_use]
+    pub fn body(mut self, body: BodyGeometry) -> WalkTrial {
+        self.body = body;
+        self
+    }
+
+    /// Run the trial.
+    pub fn run(self) -> WalkReport {
+        enum Exec {
+            Genome(Box<GaitExecutor>),
+            Table(Box<TableExecutor>),
+        }
+        impl Exec {
+            fn step(&mut self) -> (PhaseCommand, f64) {
+                match self {
+                    Exec::Genome(e) => e.step_phase(),
+                    Exec::Table(e) => e.step_phase(),
+                }
+            }
+            fn elapsed(&self) -> f64 {
+                match self {
+                    Exec::Genome(e) => e.elapsed_s(),
+                    Exec::Table(e) => e.elapsed_s(),
+                }
+            }
+            fn phases_per_cycle(&self) -> usize {
+                match self {
+                    Exec::Genome(_) => 6,
+                    Exec::Table(e) => e.phases_per_cycle(),
+                }
+            }
+        }
+        let (mut executor, genome) = match &self.source {
+            GaitSource::Genome(g) => (Exec::Genome(Box::new(GaitExecutor::new(*g))), Some(*g)),
+            GaitSource::Table(phases) => {
+                (Exec::Table(Box::new(TableExecutor::new(phases.clone()))), None)
+            }
+        };
+        let phases_per_cycle = executor.phases_per_cycle();
+        let mut state = RobotState::rest(self.body);
+        state.articulation = self.articulation;
+
+        let mut outcomes: Vec<PhaseOutcome> = Vec::with_capacity(self.cycles * phases_per_cycle);
+        let mut falls = 0u32;
+        let mut obstacle_contacts = 0u32;
+        for _ in 0..self.cycles * phases_per_cycle {
+            let (cmd, _dt) = executor.step();
+            let out = apply_phase(&mut state, &cmd);
+            if out.fell {
+                falls += 1;
+                recover_from_fall(&mut state, FALL_PENALTY_MM);
+            }
+            let sensors = ContactSensors::read(&state, &self.terrain.obstacles);
+            if sensors.any_obstacle() {
+                obstacle_contacts += 1;
+                // a blocking contact stops forward progress this phase:
+                // undo the displacement (the wall won)
+                state.position.0 -= out.displacement_mm * state.heading.cos();
+                state.position.1 -= out.displacement_mm * state.heading.sin();
+            }
+            outcomes.push(out);
+        }
+        WalkReport {
+            genome,
+            cycles: self.cycles,
+            final_position: state.position,
+            final_heading: state.heading,
+            duration_s: executor.elapsed(),
+            falls,
+            obstacle_contacts,
+            outcomes,
+        }
+    }
+}
+
+/// Everything a trial measured.
+#[derive(Debug, Clone)]
+pub struct WalkReport {
+    /// The genome that walked (`None` for table-driven trials).
+    pub genome: Option<Genome>,
+    /// Gait cycles executed.
+    pub cycles: usize,
+    /// Final body position, mm.
+    pub final_position: (f64, f64),
+    /// Final heading, radians.
+    pub final_heading: f64,
+    /// Wall-clock walking time, seconds.
+    pub duration_s: f64,
+    /// Number of falls.
+    pub falls: u32,
+    /// Phases in which an obstacle blocked progress.
+    pub obstacle_contacts: u32,
+    /// Per-phase outcomes, in order.
+    pub outcomes: Vec<PhaseOutcome>,
+}
+
+impl WalkReport {
+    /// Net forward distance along the start heading, mm.
+    pub fn distance_mm(&self) -> f64 {
+        self.final_position.0
+    }
+
+    /// Straight-line distance from the start, mm.
+    pub fn displacement_mm(&self) -> f64 {
+        (self.final_position.0.powi(2) + self.final_position.1.powi(2)).sqrt()
+    }
+
+    /// Number of falls during the trial.
+    pub fn falls(&self) -> u32 {
+        self.falls
+    }
+
+    /// Mean stability margin over all phases, mm.
+    pub fn mean_stability_margin(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let finite: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(|o| o.stability_margin_mm.max(-100.0)) // clamp -inf falls
+            .collect();
+        finite.iter().sum::<f64>() / finite.len() as f64
+    }
+
+    /// Total foot slip, mm.
+    pub fn total_slip_mm(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.slip_mm).sum()
+    }
+
+    /// Mean walking speed, mm/s.
+    pub fn speed_mm_s(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.distance_mm() / self.duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tripod_trial_walks_far_and_clean() {
+        let r = WalkTrial::new(Genome::tripod()).cycles(10).run();
+        assert!(r.distance_mm() > 500.0, "distance {}", r.distance_mm());
+        assert_eq!(r.falls(), 0);
+        assert_eq!(r.obstacle_contacts, 0);
+        assert!(r.mean_stability_margin() > 5.0);
+        assert!(r.total_slip_mm() < 1e-9);
+        assert!(r.speed_mm_s() > 50.0, "speed {}", r.speed_mm_s());
+    }
+
+    #[test]
+    fn zero_genome_goes_nowhere() {
+        let r = WalkTrial::new(Genome::ZERO).cycles(10).run();
+        assert!(r.distance_mm().abs() < 1e-9);
+        assert_eq!(r.falls(), 0); // stable, just useless
+    }
+
+    #[test]
+    fn all_up_genome_falls_constantly() {
+        let g = Genome::from_bits((1 << 36) - 1); // everything up/forward/up
+        let r = WalkTrial::new(g).cycles(5).run();
+        assert!(r.falls() > 0, "all-raised robot must fall");
+        assert!(r.distance_mm() < 0.0, "fall penalties push it backward");
+    }
+
+    #[test]
+    fn trial_is_deterministic() {
+        let a = WalkTrial::new(Genome::tripod()).cycles(5).run();
+        let b = WalkTrial::new(Genome::tripod()).cycles(5).run();
+        assert_eq!(a.final_position, b.final_position);
+        assert_eq!(a.falls, b.falls);
+        assert_eq!(a.duration_s, b.duration_s);
+    }
+
+    #[test]
+    fn obstacle_blocks_progress() {
+        let open = WalkTrial::new(Genome::tripod()).cycles(6).run();
+        let wall = Terrain::with_obstacles(vec![Obstacle {
+            x_mm: 200.0,
+            height_mm: 50.0,
+        }]);
+        let blocked = WalkTrial::new(Genome::tripod())
+            .cycles(6)
+            .terrain(wall)
+            .run();
+        assert!(blocked.obstacle_contacts > 0, "wall never sensed");
+        assert!(
+            blocked.distance_mm() < open.distance_mm(),
+            "wall must cost distance: {} vs {}",
+            blocked.distance_mm(),
+            open.distance_mm()
+        );
+    }
+
+    #[test]
+    fn articulated_walk_curves() {
+        let r = WalkTrial::new(Genome::tripod())
+            .cycles(10)
+            .articulation(0.4)
+            .run();
+        assert!(r.final_heading.abs() > 0.01);
+        assert!(r.final_position.1.abs() > 1.0, "path must curve sideways");
+        assert!(r.displacement_mm() > 100.0);
+    }
+
+    #[test]
+    fn table_trial_matches_genome_trial_for_two_steps() {
+        // executing the expanded table of a two-step genome must walk the
+        // same path as executing the genome through the controller
+        let g = Genome::tripod();
+        let by_genome = WalkTrial::new(g).cycles(5).run();
+        let table = discipulus::wide::WideGenome::from_genome(g).expand();
+        let by_table = WalkTrial::from_table(table).cycles(5).run();
+        assert!((by_genome.distance_mm() - by_table.distance_mm()).abs() < 1e-9);
+        assert_eq!(by_genome.falls(), by_table.falls());
+        assert_eq!(by_table.genome, None);
+        assert_eq!(by_genome.genome, Some(g));
+    }
+
+    #[test]
+    fn wide_tripod_walks_like_narrow_tripod() {
+        // a 4-step alternating tripod covers the same ground per step
+        let narrow = WalkTrial::new(Genome::tripod()).cycles(6).run();
+        let wide = discipulus::wide::WideGenome::tripod(4);
+        // 3 table cycles of 4 steps = 12 steps = 6 narrow cycles
+        let wide_report = WalkTrial::from_table(wide.expand()).cycles(3).run();
+        assert!(
+            (narrow.distance_mm() - wide_report.distance_mm()).abs() < 1e-6,
+            "narrow {} vs wide {}",
+            narrow.distance_mm(),
+            wide_report.distance_mm()
+        );
+        assert_eq!(wide_report.falls(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_table_rejected() {
+        let _ = WalkTrial::from_table(vec![]);
+    }
+
+    #[test]
+    fn trial_duration_scales_with_cycles() {
+        let short = WalkTrial::new(Genome::tripod()).cycles(2).run();
+        let long = WalkTrial::new(Genome::tripod()).cycles(8).run();
+        assert!(long.duration_s > 3.0 * short.duration_s);
+        // a handful of cycles lands in the paper's ~5 s regime
+        assert!((1.0..20.0).contains(&long.duration_s));
+    }
+}

@@ -1,0 +1,52 @@
+//! Evolve a gait, then put the champion on the simulated robot and watch
+//! it walk — the full pipeline the paper demonstrates on hardware.
+//!
+//! ```text
+//! cargo run --release --example evolve_gait [seed]
+//! ```
+
+use discipulus::prelude::*;
+use leonardo_walker::prelude::*;
+use leonardo_walker::viz::{gait_diagram, trajectory_plot};
+
+fn main() {
+    let seed: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    // 1. evolution (the GAP)
+    let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), seed);
+    let outcome = gap.run_to_convergence(100_000);
+    println!(
+        "seed {seed}: converged in {} generations, fitness {}/{}",
+        outcome.generations,
+        outcome.best_fitness,
+        FitnessSpec::paper().max_fitness()
+    );
+    println!("champion: {}\n", outcome.best_genome);
+    println!("{}", gait_diagram(outcome.best_genome));
+
+    // 2. walk the champion, a random genome, and the canonical tripod
+    for (name, genome) in [
+        ("champion", outcome.best_genome),
+        ("tripod ", Genome::tripod()),
+        ("random ", Genome::from_bits(0x5_A5A5_A5A5)),
+    ] {
+        let report = WalkTrial::new(genome).cycles(10).run();
+        let score = walking_fitness(genome);
+        println!(
+            "{name}: distance {:>7.1} mm  falls {:>2}  slip {:>6.0} mm  speed {:>5.1} mm/s  score {:>7.0}",
+            report.distance_mm(),
+            report.falls(),
+            report.total_slip_mm(),
+            report.speed_mm_s(),
+            score.score,
+        );
+    }
+
+    // 3. the champion's path from above
+    let report = WalkTrial::new(outcome.best_genome).cycles(10).run();
+    println!("\nchampion trajectory (top view):");
+    println!("{}", trajectory_plot(&report, 60, 10));
+}

@@ -1,0 +1,46 @@
+//! Run the cycle-accurate FPGA model: the whole chip — GAP, walking
+//! controller, servo PWM — at 1 MHz, with per-phase cycle accounting and
+//! the resource report.
+//!
+//! ```text
+//! cargo run --release --example hardware_sim [seed]
+//! ```
+
+use leonardo_rtl::prelude::*;
+
+fn main() {
+    let seed: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let mut chip = DiscipulusTop::new(GapRtlConfig::paper(seed));
+    println!("{}", chip.module_tree());
+
+    println!("running the chip to convergence at 1 MHz...\n");
+    let converged = chip.run_to_convergence(100_000);
+    let gap = chip.gap();
+    let (best, fitness) = gap.best();
+
+    println!("converged            : {converged}");
+    println!("generations          : {}", gap.generation());
+    println!("best genome          : {best}");
+    println!("fitness              : {fitness}");
+    println!("best promotions      : {}", chip.promotions());
+    println!("chip time            : {}", gap.clock());
+    let bd = gap.breakdown();
+    println!("cycle breakdown      : init {}  fitness {}  reproduce {}  mutate {}  overhead {}",
+        bd.init, bd.fitness, bd.reproduce, bd.mutate, bd.overhead);
+    println!(
+        "cycles per generation: {:.0}",
+        (bd.total() - bd.init) as f64 / gap.generation() as f64
+    );
+    println!(
+        "walk controller      : genome loaded = {}, phases executed = {}",
+        chip.walking_controller().genome() == best,
+        chip.walking_controller().phases_executed()
+    );
+
+    println!("\nresource report:");
+    println!("{}", chip.resource_report());
+}

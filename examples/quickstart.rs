@@ -1,0 +1,34 @@
+//! Quickstart: evolve a walking genome exactly like the chip does.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use discipulus::prelude::*;
+use leonardo_walker::viz::gait_diagram;
+
+fn main() {
+    // the Genetic Algorithm Processor with the paper's parameters:
+    // population 32, tournament selection (0.8), single-point crossover
+    // (0.7), 15 single-bit mutations per generation, CA random generator
+    let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), 2024);
+
+    println!("evolving a walk for Leonardo (max fitness = {})...\n", FitnessSpec::paper().max_fitness());
+    let outcome = gap.run_to_convergence(100_000);
+
+    println!(
+        "converged after {} generations (converged = {})",
+        outcome.generations, outcome.converged
+    );
+    println!("best genome : {}", outcome.best_genome);
+    println!("fitness     : {} ({})", outcome.best_fitness, FitnessSpec::paper().breakdown(outcome.best_genome));
+    println!();
+    println!("gait diagram of the champion (█ = foot down, · = foot up):");
+    println!("{}", gait_diagram(outcome.best_genome));
+
+    // a few of the convergence-curve records
+    println!("convergence trace:");
+    for rec in outcome.stats.downsampled(8) {
+        println!("  {rec}");
+    }
+}

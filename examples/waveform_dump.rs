@@ -1,0 +1,58 @@
+//! Export a VCD waveform of the chip's servo PWM outputs and the walking
+//! controller's position word — open the result in GTKWave.
+//!
+//! ```text
+//! cargo run --release --example waveform_dump [out.vcd]
+//! ```
+
+use discipulus::genome::Genome;
+use leonardo_rtl::pwm::ServoBank;
+use leonardo_rtl::sim::Probe;
+use leonardo_rtl::vcd::VcdBuilder;
+use leonardo_rtl::walkctl_rtl::WalkControllerRtl;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "discipulus.vcd".to_string());
+
+    // drive the walking controller + servo bank for 3 gait cycles at a
+    // fast phase period so the trace stays small
+    let phase_period = 40_000u32; // 40 ms per micro-phase
+    let cycles = 3u64;
+    let total_cycles = u64::from(phase_period) * 6 * cycles;
+
+    let mut ctl = WalkControllerRtl::new(Genome::tripod(), phase_period);
+    let mut bank = ServoBank::new();
+    let mut word_probe: Probe<u64> = Probe::new();
+    let mut pwm_probes: Vec<Probe<bool>> = vec![Probe::new(); 12];
+
+    for cycle in 0..total_cycles {
+        ctl.clock();
+        bank.set_position_word(ctl.position_word());
+        bank.clock();
+        word_probe.sample(cycle, u64::from(ctl.position_word()));
+        let outs = bank.outputs();
+        for (i, probe) in pwm_probes.iter_mut().enumerate() {
+            probe.sample(cycle, outs >> i & 1 != 0);
+        }
+    }
+
+    let mut builder = VcdBuilder::new("discipulus", "1 us");
+    builder.add_word_probe("position_word", 12, &word_probe);
+    let legs = ["LF", "LM", "LR", "RF", "RM", "RR"];
+    for (i, leg) in legs.iter().enumerate() {
+        builder.add_scalar_probe(format!("{leg}_elev_pwm"), &pwm_probes[2 * i]);
+        builder.add_scalar_probe(format!("{leg}_prop_pwm"), &pwm_probes[2 * i + 1]);
+    }
+    let vcd = builder.render(total_cycles);
+
+    std::fs::write(&path, &vcd).expect("write VCD file");
+    println!(
+        "wrote {path}: {} bytes, {} position-word transitions, {} gait cycles at 1 MHz",
+        vcd.len(),
+        word_probe.len(),
+        cycles
+    );
+    println!("view with: gtkwave {path}");
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the Leonardo / Discipulus Simplex reproduction.
+//!
+//! Re-exports the four workspace crates so examples and integration tests
+//! can use a single dependency. See the individual crates for the real
+//! documentation:
+//!
+//! * [`discipulus`] — the evolvable walking controller (behavioural model)
+//! * [`leonardo_rtl`] — cycle-accurate FPGA model
+//! * [`leonardo_walker`] — hexapod robot simulator
+//! * [`evo`] — general GA library and baseline searchers
+
+pub use discipulus;
+pub use evo;
+pub use leonardo_rtl;
+pub use leonardo_walker;

@@ -1,0 +1,106 @@
+//! The flagship cross-model invariant: the cycle-accurate RTL GAP and the
+//! behavioural GAP are functionally identical.
+//!
+//! The RTL's free-running RNG means the two models see different random
+//! words in real time, so the equivalence statement is: *replaying the
+//! exact word sequence the RTL consumed at its decision points through the
+//! behavioural model reproduces the RTL's populations bit for bit* —
+//! initiator included.
+
+use discipulus::gap::{GeneticAlgorithmProcessor, Population};
+use discipulus::params::GapParams;
+use discipulus::rng::ReplayRng;
+use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
+
+/// Run the RTL for `gens` generations, then replay its draw log through
+/// the behavioural model and compare populations and best registers.
+fn assert_equivalent(config: GapRtlConfig, gens: u64) {
+    let mut rtl = GapRtl::new(config);
+    for _ in 0..gens {
+        rtl.step_generation();
+    }
+
+    let replay = ReplayRng::new(rtl.drawn_log().to_vec());
+    let mut beh = GeneticAlgorithmProcessor::with_rng(config.params, replay);
+    for _ in 0..gens {
+        beh.step_generation();
+    }
+
+    assert_eq!(
+        &rtl.population(),
+        beh.population(),
+        "populations diverged (config pipelined={}, gens={gens})",
+        config.pipelined
+    );
+    assert_eq!(rtl.best().0, beh.best().0, "best genomes diverged");
+    assert_eq!(rtl.best().1, beh.best().1, "best fitness diverged");
+    assert_eq!(rtl.generation(), beh.generation());
+}
+
+#[test]
+fn rtl_equals_behavioural_pipelined() {
+    for seed in [1u32, 42, 0xDEAD, 7_777_777] {
+        assert_equivalent(GapRtlConfig::paper(seed), 25);
+    }
+}
+
+#[test]
+fn rtl_equals_behavioural_unpipelined() {
+    for seed in [3u32, 99, 0xBEEF] {
+        assert_equivalent(GapRtlConfig::unpipelined(seed), 25);
+    }
+}
+
+#[test]
+fn rtl_equals_behavioural_long_run() {
+    assert_equivalent(GapRtlConfig::paper(123), 300);
+}
+
+#[test]
+fn rtl_equals_behavioural_nondefault_params() {
+    let mut config = GapRtlConfig::paper(55);
+    config.params = GapParams::paper()
+        .with_population_size(16)
+        .with_mutations(7)
+        .with_selection_threshold(0.9)
+        .with_crossover_threshold(0.4);
+    assert_equivalent(config, 50);
+}
+
+#[test]
+fn rtl_initiator_equals_behavioural_initiator() {
+    let rtl = GapRtl::new(GapRtlConfig::paper(2_024));
+    let mut replay = ReplayRng::new(rtl.drawn_log().to_vec());
+    let pop = Population::random(32, &mut replay);
+    assert_eq!(rtl.population(), pop);
+}
+
+#[test]
+fn rtl_and_behavioural_converge_to_equally_valid_solutions() {
+    // not bit-identical (free-running RNG timing differs), but both reach
+    // the same maximum
+    let spec = GapParams::paper().fitness;
+    let mut rtl = GapRtl::new(GapRtlConfig::paper(5));
+    assert!(rtl.run_to_convergence(100_000));
+    assert!(spec.is_max(rtl.best().0));
+
+    let mut beh = GeneticAlgorithmProcessor::new(GapParams::paper(), 5);
+    let out = beh.run_to_convergence(100_000);
+    assert!(out.converged);
+    assert!(spec.is_max(out.best_genome));
+}
+
+#[test]
+fn fitness_unit_agrees_with_spec_on_all_maximal_genomes() {
+    use discipulus::fitness::{max_fitness_genomes, FitnessSpec};
+    use leonardo_rtl::fitness_rtl::FitnessUnit;
+    let unit = FitnessUnit::paper();
+    let spec = FitnessSpec::paper();
+    let mut count = 0usize;
+    for g in max_fitness_genomes() {
+        assert_eq!(unit.evaluate(g), spec.max_fitness());
+        assert!(spec.is_max(g));
+        count += 1;
+    }
+    assert_eq!(count, 86_436);
+}

@@ -1,0 +1,90 @@
+//! Full-stack integration: evolution → reconfiguration → simulated walk.
+
+use discipulus::prelude::*;
+use leonardo_rtl::gap_rtl::GapRtlConfig;
+use leonardo_rtl::top::DiscipulusTop;
+use leonardo_rtl::walkctl_rtl::WalkControllerRtl;
+use leonardo_walker::metrics::walking_fitness;
+use leonardo_walker::world::WalkTrial;
+
+#[test]
+fn evolved_champions_beat_the_average_random_genome() {
+    // An individual champion's walk quality varies a lot (the rules are
+    // necessary, not sufficient — experiment E5), so the claim is
+    // statistical: champions average better than random genomes.
+    let mut champion_total = 0.0;
+    let n_champions = 12u32;
+    for seed in 0..n_champions {
+        let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), 7000 + seed);
+        let outcome = gap.run_to_convergence(100_000);
+        assert!(outcome.converged, "seed {seed} did not converge");
+        champion_total += walking_fitness(outcome.best_genome).score;
+    }
+    let champion_mean = champion_total / f64::from(n_champions);
+
+    // random baseline: mean over a deterministic sample
+    let mut total = 0.0;
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let n = 100;
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        total += walking_fitness(Genome::from_bits(state >> 20)).score;
+    }
+    let random_mean = total / f64::from(n);
+
+    assert!(
+        champion_mean > random_mean,
+        "champion mean {champion_mean} vs random mean {random_mean}"
+    );
+}
+
+#[test]
+fn tripod_walks_farther_than_any_rule_violating_gait_sample() {
+    let tripod = WalkTrial::new(Genome::tripod()).cycles(8).run();
+    assert_eq!(tripod.falls(), 0);
+    // a handful of deliberate rule violators
+    for bits in [0u64, (1 << 36) - 1, 0x0_0003_F03F, 0xFF_FFF0_0000] {
+        let bad = WalkTrial::new(Genome::from_bits(bits)).cycles(8).run();
+        assert!(
+            tripod.distance_mm() > bad.distance_mm(),
+            "tripod must out-walk {bits:#x}"
+        );
+    }
+}
+
+#[test]
+fn chip_promotes_champion_into_walking_controller() {
+    let mut chip = DiscipulusTop::new(GapRtlConfig::paper(9));
+    assert!(chip.run_to_convergence(100_000));
+    let (best, fitness) = chip.gap().best();
+    assert_eq!(fitness, FitnessSpec::paper().max_fitness());
+    // the walking controller ends up configured with the chip's best genome
+    assert_eq!(chip.walking_controller().genome(), best);
+    // and that genome drives a gait table identical to the behavioural one
+    let table = GaitTable::from_genome(best);
+    assert_eq!(table.phases().len(), 6);
+}
+
+#[test]
+fn rtl_walk_controller_drives_same_phases_as_walker_sim_input() {
+    // the position-word stream of the RTL controller equals the behavioural
+    // controller's stream that the walker consumes
+    let genome = Genome::tripod();
+    let mut rtl = WalkControllerRtl::new(genome, 16);
+    let mut beh = WalkingController::new(genome);
+    for word in rtl.run_phases(18) {
+        assert_eq!(word, beh.tick().position_word());
+    }
+}
+
+#[test]
+fn gap_champion_is_always_rule_maximal_and_walker_scores_it_consistently() {
+    for seed in [1u32, 2, 3] {
+        let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), seed);
+        let outcome = gap.run_to_convergence(100_000);
+        assert!(FitnessSpec::paper().is_max(outcome.best_genome));
+        let a = walking_fitness(outcome.best_genome);
+        let b = walking_fitness(outcome.best_genome);
+        assert_eq!(a.score, b.score, "walker must be deterministic");
+    }
+}

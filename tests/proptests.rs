@@ -1,0 +1,271 @@
+//! Property-based tests over the core invariants (DESIGN.md §7).
+
+use discipulus::controller::GaitTable;
+use discipulus::fitness::FitnessSpec;
+use discipulus::genome::{Genome, GENOME_BITS, GENOME_MASK};
+use discipulus::rng::{CellularRng, Lfsr32, RngSource, Threshold};
+use evo::genome::BitString;
+use leonardo_rtl::bitstream::{Bitstream, ConfigLoader};
+use leonardo_rtl::fitness_rtl::FitnessUnit;
+use leonardo_walker::locomotion::RobotState;
+use leonardo_walker::world::WalkTrial;
+use proptest::prelude::*;
+
+fn genome_strategy() -> impl Strategy<Value = Genome> {
+    (0u64..=GENOME_MASK).prop_map(Genome::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn genome_gene_roundtrip(g in genome_strategy()) {
+        // decomposing into 12 leg genes and reassembling is the identity
+        let mut rebuilt = Genome::ZERO;
+        for (step, leg, gene) in g.genes() {
+            rebuilt = rebuilt.with_leg_gene(step, leg, gene);
+        }
+        prop_assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn crossover_preserves_prefix_suffix(
+        a in genome_strategy(),
+        b in genome_strategy(),
+        point in 1usize..GENOME_BITS,
+    ) {
+        let (x, y) = a.crossover(b, point);
+        for i in 0..GENOME_BITS {
+            if i < point {
+                prop_assert_eq!(x.bit(i), a.bit(i));
+                prop_assert_eq!(y.bit(i), b.bit(i));
+            } else {
+                prop_assert_eq!(x.bit(i), b.bit(i));
+                prop_assert_eq!(y.bit(i), a.bit(i));
+            }
+        }
+        // crossover conserves the bit multiset
+        prop_assert_eq!(
+            x.count_ones() + y.count_ones(),
+            a.count_ones() + b.count_ones()
+        );
+    }
+
+    #[test]
+    fn fitness_invariant_under_mirroring(g in genome_strategy()) {
+        let spec = FitnessSpec::paper();
+        prop_assert_eq!(spec.evaluate(g), spec.evaluate(g.mirrored()));
+    }
+
+    #[test]
+    fn fitness_invariant_under_step_swap(g in genome_strategy()) {
+        let spec = FitnessSpec::paper();
+        prop_assert_eq!(spec.evaluate(g), spec.evaluate(g.steps_swapped()));
+    }
+
+    #[test]
+    fn rtl_fitness_unit_equals_behavioural_spec(g in genome_strategy()) {
+        prop_assert_eq!(
+            FitnessUnit::paper().evaluate(g),
+            FitnessSpec::paper().evaluate(g)
+        );
+    }
+
+    #[test]
+    fn mutation_is_an_involution(g in genome_strategy(), bit in 0usize..GENOME_BITS) {
+        prop_assert_eq!(g.with_bit_flipped(bit).with_bit_flipped(bit), g);
+        prop_assert_eq!(g.with_bit_flipped(bit).hamming_distance(g), 1);
+    }
+
+    #[test]
+    fn bitstream_roundtrips_every_genome(g in genome_strategy()) {
+        let frame = Bitstream::encode(g);
+        let mut loader = ConfigLoader::new();
+        let mut decoded = None;
+        for &bit in frame.bits() {
+            if let Some(out) = loader.clock(bit) {
+                decoded = Some(out);
+            }
+        }
+        prop_assert_eq!(decoded, Some(g));
+    }
+
+    #[test]
+    fn corrupted_bitstream_never_loads_wrong_genome(
+        g in genome_strategy(),
+        corrupt_at in 1usize..37, // payload bits only
+    ) {
+        let mut frame = Bitstream::encode(g);
+        frame.corrupt(corrupt_at);
+        let mut loader = ConfigLoader::new();
+        let mut decoded = None;
+        for &bit in frame.bits() {
+            if let Some(out) = loader.clock(bit) {
+                decoded = Some(out);
+            }
+        }
+        // single-bit payload corruption is always caught by parity
+        prop_assert_eq!(decoded, None);
+    }
+
+    #[test]
+    fn gait_table_is_periodic(g in genome_strategy()) {
+        let t1 = GaitTable::from_genome(g);
+        let t2 = GaitTable::from_genome(g);
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn walk_trials_are_deterministic(g in genome_strategy()) {
+        let a = WalkTrial::new(g).cycles(3).run();
+        let b = WalkTrial::new(g).cycles(3).run();
+        prop_assert_eq!(a.final_position, b.final_position);
+        prop_assert_eq!(a.falls(), b.falls());
+    }
+
+    #[test]
+    fn walk_distance_is_mirror_invariant(g in genome_strategy()) {
+        // a left/right mirrored genome walks the same distance
+        let a = WalkTrial::new(g).cycles(3).run();
+        let b = WalkTrial::new(g.mirrored()).cycles(3).run();
+        prop_assert!((a.distance_mm() - b.distance_mm()).abs() < 1e-6);
+        prop_assert_eq!(a.falls(), b.falls());
+    }
+
+    #[test]
+    fn ca_rng_words_never_zero(seed in any::<u32>()) {
+        let mut rng = CellularRng::new(seed);
+        for _ in 0..100 {
+            prop_assert_ne!(rng.next_word(), 0);
+        }
+    }
+
+    #[test]
+    fn lfsr_words_never_zero(seed in any::<u32>()) {
+        let mut rng = Lfsr32::new(seed);
+        for _ in 0..100 {
+            prop_assert_ne!(rng.next_word(), 0);
+        }
+    }
+
+    #[test]
+    fn draw_below_always_in_bounds(seed in any::<u32>(), bound in 1u32..5000) {
+        let mut rng = CellularRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.draw_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn threshold_quantization_error_bounded(p in 0.0f64..=1.0) {
+        let t = Threshold::from_prob(p);
+        prop_assert!((t.prob() - p).abs() <= 0.5 / 256.0 + 1.0 / 256.0);
+    }
+
+    #[test]
+    fn bitstring_crossover_conserves_multiset(
+        a_bits in any::<u64>(),
+        b_bits in any::<u64>(),
+        point in 1usize..36,
+    ) {
+        let a = BitString::from_u64(a_bits & GENOME_MASK, 36);
+        let b = BitString::from_u64(b_bits & GENOME_MASK, 36);
+        let (x, y) = a.crossover_at(&b, point);
+        prop_assert_eq!(
+            x.count_ones() + y.count_ones(),
+            a.count_ones() + b.count_ones()
+        );
+    }
+
+    #[test]
+    fn robot_never_gains_support_from_raised_legs(g in genome_strategy()) {
+        let table = GaitTable::from_genome(g);
+        let mut state = RobotState::rest(leonardo_walker::body::LEONARDO);
+        for cmd in table.phases() {
+            leonardo_walker::locomotion::apply_phase(&mut state, cmd);
+            let grounded = state.grounded_count();
+            let commanded = cmd.grounded_legs().count();
+            // after a vertical phase the grounded set matches the command
+            if cmd.phase != discipulus::movement::MicroPhase::Horizontal {
+                prop_assert_eq!(grounded, commanded);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_genome_bit_roundtrip(
+        raw in prop::collection::vec(any::<bool>(), 72),
+    ) {
+        use discipulus::wide::WideGenome;
+        let g = WideGenome::from_bits(4, &raw);
+        prop_assert_eq!(g.to_bits(), raw);
+    }
+
+    #[test]
+    fn wide_two_step_fitness_consistent_with_narrow(g in genome_strategy()) {
+        use discipulus::wide::{WideFitness, WideGenome};
+        // a genome is narrow-maximal iff its wide lift is wide-maximal
+        let spec = FitnessSpec::paper();
+        let fit = WideFitness::new(2);
+        let wide = WideGenome::from_genome(g);
+        prop_assert_eq!(spec.is_max(g), fit.is_max(&wide));
+    }
+
+    #[test]
+    fn wide_expansion_matches_gait_table(g in genome_strategy()) {
+        use discipulus::wide::WideGenome;
+        let table = GaitTable::from_genome(g);
+        let expanded = WideGenome::from_genome(g).expand();
+        for (a, b) in expanded.iter().zip(table.phases()) {
+            prop_assert_eq!(a.legs, b.legs);
+            prop_assert_eq!(a.phase, b.phase);
+        }
+    }
+
+    #[test]
+    fn rtl_upset_changes_exactly_one_bit(
+        seed in any::<u32>(),
+        pos in 0usize..1152,
+    ) {
+        use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
+        let mut gap = GapRtl::new(GapRtlConfig::paper(seed));
+        let before = gap.population();
+        gap.inject_upset(pos);
+        let after = gap.population();
+        let diff: u32 = before
+            .genomes()
+            .iter()
+            .zip(after.genomes())
+            .map(|(a, b)| a.hamming_distance(*b))
+            .sum();
+        prop_assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn steady_state_best_never_regresses(seed in any::<u64>()) {
+        use evo::ga::GaConfig;
+        use evo::problem::OneMax;
+        use evo::steady::SteadyStateGa;
+        let mut ga = SteadyStateGa::new(GaConfig::default(), OneMax(24), seed);
+        let mut last = ga.best().1;
+        for _ in 0..50 {
+            ga.step();
+            prop_assert!(ga.best().1 >= last);
+            last = ga.best().1;
+        }
+    }
+
+    #[test]
+    fn max_fitness_implies_alternation(g in genome_strategy()) {
+        // any maximal genome alternates every leg's direction (symmetry
+        // rule at its maximum)
+        let spec = FitnessSpec::paper();
+        if spec.is_max(g) {
+            for leg in discipulus::genome::LegId::ALL {
+                let h1 = g.leg_gene(discipulus::genome::StepId::One, leg).horizontal;
+                let h2 = g.leg_gene(discipulus::genome::StepId::Two, leg).horizontal;
+                prop_assert_ne!(h1, h2);
+            }
+        }
+    }
+}
