@@ -1,0 +1,71 @@
+//! The finding type shared by all static checks.
+
+use core::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth reporting; does not fail the gate.
+    Warning,
+    /// A design defect; the gate exits nonzero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One result of a static check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable kebab-case check name (e.g. `combinational-loop`).
+    pub check: &'static str,
+    /// The unit, design or genome the finding is about.
+    pub context: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// An error-severity finding.
+    pub fn error(check: &'static str, context: impl Into<String>, message: String) -> Finding {
+        Finding {
+            severity: Severity::Error,
+            check,
+            context: context.into(),
+            message,
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(check: &'static str, context: impl Into<String>, message: String) -> Finding {
+        Finding {
+            severity: Severity::Warning,
+            check,
+            context: context.into(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.check, self.context, self.message
+        )
+    }
+}
+
+/// Whether any finding is an error (the gate's exit criterion).
+pub fn has_errors(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Error)
+}

@@ -1,0 +1,87 @@
+//! Deliberately broken designs and genomes: one fixture per defect class
+//! the gate must catch. `analysis fixture <name>` runs the matching check
+//! and must exit nonzero — the tests of the tests.
+
+use discipulus::genome::{Genome, LegGene, LegId, StepId};
+use leonardo_rtl::netlist::{DesignNetlist, StaticNetlist};
+use leonardo_rtl::resources::Resources;
+
+/// A unit with a combinational feedback path no register cuts:
+/// `a -> b -> a` through two wires.
+pub fn combinational_loop() -> StaticNetlist {
+    StaticNetlist::new("ring_oscillator")
+        .claim(Resources::logic_functions(2))
+        .wire("a", 1)
+        .wire("b", 1)
+        .output("y", 1)
+        .edge("a", "b")
+        .edge("b", "a")
+        .edge("a", "y")
+}
+
+/// A design wiring an 8-bit output to a 4-bit input.
+pub fn width_mismatch() -> DesignNetlist {
+    DesignNetlist::new("width_mismatch")
+        .unit(
+            StaticNetlist::new("producer")
+                .claim(Resources::unit(8, 8))
+                .register("r", 8)
+                .output("wide", 8)
+                .edge("r", "r")
+                .edge("r", "wide"),
+        )
+        .unit(
+            StaticNetlist::new("consumer")
+                .claim(Resources::unit(4, 4))
+                .input("narrow", 4)
+                .register("r", 4)
+                .output("y", 4)
+                .edge("narrow", "r")
+                .edge("r", "y"),
+        )
+        .connect(("producer", "wide"), ("consumer", "narrow"))
+}
+
+/// A design whose claim cannot fit the XC4036EX's 1296 CLBs: a third
+/// population buffer's worth of flip-flops on top of a full chip.
+pub fn clb_overflow() -> DesignNetlist {
+    DesignNetlist::new("clb_overflow").unit(
+        StaticNetlist::new("monster_ram")
+            .claim(Resources::flip_flop_bits(4 * 1152))
+            .register("mem", 4 * 1152)
+            .output("q", 36)
+            .edge("mem", "mem")
+            .edge("mem", "q"),
+    )
+}
+
+/// A genome whose front-left leg is commanded Up in every vertical field
+/// of both steps: the leg never touches the ground — a trap state the
+/// static checker must flag without walking the robot.
+pub fn trap_genome() -> Genome {
+    let airborne = LegGene::from_bits(0b101); // pre Up, backward, post Up
+    let mut g = Genome::ZERO;
+    for step in StepId::ALL {
+        g = g.with_leg_gene(step, LegId::ALL[0], airborne);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_genome_is_well_formed_but_trapped() {
+        // structurally valid (any 36-bit value is) yet statically broken
+        let g = trap_genome();
+        assert!(crate::genome_check::well_formed(g).is_ok());
+        assert!(crate::genome_check::StaticGait::derive(g).airborne_leg(LegId::ALL[0]));
+    }
+
+    #[test]
+    fn overflow_fixture_exceeds_the_array() {
+        let d = clb_overflow();
+        assert!(crate::lint::packed_clbs(&d) > leonardo_rtl::resources::XC4036EX_CLBS);
+    }
+}

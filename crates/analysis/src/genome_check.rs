@@ -1,0 +1,345 @@
+//! Static analysis of walking genomes: derive the induced two-step leg
+//! state machine from the 36 bits alone (paper fact F1) and report trap
+//! states, unreachable steps and fitness-rule violations (fact F2) —
+//! without clocking the walker.
+//!
+//! The derivation reads the genome's leg genes directly; a test pins it
+//! against the behavioural `GaitTable` expansion so the static view can
+//! never drift from the simulated one.
+
+use crate::finding::Finding;
+use discipulus::fitness::{FitnessSpec, COHERENCE_CHECKS, EQUILIBRIUM_CHECKS, SYMMETRY_CHECKS};
+use discipulus::gap::GeneticAlgorithmProcessor;
+use discipulus::genome::{Genome, LegId, StepId, GENOME_BITS, NUM_LEGS, NUM_STEPS};
+use discipulus::movement::{LegStep, VerticalMove};
+use discipulus::params::GapParams;
+
+/// The statically derived state machine of one genome: for each of the
+/// two steps, each leg's three-field micro-program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticGait {
+    /// `steps[step][leg]`, indexed by [`StepId::index`] / [`LegId::index`].
+    pub steps: [[LegStep; NUM_LEGS]; NUM_STEPS],
+}
+
+impl StaticGait {
+    /// Derive the gait FSM from the genome bits — pure bit surgery, no
+    /// controller involved.
+    pub fn derive(genome: Genome) -> StaticGait {
+        let mut steps = [[LegStep::STANCE; NUM_LEGS]; NUM_STEPS];
+        for step in StepId::ALL {
+            for leg in LegId::ALL {
+                steps[step.index()][leg.index()] = genome.leg_gene(step, leg).step();
+            }
+        }
+        StaticGait { steps }
+    }
+
+    /// One leg's micro-program in one step.
+    pub fn leg(&self, step: StepId, leg: LegId) -> LegStep {
+        self.steps[step.index()][leg.index()]
+    }
+
+    /// Whether `leg` is airborne for the whole cycle: every vertical field
+    /// of both steps commands Up, so the foot never touches the ground —
+    /// a trap state for the physical robot (thrust from that leg is lost
+    /// and its side tips).
+    pub fn airborne_leg(&self, leg: LegId) -> bool {
+        StepId::ALL.iter().all(|&s| {
+            let step = self.leg(s, leg);
+            step.pre == VerticalMove::Up && step.post == VerticalMove::Up
+        })
+    }
+
+    /// Whether `leg` holds one pose for the whole cycle: both steps carry
+    /// the same gene *and* its two vertical fields agree, so none of the
+    /// six micro-phases changes the leg.
+    pub fn frozen_leg(&self, leg: LegId) -> bool {
+        let a = self.leg(StepId::One, leg);
+        let b = self.leg(StepId::Two, leg);
+        a == b && a.pre == a.post
+    }
+
+    /// Whether the two encoded steps are identical for every leg — the
+    /// second state of the two-step machine is then unreachable as a
+    /// *distinct* state and the gait degenerates to a one-step loop.
+    pub fn degenerate_steps(&self) -> bool {
+        self.steps[0] == self.steps[1]
+    }
+}
+
+/// Statically check one genome: trap states, unreachable steps, and the
+/// three fitness rules of [`FitnessSpec::paper`].
+pub fn check_genome(genome: Genome) -> Vec<Finding> {
+    let gait = StaticGait::derive(genome);
+    let ctx = format!("genome {:#011x}", genome.bits());
+    let mut findings = Vec::new();
+
+    for leg in LegId::ALL {
+        if gait.airborne_leg(leg) {
+            findings.push(Finding::error(
+                "airborne-leg",
+                ctx.clone(),
+                format!(
+                    "leg {} never touches the ground (all vertical fields Up): trap state",
+                    leg.label()
+                ),
+            ));
+        } else if gait.frozen_leg(leg) {
+            findings.push(Finding::warning(
+                "frozen-leg",
+                ctx.clone(),
+                format!("leg {} holds one pose through all six phases", leg.label()),
+            ));
+        }
+    }
+    if gait.degenerate_steps() {
+        findings.push(Finding::warning(
+            "degenerate-steps",
+            ctx.clone(),
+            "step 2 repeats step 1 for every leg; the two-step machine collapses to one step"
+                .to_string(),
+        ));
+    }
+
+    let b = FitnessSpec::paper().breakdown(genome);
+    if b.equilibrium < EQUILIBRIUM_CHECKS {
+        findings.push(Finding::error(
+            "equilibrium-violation",
+            ctx.clone(),
+            format!(
+                "{} of {EQUILIBRIUM_CHECKS} equilibrium checks fail: some vertical \
+                 configuration lifts a whole side and the robot falls",
+                EQUILIBRIUM_CHECKS - b.equilibrium
+            ),
+        ));
+    }
+    if b.symmetry < SYMMETRY_CHECKS {
+        findings.push(Finding::warning(
+            "symmetry-deficit",
+            ctx.clone(),
+            format!(
+                "{} of {SYMMETRY_CHECKS} legs keep the same horizontal direction in both steps",
+                SYMMETRY_CHECKS - b.symmetry
+            ),
+        ));
+    }
+    if b.coherence < COHERENCE_CHECKS {
+        findings.push(Finding::warning(
+            "coherence-deficit",
+            ctx,
+            format!(
+                "{} of {COHERENCE_CHECKS} step programs move a leg horizontally in the \
+                 wrong vertical posture",
+                COHERENCE_CHECKS - b.coherence
+            ),
+        ));
+    }
+    findings
+}
+
+/// Structural well-formedness of a genome — the invariants that must hold
+/// for **every** value the GAP can produce through initialisation,
+/// crossover and mutation, as opposed to the gait-quality findings of
+/// [`check_genome`] (which legitimately fire on unevolved genomes).
+pub fn well_formed(genome: Genome) -> Result<(), String> {
+    let bits = genome.bits();
+    if bits >> GENOME_BITS != 0 {
+        return Err(format!("bits above {GENOME_BITS} set: {bits:#x}"));
+    }
+    // the leg-gene view must tile the word exactly
+    let mut reassembled = 0u64;
+    for step in StepId::ALL {
+        for leg in LegId::ALL {
+            let gene = genome.leg_gene(step, leg);
+            let pos = Genome::bit_position(step, leg, 0);
+            reassembled |= u64::from(gene.to_bits()) << pos;
+        }
+    }
+    if reassembled != bits {
+        return Err(format!(
+            "leg genes reassemble to {reassembled:#x}, not {bits:#x}"
+        ));
+    }
+    // the fitness decomposition must stay inside the rule maxima and sum
+    // to the evaluated score under the paper's unit weights
+    let spec = FitnessSpec::paper();
+    let b = spec.breakdown(genome);
+    if b.equilibrium > EQUILIBRIUM_CHECKS
+        || b.symmetry > SYMMETRY_CHECKS
+        || b.coherence > COHERENCE_CHECKS
+    {
+        return Err(format!("rule breakdown out of range: {b}"));
+    }
+    if b.total() != spec.evaluate(genome) {
+        return Err(format!(
+            "breakdown total {} disagrees with evaluate {}",
+            b.total(),
+            spec.evaluate(genome)
+        ));
+    }
+    Ok(())
+}
+
+/// Verify the full population path: run the behavioural GAP from `seed`
+/// and statically check every genome it emits after mutation and
+/// crossover, every generation, for well-formedness; at convergence the
+/// best individual must additionally be free of error-severity gait
+/// findings (a maximal-fitness genome provably has no trap state).
+pub fn check_population_path(seed: u32, max_generations: u64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), seed);
+    let ctx = format!("population path (seed {seed})");
+    while !gap.converged() && gap.generation() < max_generations {
+        gap.step_generation();
+        for (i, &g) in gap.population().genomes().iter().enumerate() {
+            if let Err(why) = well_formed(g) {
+                findings.push(Finding::error(
+                    "malformed-genome",
+                    ctx.clone(),
+                    format!("generation {}, individual {i}: {why}", gap.generation()),
+                ));
+            }
+        }
+    }
+    if gap.converged() {
+        let (best, _) = gap.best();
+        findings.extend(
+            check_genome(best)
+                .into_iter()
+                .filter(|f| f.severity == crate::finding::Severity::Error),
+        );
+    } else {
+        findings.push(Finding::error(
+            "no-convergence",
+            ctx,
+            format!("GAP did not converge within {max_generations} generations"),
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::has_errors;
+    use discipulus::controller::GaitTable;
+    use discipulus::movement::{HorizontalMove, MicroPhase};
+
+    #[test]
+    fn static_gait_matches_behavioural_gait_table() {
+        for bits in [0u64, (1 << 36) - 1, Genome::tripod().bits(), 0xA5A5_A5A5] {
+            let g = Genome::from_bits(bits);
+            let gait = StaticGait::derive(g);
+            let table = GaitTable::from_genome(g);
+            for step in StepId::ALL {
+                for phase in MicroPhase::ALL {
+                    let cmd = table.at(step, phase);
+                    for leg in LegId::ALL {
+                        let ls = gait.leg(step, leg);
+                        let pose = cmd.leg(leg);
+                        assert_eq!(pose.vertical, ls.vertical_during(phase));
+                        // the horizontal servo holds the previous step's
+                        // sweep until this step's Horizontal phase runs
+                        let expected_h = if phase == MicroPhase::PreVertical {
+                            gait.leg(step.other(), leg).horizontal
+                        } else {
+                            ls.horizontal
+                        };
+                        assert_eq!(pose.horizontal, expected_h);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tripod_gait_is_clean() {
+        let findings = check_genome(Genome::tripod());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn trap_genome_reports_airborne_leg() {
+        let findings = check_genome(crate::fixtures::trap_genome());
+        assert!(findings.iter().any(|f| f.check == "airborne-leg"));
+        assert!(has_errors(&findings));
+    }
+
+    #[test]
+    fn zero_genome_reports_frozen_legs_and_degenerate_steps() {
+        let findings = check_genome(Genome::ZERO);
+        assert!(findings.iter().any(|f| f.check == "frozen-leg"));
+        assert!(findings.iter().any(|f| f.check == "degenerate-steps"));
+        // all legs down: never an equilibrium error
+        assert!(!findings.iter().any(|f| f.check == "equilibrium-violation"));
+    }
+
+    #[test]
+    fn max_fitness_genomes_have_no_error_findings() {
+        // the fitness rules statically rule out every trap: coherence ties
+        // pre to horizontal and symmetry alternates horizontal, so no leg
+        // stays airborne; equilibrium keeps both sides grounded
+        for g in discipulus::fitness::max_fitness_genomes() {
+            let findings = check_genome(g);
+            assert!(!has_errors(&findings), "{g:?}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn airborne_needs_all_four_vertical_fields_up() {
+        // Up/fwd/Up in step 1 only: grounded during step 2
+        let mut g = Genome::ZERO;
+        g = g.with_leg_gene(
+            StepId::One,
+            LegId::ALL[0],
+            discipulus::genome::LegGene::from_bits(0b111),
+        );
+        assert!(!StaticGait::derive(g).airborne_leg(LegId::ALL[0]));
+    }
+
+    #[test]
+    fn frozen_leg_requires_constant_pose() {
+        // same gene both steps but pre != post: the leg moves vertically
+        let gene = discipulus::genome::LegGene::from_bits(0b100);
+        let mut g = Genome::ZERO;
+        for step in StepId::ALL {
+            g = g.with_leg_gene(step, LegId::ALL[2], gene);
+        }
+        assert!(!StaticGait::derive(g).frozen_leg(LegId::ALL[2]));
+    }
+
+    #[test]
+    fn all_genome_values_are_well_formed() {
+        // structured sweep: well-formedness is a total property of the
+        // 36-bit space, not of evolved genomes
+        for i in 0..50_000u64 {
+            let bits = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 28;
+            assert!(well_formed(Genome::from_bits(bits)).is_ok());
+        }
+    }
+
+    #[test]
+    fn population_path_is_clean() {
+        let findings = check_population_path(5, 50_000);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn symmetry_deficit_reported() {
+        // legs sweeping the same direction in both steps
+        let mut g = Genome::ZERO;
+        for step in StepId::ALL {
+            for leg in LegId::ALL {
+                let gene = discipulus::genome::LegGene {
+                    pre: VerticalMove::Down,
+                    horizontal: HorizontalMove::Forward,
+                    post: VerticalMove::Down,
+                };
+                g = g.with_leg_gene(step, leg, gene);
+            }
+        }
+        let findings = check_genome(g);
+        assert!(findings.iter().any(|f| f.check == "symmetry-deficit"));
+    }
+}

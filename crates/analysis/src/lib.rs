@@ -1,0 +1,31 @@
+//! Static design verification for the Discipulus Simplex chip model.
+//!
+//! Everything here answers questions about the design **without
+//! simulating it**:
+//!
+//! * [`lint`] checks the [`leonardo_rtl::netlist`] descriptions every RTL
+//!   unit emits — combinational cycles, unclocked state, dead signals,
+//!   width-mismatched connections, and the XC4036EX resource budget
+//!   (paper fact F8: 1244 of 1296 CLBs);
+//! * [`genome_check`] derives the two-step leg state machine any 36-bit
+//!   genome induces (fact F1) and reports trap states, unreachable steps
+//!   and fitness-rule violations (fact F2) — then verifies on the full
+//!   population path that every genome the GAP emits stays well-formed;
+//! * [`fixtures`] holds deliberately broken designs, one per defect
+//!   class, so the gate itself is testable.
+//!
+//! The `analysis` binary wires these into a single gate:
+//! `cargo run -p analysis -- check` exits nonzero on any error-severity
+//! finding. See `ANALYSIS.md` at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod finding;
+pub mod fixtures;
+pub mod genome_check;
+pub mod lint;
+
+pub use finding::{has_errors, Finding, Severity};
+pub use genome_check::{check_genome, check_population_path, well_formed, StaticGait};
+pub use lint::{lint_design, lint_unit, packed_clbs};

@@ -1,0 +1,459 @@
+//! The netlist linter: structural checks on [`StaticNetlist`] and
+//! [`DesignNetlist`] descriptions, without simulating a single cycle.
+//!
+//! The checks target the defect classes that on the real XC4036EX would be
+//! silent hardware failures:
+//!
+//! * **combinational cycles** — a feedback path not cut by a register
+//!   oscillates or latches unpredictably after place-and-route;
+//! * **unclocked state** — the design is fully synchronous, so any latch
+//!   is a timing hazard;
+//! * **dead signals** — logic that synthesis would strip, which in a
+//!   hand-budgeted design means the resource claim is wrong;
+//! * **width mismatches** across unit-to-unit connections — the fabric
+//!   has no implicit truncation or extension;
+//! * **resource-budget violations** — the chip has 1296 CLBs and the
+//!   paper's design uses 1244 of them (fact F8); a claim that exceeds the
+//!   array cannot be placed, and one that diverges far from the paper's
+//!   figure means the model no longer reproduces the paper.
+
+use crate::finding::Finding;
+use leonardo_rtl::netlist::{DesignNetlist, NetKind, StaticNetlist};
+use leonardo_rtl::resources::{PAPER_CLBS, XC4036EX_CLBS};
+
+/// Relative divergence from the paper's 1244-CLB figure tolerated before
+/// the budget check warns.
+pub const CLB_DIVERGENCE_TOLERANCE: f64 = 0.05;
+
+/// Lint one unit netlist.
+pub fn lint_unit(n: &StaticNetlist) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_edge_endpoints(n, &mut findings);
+    check_latches(n, &mut findings);
+    check_combinational_cycles(n, &mut findings);
+    check_dead_signals(n, &mut findings);
+    findings
+}
+
+/// Lint a whole design: every member unit, plus the unit-to-unit
+/// connections and the resource budget.
+pub fn lint_design(d: &DesignNetlist) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, u) in d.units.iter().enumerate() {
+        if d.units[..i].iter().any(|other| other.unit == u.unit) {
+            findings.push(Finding::error(
+                "duplicate-unit",
+                &d.design,
+                format!("unit `{}` instantiated twice under the same name", u.unit),
+            ));
+        }
+        findings.extend(lint_unit(u));
+    }
+    check_connections(d, &mut findings);
+    check_budget(d, &mut findings);
+    findings
+}
+
+/// Chip-level packed CLB estimate of the design's total claim:
+/// `max(ΣFF / 2, ΣLUT / 2)`, the same packing model as
+/// `ResourceReport::packed_clbs` (each CLB holds two flip-flops and two
+/// LUTs; combinational logic rides in the LUT halves of register CLBs).
+pub fn packed_clbs(d: &DesignNetlist) -> u32 {
+    let t = d.total_claim();
+    t.flip_flops.div_ceil(2).max(t.luts.div_ceil(2))
+}
+
+fn check_edge_endpoints(n: &StaticNetlist, findings: &mut Vec<Finding>) {
+    for e in &n.edges {
+        for name in [&e.from, &e.to] {
+            if n.find(name).is_none() {
+                findings.push(Finding::error(
+                    "unknown-net",
+                    &n.unit,
+                    format!(
+                        "edge `{} -> {}` references unknown net `{name}`",
+                        e.from, e.to
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_latches(n: &StaticNetlist, findings: &mut Vec<Finding>) {
+    for net in &n.nets {
+        if net.kind == NetKind::Latch {
+            findings.push(Finding::error(
+                "unclocked-state",
+                &n.unit,
+                format!(
+                    "`{}` ({} bits) is a latch; the design is fully synchronous",
+                    net.name, net.width
+                ),
+            ));
+        }
+    }
+}
+
+/// Find a directed cycle in the combinational dependency graph. An edge
+/// into a [`NetKind::Register`] is the register's D input and terminates
+/// the combinational path, so only edges whose target is *not* a register
+/// participate.
+fn check_combinational_cycles(n: &StaticNetlist, findings: &mut Vec<Finding>) {
+    let idx_of = |name: &str| n.nets.iter().position(|net| net.name == name);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n.nets.len()];
+    for e in &n.edges {
+        let (Some(from), Some(to)) = (idx_of(&e.from), idx_of(&e.to)) else {
+            continue; // reported by check_edge_endpoints
+        };
+        if n.nets[to].kind != NetKind::Register {
+            adj[from].push(to);
+        }
+    }
+    // iterative three-color DFS; on back edge, recover the cycle from the
+    // stack of grey nodes
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; n.nets.len()];
+    for start in 0..n.nets.len() {
+        if color[start] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        let mut path: Vec<usize> = vec![start];
+        color[start] = Color::Grey;
+        while let Some(&(node, next)) = stack.last() {
+            if next < adj[node].len() {
+                let succ = adj[node][next];
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                match color[succ] {
+                    Color::White => {
+                        color[succ] = Color::Grey;
+                        stack.push((succ, 0));
+                        path.push(succ);
+                    }
+                    Color::Grey => {
+                        let pos = path.iter().position(|&p| p == succ).unwrap_or(0);
+                        let cycle: Vec<&str> = path[pos..]
+                            .iter()
+                            .map(|&p| n.nets[p].name.as_str())
+                            .collect();
+                        findings.push(Finding::error(
+                            "combinational-loop",
+                            &n.unit,
+                            format!(
+                                "combinational cycle not cut by any register: {} -> {}",
+                                cycle.join(" -> "),
+                                n.nets[succ].name
+                            ),
+                        ));
+                        return; // one cycle per unit is enough to fail the gate
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+}
+
+fn check_dead_signals(n: &StaticNetlist, findings: &mut Vec<Finding>) {
+    for net in &n.nets {
+        let has_reader = n.edges.iter().any(|e| e.from == net.name);
+        let has_driver = n.edges.iter().any(|e| e.to == net.name);
+        match net.kind {
+            // outputs are the unit's interface; read externally
+            NetKind::Output => {
+                if !has_driver {
+                    findings.push(Finding::warning(
+                        "undriven-output",
+                        &n.unit,
+                        format!("output `{}` has no driver", net.name),
+                    ));
+                }
+            }
+            // inputs are driven externally
+            NetKind::Input => {
+                if !has_reader {
+                    findings.push(Finding::warning(
+                        "dead-signal",
+                        &n.unit,
+                        format!("input `{}` is never read", net.name),
+                    ));
+                }
+            }
+            NetKind::Register | NetKind::Latch | NetKind::Wire => {
+                if !has_reader {
+                    findings.push(Finding::warning(
+                        "dead-signal",
+                        &n.unit,
+                        format!("`{}` is never read; synthesis would strip it", net.name),
+                    ));
+                }
+                if !has_driver {
+                    findings.push(Finding::warning(
+                        "dead-signal",
+                        &n.unit,
+                        format!("`{}` is never driven", net.name),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn check_connections(d: &DesignNetlist, findings: &mut Vec<Finding>) {
+    for c in &d.connections {
+        let from_net = d.find_unit(&c.from.unit).and_then(|u| u.find(&c.from.port));
+        let to_net = d.find_unit(&c.to.unit).and_then(|u| u.find(&c.to.port));
+        let (from_net, to_net) = match (from_net, to_net) {
+            (Some(f), Some(t)) => (f, t),
+            _ => {
+                findings.push(Finding::error(
+                    "unknown-endpoint",
+                    &d.design,
+                    format!(
+                        "connection {}.{} -> {}.{} references a missing unit or port",
+                        c.from.unit, c.from.port, c.to.unit, c.to.port
+                    ),
+                ));
+                continue;
+            }
+        };
+        if from_net.kind != NetKind::Output {
+            findings.push(Finding::error(
+                "connection-direction",
+                &d.design,
+                format!(
+                    "connection source {}.{} is not an output port",
+                    c.from.unit, c.from.port
+                ),
+            ));
+        }
+        if to_net.kind != NetKind::Input {
+            findings.push(Finding::error(
+                "connection-direction",
+                &d.design,
+                format!(
+                    "connection target {}.{} is not an input port",
+                    c.to.unit, c.to.port
+                ),
+            ));
+        }
+        if from_net.width != to_net.width {
+            findings.push(Finding::error(
+                "width-mismatch",
+                &d.design,
+                format!(
+                    "{}.{} ({} bits) wired to {}.{} ({} bits); the fabric has no implicit resize",
+                    c.from.unit, c.from.port, from_net.width, c.to.unit, c.to.port, to_net.width
+                ),
+            ));
+        }
+    }
+    // an input driven twice shorts two drivers together
+    for u in &d.units {
+        for net in u.nets.iter().filter(|n| n.kind == NetKind::Input) {
+            let drivers = d
+                .connections
+                .iter()
+                .filter(|c| c.to.unit == u.unit && c.to.port == net.name)
+                .count();
+            if drivers > 1 {
+                findings.push(Finding::error(
+                    "multiple-drivers",
+                    &d.design,
+                    format!("input {}.{} has {drivers} drivers", u.unit, net.name),
+                ));
+            }
+        }
+    }
+}
+
+fn check_budget(d: &DesignNetlist, findings: &mut Vec<Finding>) {
+    let packed = packed_clbs(d);
+    if packed > XC4036EX_CLBS {
+        findings.push(Finding::error(
+            "clb-overflow",
+            &d.design,
+            format!("design claims {packed} CLBs (packed); the XC4036EX provides {XC4036EX_CLBS}"),
+        ));
+    }
+    let divergence = (f64::from(packed) - f64::from(PAPER_CLBS)) / f64::from(PAPER_CLBS);
+    if divergence.abs() > CLB_DIVERGENCE_TOLERANCE {
+        findings.push(Finding::warning(
+            "clb-divergence",
+            &d.design,
+            format!(
+                "packed claim {packed} CLBs diverges {:+.1}% from the paper's {PAPER_CLBS} (fact F8)",
+                divergence * 100.0
+            ),
+        ));
+    }
+}
+
+/// The packed-claim budget summary line for the report header.
+pub fn budget_summary(d: &DesignNetlist) -> String {
+    let packed = packed_clbs(d);
+    let total = d.total_claim();
+    format!(
+        "claim: {} CLBs additive, {packed} packed of {XC4036EX_CLBS} ({:.1}%); paper: {PAPER_CLBS}",
+        total.clbs,
+        f64::from(packed) / f64::from(XC4036EX_CLBS) * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::has_errors;
+    use leonardo_rtl::resources::Resources;
+
+    fn clean_unit() -> StaticNetlist {
+        StaticNetlist::new("clean")
+            .claim(Resources::unit(4, 4))
+            .input("a", 4)
+            .register("r", 4)
+            .output("y", 4)
+            .edge("a", "r")
+            .edge("r", "y")
+    }
+
+    #[test]
+    fn clean_unit_has_no_findings() {
+        assert!(lint_unit(&clean_unit()).is_empty());
+    }
+
+    #[test]
+    fn register_cuts_feedback() {
+        // r -> w -> r closes through the register: not a combinational loop
+        let n = StaticNetlist::new("counter")
+            .register("r", 4)
+            .wire("w", 4)
+            .output("y", 4)
+            .edge("r", "w")
+            .edge("w", "r")
+            .edge("r", "y");
+        assert!(lint_unit(&n).is_empty(), "{:?}", lint_unit(&n));
+    }
+
+    #[test]
+    fn detects_combinational_loop() {
+        let n = crate::fixtures::combinational_loop();
+        let findings = lint_unit(&n);
+        assert!(has_errors(&findings));
+        assert!(findings.iter().any(|f| f.check == "combinational-loop"));
+    }
+
+    #[test]
+    fn detects_latch() {
+        let n = StaticNetlist::new("u")
+            .input("a", 1)
+            .latch("l", 1)
+            .output("y", 1)
+            .edge("a", "l")
+            .edge("l", "y");
+        let findings = lint_unit(&n);
+        assert!(findings.iter().any(|f| f.check == "unclocked-state"));
+        assert!(has_errors(&findings));
+    }
+
+    #[test]
+    fn detects_dead_and_undriven_signals() {
+        let n = StaticNetlist::new("u")
+            .input("unused", 4)
+            .wire("floating", 4)
+            .output("y", 4);
+        let findings = lint_unit(&n);
+        assert!(findings.iter().filter(|f| f.check == "dead-signal").count() >= 2);
+        assert!(findings.iter().any(|f| f.check == "undriven-output"));
+        // dead signals are warnings, not gate failures
+        assert!(!has_errors(&findings));
+    }
+
+    #[test]
+    fn detects_unknown_net_in_edge() {
+        let n = StaticNetlist::new("u").input("a", 1).edge("a", "ghost");
+        assert!(lint_unit(&n).iter().any(|f| f.check == "unknown-net"));
+    }
+
+    #[test]
+    fn detects_width_mismatch_across_connection() {
+        let d = crate::fixtures::width_mismatch();
+        let findings = lint_design(&d);
+        assert!(findings.iter().any(|f| f.check == "width-mismatch"));
+        assert!(has_errors(&findings));
+    }
+
+    #[test]
+    fn detects_clb_overflow() {
+        let d = crate::fixtures::clb_overflow();
+        let findings = lint_design(&d);
+        assert!(findings.iter().any(|f| f.check == "clb-overflow"));
+        assert!(has_errors(&findings));
+    }
+
+    #[test]
+    fn detects_connection_direction_and_unknown_endpoint() {
+        let d = DesignNetlist::new("d")
+            .unit(clean_unit())
+            .unit(
+                StaticNetlist::new("sink")
+                    .input("a", 4)
+                    .output("y", 4)
+                    .edge("a", "y"),
+            )
+            // backwards: input as source, output as target
+            .connect(("sink", "a"), ("clean", "y"))
+            .connect(("ghost", "y"), ("sink", "a"));
+        let findings = lint_design(&d);
+        assert!(
+            findings
+                .iter()
+                .filter(|f| f.check == "connection-direction")
+                .count()
+                >= 2
+        );
+        assert!(findings.iter().any(|f| f.check == "unknown-endpoint"));
+    }
+
+    #[test]
+    fn detects_multiple_drivers() {
+        let src = |name: &str| {
+            StaticNetlist::new(name)
+                .register("r", 4)
+                .output("y", 4)
+                .edge("r", "y")
+        };
+        let d = DesignNetlist::new("d")
+            .unit(src("a"))
+            .unit(src("b"))
+            .unit(
+                StaticNetlist::new("sink")
+                    .input("x", 4)
+                    .register("r", 4)
+                    .edge("x", "r")
+                    .edge("r", "r"),
+            )
+            .connect(("a", "y"), ("sink", "x"))
+            .connect(("b", "y"), ("sink", "x"));
+        assert!(lint_design(&d)
+            .iter()
+            .any(|f| f.check == "multiple-drivers"));
+    }
+
+    #[test]
+    fn duplicate_unit_names_rejected() {
+        let d = DesignNetlist::new("d")
+            .unit(clean_unit())
+            .unit(clean_unit());
+        assert!(lint_design(&d).iter().any(|f| f.check == "duplicate-unit"));
+    }
+}

@@ -1,0 +1,95 @@
+//! The static design-verification gate.
+//!
+//! ```text
+//! analysis check [seed]        full gate: lint the chip netlist, check the
+//!                              resource budget, verify the population path
+//! analysis genome <hex>        statically check one 36-bit genome
+//! analysis fixture <name>      run a seeded-defect fixture (must fail):
+//!                              combinational-loop | width-mismatch |
+//!                              clb-overflow | trap-genome
+//! ```
+//!
+//! Exit status: 0 when no error-severity finding, 1 otherwise, 2 on usage
+//! errors.
+
+#![forbid(unsafe_code)]
+
+use analysis::finding::{has_errors, Finding};
+use analysis::{check_genome, check_population_path, fixtures, lint};
+use discipulus::genome::Genome;
+use leonardo_rtl::gap_rtl::GapRtlConfig;
+use leonardo_rtl::top::DiscipulusTop;
+use std::process::ExitCode;
+
+/// Seed of the population-path verification when none is given.
+const DEFAULT_SEED: u32 = 0xD15C;
+/// Generation cap for the population-path verification.
+const MAX_GENERATIONS: u64 = 50_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // accept both `fixture <name>` and the `--fixture <name>` spelling
+    let norm: Vec<&str> = args.iter().map(|a| a.trim_start_matches("--")).collect();
+    match norm.as_slice() {
+        ["check"] => run_check(DEFAULT_SEED),
+        ["check", seed] => match seed.parse() {
+            Ok(s) => run_check(s),
+            Err(_) => usage(&format!("invalid seed `{seed}`")),
+        },
+        ["genome", hex] => {
+            let hex = hex.trim_start_matches("0x");
+            match u64::from_str_radix(hex, 16) {
+                Ok(bits) if bits >> 36 == 0 => report(&check_genome(Genome::from_bits(bits))),
+                Ok(bits) => usage(&format!("{bits:#x} does not fit in 36 bits")),
+                Err(_) => usage(&format!("invalid genome hex `{hex}`")),
+            }
+        }
+        ["fixture", name] => run_fixture(name),
+        _ => usage("expected `check [seed]`, `genome <hex>` or `fixture <name>`"),
+    }
+}
+
+fn run_check(seed: u32) -> ExitCode {
+    let chip = DiscipulusTop::new(GapRtlConfig::paper(seed));
+    let design = chip.design_netlist();
+    println!("== netlist lint: {} ==", design.design);
+    println!("{}", lint::budget_summary(&design));
+    let mut findings = lint::lint_design(&design);
+    println!("== genome path: seed {seed:#x} ==");
+    findings.extend(check_population_path(seed, MAX_GENERATIONS));
+    report(&findings)
+}
+
+fn run_fixture(name: &str) -> ExitCode {
+    let findings = match name {
+        "combinational-loop" => lint::lint_unit(&fixtures::combinational_loop()),
+        "width-mismatch" => lint::lint_design(&fixtures::width_mismatch()),
+        "clb-overflow" => lint::lint_design(&fixtures::clb_overflow()),
+        "trap-genome" => check_genome(fixtures::trap_genome()),
+        _ => return usage(&format!("unknown fixture `{name}`")),
+    };
+    report(&findings)
+}
+
+fn report(findings: &[Finding]) -> ExitCode {
+    for f in findings {
+        println!("{f}");
+    }
+    if has_errors(findings) {
+        let n = findings
+            .iter()
+            .filter(|f| f.severity == analysis::Severity::Error)
+            .count();
+        println!("FAIL: {n} error finding(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("OK: no error findings ({} warning(s))", findings.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!("usage: analysis check [seed] | genome <hex> | fixture <name>");
+    ExitCode::from(2)
+}

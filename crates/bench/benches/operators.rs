@@ -50,7 +50,12 @@ fn bench_mutation(c: &mut Criterion) {
     let mut group = c.benchmark_group("mutation");
     for (name, m) in [
         ("fixed_count_15", Mutation::gap()),
-        ("per_bit_1.3pct", Mutation::PerBit { rate: 15.0 / 1152.0 }),
+        (
+            "per_bit_1.3pct",
+            Mutation::PerBit {
+                rate: 15.0 / 1152.0,
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut rng = SmallRng::seed_from_u64(5);

@@ -55,5 +55,11 @@ fn bench_draw_below(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ca, bench_lfsr, bench_smallrng, bench_draw_below);
+criterion_group!(
+    benches,
+    bench_ca,
+    bench_lfsr,
+    bench_smallrng,
+    bench_draw_below
+);
 criterion_main!(benches);

@@ -88,15 +88,15 @@ fn main() {
             let cycles = (20 / steps).max(2);
             let report = WalkTrial::from_table(genome.expand()).cycles(cycles).run();
             let walk = score_report(&report);
-            (out.reached_target, out.generations, walk.score, walk.falls == 0)
+            (
+                out.reached_target,
+                out.generations,
+                walk.score,
+                walk.falls == 0,
+            )
         });
-        let success =
-            results.iter().filter(|r| r.0).count() as f64 / results.len() as f64 * 100.0;
-        let gens: Vec<f64> = results
-            .iter()
-            .filter(|r| r.0)
-            .map(|r| r.1 as f64)
-            .collect();
+        let success = results.iter().filter(|r| r.0).count() as f64 / results.len() as f64 * 100.0;
+        let gens: Vec<f64> = results.iter().filter(|r| r.0).map(|r| r.1 as f64).collect();
         let scores: Vec<f64> = results.iter().map(|r| r.2).collect();
         let fall_free =
             results.iter().filter(|r| r.3).count() as f64 / results.len() as f64 * 100.0;

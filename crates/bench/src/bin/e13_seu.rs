@@ -42,9 +42,7 @@ fn main() {
     let max_gens: u64 = arg_or("--max-gens", 100_000);
 
     println!("E13: GAP convergence under population-RAM upsets\n");
-    println!(
-        "(baseline mutation pressure: 15 flips/generation over 1152 bits)\n"
-    );
+    println!("(baseline mutation pressure: 15 flips/generation over 1152 bits)\n");
     println!(
         "{:>18} {:>10} {:>10} {:>8} {:>10}",
         "upsets/generation", "success", "mean gens", "sd", "vs clean"

@@ -64,7 +64,10 @@ fn main() {
         pct(90.0),
         pct(99.0)
     );
-    println!("  non-converged trials within {max_gens} generations: {}\n", stats.failures);
+    println!(
+        "  non-converged trials within {max_gens} generations: {}\n",
+        stats.failures
+    );
 
     // strict reading: the population itself has to "evolve the maximum
     // fitness" — half the individuals maximal
@@ -111,11 +114,7 @@ fn main() {
     table.push(Comparison::new(
         "convergence rate",
         "always (implied)",
-        format!(
-            "{}/{} trials",
-            trials - stats.failures,
-            trials
-        ),
+        format!("{}/{} trials", trials - stats.failures, trials),
         Verdict::Reproduced,
     ));
     println!("{table}");

@@ -43,8 +43,10 @@ fn main() {
     println!("  measured cycles per generation : {cycles_per_gen:.0}");
     println!("  mean generations to converge   : {mean_gens:.0} (over {trials} trials)");
     println!("  GA convergence time at 1 MHz   : {ga_time}");
-    println!("  analytic model generation cost : {} cycles",
-        CycleModel::bit_serial().cycles_per_generation(&params));
+    println!(
+        "  analytic model generation cost : {} cycles",
+        CycleModel::bit_serial().cycles_per_generation(&params)
+    );
     println!("  analytic model run time        : {model_time}");
     println!("  exhaustive search at 1 MHz     : {exhaustive}");
     println!(

@@ -33,7 +33,11 @@ fn main() {
     println!("E3: search-space characterization ({sample} uniform samples)\n");
     println!("fitness histogram:");
     print!("{}", hist.render(50));
-    println!("\n  mean sampled fitness: {:.2} / {}", hist.mean(), spec.max_fitness());
+    println!(
+        "\n  mean sampled fitness: {:.2} / {}",
+        hist.mean(),
+        spec.max_fitness()
+    );
     println!("  maximal genomes: {maximal} (one in {density:.0})\n");
 
     let mut table = ComparisonTable::new("E3 — genome encoding and search space (F1)");

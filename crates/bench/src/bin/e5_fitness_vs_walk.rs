@@ -53,7 +53,11 @@ fn main() {
     let maximal: Vec<Genome> = all_maximal.iter().copied().step_by(stride).collect();
     let max_scores: Vec<WalkScore> = parallel_map(&maximal, |&g| walking_fitness(g));
     describe(
-        &format!("maximal-rule genomes ({} of {})", maximal.len(), all_maximal.len()),
+        &format!(
+            "maximal-rule genomes ({} of {})",
+            maximal.len(),
+            all_maximal.len()
+        ),
         &max_scores,
         tripod,
     );
@@ -87,20 +91,13 @@ fn main() {
     );
     println!();
 
-    let best_maximal = max_scores
-        .iter()
-        .map(|s| s.score)
-        .fold(f64::MIN, f64::max);
-    let champ_mean = SampleSummary::of(
-        &champ_scores.iter().map(|s| s.score).collect::<Vec<_>>(),
-    )
-    .expect("champions")
-    .mean;
-    let rand_mean = SampleSummary::of(
-        &random_scores.iter().map(|s| s.score).collect::<Vec<_>>(),
-    )
-    .expect("random")
-    .mean;
+    let best_maximal = max_scores.iter().map(|s| s.score).fold(f64::MIN, f64::max);
+    let champ_mean = SampleSummary::of(&champ_scores.iter().map(|s| s.score).collect::<Vec<_>>())
+        .expect("champions")
+        .mean;
+    let rand_mean = SampleSummary::of(&random_scores.iter().map(|s| s.score).collect::<Vec<_>>())
+        .expect("random")
+        .mean;
     let champ_fall_free =
         champ_scores.iter().filter(|s| s.falls == 0).count() as f64 / champ_scores.len() as f64;
 
@@ -126,7 +123,10 @@ fn main() {
     table.push(Comparison::new(
         "champion walk is good",
         "\"nonetheless good\"",
-        format!("{:.0}% of champions walk fall-free", champ_fall_free * 100.0),
+        format!(
+            "{:.0}% of champions walk fall-free",
+            champ_fall_free * 100.0
+        ),
         if champ_fall_free > 0.3 {
             Verdict::Reproduced
         } else {

@@ -42,8 +42,10 @@ fn main() {
     // 1. structural quality
     let mut ca = CellularRng::new(12345);
     let mut lfsr = Lfsr32::new(12345);
-    println!("  CA rule vector 0x{MAXIMAL_RULE_90_150:08x}: maximal period = {}",
-        is_maximal_rule(MAXIMAL_RULE_90_150));
+    println!(
+        "  CA rule vector 0x{MAXIMAL_RULE_90_150:08x}: maximal period = {}",
+        is_maximal_rule(MAXIMAL_RULE_90_150)
+    );
     println!("  homogeneous rule-90 maximal?   : {}", is_maximal_rule(0));
     println!(
         "  CA ones fraction (1M words)    : {:.4}",

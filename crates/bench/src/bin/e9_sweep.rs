@@ -45,7 +45,12 @@ fn main() {
         "population size (paper: 32)",
         [8usize, 16, 32, 64, 128]
             .into_iter()
-            .map(|n| (format!("pop={n}"), paper.with_population_size(n).with_mutations(15 * n / 32)))
+            .map(|n| {
+                (
+                    format!("pop={n}"),
+                    paper.with_population_size(n).with_mutations(15 * n / 32),
+                )
+            })
             .collect(),
         trials,
         max_gens,

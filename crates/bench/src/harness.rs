@@ -23,7 +23,11 @@ pub struct ConvergenceStats {
 
 /// Run `seeds.len()` behavioural GAP trials in parallel and collect
 /// generations-to-maximum-fitness.
-pub fn convergence_sample(params: GapParams, seeds: &[u32], max_generations: u64) -> ConvergenceStats {
+pub fn convergence_sample(
+    params: GapParams,
+    seeds: &[u32],
+    max_generations: u64,
+) -> ConvergenceStats {
     let results = parallel_map(seeds, |&seed| {
         let mut gap = GeneticAlgorithmProcessor::new(params, seed);
         let outcome = gap.run_to_convergence(max_generations);

@@ -130,8 +130,18 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let mut t = ComparisonTable::new("E0 smoke");
-        t.push(Comparison::new("gens", "~2000", "1870", Verdict::Reproduced));
-        t.push(Comparison::new("time", "10 min", "2.1 s", Verdict::ShapeHolds));
+        t.push(Comparison::new(
+            "gens",
+            "~2000",
+            "1870",
+            Verdict::Reproduced,
+        ));
+        t.push(Comparison::new(
+            "time",
+            "10 min",
+            "2.1 s",
+            Verdict::ShapeHolds,
+        ));
         let s = t.to_string();
         assert!(s.contains("E0 smoke"));
         assert!(s.contains("~2000"));

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the multi-producer multi-consumer unbounded channel the
+//! sweep driver uses as a work queue: cloneable [`channel::Sender`] and
+//! [`channel::Receiver`], with `recv` blocking until a message arrives or
+//! every sender is dropped. Built on a mutex-guarded queue plus a condvar
+//! — adequate for work distribution, not a lock-free replacement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (each message goes to exactly one
+    /// receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Push a message onto the queue.
+        ///
+        /// The queue is unbounded, so this never blocks. Fails only when
+        /// every [`Receiver`] has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // the only receiver handles are counted through the Arc:
+            // strong count == senders means no receiver remains
+            if Arc::strong_count(&self.shared) == self.shared.senders.load(Ordering::SeqCst) {
+                return Err(SendError(value));
+            }
+            let mut queue = self.shared.queue.lock().expect("channel mutex");
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // last sender gone: wake all blocked receivers
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pop the next message, blocking while the channel is empty and
+        /// at least one sender remains.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel mutex");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.ready.wait(queue).expect("channel mutex");
+            }
+        }
+
+        /// Pop the next message if one is ready.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel mutex")
+                .pop_front()
+                .ok_or(RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_single_thread() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn workers_drain_queue_exactly_once() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let sum = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let rx = rx.clone();
+                    let sum = &sum;
+                    scope.spawn(move || {
+                        while let Ok(v) = rx.recv() {
+                            sum.fetch_add(u64::from(v), Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+        }
+
+        #[test]
+        fn recv_blocks_until_send() {
+            let (tx, rx) = unbounded();
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    tx.send(7u32).unwrap();
+                });
+                assert_eq!(rx.recv(), Ok(7));
+            });
+        }
+
+        #[test]
+        fn send_fails_with_no_receiver() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(3u32), Err(SendError(3)));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps [`std::sync::Mutex`] behind `parking_lot`'s panic-free locking
+//! API: [`Mutex::lock`] returns the guard directly instead of a
+//! `Result`, recovering the data if a previous holder panicked (the
+//! workspace only locks around plain data collection, where poisoning
+//! carries no information).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Mutex as StdMutex;
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion primitive with `parking_lot`'s poison-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available.
+    ///
+    /// Unlike [`std::sync::Mutex::lock`] this never returns a poison
+    /// error: a poisoned lock is recovered and the guard returned.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Mutably borrow the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(Vec::new());
+        m.lock().push(1);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn shared_across_scoped_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 8000);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered() {
+        let m = Mutex::new(5u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock();
+            panic!("poison the mutex");
+        }));
+        assert_eq!(*m.lock(), 5);
+    }
+}

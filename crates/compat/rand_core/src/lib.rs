@@ -1,0 +1,166 @@
+//! Offline stand-in for the `rand_core` crate.
+//!
+//! The workspace builds with no network access, so the external `rand_core`
+//! dependency is replaced by this in-repo crate exposing exactly the API
+//! subset the workspace uses: the fallible [`TryRng`] trait, the infallible
+//! [`Rng`] trait (blanket-implemented for every infallible `TryRng`), and
+//! [`SeedableRng`]. Generators with real entropy requirements live in the
+//! `discipulus` crate (the paper's CA PRNG); nothing here talks to the OS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::convert::Infallible;
+
+/// A random number generator that may fail.
+///
+/// Mirrors the fallible core trait of `rand_core` 0.10: generators expose
+/// `try_*` methods and declare an error type. Infallible generators set
+/// `Error = Infallible` and automatically receive the [`Rng`] convenience
+/// methods through a blanket implementation.
+pub trait TryRng {
+    /// Error produced when the generator cannot return randomness.
+    type Error;
+
+    /// Return the next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Return the next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fill `dest` with random bytes.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random number generator.
+///
+/// Blanket-implemented for every [`TryRng`] whose error is [`Infallible`],
+/// so concrete generators only implement the fallible trait.
+pub trait Rng {
+    /// Return the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T: TryRng<Error = Infallible> + ?Sized> Rng for T {
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => (),
+        }
+    }
+}
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array for every implementation here).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it to a full seed with the
+    /// SplitMix64 sequence (the standard `rand` expansion).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — used only to expand `u64` seeds into full seed arrays.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Advance and return the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u32);
+
+    impl TryRng for Counter {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            self.0 = self.0.wrapping_add(1);
+            Ok(self.0)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            let lo = u64::from(self.try_next_u32().unwrap());
+            let hi = u64::from(self.try_next_u32().unwrap());
+            Ok(lo | (hi << 32))
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+            for chunk in dest.chunks_mut(4) {
+                let bytes = self.try_next_u32()?.to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_rng_for_infallible_tryrng() {
+        let mut c = Counter(0);
+        assert_eq!(c.next_u32(), 1);
+        assert_eq!(c.next_u64(), 2 | (3 << 32));
+        let mut buf = [0u8; 6];
+        c.fill_bytes(&mut buf);
+        assert_eq!(buf[0], 4);
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // first outputs of SplitMix64 seeded with 0 (published sequence)
+        let mut sm = SplitMix64(0);
+        assert_eq!(sm.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(sm.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+    }
+
+    #[test]
+    fn seed_from_u64_fills_whole_seed() {
+        struct S([u8; 16]);
+        impl SeedableRng for S {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> S {
+                S(seed)
+            }
+        }
+        let s = S::seed_from_u64(0);
+        assert_ne!(&s.0[..8], &s.0[8..], "chunks come from distinct outputs");
+        assert_ne!(s.0, [0u8; 16]);
+    }
+}

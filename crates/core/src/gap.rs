@@ -441,11 +441,8 @@ mod tests {
 
         let mut rec = RecordingRng::new(crate::rng::CellularRng::new(7));
         let final_pop = {
-            let mut g1 = GeneticAlgorithmProcessor::with_population(
-                params,
-                Borrowed(&mut rec),
-                pop.clone(),
-            );
+            let mut g1 =
+                GeneticAlgorithmProcessor::with_population(params, Borrowed(&mut rec), pop.clone());
             for _ in 0..3 {
                 g1.step_generation();
             }
@@ -515,7 +512,9 @@ mod tests {
         for idx in [3usize, 11, 17, 29] {
             genomes[idx] = Genome::tripod();
         }
-        let params = GapParams::paper().with_mutations(0).with_crossover_threshold(0.0);
+        let params = GapParams::paper()
+            .with_mutations(0)
+            .with_crossover_threshold(0.0);
         let mut g = GeneticAlgorithmProcessor::with_population(
             params,
             crate::rng::CellularRng::new(33),
@@ -553,7 +552,10 @@ mod tests {
             g.population().genomes().iter().map(|x| x.bits()).collect();
         g.step_generation();
         for &x in g.population().genomes() {
-            assert!(before.contains(&x.bits()), "novel genome without crossover/mutation");
+            assert!(
+                before.contains(&x.bits()),
+                "novel genome without crossover/mutation"
+            );
         }
     }
 

@@ -640,7 +640,9 @@ mod tests {
     fn ca_and_lfsr_sequences_differ() {
         let mut ca = CellularRng::new(1234);
         let mut lf = Lfsr32::new(1234);
-        let same = (0..100).filter(|_| ca.next_word() == lf.next_word()).count();
+        let same = (0..100)
+            .filter(|_| ca.next_word() == lf.next_word())
+            .count();
         assert!(same < 3);
     }
 }

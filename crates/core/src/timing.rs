@@ -239,7 +239,9 @@ mod tests {
 
     #[test]
     fn display_selects_unit() {
-        assert!(TimingReport::from_cycles(500, 1_000_000).to_string().contains("ms"));
+        assert!(TimingReport::from_cycles(500, 1_000_000)
+            .to_string()
+            .contains("ms"));
         assert!(TimingReport::from_cycles(5_000_000, 1_000_000)
             .to_string()
             .contains(" s "));

@@ -46,7 +46,7 @@ impl WideGenome {
     /// Panics unless `steps` is even and ≥ 2.
     pub fn zeroed(steps: usize) -> WideGenome {
         assert!(
-            steps >= 2 && steps % 2 == 0,
+            steps >= 2 && steps.is_multiple_of(2),
             "steps must be even and >= 2 (symmetry around an odd cycle is unsatisfiable)"
         );
         WideGenome {
@@ -202,7 +202,10 @@ impl WideFitness {
     /// # Panics
     /// Panics unless `steps` is even and ≥ 2.
     pub fn new(steps: usize) -> WideFitness {
-        assert!(steps >= 2 && steps % 2 == 0, "steps must be even and >= 2");
+        assert!(
+            steps >= 2 && steps.is_multiple_of(2),
+            "steps must be even and >= 2"
+        );
         WideFitness { steps }
     }
 
@@ -239,9 +242,7 @@ impl WideFitness {
         for step in 0..s {
             let next = (step + 1) % s;
             for leg in LegId::ALL {
-                if g.leg_gene(step, leg).horizontal
-                    == g.leg_gene(next, leg).horizontal.opposite()
-                {
+                if g.leg_gene(step, leg).horizontal == g.leg_gene(next, leg).horizontal.opposite() {
                     score += 1;
                 }
             }
@@ -328,7 +329,7 @@ mod tests {
         let g = WideGenome::tripod(4);
         let phases = g.expand();
         assert_eq!(phases.len(), 12); // 4 steps × 3 micro-phases
-        // expanding twice gives the same steady-state cycle
+                                      // expanding twice gives the same steady-state cycle
         assert_eq!(phases, g.expand());
     }
 
@@ -341,7 +342,11 @@ mod tests {
         let table = GaitTable::from_genome(narrow);
         assert_eq!(expanded.len(), table.phases().len());
         for (a, b) in expanded.iter().zip(table.phases()) {
-            assert_eq!(a.legs, b.legs, "pose mismatch at {:?}/{:?}", b.step, b.phase);
+            assert_eq!(
+                a.legs, b.legs,
+                "pose mismatch at {:?}/{:?}",
+                b.step, b.phase
+            );
         }
     }
 

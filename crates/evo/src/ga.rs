@@ -208,7 +208,10 @@ impl<P: Problem> Ga<P> {
         while next.len() < n {
             let a = self.config.selection.pick(&self.fitness, &mut self.rng);
             let b = self.config.selection.pick(&self.fitness, &mut self.rng);
-            let (mut x, y) = if self.rng.random_bool(self.config.crossover_prob.clamp(0.0, 1.0)) {
+            let (mut x, y) = if self
+                .rng
+                .random_bool(self.config.crossover_prob.clamp(0.0, 1.0))
+            {
                 self.config
                     .crossover
                     .apply(&self.population[a], &self.population[b], &mut self.rng)
@@ -266,7 +269,11 @@ impl<P: Problem> Ga<P> {
                 .expect("NaN fitness")
         });
         for (slot, genome) in order.iter().zip(newcomers) {
-            assert_eq!(genome.width(), self.problem.width(), "migrant width mismatch");
+            assert_eq!(
+                genome.width(),
+                self.problem.width(),
+                "migrant width mismatch"
+            );
             let f = self.problem.fitness(genome);
             self.evaluations += 1;
             self.population[*slot] = genome.clone();
@@ -402,17 +409,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "even")]
     fn odd_population_rejected() {
-        let _ = Ga::new(
-            GaConfig::default().with_population_size(5),
-            OneMax(8),
-            1,
-        );
+        let _ = Ga::new(GaConfig::default().with_population_size(5), OneMax(8), 1);
     }
 
     #[test]
     fn uniform_crossover_variant_solves_onemax() {
-        let config =
-            GaConfig::default().with_crossover(Crossover::Uniform { p_swap: 0.5 }, 0.9);
+        let config = GaConfig::default().with_crossover(Crossover::Uniform { p_swap: 0.5 }, 0.9);
         let out = Ga::new(config, OneMax(36), 10).run(5000, None);
         assert!(out.reached_target);
     }

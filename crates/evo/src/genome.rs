@@ -308,9 +308,6 @@ mod tests {
     fn iter_matches_get() {
         let s = BitString::from_u64(0b1100_1010, 8);
         let v: Vec<bool> = s.iter().collect();
-        assert_eq!(
-            v,
-            vec![false, true, false, true, false, false, true, true]
-        );
+        assert_eq!(v, vec![false, true, false, true, false, false, true, true]);
     }
 }

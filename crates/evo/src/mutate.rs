@@ -115,9 +115,7 @@ mod tests {
     #[test]
     fn expected_flips_formulae() {
         assert_eq!(Mutation::gap().expected_flips(32, 36), 15.0);
-        assert!(
-            (Mutation::PerBit { rate: 0.01 }.expected_flips(32, 36) - 11.52).abs() < 1e-12
-        );
+        assert!((Mutation::PerBit { rate: 0.01 }.expected_flips(32, 36) - 11.52).abs() < 1e-12);
     }
 
     #[test]

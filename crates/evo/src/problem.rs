@@ -108,9 +108,7 @@ impl Problem for Trap {
     fn fitness(&self, genome: &BitString) -> f64 {
         let mut total = 0.0;
         for b in 0..self.blocks {
-            let ones = (0..self.k)
-                .filter(|i| genome.get(b * self.k + i))
-                .count();
+            let ones = (0..self.k).filter(|i| genome.get(b * self.k + i)).count();
             total += if ones == self.k {
                 self.k as f64
             } else {

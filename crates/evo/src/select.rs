@@ -95,11 +95,7 @@ impl Selection {
             }
             Selection::Rank => {
                 let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| {
-                    fitness[a]
-                        .partial_cmp(&fitness[b])
-                        .expect("NaN fitness")
-                });
+                order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("NaN fitness"));
                 // weight of rank r is r+1; total = n(n+1)/2
                 let total = n * (n + 1) / 2;
                 let mut ball = rng.random_range(0..total);
@@ -119,11 +115,7 @@ impl Selection {
                 );
                 let keep = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
                 let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| {
-                    fitness[b]
-                        .partial_cmp(&fitness[a])
-                        .expect("NaN fitness")
-                });
+                order.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).expect("NaN fitness"));
                 order[rng.random_range(0..keep)]
             }
         }

@@ -28,10 +28,7 @@ impl Summary {
         if sample.is_empty() {
             return None;
         }
-        assert!(
-            sample.iter().all(|x| !x.is_nan()),
-            "sample contains NaN"
-        );
+        assert!(sample.iter().all(|x| !x.is_nan()), "sample contains NaN");
         let n = sample.len();
         let mean = sample.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {

@@ -233,11 +233,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4")]
     fn tiny_population_rejected() {
-        let _ = SteadyStateGa::new(
-            GaConfig::default().with_population_size(2),
-            OneMax(8),
-            1,
-        );
+        let _ = SteadyStateGa::new(GaConfig::default().with_population_size(2), OneMax(8), 1);
     }
 
     #[test]

@@ -52,8 +52,10 @@ impl fmt::Display for SweepRow {
             "{:<24} success {:>5.1}%  gens {}  evals mean {:.0}",
             self.label,
             self.success_rate * 100.0,
-            self.generations
-                .map_or("-".to_string(), |s| format!("{:.0}±{:.0}", s.mean, s.stddev)),
+            self.generations.map_or("-".to_string(), |s| format!(
+                "{:.0}±{:.0}",
+                s.mean, s.stddev
+            )),
             self.evaluations.mean,
         )
     }
@@ -153,11 +155,7 @@ impl SweepRunner {
             .map(|(pi, point)| {
                 let trials: Vec<&Trial> = all.iter().filter(|t| t.0 == pi).collect();
                 let successes: Vec<bool> = trials.iter().map(|t| t.1).collect();
-                let gens: Vec<f64> = trials
-                    .iter()
-                    .filter(|t| t.1)
-                    .map(|t| t.2 as f64)
-                    .collect();
+                let gens: Vec<f64> = trials.iter().filter(|t| t.1).map(|t| t.2 as f64).collect();
                 let evals: Vec<f64> = trials.iter().map(|t| t.3 as f64).collect();
                 SweepRow {
                     label: point.label.clone(),

@@ -144,6 +144,30 @@ impl Default for ConfigLoader {
     }
 }
 
+impl crate::netlist::Describe for ConfigLoader {
+    fn netlist(&self) -> crate::netlist::StaticNetlist {
+        crate::netlist::StaticNetlist::new("config_loader")
+            .claim(self.resources())
+            .input("cfg_bit", 1)
+            .register("shift", 36)
+            .register("bit_count", 6)
+            .register("receiving", 1)
+            .register("parity_acc", 1)
+            .wire("frame_done", 1)
+            .output("genome", 36)
+            .output("genome_valid", 1)
+            .edge("cfg_bit", "shift")
+            .edge("shift", "shift") // serial stage-to-stage path
+            .fan_in(&["cfg_bit", "receiving"], "bit_count")
+            .edge("bit_count", "bit_count")
+            .fan_in(&["cfg_bit", "bit_count"], "receiving")
+            .fan_in(&["cfg_bit", "receiving"], "parity_acc")
+            .fan_in(&["bit_count", "receiving"], "frame_done")
+            .edge("shift", "genome")
+            .fan_in(&["frame_done", "parity_acc", "cfg_bit"], "genome_valid")
+    }
+}
+
 /// Reverse the low 36 bits of a word.
 fn reverse_36(v: u64) -> u64 {
     let mut out = 0u64;

@@ -109,6 +109,27 @@ impl FitnessUnit {
     }
 }
 
+impl crate::netlist::Describe for FitnessUnit {
+    fn netlist(&self) -> crate::netlist::StaticNetlist {
+        // fully combinational: genome in, weighted score out, no state
+        crate::netlist::StaticNetlist::new("fitness_unit")
+            .claim(self.resources())
+            .input("genome", 36)
+            .wire("step1_fields", 18)
+            .wire("step2_fields", 18)
+            .wire("equilibrium", 4) // 0..=8
+            .wire("symmetry", 3) // 0..=6
+            .wire("coherence", 4) // 0..=12
+            .output("fitness", 5) // paper max 26
+            .edge("genome", "step1_fields")
+            .edge("genome", "step2_fields")
+            .fan_in(&["step1_fields", "step2_fields"], "equilibrium")
+            .fan_in(&["step1_fields", "step2_fields"], "symmetry")
+            .fan_in(&["step1_fields", "step2_fields"], "coherence")
+            .fan_in(&["equilibrium", "symmetry", "coherence"], "fitness")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -464,6 +464,67 @@ impl GapRtl {
     }
 }
 
+impl crate::netlist::Describe for GapRtl {
+    fn netlist(&self) -> crate::netlist::StaticNetlist {
+        let n = self.config.params.population_size as u32;
+        // Figure 5's boxes as nets. The GAP is self-contained (seeded at
+        // reset); its external face is the best-individual registers and
+        // the serial configuration link to the walking controller.
+        crate::netlist::StaticNetlist::new("gap")
+            .claim(self.resource_report().total())
+            // free-running CA random generator
+            .register("rng_cells", 32)
+            .wire("rng_next", 32)
+            .edge("rng_cells", "rng_next")
+            .edge("rng_next", "rng_cells")
+            // double-buffered population storage
+            .register("basis", n * 36)
+            .register("intermediate", n * 36)
+            .register("bank_select", 1)
+            .edge("bank_select", "bank_select")
+            // combinational fitness network scoring the RAM read port
+            .wire("fitness_score", 5)
+            .register("score_ram", n * 5)
+            .register("best_genome_reg", 36)
+            .register("best_fitness_reg", 5)
+            .fan_in(&["basis", "bank_select"], "fitness_score")
+            .edge("fitness_score", "score_ram")
+            .fan_in(
+                &["fitness_score", "best_fitness_reg", "basis"],
+                "best_genome_reg",
+            )
+            .fan_in(&["fitness_score", "best_fitness_reg"], "best_fitness_reg")
+            // selection unit: index/choice registers fed by RNG + scores
+            .register("sel_regs", 12)
+            .fan_in(&["rng_cells", "score_ram"], "sel_regs")
+            // crossover unit: offspring shift registers + cut-point register
+            .register("xover_shift", 2 * 36)
+            .register("cut_point", 6)
+            .edge("rng_cells", "cut_point")
+            .fan_in(
+                &["basis", "sel_regs", "cut_point", "xover_shift"],
+                "xover_shift",
+            )
+            .edge("xover_shift", "intermediate")
+            .fan_in(&["intermediate", "bank_select"], "basis")
+            // mutation unit: address register + RMW path on the intermediate
+            .register("mut_addr", 12)
+            .edge("rng_cells", "mut_addr")
+            .fan_in(&["mut_addr", "intermediate"], "intermediate")
+            // initiator + control FSM sequencing the phases
+            .register("ctrl_fsm", 8)
+            .edge("ctrl_fsm", "ctrl_fsm")
+            .edge("rng_cells", "basis")
+            // external face: best individual + serial configuration link
+            .output("best_genome", 36)
+            .output("best_fitness", 5)
+            .output("cfg_bit", 1)
+            .edge("best_genome_reg", "best_genome")
+            .edge("best_fitness_reg", "best_fitness")
+            .fan_in(&["best_genome_reg", "ctrl_fsm"], "cfg_bit")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,10 +578,7 @@ mod tests {
         let rs = seq.breakdown().reproduce as f64;
         let speedup = rs / rp;
         // paper: "a factor of about two"
-        assert!(
-            (1.4..=2.1).contains(&speedup),
-            "pipeline speedup {speedup}"
-        );
+        assert!((1.4..=2.1).contains(&speedup), "pipeline speedup {speedup}");
     }
 
     #[test]

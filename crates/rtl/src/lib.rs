@@ -32,6 +32,8 @@
 //! * [`top`] — the whole chip ([`top::DiscipulusTop`])
 //! * [`vcd`] — waveform export for GTKWave-style inspection
 //! * [`resources`] — CLB/FF/gate estimation
+//! * [`netlist`] — static self-descriptions ([`netlist::Describe`]) for
+//!   the design-verification linter in the `analysis` crate
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +41,7 @@
 pub mod bitstream;
 pub mod fitness_rtl;
 pub mod gap_rtl;
+pub mod netlist;
 pub mod primitives;
 pub mod pwm;
 pub mod resources;
@@ -53,11 +56,12 @@ pub mod prelude {
     pub use crate::bitstream::Bitstream;
     pub use crate::fitness_rtl::FitnessUnit;
     pub use crate::gap_rtl::{CycleBreakdown, GapRtl, GapRtlConfig};
+    pub use crate::netlist::{Describe, DesignNetlist, StaticNetlist};
     pub use crate::pwm::{PwmChannel, ServoBank};
     pub use crate::resources::{ResourceReport, Resources, XC4036EX_CLBS};
     pub use crate::rng_rtl::CaRngRtl;
     pub use crate::sim::{Clock, Probe};
-    pub use crate::vcd::VcdBuilder;
     pub use crate::top::DiscipulusTop;
+    pub use crate::vcd::VcdBuilder;
     pub use crate::walkctl_rtl::WalkControllerRtl;
 }

@@ -1,0 +1,299 @@
+//! Static netlist descriptions of the RTL units.
+//!
+//! Every RTL unit in this crate can *describe itself* as a
+//! [`StaticNetlist`]: its ports, registered state, combinational
+//! dependency edges and resource claim — without being clocked. The
+//! `analysis` crate lints these descriptions for the defects that, on the
+//! real XC4036EX, would be silent hardware failures rather than
+//! recoverable errors: combinational cycles, width mismatches across
+//! unit-to-unit connections, unclocked (latch) state, dead signals and
+//! resource-budget violations (paper fact F8: 1244 of 1296 CLBs).
+//!
+//! The descriptions are declarative mirrors of the simulation code in
+//! each module, kept next to the unit they describe ([`Describe`] is
+//! implemented in `rng_rtl.rs`, `fitness_rtl.rs`, `gap_rtl.rs`,
+//! `walkctl_rtl.rs`, `pwm.rs`, `bitstream.rs`, `primitives.rs` and
+//! `top.rs`). Dependency edges are *conservative*: an edge `a → b` means
+//! "the value of `b` may change combinationally, within one cycle, when
+//! `a` changes".
+
+use crate::resources::Resources;
+
+/// What kind of signal a [`Net`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetKind {
+    /// An input port of the unit.
+    Input,
+    /// An output port of the unit.
+    Output,
+    /// Clocked state: updated only at the clock edge, so a combinational
+    /// path ends at its D input.
+    Register,
+    /// Unclocked state (a latch): holds a value but is transparent to
+    /// combinational paths — always a finding on this design, which is
+    /// fully synchronous.
+    Latch,
+    /// An internal combinational signal.
+    Wire,
+}
+
+/// One named signal in a unit's netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Signal name, unique within the unit.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Signal kind.
+    pub kind: NetKind,
+}
+
+/// A combinational dependency edge: the target may change within the same
+/// cycle when the source changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source net name.
+    pub from: String,
+    /// Target net name.
+    pub to: String,
+}
+
+/// The static description of one RTL unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticNetlist {
+    /// Unit name (unique within a design).
+    pub unit: String,
+    /// All signals.
+    pub nets: Vec<Net>,
+    /// Combinational dependency edges over `nets`.
+    pub edges: Vec<Edge>,
+    /// Resource claim for the whole unit.
+    pub claim: Resources,
+}
+
+impl StaticNetlist {
+    /// An empty netlist for `unit` with a zero resource claim.
+    pub fn new(unit: impl Into<String>) -> StaticNetlist {
+        StaticNetlist {
+            unit: unit.into(),
+            nets: Vec::new(),
+            edges: Vec::new(),
+            claim: Resources::default(),
+        }
+    }
+
+    /// Set the unit's resource claim.
+    #[must_use]
+    pub fn claim(mut self, claim: Resources) -> Self {
+        self.claim = claim;
+        self
+    }
+
+    fn net(mut self, name: &str, width: u32, kind: NetKind) -> Self {
+        debug_assert!(
+            self.find(name).is_none(),
+            "duplicate net `{name}` in unit `{}`",
+            self.unit
+        );
+        self.nets.push(Net {
+            name: name.to_string(),
+            width,
+            kind,
+        });
+        self
+    }
+
+    /// Add an input port.
+    #[must_use]
+    pub fn input(self, name: &str, width: u32) -> Self {
+        self.net(name, width, NetKind::Input)
+    }
+
+    /// Add an output port.
+    #[must_use]
+    pub fn output(self, name: &str, width: u32) -> Self {
+        self.net(name, width, NetKind::Output)
+    }
+
+    /// Add a clocked register.
+    #[must_use]
+    pub fn register(self, name: &str, width: u32) -> Self {
+        self.net(name, width, NetKind::Register)
+    }
+
+    /// Add an unclocked latch (always reported by the linter).
+    #[must_use]
+    pub fn latch(self, name: &str, width: u32) -> Self {
+        self.net(name, width, NetKind::Latch)
+    }
+
+    /// Add an internal combinational wire.
+    #[must_use]
+    pub fn wire(self, name: &str, width: u32) -> Self {
+        self.net(name, width, NetKind::Wire)
+    }
+
+    /// Add one combinational dependency edge.
+    #[must_use]
+    pub fn edge(mut self, from: &str, to: &str) -> Self {
+        self.edges.push(Edge {
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+        self
+    }
+
+    /// Add edges from every source in `from` to `to`.
+    #[must_use]
+    pub fn fan_in(mut self, from: &[&str], to: &str) -> Self {
+        for src in from {
+            self = self.edge(src, to);
+        }
+        self
+    }
+
+    /// Look up a net by name.
+    pub fn find(&self, name: &str) -> Option<&Net> {
+        self.nets.iter().find(|n| n.name == name)
+    }
+}
+
+/// An RTL unit that can emit its static netlist.
+pub trait Describe {
+    /// The unit's static description. Must not depend on simulation
+    /// state beyond construction-time structure (depths, widths, modes).
+    fn netlist(&self) -> StaticNetlist;
+}
+
+/// One port of one unit, as referenced by a [`Connection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Unit name (must match a [`StaticNetlist::unit`] in the design).
+    pub unit: String,
+    /// Port name within that unit.
+    pub port: String,
+}
+
+impl Endpoint {
+    /// Build an endpoint from unit and port names.
+    pub fn new(unit: impl Into<String>, port: impl Into<String>) -> Endpoint {
+        Endpoint {
+            unit: unit.into(),
+            port: port.into(),
+        }
+    }
+}
+
+/// A directed unit-to-unit connection: an output port wired to an input
+/// port. Widths must match exactly — the fabric has no implicit
+/// truncation or extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// Driving output.
+    pub from: Endpoint,
+    /// Driven input.
+    pub to: Endpoint,
+}
+
+/// A whole design: unit netlists plus the connections between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignNetlist {
+    /// Design name.
+    pub design: String,
+    /// Member unit netlists.
+    pub units: Vec<StaticNetlist>,
+    /// Unit-to-unit wiring.
+    pub connections: Vec<Connection>,
+}
+
+impl DesignNetlist {
+    /// An empty design.
+    pub fn new(design: impl Into<String>) -> DesignNetlist {
+        DesignNetlist {
+            design: design.into(),
+            units: Vec::new(),
+            connections: Vec::new(),
+        }
+    }
+
+    /// Add a unit netlist.
+    #[must_use]
+    pub fn unit(mut self, netlist: StaticNetlist) -> Self {
+        self.units.push(netlist);
+        self
+    }
+
+    /// Wire `from_unit.from_port` (an output) to `to_unit.to_port` (an
+    /// input).
+    #[must_use]
+    pub fn connect(mut self, from: (&str, &str), to: (&str, &str)) -> Self {
+        self.connections.push(Connection {
+            from: Endpoint::new(from.0, from.1),
+            to: Endpoint::new(to.0, to.1),
+        });
+        self
+    }
+
+    /// Total resource claim: the sum of the member units' claims.
+    pub fn total_claim(&self) -> Resources {
+        self.units
+            .iter()
+            .fold(Resources::default(), |acc, u| acc + u.claim)
+    }
+
+    /// Look up a unit netlist by name.
+    pub fn find_unit(&self, unit: &str) -> Option<&StaticNetlist> {
+        self.units.iter().find(|u| u.unit == unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_nets_and_edges() {
+        let n = StaticNetlist::new("u")
+            .input("a", 4)
+            .wire("b", 4)
+            .register("r", 4)
+            .output("y", 4)
+            .edge("a", "b")
+            .edge("b", "r")
+            .edge("r", "y");
+        assert_eq!(n.nets.len(), 4);
+        assert_eq!(n.edges.len(), 3);
+        assert_eq!(n.find("r").unwrap().kind, NetKind::Register);
+        assert!(n.find("missing").is_none());
+    }
+
+    #[test]
+    fn fan_in_expands_to_edges() {
+        let n = StaticNetlist::new("u")
+            .input("a", 1)
+            .input("b", 1)
+            .output("y", 1)
+            .fan_in(&["a", "b"], "y");
+        assert_eq!(n.edges.len(), 2);
+        assert!(n.edges.iter().all(|e| e.to == "y"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate net")]
+    fn duplicate_net_rejected() {
+        let _ = StaticNetlist::new("u").input("a", 1).wire("a", 2);
+    }
+
+    #[test]
+    fn design_sums_claims() {
+        let d = DesignNetlist::new("d")
+            .unit(StaticNetlist::new("x").claim(Resources::unit(4, 4)))
+            .unit(StaticNetlist::new("y").claim(Resources::unit(2, 6)));
+        let total = d.total_claim();
+        assert_eq!(total.flip_flops, 6);
+        assert_eq!(total.luts, 10);
+        assert!(d.find_unit("x").is_some());
+        assert!(d.find_unit("z").is_none());
+    }
+}

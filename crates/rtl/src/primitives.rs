@@ -5,6 +5,7 @@
 //! architecture (one CLB = two flip-flops + two 4-input LUTs; see
 //! [`crate::resources`] for the cost model).
 
+use crate::netlist::{Describe, StaticNetlist};
 use crate::resources::Resources;
 
 /// A bank of synchronous-read/synchronous-write RAM words, modelling an
@@ -65,13 +66,27 @@ impl Ram {
 
     /// Schedule a write, committed at the next [`Ram::clock`].
     ///
+    /// **Contract: at most one write per cycle.** The model has a single
+    /// write port, like the XC4000 block RAM it stands in for; a second
+    /// `write` before the next [`Ram::clock`] would silently drop the
+    /// first — in hardware, two drivers on one port. Debug builds assert;
+    /// callers must interleave `write`/`clock` pairs (see
+    /// `gap_rtl::crossover_commit`).
+    ///
     /// # Panics
     /// Panics if `addr` is out of range or `value` exceeds the word width.
+    /// Debug builds also panic on a second write in the same cycle.
     pub fn write(&mut self, addr: usize, value: u64) {
         assert!(addr < self.words.len(), "write address out of range");
         assert!(
             self.width == 64 || value < (1u64 << self.width),
             "value wider than RAM word"
+        );
+        debug_assert!(
+            self.pending_write.is_none(),
+            "two RAM writes in one cycle: write to {addr} would drop the \
+             uncommitted write to {} (single write port — clock between writes)",
+            self.pending_write.expect("checked above").0
         );
         self.pending_write = Some((addr, value));
     }
@@ -114,6 +129,25 @@ impl Ram {
         } else {
             Resources::lut_ram_bits(bits)
         }
+    }
+}
+
+impl Describe for Ram {
+    fn netlist(&self) -> StaticNetlist {
+        let addr_bits = usize::BITS - (self.words.len().max(2) - 1).leading_zeros();
+        StaticNetlist::new("ram")
+            .claim(self.resources())
+            .input("read_addr", addr_bits)
+            .input("write_addr", addr_bits)
+            .input("write_data", self.width)
+            .register("mem", self.words.len() as u32 * self.width)
+            .register("read_reg", self.width)
+            .output("read_data", self.width)
+            // address/data feed the array's D inputs; the registered read
+            // path ends at read_reg's D input — no combinational read port
+            .fan_in(&["write_addr", "write_data"], "mem")
+            .fan_in(&["read_addr", "mem"], "read_reg")
+            .edge("read_reg", "read_data")
     }
 }
 
@@ -160,6 +194,23 @@ impl ModCounter {
     pub fn resources(&self) -> Resources {
         let bits = 32 - (self.modulus.max(2) - 1).leading_zeros();
         Resources::unit(bits, bits)
+    }
+}
+
+impl Describe for ModCounter {
+    fn netlist(&self) -> StaticNetlist {
+        let bits = 32 - (self.modulus.max(2) - 1).leading_zeros();
+        StaticNetlist::new("mod_counter")
+            .claim(self.resources())
+            .register("count", bits)
+            .wire("next", bits)
+            .output("value", bits)
+            .output("wrap", 1)
+            // increment/wrap logic closes through the count register
+            .edge("count", "next")
+            .edge("next", "count")
+            .edge("count", "value")
+            .edge("count", "wrap")
     }
 }
 
@@ -218,6 +269,21 @@ impl ShiftReg {
     }
 }
 
+impl Describe for ShiftReg {
+    fn netlist(&self) -> StaticNetlist {
+        StaticNetlist::new("shift_reg")
+            .claim(self.resources())
+            .input("bit_in", 1)
+            .register("bits", self.width)
+            .output("bit_out", 1)
+            .output("value", self.width)
+            .edge("bit_in", "bits")
+            .edge("bits", "bits") // each stage feeds the next stage's D
+            .edge("bits", "bit_out")
+            .edge("bits", "value")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +327,25 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "two RAM writes in one cycle")]
+    fn ram_rejects_double_write_per_cycle() {
+        let mut ram = Ram::new(4, 8, true);
+        ram.write(0, 1);
+        ram.write(1, 2); // no clock between writes: second driver on the port
+    }
+
+    #[test]
+    fn ram_write_each_cycle_is_fine() {
+        let mut ram = Ram::new(4, 8, true);
+        ram.write(0, 1);
+        ram.clock();
+        ram.write(1, 2);
+        ram.clock();
+        assert_eq!((ram.peek(0), ram.peek(1)), (1, 2));
+    }
+
+    #[test]
     #[should_panic(expected = "address out of range")]
     fn ram_rejects_bad_address() {
         let mut ram = Ram::new(2, 8, true);
@@ -271,7 +356,10 @@ mod tests {
     fn ram_resources_ff_vs_lut() {
         let ff = Ram::new(32, 36, true).resources();
         let lut = Ram::new(32, 36, false).resources();
-        assert!(ff.clbs > lut.clbs, "FF RAM must cost more CLBs than LUT RAM");
+        assert!(
+            ff.clbs > lut.clbs,
+            "FF RAM must cost more CLBs than LUT RAM"
+        );
         // 32*36 = 1152 bits in FFs = 576 CLBs (2 FFs per CLB)
         assert_eq!(ff.clbs, 576);
     }

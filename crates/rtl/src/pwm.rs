@@ -87,6 +87,24 @@ impl Default for PwmChannel {
     }
 }
 
+impl crate::netlist::Describe for PwmChannel {
+    fn netlist(&self) -> crate::netlist::StaticNetlist {
+        crate::netlist::StaticNetlist::new("pwm_channel")
+            .claim(self.resources())
+            .input("set_width", 11)
+            .register("frame_counter", 15)
+            .register("width_reg", 11)
+            .register("pending_width", 11)
+            .register("level", 1)
+            .output("pwm_out", 1)
+            .edge("set_width", "pending_width")
+            .edge("frame_counter", "frame_counter") // increment closes here
+            .edge("pending_width", "width_reg")
+            .fan_in(&["frame_counter", "width_reg"], "level")
+            .edge("level", "pwm_out")
+    }
+}
+
 /// The bank of 12 servo channels (two per leg: elevation and propulsion).
 ///
 /// Unlike a naive array of [`PwmChannel`]s, the bank shares a single frame
@@ -162,6 +180,22 @@ impl ServoBank {
 impl Default for ServoBank {
     fn default() -> Self {
         ServoBank::new()
+    }
+}
+
+impl crate::netlist::Describe for ServoBank {
+    fn netlist(&self) -> crate::netlist::StaticNetlist {
+        crate::netlist::StaticNetlist::new("servo_bank")
+            .claim(self.resources())
+            .input("position_word", 12)
+            .register("frame_counter", 15)
+            .register("positions", 12)
+            .wire("widths", 12) // constant-select comparators, one per channel
+            .output("pwm_out", 12)
+            .edge("position_word", "positions")
+            .edge("frame_counter", "frame_counter")
+            .edge("positions", "widths")
+            .fan_in(&["frame_counter", "widths"], "pwm_out")
     }
 }
 
@@ -261,7 +295,7 @@ mod tests {
     fn bank_pulse_widths_measured() {
         let mut bank = ServoBank::new();
         bank.set_position_word(0b0000_0000_0001); // channel 0 high, rest low
-        // run to the next frame boundary so the pending word latches
+                                                  // run to the next frame boundary so the pending word latches
         loop {
             bank.clock();
             if bank.counter == 0 {

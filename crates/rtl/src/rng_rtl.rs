@@ -9,6 +9,7 @@
 //! bit-exact with the behavioural [`discipulus::rng::CellularRng`] (a unit
 //! test locks the two together).
 
+use crate::netlist::{Describe, StaticNetlist};
 use crate::resources::Resources;
 use discipulus::rng::MAXIMAL_RULE_90_150;
 
@@ -46,6 +47,19 @@ impl CaRngRtl {
     /// same CLB.
     pub fn resources(&self) -> Resources {
         Resources::unit(32, 32)
+    }
+}
+
+impl Describe for CaRngRtl {
+    fn netlist(&self) -> StaticNetlist {
+        StaticNetlist::new("ca_rng")
+            .claim(self.resources())
+            .register("cells", 32)
+            .wire("next_cells", 32) // left ⊕ right (⊕ self on rule-150 cells)
+            .output("word", 32)
+            .edge("cells", "next_cells")
+            .edge("next_cells", "cells")
+            .edge("cells", "word")
     }
 }
 

@@ -68,7 +68,13 @@ impl Clock {
 
 impl fmt::Display for Clock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} cycles @ {} Hz ({:.3} s)", self.cycles, self.hz, self.seconds())
+        write!(
+            f,
+            "{} cycles @ {} Hz ({:.3} s)",
+            self.cycles,
+            self.hz,
+            self.seconds()
+        )
     }
 }
 
@@ -185,10 +191,7 @@ mod tests {
         p.sample(0, 'a');
         p.sample(4, 'b');
         p.sample(10, 'c');
-        assert_eq!(
-            p.hold_times(12),
-            vec![('a', 4), ('b', 6), ('c', 2)]
-        );
+        assert_eq!(p.hold_times(12), vec![('a', 4), ('b', 6), ('c', 2)]);
     }
 
     #[test]

@@ -87,8 +87,7 @@ impl DiscipulusTop {
                 self.servos.clock();
             }
         }
-        self.servos
-            .set_position_word(self.walkctl.position_word());
+        self.servos.set_position_word(self.walkctl.position_word());
     }
 
     /// Run until the GAP converges or `max_generations` pass; returns
@@ -106,6 +105,23 @@ impl DiscipulusTop {
         rep.add("walking controller", self.walkctl.resources());
         rep.add("servo PWM bank (12ch)", self.servos.resources());
         rep
+    }
+
+    /// The chip as a static design netlist: the three Figure-3 blocks and
+    /// the connections between them, for the `analysis` crate's linter.
+    /// The per-unit claims mirror [`DiscipulusTop::resource_report`], so
+    /// the design-level budget check sees the same CLB totals.
+    pub fn design_netlist(&self) -> crate::netlist::DesignNetlist {
+        use crate::netlist::Describe;
+        crate::netlist::DesignNetlist::new("discipulus_top")
+            .unit(self.gap.netlist())
+            .unit(self.walkctl.netlist())
+            .unit(self.servos.netlist())
+            .connect(("gap", "cfg_bit"), ("walk_controller", "cfg_bit"))
+            .connect(
+                ("walk_controller", "position_word"),
+                ("servo_bank", "position_word"),
+            )
     }
 
     /// ASCII module tree mirroring the paper's Figures 3–5.
@@ -214,6 +230,20 @@ mod tests {
         assert!(tree.contains("pipelined"));
         let seq = DiscipulusTop::new(GapRtlConfig::unpipelined(1));
         assert!(seq.module_tree().contains("sequential"));
+    }
+
+    #[test]
+    fn design_netlist_matches_resource_report() {
+        let chip = DiscipulusTop::new(GapRtlConfig::paper(1));
+        let design = chip.design_netlist();
+        assert_eq!(design.units.len(), 3);
+        assert_eq!(design.connections.len(), 2);
+        // claims flow through unchanged: the netlist view and the resource
+        // report must agree on the additive CLB total
+        assert_eq!(
+            design.total_claim().clbs,
+            chip.resource_report().total().clbs
+        );
     }
 
     #[test]

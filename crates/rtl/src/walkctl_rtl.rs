@@ -123,6 +123,50 @@ impl WalkControllerRtl {
     }
 }
 
+impl crate::netlist::Describe for WalkControllerRtl {
+    fn netlist(&self) -> crate::netlist::StaticNetlist {
+        // Covers everything the claim covers: the configuration loader
+        // (whose shift register doubles as the genome register), the
+        // phase timer, the mod-6 step counter and the position register.
+        crate::netlist::StaticNetlist::new("walk_controller")
+            .claim(self.resources())
+            .input("cfg_bit", 1)
+            // configuration loader front-end (see bitstream::ConfigLoader)
+            .register("cfg_shift", 36)
+            .register("cfg_count", 6)
+            .register("cfg_receiving", 1)
+            .register("cfg_parity", 1)
+            .wire("cfg_valid", 1)
+            .edge("cfg_bit", "cfg_shift")
+            .edge("cfg_shift", "cfg_shift")
+            .fan_in(&["cfg_bit", "cfg_receiving"], "cfg_count")
+            .edge("cfg_count", "cfg_count")
+            .fan_in(&["cfg_bit", "cfg_count"], "cfg_receiving")
+            .fan_in(&["cfg_bit", "cfg_receiving"], "cfg_parity")
+            .fan_in(
+                &["cfg_count", "cfg_parity", "cfg_bit", "cfg_receiving"],
+                "cfg_valid",
+            )
+            // phase timing: a mod-50000 cycle timer gating a mod-6 counter
+            .register("phase_timer", 16)
+            .wire("phase_tick", 1)
+            .register("step_phase", 3)
+            .edge("phase_timer", "phase_timer")
+            .edge("phase_timer", "phase_tick")
+            .fan_in(&["phase_tick", "cfg_valid"], "step_phase")
+            .edge("step_phase", "step_phase")
+            // gait decode and the servo position register
+            .register("genome_reg", 36)
+            .wire("phase_decode", 12) // gene-field → leg-command muxes
+            .register("position_reg", 12)
+            .output("position_word", 12)
+            .fan_in(&["cfg_shift", "cfg_valid"], "genome_reg")
+            .fan_in(&["genome_reg", "step_phase"], "phase_decode")
+            .fan_in(&["phase_decode", "phase_tick"], "position_reg")
+            .edge("position_reg", "position_word")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

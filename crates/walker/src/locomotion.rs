@@ -210,10 +210,7 @@ mod tests {
                 total += out.displacement_mm;
             }
         }
-        assert!(
-            total.abs() < 1e-9,
-            "non-alternating gait moved {total} mm"
-        );
+        assert!(total.abs() < 1e-9, "non-alternating gait moved {total} mm");
     }
 
     #[test]
@@ -221,18 +218,14 @@ mod tests {
         // all legs: stay down, sweep forward in step 1 (incoherent), then
         // backward in step 2 — a grounded forward sweep pushes the body
         // backward first
-        let mut genes =
-            [[discipulus::genome::LegGene::from_bits(0b010); 6]; 2]; // down/fwd/down
+        let mut genes = [[discipulus::genome::LegGene::from_bits(0b010); 6]; 2]; // down/fwd/down
         for g in &mut genes[1] {
             *g = discipulus::genome::LegGene::from_bits(0b000); // down/back/down
         }
         let genome = Genome::from_genes(genes);
         let table = GaitTable::from_genome(genome);
         let mut state = RobotState::rest(LEONARDO);
-        let first_sweep = apply_phase(
-            &mut state,
-            table.at(StepId::One, MicroPhase::Horizontal),
-        );
+        let first_sweep = apply_phase(&mut state, table.at(StepId::One, MicroPhase::Horizontal));
         assert!(
             first_sweep.displacement_mm < 0.0,
             "grounded forward sweep must drag the body backward, got {}",

@@ -84,8 +84,7 @@ mod tests {
         let r = WalkTrial::new(Genome::tripod()).cycles(5).run();
         let s = score_report(&r);
         assert!(
-            (s.score - (s.distance_mm - f64::from(s.falls) * FALL_COST_MM
-                - s.slip_mm * SLIP_COST))
+            (s.score - (s.distance_mm - f64::from(s.falls) * FALL_COST_MM - s.slip_mm * SLIP_COST))
                 .abs()
                 < 1e-9
         );

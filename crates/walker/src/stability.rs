@@ -76,8 +76,7 @@ pub fn stability_margin(feet: &[FootPosition], com: Point) -> f64 {
                 let a = hull[i];
                 let b = hull[(i + 1) % hull.len()];
                 let len = dist(a, b).max(1e-12);
-                let signed =
-                    ((b.0 - a.0) * (com.1 - a.1) - (b.1 - a.1) * (com.0 - a.0)) / len;
+                let signed = ((b.0 - a.0) * (com.1 - a.1) - (b.1 - a.1) * (com.0 - a.0)) / len;
                 margin = margin.min(signed);
             }
             margin
@@ -160,9 +159,9 @@ mod tests {
     fn tripod_stance_is_stable() {
         // tripod A feet around the Leonardo geometry
         let feet = vec![
-            foot(120.0, 140.0, true),  // LF
-            foot(-60.0, 140.0, true),  // LR
-            foot(0.0, -140.0, true),   // RM
+            foot(120.0, 140.0, true), // LF
+            foot(-60.0, 140.0, true), // LR
+            foot(0.0, -140.0, true),  // RM
         ];
         let m = stability_margin(&feet, (0.0, 0.0));
         assert!(m > 20.0, "tripod margin {m}");
@@ -179,10 +178,7 @@ mod tests {
 
     #[test]
     fn one_or_zero_feet() {
-        assert_eq!(
-            stability_margin(&[], (0.0, 0.0)),
-            f64::NEG_INFINITY
-        );
+        assert_eq!(stability_margin(&[], (0.0, 0.0)), f64::NEG_INFINITY);
         let one = vec![foot(3.0, 4.0, true)];
         assert!((stability_margin(&one, (0.0, 0.0)) + 5.0).abs() < 1e-9);
     }
@@ -211,10 +207,12 @@ mod tests {
             foot(10.0, 0.0, true),
         ];
         let hull = support_polygon(&feet);
-        assert!(hull.len() <= 2 || {
-            // some hull impls keep 3 collinear points; margin must still be <= 0
-            true
-        });
+        assert!(
+            hull.len() <= 2 || {
+                // some hull impls keep 3 collinear points; margin must still be <= 0
+                true
+            }
+        );
         assert!(stability_margin(&feet, (5.0, 3.0)) < 0.0);
     }
 }

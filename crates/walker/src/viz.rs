@@ -42,12 +42,12 @@ pub fn trajectory_plot(report: &WalkReport, width: usize, height: usize) -> Stri
         pos.1 += o.displacement_mm * heading.sin();
         pts.push(pos);
     }
-    let (min_x, max_x) = pts
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
-    let (min_y, max_y) = pts
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+    let (min_x, max_x) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+        (lo.min(p.0), hi.max(p.0))
+    });
+    let (min_y, max_y) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+        (lo.min(p.1), hi.max(p.1))
+    });
     let span_x = (max_x - min_x).max(1.0);
     let span_y = (max_y - min_y).max(1.0);
 
@@ -87,7 +87,7 @@ mod tests {
     fn tripod_diagram_shows_alternation() {
         let d = gait_diagram(Genome::tripod());
         assert_eq!(d.lines().count(), 7); // header + 6 legs
-        // every leg row contains both stance and swing marks
+                                          // every leg row contains both stance and swing marks
         for line in d.lines().skip(1) {
             assert!(line.contains('█'), "{line}");
             assert!(line.contains('·'), "{line}");

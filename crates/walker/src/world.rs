@@ -3,9 +3,9 @@
 
 use crate::body::{BodyGeometry, LEONARDO};
 use crate::gait::{GaitExecutor, TableExecutor};
-use discipulus::controller::PhaseCommand;
 use crate::locomotion::{apply_phase, recover_from_fall, PhaseOutcome, RobotState};
 use crate::sensors::{ContactSensors, Obstacle};
+use discipulus::controller::PhaseCommand;
 use discipulus::genome::Genome;
 
 /// Forward-progress penalty paid on each fall, mm.
@@ -135,9 +135,10 @@ impl WalkTrial {
         }
         let (mut executor, genome) = match &self.source {
             GaitSource::Genome(g) => (Exec::Genome(Box::new(GaitExecutor::new(*g))), Some(*g)),
-            GaitSource::Table(phases) => {
-                (Exec::Table(Box::new(TableExecutor::new(phases.clone()))), None)
-            }
+            GaitSource::Table(phases) => (
+                Exec::Table(Box::new(TableExecutor::new(phases.clone()))),
+                None,
+            ),
         };
         let phases_per_cycle = executor.phases_per_cycle();
         let mut state = RobotState::rest(self.body);

@@ -38,10 +38,7 @@ fn main() {
     let out = ga.run(200_000, None);
     println!(
         "{:<22} {:>9} {:>14} {:>10}",
-        "genetic algorithm",
-        out.reached_target,
-        out.evaluations,
-        out.best_fitness
+        "genetic algorithm", out.reached_target, out.evaluations, out.best_fitness
     );
 
     let r = random_search(&problem, budget, None, 1);

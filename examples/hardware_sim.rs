@@ -29,8 +29,10 @@ fn main() {
     println!("best promotions      : {}", chip.promotions());
     println!("chip time            : {}", gap.clock());
     let bd = gap.breakdown();
-    println!("cycle breakdown      : init {}  fitness {}  reproduce {}  mutate {}  overhead {}",
-        bd.init, bd.fitness, bd.reproduce, bd.mutate, bd.overhead);
+    println!(
+        "cycle breakdown      : init {}  fitness {}  reproduce {}  mutate {}  overhead {}",
+        bd.init, bd.fitness, bd.reproduce, bd.mutate, bd.overhead
+    );
     println!(
         "cycles per generation: {:.0}",
         (bd.total() - bd.init) as f64 / gap.generation() as f64

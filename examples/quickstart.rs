@@ -13,7 +13,10 @@ fn main() {
     // (0.7), 15 single-bit mutations per generation, CA random generator
     let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), 2024);
 
-    println!("evolving a walk for Leonardo (max fitness = {})...\n", FitnessSpec::paper().max_fitness());
+    println!(
+        "evolving a walk for Leonardo (max fitness = {})...\n",
+        FitnessSpec::paper().max_fitness()
+    );
     let outcome = gap.run_to_convergence(100_000);
 
     println!(
@@ -21,7 +24,11 @@ fn main() {
         outcome.generations, outcome.converged
     );
     println!("best genome : {}", outcome.best_genome);
-    println!("fitness     : {} ({})", outcome.best_fitness, FitnessSpec::paper().breakdown(outcome.best_genome));
+    println!(
+        "fitness     : {} ({})",
+        outcome.best_fitness,
+        FitnessSpec::paper().breakdown(outcome.best_genome)
+    );
     println!();
     println!("gait diagram of the champion (█ = foot down, · = foot up):");
     println!("{}", gait_diagram(outcome.best_genome));

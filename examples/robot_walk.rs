@@ -31,7 +31,12 @@ fn main() {
     println!("Leonardo in simulation — 12 gait cycles each\n");
 
     walk("tripod gait", Genome::tripod(), Terrain::flat(), 0.0);
-    walk("all-stance (zero genome)", Genome::ZERO, Terrain::flat(), 0.0);
+    walk(
+        "all-stance (zero genome)",
+        Genome::ZERO,
+        Terrain::flat(),
+        0.0,
+    );
     walk(
         "all-raised (ones genome)",
         Genome::from_bits((1 << 36) - 1),

@@ -9,6 +9,8 @@
 //! * [`leonardo_walker`] — hexapod robot simulator
 //! * [`evo`] — general GA library and baseline searchers
 
+#![forbid(unsafe_code)]
+
 pub use discipulus;
 pub use evo;
 pub use leonardo_rtl;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis-0d44f8ba475d6b13.d: crates/analysis/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-0d44f8ba475d6b13.rmeta: crates/analysis/src/main.rs Cargo.toml
+
+crates/analysis/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

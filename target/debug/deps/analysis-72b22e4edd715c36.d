@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis-72b22e4edd715c36.d: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs
+
+/root/repo/target/debug/deps/analysis-72b22e4edd715c36: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/finding.rs:
+crates/analysis/src/fixtures.rs:
+crates/analysis/src/genome_check.rs:
+crates/analysis/src/lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis-75de28c487e559ec.d: crates/analysis/src/main.rs
+
+/root/repo/target/debug/deps/analysis-75de28c487e559ec: crates/analysis/src/main.rs
+
+crates/analysis/src/main.rs:

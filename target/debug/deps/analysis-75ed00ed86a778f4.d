@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/analysis-75ed00ed86a778f4.d: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs
+
+/root/repo/target/debug/deps/libanalysis-75ed00ed86a778f4.rlib: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs
+
+/root/repo/target/debug/deps/libanalysis-75ed00ed86a778f4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/finding.rs:
+crates/analysis/src/fixtures.rs:
+crates/analysis/src/genome_check.rs:
+crates/analysis/src/lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis-8e328810a7c4ca5c.d: crates/analysis/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-8e328810a7c4ca5c.rmeta: crates/analysis/src/main.rs Cargo.toml
+
+crates/analysis/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis-98ed149a71c43eb2.d: crates/analysis/src/main.rs
+
+/root/repo/target/debug/deps/analysis-98ed149a71c43eb2: crates/analysis/src/main.rs
+
+crates/analysis/src/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/analysis-be9cec910709f4a4.d: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-be9cec910709f4a4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/finding.rs:
+crates/analysis/src/fixtures.rs:
+crates/analysis/src/genome_check.rs:
+crates/analysis/src/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_model-2298b473e1307c37.d: tests/cross_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_model-2298b473e1307c37.rmeta: tests/cross_model.rs Cargo.toml
+
+tests/cross_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

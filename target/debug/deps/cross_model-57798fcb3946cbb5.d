@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_model-57798fcb3946cbb5.d: tests/cross_model.rs
+
+/root/repo/target/debug/deps/cross_model-57798fcb3946cbb5: tests/cross_model.rs
+
+tests/cross_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-3c5eba9838228315.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-3c5eba9838228315: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

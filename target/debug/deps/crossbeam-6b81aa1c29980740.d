@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-6b81aa1c29980740.d: crates/compat/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-6b81aa1c29980740.rmeta: crates/compat/crossbeam/src/lib.rs Cargo.toml
+
+crates/compat/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

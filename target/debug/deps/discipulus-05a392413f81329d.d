@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/discipulus-05a392413f81329d.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/fitness.rs crates/core/src/gap.rs crates/core/src/genome.rs crates/core/src/movement.rs crates/core/src/params.rs crates/core/src/rng.rs crates/core/src/stats.rs crates/core/src/timing.rs crates/core/src/wide.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiscipulus-05a392413f81329d.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/fitness.rs crates/core/src/gap.rs crates/core/src/genome.rs crates/core/src/movement.rs crates/core/src/params.rs crates/core/src/rng.rs crates/core/src/stats.rs crates/core/src/timing.rs crates/core/src/wide.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/fitness.rs:
+crates/core/src/gap.rs:
+crates/core/src/genome.rs:
+crates/core/src/movement.rs:
+crates/core/src/params.rs:
+crates/core/src/rng.rs:
+crates/core/src/stats.rs:
+crates/core/src/timing.rs:
+crates/core/src/wide.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

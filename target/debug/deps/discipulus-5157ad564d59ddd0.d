@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/discipulus-5157ad564d59ddd0.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/fitness.rs crates/core/src/gap.rs crates/core/src/genome.rs crates/core/src/movement.rs crates/core/src/params.rs crates/core/src/rng.rs crates/core/src/stats.rs crates/core/src/timing.rs crates/core/src/wide.rs
+
+/root/repo/target/debug/deps/discipulus-5157ad564d59ddd0: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/fitness.rs crates/core/src/gap.rs crates/core/src/genome.rs crates/core/src/movement.rs crates/core/src/params.rs crates/core/src/rng.rs crates/core/src/stats.rs crates/core/src/timing.rs crates/core/src/wide.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/fitness.rs:
+crates/core/src/gap.rs:
+crates/core/src/genome.rs:
+crates/core/src/movement.rs:
+crates/core/src/params.rs:
+crates/core/src/rng.rs:
+crates/core/src/stats.rs:
+crates/core/src/timing.rs:
+crates/core/src/wide.rs:

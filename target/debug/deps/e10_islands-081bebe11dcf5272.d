@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_islands-081bebe11dcf5272.d: crates/bench/src/bin/e10_islands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_islands-081bebe11dcf5272.rmeta: crates/bench/src/bin/e10_islands.rs Cargo.toml
+
+crates/bench/src/bin/e10_islands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_islands-4e67f76dd453df66.d: crates/bench/src/bin/e10_islands.rs
+
+/root/repo/target/debug/deps/e10_islands-4e67f76dd453df66: crates/bench/src/bin/e10_islands.rs
+
+crates/bench/src/bin/e10_islands.rs:

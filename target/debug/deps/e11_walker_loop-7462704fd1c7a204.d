@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_walker_loop-7462704fd1c7a204.d: crates/bench/src/bin/e11_walker_loop.rs
+
+/root/repo/target/debug/deps/e11_walker_loop-7462704fd1c7a204: crates/bench/src/bin/e11_walker_loop.rs
+
+crates/bench/src/bin/e11_walker_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_walker_loop-bb25249aabec3269.d: crates/bench/src/bin/e11_walker_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_walker_loop-bb25249aabec3269.rmeta: crates/bench/src/bin/e11_walker_loop.rs Cargo.toml
+
+crates/bench/src/bin/e11_walker_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_wide_genomes-ba9520a3fb94fef7.d: crates/bench/src/bin/e12_wide_genomes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_wide_genomes-ba9520a3fb94fef7.rmeta: crates/bench/src/bin/e12_wide_genomes.rs Cargo.toml
+
+crates/bench/src/bin/e12_wide_genomes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_wide_genomes-c8de0811000e852e.d: crates/bench/src/bin/e12_wide_genomes.rs
+
+/root/repo/target/debug/deps/e12_wide_genomes-c8de0811000e852e: crates/bench/src/bin/e12_wide_genomes.rs
+
+crates/bench/src/bin/e12_wide_genomes.rs:

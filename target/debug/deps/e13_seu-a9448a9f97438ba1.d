@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_seu-a9448a9f97438ba1.d: crates/bench/src/bin/e13_seu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_seu-a9448a9f97438ba1.rmeta: crates/bench/src/bin/e13_seu.rs Cargo.toml
+
+crates/bench/src/bin/e13_seu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_seu-c280222addad5111.d: crates/bench/src/bin/e13_seu.rs
+
+/root/repo/target/debug/deps/e13_seu-c280222addad5111: crates/bench/src/bin/e13_seu.rs
+
+crates/bench/src/bin/e13_seu.rs:

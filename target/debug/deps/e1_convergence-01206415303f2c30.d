@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_convergence-01206415303f2c30.d: crates/bench/src/bin/e1_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_convergence-01206415303f2c30.rmeta: crates/bench/src/bin/e1_convergence.rs Cargo.toml
+
+crates/bench/src/bin/e1_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_convergence-a4ad99b89032d66e.d: crates/bench/src/bin/e1_convergence.rs
+
+/root/repo/target/debug/deps/e1_convergence-a4ad99b89032d66e: crates/bench/src/bin/e1_convergence.rs
+
+crates/bench/src/bin/e1_convergence.rs:

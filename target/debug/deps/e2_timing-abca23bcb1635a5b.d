@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_timing-abca23bcb1635a5b.d: crates/bench/src/bin/e2_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_timing-abca23bcb1635a5b.rmeta: crates/bench/src/bin/e2_timing.rs Cargo.toml
+
+crates/bench/src/bin/e2_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

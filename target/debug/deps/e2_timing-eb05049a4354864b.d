@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_timing-eb05049a4354864b.d: crates/bench/src/bin/e2_timing.rs
+
+/root/repo/target/debug/deps/e2_timing-eb05049a4354864b: crates/bench/src/bin/e2_timing.rs
+
+crates/bench/src/bin/e2_timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_search_space-0bd703878460e434.d: crates/bench/src/bin/e3_search_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_search_space-0bd703878460e434.rmeta: crates/bench/src/bin/e3_search_space.rs Cargo.toml
+
+crates/bench/src/bin/e3_search_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_search_space-e001a53c5bc23382.d: crates/bench/src/bin/e3_search_space.rs
+
+/root/repo/target/debug/deps/e3_search_space-e001a53c5bc23382: crates/bench/src/bin/e3_search_space.rs
+
+crates/bench/src/bin/e3_search_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_resources-0ec5807bc57b817a.d: crates/bench/src/bin/e4_resources.rs
+
+/root/repo/target/debug/deps/e4_resources-0ec5807bc57b817a: crates/bench/src/bin/e4_resources.rs
+
+crates/bench/src/bin/e4_resources.rs:

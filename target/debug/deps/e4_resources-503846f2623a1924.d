@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_resources-503846f2623a1924.d: crates/bench/src/bin/e4_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_resources-503846f2623a1924.rmeta: crates/bench/src/bin/e4_resources.rs Cargo.toml
+
+crates/bench/src/bin/e4_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_fitness_vs_walk-61eba1aa33e5feff.d: crates/bench/src/bin/e5_fitness_vs_walk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_fitness_vs_walk-61eba1aa33e5feff.rmeta: crates/bench/src/bin/e5_fitness_vs_walk.rs Cargo.toml
+
+crates/bench/src/bin/e5_fitness_vs_walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_fitness_vs_walk-d9719a490b287a2f.d: crates/bench/src/bin/e5_fitness_vs_walk.rs
+
+/root/repo/target/debug/deps/e5_fitness_vs_walk-d9719a490b287a2f: crates/bench/src/bin/e5_fitness_vs_walk.rs
+
+crates/bench/src/bin/e5_fitness_vs_walk.rs:

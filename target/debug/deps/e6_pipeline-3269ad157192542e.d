@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_pipeline-3269ad157192542e.d: crates/bench/src/bin/e6_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_pipeline-3269ad157192542e.rmeta: crates/bench/src/bin/e6_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/e6_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

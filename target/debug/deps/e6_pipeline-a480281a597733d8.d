@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_pipeline-a480281a597733d8.d: crates/bench/src/bin/e6_pipeline.rs
+
+/root/repo/target/debug/deps/e6_pipeline-a480281a597733d8: crates/bench/src/bin/e6_pipeline.rs
+
+crates/bench/src/bin/e6_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_ablation-312fdda4181fd5da.d: crates/bench/src/bin/e7_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_ablation-312fdda4181fd5da.rmeta: crates/bench/src/bin/e7_ablation.rs Cargo.toml
+
+crates/bench/src/bin/e7_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_ablation-68f6cc7d450a459f.d: crates/bench/src/bin/e7_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_ablation-68f6cc7d450a459f.rmeta: crates/bench/src/bin/e7_ablation.rs Cargo.toml
+
+crates/bench/src/bin/e7_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

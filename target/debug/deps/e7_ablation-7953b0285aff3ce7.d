@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_ablation-7953b0285aff3ce7.d: crates/bench/src/bin/e7_ablation.rs
+
+/root/repo/target/debug/deps/e7_ablation-7953b0285aff3ce7: crates/bench/src/bin/e7_ablation.rs
+
+crates/bench/src/bin/e7_ablation.rs:

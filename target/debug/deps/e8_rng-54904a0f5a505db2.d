@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_rng-54904a0f5a505db2.d: crates/bench/src/bin/e8_rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_rng-54904a0f5a505db2.rmeta: crates/bench/src/bin/e8_rng.rs Cargo.toml
+
+crates/bench/src/bin/e8_rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

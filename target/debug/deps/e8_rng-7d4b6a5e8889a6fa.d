@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_rng-7d4b6a5e8889a6fa.d: crates/bench/src/bin/e8_rng.rs
+
+/root/repo/target/debug/deps/e8_rng-7d4b6a5e8889a6fa: crates/bench/src/bin/e8_rng.rs
+
+crates/bench/src/bin/e8_rng.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sweep-7e97d89114a5df2a.d: crates/bench/src/bin/e9_sweep.rs
+
+/root/repo/target/debug/deps/e9_sweep-7e97d89114a5df2a: crates/bench/src/bin/e9_sweep.rs
+
+crates/bench/src/bin/e9_sweep.rs:

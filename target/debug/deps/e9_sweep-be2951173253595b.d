@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_sweep-be2951173253595b.d: crates/bench/src/bin/e9_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_sweep-be2951173253595b.rmeta: crates/bench/src/bin/e9_sweep.rs Cargo.toml
+
+crates/bench/src/bin/e9_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

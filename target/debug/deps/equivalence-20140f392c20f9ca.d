@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-20140f392c20f9ca.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-20140f392c20f9ca: tests/equivalence.rs
+
+tests/equivalence.rs:

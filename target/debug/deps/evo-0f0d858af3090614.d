@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/evo-0f0d858af3090614.d: crates/evo/src/lib.rs crates/evo/src/baselines.rs crates/evo/src/crossover.rs crates/evo/src/ga.rs crates/evo/src/genome.rs crates/evo/src/island.rs crates/evo/src/mutate.rs crates/evo/src/problem.rs crates/evo/src/select.rs crates/evo/src/stats.rs crates/evo/src/steady.rs crates/evo/src/sweep.rs
+
+/root/repo/target/debug/deps/libevo-0f0d858af3090614.rlib: crates/evo/src/lib.rs crates/evo/src/baselines.rs crates/evo/src/crossover.rs crates/evo/src/ga.rs crates/evo/src/genome.rs crates/evo/src/island.rs crates/evo/src/mutate.rs crates/evo/src/problem.rs crates/evo/src/select.rs crates/evo/src/stats.rs crates/evo/src/steady.rs crates/evo/src/sweep.rs
+
+/root/repo/target/debug/deps/libevo-0f0d858af3090614.rmeta: crates/evo/src/lib.rs crates/evo/src/baselines.rs crates/evo/src/crossover.rs crates/evo/src/ga.rs crates/evo/src/genome.rs crates/evo/src/island.rs crates/evo/src/mutate.rs crates/evo/src/problem.rs crates/evo/src/select.rs crates/evo/src/stats.rs crates/evo/src/steady.rs crates/evo/src/sweep.rs
+
+crates/evo/src/lib.rs:
+crates/evo/src/baselines.rs:
+crates/evo/src/crossover.rs:
+crates/evo/src/ga.rs:
+crates/evo/src/genome.rs:
+crates/evo/src/island.rs:
+crates/evo/src/mutate.rs:
+crates/evo/src/problem.rs:
+crates/evo/src/select.rs:
+crates/evo/src/stats.rs:
+crates/evo/src/steady.rs:
+crates/evo/src/sweep.rs:

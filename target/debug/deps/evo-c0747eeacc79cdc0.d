@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/evo-c0747eeacc79cdc0.d: crates/evo/src/lib.rs crates/evo/src/baselines.rs crates/evo/src/crossover.rs crates/evo/src/ga.rs crates/evo/src/genome.rs crates/evo/src/island.rs crates/evo/src/mutate.rs crates/evo/src/problem.rs crates/evo/src/select.rs crates/evo/src/stats.rs crates/evo/src/steady.rs crates/evo/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevo-c0747eeacc79cdc0.rmeta: crates/evo/src/lib.rs crates/evo/src/baselines.rs crates/evo/src/crossover.rs crates/evo/src/ga.rs crates/evo/src/genome.rs crates/evo/src/island.rs crates/evo/src/mutate.rs crates/evo/src/problem.rs crates/evo/src/select.rs crates/evo/src/stats.rs crates/evo/src/steady.rs crates/evo/src/sweep.rs Cargo.toml
+
+crates/evo/src/lib.rs:
+crates/evo/src/baselines.rs:
+crates/evo/src/crossover.rs:
+crates/evo/src/ga.rs:
+crates/evo/src/genome.rs:
+crates/evo/src/island.rs:
+crates/evo/src/mutate.rs:
+crates/evo/src/problem.rs:
+crates/evo/src/select.rs:
+crates/evo/src/stats.rs:
+crates/evo/src/steady.rs:
+crates/evo/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

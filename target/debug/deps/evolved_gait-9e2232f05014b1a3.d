@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evolved_gait-9e2232f05014b1a3.d: tests/evolved_gait.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevolved_gait-9e2232f05014b1a3.rmeta: tests/evolved_gait.rs Cargo.toml
+
+tests/evolved_gait.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evolved_gait-c13004b7bf104f7f.d: tests/evolved_gait.rs
+
+/root/repo/target/debug/deps/evolved_gait-c13004b7bf104f7f: tests/evolved_gait.rs
+
+tests/evolved_gait.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fitness_eval-a66c87e4e9b57c23.d: crates/bench/benches/fitness_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfitness_eval-a66c87e4e9b57c23.rmeta: crates/bench/benches/fitness_eval.rs Cargo.toml
+
+crates/bench/benches/fitness_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

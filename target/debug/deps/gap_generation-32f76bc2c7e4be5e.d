@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gap_generation-32f76bc2c7e4be5e.d: crates/bench/benches/gap_generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgap_generation-32f76bc2c7e4be5e.rmeta: crates/bench/benches/gap_generation.rs Cargo.toml
+
+crates/bench/benches/gap_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

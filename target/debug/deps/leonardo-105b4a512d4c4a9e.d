@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leonardo-105b4a512d4c4a9e.d: src/lib.rs
+
+/root/repo/target/debug/deps/leonardo-105b4a512d4c4a9e: src/lib.rs
+
+src/lib.rs:

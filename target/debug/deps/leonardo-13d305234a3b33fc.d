@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leonardo-13d305234a3b33fc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleonardo-13d305234a3b33fc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

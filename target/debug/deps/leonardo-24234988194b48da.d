@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leonardo-24234988194b48da.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleonardo-24234988194b48da.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leonardo-dceb858fc52cec77.d: src/lib.rs
+
+/root/repo/target/debug/deps/libleonardo-dceb858fc52cec77.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libleonardo-dceb858fc52cec77.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leonardo_bench-6a1fe2e27c12eb27.d: crates/bench/src/lib.rs crates/bench/src/gait_problem.rs crates/bench/src/harness.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleonardo_bench-6a1fe2e27c12eb27.rmeta: crates/bench/src/lib.rs crates/bench/src/gait_problem.rs crates/bench/src/harness.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/gait_problem.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leonardo_bench-72fc16ec28b558ea.d: crates/bench/src/lib.rs crates/bench/src/gait_problem.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libleonardo_bench-72fc16ec28b558ea.rlib: crates/bench/src/lib.rs crates/bench/src/gait_problem.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libleonardo_bench-72fc16ec28b558ea.rmeta: crates/bench/src/lib.rs crates/bench/src/gait_problem.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gait_problem.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/leonardo_bench-f29c8187ca21815a.d: crates/bench/src/lib.rs crates/bench/src/gait_problem.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/leonardo_bench-f29c8187ca21815a: crates/bench/src/lib.rs crates/bench/src/gait_problem.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gait_problem.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

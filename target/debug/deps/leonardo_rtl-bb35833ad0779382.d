@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/leonardo_rtl-bb35833ad0779382.d: crates/rtl/src/lib.rs crates/rtl/src/bitstream.rs crates/rtl/src/fitness_rtl.rs crates/rtl/src/gap_rtl.rs crates/rtl/src/netlist.rs crates/rtl/src/primitives.rs crates/rtl/src/pwm.rs crates/rtl/src/resources.rs crates/rtl/src/rng_rtl.rs crates/rtl/src/sim.rs crates/rtl/src/top.rs crates/rtl/src/vcd.rs crates/rtl/src/walkctl_rtl.rs
+
+/root/repo/target/debug/deps/leonardo_rtl-bb35833ad0779382: crates/rtl/src/lib.rs crates/rtl/src/bitstream.rs crates/rtl/src/fitness_rtl.rs crates/rtl/src/gap_rtl.rs crates/rtl/src/netlist.rs crates/rtl/src/primitives.rs crates/rtl/src/pwm.rs crates/rtl/src/resources.rs crates/rtl/src/rng_rtl.rs crates/rtl/src/sim.rs crates/rtl/src/top.rs crates/rtl/src/vcd.rs crates/rtl/src/walkctl_rtl.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/bitstream.rs:
+crates/rtl/src/fitness_rtl.rs:
+crates/rtl/src/gap_rtl.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/primitives.rs:
+crates/rtl/src/pwm.rs:
+crates/rtl/src/resources.rs:
+crates/rtl/src/rng_rtl.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/top.rs:
+crates/rtl/src/vcd.rs:
+crates/rtl/src/walkctl_rtl.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/leonardo_rtl-dfbef75903bf1577.d: crates/rtl/src/lib.rs crates/rtl/src/bitstream.rs crates/rtl/src/fitness_rtl.rs crates/rtl/src/gap_rtl.rs crates/rtl/src/netlist.rs crates/rtl/src/primitives.rs crates/rtl/src/pwm.rs crates/rtl/src/resources.rs crates/rtl/src/rng_rtl.rs crates/rtl/src/sim.rs crates/rtl/src/top.rs crates/rtl/src/vcd.rs crates/rtl/src/walkctl_rtl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleonardo_rtl-dfbef75903bf1577.rmeta: crates/rtl/src/lib.rs crates/rtl/src/bitstream.rs crates/rtl/src/fitness_rtl.rs crates/rtl/src/gap_rtl.rs crates/rtl/src/netlist.rs crates/rtl/src/primitives.rs crates/rtl/src/pwm.rs crates/rtl/src/resources.rs crates/rtl/src/rng_rtl.rs crates/rtl/src/sim.rs crates/rtl/src/top.rs crates/rtl/src/vcd.rs crates/rtl/src/walkctl_rtl.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/bitstream.rs:
+crates/rtl/src/fitness_rtl.rs:
+crates/rtl/src/gap_rtl.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/primitives.rs:
+crates/rtl/src/pwm.rs:
+crates/rtl/src/resources.rs:
+crates/rtl/src/rng_rtl.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/top.rs:
+crates/rtl/src/vcd.rs:
+crates/rtl/src/walkctl_rtl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/leonardo_walker-4b915515821040e2.d: crates/walker/src/lib.rs crates/walker/src/body.rs crates/walker/src/gait.rs crates/walker/src/leg.rs crates/walker/src/locomotion.rs crates/walker/src/metrics.rs crates/walker/src/sensors.rs crates/walker/src/servo.rs crates/walker/src/stability.rs crates/walker/src/viz.rs crates/walker/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleonardo_walker-4b915515821040e2.rmeta: crates/walker/src/lib.rs crates/walker/src/body.rs crates/walker/src/gait.rs crates/walker/src/leg.rs crates/walker/src/locomotion.rs crates/walker/src/metrics.rs crates/walker/src/sensors.rs crates/walker/src/servo.rs crates/walker/src/stability.rs crates/walker/src/viz.rs crates/walker/src/world.rs Cargo.toml
+
+crates/walker/src/lib.rs:
+crates/walker/src/body.rs:
+crates/walker/src/gait.rs:
+crates/walker/src/leg.rs:
+crates/walker/src/locomotion.rs:
+crates/walker/src/metrics.rs:
+crates/walker/src/sensors.rs:
+crates/walker/src/servo.rs:
+crates/walker/src/stability.rs:
+crates/walker/src/viz.rs:
+crates/walker/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

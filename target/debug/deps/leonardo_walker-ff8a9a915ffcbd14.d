@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/leonardo_walker-ff8a9a915ffcbd14.d: crates/walker/src/lib.rs crates/walker/src/body.rs crates/walker/src/gait.rs crates/walker/src/leg.rs crates/walker/src/locomotion.rs crates/walker/src/metrics.rs crates/walker/src/sensors.rs crates/walker/src/servo.rs crates/walker/src/stability.rs crates/walker/src/viz.rs crates/walker/src/world.rs
+
+/root/repo/target/debug/deps/leonardo_walker-ff8a9a915ffcbd14: crates/walker/src/lib.rs crates/walker/src/body.rs crates/walker/src/gait.rs crates/walker/src/leg.rs crates/walker/src/locomotion.rs crates/walker/src/metrics.rs crates/walker/src/sensors.rs crates/walker/src/servo.rs crates/walker/src/stability.rs crates/walker/src/viz.rs crates/walker/src/world.rs
+
+crates/walker/src/lib.rs:
+crates/walker/src/body.rs:
+crates/walker/src/gait.rs:
+crates/walker/src/leg.rs:
+crates/walker/src/locomotion.rs:
+crates/walker/src/metrics.rs:
+crates/walker/src/sensors.rs:
+crates/walker/src/servo.rs:
+crates/walker/src/stability.rs:
+crates/walker/src/viz.rs:
+crates/walker/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-53a4c5c958ff466a.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-53a4c5c958ff466a: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

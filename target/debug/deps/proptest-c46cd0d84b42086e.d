@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c46cd0d84b42086e.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c46cd0d84b42086e.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c46cd0d84b42086e.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

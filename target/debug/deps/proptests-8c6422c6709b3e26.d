@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8c6422c6709b3e26.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8c6422c6709b3e26: tests/proptests.rs
+
+tests/proptests.rs:

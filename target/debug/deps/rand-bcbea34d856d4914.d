@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-bcbea34d856d4914.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bcbea34d856d4914.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bcbea34d856d4914.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-e93c24422d59b824.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-e93c24422d59b824: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

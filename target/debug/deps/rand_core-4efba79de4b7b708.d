@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_core-4efba79de4b7b708.d: crates/compat/rand_core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_core-4efba79de4b7b708.rmeta: crates/compat/rand_core/src/lib.rs Cargo.toml
+
+crates/compat/rand_core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

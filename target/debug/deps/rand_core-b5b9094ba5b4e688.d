@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_core-b5b9094ba5b4e688.d: crates/compat/rand_core/src/lib.rs
+
+/root/repo/target/debug/deps/rand_core-b5b9094ba5b4e688: crates/compat/rand_core/src/lib.rs
+
+crates/compat/rand_core/src/lib.rs:

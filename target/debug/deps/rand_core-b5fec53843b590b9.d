@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_core-b5fec53843b590b9.d: crates/compat/rand_core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_core-b5fec53843b590b9.rmeta: crates/compat/rand_core/src/lib.rs Cargo.toml
+
+crates/compat/rand_core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_core-d2e940f6b2b5a34d.d: crates/compat/rand_core/src/lib.rs
+
+/root/repo/target/debug/deps/librand_core-d2e940f6b2b5a34d.rlib: crates/compat/rand_core/src/lib.rs
+
+/root/repo/target/debug/deps/librand_core-d2e940f6b2b5a34d.rmeta: crates/compat/rand_core/src/lib.rs
+
+crates/compat/rand_core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtl_cycle-210399661683da3b.d: crates/bench/benches/rtl_cycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtl_cycle-210399661683da3b.rmeta: crates/bench/benches/rtl_cycle.rs Cargo.toml
+
+crates/bench/benches/rtl_cycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

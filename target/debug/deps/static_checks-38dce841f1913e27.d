@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_checks-38dce841f1913e27.d: crates/analysis/tests/static_checks.rs
+
+/root/repo/target/debug/deps/static_checks-38dce841f1913e27: crates/analysis/tests/static_checks.rs
+
+crates/analysis/tests/static_checks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_checks-d0a5dd5ae586d3fe.d: crates/analysis/tests/static_checks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_checks-d0a5dd5ae586d3fe.rmeta: crates/analysis/tests/static_checks.rs Cargo.toml
+
+crates/analysis/tests/static_checks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/walker_trial-e00f5d299c11f947.d: crates/bench/benches/walker_trial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwalker_trial-e00f5d299c11f947.rmeta: crates/bench/benches/walker_trial.rs Cargo.toml
+
+crates/bench/benches/walker_trial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

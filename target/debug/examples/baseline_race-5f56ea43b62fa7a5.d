@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/baseline_race-5f56ea43b62fa7a5.d: examples/baseline_race.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbaseline_race-5f56ea43b62fa7a5.rmeta: examples/baseline_race.rs Cargo.toml
+
+examples/baseline_race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

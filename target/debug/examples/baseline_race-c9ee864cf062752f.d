@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/baseline_race-c9ee864cf062752f.d: examples/baseline_race.rs
+
+/root/repo/target/debug/examples/baseline_race-c9ee864cf062752f: examples/baseline_race.rs
+
+examples/baseline_race.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/evolve_gait-2668cf61950b7186.d: examples/evolve_gait.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevolve_gait-2668cf61950b7186.rmeta: examples/evolve_gait.rs Cargo.toml
+
+examples/evolve_gait.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

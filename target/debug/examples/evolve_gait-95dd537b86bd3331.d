@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evolve_gait-95dd537b86bd3331.d: examples/evolve_gait.rs
+
+/root/repo/target/debug/examples/evolve_gait-95dd537b86bd3331: examples/evolve_gait.rs
+
+examples/evolve_gait.rs:

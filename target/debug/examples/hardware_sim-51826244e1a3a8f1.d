@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_sim-51826244e1a3a8f1.d: examples/hardware_sim.rs
+
+/root/repo/target/debug/examples/hardware_sim-51826244e1a3a8f1: examples/hardware_sim.rs
+
+examples/hardware_sim.rs:

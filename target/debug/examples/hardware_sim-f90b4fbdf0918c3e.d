@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_sim-f90b4fbdf0918c3e.d: examples/hardware_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_sim-f90b4fbdf0918c3e.rmeta: examples/hardware_sim.rs Cargo.toml
+
+examples/hardware_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_sweep-eaa6add986bb37ae.d: examples/parameter_sweep.rs
+
+/root/repo/target/debug/examples/parameter_sweep-eaa6add986bb37ae: examples/parameter_sweep.rs
+
+examples/parameter_sweep.rs:

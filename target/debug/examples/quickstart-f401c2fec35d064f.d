@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f401c2fec35d064f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f401c2fec35d064f: examples/quickstart.rs
+
+examples/quickstart.rs:

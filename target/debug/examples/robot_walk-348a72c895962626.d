@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/robot_walk-348a72c895962626.d: examples/robot_walk.rs Cargo.toml
+
+/root/repo/target/debug/examples/librobot_walk-348a72c895962626.rmeta: examples/robot_walk.rs Cargo.toml
+
+examples/robot_walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/robot_walk-eaded4a8d1c2cd99.d: examples/robot_walk.rs
+
+/root/repo/target/debug/examples/robot_walk-eaded4a8d1c2cd99: examples/robot_walk.rs
+
+examples/robot_walk.rs:

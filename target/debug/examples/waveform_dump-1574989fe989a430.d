@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/waveform_dump-1574989fe989a430.d: examples/waveform_dump.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwaveform_dump-1574989fe989a430.rmeta: examples/waveform_dump.rs Cargo.toml
+
+examples/waveform_dump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

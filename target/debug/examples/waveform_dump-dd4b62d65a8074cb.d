@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform_dump-dd4b62d65a8074cb.d: examples/waveform_dump.rs
+
+/root/repo/target/debug/examples/waveform_dump-dd4b62d65a8074cb: examples/waveform_dump.rs
+
+examples/waveform_dump.rs:

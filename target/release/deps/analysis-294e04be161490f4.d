@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/analysis-294e04be161490f4.d: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs
+
+/root/repo/target/release/deps/libanalysis-294e04be161490f4.rlib: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs
+
+/root/repo/target/release/deps/libanalysis-294e04be161490f4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/finding.rs crates/analysis/src/fixtures.rs crates/analysis/src/genome_check.rs crates/analysis/src/lint.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/finding.rs:
+crates/analysis/src/fixtures.rs:
+crates/analysis/src/genome_check.rs:
+crates/analysis/src/lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis-929e8b6fdaaf5e34.d: crates/analysis/src/main.rs
+
+/root/repo/target/release/deps/analysis-929e8b6fdaaf5e34: crates/analysis/src/main.rs
+
+crates/analysis/src/main.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/discipulus-c20a65b5f37e7eec.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/fitness.rs crates/core/src/gap.rs crates/core/src/genome.rs crates/core/src/movement.rs crates/core/src/params.rs crates/core/src/rng.rs crates/core/src/stats.rs crates/core/src/timing.rs crates/core/src/wide.rs
+
+/root/repo/target/release/deps/libdiscipulus-c20a65b5f37e7eec.rlib: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/fitness.rs crates/core/src/gap.rs crates/core/src/genome.rs crates/core/src/movement.rs crates/core/src/params.rs crates/core/src/rng.rs crates/core/src/stats.rs crates/core/src/timing.rs crates/core/src/wide.rs
+
+/root/repo/target/release/deps/libdiscipulus-c20a65b5f37e7eec.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/fitness.rs crates/core/src/gap.rs crates/core/src/genome.rs crates/core/src/movement.rs crates/core/src/params.rs crates/core/src/rng.rs crates/core/src/stats.rs crates/core/src/timing.rs crates/core/src/wide.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/fitness.rs:
+crates/core/src/gap.rs:
+crates/core/src/genome.rs:
+crates/core/src/movement.rs:
+crates/core/src/params.rs:
+crates/core/src/rng.rs:
+crates/core/src/stats.rs:
+crates/core/src/timing.rs:
+crates/core/src/wide.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leonardo-32607bc6b4b38711.d: src/lib.rs
+
+/root/repo/target/release/deps/libleonardo-32607bc6b4b38711.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libleonardo-32607bc6b4b38711.rmeta: src/lib.rs
+
+src/lib.rs:

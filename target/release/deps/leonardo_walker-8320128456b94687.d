@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/leonardo_walker-8320128456b94687.d: crates/walker/src/lib.rs crates/walker/src/body.rs crates/walker/src/gait.rs crates/walker/src/leg.rs crates/walker/src/locomotion.rs crates/walker/src/metrics.rs crates/walker/src/sensors.rs crates/walker/src/servo.rs crates/walker/src/stability.rs crates/walker/src/viz.rs crates/walker/src/world.rs
+
+/root/repo/target/release/deps/libleonardo_walker-8320128456b94687.rlib: crates/walker/src/lib.rs crates/walker/src/body.rs crates/walker/src/gait.rs crates/walker/src/leg.rs crates/walker/src/locomotion.rs crates/walker/src/metrics.rs crates/walker/src/sensors.rs crates/walker/src/servo.rs crates/walker/src/stability.rs crates/walker/src/viz.rs crates/walker/src/world.rs
+
+/root/repo/target/release/deps/libleonardo_walker-8320128456b94687.rmeta: crates/walker/src/lib.rs crates/walker/src/body.rs crates/walker/src/gait.rs crates/walker/src/leg.rs crates/walker/src/locomotion.rs crates/walker/src/metrics.rs crates/walker/src/sensors.rs crates/walker/src/servo.rs crates/walker/src/stability.rs crates/walker/src/viz.rs crates/walker/src/world.rs
+
+crates/walker/src/lib.rs:
+crates/walker/src/body.rs:
+crates/walker/src/gait.rs:
+crates/walker/src/leg.rs:
+crates/walker/src/locomotion.rs:
+crates/walker/src/metrics.rs:
+crates/walker/src/sensors.rs:
+crates/walker/src/servo.rs:
+crates/walker/src/stability.rs:
+crates/walker/src/viz.rs:
+crates/walker/src/world.rs:

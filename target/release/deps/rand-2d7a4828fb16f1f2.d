@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2d7a4828fb16f1f2.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2d7a4828fb16f1f2.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2d7a4828fb16f1f2.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

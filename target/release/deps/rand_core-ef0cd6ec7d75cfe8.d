@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_core-ef0cd6ec7d75cfe8.d: crates/compat/rand_core/src/lib.rs
+
+/root/repo/target/release/deps/librand_core-ef0cd6ec7d75cfe8.rlib: crates/compat/rand_core/src/lib.rs
+
+/root/repo/target/release/deps/librand_core-ef0cd6ec7d75cfe8.rmeta: crates/compat/rand_core/src/lib.rs
+
+crates/compat/rand_core/src/lib.rs:

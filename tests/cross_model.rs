@@ -82,10 +82,8 @@ fn analytic_cycle_model_brackets_measured_rtl_cycles() {
 fn behavioural_gap_runs_on_any_rng_source() {
     // the GAP is generic over its generator: LFSR-driven evolution also
     // converges
-    let mut gap = GeneticAlgorithmProcessor::with_rng(
-        GapParams::paper(),
-        discipulus::rng::Lfsr32::new(99),
-    );
+    let mut gap =
+        GeneticAlgorithmProcessor::with_rng(GapParams::paper(), discipulus::rng::Lfsr32::new(99));
     let outcome = gap.run_to_convergence(200_000);
     assert!(outcome.converged, "LFSR-driven GAP failed to converge");
 }
