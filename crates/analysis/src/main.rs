@@ -17,7 +17,9 @@
 use analysis::finding::{has_errors, Finding};
 use analysis::{check_genome, check_population_path, fixtures, lint};
 use discipulus::genome::Genome;
+use leonardo_rtl::bitslice::{CaRngX64, FitnessUnitX64, GapRtlX64, GapRtlX64Config, RamX64};
 use leonardo_rtl::gap_rtl::GapRtlConfig;
+use leonardo_rtl::netlist::Describe;
 use leonardo_rtl::top::DiscipulusTop;
 use std::process::ExitCode;
 
@@ -55,6 +57,19 @@ fn run_check(seed: u32) -> ExitCode {
     println!("== netlist lint: {} ==", design.design);
     println!("{}", lint::budget_summary(&design));
     let mut findings = lint::lint_design(&design);
+    // the 64-lane batch engine is a host-side simulation accelerator, not
+    // part of the single-chip CLB budget, so its units lint standalone
+    println!("== batch-engine units (64-lane bit-sliced) ==");
+    let batch = GapRtlX64::new(GapRtlX64Config::paper(), &[seed]);
+    for n in [
+        CaRngX64::new(&[seed]).netlist(),
+        FitnessUnitX64::paper().netlist(),
+        RamX64::new(32, 36).netlist(),
+        batch.netlist(),
+    ] {
+        println!("   {}: lint_unit", n.unit);
+        findings.extend(lint::lint_unit(&n));
+    }
     println!("== genome path: seed {seed:#x} ==");
     findings.extend(check_population_path(seed, MAX_GENERATIONS));
     report(&findings)

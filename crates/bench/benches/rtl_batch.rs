@@ -1,0 +1,56 @@
+//! Criterion bench: the bit-sliced 64-lane batch engine against 64
+//! scalar RTL GAP instances — the per-generation cost of one batch step
+//! versus the 64 scalar steps it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leonardo_rtl::bitslice::{GapRtlX64, GapRtlX64Config};
+use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
+use std::hint::black_box;
+
+fn seeds() -> Vec<u32> {
+    (0..64u32).map(|i| 0x1000 + 7 * i).collect()
+}
+
+fn bench_batch_generation(c: &mut Criterion) {
+    c.bench_function("rtl_x64_batch_generation", |b| {
+        let mut gap = GapRtlX64::new(GapRtlX64Config::paper(), &seeds());
+        b.iter(|| {
+            gap.step_generation();
+            black_box(gap.cycles(0))
+        });
+    });
+}
+
+fn bench_scalar_equivalent(c: &mut Criterion) {
+    c.bench_function("rtl_x64_scalar_equivalent_64", |b| {
+        let mut gaps: Vec<GapRtl> = seeds()
+            .iter()
+            .map(|&s| GapRtl::new(GapRtlConfig::paper(s)))
+            .collect();
+        b.iter(|| {
+            for gap in &mut gaps {
+                gap.step_generation();
+            }
+            black_box(gaps[0].clock().cycles())
+        });
+    });
+}
+
+fn bench_batch_rng_clock(c: &mut Criterion) {
+    use leonardo_rtl::bitslice::CaRngX64;
+    c.bench_function("rtl_x64_rng_clock", |b| {
+        let mut rng = CaRngX64::new(&seeds());
+        b.iter(|| {
+            rng.clock_free();
+            black_box(rng.lane_word(0))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_batch_generation,
+    bench_scalar_equivalent,
+    bench_batch_rng_clock
+);
+criterion_main!(benches);

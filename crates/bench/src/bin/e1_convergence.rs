@@ -10,7 +10,9 @@
 
 use discipulus::gap::GeneticAlgorithmProcessor;
 use discipulus::stats::SampleSummary;
-use leonardo_bench::harness::{arg_or, convergence_sample, parallel_map, trial_seeds};
+use leonardo_bench::harness::{
+    arg_or, convergence_sample, parallel_map, rtl_convergence_batch, rtl_stats, trial_seeds,
+};
 use leonardo_bench::{Comparison, ComparisonTable, Verdict};
 
 /// Generations until at least `frac` of the population holds a maximal
@@ -82,6 +84,15 @@ fn main() {
         None => println!("  never reached within {max_gens} generations\n"),
     }
 
+    // cycle-accurate cross-check on the bit-sliced batch engine: the same
+    // multi-seed sampling, 64 RTL GAP instances per machine word
+    let rtl = rtl_stats(&rtl_convergence_batch(&trial_seeds(trials), max_gens));
+    println!("RTL batch engine (64 lanes/word, own RNG stream):");
+    match &rtl.summary {
+        Some(s) => println!("  {s}   (failures: {})\n", rtl.failures),
+        None => println!("  never converged within {max_gens} generations\n"),
+    }
+
     let mut table = ComparisonTable::new("E1 — generations to converge (F6)");
     table.push(Comparison::new(
         "mean generations (first maximal individual)",
@@ -111,6 +122,14 @@ fn main() {
         format!("{:.0}", summary.median),
         Verdict::Informational,
     ));
+    if let Some(s) = &rtl.summary {
+        table.push(Comparison::new(
+            "mean generations (RTL batch engine)",
+            "(cross-check)",
+            format!("{:.0}", s.mean),
+            Verdict::Informational,
+        ));
+    }
     table.push(Comparison::new(
         "convergence rate",
         "always (implied)",

@@ -18,8 +18,12 @@ use discipulus::rng::analysis::{is_maximal_rule, ones_fraction};
 use discipulus::rng::{CellularRng, FromRngCore, Lfsr32, RngSource, MAXIMAL_RULE_90_150};
 use discipulus::stats::SampleSummary;
 use leonardo_bench::harness::{arg_or, parallel_map, trial_seeds};
+use leonardo_rtl::bitslice::CaRngX64;
+use leonardo_rtl::rng_rtl::CaRngRtl;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
 
 fn convergence_with<R: RngSource, F: Fn(u32) -> R + Sync>(
     make: F,
@@ -56,7 +60,35 @@ fn main() {
         ones_fraction(&mut lfsr, 1_000_000)
     );
 
-    // 2. what matters: GA convergence under each generator
+    // 2. word throughput of the RTL generator, scalar vs bit-sliced: one
+    //    scalar clock yields one 32-bit word, one sliced clock yields 64
+    const STEPS: u64 = 1_000_000;
+    let mut scalar_ca = CaRngRtl::new(12345);
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        scalar_ca.clock();
+        black_box(scalar_ca.word());
+    }
+    let scalar_rate = STEPS as f64 / t0.elapsed().as_secs_f64();
+    let mut sliced_ca = CaRngX64::new(&trial_seeds(64));
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        sliced_ca.clock_free();
+        black_box(sliced_ca.lane_word(0));
+    }
+    let sliced_rate = 64.0 * STEPS as f64 / t0.elapsed().as_secs_f64();
+    println!("  RTL CA word throughput ({STEPS} clocks):");
+    println!(
+        "    scalar CaRngRtl      : {:>8.1} Mwords/s",
+        scalar_rate / 1e6
+    );
+    println!(
+        "    CaRngX64 (64 lanes)  : {:>8.1} Mwords/s  ({:.1}x)\n",
+        sliced_rate / 1e6,
+        sliced_rate / scalar_rate
+    );
+
+    // 3. what matters: GA convergence under each generator
     let ca_sum = convergence_with(CellularRng::new, &seeds, 200_000);
     let lfsr_sum = convergence_with(Lfsr32::new, &seeds, 200_000);
     let lib_sum = convergence_with(

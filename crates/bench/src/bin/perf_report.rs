@@ -1,0 +1,66 @@
+//! Machine-readable throughput report for the bit-sliced batch engine.
+//!
+//! Runs the same multi-seed RTL convergence sample twice — once on scalar
+//! `GapRtl` trials spread over all cores, once on the 64-lane `GapRtlX64`
+//! batch engine with lane refilling, same thread count — asserts the
+//! per-seed results are bit-identical, and writes the measured simulated-
+//! cycle throughput of both sides as JSON.
+//!
+//! Usage: `perf_report [--trials N] [--max-gens G] [--reps R] [--out FILE]`
+
+use leonardo_bench::harness::{arg_or, rtl_convergence_batch, rtl_convergence_scalar, trial_seeds};
+use std::time::Instant;
+
+/// Wall-time the fastest of `reps` runs of `f` (best-of-N absorbs cold
+/// caches and scheduler noise) and return it with the last result.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let trials: usize = arg_or("--trials", 1024);
+    let max_gens: u64 = arg_or("--max-gens", 30_000);
+    let reps: usize = arg_or("--reps", 3);
+    let out: String = arg_or("--out", "BENCH_PR2.json".to_string());
+    let seeds = trial_seeds(trials);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    eprintln!("perf_report: {trials} trials x {reps} reps, {threads} threads each side");
+
+    let (scalar_wall, scalar) = best_of(reps, || rtl_convergence_scalar(&seeds, max_gens));
+    let (sliced_wall, sliced) = best_of(reps, || rtl_convergence_batch(&seeds, max_gens));
+    assert_eq!(
+        scalar, sliced,
+        "batch engine diverged from scalar per-seed results"
+    );
+
+    let cycles: u64 = scalar.iter().map(|t| t.cycles).sum();
+    let scalar_rate = cycles as f64 / scalar_wall;
+    let sliced_rate = cycles as f64 / sliced_wall;
+    let speedup = sliced_rate / scalar_rate;
+    let converged = scalar.iter().filter(|t| t.converged).count();
+
+    let json = format!(
+        "{{\n  \"bench\": \"multi_seed_rtl_convergence_sampling\",\n  \
+         \"trials\": {trials},\n  \"converged\": {converged},\n  \
+         \"max_generations\": {max_gens},\n  \"reps\": {reps},\n  \
+         \"lanes\": 64,\n  \"threads\": {threads},\n  \"host_cores\": {threads},\n  \
+         \"simulated_cycles\": {cycles},\n  \
+         \"scalar\": {{ \"wall_seconds\": {scalar_wall:.6}, \"cycles_per_sec\": {scalar_rate:.0} }},\n  \
+         \"sliced\": {{ \"wall_seconds\": {sliced_wall:.6}, \"cycles_per_sec\": {sliced_rate:.0} }},\n  \
+         \"speedup\": {speedup:.3}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -3,6 +3,8 @@
 use discipulus::gap::GeneticAlgorithmProcessor;
 use discipulus::params::GapParams;
 use discipulus::stats::SampleSummary;
+use leonardo_rtl::bitslice::{lanes, GapRtlX64, GapRtlX64Config, LANES};
+use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
 use parking_lot::Mutex;
 
 /// Deterministic seed list for multi-trial experiments.
@@ -43,6 +45,148 @@ pub fn convergence_sample(
         summary: SampleSummary::of(&generations),
         generations,
         failures,
+    }
+}
+
+/// Outcome of one seeded RTL GAP trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtlTrial {
+    /// Whether the run reached a maximal-fitness best genome in budget.
+    pub converged: bool,
+    /// Generations executed when the run stopped.
+    pub generations: u64,
+    /// System cycles elapsed when the run stopped.
+    pub cycles: u64,
+}
+
+/// Summarize RTL trials the same way [`convergence_sample`] does.
+pub fn rtl_stats(trials: &[RtlTrial]) -> ConvergenceStats {
+    let generations: Vec<f64> = trials
+        .iter()
+        .filter(|t| t.converged)
+        .map(|t| t.generations as f64)
+        .collect();
+    ConvergenceStats {
+        summary: SampleSummary::of(&generations),
+        failures: trials.iter().filter(|t| !t.converged).count(),
+        generations,
+    }
+}
+
+/// Multi-seed RTL convergence sampling, one scalar [`GapRtl`] per trial,
+/// trials spread over all cores. The reference path the batch engine is
+/// measured against.
+pub fn rtl_convergence_scalar(seeds: &[u32], max_generations: u64) -> Vec<RtlTrial> {
+    parallel_map(seeds, |&seed| {
+        let mut gap = GapRtl::new(GapRtlConfig::paper(seed));
+        let converged = gap.run_to_convergence(max_generations);
+        RtlTrial {
+            converged,
+            generations: gap.generation(),
+            cycles: gap.clock().cycles(),
+        }
+    })
+}
+
+/// Multi-seed RTL convergence sampling on the bit-sliced batch engine:
+/// each thread owns a [`GapRtlX64`] and pulls seeds from a shared queue
+/// into lanes as they free up, so all 64 lanes of every engine stay busy
+/// until the queue drains. Per-seed results are bit-identical to
+/// [`rtl_convergence_scalar`] and come back in seed order.
+pub fn rtl_convergence_batch(seeds: &[u32], max_generations: u64) -> Vec<RtlTrial> {
+    let n = seeds.len();
+    let results: Mutex<Vec<(usize, RtlTrial)>> = Mutex::new(Vec::with_capacity(n));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.div_ceil(LANES).max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                batch_worker(seeds, max_generations, &next, &results);
+            });
+        }
+    });
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One refilling batch engine: claim up to 64 seeds, run the converged-or-
+/// out-of-budget lanes dry, and reseed each freed lane from the queue.
+fn batch_worker(
+    seeds: &[u32],
+    max_generations: u64,
+    next: &std::sync::atomic::AtomicUsize,
+    results: &Mutex<Vec<(usize, RtlTrial)>>,
+) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let claim = |cap: usize| -> Vec<usize> {
+        (0..cap)
+            .map_while(|_| {
+                let i = next.fetch_add(1, Relaxed);
+                (i < seeds.len()).then_some(i)
+            })
+            .collect()
+    };
+
+    // a reset costs one whole-width initiator + fitness pass however many
+    // lanes it reseeds, so freed lanes pool up and refill as a group
+    const REFILL_GROUP: usize = 8;
+
+    let first = claim(LANES);
+    if first.is_empty() {
+        return;
+    }
+    let lane_seeds: Vec<u32> = first.iter().map(|&i| seeds[i]).collect();
+    let mut gap = GapRtlX64::new(GapRtlX64Config::paper(), &lane_seeds);
+    // which queued trial each enabled lane is currently running
+    let mut trial: [Option<usize>; LANES] = [None; LANES];
+    for (l, &i) in first.iter().enumerate() {
+        trial[l] = Some(i);
+    }
+    let mut free: Vec<usize> = Vec::new();
+
+    loop {
+        let running = gap.running_mask(max_generations);
+        // harvest finished lanes into the free pool
+        for l in lanes(gap.enabled() & !running) {
+            let Some(i) = trial[l].take() else { continue };
+            results.lock().push((
+                i,
+                RtlTrial {
+                    converged: gap.converged(l),
+                    generations: gap.generation(l),
+                    cycles: gap.cycles(l),
+                },
+            ));
+            free.push(l);
+        }
+        let active = lanes(gap.enabled())
+            .filter(|&l| trial[l].is_some())
+            .fold(0u64, |m, l| m | 1u64 << l)
+            & running;
+        if free.len() >= REFILL_GROUP || active == 0 {
+            let claimed = claim(free.len());
+            if !claimed.is_empty() {
+                let resets: Vec<(usize, u32)> = claimed
+                    .iter()
+                    .map(|&i| {
+                        let l = free.pop().expect("one free lane per claimed seed");
+                        trial[l] = Some(i);
+                        (l, seeds[i])
+                    })
+                    .collect();
+                gap.reset_lanes(&resets);
+                // re-derive the running set so fresh lanes join cleanly
+                continue;
+            }
+        }
+        if active == 0 {
+            return;
+        }
+        gap.step_generation_masked(active);
     }
 }
 
@@ -116,6 +260,57 @@ mod tests {
         assert_eq!(sum.n, 8);
         assert!(sum.mean > 10.0, "convergence cannot be instant");
         assert!(sum.mean < 50_000.0);
+    }
+
+    #[test]
+    fn rtl_batch_matches_scalar_per_seed() {
+        let seeds = trial_seeds(6);
+        let scalar = rtl_convergence_scalar(&seeds, 30_000);
+        let batch = rtl_convergence_batch(&seeds, 30_000);
+        assert_eq!(scalar, batch);
+        assert!(scalar.iter().all(|t| t.converged));
+    }
+
+    #[test]
+    fn rtl_batch_refills_lanes_past_sixty_four_trials() {
+        // more trials than lanes forces reset_lane refills; a tight
+        // generation budget keeps the test fast and exercises both
+        // converged and out-of-budget harvests
+        let seeds = trial_seeds(70);
+        let scalar = rtl_convergence_scalar(&seeds, 40);
+        let batch = rtl_convergence_batch(&seeds, 40);
+        assert_eq!(scalar, batch);
+        assert!(
+            batch.iter().any(|t| t.converged) && batch.iter().any(|t| !t.converged),
+            "budget should split the trials into both outcomes"
+        );
+    }
+
+    #[test]
+    fn rtl_stats_splits_converged_from_failures() {
+        let trials = [
+            RtlTrial {
+                converged: true,
+                generations: 100,
+                cycles: 1,
+            },
+            RtlTrial {
+                converged: false,
+                generations: 700,
+                cycles: 2,
+            },
+            RtlTrial {
+                converged: true,
+                generations: 300,
+                cycles: 3,
+            },
+        ];
+        let stats = rtl_stats(&trials);
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.generations, vec![100.0, 300.0]);
+        let sum = stats.summary.expect("summary");
+        assert_eq!(sum.n, 2);
+        assert!((sum.mean - 200.0).abs() < 1e-9);
     }
 
     #[test]

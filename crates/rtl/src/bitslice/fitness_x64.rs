@@ -1,0 +1,411 @@
+//! The combinational fitness network, 64 genomes per evaluation.
+//!
+//! Same boolean algebra as [`crate::fitness_rtl::FitnessUnit`], executed
+//! bit-sliced: the genome arrives as 36 transposed words (word `b` = bit
+//! `b` of all 64 lanes), the three rules produce per-lane counts through
+//! word-wide AND/XOR layers and carry-save compressor trees, and the
+//! per-lane scores come out either as **bit-planes** (word `p` = score bit
+//! `p` of every lane — what the batch engine consumes, so its best-update
+//! comparator and selection gather stay in the sliced domain) or as
+//! integers through a byte-spread column gather.
+//!
+//! Two scoring paths share the check network:
+//!
+//! * **unit weights** (the paper's spec): the 26 checks ripple into five
+//!   short independent carry-save counters (one per rule half, so the
+//!   chains overlap in flight) and two sliced ripple-carry adds fold them
+//!   into the 5-bit total — no multiplies, no extraction;
+//! * **arbitrary weights** (ablation specs): one counter per rule, three
+//!   extractions, exact `u32` recombination per lane — bit-for-bit the
+//!   scalar unit under any weighting.
+
+use crate::bitslice::transpose::{planes_to_bytes, transposed};
+use crate::bitslice::LANES;
+use crate::resources::Resources;
+use discipulus::fitness::FitnessSpec;
+use discipulus::genome::GENOME_BITS;
+
+/// Width of the sliced score: the paper's maximum fitness (26) fits five
+/// bits, and the batch engine stores one score column per plane.
+pub const SCORE_PLANES: usize = 5;
+
+/// The bit-sliced fitness network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitnessUnitX64 {
+    spec: FitnessSpec,
+}
+
+/// Add one sliced bit into a little-endian carry-save counter of `W`
+/// planes (const width so the ripple unrolls).
+#[inline(always)]
+fn count_into<const W: usize>(counter: &mut [u64; W], bit: u64) {
+    let mut carry = bit;
+    for c in counter.iter_mut() {
+        let t = *c & carry;
+        *c ^= carry;
+        carry = t;
+    }
+    debug_assert_eq!(carry, 0, "carry-save counter overflow");
+}
+
+/// Sliced full adder: per-lane `a + b + cin` as (sum, carry-out).
+#[inline(always)]
+fn full_add(a: u64, b: u64, cin: u64) -> (u64, u64) {
+    let ab = a ^ b;
+    (ab ^ cin, (a & b) | (cin & ab))
+}
+
+/// Sliced ripple-carry add of an `A`-plane and a `B ≤ A`-plane counter
+/// into `O = A + 1` planes (per lane, all 64 at once).
+#[inline(always)]
+fn add_planes<const A: usize, const B: usize, const O: usize>(
+    a: &[u64; A],
+    b: &[u64; B],
+) -> [u64; O] {
+    debug_assert!(B <= A && O == A + 1);
+    let mut out = [0u64; O];
+    let mut carry = 0u64;
+    for p in 0..A {
+        let bp = if p < B { b[p] } else { 0 };
+        let (s, c) = full_add(a[p], bp, carry);
+        out[p] = s;
+        carry = c;
+    }
+    out[A] = carry;
+    out
+}
+
+/// Read all 64 lanes of a `W ≤ 8`-plane carry-save counter at once.
+#[inline]
+fn counter_to_bytes<const W: usize>(counter: &[u64; W], out: &mut [u8; LANES]) {
+    planes_to_bytes(counter, out);
+}
+
+impl FitnessUnitX64 {
+    /// A sliced unit implementing `spec`.
+    pub fn new(spec: FitnessSpec) -> FitnessUnitX64 {
+        FitnessUnitX64 { spec }
+    }
+
+    /// The paper's rule set with unit weights.
+    pub fn paper() -> FitnessUnitX64 {
+        FitnessUnitX64::new(FitnessSpec::paper())
+    }
+
+    /// The spec in force.
+    pub fn spec(&self) -> FitnessSpec {
+        self.spec
+    }
+
+    /// Score 64 genomes presented transposed: `bits[b]` carries genome
+    /// bit `b` of every lane. Returns the per-lane weighted fitness.
+    pub fn evaluate_transposed(&self, bits: &[u64; GENOME_BITS]) -> [u32; LANES] {
+        let mut out = [0u32; LANES];
+        self.evaluate_transposed_into(bits, &mut out);
+        out
+    }
+
+    /// [`Self::evaluate_transposed`] writing into a caller buffer.
+    pub fn evaluate_transposed_into(&self, bits: &[u64; GENOME_BITS], out: &mut [u32; LANES]) {
+        if self.is_unit_weight() {
+            let planes = self.unit_score_planes(bits);
+            let mut bytes = [0u8; LANES];
+            counter_to_bytes(&planes, &mut bytes);
+            for l in 0..LANES {
+                out[l] = u32::from(bytes[l]);
+            }
+        } else {
+            self.weighted_into(bits, out);
+        }
+    }
+
+    /// Score 64 transposed genomes into [`SCORE_PLANES`] bit-planes: word
+    /// `p` of the result is score bit `p` of every lane. This is the batch
+    /// engine's path — the score never leaves the sliced domain, so the
+    /// engine can compare and select on it with word ops.
+    ///
+    /// # Panics
+    /// Debug-asserts the spec's maximum fitness fits the plane width.
+    pub fn evaluate_transposed_planes(&self, bits: &[u64; GENOME_BITS]) -> [u64; SCORE_PLANES] {
+        debug_assert!(
+            self.spec.max_fitness() < 1 << SCORE_PLANES,
+            "score exceeds the sliced plane width"
+        );
+        if self.is_unit_weight() {
+            return self.unit_score_planes(bits);
+        }
+        // arbitrary weights: exact per-lane u32 recombination, re-sliced.
+        // Cold path — every ablation spec is unit-weight on some subset.
+        let mut out = [0u32; LANES];
+        self.weighted_into(bits, &mut out);
+        let mut planes = [0u64; SCORE_PLANES];
+        for (l, &v) in out.iter().enumerate() {
+            for (p, plane) in planes.iter_mut().enumerate() {
+                *plane |= u64::from(v >> p & 1) << l;
+            }
+        }
+        planes
+    }
+
+    /// [`Self::evaluate_transposed_planes`] for lane-major genomes.
+    pub fn evaluate_lanes_planes(&self, genomes: &[u64; LANES]) -> [u64; SCORE_PLANES] {
+        let t = transposed(genomes);
+        let mut bits = [0u64; GENOME_BITS];
+        bits.copy_from_slice(&t[..GENOME_BITS]);
+        self.evaluate_transposed_planes(&bits)
+    }
+
+    fn is_unit_weight(&self) -> bool {
+        (
+            self.spec.equilibrium_weight,
+            self.spec.symmetry_weight,
+            self.spec.coherence_weight,
+        ) == (1, 1, 1)
+    }
+
+    /// Unit-weight total as five planes: five short independent counter
+    /// chains (two per two-step rule, one for symmetry) folded by sliced
+    /// ripple-carry adds. The split keeps every ripple ≤ 6 deep and lets
+    /// the chains execute in parallel instead of one 26-long dependency.
+    fn unit_score_planes(&self, bits: &[u64; GENOME_BITS]) -> [u64; SCORE_PLANES] {
+        let bit = |s: usize, leg: usize, field: usize| bits[s * 18 + leg * 3 + field];
+
+        // Rule 1 — equilibrium, one counter per step (≤ 4 each)
+        let mut eq = [[0u64; 3]; 2];
+        for (s, eq_s) in eq.iter_mut().enumerate() {
+            for field in [0usize, 2] {
+                let left = bit(s, 0, field) & bit(s, 1, field) & bit(s, 2, field);
+                let right = bit(s, 3, field) & bit(s, 4, field) & bit(s, 5, field);
+                count_into(eq_s, !left);
+                count_into(eq_s, !right);
+            }
+        }
+        // Rule 2 — symmetry (≤ 6)
+        let mut sy = [0u64; 3];
+        for leg in 0..6 {
+            count_into(&mut sy, bit(0, leg, 1) ^ bit(1, leg, 1));
+        }
+        // Rule 3 — coherence, one counter per step (≤ 6 each)
+        let mut co = [[0u64; 3]; 2];
+        for (s, co_s) in co.iter_mut().enumerate() {
+            for leg in 0..6 {
+                count_into(co_s, !(bit(s, leg, 0) ^ bit(s, leg, 1)));
+            }
+        }
+
+        let eq: [u64; 4] = add_planes(&eq[0], &eq[1]); // ≤ 8
+        let co: [u64; 4] = add_planes(&co[0], &co[1]); // ≤ 12
+        let eqsy: [u64; 5] = add_planes(&eq, &sy); // ≤ 14
+                                                   // ≤ 26: the carry out of plane 4 is statically zero
+        let mut total = [0u64; SCORE_PLANES];
+        let mut carry = 0u64;
+        for p in 0..SCORE_PLANES {
+            let cp = if p < 4 { co[p] } else { 0 };
+            let (s, c) = full_add(eqsy[p], cp, carry);
+            total[p] = s;
+            carry = c;
+        }
+        debug_assert_eq!(carry, 0, "unit-weight total overflows 5 planes");
+        total
+    }
+
+    /// Arbitrary-weight scoring: per-rule counters, three extractions,
+    /// exact `u32` recombination per lane.
+    fn weighted_into(&self, bits: &[u64; GENOME_BITS], out: &mut [u32; LANES]) {
+        let bit = |s: usize, leg: usize, field: usize| bits[s * 18 + leg * 3 + field];
+        let (we, ws, wc) = (
+            self.spec.equilibrium_weight,
+            self.spec.symmetry_weight,
+            self.spec.coherence_weight,
+        );
+
+        // Rule 1 — equilibrium: a side fails when all three of its legs
+        // are up, checked on the four vertical configurations (0..=8)
+        let mut equilibrium = [0u64; 4];
+        for s in 0..2 {
+            for field in [0usize, 2] {
+                let left = bit(s, 0, field) & bit(s, 1, field) & bit(s, 2, field);
+                let right = bit(s, 3, field) & bit(s, 4, field) & bit(s, 5, field);
+                count_into(&mut equilibrium, !left);
+                count_into(&mut equilibrium, !right);
+            }
+        }
+
+        // Rule 2 — symmetry: legs whose horizontal direction differs
+        // between the two steps (0..=6)
+        let mut symmetry = [0u64; 3];
+        for leg in 0..6 {
+            count_into(&mut symmetry, bit(0, leg, 1) ^ bit(1, leg, 1));
+        }
+
+        // Rule 3 — coherence: pre-vertical equals horizontal, per step per
+        // leg (0..=12)
+        let mut coherence = [0u64; 4];
+        for s in 0..2 {
+            for leg in 0..6 {
+                count_into(&mut coherence, !(bit(s, leg, 0) ^ bit(s, leg, 1)));
+            }
+        }
+
+        // weighted recombination per lane — exact u32 arithmetic, so any
+        // rule weighting matches the scalar unit bit-for-bit
+        let mut eq = [0u8; LANES];
+        let mut sy = [0u8; LANES];
+        let mut co = [0u8; LANES];
+        counter_to_bytes(&equilibrium, &mut eq);
+        counter_to_bytes(&symmetry, &mut sy);
+        counter_to_bytes(&coherence, &mut co);
+        for l in 0..LANES {
+            out[l] = we * u32::from(eq[l]) + ws * u32::from(sy[l]) + wc * u32::from(co[l]);
+        }
+    }
+
+    /// Score 64 genomes presented lane-major (word `l` = lane `l`'s
+    /// genome bits): transpose, then [`Self::evaluate_transposed`].
+    pub fn evaluate_lanes(&self, genomes: &[u64; LANES]) -> [u32; LANES] {
+        let mut out = [0u32; LANES];
+        self.evaluate_lanes_into(genomes, &mut out);
+        out
+    }
+
+    /// [`Self::evaluate_lanes`] writing into a caller buffer.
+    pub fn evaluate_lanes_into(&self, genomes: &[u64; LANES], out: &mut [u32; LANES]) {
+        let t = transposed(genomes);
+        let mut bits = [0u64; GENOME_BITS];
+        bits.copy_from_slice(&t[..GENOME_BITS]);
+        self.evaluate_transposed_into(&bits, out);
+    }
+
+    /// Resource estimate: 64 copies of the scalar combinational network.
+    pub fn resources(&self) -> Resources {
+        Resources::logic_functions((26 + 21 + 10) * LANES as u32)
+    }
+}
+
+impl crate::netlist::Describe for FitnessUnitX64 {
+    fn netlist(&self) -> crate::netlist::StaticNetlist {
+        // fully combinational, widths scaled by the lane count
+        let lanes = LANES as u32;
+        crate::netlist::StaticNetlist::new("fitness_unit_x64")
+            .claim(self.resources())
+            .input("genome_bits", 36 * lanes)
+            .wire("step1_fields", 18 * lanes)
+            .wire("step2_fields", 18 * lanes)
+            .wire("equilibrium", 4 * lanes)
+            .wire("symmetry", 3 * lanes)
+            .wire("coherence", 4 * lanes)
+            .output("fitness", 5 * lanes)
+            .edge("genome_bits", "step1_fields")
+            .edge("genome_bits", "step2_fields")
+            .fan_in(&["step1_fields", "step2_fields"], "equilibrium")
+            .fan_in(&["step1_fields", "step2_fields"], "symmetry")
+            .fan_in(&["step1_fields", "step2_fields"], "coherence")
+            .fan_in(&["equilibrium", "symmetry", "coherence"], "fitness")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness_rtl::FitnessUnit;
+    use discipulus::fitness::{FitnessSpec, Rule};
+    use discipulus::genome::{Genome, GENOME_MASK};
+
+    fn scatter_genomes(round: u64) -> [u64; LANES] {
+        let mut g = [0u64; LANES];
+        for (i, w) in g.iter_mut().enumerate() {
+            *w = (round * 64 + i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(23)
+                & GENOME_MASK;
+        }
+        g
+    }
+
+    fn plane_value(planes: &[u64; SCORE_PLANES], lane: usize) -> u32 {
+        (0..SCORE_PLANES)
+            .map(|p| ((planes[p] >> lane & 1) as u32) << p)
+            .sum()
+    }
+
+    #[test]
+    fn all_lanes_match_scalar_unit() {
+        let sliced = FitnessUnitX64::paper();
+        let scalar = FitnessUnit::paper();
+        for round in 0..200 {
+            let genomes = scatter_genomes(round);
+            let scores = sliced.evaluate_lanes(&genomes);
+            for l in 0..LANES {
+                assert_eq!(
+                    scores[l],
+                    scalar.evaluate(Genome::from_bits(genomes[l])),
+                    "round {round} lane {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_specs_match_scalar_unit() {
+        for spec in [
+            FitnessSpec::only(Rule::Symmetry),
+            FitnessSpec::without(Rule::Equilibrium),
+            FitnessSpec::paper(),
+        ] {
+            let sliced = FitnessUnitX64::new(spec);
+            let scalar = FitnessUnit::new(spec);
+            let genomes = scatter_genomes(7);
+            let scores = sliced.evaluate_lanes(&genomes);
+            for l in 0..LANES {
+                assert_eq!(scores[l], scalar.evaluate(Genome::from_bits(genomes[l])));
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weight_fast_path_equals_weighted_path() {
+        // same spec through both code paths: paper weights taken literally
+        // (fast path) versus forced through the generic recombination
+        let fast = FitnessUnitX64::paper();
+        let scalar = FitnessUnit::paper();
+        for round in 0..50 {
+            let genomes = scatter_genomes(1000 + round);
+            let scores = fast.evaluate_lanes(&genomes);
+            for l in 0..LANES {
+                assert_eq!(scores[l], scalar.evaluate(Genome::from_bits(genomes[l])));
+            }
+        }
+    }
+
+    #[test]
+    fn score_planes_match_integer_scores() {
+        // the sliced-score path (unit fast path AND the weighted re-slice)
+        // agrees with the integer API plane-for-plane
+        for spec in [
+            FitnessSpec::paper(),
+            FitnessSpec::only(Rule::Coherence),
+            FitnessSpec::without(Rule::Symmetry),
+        ] {
+            let fu = FitnessUnitX64::new(spec);
+            for round in 0..50 {
+                let genomes = scatter_genomes(3000 + round);
+                let ints = fu.evaluate_lanes(&genomes);
+                let planes = fu.evaluate_lanes_planes(&genomes);
+                for (l, &want) in ints.iter().enumerate() {
+                    assert_eq!(plane_value(&planes, l), want, "lane {l} spec {spec:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_genomes_on_every_lane() {
+        let sliced = FitnessUnitX64::paper();
+        let scalar = FitnessUnit::paper();
+        for bits in [0u64, GENOME_MASK, 0x5_5555_5555, Genome::tripod().bits()] {
+            let scores = sliced.evaluate_lanes(&[bits; LANES]);
+            let want = scalar.evaluate(Genome::from_bits(bits));
+            assert!(scores.iter().all(|&s| s == want));
+        }
+    }
+}

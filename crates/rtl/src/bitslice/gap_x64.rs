@@ -1,0 +1,1146 @@
+//! The Genetic Algorithm Processor, 64 chips per step.
+//!
+//! [`GapRtlX64`] replays the exact control flow of the scalar
+//! [`GapRtl`](crate::gap_rtl::GapRtl) — same phases, same draw sequence,
+//! same mask-and-reject retries, same free-running RNG discipline — but
+//! carries 64 independently-seeded instances through it at once. The
+//! engine is **bit-exact per lane**: populations, best registers, drawn
+//! logs, cycle counts and per-phase breakdowns all match a scalar run
+//! with the same seed (locked by the lane-equivalence suite in `tests/`).
+//!
+//! ## Where lanes diverge, and how that stays exact
+//!
+//! The RNG clocks every cycle, so any per-lane difference in *cycle count*
+//! changes every later draw. Exactly three spots diverge:
+//!
+//! 1. mask-and-reject draws (`draw_below`) retry per lane — handled by
+//!    looping with a shrinking lane mask, so rejected lanes step their CA
+//!    one extra cycle while accepted lanes hold;
+//! 2. the crossover decision draws a cut point only on success — the cut
+//!    draw runs under the success mask;
+//! 3. convergence: finished lanes freeze wholesale (their columns are
+//!    carried across the double-buffer swap untouched), and a frozen lane
+//!    can be recycled for a fresh trial with [`GapRtlX64::reset_lane`].
+//!
+//! Everything else is lane-uniform and never touches per-lane state at
+//! all: dead cycles (RAM read/write turnaround, the 36-cycle crossover
+//! shift, the 38-cycle pipeline drain, the fitness phase's access cycles)
+//! are *accounted* immediately but only *owed* to the RNG, and the debt is
+//! settled at the next consuming draw as one GF(2) jump `Mⁿ` — so a
+//! 38-cycle drain plus the following draw costs one four-Russians matrix
+//! application instead of 39 clock edges.
+//!
+//! One scalar subtlety becomes a static fact here: the scalar pipeline
+//! pads when the crossover drain (38 cycles) outlasts the selection stage,
+//! but a selection stage always costs ≥ 47 cycles (10 draw/read/choice
+//! cycles per parent, the crossover decision, and the 36-cycle parent
+//! copy), so the padding path is dead for every reachable configuration
+//! and the batch engine omits it (debug-asserted).
+
+use crate::bitslice::fitness_x64::{FitnessUnitX64, SCORE_PLANES};
+use crate::bitslice::ram_x64::RamX64;
+use crate::bitslice::rng_x64::CaRngX64;
+use crate::bitslice::transpose::{planes_to_bytes, planes_to_u16};
+use crate::bitslice::{for_each_lane, lane_mask, lanes, LaneMask, LANES};
+use crate::gap_rtl::CycleBreakdown;
+use crate::resources::{ResourceReport, Resources};
+use discipulus::gap::Population;
+use discipulus::genome::{Genome, GENOME_BITS, GENOME_MASK};
+use discipulus::params::GapParams;
+
+/// Fixed cost of the bit-serial crossover datapath per pair (mirrors the
+/// scalar constant): 36 shift cycles plus two commit writes.
+const XOVER_CYCLES: u64 = GENOME_BITS as u64 + 2;
+
+/// Configuration of the 64-lane batch GAP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapRtlX64Config {
+    /// Algorithm parameters (shared with the scalar and behavioural GAPs).
+    pub params: GapParams,
+    /// Whether selection and crossover overlap in the pipeline.
+    pub pipelined: bool,
+    /// Record every consumed RNG word per lane. The scalar `GapRtl`
+    /// always records; here it is opt-in (equivalence tests) because at
+    /// 64 lanes the logs dominate memory and defeat the purpose of a
+    /// throughput engine.
+    pub record_draws: bool,
+}
+
+impl GapRtlX64Config {
+    /// The paper's configuration (pipelined), draw recording off.
+    pub fn paper() -> GapRtlX64Config {
+        GapRtlX64Config {
+            params: GapParams::paper(),
+            pipelined: true,
+            record_draws: false,
+        }
+    }
+
+    /// The unpipelined ablation, draw recording off.
+    pub fn unpipelined() -> GapRtlX64Config {
+        GapRtlX64Config {
+            pipelined: false,
+            ..GapRtlX64Config::paper()
+        }
+    }
+
+    /// Same configuration with per-lane draw recording enabled.
+    pub fn recording(mut self) -> GapRtlX64Config {
+        self.record_draws = true;
+        self
+    }
+}
+
+/// Which phase a cycle belongs to (breakdown accounting).
+#[derive(Clone, Copy)]
+enum Phase {
+    Init,
+    Fitness,
+    Reproduce,
+    Mutate,
+    Overhead,
+}
+
+fn phase_field(b: &mut CycleBreakdown, phase: Phase) -> &mut u64 {
+    match phase {
+        Phase::Init => &mut b.init,
+        Phase::Fitness => &mut b.fitness,
+        Phase::Reproduce => &mut b.reproduce,
+        Phase::Mutate => &mut b.mutate,
+        Phase::Overhead => &mut b.overhead,
+    }
+}
+
+/// Per-step cycle accounting: cycles common to every active lane
+/// accumulate once here and are flushed to the per-lane counters when the
+/// step ends; divergent (subset-masked) cycles post directly.
+struct Acct {
+    active: LaneMask,
+    uniform: CycleBreakdown,
+}
+
+impl Acct {
+    fn new(active: LaneMask) -> Acct {
+        Acct {
+            active,
+            uniform: CycleBreakdown::default(),
+        }
+    }
+}
+
+/// Reusable per-step working buffers (zeroed once per step, not once per
+/// pair — 3 KiB of memset per selection stage is real money at 16 pairs
+/// per generation).
+struct Scratch {
+    pa: [u64; LANES],
+    pb: [u64; LANES],
+    c: [u64; LANES],
+    d: [u64; LANES],
+    val: [u32; LANES],
+    /// Score planes per individual, padded to a power of two for the
+    /// selection mux tree (padding entries are never addressed: index
+    /// draws are bounded by the population size).
+    mux: Vec<[u64; SCORE_PLANES]>,
+    /// Working levels of the mux reduction (half the leaf count).
+    mux_tmp: Vec<[u64; SCORE_PLANES]>,
+}
+
+impl Scratch {
+    fn new(pop: usize) -> Scratch {
+        let leaves = pop.next_power_of_two();
+        Scratch {
+            pa: [0; LANES],
+            pb: [0; LANES],
+            c: [0; LANES],
+            d: [0; LANES],
+            val: [0; LANES],
+            mux: vec![[0u64; SCORE_PLANES]; leaves],
+            mux_tmp: vec![[0u64; SCORE_PLANES]; leaves / 2],
+        }
+    }
+}
+
+/// Per-lane strict `a > b` over score planes (MSB-first sliced
+/// comparator — the word-parallel form of 64 integer compares).
+fn gt_planes(a: &[u64; SCORE_PLANES], b: &[u64; SCORE_PLANES]) -> LaneMask {
+    let mut gt = 0u64;
+    let mut eq = !0u64;
+    for p in (0..SCORE_PLANES).rev() {
+        gt |= eq & a[p] & !b[p];
+        eq &= !(a[p] ^ b[p]);
+    }
+    gt
+}
+
+/// Per-lane `a ≥ b` over score planes.
+fn ge_planes(a: &[u64; SCORE_PLANES], b: &[u64; SCORE_PLANES]) -> LaneMask {
+    let mut gt = 0u64;
+    let mut eq = !0u64;
+    for p in (0..SCORE_PLANES).rev() {
+        gt |= eq & a[p] & !b[p];
+        eq &= !(a[p] ^ b[p]);
+    }
+    gt | eq
+}
+
+/// One lane's integer value out of a plane-sliced register.
+fn plane_value(planes: &[u64; SCORE_PLANES], lane: usize) -> u32 {
+    let mut v = 0u32;
+    for (p, &plane) in planes.iter().enumerate() {
+        v |= ((plane >> lane & 1) as u32) << p;
+    }
+    v
+}
+
+/// Set one lane's value in a plane-sliced register.
+fn set_plane_value(planes: &mut [u64; SCORE_PLANES], lane: usize, v: u32) {
+    for (p, plane) in planes.iter_mut().enumerate() {
+        *plane = (*plane & !(1u64 << lane)) | u64::from(v >> p & 1) << lane;
+    }
+}
+
+/// Sliced score gather: per lane, `mux[idx]` where the per-lane index
+/// arrives as `k` bit-planes — a binary mux tree reduced level by level,
+/// so 64 random-index score reads cost ~`3·5·len` word ops and no
+/// data-dependent loads at all.
+fn gather_scores(
+    mux: &[[u64; SCORE_PLANES]],
+    tmp: &mut [[u64; SCORE_PLANES]],
+    idx: &[u64],
+    k: usize,
+) -> [u64; SCORE_PLANES] {
+    let mut len = mux.len();
+    debug_assert_eq!(len, 1usize << k);
+    if len == 1 {
+        return mux[0];
+    }
+    // level 0 reads the (preserved) leaf array, later levels halve in
+    // place: writes trail reads (j ≤ 2j), so the reduction never clobbers
+    // an unread node
+    let m = idx[0];
+    for j in 0..len / 2 {
+        for p in 0..SCORE_PLANES {
+            tmp[j][p] = (mux[2 * j + 1][p] & m) | (mux[2 * j][p] & !m);
+        }
+    }
+    len /= 2;
+    for &mb in idx.iter().take(k).skip(1) {
+        for j in 0..len / 2 {
+            let hi = tmp[2 * j + 1];
+            let lo = tmp[2 * j];
+            for ((t, h), l) in tmp[j].iter_mut().zip(hi).zip(lo) {
+                *t = (h & mb) | (l & !mb);
+            }
+        }
+        len /= 2;
+    }
+    tmp[0]
+}
+
+/// The 64-lane batch Genetic Algorithm Processor.
+#[derive(Debug, Clone)]
+pub struct GapRtlX64 {
+    config: GapRtlX64Config,
+    enabled: LaneMask,
+    rng: CaRngX64,
+    fitness_unit: FitnessUnitX64,
+    basis: RamX64,
+    intermediate: RamX64,
+    /// Fitness score registers, bit-plane-sliced per individual
+    /// (`scores[i][p]` = score bit `p` of individual `i`, all 64 lanes).
+    scores: Vec<[u64; SCORE_PLANES]>,
+    best_genome: [u64; LANES],
+    best_fitness: [u32; LANES],
+    /// The best-fitness registers again, as score planes — the sliced
+    /// operand of the strict-improvement comparator.
+    best_planes: [u64; SCORE_PLANES],
+    generation: [u64; LANES],
+    cycles: [u64; LANES],
+    breakdown: [CycleBreakdown; LANES],
+    drawn_log: Option<Vec<Vec<u32>>>,
+    /// Dead cycles accounted but not yet applied to the RNG; settled as
+    /// one jump at the next draw (or at step end). Always owed by the
+    /// whole active set — dead cycles are lane-uniform by construction.
+    rng_owed: u64,
+    max_fitness: u32,
+}
+
+impl GapRtlX64 {
+    /// Build 64 chips (one per seed, at most [`LANES`]) and run the
+    /// initiator phase on every enabled lane. Seeds map to lanes in
+    /// order: lane `l` is bit-exact with `GapRtl` seeded `seeds[l]`.
+    ///
+    /// # Panics
+    /// Panics if the parameters fail validation or `seeds` is empty or
+    /// longer than [`LANES`].
+    pub fn new(config: GapRtlX64Config, seeds: &[u32]) -> GapRtlX64 {
+        config.params.validate().expect("invalid GAP parameters");
+        assert!(
+            !seeds.is_empty() && seeds.len() <= LANES,
+            "between 1 and {LANES} seeds"
+        );
+        assert!(
+            config.params.fitness.max_fitness() < 1 << SCORE_PLANES,
+            "batch engine stores scores as {SCORE_PLANES}-bit planes"
+        );
+        assert!(
+            config.params.population_size <= 256,
+            "batch engine reads selection indices as bytes"
+        );
+        let n = config.params.population_size;
+        let enabled = lane_mask(seeds.len());
+        let mut gap = GapRtlX64 {
+            config,
+            enabled,
+            rng: CaRngX64::new(seeds),
+            fitness_unit: FitnessUnitX64::new(config.params.fitness),
+            basis: RamX64::new(n, 36),
+            intermediate: RamX64::new(n, 36),
+            scores: vec![[0u64; SCORE_PLANES]; n],
+            best_genome: [0u64; LANES],
+            best_fitness: [0u32; LANES],
+            best_planes: [0u64; SCORE_PLANES],
+            generation: [0u64; LANES],
+            cycles: [0u64; LANES],
+            breakdown: [CycleBreakdown::default(); LANES],
+            drawn_log: config.record_draws.then(|| vec![Vec::new(); LANES]),
+            rng_owed: 0,
+            max_fitness: config.params.fitness.max_fitness(),
+        };
+        let mut acct = Acct::new(enabled);
+        gap.run_initiator(&mut acct);
+        gap.run_fitness_phase(&mut acct, enabled);
+        gap.flush(&acct);
+        gap
+    }
+
+    /// Recycle one lane for a fresh trial: reseed its RNG, rerun the
+    /// initiator and first fitness scan on that lane alone (every other
+    /// lane holds), and zero its counters. Afterwards the lane is
+    /// bit-exact with a brand-new `GapRtl` seeded `seed` — this is what
+    /// lets a convergence-sampling driver keep all 64 lanes busy instead
+    /// of waiting on the slowest trial of each batch.
+    ///
+    /// # Panics
+    /// Panics if `lane ≥ 64`.
+    pub fn reset_lane(&mut self, lane: usize, seed: u32) {
+        self.reset_lanes(&[(lane, seed)]);
+    }
+
+    /// Recycle several lanes at once — one shared initiator pass and one
+    /// shared first fitness scan over the whole group, so the (whole-
+    /// machine-width) cost of a reset is paid once per group instead of
+    /// once per lane. Each `(lane, seed)` entry ends up bit-exact with a
+    /// brand-new `GapRtl` seeded `seed`, exactly as [`Self::reset_lane`].
+    ///
+    /// # Panics
+    /// Panics if any lane is ≥ 64 or listed twice.
+    pub fn reset_lanes(&mut self, resets: &[(usize, u32)]) {
+        if resets.is_empty() {
+            return;
+        }
+        let mut m = 0u64;
+        for &(lane, seed) in resets {
+            assert!(lane < LANES, "lane out of range");
+            assert_eq!(m & (1u64 << lane), 0, "lane {lane} listed twice");
+            m |= 1u64 << lane;
+            self.enabled |= 1u64 << lane;
+            self.rng.seed_lane(lane, seed);
+            self.generation[lane] = 0;
+            self.cycles[lane] = 0;
+            self.breakdown[lane] = CycleBreakdown::default();
+            self.best_genome[lane] = 0;
+            self.best_fitness[lane] = 0;
+            set_plane_value(&mut self.best_planes, lane, 0);
+            if let Some(log) = self.drawn_log.as_mut() {
+                log[lane].clear();
+            }
+        }
+        let mut acct = Acct::new(m);
+        self.run_initiator(&mut acct);
+        self.run_fitness_phase(&mut acct, m);
+        self.flush(&acct);
+    }
+
+    /// Post the step's uniform cycle total to every active lane and settle
+    /// the RNG's dead-cycle debt.
+    fn flush(&mut self, acct: &Acct) {
+        self.flush_owed(acct.active);
+        let u = acct.uniform;
+        if u.total() == 0 {
+            return;
+        }
+        for l in lanes(acct.active) {
+            self.cycles[l] += u.total();
+            let b = &mut self.breakdown[l];
+            b.init += u.init;
+            b.fitness += u.fitness;
+            b.reproduce += u.reproduce;
+            b.mutate += u.mutate;
+            b.overhead += u.overhead;
+        }
+    }
+
+    /// Apply any owed dead cycles to the RNG (one jump), under the step's
+    /// active set.
+    fn flush_owed(&mut self, active: LaneMask) {
+        if self.rng_owed > 0 {
+            let n = self.rng_owed;
+            self.rng_owed = 0;
+            self.rng_advance(active, n);
+        }
+    }
+
+    /// Advance the RNG, blend-free when no enabled lane needs to hold.
+    #[inline]
+    fn rng_advance(&mut self, mask: LaneMask, n: u64) {
+        if self.enabled & !mask == 0 {
+            self.rng.advance_free(n);
+        } else {
+            self.rng.advance(mask, n);
+        }
+    }
+
+    /// `n` system cycles in which no lane consumes an RNG word: account
+    /// now, owe the RNG the advancement. Dead cycles are always uniform
+    /// across the active set, which is what makes the deferral sound.
+    fn advance_dead(&mut self, acct: &mut Acct, phase: Phase, n: u64) {
+        *phase_field(&mut acct.uniform, phase) += n;
+        self.rng_owed += n;
+    }
+
+    /// One cycle whose RNG word is consumed by the lanes in `mask`:
+    /// settles the owed dead cycles in the same jump, logs when recording.
+    fn draw(&mut self, acct: &mut Acct, mask: LaneMask, phase: Phase) {
+        if mask == acct.active {
+            let n = self.rng_owed + 1;
+            self.rng_owed = 0;
+            self.rng_advance(mask, n);
+            *phase_field(&mut acct.uniform, phase) += 1;
+        } else {
+            // divergent draw (retry or cut): settle the debt for the whole
+            // active set first, then step only the drawing lanes
+            self.flush_owed(acct.active);
+            self.rng_advance(mask, 1);
+            for l in lanes(mask) {
+                self.cycles[l] += 1;
+                *phase_field(&mut self.breakdown[l], phase) += 1;
+            }
+        }
+        if let Some(log) = self.drawn_log.as_mut() {
+            for l in lanes(mask) {
+                log[l].push(self.rng.lane_word(l));
+            }
+        }
+    }
+
+    /// Mask-and-reject bounded draw for every lane of `mask`, bit-exact
+    /// per lane with the scalar `draw_below` (one cycle per attempt;
+    /// rejected lanes retry while accepted lanes hold). The retry ladder
+    /// accumulates accepted values as bit-planes and pays for a single
+    /// byte-spread extraction at the end, however many rounds it took.
+    fn draw_below(
+        &mut self,
+        acct: &mut Acct,
+        mask: LaneMask,
+        bound: u32,
+        phase: Phase,
+        out: &mut [u32; LANES],
+    ) {
+        let mut planes = [0u64; 16];
+        let k = self.draw_below_planes(acct, mask, bound, phase, &mut planes);
+        if k <= 8 {
+            let mut bytes = [0u8; LANES];
+            planes_to_bytes(&planes[..k], &mut bytes);
+            for_each_lane(mask, |l| out[l] = u32::from(bytes[l]));
+        } else {
+            let mut words = [0u16; LANES];
+            planes_to_u16(&planes[..k], &mut words);
+            for_each_lane(mask, |l| out[l] = u32::from(words[l]));
+        }
+    }
+
+    /// [`Self::draw_below`] whose accepted values stay as bit-planes
+    /// (`out[p]` = value bit `p` per lane) — the RNG state is the value,
+    /// so no per-lane extraction happens at all. Returns the plane count.
+    /// Bit-exact per lane with the scalar `draw_below`.
+    fn draw_below_planes(
+        &mut self,
+        acct: &mut Acct,
+        mask: LaneMask,
+        bound: u32,
+        phase: Phase,
+        out: &mut [u64; 16],
+    ) -> usize {
+        debug_assert!(bound > 0);
+        let word_mask = bound.next_power_of_two().wrapping_sub(1) | (bound - 1);
+        let k = word_mask.count_ones() as usize;
+        debug_assert!(k <= 16, "plane draws are read back as at most u16s");
+        let mut remaining = mask;
+        while remaining != 0 {
+            self.draw(acct, remaining, phase);
+            let accept = remaining & self.rng.lt_const(k, bound);
+            if accept == mask {
+                // everyone accepted on the first attempt (always, when the
+                // bound is a power of two): a plain copy
+                out[..k].copy_from_slice(self.rng.low_cells(k));
+            } else if accept != 0 {
+                let cells = self.rng.low_cells(k);
+                for (o, &c) in out.iter_mut().zip(cells) {
+                    *o = (c & accept) | (*o & !accept);
+                }
+            }
+            remaining &= !accept;
+        }
+        k
+    }
+
+    /// Threshold comparison on the low byte for every lane of `mask`;
+    /// returns the success mask.
+    fn chance(&mut self, acct: &mut Acct, mask: LaneMask, threshold: u8, phase: Phase) -> LaneMask {
+        self.draw(acct, mask, phase);
+        mask & self.rng.lt_const(8, u32::from(threshold))
+    }
+
+    /// Initiator: fill the basis population, 2 RNG words + 1 write cycle
+    /// per individual, per lane.
+    fn run_initiator(&mut self, acct: &mut Acct) {
+        let a = acct.active;
+        for i in 0..self.config.params.population_size {
+            self.draw(acct, a, Phase::Init);
+            let mut lo = [0u64; LANES];
+            let rng = &self.rng;
+            for_each_lane(a, |l| lo[l] = u64::from(rng.lane_word(l)));
+            self.draw(acct, a, Phase::Init);
+            let mut genome = [0u64; LANES];
+            let rng = &self.rng;
+            for_each_lane(a, |l| {
+                let hi = u64::from(rng.lane_word(l) & 0xF);
+                genome[l] = (lo[l] | hi << 32) & GENOME_MASK;
+            });
+            self.advance_dead(acct, Phase::Init, 1); // write cycle
+            self.basis.write_masked(i, a, &genome);
+        }
+    }
+
+    /// Fitness phase: 2 cycles per individual, bit-sliced scoring, and
+    /// the same strict-improvement ascending best-register scan as the
+    /// scalar chip — per lane. Lanes in `latch` first power-on-latch
+    /// individual 0 into their best register (no cycles), exactly like a
+    /// fresh scalar chip.
+    ///
+    /// Scores and best registers are recomputed for *every* lane: for a
+    /// frozen lane the population column held, so the recomputed score is
+    /// the value already there and the strict `>` never fires — cheaper
+    /// than masking the bulk evaluation, and provably state-preserving.
+    fn run_fitness_phase(&mut self, acct: &mut Acct, latch: LaneMask) {
+        let fu = self.fitness_unit;
+        if latch != 0 {
+            let f0 = fu.evaluate_lanes_planes(self.basis.column(0));
+            let basis = &self.basis;
+            let bg = &mut self.best_genome;
+            let bf = &mut self.best_fitness;
+            let bp = &mut self.best_planes;
+            for_each_lane(latch, |l| {
+                bg[l] = basis.peek(0, l);
+                let v = plane_value(&f0, l);
+                bf[l] = v;
+                set_plane_value(bp, l, v);
+            });
+        }
+        for i in 0..self.config.params.population_size {
+            self.advance_dead(acct, Phase::Fitness, 2); // address + data/commit
+            let f = fu.evaluate_lanes_planes(self.basis.column(i));
+            self.scores[i] = f;
+            // strict-improvement scan, entirely sliced: one 5-plane
+            // comparator replaces 64 load-compare-branch iterations, and
+            // it reports nothing for frozen lanes (their recomputed score
+            // equals the stored one, and strict `>` never fires)
+            let gt = gt_planes(&f, &self.best_planes);
+            if gt != 0 {
+                let basis = &self.basis;
+                for l in lanes(gt) {
+                    let v = plane_value(&f, l);
+                    self.best_fitness[l] = v;
+                    self.best_genome[l] = basis.peek(i, l);
+                    set_plane_value(&mut self.best_planes, l, v);
+                }
+            }
+        }
+    }
+
+    /// Selection-unit work for one parent on every active lane: two index
+    /// draws, the dual-port score read (2 cycles), the threshold choice
+    /// (1 cycle). Writes the chosen parent's genome bits per lane.
+    fn select_parent(&mut self, acct: &mut Acct, s: &mut Scratch, second: bool) {
+        let a = acct.active;
+        let n = self.config.params.population_size as u32;
+        let mut ip = [0u64; 16];
+        let mut jp = [0u64; 16];
+        let k = self.draw_below_planes(acct, a, n, Phase::Reproduce, &mut ip);
+        self.draw_below_planes(acct, a, n, Phase::Reproduce, &mut jp);
+        self.advance_dead(acct, Phase::Reproduce, 2); // dual-port score read
+        let take_better = self.chance(
+            acct,
+            a,
+            self.config.params.selection_threshold.0,
+            Phase::Reproduce,
+        );
+        // both score reads, the comparison and the index choice stay in
+        // the sliced domain: two mux-tree gathers, one ≥ comparator, one
+        // plane blend — no data-dependent loads, no mispredicting branch.
+        // Choose i exactly when (score_i ≥ score_j) agrees with the
+        // chance bit (better on a hit, worse otherwise).
+        let si = gather_scores(&s.mux, &mut s.mux_tmp, &ip, k);
+        let sj = gather_scores(&s.mux, &mut s.mux_tmp, &jp, k);
+        let choose_i = !(ge_planes(&si, &sj) ^ take_better);
+        let mut chosen = [0u64; 8];
+        for p in 0..k {
+            chosen[p] = (ip[p] & choose_i) | (jp[p] & !choose_i);
+        }
+        // only the winner's index leaves the sliced domain, to address the
+        // lane-major genome gather
+        let mut idx = [0u8; LANES];
+        planes_to_bytes(&chosen[..k], &mut idx);
+        let basis = &self.basis;
+        let out = if second { &mut s.pb } else { &mut s.pa };
+        for_each_lane(a, |l| out[l] = basis.peek(usize::from(idx[l]), l));
+    }
+
+    /// Selection stage for one pair: two parents, the crossover decision,
+    /// the cut draw under the success mask, and the 36-cycle bit-serial
+    /// parent copy (owed to the RNG as one jump). Leaves the offspring in
+    /// the scratch `c`/`d`.
+    fn selection_stage(&mut self, acct: &mut Acct, s: &mut Scratch) {
+        let a = acct.active;
+        self.select_parent(acct, s, false);
+        self.select_parent(acct, s, true);
+        let xover = self.chance(
+            acct,
+            a,
+            self.config.params.crossover_threshold.0,
+            Phase::Reproduce,
+        );
+        if xover != 0 {
+            // only successful lanes spend cycles drawing the cut point
+            self.draw_below(
+                acct,
+                xover,
+                GENOME_BITS as u32 - 1,
+                Phase::Reproduce,
+                &mut s.val,
+            );
+        }
+        let (pa, pb, cut) = (&s.pa, &s.pb, &s.val);
+        let (c, d) = (&mut s.c, &mut s.d);
+        // single-point crossover (inlined from Genome::crossover),
+        // branchless: the crossed pair is computed for every lane and
+        // blended by the success mask — the success bit is a coin flip, so
+        // a data-dependent branch here mispredicts constantly. Stale cut
+        // entries are ≤ 34 (only cut draws write `val` during this phase),
+        // so the shift below never overflows.
+        for l in 0..LANES {
+            debug_assert!(cut[l] <= 34);
+            let xm = (xover >> l & 1).wrapping_neg();
+            let low = (1u64 << (1 + cut[l])) - 1;
+            let high = GENOME_MASK & !low;
+            let cx = pa[l] & low | pb[l] & high;
+            let dx = pb[l] & low | pa[l] & high;
+            c[l] = (cx & xm) | (pa[l] & !xm);
+            d[l] = (dx & xm) | (pb[l] & !xm);
+        }
+        // bit-serial copy of both parents into the pipeline registers
+        self.advance_dead(acct, Phase::Reproduce, GENOME_BITS as u64);
+    }
+
+    /// Reproduction phase: all pairs through selection ∥ crossover.
+    fn run_reproduce_phase(&mut self, acct: &mut Acct, s: &mut Scratch) {
+        let a = acct.active;
+        let pairs = self.config.params.population_size / 2;
+        // The scalar pipeline pads when the 38-cycle crossover drain
+        // outlasts the selection stage; a stage costs ≥ 47 cycles, so the
+        // pad is statically dead and the commits below cost no cycles in
+        // pipelined mode.
+        const { assert!(XOVER_CYCLES < 47) };
+        for pair in 0..pairs {
+            self.selection_stage(acct, s);
+            if !self.config.pipelined {
+                self.advance_dead(acct, Phase::Reproduce, XOVER_CYCLES);
+            }
+            self.intermediate.write_masked(2 * pair, a, &s.c);
+            self.intermediate.write_masked(2 * pair + 1, a, &s.d);
+        }
+        if self.config.pipelined {
+            // drain the last pair
+            self.advance_dead(acct, Phase::Reproduce, XOVER_CYCLES);
+        }
+    }
+
+    /// Mutation phase: per flip, a bounded address draw and a 3-cycle
+    /// read-modify-write on the intermediate RAM, per lane.
+    fn run_mutate_phase(&mut self, acct: &mut Acct, s: &mut Scratch) {
+        let a = acct.active;
+        let bits = self.config.params.population_bits() as u32;
+        for _ in 0..self.config.params.mutations_per_generation {
+            self.draw_below(acct, a, bits, Phase::Mutate, &mut s.val);
+            self.advance_dead(acct, Phase::Mutate, 3); // read addr + data + write back
+            let ram = &mut self.intermediate;
+            let pos = &s.val;
+            for_each_lane(a, |l| {
+                let idx = pos[l] as usize / GENOME_BITS;
+                let bit = pos[l] as usize % GENOME_BITS;
+                ram.xor_lane(idx, l, 1u64 << bit);
+            });
+        }
+    }
+
+    fn step_internal(&mut self, acct: &mut Acct) {
+        let a = acct.active;
+        let mut scratch = Scratch::new(self.config.params.population_size);
+        // the selection mux reads the score planes the previous step's
+        // fitness phase left behind; the power-of-two padding entries are
+        // never addressed (index draws are bounded by the population size)
+        scratch.mux[..self.scores.len()].copy_from_slice(&self.scores);
+        self.run_reproduce_phase(acct, &mut scratch);
+        self.run_mutate_phase(acct, &mut scratch);
+        // bank-select toggle. The swap exchanges the buffers for every
+        // lane, so frozen-but-enabled lanes first carry their population
+        // into the buffer that is about to become the basis.
+        self.advance_dead(acct, Phase::Overhead, 1);
+        let frozen = self.enabled & !a;
+        if frozen != 0 {
+            self.intermediate.copy_lanes_from(&self.basis, frozen);
+        }
+        std::mem::swap(&mut self.basis, &mut self.intermediate);
+        let gen = &mut self.generation;
+        for_each_lane(a, |l| gen[l] += 1);
+        self.run_fitness_phase(acct, 0);
+    }
+
+    /// Advance the lanes of `mask` (intersected with the enabled set) by
+    /// one generation; every register of every other lane holds.
+    pub fn step_generation_masked(&mut self, mask: LaneMask) {
+        let active = mask & self.enabled;
+        if active == 0 {
+            return;
+        }
+        let mut acct = Acct::new(active);
+        self.step_internal(&mut acct);
+        self.flush(&acct);
+    }
+
+    /// Advance every enabled lane one generation (lockstep batch step —
+    /// the direct counterpart of 64 scalar `step_generation` calls).
+    pub fn step_generation(&mut self) {
+        self.step_generation_masked(self.enabled);
+    }
+
+    /// The mask of enabled lanes still worth stepping: not converged and
+    /// under the generation budget.
+    pub fn running_mask(&self, max_generations: u64) -> LaneMask {
+        let mut active = 0u64;
+        for l in lanes(self.enabled) {
+            if self.best_fitness[l] != self.max_fitness && self.generation[l] < max_generations {
+                active |= 1u64 << l;
+            }
+        }
+        active
+    }
+
+    /// Step the non-converged lanes until every enabled lane either holds
+    /// a maximal-fitness best genome or has run `max_generations`.
+    /// Returns the converged mask. Per lane this is exactly the scalar
+    /// `run_to_convergence` loop; converged lanes freeze.
+    pub fn run_to_convergence(&mut self, max_generations: u64) -> LaneMask {
+        loop {
+            let active = self.running_mask(max_generations);
+            if active == 0 {
+                return self.converged_mask();
+            }
+            self.step_generation_masked(active);
+        }
+    }
+
+    /// The enabled-lane mask (low `seeds.len()` bits).
+    pub fn enabled(&self) -> LaneMask {
+        self.enabled
+    }
+
+    /// Whether one lane's best register holds a maximal-fitness genome.
+    pub fn converged(&self, lane: usize) -> bool {
+        self.best_fitness[lane] == self.max_fitness
+    }
+
+    /// The mask of enabled lanes that have converged.
+    pub fn converged_mask(&self) -> LaneMask {
+        let mut m = 0u64;
+        for l in lanes(self.enabled) {
+            if self.best_fitness[l] == self.max_fitness {
+                m |= 1u64 << l;
+            }
+        }
+        m
+    }
+
+    /// One lane's best individual register (genome, fitness).
+    pub fn best(&self, lane: usize) -> (Genome, u32) {
+        (
+            Genome::from_bits(self.best_genome[lane]),
+            self.best_fitness[lane],
+        )
+    }
+
+    /// Generations executed by one lane.
+    pub fn generation(&self, lane: usize) -> u64 {
+        self.generation[lane]
+    }
+
+    /// System cycles elapsed on one lane (the lane's `Clock`).
+    pub fn cycles(&self, lane: usize) -> u64 {
+        self.cycles[lane]
+    }
+
+    /// Per-phase cycle accounting for one lane.
+    pub fn breakdown(&self, lane: usize) -> CycleBreakdown {
+        self.breakdown[lane]
+    }
+
+    /// One lane's consumed-word log, in logical draw order.
+    ///
+    /// # Panics
+    /// Panics unless the engine was built with `record_draws`.
+    pub fn drawn_log(&self, lane: usize) -> &[u32] {
+        self.drawn_log
+            .as_ref()
+            .expect("drawn-log recording disabled; build with record_draws")[lane]
+            .as_slice()
+    }
+
+    /// One lane's current basis population.
+    pub fn population(&self, lane: usize) -> Population {
+        Population::from_genomes(
+            (0..self.config.params.population_size)
+                .map(|i| Genome::from_bits(self.basis.peek(i, lane)))
+                .collect(),
+        )
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GapRtlX64Config {
+        &self.config
+    }
+
+    /// Inject a single-event upset into every lane of `mask`: flip bit
+    /// `pos % 36` of individual `pos / 36` in the basis RAM — E13's fault
+    /// campaign as a one-hot lane-mask XOR.
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the population bit count.
+    pub fn inject_upset(&mut self, pos: usize, mask: LaneMask) {
+        assert!(
+            pos < self.config.params.population_bits(),
+            "upset position out of range"
+        );
+        self.basis.flip_bit(
+            pos / GENOME_BITS,
+            (pos % GENOME_BITS) as u32,
+            mask & self.enabled,
+        );
+    }
+
+    /// Per-unit resource estimate: 64 chips' worth of Figure 5.
+    pub fn resource_report(&self) -> ResourceReport {
+        let lanes = LANES as u32;
+        let mut rep = ResourceReport::new();
+        rep.add("rng (32-cell CA ×64)", self.rng.resources());
+        rep.add("population RAM (basis ×64)", self.basis.resources());
+        rep.add(
+            "population RAM (interm. ×64)",
+            self.intermediate.resources(),
+        );
+        rep.add(
+            "fitness score LUT-RAM ×64",
+            Resources::lut_ram_bits(self.scores.len() as u32 * 5 * lanes),
+        );
+        rep.add(
+            "best-individual registers ×64",
+            Resources::unit((36 + 5) * lanes, 4 * lanes),
+        );
+        rep.add("fitness unit ×64", self.fitness_unit.resources());
+        rep.add(
+            "selection unit ×64",
+            Resources::unit(12 * lanes, 24 * lanes),
+        );
+        rep.add(
+            "crossover unit ×64",
+            Resources::unit((2 * 36 + 6) * lanes, 16 * lanes),
+        );
+        rep.add("mutation unit ×64", Resources::unit(12 * lanes, 10 * lanes));
+        rep.add(
+            "initiator + control FSM ×64",
+            Resources::unit(8 * lanes, 24 * lanes),
+        );
+        rep
+    }
+}
+
+impl crate::netlist::Describe for GapRtlX64 {
+    fn netlist(&self) -> crate::netlist::StaticNetlist {
+        let n = self.config.params.population_size as u32;
+        let lanes = LANES as u32;
+        // Figure 5 with every per-chip net replicated 64-fold and a lane
+        // mask gating the clock enables. This is a *simulation vehicle*,
+        // not a placeable XC4036EX design — 64 chips obviously exceed one
+        // chip's CLB budget, so the analysis gate lints these units
+        // structurally (lint_unit) and deliberately leaves them out of the
+        // single-chip budget check.
+        crate::netlist::StaticNetlist::new("gap_x64")
+            .claim(self.resource_report().total())
+            .input("lane_mask", lanes)
+            .register("rng_cells", 32 * lanes)
+            .wire("rng_next", 32 * lanes)
+            .edge("rng_cells", "rng_next")
+            .fan_in(&["rng_next", "lane_mask"], "rng_cells")
+            .register("basis", n * 36 * lanes)
+            .register("intermediate", n * 36 * lanes)
+            .register("bank_select", lanes)
+            .edge("bank_select", "bank_select")
+            .wire("fitness_score", 5 * lanes)
+            .register("score_ram", n * 5 * lanes)
+            .register("best_genome_reg", 36 * lanes)
+            .register("best_fitness_reg", 5 * lanes)
+            .fan_in(&["basis", "bank_select"], "fitness_score")
+            .edge("fitness_score", "score_ram")
+            .fan_in(
+                &["fitness_score", "best_fitness_reg", "basis"],
+                "best_genome_reg",
+            )
+            .fan_in(&["fitness_score", "best_fitness_reg"], "best_fitness_reg")
+            .register("sel_regs", 12 * lanes)
+            .fan_in(&["rng_cells", "score_ram"], "sel_regs")
+            .register("xover_shift", 2 * 36 * lanes)
+            .register("cut_point", 6 * lanes)
+            .edge("rng_cells", "cut_point")
+            .fan_in(
+                &["basis", "sel_regs", "cut_point", "xover_shift"],
+                "xover_shift",
+            )
+            .edge("xover_shift", "intermediate")
+            .fan_in(&["intermediate", "bank_select"], "basis")
+            .register("mut_addr", 12 * lanes)
+            .edge("rng_cells", "mut_addr")
+            .fan_in(&["mut_addr", "intermediate"], "intermediate")
+            .register("ctrl_fsm", 8 * lanes)
+            .edge("ctrl_fsm", "ctrl_fsm")
+            .fan_in(&["lane_mask", "ctrl_fsm"], "ctrl_fsm")
+            .edge("rng_cells", "basis")
+            .output("best_genome", 36 * lanes)
+            .output("best_fitness", 5 * lanes)
+            .output("cfg_bit", lanes)
+            .edge("best_genome_reg", "best_genome")
+            .edge("best_fitness_reg", "best_fitness")
+            .fan_in(&["best_genome_reg", "ctrl_fsm"], "cfg_bit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap_rtl::{GapRtl, GapRtlConfig};
+
+    fn seeds(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| 0x1000 + 7 * i).collect()
+    }
+
+    #[test]
+    fn initiator_matches_scalar_on_every_lane() {
+        let s = seeds(64);
+        let batch = GapRtlX64::new(GapRtlX64Config::paper().recording(), &s);
+        for (l, &seed) in s.iter().enumerate() {
+            let scalar = GapRtl::new(GapRtlConfig::paper(seed));
+            assert_eq!(batch.population(l), scalar.population(), "lane {l}");
+            assert_eq!(batch.drawn_log(l), scalar.drawn_log(), "lane {l} log");
+            assert_eq!(batch.cycles(l), scalar.clock().cycles(), "lane {l} cycles");
+            assert_eq!(batch.best(l), scalar.best(), "lane {l} best");
+        }
+    }
+
+    #[test]
+    fn lockstep_generations_match_scalar() {
+        let s = seeds(8);
+        let mut batch = GapRtlX64::new(GapRtlX64Config::paper().recording(), &s);
+        let mut scalars: Vec<GapRtl> = s
+            .iter()
+            .map(|&seed| GapRtl::new(GapRtlConfig::paper(seed)))
+            .collect();
+        for gen in 0..10 {
+            batch.step_generation();
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                scalar.step_generation();
+                assert_eq!(
+                    batch.population(l),
+                    scalar.population(),
+                    "gen {gen} lane {l}"
+                );
+                assert_eq!(
+                    batch.cycles(l),
+                    scalar.clock().cycles(),
+                    "gen {gen} lane {l}"
+                );
+                assert_eq!(batch.breakdown(l), scalar.breakdown(), "gen {gen} lane {l}");
+                assert_eq!(batch.drawn_log(l), scalar.drawn_log(), "gen {gen} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_lane_count_leaves_spares_idle() {
+        let s = seeds(5);
+        let mut batch = GapRtlX64::new(GapRtlX64Config::paper(), &s);
+        assert_eq!(batch.enabled(), 0b11111);
+        batch.step_generation();
+        for l in 0..5 {
+            assert_eq!(batch.generation(l), 1);
+        }
+        assert_eq!(batch.generation(5), 0);
+        assert_eq!(batch.cycles(63), 0);
+    }
+
+    #[test]
+    fn unpipelined_mode_matches_scalar() {
+        let s = seeds(4);
+        let mut batch = GapRtlX64::new(GapRtlX64Config::unpipelined().recording(), &s);
+        let mut scalars: Vec<GapRtl> = s
+            .iter()
+            .map(|&seed| GapRtl::new(GapRtlConfig::unpipelined(seed)))
+            .collect();
+        for _ in 0..5 {
+            batch.step_generation();
+        }
+        for (l, scalar) in scalars.iter_mut().enumerate() {
+            for _ in 0..5 {
+                scalar.step_generation();
+            }
+            assert_eq!(batch.population(l), scalar.population(), "lane {l}");
+            assert_eq!(batch.cycles(l), scalar.clock().cycles(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn masked_step_freezes_unselected_lanes() {
+        let s = seeds(8);
+        let mut batch = GapRtlX64::new(GapRtlX64Config::paper(), &s);
+        let before_pop = batch.population(3);
+        let before_cycles = batch.cycles(3);
+        batch.step_generation_masked(0b0000_0111);
+        assert_eq!(batch.generation(0), 1);
+        assert_eq!(batch.generation(3), 0);
+        assert_eq!(batch.population(3), before_pop);
+        assert_eq!(batch.cycles(3), before_cycles);
+        // the frozen lane keeps matching its scalar twin afterwards
+        batch.step_generation();
+        let mut scalar = GapRtl::new(GapRtlConfig::paper(s[3]));
+        scalar.step_generation();
+        assert_eq!(batch.population(3), scalar.population());
+        assert_eq!(batch.cycles(3), scalar.clock().cycles());
+    }
+
+    #[test]
+    fn reset_lane_is_a_fresh_scalar_chip() {
+        let s = seeds(8);
+        let mut batch = GapRtlX64::new(GapRtlX64Config::paper().recording(), &s);
+        for _ in 0..4 {
+            batch.step_generation();
+        }
+        // recycle lane 2 for a brand-new trial mid-run
+        batch.reset_lane(2, 0xD00D);
+        let mut fresh = GapRtl::new(GapRtlConfig::paper(0xD00D));
+        assert_eq!(batch.population(2), fresh.population());
+        assert_eq!(batch.cycles(2), fresh.clock().cycles());
+        assert_eq!(batch.drawn_log(2), fresh.drawn_log());
+        // other lanes kept their mid-run state and everyone still tracks
+        // their scalar twin afterwards
+        for gen in 0..3 {
+            batch.step_generation();
+            fresh.step_generation();
+            assert_eq!(batch.population(2), fresh.population(), "gen {gen}");
+            assert_eq!(batch.cycles(2), fresh.clock().cycles(), "gen {gen}");
+            assert_eq!(batch.drawn_log(2), fresh.drawn_log(), "gen {gen}");
+        }
+        let mut scalar5 = GapRtl::new(GapRtlConfig::paper(s[5]));
+        for _ in 0..7 {
+            scalar5.step_generation();
+        }
+        assert_eq!(batch.population(5), scalar5.population());
+        assert_eq!(batch.cycles(5), scalar5.clock().cycles());
+    }
+
+    #[test]
+    fn upset_flips_one_bit_in_masked_lanes_only() {
+        let s = seeds(8);
+        let mut batch = GapRtlX64::new(GapRtlX64Config::paper(), &s);
+        let before: Vec<Population> = (0..8).map(|l| batch.population(l)).collect();
+        batch.inject_upset(7 * 36 + 11, 0b0010_0010);
+        for (l, before_l) in before.iter().enumerate() {
+            let after = batch.population(l);
+            let diff: u32 = before_l
+                .genomes()
+                .iter()
+                .zip(after.genomes())
+                .map(|(a, b)| a.hamming_distance(*b))
+                .sum();
+            if l == 1 || l == 5 {
+                assert_eq!(diff, 1, "lane {l}");
+                assert_eq!(before_l.get(7).hamming_distance(after.get(7)), 1);
+            } else {
+                assert_eq!(diff, 0, "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_set() {
+        let s = seeds(16);
+        let mut a = GapRtlX64::new(GapRtlX64Config::paper(), &s);
+        let mut b = GapRtlX64::new(GapRtlX64Config::paper(), &s);
+        for _ in 0..5 {
+            a.step_generation();
+            b.step_generation();
+        }
+        for l in 0..16 {
+            assert_eq!(a.population(l), b.population(l));
+            assert_eq!(a.cycles(l), b.cycles(l));
+        }
+    }
+
+    #[test]
+    fn run_to_convergence_freezes_lanes_at_their_own_generation() {
+        let s = seeds(8);
+        let mut batch = GapRtlX64::new(GapRtlX64Config::paper(), &s);
+        let converged = batch.run_to_convergence(50_000);
+        assert_eq!(converged, 0xFF, "all 8 lanes should converge");
+        for l in 0..8 {
+            assert!(batch.converged(l));
+            let (g, f) = batch.best(l);
+            assert_eq!(f, GapParams::paper().fitness.max_fitness());
+            assert!(GapParams::paper().fitness.is_max(g));
+        }
+        // lanes converge at different generations — the whole point of
+        // per-lane freezing
+        let gens: Vec<u64> = (0..8).map(|l| batch.generation(l)).collect();
+        assert!(gens.iter().any(|&g| g != gens[0]), "{gens:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn upset_position_checked() {
+        GapRtlX64::new(GapRtlX64Config::paper(), &[1]).inject_upset(1152, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "recording disabled")]
+    fn drawn_log_requires_recording() {
+        let gap = GapRtlX64::new(GapRtlX64Config::paper(), &[1]);
+        let _ = gap.drawn_log(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Bit-sliced (SWAR) 64-lane batch simulation backend.
+//!
+//! The classic parallel-pattern technique from EDA fault simulation,
+//! applied to the whole Discipulus GAP: every logic signal is carried in a
+//! `u64` whose bit `l` belongs to simulation **lane** `l`, so one update of
+//! a sliced unit advances 64 independent, independently-seeded chip
+//! instances at once. [`GapRtlX64`] is the batch counterpart of
+//! [`crate::gap_rtl::GapRtl`] and is **bit-exact per lane**: lane `l` of a
+//! 64-seed batch reproduces the populations, best registers, cycle counts
+//! and drawn-word log of a scalar `GapRtl` run with seed `l` — the
+//! lane-equivalence suite in `tests/` locks the two together.
+//!
+//! Three representation tricks make this fast rather than merely parallel:
+//!
+//! * the free-running CA RNG is stored **transposed** ([`CaRngX64`]:
+//!   `cells[i]` holds cell `i` of all lanes), so one clock edge of all 64
+//!   generators is 32 shifted XOR words instead of 64 scalar updates — and
+//!   because the CA is linear over GF(2), uniform dead-cycle stretches
+//!   (the 36-cycle crossover shift, the 38-cycle pipeline drain) are
+//!   applied as precomputed jump matrices `M³⁶`, `M³⁸` in one go;
+//! * the combinational fitness network is evaluated **bit-sliced**
+//!   ([`FitnessUnitX64`]): 36 transposed genome-bit words flow through the
+//!   same boolean algebra as the scalar unit, with carry-save counters
+//!   replacing popcounts, scoring 64 genomes per call;
+//! * populations and scores stay **lane-major** ([`RamX64`]), because
+//!   selection and mutation address them with per-lane divergent indices;
+//!   the 64×64 bit-matrix transpose ([`transpose::transpose64`]) bridges
+//!   the two layouts on demand.
+//!
+//! Lanes diverge in *time* (mask-and-reject draws retry per lane, the
+//! crossover decision draws a cut point only on success), which is handled
+//! by masked clocking: every RNG step carries a [`LaneMask`] and lanes
+//! outside it hold state, so each lane always sits at exactly the cycle
+//! its scalar twin would occupy. Converged lanes freeze entirely, which is
+//! also what makes E13's SEU campaign cheap: an upset is a one-hot
+//! lane-mask XOR into the population RAM ([`GapRtlX64::inject_upset`])
+//! instead of a per-fault rerun.
+
+pub mod fitness_x64;
+pub mod gap_x64;
+pub mod ram_x64;
+pub mod rng_x64;
+pub mod transpose;
+
+pub use fitness_x64::FitnessUnitX64;
+pub use gap_x64::{GapRtlX64, GapRtlX64Config};
+pub use ram_x64::RamX64;
+pub use rng_x64::CaRngX64;
+
+/// Number of simulation lanes carried per machine word.
+pub const LANES: usize = 64;
+
+/// Number of cells in the hybrid 90/150 CA generator (shared with the
+/// scalar [`crate::rng_rtl::CaRngRtl`]).
+pub const CELLS: usize = 32;
+
+/// A set of lanes: bit `l` selects lane `l`.
+pub type LaneMask = u64;
+
+/// The mask selecting the first `n` lanes.
+///
+/// # Panics
+/// Panics if `n > LANES`.
+pub fn lane_mask(n: usize) -> LaneMask {
+    assert!(n <= LANES, "at most {LANES} lanes");
+    if n == LANES {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Iterate over the lane indices present in `mask`, ascending.
+pub fn lanes(mask: LaneMask) -> Lanes {
+    Lanes(mask)
+}
+
+/// Run `f` for every lane in `mask`. The full-mask case — the steady
+/// state of a batch run — takes a plain counted loop instead of the
+/// find-and-clear bit scan, which the hot per-lane loops care about.
+#[inline(always)]
+pub(crate) fn for_each_lane(mask: LaneMask, mut f: impl FnMut(usize)) {
+    if mask == !0 {
+        for l in 0..LANES {
+            f(l);
+        }
+    } else {
+        for l in lanes(mask) {
+            f(l);
+        }
+    }
+}
+
+/// Iterator returned by [`lanes`].
+#[derive(Debug, Clone, Copy)]
+pub struct Lanes(LaneMask);
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let l = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(l)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Lanes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_mask_bounds() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(5), 0b11111);
+        assert_eq!(lane_mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn lane_mask_overflow_rejected() {
+        lane_mask(65);
+    }
+
+    #[test]
+    fn lanes_iterates_set_bits_ascending() {
+        assert_eq!(lanes(0).count(), 0);
+        assert_eq!(lanes(0b1010_0001).collect::<Vec<_>>(), vec![0, 5, 7]);
+        assert_eq!(lanes(u64::MAX).count(), 64);
+        assert_eq!(lanes(1u64 << 63).collect::<Vec<_>>(), vec![63]);
+    }
+}

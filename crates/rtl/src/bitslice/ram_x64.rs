@@ -1,0 +1,218 @@
+//! The population RAM, 64 lanes wide.
+//!
+//! Storage is **lane-major** (`words[addr][lane]`), not bit-sliced:
+//! selection and mutation address the population with per-lane divergent
+//! indices, and gathering a 36-bit genome out of 36 transposed words per
+//! lane would cost more than it saves. The bit-sliced fitness unit gets
+//! its transposed view on demand via
+//! [`crate::bitslice::transpose::transpose64`].
+//!
+//! Unlike the scalar [`crate::primitives::Ram`], this model does not carry
+//! the one-write-per-cycle port bookkeeping: the batch engine's phase
+//! structure is the same as the scalar GAP's, whose accesses the scalar
+//! RAM already checks, and dropping the `Option` dance per lane-write is
+//! part of the throughput budget.
+
+use crate::bitslice::{lanes, LaneMask, LANES};
+use crate::netlist::{Describe, StaticNetlist};
+use crate::resources::Resources;
+
+/// A `depth × width`-bit RAM replicated across 64 lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RamX64 {
+    words: Vec<[u64; LANES]>,
+    width: u32,
+    mask: u64,
+}
+
+impl RamX64 {
+    /// A zero-initialized RAM of `depth` words of `width ≤ 64` bits per
+    /// lane.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn new(depth: usize, width: u32) -> RamX64 {
+        assert!((1..=64).contains(&width), "width must be 1..=64 bits");
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        RamX64 {
+            words: vec![[0u64; LANES]; depth],
+            width,
+            mask,
+        }
+    }
+
+    /// Number of words per lane.
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Combinational read of one lane's word.
+    #[inline]
+    pub fn peek(&self, addr: usize, lane: usize) -> u64 {
+        self.words[addr][lane]
+    }
+
+    /// The full 64-lane column at `addr` (lane-major).
+    #[inline]
+    pub fn column(&self, addr: usize) -> &[u64; LANES] {
+        &self.words[addr]
+    }
+
+    /// Write one lane's word (masked to the RAM width).
+    #[inline]
+    pub fn write_lane(&mut self, addr: usize, lane: usize, value: u64) {
+        self.words[addr][lane] = value & self.mask;
+    }
+
+    /// XOR `bits` into one lane's word (masked to the RAM width) — the
+    /// single-lane read-modify-write the mutation unit performs, fused so
+    /// the hot path touches the column exactly once.
+    #[inline]
+    pub fn xor_lane(&mut self, addr: usize, lane: usize, bits: u64) {
+        self.words[addr][lane] ^= bits & self.mask;
+    }
+
+    /// Write per-lane values into every lane of `mask`; other lanes hold.
+    pub fn write_masked(&mut self, addr: usize, mask: LaneMask, values: &[u64; LANES]) {
+        let col = &mut self.words[addr];
+        if mask == !0 {
+            // full batch: a straight column copy, the steady-state case
+            for (c, &v) in col.iter_mut().zip(values) {
+                *c = v & self.mask;
+            }
+        } else {
+            for l in lanes(mask) {
+                col[l] = values[l] & self.mask;
+            }
+        }
+    }
+
+    /// Flip bit `bit` of word `addr` in every lane of `mask` — the SEU
+    /// injection port: one fault campaign step is a one-hot lane-mask XOR.
+    pub fn flip_bit(&mut self, addr: usize, bit: u32, mask: LaneMask) {
+        debug_assert!(bit < self.width);
+        let flip = 1u64 << bit;
+        let col = &mut self.words[addr];
+        for l in lanes(mask) {
+            col[l] ^= flip;
+        }
+    }
+
+    /// Copy the lanes in `mask` wholesale from `other` (used to hold
+    /// frozen lanes' populations across the double-buffer swap).
+    ///
+    /// # Panics
+    /// Panics if the two RAMs have different shapes.
+    pub fn copy_lanes_from(&mut self, other: &RamX64, mask: LaneMask) {
+        assert_eq!(self.depth(), other.depth());
+        assert_eq!(self.width, other.width);
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            for l in lanes(mask) {
+                dst[l] = src[l];
+            }
+        }
+    }
+
+    /// Resource estimate: 64 lanes of flip-flop storage.
+    pub fn resources(&self) -> Resources {
+        Resources::flip_flop_bits(self.words.len() as u32 * self.width * LANES as u32)
+    }
+}
+
+impl Describe for RamX64 {
+    fn netlist(&self) -> StaticNetlist {
+        let addr_bits = usize::BITS - (self.words.len().max(2) - 1).leading_zeros();
+        let lanes = LANES as u32;
+        StaticNetlist::new("ram_x64")
+            .claim(self.resources())
+            .input("read_addr", addr_bits * lanes)
+            .input("write_addr", addr_bits * lanes)
+            .input("write_data", self.width * lanes)
+            .input("lane_mask", lanes)
+            .register("mem", self.words.len() as u32 * self.width * lanes)
+            .register("read_reg", self.width * lanes)
+            .output("read_data", self.width * lanes)
+            .fan_in(&["write_addr", "write_data", "lane_mask"], "mem")
+            .fan_in(&["read_addr", "mem"], "read_reg")
+            .edge("read_reg", "read_data")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut ram = RamX64::new(4, 36);
+        ram.write_lane(2, 5, 0xABC);
+        ram.write_lane(2, 6, 0xDEF);
+        assert_eq!(ram.peek(2, 5), 0xABC);
+        assert_eq!(ram.peek(2, 6), 0xDEF);
+        assert_eq!(ram.peek(2, 7), 0);
+        assert_eq!(ram.peek(3, 5), 0);
+    }
+
+    #[test]
+    fn writes_mask_to_width() {
+        let mut ram = RamX64::new(2, 36);
+        ram.write_lane(0, 0, u64::MAX);
+        assert_eq!(ram.peek(0, 0), (1u64 << 36) - 1);
+        let vals = [u64::MAX; LANES];
+        ram.write_masked(1, 0b10, &vals);
+        assert_eq!(ram.peek(1, 1), (1u64 << 36) - 1);
+        assert_eq!(ram.peek(1, 0), 0);
+    }
+
+    #[test]
+    fn masked_write_holds_unselected_lanes() {
+        let mut ram = RamX64::new(1, 16);
+        let a = [0x1111u64; LANES];
+        let b = [0x2222u64; LANES];
+        ram.write_masked(0, u64::MAX, &a);
+        ram.write_masked(0, 0xF0, &b);
+        assert_eq!(ram.peek(0, 3), 0x1111);
+        assert_eq!(ram.peek(0, 4), 0x2222);
+        assert_eq!(ram.peek(0, 8), 0x1111);
+    }
+
+    #[test]
+    fn flip_bit_is_a_masked_involution() {
+        let mut ram = RamX64::new(3, 36);
+        let vals: [u64; LANES] = core::array::from_fn(|l| l as u64 * 7);
+        ram.write_masked(1, u64::MAX, &vals);
+        let before = *ram.column(1);
+        ram.flip_bit(1, 11, 0xA5);
+        for (l, &b) in before.iter().enumerate() {
+            let expect = if 0xA5u64 >> l & 1 == 1 {
+                b ^ (1 << 11)
+            } else {
+                b
+            };
+            assert_eq!(ram.peek(1, l), expect, "lane {l}");
+        }
+        ram.flip_bit(1, 11, 0xA5);
+        assert_eq!(*ram.column(1), before);
+    }
+
+    #[test]
+    fn copy_lanes_from_moves_only_masked_lanes() {
+        let mut a = RamX64::new(2, 8);
+        let mut b = RamX64::new(2, 8);
+        a.write_masked(0, u64::MAX, &[0xAAu64; LANES]);
+        b.write_masked(0, u64::MAX, &[0xBBu64; LANES]);
+        b.copy_lanes_from(&a, 0b101);
+        assert_eq!(b.peek(0, 0), 0xAA);
+        assert_eq!(b.peek(0, 1), 0xBB);
+        assert_eq!(b.peek(0, 2), 0xAA);
+    }
+}

@@ -1,0 +1,431 @@
+//! The free-running CA RNG, 64 lanes per word.
+//!
+//! State is stored transposed: `cells[i]` bit `l` is CA cell `i` of lane
+//! `l`, so the hybrid 90/150 update (`left ⊕ right`, plus `⊕ self` on
+//! rule-150 cells; null boundary) is 32 word-wide XOR rows per clock for
+//! all 64 generators. Because the update is linear over GF(2), advancing a
+//! lane by `k` cycles equals applying the matrix power `Mᵏ`; the dead-cycle
+//! stretches of the GAP (the 36-cycle crossover shift, the 38-cycle
+//! pipeline drain, and the fitness phase's read cycles) therefore execute
+//! as precomputed jump tables instead of stepping — the single biggest
+//! lever behind the batch engine's throughput. Jump tables for arbitrary
+//! strides are built lazily (one `Mⁿ` per distinct stride ever used) and
+//! applied with the four-Russians trick: the 32 current cell words are
+//! folded into 8 nibble tables of 16 precombined XORs, so a dense matrix
+//! row costs 8 lookups instead of ~16 word XORs.
+//!
+//! All stateful operations take a [`LaneMask`]; lanes outside it hold
+//! their state. That is what lets each lane sit at its own point in time
+//! even though mask-and-reject draws retry a different number of cycles
+//! per lane. The `*_free` variants skip the hold-blend and are valid
+//! whenever every lane the caller cares about is in the mask (the engine
+//! uses them when no enabled lane is frozen).
+
+use crate::bitslice::transpose::planes_to_bytes;
+use crate::bitslice::{LaneMask, CELLS, LANES};
+use crate::netlist::{Describe, StaticNetlist};
+use crate::resources::Resources;
+use discipulus::rng::analysis::ca_update_matrix;
+use discipulus::rng::MAXIMAL_RULE_90_150;
+use std::collections::HashMap;
+
+/// 64 independent 32-cell hybrid 90/150 CA generators, bit-sliced.
+///
+/// (No `PartialEq`: the lazily built jump-table cache is an accident of
+/// call history, so structural equality would lie about state equality.)
+#[derive(Debug, Clone)]
+pub struct CaRngX64 {
+    /// Transposed state: `cells[i]` bit `l` = cell `i` of lane `l`.
+    cells: [u64; CELLS],
+    /// Per-cell rule-150 self-tap, broadcast to all lanes
+    /// (`!0` where the rule bit is set, `0` elsewhere — branch-free step).
+    self_taps: [u64; CELLS],
+    /// Lazily built rows of `Mⁿ` per distinct advance stride `n`
+    /// (bit `j` of row `i` = tap from cell `j`).
+    jumps: HashMap<u64, [u32; CELLS]>,
+}
+
+/// Stepping is cheaper than a table jump below this stride.
+const MIN_JUMP: u64 = 8;
+
+impl CaRngX64 {
+    /// Create generators for `seeds.len() ≤ 64` lanes with the certified
+    /// maximal rule vector; zero seeds are remapped to 1 exactly like the
+    /// scalar [`crate::rng_rtl::CaRngRtl`]. Unused lanes are seeded to 1
+    /// so no lane ever sits at the CA's all-zero fixed point.
+    ///
+    /// # Panics
+    /// Panics if more than [`LANES`] seeds are given.
+    pub fn new(seeds: &[u32]) -> CaRngX64 {
+        assert!(seeds.len() <= LANES, "at most {LANES} lanes");
+        let mut rng = CaRngX64 {
+            cells: [0u64; CELLS],
+            self_taps: [0u64; CELLS],
+            jumps: HashMap::new(),
+        };
+        let rule = MAXIMAL_RULE_90_150;
+        for (i, t) in rng.self_taps.iter_mut().enumerate() {
+            *t = if rule >> i & 1 == 1 { !0 } else { 0 };
+        }
+        for (l, &seed) in seeds.iter().enumerate() {
+            rng.seed_lane(l, seed);
+        }
+        for l in seeds.len()..LANES {
+            rng.cells[0] |= 1u64 << l;
+        }
+        rng
+    }
+
+    /// Re-seed one lane in place (used when a convergence driver recycles
+    /// a finished lane for a fresh trial); all other lanes hold.
+    pub fn seed_lane(&mut self, lane: usize, seed: u32) {
+        let s = if seed == 0 { 1 } else { seed };
+        let bit = 1u64 << lane;
+        for (i, c) in self.cells.iter_mut().enumerate() {
+            *c = (*c & !bit) | (u64::from(s >> i & 1) << lane);
+        }
+    }
+
+    /// One clock edge for the lanes in `mask`; all other lanes hold.
+    #[inline]
+    pub fn clock(&mut self, mask: LaneMask) {
+        if mask == !0 {
+            self.clock_free();
+            return;
+        }
+        let c = self.cells;
+        for i in 0..CELLS {
+            let mut n = c[i] & self.self_taps[i];
+            if i > 0 {
+                n ^= c[i - 1];
+            }
+            if i < CELLS - 1 {
+                n ^= c[i + 1];
+            }
+            self.cells[i] = (n & mask) | (c[i] & !mask);
+        }
+    }
+
+    /// One clock edge for every lane — the blend-free fast path.
+    #[inline]
+    pub fn clock_free(&mut self) {
+        let c = self.cells;
+        self.cells[0] = (c[0] & self.self_taps[0]) ^ c[1];
+        for i in 1..CELLS - 1 {
+            self.cells[i] = (c[i] & self.self_taps[i]) ^ c[i - 1] ^ c[i + 1];
+        }
+        self.cells[CELLS - 1] = (c[CELLS - 1] & self.self_taps[CELLS - 1]) ^ c[CELLS - 2];
+    }
+
+    /// Advance the lanes in `mask` by `n` cycles: short strides step,
+    /// long strides apply a (cached) `Mⁿ` jump table.
+    pub fn advance(&mut self, mask: LaneMask, n: u64) {
+        if n < MIN_JUMP {
+            for _ in 0..n {
+                self.clock(mask);
+            }
+        } else {
+            let table = self.jump_table(n);
+            self.apply_jump(mask, &table);
+        }
+    }
+
+    /// [`Self::advance`] for every lane, without the hold-blend.
+    pub fn advance_free(&mut self, n: u64) {
+        if n < MIN_JUMP {
+            for _ in 0..n {
+                self.clock_free();
+            }
+        } else {
+            let table = self.jump_table(n);
+            self.apply_jump(!0, &table);
+        }
+    }
+
+    /// The `Mⁿ` row table for stride `n`, built on first use.
+    fn jump_table(&mut self, n: u64) -> [u32; CELLS] {
+        if let Some(t) = self.jumps.get(&n) {
+            return *t;
+        }
+        let t = ca_update_matrix(MAXIMAL_RULE_90_150).pow(n).0;
+        self.jumps.insert(n, t);
+        t
+    }
+
+    /// Apply a matrix-power row table to the lanes in `mask` with the
+    /// four-Russians nibble decomposition.
+    fn apply_jump(&mut self, mask: LaneMask, table: &[u32; CELLS]) {
+        // fold the 32 cell words into 8 nibble tables of 16 XOR combos
+        let c = self.cells;
+        let mut nib = [[0u64; 16]; 8];
+        for (g, t) in nib.iter_mut().enumerate() {
+            let base = 4 * g;
+            for m in 1usize..16 {
+                let low = m & (m - 1);
+                t[m] = t[low] ^ c[base + (m ^ low).trailing_zeros() as usize];
+            }
+        }
+        if mask == !0 {
+            for (i, &row) in table.iter().enumerate() {
+                let mut n = 0u64;
+                for (g, t) in nib.iter().enumerate() {
+                    n ^= t[(row >> (4 * g) & 15) as usize];
+                }
+                self.cells[i] = n;
+            }
+        } else {
+            for (i, &row) in table.iter().enumerate() {
+                let mut n = 0u64;
+                for (g, t) in nib.iter().enumerate() {
+                    n ^= t[(row >> (4 * g) & 15) as usize];
+                }
+                self.cells[i] = (n & mask) | (c[i] & !mask);
+            }
+        }
+    }
+
+    /// The 32-bit output word of one lane, valid this cycle.
+    pub fn lane_word(&self, lane: usize) -> u32 {
+        self.lane_low_bits(lane, CELLS)
+    }
+
+    /// The low `k ≤ 32` bits of one lane's output word.
+    pub fn lane_low_bits(&self, lane: usize, k: usize) -> u32 {
+        debug_assert!(k <= CELLS);
+        let mut w = 0u32;
+        for i in 0..k {
+            w |= ((self.cells[i] >> lane & 1) as u32) << i;
+        }
+        w
+    }
+
+    /// The low `k` output bit-planes themselves (plane `p` = output bit
+    /// `p` of every lane) — for consumers that stay in the sliced domain
+    /// and never need per-lane integers at all.
+    pub fn low_cells(&self, k: usize) -> &[u64] {
+        &self.cells[..k]
+    }
+
+    /// Extract the low `k ≤ 8` bits of every lane's output word into one
+    /// byte per lane — the word-parallel form of 64 `lane_low_bits` calls
+    /// (SWAR byte-spread instead of a per-lane bit gather).
+    pub fn extract_low_bytes(&self, k: usize, out: &mut [u8; LANES]) {
+        debug_assert!(k <= 8);
+        planes_to_bytes(&self.cells[..k], out);
+    }
+
+    /// Extract the low `k ≤ 16` bits of every lane's output word, one
+    /// `u16` per lane (two byte-spread passes).
+    pub fn extract_low_u16(&self, k: usize, out: &mut [u16; LANES]) {
+        debug_assert!(k <= 16);
+        let mut lo = [0u8; LANES];
+        let mut hi = [0u8; LANES];
+        planes_to_bytes(&self.cells[..k.min(8)], &mut lo);
+        planes_to_bytes(&self.cells[8..k.max(8)], &mut hi);
+        for l in 0..LANES {
+            out[l] = u16::from(lo[l]) | u16::from(hi[l]) << 8;
+        }
+    }
+
+    /// The output words of all 64 lanes.
+    pub fn words(&self) -> [u32; LANES] {
+        let mut out = [0u32; LANES];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.lane_word(l);
+        }
+        out
+    }
+
+    /// Sliced comparator: the mask of lanes whose low `k` bits, read as an
+    /// integer, are strictly below `c` (the hardware would fold this into
+    /// the mask-and-reject / threshold compare network). If `c` needs more
+    /// than `k` bits every lane qualifies.
+    pub fn lt_const(&self, k: usize, c: u32) -> LaneMask {
+        debug_assert!(k <= CELLS);
+        if u64::from(c) >> k != 0 {
+            return !0;
+        }
+        let mut lt = 0u64;
+        let mut eq = !0u64;
+        for i in (0..k).rev() {
+            let b = self.cells[i];
+            if c >> i & 1 == 1 {
+                lt |= eq & !b;
+                eq &= b;
+            } else {
+                eq &= !b;
+            }
+        }
+        lt
+    }
+
+    /// Resource estimate: 64 scalar generators' worth of state and XOR
+    /// network.
+    pub fn resources(&self) -> Resources {
+        Resources::unit(CELLS as u32 * LANES as u32, CELLS as u32 * LANES as u32)
+    }
+}
+
+impl Describe for CaRngX64 {
+    fn netlist(&self) -> StaticNetlist {
+        StaticNetlist::new("ca_rng_x64")
+            .claim(self.resources())
+            .register("cells", (CELLS * LANES) as u32)
+            .wire("next_cells", (CELLS * LANES) as u32)
+            .input("lane_mask", LANES as u32)
+            .output("words", (CELLS * LANES) as u32)
+            .edge("cells", "next_cells")
+            .fan_in(&["next_cells", "lane_mask"], "cells")
+            .edge("cells", "words")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_rtl::CaRngRtl;
+
+    fn seeds64() -> Vec<u32> {
+        (0..64u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0xBEEF)
+            .collect()
+    }
+
+    #[test]
+    fn all_lanes_bit_exact_with_scalar_rtl() {
+        let seeds = seeds64();
+        let mut sliced = CaRngX64::new(&seeds);
+        let mut scalars: Vec<CaRngRtl> = seeds.iter().map(|&s| CaRngRtl::new(s)).collect();
+        for (l, s) in scalars.iter().enumerate() {
+            assert_eq!(sliced.lane_word(l), s.word(), "lane {l} seed");
+        }
+        for _ in 0..500 {
+            sliced.clock(u64::MAX);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                s.clock();
+                assert_eq!(sliced.lane_word(l), s.word(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_clock_holds_unselected_lanes() {
+        let seeds = seeds64();
+        let mut sliced = CaRngX64::new(&seeds);
+        let mut scalars: Vec<CaRngRtl> = seeds.iter().map(|&s| CaRngRtl::new(s)).collect();
+        // an uneven clocking schedule: lane l steps on iterations where
+        // the pattern selects it
+        let patterns = [0xAAAA_AAAA_AAAA_AAAAu64, 0x0F0F_F0F0_1234_5678, u64::MAX, 1];
+        for (it, &mask) in patterns.iter().cycle().take(200).enumerate() {
+            let mask = mask.rotate_left(it as u32);
+            sliced.clock(mask);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                if mask >> l & 1 == 1 {
+                    s.clock();
+                }
+                assert_eq!(sliced.lane_word(l), s.word(), "lane {l} iter {it}");
+            }
+        }
+    }
+
+    #[test]
+    fn jump_strides_equal_stepping() {
+        let seeds = seeds64();
+        for n in [8u64, 36, 38, 65, 68, 74, 200] {
+            let mut jumped = CaRngX64::new(&seeds);
+            let mut stepped = CaRngX64::new(&seeds);
+            let mask = 0xDEAD_BEEF_0BAD_F00Du64;
+            jumped.advance(mask, n);
+            for _ in 0..n {
+                stepped.clock(mask);
+            }
+            assert_eq!(jumped.cells, stepped.cells, "jump {n}");
+        }
+    }
+
+    #[test]
+    fn free_advance_equals_full_mask_advance() {
+        let seeds = seeds64();
+        let mut free = CaRngX64::new(&seeds);
+        let mut masked = CaRngX64::new(&seeds);
+        for n in [1u64, 3, 36, 38, 68] {
+            free.advance_free(n);
+            masked.advance(u64::MAX, n);
+            assert_eq!(free.cells, masked.cells, "stride {n}");
+        }
+    }
+
+    #[test]
+    fn seed_lane_resets_one_lane_only() {
+        let seeds = seeds64();
+        let mut r = CaRngX64::new(&seeds);
+        r.advance(u64::MAX, 100);
+        let before = r.cells;
+        r.seed_lane(7, 0xCAFE);
+        assert_eq!(r.lane_word(7), 0xCAFE);
+        for l in 0..64 {
+            if l != 7 {
+                let held = (0..32).all(|i| (r.cells[i] ^ before[i]) >> l & 1 == 0);
+                assert!(held, "lane {l} disturbed");
+            }
+        }
+        // the reseeded lane continues exactly like a fresh scalar RNG
+        let mut scalar = CaRngRtl::new(0xCAFE);
+        for _ in 0..50 {
+            r.clock(1 << 7);
+            scalar.clock();
+            assert_eq!(r.lane_word(7), scalar.word());
+        }
+    }
+
+    #[test]
+    fn zero_seed_remapped_per_lane() {
+        let r = CaRngX64::new(&[0, 5, 0]);
+        assert_eq!(r.lane_word(0), 1);
+        assert_eq!(r.lane_word(1), 5);
+        assert_eq!(r.lane_word(2), 1);
+        // unused lanes idle at 1, never the zero fixed point
+        assert_eq!(r.lane_word(63), 1);
+    }
+
+    #[test]
+    fn byte_extraction_matches_bit_gather() {
+        let seeds = seeds64();
+        let mut r = CaRngX64::new(&seeds);
+        let mut bytes = [0u8; LANES];
+        let mut words = [0u16; LANES];
+        for step in 0..100 {
+            r.clock(u64::MAX);
+            for k in [5usize, 6, 8] {
+                r.extract_low_bytes(k, &mut bytes);
+                for (l, &b) in bytes.iter().enumerate() {
+                    assert_eq!(
+                        u32::from(b),
+                        r.lane_low_bits(l, k),
+                        "step {step} lane {l} k={k}"
+                    );
+                }
+            }
+            r.extract_low_u16(11, &mut words);
+            for (l, &w) in words.iter().enumerate() {
+                assert_eq!(u32::from(w), r.lane_low_bits(l, 11), "lane {l} k=11");
+            }
+        }
+    }
+
+    #[test]
+    fn lt_const_matches_scalar_compare() {
+        let seeds = seeds64();
+        let mut r = CaRngX64::new(&seeds);
+        for step in 0..200 {
+            r.clock(u64::MAX);
+            for (k, c) in [(8usize, 205u32), (8, 179), (6, 35), (11, 1152), (5, 32)] {
+                let m = r.lt_const(k, c);
+                for l in 0..64 {
+                    let v = r.lane_low_bits(l, k);
+                    assert_eq!(m >> l & 1 == 1, v < c, "step {step} lane {l} k={k} c={c}");
+                }
+            }
+        }
+    }
+}

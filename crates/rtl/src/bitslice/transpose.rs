@@ -1,0 +1,163 @@
+//! 64×64 bit-matrix transpose — the bridge between the lane-major layout
+//! (word `l` = lane `l`'s value) and the bit-sliced layout (word `b` = bit
+//! `b` across all lanes).
+
+/// Transpose a 64×64 bit matrix in place: afterwards, bit `c` of word `r`
+/// holds what bit `r` of word `c` held before. Recursive block-swap
+/// formulation (Hacker's Delight §7-3 generalized to 64 bits): at scale
+/// `j` the top-right and bottom-left `j`×`j` sub-blocks swap, six scales
+/// total, ~384 word operations.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Transposed copy of 64 lane-major words (see [`transpose64`]).
+pub fn transposed(lane_major: &[u64; 64]) -> [u64; 64] {
+    let mut t = *lane_major;
+    transpose64(&mut t);
+    t
+}
+
+/// Spread one byte of a bit-plane into eight lane-bytes, shifted up by
+/// `shift`. The multiply fans the byte across all eight byte positions and
+/// the mask keeps the anti-diagonal bit of each, so the result's byte `k`
+/// carries bit `7 − k` of the selected byte — callers must index the
+/// output mirrored.
+#[inline]
+fn spread8(plane: u64, group: usize, shift: u32) -> u64 {
+    let byte = plane >> (8 * group) & 0xFF;
+    (byte.wrapping_mul(0x8040_2010_0804_0201).wrapping_shr(7) & 0x0101_0101_0101_0101) << shift
+}
+
+/// Narrow columnwise transpose: gather up to 8 bit-planes into one byte
+/// per lane (`out[l]` bit `j` = bit `l` of `planes[j]`). This is the
+/// word-parallel way to read a small per-lane value (a draw result, a
+/// carry-save count) out of the sliced domain — 64 lanes for ~5 word ops
+/// per plane instead of a per-lane bit gather.
+///
+/// # Panics
+/// Debug-asserts `planes.len() ≤ 8`.
+pub fn planes_to_bytes(planes: &[u64], out: &mut [u8; 64]) {
+    debug_assert!(planes.len() <= 8, "at most 8 planes fit a byte");
+    for group in 0..8 {
+        let mut acc = 0u64;
+        for (j, &plane) in planes.iter().enumerate() {
+            acc |= spread8(plane, group, j as u32);
+        }
+        // un-mirror the multiply-spread (its byte k is lane 8·group+7−k)
+        // with a single byte-reversal instead of eight scalar stores
+        out[8 * group..8 * group + 8].copy_from_slice(&acc.swap_bytes().to_le_bytes());
+    }
+}
+
+/// Gather 9..=16 bit-planes into one `u16` per lane (two byte-spread
+/// passes over the low and high byte halves).
+///
+/// # Panics
+/// Debug-asserts `8 < planes.len() ≤ 16`.
+pub fn planes_to_u16(planes: &[u64], out: &mut [u16; 64]) {
+    debug_assert!(planes.len() > 8 && planes.len() <= 16);
+    let mut lo = [0u8; 64];
+    let mut hi = [0u8; 64];
+    planes_to_bytes(&planes[..8], &mut lo);
+    planes_to_bytes(&planes[8..], &mut hi);
+    for l in 0..64 {
+        out[l] = u16::from(lo[l]) | u16::from(hi[l]) << 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[u64; 64]) -> [u64; 64] {
+        let mut out = [0u64; 64];
+        for (r, o) in out.iter_mut().enumerate() {
+            for (c, &w) in a.iter().enumerate() {
+                *o |= (w >> r & 1) << c;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_transpose() {
+        // deterministic scatter covering all bit positions
+        let mut a = [0u64; 64];
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for w in a.iter_mut() {
+            x = x
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                .wrapping_add(0xDEAD_BEEF);
+            *w = x;
+        }
+        assert_eq!(transposed(&a), naive(&a));
+    }
+
+    #[test]
+    fn is_an_involution() {
+        let mut a = [0u64; 64];
+        for (i, w) in a.iter_mut().enumerate() {
+            *w = (i as u64).wrapping_mul(0x0101_0101_0101_0101) ^ (1u64 << i);
+        }
+        let orig = a;
+        transpose64(&mut a);
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn identity_matrix_fixed_point() {
+        let mut a = [0u64; 64];
+        for (i, w) in a.iter_mut().enumerate() {
+            *w = 1u64 << i;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn planes_to_bytes_matches_bit_gather() {
+        let mut planes = [0u64; 8];
+        let mut x = 0xF0E1_D2C3_B4A5_9687u64;
+        for p in planes.iter_mut() {
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(29);
+            *p = x;
+        }
+        for k in 1..=8usize {
+            let mut out = [0u8; 64];
+            planes_to_bytes(&planes[..k], &mut out);
+            for (l, &got) in out.iter().enumerate() {
+                let mut want = 0u8;
+                for (j, &p) in planes[..k].iter().enumerate() {
+                    want |= ((p >> l & 1) as u8) << j;
+                }
+                assert_eq!(got, want, "lane {l} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_moves_to_mirror_position() {
+        let mut a = [0u64; 64];
+        a[3] = 1u64 << 41; // (row 3, col 41)
+        transpose64(&mut a);
+        let mut expect = [0u64; 64];
+        expect[41] = 1u64 << 3;
+        assert_eq!(a, expect);
+    }
+}

@@ -21,6 +21,7 @@
 //! Module map (mirrors Figures 3–5 of the paper):
 //!
 //! * [`sim`] — clocked-simulation kernel (cycle counter, probes)
+//! * [`bitslice`] — 64-lane SWAR batch engine (64 GAP instances per word)
 //! * [`primitives`] — registers, counters, RAMs, shift registers
 //! * [`rng_rtl`] — the free-running cellular-automaton RNG
 //! * [`fitness_rtl`] — the combinational three-rule fitness network
@@ -38,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitslice;
 pub mod bitstream;
 pub mod fitness_rtl;
 pub mod gap_rtl;
@@ -53,6 +55,9 @@ pub mod walkctl_rtl;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::bitslice::{
+        CaRngX64, FitnessUnitX64, GapRtlX64, GapRtlX64Config, RamX64, LANES,
+    };
     pub use crate::bitstream::Bitstream;
     pub use crate::fitness_rtl::FitnessUnit;
     pub use crate::gap_rtl::{CycleBreakdown, GapRtl, GapRtlConfig};

@@ -106,13 +106,15 @@ impl<T: Clone + PartialEq> Probe<T> {
     }
 
     /// The value in force at `cycle` (the most recent transition at or
-    /// before it).
+    /// before it). Samples are stored in cycle order, so this is a binary
+    /// search — O(log n) per query even on multi-million-transition traces.
     pub fn value_at(&self, cycle: u64) -> Option<&T> {
-        self.samples
-            .iter()
-            .take_while(|(c, _)| *c <= cycle)
-            .last()
-            .map(|(_, v)| v)
+        let i = self.samples.partition_point(|(c, _)| *c <= cycle);
+        if i == 0 {
+            None
+        } else {
+            Some(&self.samples[i - 1].1)
+        }
     }
 
     /// Number of transitions.
@@ -183,6 +185,21 @@ mod tests {
         assert_eq!(p.value_at(5), Some(&10));
         assert_eq!(p.value_at(7), Some(&10));
         assert_eq!(p.value_at(100), Some(&20));
+    }
+
+    #[test]
+    fn probe_value_at_on_large_trace() {
+        // a long trace with a transition every 3rd cycle; check the
+        // binary search against the closed form at every cycle
+        let mut p = Probe::new();
+        for i in 0..1_000_000u64 {
+            p.sample(3 * i + 1, i);
+        }
+        assert_eq!(p.value_at(0), None);
+        for cycle in [1, 2, 3, 4, 299_999, 1_500_000, 2_999_998, u64::MAX] {
+            let expected = (cycle - 1) / 3;
+            assert_eq!(p.value_at(cycle), Some(&expected.min(999_999)));
+        }
     }
 
     #[test]

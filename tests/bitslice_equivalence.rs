@@ -1,0 +1,156 @@
+//! Lane-equivalence: the 64-lane bit-sliced batch GAP is 64 scalar RTL
+//! chips.
+//!
+//! The contract is total, not statistical: for every lane `l`, every
+//! architecturally visible register of `GapRtlX64` — population words,
+//! best-individual registers, generation and cycle counters, per-phase
+//! breakdowns, and (in recording mode) the full consumed-RNG-word log —
+//! is bit-for-bit the scalar `GapRtl` seeded with `seeds[l]`.
+
+use discipulus::params::GapParams;
+use leonardo_rtl::bitslice::{GapRtlX64, GapRtlX64Config, LANES};
+use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
+use leonardo_rtl::rng_rtl::CaRngRtl;
+
+fn seeds(n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| 0x1000 + 7 * i).collect()
+}
+
+fn assert_lane_matches(batch: &GapRtlX64, scalar: &GapRtl, l: usize, ctx: &str) {
+    assert_eq!(
+        batch.population(l),
+        scalar.population(),
+        "{ctx}: population lane {l}"
+    );
+    assert_eq!(batch.best(l), scalar.best(), "{ctx}: best lane {l}");
+    assert_eq!(
+        batch.generation(l),
+        scalar.generation(),
+        "{ctx}: generation lane {l}"
+    );
+    assert_eq!(
+        batch.cycles(l),
+        scalar.clock().cycles(),
+        "{ctx}: cycles lane {l}"
+    );
+    assert_eq!(
+        batch.breakdown(l),
+        scalar.breakdown(),
+        "{ctx}: breakdown lane {l}"
+    );
+}
+
+/// All 64 lanes, 30 generations of lockstep, full-state comparison every
+/// generation — drawn logs included.
+#[test]
+fn full_64_lane_lockstep_is_bit_exact() {
+    let s = seeds(LANES);
+    let mut batch = GapRtlX64::new(GapRtlX64Config::paper().recording(), &s);
+    let mut scalars: Vec<GapRtl> = s
+        .iter()
+        .map(|&seed| GapRtl::new(GapRtlConfig::paper(seed)))
+        .collect();
+    for (l, scalar) in scalars.iter().enumerate() {
+        assert_lane_matches(&batch, scalar, l, "after init");
+        assert_eq!(batch.drawn_log(l), scalar.drawn_log(), "init log lane {l}");
+    }
+    for gen in 0..30 {
+        batch.step_generation();
+        for (l, scalar) in scalars.iter_mut().enumerate() {
+            scalar.step_generation();
+            assert_lane_matches(&batch, scalar, l, &format!("gen {gen}"));
+            assert_eq!(
+                batch.drawn_log(l),
+                scalar.drawn_log(),
+                "drawn log lane {l} gen {gen}"
+            );
+        }
+    }
+}
+
+/// Per-lane convergence: the batch engine freezes each lane at its own
+/// convergence generation, and every lane lands exactly where its scalar
+/// twin does — generation, cycle count and best register.
+#[test]
+fn run_to_convergence_matches_scalar_per_lane() {
+    let s = seeds(LANES);
+    let mut batch = GapRtlX64::new(GapRtlX64Config::paper(), &s);
+    let converged = batch.run_to_convergence(50_000);
+    assert_eq!(converged, u64::MAX, "all 64 lanes should converge");
+    for (l, &seed) in s.iter().enumerate() {
+        let mut scalar = GapRtl::new(GapRtlConfig::paper(seed));
+        assert!(scalar.run_to_convergence(50_000), "scalar seed {seed:#x}");
+        assert_lane_matches(&batch, &scalar, l, "converged");
+    }
+}
+
+/// The unpipelined ablation obeys the same contract.
+#[test]
+fn unpipelined_lockstep_is_bit_exact() {
+    let s = seeds(16);
+    let mut batch = GapRtlX64::new(GapRtlX64Config::unpipelined().recording(), &s);
+    let mut scalars: Vec<GapRtl> = s
+        .iter()
+        .map(|&seed| GapRtl::new(GapRtlConfig::unpipelined(seed)))
+        .collect();
+    for gen in 0..15 {
+        batch.step_generation();
+        for (l, scalar) in scalars.iter_mut().enumerate() {
+            scalar.step_generation();
+            assert_lane_matches(&batch, scalar, l, &format!("unpipelined gen {gen}"));
+            assert_eq!(batch.drawn_log(l), scalar.drawn_log(), "log lane {l}");
+        }
+    }
+}
+
+/// A partially filled batch (fewer seeds than lanes) drives only the
+/// enabled lanes and still matches scalar chips on those.
+#[test]
+fn partial_batches_match_scalar() {
+    for n in [1usize, 5, 33] {
+        let s = seeds(n);
+        let mut batch = GapRtlX64::new(GapRtlX64Config::paper().recording(), &s);
+        for _ in 0..8 {
+            batch.step_generation();
+        }
+        for (l, &seed) in s.iter().enumerate() {
+            let mut scalar = GapRtl::new(GapRtlConfig::paper(seed));
+            for _ in 0..8 {
+                scalar.step_generation();
+            }
+            assert_lane_matches(&batch, &scalar, l, &format!("partial n={n}"));
+        }
+    }
+}
+
+/// E13's fault campaign through the lane-mask SEU port: each lane carries
+/// its own upset stream (one random flip per generation), and stays
+/// bit-exact with a scalar chip suffering the identical upsets.
+#[test]
+fn seu_injection_via_lane_masks_matches_scalar() {
+    let s = seeds(LANES);
+    let bits = GapParams::paper().population_bits() as u32;
+    let mut batch = GapRtlX64::new(GapRtlX64Config::paper(), &s);
+    let mut batch_faults: Vec<CaRngRtl> = s
+        .iter()
+        .map(|&seed| CaRngRtl::new(seed ^ 0xA5A5_5A5A))
+        .collect();
+    for _ in 0..20 {
+        batch.step_generation();
+        for (l, fault) in batch_faults.iter_mut().enumerate() {
+            fault.clock();
+            let pos = (fault.word() % bits) as usize;
+            batch.inject_upset(pos, 1u64 << l);
+        }
+    }
+    for (l, &seed) in s.iter().enumerate() {
+        let mut scalar = GapRtl::new(GapRtlConfig::paper(seed));
+        let mut fault = CaRngRtl::new(seed ^ 0xA5A5_5A5A);
+        for _ in 0..20 {
+            scalar.step_generation();
+            fault.clock();
+            scalar.inject_upset((fault.word() % bits) as usize);
+        }
+        assert_lane_matches(&batch, &scalar, l, "after upsets");
+    }
+}
