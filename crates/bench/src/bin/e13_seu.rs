@@ -13,8 +13,10 @@
 
 use discipulus::stats::SampleSummary;
 use leonardo_bench::harness::{arg_or, parallel_map, trial_seeds};
+use leonardo_bench::ExperimentSession;
 use leonardo_rtl::bitslice::{lanes, GapRtlX64, GapRtlX64Config, LANES};
 use leonardo_rtl::rng_rtl::CaRngRtl;
+use leonardo_telemetry as tele;
 
 /// Run up to 64 upset-injected evolutions in lockstep on the bit-sliced
 /// batch engine; returns per-trial generations to converge (`None` on
@@ -47,14 +49,52 @@ fn batch_with_upsets(seeds: &[u32], upsets_per_gen: f64, max_gens: u64) -> Vec<O
             }
         }
     }
+    if tele::enabled_at(tele::Level::Metric) {
+        for (l, &seed) in seeds.iter().enumerate() {
+            tele::emit(
+                tele::Level::Metric,
+                "bench.trial",
+                &[
+                    ("engine", "rtl_x64_seu".into()),
+                    ("seed", seed.into()),
+                    ("upsets_per_generation", upsets_per_gen.into()),
+                    ("converged", gap.converged(l).into()),
+                    ("generations", gap.generation(l).into()),
+                    ("cycles", gap.cycles(l).into()),
+                ],
+            );
+        }
+    }
     (0..seeds.len())
         .map(|l| gap.converged(l).then(|| gap.generation(l)))
+        .collect()
+}
+
+/// Per-trial generations for one upset rate, read back off the recorded
+/// telemetry stream (`None` per failed trial, preserving the success-rate
+/// denominator).
+fn gens_at_rate(session: &ExperimentSession, upsets: f64) -> Vec<Option<f64>> {
+    session
+        .aggregator()
+        .events("bench.trial")
+        .iter()
+        .filter(|t| t.f64_field("upsets_per_generation") == Some(upsets))
+        .map(|t| {
+            (t.bool_field("converged") == Some(true))
+                .then(|| t.f64_field("generations"))
+                .flatten()
+        })
         .collect()
 }
 
 fn main() {
     let trials: usize = arg_or("--trials", 16);
     let max_gens: u64 = arg_or("--max-gens", 100_000);
+
+    let mut session = ExperimentSession::begin("e13_seu");
+    session.set_param("trials", trials as f64);
+    session.set_param("max_generations", max_gens as f64);
+    session.set_seeds(&trial_seeds(trials));
 
     println!("E13: GAP convergence under population-RAM upsets\n");
     println!("(baseline mutation pressure: 15 flips/generation over 1152 bits)\n");
@@ -68,12 +108,11 @@ fn main() {
     let seeds = trial_seeds(trials);
     let chunks: Vec<&[u32]> = seeds.chunks(LANES).collect();
     for upsets in [0.0f64, 0.1, 1.0, 5.0, 15.0, 50.0] {
-        let results: Vec<Option<u64>> =
-            parallel_map(&chunks, |chunk| batch_with_upsets(chunk, upsets, max_gens))
-                .into_iter()
-                .flatten()
-                .collect();
-        let gens: Vec<f64> = results.iter().flatten().map(|&g| g as f64).collect();
+        // run the campaign for its telemetry events, then read the rate's
+        // per-trial outcomes back off the stream
+        parallel_map(&chunks, |chunk| batch_with_upsets(chunk, upsets, max_gens));
+        let results = gens_at_rate(&session, upsets);
+        let gens: Vec<f64> = results.iter().flatten().copied().collect();
         let success = gens.len() as f64 / trials as f64 * 100.0;
         match SampleSummary::of(&gens) {
             Some(s) => {
@@ -99,4 +138,8 @@ fn main() {
     println!("mutation — and convergence only degrades once upsets dominate the");
     println!("mutation budget severalfold. This is the quantitative form of the");
     println!("evolvable-hardware robustness argument.");
+
+    let manifest_path = session.manifest_path();
+    session.finish();
+    println!("\nrun manifest: {}", manifest_path.display());
 }

@@ -4,16 +4,49 @@
 //! 2000 generations."
 //!
 //! Runs many seeded behavioural GAP trials with the paper's parameters and
-//! reports the generations-to-maximum-fitness distribution.
+//! reports the generations-to-maximum-fitness distribution. The run is
+//! recorded through the telemetry layer: the statistics below are derived
+//! from the `bench.trial` event stream (also written to
+//! `results/e1_convergence.events.jsonl`), and a run manifest with params,
+//! seeds and cycle totals lands next to it.
 //!
-//! Usage: `e1_convergence [--trials N] [--max-gens G]`
+//! Usage: `e1_convergence [--trials N] [--max-gens G] [--telemetry-trace]`
 
 use discipulus::gap::GeneticAlgorithmProcessor;
 use discipulus::stats::SampleSummary;
 use leonardo_bench::harness::{
-    arg_or, convergence_sample, parallel_map, rtl_convergence_batch, rtl_stats, trial_seeds,
+    arg_or, convergence_sample, parallel_map, rtl_convergence_batch, trial_seeds,
 };
-use leonardo_bench::{Comparison, ComparisonTable, Verdict};
+use leonardo_bench::{trial_stats, Comparison, ComparisonTable, ExperimentSession, Verdict};
+
+/// Render a generations-to-convergence histogram over fixed-width buckets
+/// — the telemetry-derived convergence trajectory EXPERIMENTS.md quotes.
+fn generations_histogram(gens: &[f64], bucket: u64, width: usize) -> String {
+    if gens.is_empty() {
+        return String::new();
+    }
+    let max = gens.iter().copied().fold(0.0f64, f64::max) as u64;
+    let buckets = (max / bucket + 1) as usize;
+    let mut counts = vec![0u64; buckets];
+    for &g in gens {
+        counts[(g as u64 / bucket) as usize] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let bar = "#".repeat(((c as f64 / peak as f64) * width as f64).ceil() as usize);
+        out.push_str(&format!(
+            "  {:>5}-{:<5} {:>4}  {bar}\n",
+            i as u64 * bucket,
+            (i + 1) as u64 * bucket - 1,
+            c
+        ));
+    }
+    out
+}
 
 /// Generations until at least `frac` of the population holds a maximal
 /// genome — the strict population-level reading of "to evolve the maximum
@@ -46,11 +79,32 @@ fn main() {
     let trials: usize = arg_or("--trials", 200);
     let max_gens: u64 = arg_or("--max-gens", 200_000);
     let params = discipulus::params::GapParams::paper();
+    let seeds = trial_seeds(trials);
+
+    let mut session = ExperimentSession::begin("e1_convergence");
+    session.set_param("trials", trials as f64);
+    session.set_param("max_generations", max_gens as f64);
+    session.set_param("population_size", params.population_size as f64);
+    session.set_param("selection_threshold", params.selection_threshold.prob());
+    session.set_param("crossover_threshold", params.crossover_threshold.prob());
+    session.set_param(
+        "mutations_per_generation",
+        params.mutations_per_generation as f64,
+    );
+    session.set_seeds(&seeds);
+    session.set_threads(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
 
     println!(
         "E1: {trials} GAP trials, paper parameters (pop 32, sel 0.8, xover 0.7, 15 mutations)\n"
     );
-    let stats = convergence_sample(params, &trial_seeds(trials), max_gens);
+    // run the trials, then read the results back off the telemetry stream
+    // the run just recorded — the binary consumes its own event log
+    convergence_sample(params, &seeds, max_gens);
+    let stats = trial_stats(session.aggregator(), "behavioural");
     let summary = stats.summary.expect("at least one converged trial");
 
     let mut sorted = stats.generations.clone();
@@ -71,6 +125,10 @@ fn main() {
         stats.failures
     );
 
+    println!("generations-to-max histogram (bucket 50):");
+    print!("{}", generations_histogram(&stats.generations, 50, 40));
+    println!();
+
     // strict reading: the population itself has to "evolve the maximum
     // fitness" — half the individuals maximal
     let strict: Vec<Option<u64>> = parallel_map(&trial_seeds(trials), |&seed| {
@@ -86,7 +144,8 @@ fn main() {
 
     // cycle-accurate cross-check on the bit-sliced batch engine: the same
     // multi-seed sampling, 64 RTL GAP instances per machine word
-    let rtl = rtl_stats(&rtl_convergence_batch(&trial_seeds(trials), max_gens));
+    rtl_convergence_batch(&seeds, max_gens);
+    let rtl = trial_stats(session.aggregator(), "rtl_x64");
     println!("RTL batch engine (64 lanes/word, own RNG stream):");
     match &rtl.summary {
         Some(s) => println!("  {s}   (failures: {})\n", rtl.failures),
@@ -137,4 +196,15 @@ fn main() {
         Verdict::Reproduced,
     ));
     println!("{table}");
+
+    let manifest_path = session.manifest_path();
+    let events_path = session.events_path();
+    let manifest = session.finish();
+    println!("run manifest: {}", manifest_path.display());
+    if let Some(events) = events_path {
+        println!("event stream: {}", events.display());
+    }
+    if let Some(cycles) = manifest.simulated_cycles {
+        println!("simulated RTL cycles: {cycles}");
+    }
 }

@@ -18,28 +18,62 @@ use discipulus::rng::analysis::{is_maximal_rule, ones_fraction};
 use discipulus::rng::{CellularRng, FromRngCore, Lfsr32, RngSource, MAXIMAL_RULE_90_150};
 use discipulus::stats::SampleSummary;
 use leonardo_bench::harness::{arg_or, parallel_map, trial_seeds};
+use leonardo_bench::ExperimentSession;
 use leonardo_rtl::bitslice::CaRngX64;
 use leonardo_rtl::rng_rtl::CaRngRtl;
+use leonardo_telemetry as tele;
+use leonardo_telemetry::sink::Aggregator;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
 
+/// Run one GA trial per seed under `make`'s generator, publishing each
+/// trial as a `bench.trial` event tagged with the generator's name.
 fn convergence_with<R: RngSource, F: Fn(u32) -> R + Sync>(
+    rng_name: &'static str,
     make: F,
     seeds: &[u32],
     max_gens: u64,
-) -> SampleSummary {
-    let gens: Vec<f64> = parallel_map(seeds, |&seed| {
+) {
+    parallel_map(seeds, |&seed| {
         let mut gap = GeneticAlgorithmProcessor::with_rng(GapParams::paper(), make(seed));
-        gap.run_to_convergence(max_gens).generations as f64
+        let out = gap.run_to_convergence(max_gens);
+        tele::emit(
+            tele::Level::Metric,
+            "bench.trial",
+            &[
+                ("engine", "behavioural".into()),
+                ("rng", rng_name.into()),
+                ("seed", seed.into()),
+                ("converged", out.converged.into()),
+                ("generations", out.generations.into()),
+            ],
+        );
     });
+}
+
+/// Summarize the converged `bench.trial` events of one generator off the
+/// telemetry stream.
+fn summary_for(aggregator: &Aggregator, rng_name: &str) -> SampleSummary {
+    let gens: Vec<f64> = aggregator
+        .events("bench.trial")
+        .iter()
+        .filter(|t| t.str_field("rng") == Some(rng_name))
+        .filter(|t| t.bool_field("converged") == Some(true))
+        .filter_map(|t| t.f64_field("generations"))
+        .collect();
     SampleSummary::of(&gens).expect("trials")
 }
 
 fn main() {
     let trials: usize = arg_or("--trials", 60);
     let seeds = trial_seeds(trials);
+
+    let mut session = ExperimentSession::begin("e8_rng");
+    session.set_param("trials", trials as f64);
+    session.set_param("max_generations", 200_000.0);
+    session.set_seeds(&seeds);
 
     println!("E8: RNG comparison\n");
 
@@ -88,14 +122,20 @@ fn main() {
         sliced_rate / scalar_rate
     );
 
-    // 3. what matters: GA convergence under each generator
-    let ca_sum = convergence_with(CellularRng::new, &seeds, 200_000);
-    let lfsr_sum = convergence_with(Lfsr32::new, &seeds, 200_000);
-    let lib_sum = convergence_with(
+    // 3. what matters: GA convergence under each generator. Trials are
+    //    published as telemetry events; the summaries are read back off
+    //    the session's aggregated stream.
+    convergence_with("ca90_150", CellularRng::new, &seeds, 200_000);
+    convergence_with("lfsr32", Lfsr32::new, &seeds, 200_000);
+    convergence_with(
+        "smallrng",
         |seed| FromRngCore(SmallRng::seed_from_u64(u64::from(seed))),
         &seeds,
         200_000,
     );
+    let ca_sum = summary_for(session.aggregator(), "ca90_150");
+    let lfsr_sum = summary_for(session.aggregator(), "lfsr32");
+    let lib_sum = summary_for(session.aggregator(), "smallrng");
 
     println!("  generations to converge, {trials} trials each:");
     println!("    CA 90/150 (on-chip)  : {ca_sum}");
@@ -113,4 +153,8 @@ fn main() {
             "generator choice matters on this landscape"
         }
     );
+
+    let manifest_path = session.manifest_path();
+    session.finish();
+    println!("\nrun manifest: {}", manifest_path.display());
 }

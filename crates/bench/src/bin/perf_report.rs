@@ -6,9 +6,16 @@
 //! per-seed results are bit-identical, and writes the measured simulated-
 //! cycle throughput of both sides as JSON.
 //!
+//! Alongside the JSON it writes a versioned run manifest
+//! (`<out>.manifest.json`) recording trials, seeds, git revision and
+//! wall/cycle totals, so perf trajectories across commits stay
+//! reproducible. No telemetry sink is installed during the timed
+//! region — the report measures the engines, not the instrumentation.
+//!
 //! Usage: `perf_report [--trials N] [--max-gens G] [--reps R] [--out FILE]`
 
 use leonardo_bench::harness::{arg_or, rtl_convergence_batch, rtl_convergence_scalar, trial_seeds};
+use leonardo_telemetry::RunManifest;
 use std::time::Instant;
 
 /// Wall-time the fastest of `reps` runs of `f` (best-of-N absorbs cold
@@ -63,4 +70,19 @@ fn main() {
     std::fs::write(&out, &json).expect("write report");
     println!("{json}");
     eprintln!("wrote {out}");
+
+    let mut manifest = RunManifest::new("perf_report")
+        .with_param("trials", trials as f64)
+        .with_param("max_generations", max_gens as f64)
+        .with_param("reps", reps as f64)
+        .with_param("scalar_wall_seconds", scalar_wall)
+        .with_param("sliced_wall_seconds", sliced_wall)
+        .with_param("speedup", speedup);
+    manifest.seeds = seeds.iter().map(|&s| u64::from(s)).collect();
+    manifest.threads = threads as u64;
+    manifest.wall_seconds = scalar_wall + sliced_wall;
+    manifest.simulated_cycles = Some(cycles);
+    let manifest_path = format!("{out}.manifest.json");
+    manifest.write(&manifest_path).expect("write manifest");
+    eprintln!("wrote {manifest_path}");
 }

@@ -5,7 +5,26 @@ use discipulus::params::GapParams;
 use discipulus::stats::SampleSummary;
 use leonardo_rtl::bitslice::{lanes, GapRtlX64, GapRtlX64Config, LANES};
 use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
+use leonardo_telemetry as tele;
 use parking_lot::Mutex;
+
+/// Emit the per-trial `bench.trial` telemetry event every sampling path
+/// shares; `cycles` is 0 for the behavioural engine (no clock).
+fn emit_trial(engine: &'static str, seed: u32, trial: RtlTrial) {
+    if tele::enabled_at(tele::Level::Metric) {
+        tele::emit(
+            tele::Level::Metric,
+            "bench.trial",
+            &[
+                ("engine", engine.into()),
+                ("seed", seed.into()),
+                ("converged", trial.converged.into()),
+                ("generations", trial.generations.into()),
+                ("cycles", trial.cycles.into()),
+            ],
+        );
+    }
+}
 
 /// Deterministic seed list for multi-trial experiments.
 pub fn trial_seeds(n: usize) -> Vec<u32> {
@@ -33,6 +52,15 @@ pub fn convergence_sample(
     let results = parallel_map(seeds, |&seed| {
         let mut gap = GeneticAlgorithmProcessor::new(params, seed);
         let outcome = gap.run_to_convergence(max_generations);
+        emit_trial(
+            "behavioural",
+            seed,
+            RtlTrial {
+                converged: outcome.converged,
+                generations: outcome.generations,
+                cycles: 0,
+            },
+        );
         (outcome.converged, outcome.generations)
     });
     let generations: Vec<f64> = results
@@ -80,11 +108,13 @@ pub fn rtl_convergence_scalar(seeds: &[u32], max_generations: u64) -> Vec<RtlTri
     parallel_map(seeds, |&seed| {
         let mut gap = GapRtl::new(GapRtlConfig::paper(seed));
         let converged = gap.run_to_convergence(max_generations);
-        RtlTrial {
+        let trial = RtlTrial {
             converged,
             generations: gap.generation(),
             cycles: gap.clock().cycles(),
-        }
+        };
+        emit_trial("rtl_scalar", seed, trial);
+        trial
     })
 }
 
@@ -153,14 +183,13 @@ fn batch_worker(
         // harvest finished lanes into the free pool
         for l in lanes(gap.enabled() & !running) {
             let Some(i) = trial[l].take() else { continue };
-            results.lock().push((
-                i,
-                RtlTrial {
-                    converged: gap.converged(l),
-                    generations: gap.generation(l),
-                    cycles: gap.cycles(l),
-                },
-            ));
+            let done = RtlTrial {
+                converged: gap.converged(l),
+                generations: gap.generation(l),
+                cycles: gap.cycles(l),
+            };
+            emit_trial("rtl_x64", seeds[i], done);
+            results.lock().push((i, done));
             free.push(l);
         }
         let active = lanes(gap.enabled())

@@ -12,7 +12,9 @@
 pub mod gait_problem;
 pub mod harness;
 pub mod report;
+pub mod session;
 
 pub use gait_problem::GaitRuleProblem;
 pub use harness::{convergence_sample, parallel_map, trial_seeds, ConvergenceStats};
 pub use report::{Comparison, ComparisonTable, Verdict};
+pub use session::{trial_stats, ExperimentSession};

@@ -1,4 +1,5 @@
-//! The fitness module: three logic-only physical plausibility rules.
+//! The fitness module: three logic-only physical plausibility rules
+//! (paper fact F2).
 //!
 //! Section 3.2 of the paper explains why fitness cannot be measured by
 //! actually walking (a trial would take ~5 s of real time per genome) and

@@ -1,4 +1,6 @@
-//! The Genetic Algorithm Processor (GAP), behavioural model.
+//! The Genetic Algorithm Processor (GAP), behavioural model (paper facts
+//! F3 — the operator set and thresholds — and F4 — the fixed
+//! fitness→selection→crossover→mutation operator order).
 //!
 //! Paper §3.2: "The GAP includes the four principal operators for the
 //! genetic algorithm: fitness, selection, crossover, and mutation. Each of
@@ -28,6 +30,7 @@ use crate::genome::{Genome, GENOME_BITS};
 use crate::params::GapParams;
 use crate::rng::{CellularRng, RngSource};
 use crate::stats::{GenerationRecord, RunStats};
+use leonardo_telemetry as tele;
 
 /// A population buffer: a fixed-size vector of genomes.
 ///
@@ -308,7 +311,22 @@ impl<R: RngSource> GeneticAlgorithmProcessor<R> {
         std::mem::swap(&mut self.basis, &mut self.intermediate);
         self.generation += 1;
         self.evaluate_fitness();
-        self.record()
+        let rec = self.record();
+        if tele::enabled_at(tele::Level::Trace) {
+            tele::emit(
+                tele::Level::Trace,
+                "gap.generation",
+                &[
+                    ("generation", rec.generation.into()),
+                    ("best", u64::from(rec.best_fitness).into()),
+                    ("mean", rec.mean_fitness.into()),
+                    ("min", u64::from(rec.min_fitness).into()),
+                    ("best_ever", u64::from(rec.best_ever).into()),
+                    ("diversity", rec.diversity.into()),
+                ],
+            );
+        }
+        rec
     }
 
     /// Statistics record for the current population.
@@ -335,6 +353,17 @@ impl<R: RngSource> GeneticAlgorithmProcessor<R> {
         while !self.converged() && self.generation < max_generations {
             let rec = self.step_generation();
             stats.push(rec);
+        }
+        if tele::enabled_at(tele::Level::Metric) {
+            tele::emit(
+                tele::Level::Metric,
+                "gap.run",
+                &[
+                    ("generations", self.generation.into()),
+                    ("converged", self.converged().into()),
+                    ("best", u64::from(self.best_fitness).into()),
+                ],
+            );
         }
         GapOutcome {
             best_genome: self.best_genome,

@@ -1,4 +1,4 @@
-//! The 36-bit walking genome and its bit layout.
+//! The 36-bit walking genome and its bit layout (paper fact F1).
 //!
 //! Section 3.1 of the paper defines the encoding:
 //!

@@ -29,6 +29,14 @@
 //! the companion crate `leonardo-rtl`; a kinematic simulator of the robot
 //! itself lives in `leonardo-walker`.
 //!
+//! Module docs cite the paper's quantitative claims by their labels
+//! F1–F9 (the fact index in the repository's `PAPER.md`): F1 encoding
+//! ([`genome`], [`movement`]), F2 fitness rules ([`fitness`]), F3/F4
+//! operators and pipeline order ([`gap`], [`rng`]), F5 parameters
+//! ([`params`]), F6/F7 timing ([`timing`]), F8 resources (modelled in
+//! `leonardo-rtl`), F9 walk quality ([`movement`], judged in
+//! `leonardo-walker`).
+//!
 //! ## Quick start
 //!
 //! ```

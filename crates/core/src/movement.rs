@@ -1,4 +1,6 @@
-//! Decoded leg movements and the micro-phase expansion of a step.
+//! Decoded leg movements and the micro-phase expansion of a step (the
+//! per-leg 3-bit semantics of paper fact F1; how a maximal-fitness genome
+//! turns into a walk that is "nonetheless good", fact F9).
 //!
 //! A step (one half of the genome) is executed by the walking controller as
 //! three sequential micro-phases per leg:

@@ -1,4 +1,4 @@
-//! GAP configuration parameters.
+//! GAP configuration parameters (paper fact F5).
 //!
 //! The paper (§3.3) publishes the exact parameter set used on the chip:
 //!

@@ -1,4 +1,5 @@
-//! Hardware-style pseudo-random number generators.
+//! Hardware-style pseudo-random number generators (the CA-based PRNG of
+//! paper fact F3).
 //!
 //! The paper (§3.2): "The first operator which runs every time is the random
 //! number generator. It generates a new pseudo-random number for all genetic

@@ -2,7 +2,9 @@
 //!
 //! The physical chip has no instrumentation beyond the best-individual
 //! register; this module is pure reproduction tooling used by the
-//! experiment harness (convergence curves for E1, ablations for E7…E9).
+//! experiment harness (convergence curves for E1 / paper fact F6,
+//! ablations for E7…E9). Richer recording — per-generation event streams
+//! and run manifests — lives in the `leonardo-telemetry` crate.
 
 use crate::fitness::FitnessValue;
 use core::fmt;

@@ -1,4 +1,6 @@
-//! Analytic cycle/time model of the on-chip GAP.
+//! Analytic cycle/time model of the on-chip GAP (paper facts F6 — ≈10
+//! minutes to converge at 1 MHz — and F7 — ≈19 hours for the exhaustive
+//! baseline).
 //!
 //! The paper's two headline timing claims (§3.3) are functions of cycle
 //! counts at the published 1 MHz clock:

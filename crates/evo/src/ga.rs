@@ -5,6 +5,7 @@ use crate::genome::BitString;
 use crate::mutate::Mutation;
 use crate::problem::Problem;
 use crate::select::Selection;
+use leonardo_telemetry as tele;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -91,6 +92,22 @@ pub struct GenSnapshot {
     pub mean: f64,
 }
 
+/// Cumulative operator-invocation counters for one [`Ga`] instance.
+///
+/// Exposed both programmatically ([`Ga::operator_counts`]) and as fields
+/// of the `evo.ga.generation` / `evo.ga.run` telemetry events, so runs
+/// can report operator-level statistics the way the FSM-synthesis work in
+/// PAPERS.md does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorCounts {
+    /// Parent-selection draws performed.
+    pub selections: u64,
+    /// Pairs that underwent crossover.
+    pub crossovers: u64,
+    /// Pairs copied unchanged (crossover probability not met).
+    pub clones: u64,
+}
+
 /// Result of a [`Ga::run`] call.
 #[derive(Debug, Clone)]
 pub struct GaOutcome {
@@ -119,6 +136,7 @@ pub struct Ga<P: Problem> {
     best_fitness: f64,
     generation: u64,
     evaluations: u64,
+    counts: OperatorCounts,
 }
 
 impl<P: Problem> Ga<P> {
@@ -158,6 +176,7 @@ impl<P: Problem> Ga<P> {
             fitness,
             generation: 0,
             evaluations,
+            counts: OperatorCounts::default(),
         }
     }
 
@@ -186,6 +205,11 @@ impl<P: Problem> Ga<P> {
         &self.population
     }
 
+    /// Cumulative operator-invocation counters since construction.
+    pub fn operator_counts(&self) -> OperatorCounts {
+        self.counts
+    }
+
     /// Execute one generation; returns its snapshot.
     pub fn step(&mut self) -> GenSnapshot {
         let n = self.config.population_size;
@@ -205,13 +229,20 @@ impl<P: Problem> Ga<P> {
         }
 
         // fill the rest pairwise by selection + crossover
+        let mut step_counts = OperatorCounts::default();
         while next.len() < n {
             let a = self.config.selection.pick(&self.fitness, &mut self.rng);
             let b = self.config.selection.pick(&self.fitness, &mut self.rng);
-            let (mut x, y) = if self
+            step_counts.selections += 2;
+            let crossed = self
                 .rng
-                .random_bool(self.config.crossover_prob.clamp(0.0, 1.0))
-            {
+                .random_bool(self.config.crossover_prob.clamp(0.0, 1.0));
+            if crossed {
+                step_counts.crossovers += 1;
+            } else {
+                step_counts.clones += 1;
+            }
+            let (mut x, y) = if crossed {
                 self.config
                     .crossover
                     .apply(&self.population[a], &self.population[b], &mut self.rng)
@@ -247,7 +278,29 @@ impl<P: Problem> Ga<P> {
                 self.best_genome = self.population[i].clone();
             }
         }
-        self.snapshot()
+        self.counts.selections += step_counts.selections;
+        self.counts.crossovers += step_counts.crossovers;
+        self.counts.clones += step_counts.clones;
+
+        let snap = self.snapshot();
+        if tele::enabled_at(tele::Level::Trace) {
+            // best − mean is the selection-pressure proxy the trajectory
+            // plots use; emitting both lets the sink derive it either way.
+            tele::emit(
+                tele::Level::Trace,
+                "evo.ga.generation",
+                &[
+                    ("generation", snap.generation.into()),
+                    ("best", snap.best.into()),
+                    ("mean", snap.mean.into()),
+                    ("best_ever", self.best_fitness.into()),
+                    ("selections", step_counts.selections.into()),
+                    ("crossovers", step_counts.crossovers.into()),
+                    ("clones", step_counts.clones.into()),
+                ],
+            );
+        }
+        snap
     }
 
     /// Replace the worst individuals with `newcomers` (island-model
@@ -309,6 +362,21 @@ impl<P: Problem> Ga<P> {
         let mut history = vec![self.snapshot()];
         while !reached(self.best_fitness) && self.generation < max_generations {
             history.push(self.step());
+        }
+        if tele::enabled_at(tele::Level::Metric) {
+            tele::emit(
+                tele::Level::Metric,
+                "evo.ga.run",
+                &[
+                    ("generations", self.generation.into()),
+                    ("evaluations", self.evaluations.into()),
+                    ("best", self.best_fitness.into()),
+                    ("reached_target", reached(self.best_fitness).into()),
+                    ("selections", self.counts.selections.into()),
+                    ("crossovers", self.counts.crossovers.into()),
+                    ("clones", self.counts.clones.into()),
+                ],
+            );
         }
         GaOutcome {
             best_genome: self.best_genome.clone(),
@@ -404,6 +472,20 @@ mod tests {
             assert_eq!(snap.generation as usize, i);
             assert!(snap.mean <= snap.best);
         }
+    }
+
+    #[test]
+    fn operator_counts_accumulate() {
+        let mut ga = Ga::new(GaConfig::default(), OneMax(36), 12);
+        assert_eq!(ga.operator_counts(), OperatorCounts::default());
+        for _ in 0..10 {
+            ga.step();
+        }
+        let c = ga.operator_counts();
+        // population 32, no elitism: 16 pairs per generation, 2 selection
+        // draws per pair, and every pair either crosses or clones.
+        assert_eq!(c.crossovers + c.clones, 160);
+        assert_eq!(c.selections, 320);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::ga::{Ga, GaConfig};
 use crate::genome::BitString;
 use crate::problem::Problem;
+use leonardo_telemetry as tele;
 
 /// Configuration of an [`IslandModel`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,6 +149,17 @@ impl<'p, P: Problem + Sync> IslandModel<'p, P> {
             let dst = (src + 1) % n;
             self.islands[dst].accept_migrants(&migrants);
         }
+        if tele::enabled_at(tele::Level::Metric) {
+            tele::emit(
+                tele::Level::Metric,
+                "evo.island.migration",
+                &[
+                    ("round", self.rounds.into()),
+                    ("islands", n.into()),
+                    ("migrants_per_island", k.into()),
+                ],
+            );
+        }
     }
 
     /// Run rounds until the target fitness (or the problem's known
@@ -164,6 +176,35 @@ impl<'p, P: Problem + Sync> IslandModel<'p, P> {
             self.round();
         }
         let (best_genome, best_fitness, island_of_best) = self.best();
+        if tele::enabled_at(tele::Level::Metric) {
+            tele::emit(
+                tele::Level::Metric,
+                "evo.island.run",
+                &[
+                    ("rounds", self.rounds.into()),
+                    ("islands", self.islands.len().into()),
+                    ("best", best_fitness.into()),
+                    ("island_of_best", island_of_best.into()),
+                    ("reached_target", reached(self).into()),
+                    (
+                        "total_generations",
+                        self.islands
+                            .iter()
+                            .map(|g| g.generation())
+                            .sum::<u64>()
+                            .into(),
+                    ),
+                    (
+                        "total_evaluations",
+                        self.islands
+                            .iter()
+                            .map(|g| g.evaluations())
+                            .sum::<u64>()
+                            .into(),
+                    ),
+                ],
+            );
+        }
         IslandOutcome {
             best_genome,
             best_fitness,

@@ -10,6 +10,7 @@ use crate::ga::{Ga, GaConfig};
 use crate::problem::Problem;
 use crate::stats::{success_rate, Summary};
 use core::fmt;
+use leonardo_telemetry as tele;
 use parking_lot::Mutex;
 
 /// One configuration in a sweep, with a human-readable label.
@@ -137,6 +138,19 @@ impl SweepRunner {
                     while let Ok((pi, seed)) = rx.recv() {
                         let mut ga = Ga::new(points[pi].config, problem, seed);
                         let out = ga.run(self.max_generations, target);
+                        if tele::enabled_at(tele::Level::Metric) {
+                            tele::emit(
+                                tele::Level::Metric,
+                                "evo.sweep.trial",
+                                &[
+                                    ("point", pi.into()),
+                                    ("seed", seed.into()),
+                                    ("success", out.reached_target.into()),
+                                    ("generations", out.generations.into()),
+                                    ("evaluations", out.evaluations.into()),
+                                ],
+                            );
+                        }
                         results.lock().push((
                             pi,
                             out.reached_target,

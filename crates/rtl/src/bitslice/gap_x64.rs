@@ -47,6 +47,7 @@ use crate::resources::{ResourceReport, Resources};
 use discipulus::gap::Population;
 use discipulus::genome::{Genome, GENOME_BITS, GENOME_MASK};
 use discipulus::params::GapParams;
+use leonardo_telemetry as tele;
 
 /// Fixed cost of the bit-serial crossover datapath per pair (mirrors the
 /// scalar constant): 36 shift cycles plus two commit writes.
@@ -724,9 +725,38 @@ impl GapRtlX64 {
         if active == 0 {
             return;
         }
+        let telemetry = tele::enabled_at(tele::Level::Metric);
+        let converged_before = if telemetry { self.converged_mask() } else { 0 };
         let mut acct = Acct::new(active);
         self.step_internal(&mut acct);
         self.flush(&acct);
+        if telemetry {
+            if tele::enabled_at(tele::Level::Trace) {
+                // lane occupancy of this lockstep step: the batch engine's
+                // pipeline utilisation metric (64 = full, 1 = worst case)
+                tele::emit(
+                    tele::Level::Trace,
+                    "rtl.x64.step",
+                    &[
+                        ("active_lanes", u64::from(active.count_ones()).into()),
+                        ("enabled_lanes", u64::from(self.enabled.count_ones()).into()),
+                    ],
+                );
+            }
+            let fresh = self.converged_mask() & !converged_before;
+            for l in lanes(fresh) {
+                tele::emit(
+                    tele::Level::Metric,
+                    "rtl.x64.lane_converged",
+                    &[
+                        ("lane", l.into()),
+                        ("generation", self.generation[l].into()),
+                        ("cycles", self.cycles[l].into()),
+                        ("best", self.best_fitness[l].into()),
+                    ],
+                );
+            }
+        }
     }
 
     /// Advance every enabled lane one generation (lockstep batch step —

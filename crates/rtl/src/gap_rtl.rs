@@ -43,6 +43,7 @@ use crate::sim::Clock;
 use discipulus::gap::Population;
 use discipulus::genome::{Genome, GENOME_BITS};
 use discipulus::params::GapParams;
+use leonardo_telemetry as tele;
 
 /// Configuration of the RTL GAP.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -352,6 +353,8 @@ impl GapRtl {
 
     /// Execute one full generation (reproduce → mutate → swap → fitness).
     pub fn step_generation(&mut self) {
+        let cycles_before = self.clock.cycles();
+        let draws_before = self.drawn_log.len();
         self.run_reproduce_phase();
         self.run_mutate_phase();
         // bank-select toggle
@@ -359,6 +362,18 @@ impl GapRtl {
         std::mem::swap(&mut self.basis, &mut self.intermediate);
         self.generation += 1;
         self.run_fitness_phase();
+        if tele::enabled_at(tele::Level::Trace) {
+            tele::emit(
+                tele::Level::Trace,
+                "rtl.gap.generation",
+                &[
+                    ("generation", self.generation.into()),
+                    ("cycles", (self.clock.cycles() - cycles_before).into()),
+                    ("draws", (self.drawn_log.len() - draws_before).into()),
+                    ("best_ever", self.best_fitness.into()),
+                ],
+            );
+        }
     }
 
     /// Run generations until the maximum fitness is reached or
@@ -366,6 +381,24 @@ impl GapRtl {
     pub fn run_to_convergence(&mut self, max_generations: u64) -> bool {
         while !self.converged() && self.generation < max_generations {
             self.step_generation();
+        }
+        if tele::enabled_at(tele::Level::Metric) {
+            let b = self.breakdown;
+            tele::emit(
+                tele::Level::Metric,
+                "rtl.gap.run",
+                &[
+                    ("converged", self.converged().into()),
+                    ("generations", self.generation.into()),
+                    ("cycles", self.clock.cycles().into()),
+                    ("draws", self.drawn_log.len().into()),
+                    ("cycles_init", b.init.into()),
+                    ("cycles_fitness", b.fitness.into()),
+                    ("cycles_reproduce", b.reproduce.into()),
+                    ("cycles_mutate", b.mutate.into()),
+                    ("cycles_overhead", b.overhead.into()),
+                ],
+            );
         }
         self.converged()
     }

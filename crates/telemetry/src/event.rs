@@ -1,0 +1,187 @@
+//! The event vocabulary: levels, field values and payloads.
+//!
+//! An [`Event`] is the only thing that crosses the instrumentation
+//! boundary: a static name, a [`Level`], and a [`Payload`] that is either
+//! a counter increment, a scalar observation (histogram/summary sample),
+//! or a borrowed list of named fields. Nothing here allocates — field
+//! lists live on the caller's stack and string values are `'static` — so
+//! constructing an event inside a hot loop costs a handful of moves.
+
+use core::fmt;
+
+/// Verbosity level of an event.
+///
+/// Sessions install a sink together with a maximum level; events above
+/// that level are dropped before they are built (the emit sites guard on
+/// [`crate::enabled_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Coarse, per-run / per-trial events: run outcomes, trial results,
+    /// lane-convergence marks, migrations. Cheap enough to leave on for
+    /// every experiment binary.
+    Metric = 0,
+    /// Fine, per-generation events: generation snapshots, operator
+    /// counters, pipeline occupancy. Orders of magnitude more frequent
+    /// than [`Level::Metric`]; opt in with `--telemetry-trace`.
+    Trace = 1,
+}
+
+impl Level {
+    /// Stable lower-case name used in the JSONL stream.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Metric => "metric",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A field value. `Copy` on purpose: field lists are borrowed slices and
+/// sinks that outlive the event (the aggregator) copy them wholesale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, generation indices, cycle counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (means, rates, seconds).
+    F64(f64),
+    /// Boolean flag (converged, reached-target).
+    Bool(bool),
+    /// Static string label (engine names, operator names).
+    Str(&'static str),
+}
+
+impl Value {
+    /// The value as `f64`, if it is numeric (`U64`, `I64` or `F64`).
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            Value::Bool(_) | Value::Str(_) => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an unsigned integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a static string, if it is one.
+    pub fn as_str(self) -> Option<&'static str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// What an event carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payload<'a> {
+    /// A counter increment: "this happened `n` more times".
+    Count(u64),
+    /// One scalar observation of a distribution (a histogram sample).
+    Observe(f64),
+    /// A structured point event with named fields.
+    Fields(&'a [(&'static str, Value)]),
+}
+
+/// One telemetry event, borrowed from the emit site's stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event<'a> {
+    /// Dot-separated static name, e.g. `"bench.trial"`. The emitting
+    /// crate owns the first segment (`evo.`, `gap.`, `rtl.`, `bench.`).
+    pub name: &'static str,
+    /// The event's verbosity level.
+    pub level: Level,
+    /// The payload.
+    pub payload: Payload<'a>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u64).as_u64(), Some(3));
+        assert_eq!(Value::from(3u32).as_u64(), Some(3));
+        assert_eq!(Value::from(3usize).as_f64(), Some(3.0));
+        assert_eq!(Value::from(-3i64).as_f64(), Some(-3.0));
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_f64(), None);
+        assert_eq!(Value::from(2.5f64).as_u64(), None);
+        assert_eq!(Value::from(1u64).as_bool(), None);
+        assert_eq!(Value::from(1u64).as_str(), None);
+    }
+
+    #[test]
+    fn level_ordering_and_names() {
+        assert!(Level::Metric < Level::Trace);
+        assert_eq!(Level::Metric.to_string(), "metric");
+        assert_eq!(Level::Trace.name(), "trace");
+    }
+}

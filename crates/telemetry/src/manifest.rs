@@ -1,0 +1,357 @@
+//! Versioned run manifests.
+//!
+//! Every experiment binary writes one [`RunManifest`] next to its output
+//! (`BENCH_*.json`, `results/*.txt`): the parameters, seeds, git revision
+//! and wall/cycle totals needed to reproduce the run and to interpret the
+//! JSONL event stream recorded alongside it. The manifest is versioned
+//! (`schema_version`) so later tooling can keep reading old runs.
+
+use crate::json::{Json, ParseError};
+use std::io;
+use std::path::Path;
+
+/// Current manifest schema version, written into every manifest.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// A reproducibility record for one experiment run.
+///
+/// String-keyed `params` keep the schema open-ended: each binary records
+/// whatever knobs it actually used (population size, mutation flips,
+/// upset rate, …) without this crate having to know about them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Manifest schema version ([`MANIFEST_SCHEMA_VERSION`] when written
+    /// by this crate).
+    pub schema_version: u64,
+    /// Experiment identifier, e.g. `"e1_convergence"`.
+    pub experiment: String,
+    /// `git rev-parse HEAD` of the tree that produced the run, or
+    /// `"unknown"` outside a git checkout.
+    pub git_revision: String,
+    /// Run creation time, seconds since the Unix epoch.
+    pub created_unix: u64,
+    /// Experiment parameters, name → numeric value.
+    pub params: Vec<(String, f64)>,
+    /// The RNG seeds the run consumed, in trial order.
+    pub seeds: Vec<u64>,
+    /// Worker threads used (1 for serial runs).
+    pub threads: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_seconds: f64,
+    /// Total simulated RTL cycles, when the run drove an RTL engine.
+    pub simulated_cycles: Option<u64>,
+    /// Relative path of the JSONL event stream recorded with this run,
+    /// when one was recorded.
+    pub events_file: Option<String>,
+}
+
+impl RunManifest {
+    /// A manifest skeleton for `experiment` with the current schema
+    /// version and git revision; the caller fills in params, seeds and
+    /// totals before writing.
+    pub fn new(experiment: impl Into<String>) -> RunManifest {
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            experiment: experiment.into(),
+            git_revision: git_revision(),
+            created_unix: unix_now(),
+            params: Vec::new(),
+            seeds: Vec::new(),
+            threads: 1,
+            wall_seconds: 0.0,
+            simulated_cycles: None,
+            events_file: None,
+        }
+    }
+
+    /// Record one named parameter (builder-style).
+    pub fn with_param(mut self, name: impl Into<String>, value: f64) -> RunManifest {
+        self.params.push((name.into(), value));
+        self
+    }
+
+    /// Look up a recorded parameter by name.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Render as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            (
+                "schema_version".to_string(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            (
+                "git_revision".to_string(),
+                Json::Str(self.git_revision.clone()),
+            ),
+            (
+                "created_unix".to_string(),
+                Json::Num(self.created_unix as f64),
+            ),
+            (
+                "params".to_string(),
+                Json::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "seeds".to_string(),
+                Json::Arr(self.seeds.iter().map(|s| Json::Num(*s as f64)).collect()),
+            ),
+            ("threads".to_string(), Json::Num(self.threads as f64)),
+            ("wall_seconds".to_string(), Json::Num(self.wall_seconds)),
+        ];
+        if let Some(cycles) = self.simulated_cycles {
+            obj.push(("simulated_cycles".to_string(), Json::Num(cycles as f64)));
+        }
+        if let Some(file) = &self.events_file {
+            obj.push(("events_file".to_string(), Json::Str(file.clone())));
+        }
+        Json::Obj(obj)
+    }
+
+    /// Parse a manifest back from JSON text (the inverse of
+    /// [`RunManifest::to_json`] + `to_string`).
+    pub fn from_json_str(text: &str) -> Result<RunManifest, ManifestError> {
+        let root = Json::parse(text)?;
+        let field = |name: &str| {
+            root.get(name)
+                .ok_or_else(|| ManifestError::Missing(name.to_string()))
+        };
+        let num = |name: &str| {
+            field(name)?
+                .as_f64()
+                .ok_or_else(|| ManifestError::BadField(name.to_string()))
+        };
+        let uint = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| ManifestError::BadField(name.to_string()))
+        };
+        let string = |name: &str| {
+            Ok::<String, ManifestError>(
+                field(name)?
+                    .as_str()
+                    .ok_or_else(|| ManifestError::BadField(name.to_string()))?
+                    .to_string(),
+            )
+        };
+        let schema_version = uint("schema_version")?;
+        if schema_version > MANIFEST_SCHEMA_VERSION {
+            return Err(ManifestError::Version(schema_version));
+        }
+        let params = match field("params")? {
+            Json::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64()
+                        .map(|v| (k.clone(), v))
+                        .ok_or_else(|| ManifestError::BadField(format!("params.{k}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(ManifestError::BadField("params".to_string())),
+        };
+        let seeds = field("seeds")?
+            .as_array()
+            .ok_or_else(|| ManifestError::BadField("seeds".to_string()))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| ManifestError::BadField("seeds".to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let simulated_cycles = match root.get("simulated_cycles") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| ManifestError::BadField("simulated_cycles".to_string()))?,
+            ),
+        };
+        let events_file = match root.get("events_file") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| ManifestError::BadField("events_file".to_string()))?
+                    .to_string(),
+            ),
+        };
+        Ok(RunManifest {
+            schema_version,
+            experiment: string("experiment")?,
+            git_revision: string("git_revision")?,
+            created_unix: uint("created_unix")?,
+            params,
+            seeds,
+            threads: uint("threads")?,
+            wall_seconds: num("wall_seconds")?,
+            simulated_cycles,
+            events_file,
+        })
+    }
+
+    /// Write the manifest as pretty-enough JSON to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+
+    /// Read a manifest previously written with [`RunManifest::write`].
+    pub fn read(path: impl AsRef<Path>) -> Result<RunManifest, ManifestError> {
+        let text = std::fs::read_to_string(path).map_err(ManifestError::Io)?;
+        RunManifest::from_json_str(&text)
+    }
+}
+
+/// Failure to read or interpret a manifest.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The file is not valid JSON.
+    Parse(ParseError),
+    /// A required field is absent.
+    Missing(String),
+    /// A field has the wrong type or an unrepresentable value.
+    BadField(String),
+    /// The manifest was written by a newer schema than this crate knows.
+    Version(u64),
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest I/O error: {e}"),
+            ManifestError::Parse(e) => write!(f, "manifest is not valid JSON: {e}"),
+            ManifestError::Missing(k) => write!(f, "manifest field `{k}` is missing"),
+            ManifestError::BadField(k) => write!(f, "manifest field `{k}` has the wrong type"),
+            ManifestError::Version(v) => {
+                write!(
+                    f,
+                    "manifest schema version {v} is newer than supported {MANIFEST_SCHEMA_VERSION}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<ParseError> for ManifestError {
+    fn from(e: ParseError) -> ManifestError {
+        ManifestError::Parse(e)
+    }
+}
+
+/// `git rev-parse HEAD` of the working directory, or `"unknown"` when git
+/// or the repository is unavailable (e.g. a source tarball build).
+pub fn git_revision() -> String {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output();
+    match out {
+        Ok(out) if out.status.success() => {
+            let rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if rev.is_empty() {
+                "unknown".to_string()
+            } else {
+                rev
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("e1_convergence")
+            .with_param("population", 32.0)
+            .with_param("mutation_flips", 15.0);
+        m.seeds = vec![0x1000, 0x1007, 0x100E];
+        m.threads = 8;
+        m.wall_seconds = 1.25;
+        m.simulated_cycles = Some(123_456_789);
+        m.events_file = Some("e1_convergence.events.jsonl".to_string());
+        m
+    }
+
+    #[test]
+    fn round_trips_through_json_text() {
+        let m = sample();
+        let text = m.to_json().to_string();
+        let back = RunManifest::from_json_str(&text).expect("parse back");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent() {
+        let mut m = sample();
+        m.simulated_cycles = None;
+        m.events_file = None;
+        let back = RunManifest::from_json_str(&m.to_json().to_string()).unwrap();
+        assert_eq!(back.simulated_cycles, None);
+        assert_eq!(back.events_file, None);
+    }
+
+    #[test]
+    fn param_lookup() {
+        let m = sample();
+        assert_eq!(m.param("population"), Some(32.0));
+        assert_eq!(m.param("missing"), None);
+    }
+
+    #[test]
+    fn rejects_future_schema_and_bad_fields() {
+        let future = r#"{"schema_version":99,"experiment":"x","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,"wall_seconds":0}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(future),
+            Err(ManifestError::Version(99))
+        ));
+        assert!(matches!(
+            RunManifest::from_json_str("{}"),
+            Err(ManifestError::Missing(_))
+        ));
+        let bad = r#"{"schema_version":1,"experiment":7,"git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,"wall_seconds":0}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(bad),
+            Err(ManifestError::BadField(_))
+        ));
+        assert!(matches!(
+            RunManifest::from_json_str("not json"),
+            Err(ManifestError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn write_and_read_files() {
+        let dir = std::env::temp_dir().join("leonardo-telemetry-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        let m = sample();
+        m.write(&path).unwrap();
+        let back = RunManifest::read(&path).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn git_revision_is_nonempty() {
+        assert!(!git_revision().is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Golden-file test for the JSONL event stream.
+//!
+//! The stream is a public interface — external tooling parses it — so its
+//! exact byte format is pinned against `tests/golden/events.jsonl`. If an
+//! intentional schema change breaks this test, regenerate the golden file
+//! with `UPDATE_GOLDEN=1 cargo test -p leonardo-telemetry --features
+//! runtime`, and document the change in docs/TELEMETRY.md.
+
+#![cfg(feature = "runtime")]
+
+use leonardo_telemetry as tele;
+use leonardo_telemetry::sink::{JsonlSink, SharedBuf};
+use leonardo_telemetry::Level;
+use std::sync::Arc;
+
+const GOLDEN: &str = include_str!("golden/events.jsonl");
+
+#[test]
+fn jsonl_stream_matches_golden_file() {
+    let buf = SharedBuf::new();
+    let sink = Arc::new(JsonlSink::new(buf.clone()));
+    {
+        let _guard = tele::install(sink, Level::Trace);
+        tele::count(Level::Metric, "rng.draws", 3);
+        tele::observe(Level::Trace, "bench.trial.seconds", 0.125);
+        tele::emit(
+            Level::Metric,
+            "bench.trial",
+            &[
+                ("engine", "rtl_x64".into()),
+                ("seed", 4096u64.into()),
+                ("converged", true.into()),
+                ("generations", 104u64.into()),
+                ("cycles", 1_234_567u64.into()),
+                ("mean_fitness", 21.5.into()),
+                ("offset", (-3i64).into()),
+            ],
+        );
+        tele::emit(
+            Level::Trace,
+            "evo.ga.generation",
+            &[("best", 26u64.into()), ("mean", 24.0.into())],
+        );
+        // escaping: the writer must keep every line one line
+        tele::emit(
+            Level::Metric,
+            "bench.note",
+            &[("text", "quote \" backslash \\ newline \n tab \t".into())],
+        );
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/events.jsonl");
+        std::fs::write(path, buf.contents()).expect("write golden file");
+        return;
+    }
+    assert_eq!(buf.contents(), GOLDEN);
+}

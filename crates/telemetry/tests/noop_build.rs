@@ -1,0 +1,34 @@
+//! The compile-time no-op contract: with the default feature set the
+//! whole recording API exists, typechecks, and does nothing — there is no
+//! dispatcher, no atomic, no sink module at all. This is what makes
+//! instrumenting the RTL hot loops free for library users.
+
+#![cfg(not(feature = "runtime"))]
+
+use leonardo_telemetry as tele;
+use leonardo_telemetry::Level;
+
+#[test]
+fn disabled_build_has_an_inert_api() {
+    // enabled_at is constant false, so instrumented hot loops guard out
+    assert!(!tele::enabled_at(Level::Metric));
+    assert!(!tele::enabled_at(Level::Trace));
+    // emit sites compile and are no-ops
+    tele::count(Level::Metric, "c", 1);
+    tele::observe(Level::Trace, "o", 1.0);
+    tele::emit(
+        Level::Metric,
+        "e",
+        &[("x", 1u64.into()), ("label", "s".into())],
+    );
+    assert!(tele::span(Level::Metric, "s").is_none());
+    tele::flush();
+}
+
+#[test]
+fn manifests_work_without_the_runtime() {
+    // run manifests are plain data and stay available in no-op builds
+    let m = tele::RunManifest::new("noop").with_param("x", 1.0);
+    let back = tele::RunManifest::from_json_str(&m.to_json().to_string()).expect("round trip");
+    assert_eq!(back, m);
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerate every results/ artefact from the instrumented harness.
+#
+# Each experiment binary writes its human-readable report to
+# results/<name>.txt, its wall time to results/<name>.time, and — through
+# the telemetry layer — a versioned run manifest
+# (results/<name>.manifest.json) plus, for session-based experiments, the
+# raw JSONL event stream (results/<name>.events.jsonl). results/run.log
+# records the sequence. See docs/TELEMETRY.md for the stream and manifest
+# schemas.
+#
+# Usage: scripts/run_experiments.sh [results-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results}"
+mkdir -p "$OUT"
+: > "$OUT/run.log"
+
+cargo build --release --workspace
+
+run() {
+  local name="$1"
+  shift
+  echo "=== running $name $* ===" | tee -a "$OUT/run.log"
+  local t0 t1
+  t0=$(date +%s)
+  ./target/release/"$name" "$@" > "$OUT/$name.txt"
+  t1=$(date +%s)
+  echo "$((t1 - t0)) s" > "$OUT/$name.time"
+}
+
+run e1_convergence --trials 200
+run e2_timing --trials 60
+run e3_search_space
+run e4_resources --tree
+run e5_fitness_vs_walk --random 20000 --champions 40
+run e6_pipeline --gens 200 --seeds 8
+run e7_ablation --trials 30
+run e8_rng --trials 60
+run e9_sweep --trials 40
+run e10_islands --trials 20
+run e11_walker_loop --trials 12
+run e12_wide_genomes --trials 20
+run e13_seu --trials 16
+
+echo "ALL_EXPERIMENTS_DONE" | tee -a "$OUT/run.log"
