@@ -11,6 +11,9 @@
 //!   genome induces (fact F1) and reports trap states, unreachable steps
 //!   and fitness-rule violations (fact F2) — then verifies on the full
 //!   population path that every genome the GAP emits stays well-formed;
+//! * [`fault_nodes`] resolves every node name the `leonardo-faults`
+//!   campaign engine can inject into against both engine netlists, so a
+//!   netlist refactor cannot silently invalidate the fault subsystem;
 //! * [`fixtures`] holds deliberately broken designs, one per defect
 //!   class, so the gate itself is testable.
 //!
@@ -21,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault_nodes;
 pub mod finding;
 pub mod fixtures;
 pub mod genome_check;
 pub mod lint;
 
+pub use fault_nodes::check_injectable_nodes;
 pub use finding::{has_errors, Finding, Severity};
 pub use genome_check::{check_genome, check_population_path, well_formed, StaticGait};
 pub use lint::{lint_design, lint_unit, packed_clbs};

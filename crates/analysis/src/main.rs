@@ -15,10 +15,11 @@
 #![forbid(unsafe_code)]
 
 use analysis::finding::{has_errors, Finding};
-use analysis::{check_genome, check_population_path, fixtures, lint};
+use analysis::{check_genome, check_injectable_nodes, check_population_path, fixtures, lint};
 use discipulus::genome::Genome;
+use discipulus::params::GapParams;
 use leonardo_rtl::bitslice::{CaRngX64, FitnessUnitX64, GapRtlX64, GapRtlX64Config, RamX64};
-use leonardo_rtl::gap_rtl::GapRtlConfig;
+use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
 use leonardo_rtl::netlist::Describe;
 use leonardo_rtl::top::DiscipulusTop;
 use std::process::ExitCode;
@@ -69,6 +70,17 @@ fn run_check(seed: u32) -> ExitCode {
     ] {
         println!("   {}: lint_unit", n.unit);
         findings.extend(lint::lint_unit(&n));
+    }
+    // every node a fault campaign can name must exist, as wide-enough
+    // clocked state, in both engine netlists
+    println!("== fault-injection node addressing ==");
+    let params = GapParams::paper();
+    for n in [
+        GapRtl::new(GapRtlConfig::paper(seed)).netlist(),
+        batch.netlist(),
+    ] {
+        println!("   {}: check_injectable_nodes", n.unit);
+        findings.extend(check_injectable_nodes(&n, 1, &params));
     }
     println!("== genome path: seed {seed:#x} ==");
     findings.extend(check_population_path(seed, MAX_GENERATIONS));

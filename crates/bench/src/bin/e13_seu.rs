@@ -4,71 +4,23 @@
 //! E4), so every stored genome bit is exposed to electrical or radiation
 //! upsets for the whole run. The classic evolvable-hardware argument says
 //! a GA does not care: an upset is indistinguishable from one extra
-//! mutation. This experiment injects upsets into the RTL GAP's population
-//! RAM at increasing per-generation rates and measures the convergence
-//! cost. The campaign runs 64 trials per machine word on the bit-sliced
-//! batch engine: one injection is a one-hot lane-mask XOR.
+//! mutation. This experiment bombards the RTL GAP's population RAM at
+//! increasing per-generation rates and measures the convergence cost.
+//!
+//! The injection machinery lives in `leonardo-faults`: this binary is a
+//! thin client that sweeps [`Campaign`] rates on the 64-lane batch
+//! engine, verifies every report against the differential recovery
+//! oracle (each rate also runs a fault-free twin from the same seeds,
+//! which is where the `Δ gens` column comes from), and derives its
+//! statistics from the `fault.recovery` telemetry stream it records.
 //!
 //! Usage: `e13_seu [--trials N] [--max-gens G]`
 
 use discipulus::stats::SampleSummary;
 use leonardo_bench::harness::{arg_or, parallel_map, trial_seeds};
 use leonardo_bench::ExperimentSession;
-use leonardo_rtl::bitslice::{lanes, GapRtlX64, GapRtlX64Config, LANES};
-use leonardo_rtl::rng_rtl::CaRngRtl;
-use leonardo_telemetry as tele;
-
-/// Run up to 64 upset-injected evolutions in lockstep on the bit-sliced
-/// batch engine; returns per-trial generations to converge (`None` on
-/// failure). Each lane draws faults from its own seeded CA stream, and an
-/// injection is a one-hot lane-mask XOR into the shared population RAM.
-/// The shared upset accumulator is exact: every running lane has stepped
-/// the same number of generations since its (common) start, and converged
-/// lanes freeze, so the scalar per-trial accumulator trajectory is
-/// lane-uniform.
-fn batch_with_upsets(seeds: &[u32], upsets_per_gen: f64, max_gens: u64) -> Vec<Option<u64>> {
-    let mut gap = GapRtlX64::new(GapRtlX64Config::paper(), seeds);
-    let mut faults: Vec<CaRngRtl> = seeds
-        .iter()
-        .map(|&s| CaRngRtl::new(s ^ 0xA5A5_5A5A))
-        .collect();
-    let mut accumulator = 0.0f64;
-    loop {
-        let running = gap.running_mask(max_gens);
-        if running == 0 {
-            break;
-        }
-        gap.step_generation_masked(running);
-        accumulator += upsets_per_gen;
-        while accumulator >= 1.0 {
-            accumulator -= 1.0;
-            for l in lanes(running) {
-                faults[l].clock();
-                let pos = (faults[l].word() % 1152) as usize;
-                gap.inject_upset(pos, 1u64 << l);
-            }
-        }
-    }
-    if tele::enabled_at(tele::Level::Metric) {
-        for (l, &seed) in seeds.iter().enumerate() {
-            tele::emit(
-                tele::Level::Metric,
-                "bench.trial",
-                &[
-                    ("engine", "rtl_x64_seu".into()),
-                    ("seed", seed.into()),
-                    ("upsets_per_generation", upsets_per_gen.into()),
-                    ("converged", gap.converged(l).into()),
-                    ("generations", gap.generation(l).into()),
-                    ("cycles", gap.cycles(l).into()),
-                ],
-            );
-        }
-    }
-    (0..seeds.len())
-        .map(|l| gap.converged(l).then(|| gap.generation(l)))
-        .collect()
-}
+use leonardo_faults::{Campaign, FaultModel};
+use leonardo_rtl::bitslice::LANES;
 
 /// Per-trial generations for one upset rate, read back off the recorded
 /// telemetry stream (`None` per failed trial, preserving the success-rate
@@ -76,9 +28,9 @@ fn batch_with_upsets(seeds: &[u32], upsets_per_gen: f64, max_gens: u64) -> Vec<O
 fn gens_at_rate(session: &ExperimentSession, upsets: f64) -> Vec<Option<f64>> {
     session
         .aggregator()
-        .events("bench.trial")
+        .events("fault.recovery")
         .iter()
-        .filter(|t| t.f64_field("upsets_per_generation") == Some(upsets))
+        .filter(|t| t.f64_field("rate") == Some(upsets))
         .map(|t| {
             (t.bool_field("converged") == Some(true))
                 .then(|| t.f64_field("generations"))
@@ -99,21 +51,35 @@ fn main() {
     println!("E13: GAP convergence under population-RAM upsets\n");
     println!("(baseline mutation pressure: 15 flips/generation over 1152 bits)\n");
     println!(
-        "{:>18} {:>10} {:>10} {:>8} {:>10}",
-        "upsets/generation", "success", "mean gens", "sd", "vs clean"
+        "{:>18} {:>10} {:>10} {:>8} {:>10} {:>8}",
+        "upsets/generation", "success", "mean gens", "sd", "vs clean", "Δ gens"
     );
-    println!("{:-<62}", "");
+    println!("{:-<71}", "");
 
     let mut clean_mean = None;
     let seeds = trial_seeds(trials);
     let chunks: Vec<&[u32]> = seeds.chunks(LANES).collect();
     for upsets in [0.0f64, 0.1, 1.0, 5.0, 15.0, 50.0] {
-        // run the campaign for its telemetry events, then read the rate's
-        // per-trial outcomes back off the stream
-        parallel_map(&chunks, |chunk| batch_with_upsets(chunk, upsets, max_gens));
+        let campaign =
+            Campaign::new(FaultModel::PopulationFlip, upsets).with_max_generations(max_gens);
+        // run the campaign for its telemetry events (and manifest rows),
+        // then read the rate's per-trial outcomes back off the stream
+        let reports = parallel_map(&chunks, |chunk| campaign.run_x64(chunk));
+        let mut deltas = Vec::new();
+        for report in reports {
+            report
+                .verify()
+                .unwrap_or_else(|e| panic!("recovery oracle failed at rate {upsets}: {e}"));
+            deltas.extend(report.lanes.iter().filter_map(|l| l.cost_delta));
+            session.add_campaign(report.manifest_row());
+        }
         let results = gens_at_rate(&session, upsets);
         let gens: Vec<f64> = results.iter().flatten().copied().collect();
         let success = gens.len() as f64 / trials as f64 * 100.0;
+        let mean_delta = (!deltas.is_empty())
+            .then(|| deltas.iter().sum::<i64>() as f64 / deltas.len() as f64)
+            .map(|d| format!("{d:+.0}"))
+            .unwrap_or_else(|| "-".into());
         match SampleSummary::of(&gens) {
             Some(s) => {
                 if upsets == 0.0 {
@@ -123,8 +89,8 @@ fn main() {
                     .map(|c| format!("{:.2}x", s.mean / c))
                     .unwrap_or_else(|| "-".into());
                 println!(
-                    "{:>18} {:>9.0}% {:>10.0} {:>8.0} {:>10}",
-                    upsets, success, s.mean, s.stddev, slowdown
+                    "{:>18} {:>9.0}% {:>10.0} {:>8.0} {:>10} {:>8}",
+                    upsets, success, s.mean, s.stddev, slowdown, mean_delta
                 );
             }
             None => println!("{upsets:>18} {:>9.0}% {:>10}", success, "never"),

@@ -1,0 +1,94 @@
+//! E14 — the fault matrix (extension).
+//!
+//! E13 answers one question deeply: how does convergence degrade as
+//! population-RAM upsets scale? This experiment answers the broad one:
+//! what happens for *every* storage fault class the chip has — population
+//! bit flips, CA-RNG state upsets, best-genome-register flips, and
+//! persistent stuck-at-0/1 defects — at representative rates, on both RTL
+//! engines?
+//!
+//! Every cell of the matrix is a [`Campaign`] verified by the
+//! differential recovery oracle, and every campaign runs on the scalar
+//! bank *and* the 64-lane batch engine with the same seeds; the binary
+//! asserts the two reports agree bit-for-bit, so the matrix doubles as a
+//! whole-run cross-engine equivalence check under fault injection.
+//!
+//! Usage: `e14_fault_matrix [--trials N] [--max-gens G]`
+
+use leonardo_bench::harness::{arg_or, trial_seeds};
+use leonardo_bench::ExperimentSession;
+use leonardo_faults::{Campaign, FaultModel};
+
+const RATES: [f64; 2] = [1.0, 5.0];
+const DWELL_WINDOW: u64 = 32;
+
+fn main() {
+    let trials: usize = arg_or("--trials", 8).min(64);
+    let max_gens: u64 = arg_or("--max-gens", 30_000);
+    let seeds = trial_seeds(trials);
+
+    let mut session = ExperimentSession::begin("e14_fault_matrix");
+    session.set_param("trials", trials as f64);
+    session.set_param("max_generations", max_gens as f64);
+    session.set_param("dwell_window", DWELL_WINDOW as f64);
+    session.set_seeds(&seeds);
+
+    println!("E14: recovery matrix over fault model × rate × engine\n");
+    println!(
+        "{:>16} {:>6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "model", "rate", "recovered", "corrupted", "permanent", "Δ gens", "dwell", "engines"
+    );
+    println!("{:-<84}", "");
+
+    for model in FaultModel::ALL {
+        for rate in RATES {
+            let campaign = Campaign::new(model, rate)
+                .with_max_generations(max_gens)
+                .with_dwell_window(DWELL_WINDOW);
+            let x64 = campaign.run_x64(&seeds);
+            let scalar = campaign.run_scalar(&seeds);
+
+            x64.verify()
+                .unwrap_or_else(|e| panic!("{model} @ {rate} x64 oracle: {e}"));
+            scalar
+                .verify()
+                .unwrap_or_else(|e| panic!("{model} @ {rate} scalar oracle: {e}"));
+            x64.agrees_with(&scalar)
+                .unwrap_or_else(|e| panic!("{model} @ {rate} cross-engine: {e}"));
+
+            let delta = x64
+                .mean_cost_delta()
+                .map(|d| format!("{d:+.0}"))
+                .unwrap_or_else(|| "-".into());
+            let mean_dwell = x64.lanes.iter().map(|l| l.dwell_ticks).sum::<u64>() as f64
+                / x64.lanes.len() as f64;
+            println!(
+                "{:>16} {:>6} {:>10} {:>10} {:>10} {:>8} {:>8.1} {:>8}",
+                model.name(),
+                rate,
+                x64.recovered(),
+                x64.corrupted(),
+                x64.permanent_failures(),
+                delta,
+                mean_dwell,
+                "agree"
+            );
+
+            session.add_campaign(x64.manifest_row());
+            session.add_campaign(scalar.manifest_row());
+        }
+    }
+
+    println!();
+    println!("Reading: transient upsets anywhere in the evolutionary state are");
+    println!("absorbed as search noise. Stuck-at defects accumulate (rate = new");
+    println!("welded bits per generation), so they progressively pin the");
+    println!("population and convergence fails — but always loudly, as counted");
+    println!("permanent failures. Only best-register flips threaten *silent*");
+    println!("corruption, and the recovery oracle flags every one. Scalar and");
+    println!("batch engines agree bit-for-bit on every campaign.");
+
+    let manifest_path = session.manifest_path();
+    session.finish();
+    println!("\nrun manifest: {}", manifest_path.display());
+}

@@ -104,13 +104,25 @@ impl ExperimentSession {
         self.manifest.threads = threads as u64;
     }
 
-    /// Total simulated RTL cycles over all `bench.trial` events recorded
-    /// so far (0 when no trial carried a `cycles` field).
+    /// Record one fault-campaign summary row into the manifest's
+    /// `campaigns` section.
+    pub fn add_campaign(&mut self, row: tele::CampaignRow) {
+        self.manifest.campaigns.push(row);
+    }
+
+    /// Total simulated RTL cycles over all `bench.trial` and
+    /// `fault.recovery` events recorded so far (0 when no event carried a
+    /// `cycles` field).
     pub fn simulated_cycles(&self) -> u64 {
-        self.aggregator
-            .events("bench.trial")
+        ["bench.trial", "fault.recovery"]
             .iter()
-            .filter_map(|e| e.u64_field("cycles"))
+            .map(|name| {
+                self.aggregator
+                    .events(name)
+                    .iter()
+                    .filter_map(|e| e.u64_field("cycles"))
+                    .sum::<u64>()
+            })
             .sum()
     }
 

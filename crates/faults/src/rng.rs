@@ -1,0 +1,145 @@
+//! The deterministic fault-schedule RNG.
+//!
+//! Each lane of a campaign owns one [`FaultRng`]: a seeded 32-cell CA
+//! stream (the same generator the chip itself uses, seeded with
+//! `seed ^ 0xA5A5_5A5A` to decorrelate it from the evolution stream —
+//! E13's convention) plus a **mask-and-reject** bounded draw.
+//!
+//! The rejection draw replaces the `word() % bound` truncation the old
+//! E13 loop used: 2³² is not a multiple of 1152, so the modulo silently
+//! over-weights the low `2³² mod 1152 = 256` positions. Mask-and-reject
+//! (the idiom `draw_below` uses everywhere else in the repo) is exactly
+//! uniform: mask the word down to the smallest covering power of two and
+//! retry until the value is in range, so every accepted position is hit
+//! by the same number of pre-images.
+
+use leonardo_rtl::rng_rtl::CaRngRtl;
+
+/// Seed whitening applied to decorrelate a lane's fault stream from its
+/// evolution stream (kept from the original E13 campaign for continuity).
+pub const FAULT_SEED_XOR: u32 = 0xA5A5_5A5A;
+
+/// The covering bitmask of a bounded draw: the smallest all-ones mask
+/// that can represent every value in `0..bound`.
+pub const fn reject_mask(bound: u32) -> u32 {
+    bound.next_power_of_two().wrapping_sub(1) | (bound - 1)
+}
+
+/// A seeded per-lane fault stream with exactly uniform bounded draws.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    rng: CaRngRtl,
+}
+
+impl FaultRng {
+    /// The fault stream of the lane evolving from `seed` (the whitening
+    /// XOR is applied here, so callers pass the trial seed itself).
+    pub fn for_seed(seed: u32) -> FaultRng {
+        FaultRng {
+            rng: CaRngRtl::new(seed ^ FAULT_SEED_XOR),
+        }
+    }
+
+    /// Draw uniformly from `0..bound` by mask-and-reject: clock the CA,
+    /// mask the word, retry on overflow. Unbiased for every bound.
+    ///
+    /// # Panics
+    /// Panics if `bound` is 0.
+    pub fn draw_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "draw_below bound must be positive");
+        let mask = reject_mask(bound);
+        loop {
+            self.rng.clock();
+            let w = self.rng.word() & mask;
+            if w < bound {
+                return w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mask-and-reject is *exactly* uniform: sweeping every masked word
+    /// value once yields every position exactly once. The modulo the old
+    /// E13 loop used fails the same exactness check — positions below
+    /// `mask+1 - bound` are double-counted.
+    #[test]
+    fn rejection_is_exactly_uniform_where_modulo_is_not() {
+        let bound = 1152u32;
+        let mask = reject_mask(bound);
+        assert_eq!(mask, 2047, "1152 is covered by an 11-bit mask");
+
+        let mut reject_counts = vec![0u32; bound as usize];
+        let mut modulo_counts = vec![0u32; bound as usize];
+        for w in 0..=mask {
+            if w < bound {
+                reject_counts[w as usize] += 1; // accepted; others retry
+            }
+            modulo_counts[(w % bound) as usize] += 1;
+        }
+        assert!(
+            reject_counts.iter().all(|&c| c == 1),
+            "rejection sampling must hit every position exactly once"
+        );
+        assert!(
+            modulo_counts.iter().any(|&c| c > 1),
+            "the modulo reduction double-counts low positions (the E13 bug)"
+        );
+    }
+
+    #[test]
+    fn draws_stay_in_bounds_for_awkward_bounds() {
+        let mut rng = FaultRng::for_seed(0x1000);
+        for bound in [1u32, 2, 3, 36, 32, 1152, 1000, 2048] {
+            for _ in 0..200 {
+                assert!(rng.draw_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_seed() {
+        let mut a = FaultRng::for_seed(0xBEEF);
+        let mut b = FaultRng::for_seed(0xBEEF);
+        let mut c = FaultRng::for_seed(0xBEF0);
+        let va: Vec<u32> = (0..64).map(|_| a.draw_below(1152)).collect();
+        let vb: Vec<u32> = (0..64).map(|_| b.draw_below(1152)).collect();
+        let vc: Vec<u32> = (0..64).map(|_| c.draw_below(1152)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    /// Chi-square goodness of fit of the live CA-driven sampler over the
+    /// 1152-bit population domain, binned by genome (72 bins of 16 bits).
+    /// The statistic is deterministic (seeded stream); the acceptance
+    /// window is ±6σ around the χ² mean, wide enough to never flake and
+    /// tight enough to catch a broken masking step.
+    #[test]
+    fn chi_square_uniformity_over_population_positions() {
+        const BINS: usize = 72;
+        const DRAWS: usize = 72 * 1600;
+        let mut rng = FaultRng::for_seed(0xD15C);
+        let mut counts = [0u64; BINS];
+        for _ in 0..DRAWS {
+            counts[rng.draw_below(1152) as usize / 16] += 1;
+        }
+        let expected = DRAWS as f64 / BINS as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        let df = (BINS - 1) as f64;
+        let sigma = (2.0 * df).sqrt();
+        assert!(
+            (chi2 - df).abs() < 6.0 * sigma,
+            "χ² = {chi2:.1}, expected ≈ {df} ± {:.1}",
+            6.0 * sigma
+        );
+    }
+}

@@ -878,6 +878,80 @@ impl GapRtlX64 {
         );
     }
 
+    // --- fault-injection ports (used by `leonardo-faults`) --------------
+    //
+    // Per-lane observation and forcing of the same three storage domains
+    // the scalar chip exposes (`basis`, `rng_cells`, `best_genome_reg`),
+    // so a lockstep fault campaign stays bit-exact across engines. Forcing
+    // is only safe at generation boundaries (the RNG's deferred dead-cycle
+    // debt is always settled when `step_generation_masked` returns).
+
+    /// Read one bit of one lane's basis population storage, addressed like
+    /// [`GapRtlX64::inject_upset`].
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the population bit count or `lane ≥ 64`.
+    pub fn population_bit(&self, lane: usize, pos: usize) -> bool {
+        assert!(
+            pos < self.config.params.population_bits(),
+            "population bit out of range"
+        );
+        self.basis.peek(pos / GENOME_BITS, lane) >> (pos % GENOME_BITS) & 1 == 1
+    }
+
+    /// Force one bit of one lane's basis population storage; every other
+    /// lane holds.
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the population bit count or `lane ≥ 64`.
+    pub fn set_population_bit(&mut self, lane: usize, pos: usize, value: bool) {
+        if self.population_bit(lane, pos) != value {
+            self.basis
+                .flip_bit(pos / GENOME_BITS, (pos % GENOME_BITS) as u32, 1u64 << lane);
+        }
+    }
+
+    /// Read one CA state cell of one lane's free-running RNG.
+    ///
+    /// # Panics
+    /// Panics if `lane ≥ 64` or `cell ≥ 32`.
+    pub fn rng_state_bit(&self, lane: usize, cell: usize) -> bool {
+        self.rng.cell_bit(lane, cell)
+    }
+
+    /// Force one CA state cell of one lane's RNG; every other lane holds.
+    ///
+    /// # Panics
+    /// Panics if `lane ≥ 64` or `cell ≥ 32`.
+    pub fn set_rng_state_bit(&mut self, lane: usize, cell: usize, value: bool) {
+        self.rng.set_cell_bit(lane, cell, value);
+    }
+
+    /// Read one bit of one lane's best-genome register.
+    ///
+    /// # Panics
+    /// Panics if `lane ≥ 64` or `bit ≥ 36`.
+    pub fn best_genome_bit(&self, lane: usize, bit: usize) -> bool {
+        assert!(lane < LANES, "lane out of range");
+        assert!(bit < GENOME_BITS, "best-genome bit out of range");
+        self.best_genome[lane] >> bit & 1 == 1
+    }
+
+    /// Force one bit of one lane's best-genome register, leaving the
+    /// best-fitness register (and its sliced plane mirror) alone — the
+    /// same silent-corruption semantics as the scalar port, so the
+    /// strict-improvement comparator behaves identically on both engines
+    /// afterwards.
+    ///
+    /// # Panics
+    /// Panics if `lane ≥ 64` or `bit ≥ 36`.
+    pub fn set_best_genome_bit(&mut self, lane: usize, bit: usize, value: bool) {
+        assert!(lane < LANES, "lane out of range");
+        assert!(bit < GENOME_BITS, "best-genome bit out of range");
+        let b = 1u64 << bit;
+        self.best_genome[lane] = (self.best_genome[lane] & !b) | (u64::from(value) << bit);
+    }
+
     /// Per-unit resource estimate: 64 chips' worth of Figure 5.
     pub fn resource_report(&self) -> ResourceReport {
         let lanes = LANES as u32;

@@ -189,6 +189,32 @@ impl CaRngX64 {
         self.lane_low_bits(lane, CELLS)
     }
 
+    /// One CA state cell of one lane — the observation half of the
+    /// fault-injection port, bit-exact with the scalar
+    /// [`crate::rng_rtl::CaRngRtl::state_bit`].
+    ///
+    /// # Panics
+    /// Panics if `lane ≥ 64` or `cell ≥ 32`.
+    pub fn cell_bit(&self, lane: usize, cell: usize) -> bool {
+        assert!(lane < LANES, "lane out of range");
+        assert!(cell < CELLS, "CA cell out of range");
+        self.cells[cell] >> lane & 1 == 1
+    }
+
+    /// Force one CA state cell of one lane — the control half of the
+    /// fault-injection port. Every other lane holds, so lockstep fault
+    /// campaigns stay bit-exact with scalar chips suffering the same
+    /// upsets.
+    ///
+    /// # Panics
+    /// Panics if `lane ≥ 64` or `cell ≥ 32`.
+    pub fn set_cell_bit(&mut self, lane: usize, cell: usize, value: bool) {
+        assert!(lane < LANES, "lane out of range");
+        assert!(cell < CELLS, "CA cell out of range");
+        let bit = 1u64 << lane;
+        self.cells[cell] = (self.cells[cell] & !bit) | (u64::from(value) << lane);
+    }
+
     /// The low `k ≤ 32` bits of one lane's output word.
     pub fn lane_low_bits(&self, lane: usize, k: usize) -> u32 {
         debug_assert!(k <= CELLS);

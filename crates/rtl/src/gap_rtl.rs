@@ -470,6 +470,77 @@ impl GapRtl {
         self.basis.clock();
     }
 
+    // --- fault-injection ports (used by `leonardo-faults`) --------------
+    //
+    // Each port exposes one architecturally stored bit for observation and
+    // forcing, addressed exactly like the corresponding netlist node
+    // (`basis`, `rng_cells`, `best_genome_reg`). Forcing happens between
+    // generations, where the chip is quiescent, so a forced bit is
+    // indistinguishable from a storage upset landing in the idle window.
+
+    /// Read one bit of the basis population storage (netlist node
+    /// `basis`), addressed like [`GapRtl::inject_upset`].
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the population bit count.
+    pub fn population_bit(&self, pos: usize) -> bool {
+        assert!(
+            pos < self.config.params.population_bits(),
+            "population bit out of range"
+        );
+        self.basis.peek(pos / GENOME_BITS) >> (pos % GENOME_BITS) & 1 == 1
+    }
+
+    /// Force one bit of the basis population storage.
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the population bit count.
+    pub fn set_population_bit(&mut self, pos: usize, value: bool) {
+        if self.population_bit(pos) != value {
+            self.inject_upset(pos);
+        }
+    }
+
+    /// Read one cell of the free-running CA RNG's state register (netlist
+    /// node `rng_cells`).
+    ///
+    /// # Panics
+    /// Panics if `cell ≥ 32`.
+    pub fn rng_state_bit(&self, cell: usize) -> bool {
+        self.rng.state_bit(cell)
+    }
+
+    /// Force one cell of the CA RNG's state register.
+    ///
+    /// # Panics
+    /// Panics if `cell ≥ 32`.
+    pub fn set_rng_state_bit(&mut self, cell: usize, value: bool) {
+        self.rng.set_state_bit(cell, value);
+    }
+
+    /// Read one bit of the best-genome register (netlist node
+    /// `best_genome_reg`).
+    ///
+    /// # Panics
+    /// Panics if `bit ≥ 36`.
+    pub fn best_genome_bit(&self, bit: usize) -> bool {
+        assert!(bit < GENOME_BITS, "best-genome bit out of range");
+        self.best_genome.bit(bit)
+    }
+
+    /// Force one bit of the best-genome register. The best-fitness
+    /// register is deliberately left alone: a physical register upset
+    /// corrupts the stored genome without re-running the comparator, which
+    /// is exactly the silent-corruption case the differential recovery
+    /// oracle exists to flag.
+    ///
+    /// # Panics
+    /// Panics if `bit ≥ 36`.
+    pub fn set_best_genome_bit(&mut self, bit: usize, value: bool) {
+        assert!(bit < GENOME_BITS, "best-genome bit out of range");
+        self.best_genome = self.best_genome.with_bit(bit, value);
+    }
+
     /// Per-unit resource estimate of the GAP (Figure 5's boxes).
     pub fn resource_report(&self) -> ResourceReport {
         let mut rep = ResourceReport::new();

@@ -35,6 +35,30 @@ impl CaRngRtl {
         self.state
     }
 
+    /// One CA state-register cell — the observation half of the fault-
+    /// injection port used by `leonardo-faults`.
+    ///
+    /// # Panics
+    /// Panics if `cell ≥ 32`.
+    pub fn state_bit(&self, cell: usize) -> bool {
+        assert!(cell < 32, "CA cell out of range");
+        self.state >> cell & 1 == 1
+    }
+
+    /// Force one CA state-register cell — the control half of the fault-
+    /// injection port. An upset here models radiation flipping a state
+    /// flip-flop of the free-running generator; the CA simply continues
+    /// from the perturbed state (forcing the whole register to zero would
+    /// park it on its only fixed point — a genuine permanent failure the
+    /// fault campaigns are allowed to observe).
+    ///
+    /// # Panics
+    /// Panics if `cell ≥ 32`.
+    pub fn set_state_bit(&mut self, cell: usize, value: bool) {
+        assert!(cell < 32, "CA cell out of range");
+        self.state = (self.state & !(1 << cell)) | (u32::from(value) << cell);
+    }
+
     /// Clock edge: advance the CA (`left ⊕ right`, plus `⊕ self` on
     /// rule-150 cells; null boundary).
     #[inline]

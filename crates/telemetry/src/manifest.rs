@@ -11,7 +11,11 @@ use std::io;
 use std::path::Path;
 
 /// Current manifest schema version, written into every manifest.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+///
+/// Version history:
+/// * **1** — initial schema.
+/// * **2** — optional `campaigns` section (fault-campaign summary rows).
+pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
 
 /// A reproducibility record for one experiment run.
 ///
@@ -43,6 +47,91 @@ pub struct RunManifest {
     /// Relative path of the JSONL event stream recorded with this run,
     /// when one was recorded.
     pub events_file: Option<String>,
+    /// Fault-campaign summary rows, when the run injected faults
+    /// (schema v2; absent from the JSON when empty, so v1 readers and
+    /// fault-free runs are unaffected).
+    pub campaigns: Vec<CampaignRow>,
+}
+
+/// One fault campaign's summary line in a [`RunManifest`]: which model
+/// was injected at what rate on which engine, and how the lanes fared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Fault-model identifier (e.g. `"population_flip"`).
+    pub model: String,
+    /// Engine identifier (`"rtl_scalar"` / `"rtl_x64"`).
+    pub engine: String,
+    /// Faults per generation per lane.
+    pub rate: f64,
+    /// Lanes (trials) the campaign ran.
+    pub lanes: u64,
+    /// Lanes that reconverged with a genuinely maximal best genome.
+    pub recovered: u64,
+    /// Lanes whose best register was flagged as silently corrupted.
+    pub corrupted: u64,
+    /// Lanes that never reconverged within the generation budget.
+    pub permanent_failures: u64,
+    /// Mean convergence-cost delta (faulted − fault-free generations)
+    /// over recovered lanes, when any lane qualified.
+    pub mean_cost_delta: Option<f64>,
+}
+
+impl CampaignRow {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("model".to_string(), Json::Str(self.model.clone())),
+            ("engine".to_string(), Json::Str(self.engine.clone())),
+            ("rate".to_string(), Json::Num(self.rate)),
+            ("lanes".to_string(), Json::Num(self.lanes as f64)),
+            ("recovered".to_string(), Json::Num(self.recovered as f64)),
+            ("corrupted".to_string(), Json::Num(self.corrupted as f64)),
+            (
+                "permanent_failures".to_string(),
+                Json::Num(self.permanent_failures as f64),
+            ),
+        ];
+        if let Some(delta) = self.mean_cost_delta {
+            obj.push(("mean_cost_delta".to_string(), Json::Num(delta)));
+        }
+        Json::Obj(obj)
+    }
+
+    fn from_json(v: &Json, idx: usize) -> Result<CampaignRow, ManifestError> {
+        let ctx = |name: &str| format!("campaigns[{idx}].{name}");
+        let field = |name: &str| v.get(name).ok_or_else(|| ManifestError::Missing(ctx(name)));
+        let string = |name: &str| {
+            Ok::<String, ManifestError>(
+                field(name)?
+                    .as_str()
+                    .ok_or_else(|| ManifestError::BadField(ctx(name)))?
+                    .to_string(),
+            )
+        };
+        let uint = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| ManifestError::BadField(ctx(name)))
+        };
+        let mean_cost_delta = match v.get("mean_cost_delta") {
+            None => None,
+            Some(d) => Some(
+                d.as_f64()
+                    .ok_or_else(|| ManifestError::BadField(ctx("mean_cost_delta")))?,
+            ),
+        };
+        Ok(CampaignRow {
+            model: string("model")?,
+            engine: string("engine")?,
+            rate: field("rate")?
+                .as_f64()
+                .ok_or_else(|| ManifestError::BadField(ctx("rate")))?,
+            lanes: uint("lanes")?,
+            recovered: uint("recovered")?,
+            corrupted: uint("corrupted")?,
+            permanent_failures: uint("permanent_failures")?,
+            mean_cost_delta,
+        })
+    }
 }
 
 impl RunManifest {
@@ -61,6 +150,7 @@ impl RunManifest {
             wall_seconds: 0.0,
             simulated_cycles: None,
             events_file: None,
+            campaigns: Vec::new(),
         }
     }
 
@@ -112,6 +202,12 @@ impl RunManifest {
         }
         if let Some(file) = &self.events_file {
             obj.push(("events_file".to_string(), Json::Str(file.clone())));
+        }
+        if !self.campaigns.is_empty() {
+            obj.push((
+                "campaigns".to_string(),
+                Json::Arr(self.campaigns.iter().map(CampaignRow::to_json).collect()),
+            ));
         }
         Json::Obj(obj)
     }
@@ -181,6 +277,16 @@ impl RunManifest {
                     .to_string(),
             ),
         };
+        let campaigns = match root.get("campaigns") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ManifestError::BadField("campaigns".to_string()))?
+                .iter()
+                .enumerate()
+                .map(|(i, row)| CampaignRow::from_json(row, i))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(RunManifest {
             schema_version,
             experiment: string("experiment")?,
@@ -192,6 +298,7 @@ impl RunManifest {
             wall_seconds: num("wall_seconds")?,
             simulated_cycles,
             events_file,
+            campaigns,
         })
     }
 
@@ -305,6 +412,55 @@ mod tests {
         let back = RunManifest::from_json_str(&m.to_json().to_string()).unwrap();
         assert_eq!(back.simulated_cycles, None);
         assert_eq!(back.events_file, None);
+        assert!(back.campaigns.is_empty(), "absent campaigns parse as none");
+    }
+
+    #[test]
+    fn campaign_rows_round_trip() {
+        let mut m = sample();
+        m.campaigns = vec![
+            CampaignRow {
+                model: "population_flip".to_string(),
+                engine: "rtl_x64".to_string(),
+                rate: 5.0,
+                lanes: 64,
+                recovered: 63,
+                corrupted: 0,
+                permanent_failures: 1,
+                mean_cost_delta: Some(812.5),
+            },
+            CampaignRow {
+                model: "genome_reg_flip".to_string(),
+                engine: "rtl_scalar".to_string(),
+                rate: 1.0,
+                lanes: 8,
+                recovered: 6,
+                corrupted: 2,
+                permanent_failures: 0,
+                mean_cost_delta: None,
+            },
+        ];
+        let text = m.to_json().to_string();
+        assert!(text.contains("\"campaigns\""));
+        let back = RunManifest::from_json_str(&text).expect("parse back");
+        assert_eq!(back, m);
+        assert_eq!(back.campaigns[1].mean_cost_delta, None);
+    }
+
+    #[test]
+    fn v1_manifests_without_campaigns_still_parse() {
+        let v1 = r#"{"schema_version":1,"experiment":"e13_seu","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[4096],"threads":1,"wall_seconds":0.5}"#;
+        let back = RunManifest::from_json_str(v1).expect("v1 manifests stay readable");
+        assert_eq!(back.schema_version, 1);
+        assert!(back.campaigns.is_empty());
+        let bad = r#"{"schema_version":2,"experiment":"x","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,"wall_seconds":0,
+            "campaigns":[{"model":"population_flip"}]}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(bad),
+            Err(ManifestError::Missing(field)) if field == "campaigns[0].engine"
+        ));
     }
 
     #[test]

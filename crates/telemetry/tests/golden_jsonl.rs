@@ -41,6 +41,36 @@ fn jsonl_stream_matches_golden_file() {
             "evo.ga.generation",
             &[("best", 26u64.into()), ("mean", 24.0.into())],
         );
+        // fault-campaign events (leonardo-faults): one per injection at
+        // trace level, one per lane verdict at metric level
+        tele::emit(
+            Level::Trace,
+            "fault.inject",
+            &[
+                ("engine", "rtl_x64".into()),
+                ("model", "population_flip".into()),
+                ("lane", 3usize.into()),
+                ("pos", 711u64.into()),
+                ("tick", 42u64.into()),
+            ],
+        );
+        tele::emit(
+            Level::Metric,
+            "fault.recovery",
+            &[
+                ("engine", "rtl_x64".into()),
+                ("model", "population_flip".into()),
+                ("rate", 5.0.into()),
+                ("seed", 4096u32.into()),
+                ("outcome", "recovered".into()),
+                ("converged", true.into()),
+                ("generations", 311u64.into()),
+                ("cycles", 987_654u64.into()),
+                ("injected", 1555u64.into()),
+                ("dwell_ticks", 32u64.into()),
+                ("clean_generations", 294u64.into()),
+            ],
+        );
         // escaping: the writer must keep every line one line
         tele::emit(
             Level::Metric,

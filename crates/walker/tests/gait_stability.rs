@@ -1,0 +1,94 @@
+//! The executed tripod gait is statically stable end to end.
+//!
+//! E5's headline claim needs the chain genome → controller → servos →
+//! kinematics to hold together: a maximum-fitness genome, executed with
+//! real servo timing, must keep the centre of mass inside the support
+//! polygon through **every** micro-phase, not just at the stance
+//! snapshots the fitness rules see. This test drives [`GaitExecutor`]
+//! (servo-timed phase commands) into the quasi-static locomotion model
+//! for several full cycles and watches the margin the whole way.
+
+use discipulus::controller::PHASES_PER_CYCLE;
+use discipulus::fitness::FitnessSpec;
+use discipulus::genome::Genome;
+use leonardo_walker::body::LEONARDO;
+use leonardo_walker::gait::GaitExecutor;
+use leonardo_walker::locomotion::{apply_phase, RobotState};
+
+#[test]
+fn tripod_genome_attains_maximum_fitness() {
+    let spec = FitnessSpec::paper();
+    assert_eq!(spec.evaluate(Genome::tripod()), spec.max_fitness());
+    assert!(spec.is_max(Genome::tripod()));
+}
+
+#[test]
+fn executed_tripod_gait_is_statically_stable_every_phase() {
+    let mut executor = GaitExecutor::new(Genome::tripod());
+    let mut state = RobotState::rest(LEONARDO);
+    let mut distance = 0.0;
+    for cycle in 0..3 {
+        for phase in 0..PHASES_PER_CYCLE {
+            let (cmd, duration) = executor.step_phase();
+            assert!(duration > 0.0);
+            let outcome = apply_phase(&mut state, &cmd);
+            assert!(
+                !outcome.fell,
+                "cycle {cycle} phase {phase}: fell with margin {} mm",
+                outcome.stability_margin_mm
+            );
+            assert!(
+                outcome.stability_margin_mm > 0.0,
+                "cycle {cycle} phase {phase}: margin {} mm",
+                outcome.stability_margin_mm
+            );
+            distance += outcome.displacement_mm;
+        }
+    }
+    assert!(
+        distance > 100.0,
+        "tripod gait must walk, moved {distance} mm"
+    );
+    assert!(executor.elapsed_s() > 0.0);
+}
+
+#[test]
+fn sampled_max_fitness_genomes_keep_the_rule_1_guarantee() {
+    // The rule set admits 86 436 maximal genomes, and it is conservative,
+    // not complete: a maximal genome may still fall quasi-statically —
+    // two raised legs per side leave only two grounded feet, and even a
+    // four-foot stance falls when the swept foot offsets pull the support
+    // polygon out from under the centre of mass. What the rule DOES
+    // guarantee is exactly what the paper states: no executed stance
+    // ever has three legs raised on one side. Execute a deterministic
+    // sample and pin that — falls may happen (the incompleteness), but
+    // never through a fully raised side (the rule's actual claim).
+    let spec = FitnessSpec::paper();
+    let sample: Vec<Genome> = discipulus::fitness::max_fitness_genomes()
+        .step_by(4000)
+        .collect();
+    assert!(sample.len() >= 20, "sample of {}", sample.len());
+    let mut falls = 0usize;
+    for genome in sample {
+        assert!(spec.is_max(genome));
+        let mut executor = GaitExecutor::new(genome);
+        let mut state = RobotState::rest(LEONARDO);
+        for _ in 0..2 * PHASES_PER_CYCLE {
+            let (cmd, _) = executor.step_phase();
+            let outcome = apply_phase(&mut state, &cmd);
+            for side in discipulus::genome::Side::ALL {
+                assert!(
+                    !side.legs().into_iter().all(|l| !state.grounded[l.index()]),
+                    "max-fitness genome {:#011x} raised a full side",
+                    genome.bits()
+                );
+            }
+            if outcome.fell {
+                falls += 1;
+            }
+        }
+    }
+    // the tripod executes fall-free (previous test); some other maximal
+    // genomes do fall — that gap is E5's subject, recorded here
+    assert!(falls > 0, "expected the rule's incompleteness to show");
+}

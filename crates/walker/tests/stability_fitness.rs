@@ -1,0 +1,106 @@
+//! The equilibrium rule against the geometry it abstracts.
+//!
+//! The paper justifies fitness rule 1 physically: "if the robot has three
+//! legs raised on the same side, it will stumble and fall". This test
+//! closes the loop over **all 64** single-step leg patterns: for each
+//! subset of raised legs it builds a genome holding that vertical pattern
+//! through both steps, checks `discipulus`'s `equilibrium_score` charges
+//! exactly the sides the rule names, and checks the rule is *sound*
+//! against the support-polygon geometry — every pattern the rule flags
+//! really puts the centre of mass outside the support.
+//!
+//! The rule is deliberately not *complete*: patterns it passes can still
+//! be geometrically unstable (two grounded feet span no polygon at all).
+//! That asymmetry is the paper's design choice — the rule is a cheap
+//! hardware-evaluable conservative filter, not a physics engine — and the
+//! test pins it rather than papering over it.
+
+use discipulus::fitness::equilibrium_score;
+use discipulus::genome::{Genome, LegGene, LegId, Side, StepId, NUM_LEGS};
+use leonardo_walker::body::LEONARDO;
+use leonardo_walker::locomotion::RobotState;
+
+/// A genome whose legs hold the vertical pattern `raised` (bit i = leg i
+/// up) through the pre- and post-vertical phases of both steps.
+fn pattern_genome(raised: u8) -> Genome {
+    let mut genome = Genome::ZERO;
+    for step in StepId::ALL {
+        for leg in LegId::ALL {
+            let up = raised >> leg.index() & 1 == 1;
+            // pre = post = pattern bit, horizontal backward (irrelevant
+            // to rule 1): gene bits are (post, horizontal, pre)
+            let gene = LegGene::from_bits(if up { 0b101 } else { 0b000 });
+            genome = genome.with_leg_gene(step, leg, gene);
+        }
+    }
+    genome
+}
+
+/// The robot standing with exactly the `raised` legs off the ground.
+fn stance(raised: u8) -> RobotState {
+    let mut state = RobotState::rest(LEONARDO);
+    for i in 0..NUM_LEGS {
+        state.grounded[i] = raised >> i & 1 == 0;
+    }
+    state
+}
+
+fn fully_raised_sides(raised: u8) -> u32 {
+    Side::ALL
+        .into_iter()
+        .filter(|side| {
+            side.legs()
+                .into_iter()
+                .all(|l| raised >> l.index() & 1 == 1)
+        })
+        .count() as u32
+}
+
+#[test]
+fn equilibrium_rule_charges_exactly_the_fully_raised_sides() {
+    for raised in 0u8..64 {
+        let genome = pattern_genome(raised);
+        // 2 steps × 2 vertical configurations × 2 sides, one point each
+        // unless the side is fully raised; the pattern holds through all
+        // four (step, configuration) combinations, so each flagged side
+        // costs all four of its points
+        let expected = 8 - 4 * fully_raised_sides(raised);
+        assert_eq!(equilibrium_score(genome), expected, "pattern {raised:#08b}");
+    }
+}
+
+#[test]
+fn every_rule_flagged_pattern_is_geometrically_unstable() {
+    for raised in 0u8..64 {
+        if fully_raised_sides(raised) == 0 {
+            continue;
+        }
+        let margin = stance(raised).stability_margin();
+        assert!(
+            margin <= 0.0,
+            "pattern {raised:#08b}: rule 1 flags it but the margin is {margin} mm"
+        );
+    }
+}
+
+#[test]
+fn rule_passing_tripod_patterns_are_geometrically_stable() {
+    // the two tripod stances — the patterns the evolved gaits actually
+    // stand on — pass the rule AND the geometry, with real margin
+    for raised in [0b010101u8, 0b101010] {
+        assert_eq!(fully_raised_sides(raised), 0);
+        let margin = stance(raised).stability_margin();
+        assert!(margin > 10.0, "tripod {raised:#08b} margin {margin} mm");
+    }
+}
+
+#[test]
+fn rule_is_conservative_not_complete() {
+    // four legs raised, two on each side: rule 1 sees no fully raised
+    // side, but two grounded feet cannot span a support polygon — the
+    // documented incompleteness of the hardware rule
+    let raised = 0b011011u8; // grounded: left front + right front only
+    assert_eq!(fully_raised_sides(raised), 0);
+    assert_eq!(equilibrium_score(pattern_genome(raised)), 8);
+    assert!(stance(raised).stability_margin() <= 0.0);
+}

@@ -43,5 +43,6 @@ run e10_islands --trials 20
 run e11_walker_loop --trials 12
 run e12_wide_genomes --trials 20
 run e13_seu --trials 16
+run e14_fault_matrix --trials 8
 
 echo "ALL_EXPERIMENTS_DONE" | tee -a "$OUT/run.log"

@@ -8,6 +8,7 @@
 //! is bit-for-bit the scalar `GapRtl` seeded with `seeds[l]`.
 
 use discipulus::params::GapParams;
+use leonardo_faults::{Campaign, FaultModel};
 use leonardo_rtl::bitslice::{GapRtlX64, GapRtlX64Config, LANES};
 use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
 use leonardo_rtl::rng_rtl::CaRngRtl;
@@ -152,5 +153,39 @@ fn seu_injection_via_lane_masks_matches_scalar() {
             scalar.inject_upset((fault.word() % bits) as usize);
         }
         assert_lane_matches(&batch, &scalar, l, "after upsets");
+    }
+}
+
+/// Faulted lockstep over the whole campaign engine: for every fault
+/// model, the same seeds and the same injection schedule run on the
+/// scalar bank and on the X64 batch engine must produce identical
+/// per-generation best-fitness traces, outcomes, generation counts and
+/// cycle counts. This is the cross-engine half of the differential
+/// recovery oracle, exercised end to end.
+#[test]
+fn faulted_campaigns_stay_in_cross_engine_lockstep() {
+    // few lanes on purpose: the scalar side replays each lane separately,
+    // so lane count multiplies debug-build wall time
+    let s = seeds(4);
+    for model in FaultModel::ALL {
+        let campaign = Campaign::new(model, 1.0)
+            .with_max_generations(15_000)
+            .with_dwell_window(8)
+            .recording();
+        let x64 = campaign.run_x64(&s);
+        let scalar = campaign.run_scalar(&s);
+        x64.verify()
+            .unwrap_or_else(|e| panic!("{model}: x64 oracle: {e}"));
+        scalar
+            .verify()
+            .unwrap_or_else(|e| panic!("{model}: scalar oracle: {e}"));
+        x64.agrees_with(&scalar)
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+        let traces = x64.traces.as_ref().expect("recorded traces");
+        assert_eq!(traces.len(), s.len());
+        assert!(
+            traces.iter().all(|t| !t.is_empty()),
+            "{model}: every lane must record at least one generation"
+        );
     }
 }

@@ -11,11 +11,13 @@
 //!   generations where the paper's harsher landscape needed ≈2000 — the
 //!   shape holds, the constant does not);
 //! * the run manifest round-trips through disk and records params, seeds
-//!   and simulated cycle totals.
+//!   and simulated cycle totals — plus the `campaigns` section and
+//!   `fault.recovery` events when the session runs a fault campaign.
 
 use discipulus::params::GapParams;
 use leonardo_bench::harness::{convergence_sample, rtl_convergence_batch, trial_seeds};
 use leonardo_bench::{trial_stats, ExperimentSession};
+use leonardo_faults::{Campaign, FaultModel};
 use leonardo_telemetry as tele;
 use leonardo_telemetry::json::Json;
 use leonardo_telemetry::RunManifest;
@@ -69,6 +71,22 @@ fn e1_stream_manifest_and_recomputed_mean() {
     let rtl_cycles: u64 = rtl.iter().map(|t| t.cycles).sum();
     assert_eq!(session.simulated_cycles(), rtl_cycles);
 
+    // --- a mini fault campaign inside the same session -----------------
+    let fault_seeds = [seeds[0], seeds[1]];
+    let report = Campaign::new(FaultModel::PopulationFlip, 1.0)
+        .with_max_generations(MAX_GENS)
+        .run_x64(&fault_seeds);
+    report.verify().expect("recovery oracle");
+    session.add_campaign(report.manifest_row());
+    let campaign_cycles: u64 = report.lanes.iter().map(|l| l.cycles).sum();
+    assert_eq!(
+        session.aggregator().events("fault.recovery").len(),
+        fault_seeds.len(),
+        "one recovery event per campaign lane"
+    );
+    // campaign cycles join the session's simulated-cycle total
+    assert_eq!(session.simulated_cycles(), rtl_cycles + campaign_cycles);
+
     let events_path = session.events_path().expect("stream file");
     let manifest_path = session.manifest_path();
     let manifest = session.finish();
@@ -97,6 +115,28 @@ fn e1_stream_manifest_and_recomputed_mean() {
         );
     }
     assert_eq!(gens.len(), TRIALS, "one behavioural trial event per seed");
+
+    // fault.recovery events land in the same stream, fully structured
+    let mut recoveries = 0usize;
+    for line in text.lines() {
+        let event = Json::parse(line).expect("every line is valid JSON");
+        if event.get("name").and_then(|n| n.as_str()) != Some("fault.recovery") {
+            continue;
+        }
+        let fields = event.get("fields").expect("recovery events carry fields");
+        assert_eq!(
+            fields.get("engine").and_then(|e| e.as_str()),
+            Some("rtl_x64")
+        );
+        assert_eq!(
+            fields.get("model").and_then(|m| m.as_str()),
+            Some("population_flip")
+        );
+        assert!(fields.get("outcome").and_then(|o| o.as_str()).is_some());
+        assert!(fields.get("generations").and_then(|g| g.as_f64()).is_some());
+        recoveries += 1;
+    }
+    assert_eq!(recoveries, fault_seeds.len());
     let stream_mean = gens.iter().sum::<f64>() / gens.len() as f64;
     let local_mean = local.summary.expect("converged trials").mean;
     assert!(
@@ -115,12 +155,23 @@ fn e1_stream_manifest_and_recomputed_mean() {
     assert_eq!(back, manifest);
     assert_eq!(back.param("trials"), Some(TRIALS as f64));
     assert_eq!(back.seeds.len(), TRIALS);
-    assert_eq!(back.simulated_cycles, Some(rtl_cycles));
+    assert_eq!(back.simulated_cycles, Some(rtl_cycles + campaign_cycles));
     assert_eq!(
         back.events_file.as_deref(),
         Some("e1_convergence.events.jsonl")
     );
     assert!(back.wall_seconds > 0.0);
+    // the campaign summary row survives the disk round-trip
+    assert_eq!(back.campaigns.len(), 1);
+    assert_eq!(back.campaigns[0].model, "population_flip");
+    assert_eq!(back.campaigns[0].engine, "rtl_x64");
+    assert_eq!(back.campaigns[0].lanes as usize, fault_seeds.len());
+    assert_eq!(
+        back.campaigns[0].recovered
+            + back.campaigns[0].corrupted
+            + back.campaigns[0].permanent_failures,
+        back.campaigns[0].lanes
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 
