@@ -3,6 +3,7 @@
 //! and must exit nonzero — the tests of the tests.
 
 use discipulus::genome::{Genome, LegGene, LegId, StepId};
+use leonardo_landscape::{Shard, ShardPlan};
 use leonardo_rtl::netlist::{DesignNetlist, StaticNetlist};
 use leonardo_rtl::resources::Resources;
 
@@ -67,6 +68,27 @@ pub fn trap_genome() -> Genome {
     g
 }
 
+/// A landscape shard plan with a one-block hole between its two shards:
+/// any sweep scheduled from it would silently skip 64 genomes — exactly
+/// the defect the shard linter exists to catch.
+pub fn broken_shard_plan() -> ShardPlan {
+    ShardPlan::from_raw(
+        12,
+        vec![
+            Shard {
+                index: 0,
+                start_block: 0,
+                end_block: 31,
+            },
+            Shard {
+                index: 1,
+                start_block: 32,
+                end_block: 64,
+            },
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +99,13 @@ mod tests {
         let g = trap_genome();
         assert!(crate::genome_check::well_formed(g).is_ok());
         assert!(crate::genome_check::StaticGait::derive(g).airborne_leg(LegId::ALL[0]));
+    }
+
+    #[test]
+    fn broken_plan_skips_one_block() {
+        let plan = broken_shard_plan();
+        let covered: u64 = plan.shards().iter().map(Shard::blocks).sum();
+        assert_eq!(plan.total_blocks() - covered, 1, "exactly one block lost");
     }
 
     #[test]

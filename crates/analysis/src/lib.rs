@@ -14,6 +14,10 @@
 //! * [`fault_nodes`] resolves every node name the `leonardo-faults`
 //!   campaign engine can inject into against both engine netlists, so a
 //!   netlist refactor cannot silently invalidate the fault subsystem;
+//! * [`shard_check`] verifies the exhaustive landscape sweep's shard
+//!   plans (`leonardo-landscape`) form an exact ordered partition of the
+//!   block space — the arithmetic its "bit-identical for any
+//!   configuration" claim rests on;
 //! * [`fixtures`] holds deliberately broken designs, one per defect
 //!   class, so the gate itself is testable.
 //!
@@ -29,8 +33,10 @@ pub mod finding;
 pub mod fixtures;
 pub mod genome_check;
 pub mod lint;
+pub mod shard_check;
 
 pub use fault_nodes::check_injectable_nodes;
 pub use finding::{has_errors, Finding, Severity};
 pub use genome_check::{check_genome, check_population_path, well_formed, StaticGait};
 pub use lint::{lint_design, lint_unit, packed_clbs};
+pub use shard_check::check_shard_plan;

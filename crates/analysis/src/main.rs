@@ -6,7 +6,8 @@
 //! analysis genome <hex>        statically check one 36-bit genome
 //! analysis fixture <name>      run a seeded-defect fixture (must fail):
 //!                              combinational-loop | width-mismatch |
-//!                              clb-overflow | trap-genome
+//!                              clb-overflow | trap-genome |
+//!                              broken-shard-plan
 //! ```
 //!
 //! Exit status: 0 when no error-severity finding, 1 otherwise, 2 on usage
@@ -15,7 +16,9 @@
 #![forbid(unsafe_code)]
 
 use analysis::finding::{has_errors, Finding};
-use analysis::{check_genome, check_injectable_nodes, check_population_path, fixtures, lint};
+use analysis::{
+    check_genome, check_injectable_nodes, check_population_path, check_shard_plan, fixtures, lint,
+};
 use discipulus::genome::Genome;
 use discipulus::params::GapParams;
 use leonardo_rtl::bitslice::{CaRngX64, FitnessUnitX64, GapRtlX64, GapRtlX64Config, RamX64};
@@ -82,6 +85,15 @@ fn run_check(seed: u32) -> ExitCode {
         println!("   {}: check_injectable_nodes", n.unit);
         findings.extend(check_injectable_nodes(&n, 1, &params));
     }
+    // the exhaustive sweep's partition arithmetic, at every shard count
+    // the drivers use (CI smoke, defaults, full run) plus awkward odd ones
+    println!("== landscape shard plans ==");
+    for (bits, shards) in [(24u32, 256usize), (24, 7), (36, 256), (36, 1), (36, 1000)] {
+        println!("   2^{bits} x {shards}: check_shard_plan");
+        findings.extend(check_shard_plan(&leonardo_landscape::ShardPlan::new(
+            bits, shards,
+        )));
+    }
     println!("== genome path: seed {seed:#x} ==");
     findings.extend(check_population_path(seed, MAX_GENERATIONS));
     report(&findings)
@@ -93,6 +105,7 @@ fn run_fixture(name: &str) -> ExitCode {
         "width-mismatch" => lint::lint_design(&fixtures::width_mismatch()),
         "clb-overflow" => lint::lint_design(&fixtures::clb_overflow()),
         "trap-genome" => check_genome(fixtures::trap_genome()),
+        "broken-shard-plan" => check_shard_plan(&fixtures::broken_shard_plan()),
         _ => return usage(&format!("unknown fixture `{name}`")),
     };
     report(&findings)

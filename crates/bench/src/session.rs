@@ -110,6 +110,12 @@ impl ExperimentSession {
         self.manifest.campaigns.push(row);
     }
 
+    /// Record one landscape-sweep summary row into the manifest's
+    /// `landscape` section.
+    pub fn add_landscape_row(&mut self, row: tele::LandscapeRow) {
+        self.manifest.landscape.push(row);
+    }
+
     /// Total simulated RTL cycles over all `bench.trial` and
     /// `fault.recovery` events recorded so far (0 when no event carried a
     /// `cycles` field).

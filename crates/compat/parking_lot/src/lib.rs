@@ -47,6 +47,17 @@ impl<T: ?Sized> Mutex<T> {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// Try to acquire the lock without blocking; `None` when another
+    /// holder has it. A poisoned lock is recovered, as with
+    /// [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutably borrow the protected value without locking.
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {

@@ -140,6 +140,32 @@ impl FitnessHistogram {
         self.counts[value as usize] += 1;
     }
 
+    /// Record `n` observations of `value` at once — the bulk path the
+    /// exhaustive landscape sweep uses (it counts whole 64-lane masks
+    /// per fitness level instead of recording genomes one by one).
+    ///
+    /// # Panics
+    /// Panics if `value` exceeds the histogram's maximum.
+    pub fn record_n(&mut self, value: FitnessValue, n: u64) {
+        self.counts[value as usize] += n;
+    }
+
+    /// Fold another histogram into this one, value by value (shard-merge
+    /// for partitioned sweeps).
+    ///
+    /// # Panics
+    /// Panics if the histograms cover different value ranges.
+    pub fn merge(&mut self, other: &FitnessHistogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge histograms over different fitness ranges"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
     /// Count at `value` (0 when out of range).
     pub fn count(&self, value: FitnessValue) -> u64 {
         self.counts.get(value as usize).copied().unwrap_or(0)
@@ -328,6 +354,28 @@ mod tests {
         assert!(r.to_string().contains("gen"));
         let sum = SampleSummary::of(&[1.0, 2.0]).unwrap();
         assert!(sum.to_string().contains("median"));
+    }
+
+    #[test]
+    fn histogram_bulk_record_and_merge() {
+        let mut a = FitnessHistogram::new(26);
+        a.record_n(20, 5);
+        a.record_n(26, 2);
+        let mut b = FitnessHistogram::new(26);
+        b.record(20);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(20), 6);
+        assert_eq!(a.count(26), 2);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.total(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different fitness ranges")]
+    fn histogram_merge_rejects_range_mismatch() {
+        let mut a = FitnessHistogram::new(26);
+        a.merge(&FitnessHistogram::new(12));
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Quick wall-clock probe: sweep a 2^28 subspace and extrapolate to 2^36.
+use leonardo_landscape::{StopToken, Sweep, SweepConfig};
+use std::time::Instant;
+
+fn main() {
+    let bits: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(28);
+    let mut cfg = SweepConfig::subspace(bits);
+    cfg.threads = 1;
+    let mut sweep = Sweep::new(cfg);
+    let t0 = Instant::now();
+    sweep.run(&StopToken::never());
+    let dt = t0.elapsed().as_secs_f64();
+    let r = sweep.result();
+    let rate = r.genomes_swept as f64 / dt;
+    println!(
+        "2^{bits}: {:.2}s  ({:.1} M genomes/s)  full 2^36 ≈ {:.0}s  max_count={}",
+        dt,
+        rate / 1e6,
+        (1u64 << 36) as f64 / rate,
+        r.max_count
+    );
+}

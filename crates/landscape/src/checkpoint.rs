@@ -1,0 +1,367 @@
+//! Versioned, checksummed sweep checkpoints.
+//!
+//! A checkpoint is a small line-oriented text file capturing the entire
+//! sweep state at a chunk boundary: the configuration (subspace width,
+//! shard count, rule weights, sample cap) and, per shard, the cursor of
+//! the next unswept block plus the partial histogram, max-set count and
+//! max-set samples accumulated so far. Restarting from it is exact: the
+//! resumed sweep produces the bit-identical landscape an uninterrupted
+//! run would have.
+//!
+//! Integrity: the header line is versioned
+//! (`leonardo-landscape-checkpoint v1`) and the last line carries an
+//! FNV-1a 64 checksum of every preceding byte. Truncated, edited or
+//! bit-flipped files are rejected with a typed error instead of resuming
+//! from silently wrong state. Writes go through a temp file + rename so
+//! a crash mid-write never leaves a half checkpoint behind.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Magic+version header of the current checkpoint format.
+pub const CHECKPOINT_HEADER: &str = "leonardo-landscape-checkpoint v1";
+
+/// Per-shard saved progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCheckpoint {
+    /// Shard position in the plan.
+    pub index: usize,
+    /// Next unswept block (absolute block index; shards whose cursor has
+    /// reached their end are complete).
+    pub cursor: u64,
+    /// Max-fitness genomes counted so far (may exceed the stored sample
+    /// count once the cap is hit).
+    pub max_count: u64,
+    /// Partial fitness histogram, index = fitness value.
+    pub hist: Vec<u64>,
+    /// Max-fitness genomes collected so far, ascending, capped.
+    pub samples: Vec<u64>,
+}
+
+/// A parsed (or about-to-be-written) checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Swept subspace width in genome bits.
+    pub subspace_bits: u32,
+    /// Rule weights of the spec being swept (equilibrium, symmetry,
+    /// coherence) — resuming under a different spec is refused.
+    pub weights: (u32, u32, u32),
+    /// Cap on stored max-set samples.
+    pub sample_cap: usize,
+    /// One entry per shard, in index order.
+    pub shards: Vec<ShardCheckpoint>,
+}
+
+/// Failure to read, parse or apply a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The file does not carry the current header (wrong magic or a
+    /// version this build does not know).
+    Version(String),
+    /// The file is structurally broken (truncated, bad field, shard
+    /// lines out of order…); the string names the offending line.
+    Malformed(String),
+    /// The trailing checksum does not match the content — the file was
+    /// corrupted or hand-edited.
+    Checksum,
+    /// The checkpoint is valid but belongs to a different sweep
+    /// configuration than the one resuming from it.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Version(h) => {
+                write!(
+                    f,
+                    "unsupported checkpoint header `{h}` (want `{CHECKPOINT_HEADER}`)"
+                )
+            }
+            CheckpointError::Malformed(l) => write!(f, "malformed checkpoint: {l}"),
+            CheckpointError::Checksum => write!(f, "checkpoint checksum mismatch (corrupted file)"),
+            CheckpointError::Mismatch(why) => {
+                write!(f, "checkpoint belongs to a different sweep: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit hash — the checkpoint's integrity checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Checkpoint {
+    /// Serialize to the on-disk text form, checksum line included.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CHECKPOINT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("subspace_bits {}\n", self.subspace_bits));
+        out.push_str(&format!(
+            "weights {} {} {}\n",
+            self.weights.0, self.weights.1, self.weights.2
+        ));
+        out.push_str(&format!("sample_cap {}\n", self.sample_cap));
+        out.push_str(&format!("shards {}\n", self.shards.len()));
+        for s in &self.shards {
+            let hist: Vec<String> = s.hist.iter().map(u64::to_string).collect();
+            let samples = if s.samples.is_empty() {
+                "-".to_string()
+            } else {
+                s.samples
+                    .iter()
+                    .map(|g| format!("{g:x}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(
+                "shard {} cursor {} max {} hist {} samples {}\n",
+                s.index,
+                s.cursor,
+                s.max_count,
+                hist.join(","),
+                samples
+            ));
+        }
+        out.push_str(&format!("checksum {:016x}\n", fnv1a64(out.as_bytes())));
+        out
+    }
+
+    /// Parse the on-disk text form, verifying the checksum.
+    pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let bad = |why: String| CheckpointError::Malformed(why);
+        // the checksum line covers every byte before it
+        let body_end = text
+            .rfind("checksum ")
+            .ok_or_else(|| bad("missing checksum line".into()))?;
+        let sum_line = text[body_end..].trim_end();
+        let want = sum_line
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad(format!("unreadable checksum line `{sum_line}`")))?;
+        if fnv1a64(&text.as_bytes()[..body_end]) != want {
+            return Err(CheckpointError::Checksum);
+        }
+
+        let mut lines = text[..body_end].lines();
+        let header = lines.next().unwrap_or("");
+        if header != CHECKPOINT_HEADER {
+            return Err(CheckpointError::Version(header.to_string()));
+        }
+        let mut field = |name: &str| -> Result<String, CheckpointError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad(format!("missing `{name}` line")))?;
+            line.strip_prefix(name)
+                .map(|v| v.trim().to_string())
+                .ok_or_else(|| bad(format!("expected `{name} …`, found `{line}`")))
+        };
+        let subspace_bits: u32 = field("subspace_bits")?
+            .parse()
+            .map_err(|_| bad("bad subspace_bits".into()))?;
+        let w = field("weights")?;
+        let ws: Vec<u32> = w
+            .split_whitespace()
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad("bad weights".into()))?;
+        let [we, wsy, wc] = ws[..] else {
+            return Err(bad("weights needs three values".into()));
+        };
+        let sample_cap: usize = field("sample_cap")?
+            .parse()
+            .map_err(|_| bad("bad sample_cap".into()))?;
+        let num_shards: usize = field("shards")?
+            .parse()
+            .map_err(|_| bad("bad shard count".into()))?;
+
+        let mut shards = Vec::with_capacity(num_shards);
+        for expect in 0..num_shards {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad(format!("truncated: shard {expect} line missing")))?;
+            shards.push(parse_shard_line(line, expect)?);
+        }
+        if let Some(extra) = lines.next() {
+            return Err(bad(format!("trailing content after shards: `{extra}`")));
+        }
+        Ok(Checkpoint {
+            subspace_bits,
+            weights: (we, wsy, wc),
+            sample_cap,
+            shards,
+        })
+    }
+
+    /// Atomically write the checkpoint to `path` (temp file + rename).
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and verify a checkpoint previously written with
+    /// [`Checkpoint::write`].
+    pub fn read(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::parse(&std::fs::read_to_string(path)?)
+    }
+}
+
+fn parse_shard_line(line: &str, expect: usize) -> Result<ShardCheckpoint, CheckpointError> {
+    let bad = |why: String| CheckpointError::Malformed(format!("shard {expect}: {why}"));
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let [kw, idx, ckw, cursor, mkw, max, hkw, hist, skw, samples] = toks[..] else {
+        return Err(bad(format!("unparseable shard line `{line}`")));
+    };
+    if kw != "shard" || ckw != "cursor" || mkw != "max" || hkw != "hist" || skw != "samples" {
+        return Err(bad(format!("unexpected keywords in `{line}`")));
+    }
+    let index: usize = idx.parse().map_err(|_| bad("bad index".into()))?;
+    if index != expect {
+        return Err(bad(format!("out-of-order shard index {index}")));
+    }
+    let cursor: u64 = cursor.parse().map_err(|_| bad("bad cursor".into()))?;
+    let max_count: u64 = max.parse().map_err(|_| bad("bad max count".into()))?;
+    let hist: Vec<u64> = hist
+        .split(',')
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .map_err(|_| bad("bad histogram".into()))?;
+    let samples: Vec<u64> = if samples == "-" {
+        Vec::new()
+    } else {
+        samples
+            .split(',')
+            .map(|g| u64::from_str_radix(g, 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad("bad samples".into()))?
+    };
+    Ok(ShardCheckpoint {
+        index,
+        cursor,
+        max_count,
+        hist,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            subspace_bits: 20,
+            weights: (1, 1, 1),
+            sample_cap: 1024,
+            shards: vec![
+                ShardCheckpoint {
+                    index: 0,
+                    cursor: 100,
+                    max_count: 2,
+                    hist: vec![0; 27],
+                    samples: vec![0x123, 0xABC],
+                },
+                ShardCheckpoint {
+                    index: 1,
+                    cursor: 8192,
+                    max_count: 0,
+                    hist: (0..27).collect(),
+                    samples: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let cp = sample();
+        let text = cp.render();
+        assert!(text.starts_with(CHECKPOINT_HEADER));
+        let back = Checkpoint::parse(&text).expect("round trip");
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn corrupted_byte_is_rejected() {
+        let mut text = sample().render();
+        // flip one digit inside a histogram count
+        let pos = text.find("hist").unwrap() + 6;
+        let mut bytes = text.clone().into_bytes();
+        bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+        text = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            Checkpoint::parse(&text),
+            Err(CheckpointError::Checksum)
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let text = sample().render();
+        // cut the file mid-way: the checksum line disappears entirely
+        let cut = &text[..text.len() / 2];
+        assert!(matches!(
+            Checkpoint::parse(cut),
+            Err(CheckpointError::Malformed(_)) | Err(CheckpointError::Checksum)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut cp_text = sample()
+            .render()
+            .replace(CHECKPOINT_HEADER, "leonardo-landscape-checkpoint v9");
+        // re-checksum so the version check (not the checksum) fires
+        let body_end = cp_text.rfind("checksum ").unwrap();
+        let sum = fnv1a64(&cp_text.as_bytes()[..body_end]);
+        cp_text = format!("{}checksum {:016x}\n", &cp_text[..body_end], sum);
+        assert!(matches!(
+            Checkpoint::parse(&cp_text),
+            Err(CheckpointError::Version(_))
+        ));
+    }
+
+    #[test]
+    fn write_read_files_atomically() {
+        let dir = std::env::temp_dir().join("leonardo-landscape-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.checkpoint");
+        let cp = sample();
+        cp.write(&path).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file renamed away"
+        );
+        assert_eq!(Checkpoint::read(&path).unwrap(), cp);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // standard FNV-1a test vectors
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+}

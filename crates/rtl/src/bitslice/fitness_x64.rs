@@ -29,6 +29,44 @@ use discipulus::genome::GENOME_BITS;
 /// bits, and the batch engine stores one score column per plane.
 pub const SCORE_PLANES: usize = 5;
 
+/// Number of low genome bits that address a lane within one consecutive
+/// 64-genome block (`2^6 = 64` lanes).
+pub const LANE_BITS: usize = 6;
+
+/// The fixed bit-planes of the lane index itself: `LANE_INDEX_PLANES[b]`
+/// has bit `l` set iff bit `b` of `l` is set. These are the low six
+/// transposed planes of **any** aligned run of 64 consecutive genomes —
+/// the observation the exhaustive landscape sweep builds on: adjacent
+/// genomes share every bit above the lane field, so a whole block's
+/// transposed form costs a handful of broadcast words instead of a 64×64
+/// transpose.
+pub const LANE_INDEX_PLANES: [u64; LANE_BITS] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Transposed bit-planes of the 64 consecutive genomes
+/// `first..first + 64`: plane `b` carries genome bit `b` of every lane.
+/// Planes below [`LANE_BITS`] are the fixed [`LANE_INDEX_PLANES`]; every
+/// higher plane is a broadcast of the corresponding bit of `first`.
+///
+/// # Panics
+/// Panics unless `first` is 64-aligned and below 2³⁶.
+pub fn consecutive_genome_planes(first: u64) -> [u64; GENOME_BITS] {
+    assert_eq!(first % LANES as u64, 0, "block base must be 64-aligned");
+    assert!(first >> GENOME_BITS == 0, "block base exceeds 36 bits");
+    let mut planes = [0u64; GENOME_BITS];
+    planes[..LANE_BITS].copy_from_slice(&LANE_INDEX_PLANES);
+    for (b, plane) in planes.iter_mut().enumerate().skip(LANE_BITS) {
+        *plane = 0u64.wrapping_sub(first >> b & 1);
+    }
+    planes
+}
+
 /// The bit-sliced fitness network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FitnessUnitX64 {
@@ -145,6 +183,16 @@ impl FitnessUnitX64 {
             }
         }
         planes
+    }
+
+    /// Score the 64 consecutive genomes `first..first + 64` into sliced
+    /// score planes without materializing or transposing them (see
+    /// [`consecutive_genome_planes`]) — the landscape sweep's kernel step.
+    ///
+    /// # Panics
+    /// Panics unless `first` is 64-aligned and below 2³⁶.
+    pub fn evaluate_consecutive_planes(&self, first: u64) -> [u64; SCORE_PLANES] {
+        self.evaluate_transposed_planes(&consecutive_genome_planes(first))
     }
 
     /// [`Self::evaluate_transposed_planes`] for lane-major genomes.
@@ -396,6 +444,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn consecutive_planes_match_explicit_transpose() {
+        for base in [0u64, 64, 0x123_4567_8940, GENOME_MASK - 63] {
+            let base = base & !63 & GENOME_MASK;
+            let mut lanes = [0u64; LANES];
+            for (l, w) in lanes.iter_mut().enumerate() {
+                *w = base + l as u64;
+            }
+            let t = transposed(&lanes);
+            let planes = consecutive_genome_planes(base);
+            assert_eq!(&t[..GENOME_BITS], &planes[..], "base {base:#x}");
+        }
+    }
+
+    #[test]
+    fn consecutive_scores_match_scalar_unit() {
+        let sliced = FitnessUnitX64::paper();
+        let scalar = FitnessUnit::paper();
+        for base in [0u64, 12 * 64, (1 << 36) - 64] {
+            let planes = sliced.evaluate_consecutive_planes(base);
+            for l in 0..LANES {
+                let want = scalar.evaluate(Genome::from_bits(base + l as u64));
+                assert_eq!(plane_value(&planes, l), want, "base {base:#x} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "64-aligned")]
+    fn consecutive_planes_reject_unaligned_base() {
+        let _ = consecutive_genome_planes(7);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod ram_x64;
 pub mod rng_x64;
 pub mod transpose;
 
-pub use fitness_x64::FitnessUnitX64;
+pub use fitness_x64::{
+    consecutive_genome_planes, FitnessUnitX64, LANE_BITS, LANE_INDEX_PLANES, SCORE_PLANES,
+};
 pub use gap_x64::{GapRtlX64, GapRtlX64Config};
 pub use ram_x64::RamX64;
 pub use rng_x64::CaRngX64;

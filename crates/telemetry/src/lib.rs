@@ -68,7 +68,9 @@ pub mod manifest;
 pub mod sink;
 
 pub use event::{Event, Level, Payload, Value};
-pub use manifest::{CampaignRow, ManifestError, RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use manifest::{
+    CampaignRow, LandscapeRow, ManifestError, RunManifest, MANIFEST_SCHEMA_VERSION,
+};
 
 #[cfg(feature = "runtime")]
 mod runtime {

@@ -15,7 +15,10 @@ use std::path::Path;
 /// Version history:
 /// * **1** — initial schema.
 /// * **2** — optional `campaigns` section (fault-campaign summary rows).
-pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
+/// * **3** — optional `landscape` section (exhaustive-sweep summary
+///   rows: subspace width, shard/thread configuration, the full fitness
+///   histogram and the max-set cardinality).
+pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
 
 /// A reproducibility record for one experiment run.
 ///
@@ -51,6 +54,91 @@ pub struct RunManifest {
     /// (schema v2; absent from the JSON when empty, so v1 readers and
     /// fault-free runs are unaffected).
     pub campaigns: Vec<CampaignRow>,
+    /// Landscape-sweep summary rows, when the run enumerated the genome
+    /// landscape (schema v3; absent from the JSON when empty, so v1/v2
+    /// readers and sweep-free runs are unaffected).
+    pub landscape: Vec<LandscapeRow>,
+}
+
+/// One exhaustive-sweep summary line in a [`RunManifest`]: what slice of
+/// the genome space was swept under which partitioning, and what the
+/// landscape looked like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LandscapeRow {
+    /// Width of the swept subspace in genome bits (36 = the full space).
+    pub subspace_bits: u64,
+    /// Shards the space was partitioned into.
+    pub shards: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Genomes actually swept (`2^subspace_bits` for a complete run).
+    pub genomes_swept: u64,
+    /// The spec's maximum fitness level.
+    pub max_fitness: u64,
+    /// Exact cardinality of the maximum-fitness set.
+    pub max_count: u64,
+    /// Exact genome count per fitness level, index = fitness value
+    /// (length `max_fitness + 1`).
+    pub histogram: Vec<u64>,
+}
+
+impl LandscapeRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "subspace_bits".to_string(),
+                Json::Num(self.subspace_bits as f64),
+            ),
+            ("shards".to_string(), Json::Num(self.shards as f64)),
+            ("threads".to_string(), Json::Num(self.threads as f64)),
+            (
+                "genomes_swept".to_string(),
+                Json::Num(self.genomes_swept as f64),
+            ),
+            (
+                "max_fitness".to_string(),
+                Json::Num(self.max_fitness as f64),
+            ),
+            ("max_count".to_string(), Json::Num(self.max_count as f64)),
+            (
+                "histogram".to_string(),
+                Json::Arr(
+                    self.histogram
+                        .iter()
+                        .map(|&c| Json::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json, idx: usize) -> Result<LandscapeRow, ManifestError> {
+        let ctx = |name: &str| format!("landscape[{idx}].{name}");
+        let field = |name: &str| v.get(name).ok_or_else(|| ManifestError::Missing(ctx(name)));
+        let uint = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| ManifestError::BadField(ctx(name)))
+        };
+        let histogram = field("histogram")?
+            .as_array()
+            .ok_or_else(|| ManifestError::BadField(ctx("histogram")))?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .ok_or_else(|| ManifestError::BadField(ctx("histogram")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LandscapeRow {
+            subspace_bits: uint("subspace_bits")?,
+            shards: uint("shards")?,
+            threads: uint("threads")?,
+            genomes_swept: uint("genomes_swept")?,
+            max_fitness: uint("max_fitness")?,
+            max_count: uint("max_count")?,
+            histogram,
+        })
+    }
 }
 
 /// One fault campaign's summary line in a [`RunManifest`]: which model
@@ -151,6 +239,7 @@ impl RunManifest {
             simulated_cycles: None,
             events_file: None,
             campaigns: Vec::new(),
+            landscape: Vec::new(),
         }
     }
 
@@ -207,6 +296,12 @@ impl RunManifest {
             obj.push((
                 "campaigns".to_string(),
                 Json::Arr(self.campaigns.iter().map(CampaignRow::to_json).collect()),
+            ));
+        }
+        if !self.landscape.is_empty() {
+            obj.push((
+                "landscape".to_string(),
+                Json::Arr(self.landscape.iter().map(LandscapeRow::to_json).collect()),
             ));
         }
         Json::Obj(obj)
@@ -287,6 +382,16 @@ impl RunManifest {
                 .map(|(i, row)| CampaignRow::from_json(row, i))
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let landscape = match root.get("landscape") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ManifestError::BadField("landscape".to_string()))?
+                .iter()
+                .enumerate()
+                .map(|(i, row)| LandscapeRow::from_json(row, i))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(RunManifest {
             schema_version,
             experiment: string("experiment")?,
@@ -299,6 +404,7 @@ impl RunManifest {
             simulated_cycles,
             events_file,
             campaigns,
+            landscape,
         })
     }
 
@@ -413,6 +519,46 @@ mod tests {
         assert_eq!(back.simulated_cycles, None);
         assert_eq!(back.events_file, None);
         assert!(back.campaigns.is_empty(), "absent campaigns parse as none");
+        assert!(back.landscape.is_empty(), "absent landscape parses as none");
+    }
+
+    #[test]
+    fn landscape_rows_round_trip() {
+        let mut m = sample();
+        m.landscape = vec![LandscapeRow {
+            subspace_bits: 36,
+            shards: 256,
+            threads: 8,
+            genomes_swept: 68_719_476_736,
+            max_fitness: 26,
+            max_count: 86_436,
+            histogram: (0..27).map(|v| v * 1000).collect(),
+        }];
+        let text = m.to_json().to_string();
+        assert!(text.contains("\"landscape\""));
+        let back = RunManifest::from_json_str(&text).expect("parse back");
+        assert_eq!(back, m);
+        assert_eq!(back.landscape[0].genomes_swept, 68_719_476_736);
+        assert_eq!(back.landscape[0].histogram.len(), 27);
+    }
+
+    #[test]
+    fn v2_manifests_without_landscape_still_parse() {
+        let v2 = r#"{"schema_version":2,"experiment":"e13_seu","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[4096],"threads":1,"wall_seconds":0.5,
+            "campaigns":[{"model":"population_flip","engine":"rtl_x64","rate":5,
+            "lanes":64,"recovered":63,"corrupted":0,"permanent_failures":1}]}"#;
+        let back = RunManifest::from_json_str(v2).expect("v2 manifests stay readable");
+        assert_eq!(back.schema_version, 2);
+        assert_eq!(back.campaigns.len(), 1);
+        assert!(back.landscape.is_empty());
+        let bad = r#"{"schema_version":3,"experiment":"x","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,"wall_seconds":0,
+            "landscape":[{"subspace_bits":24}]}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(bad),
+            Err(ManifestError::Missing(field)) if field == "landscape[0].histogram"
+        ));
     }
 
     #[test]

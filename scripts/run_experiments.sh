@@ -44,5 +44,8 @@ run e11_walker_loop --trials 12
 run e12_wide_genomes --trials 20
 run e13_seu --trials 16
 run e14_fault_matrix --trials 8
+# the full 2^36 enumeration — minutes of wall clock, checkpointed so an
+# interrupted run resumes with `--resume` (bit-identical result either way)
+run e15_landscape --checkpoint "$OUT/e15_landscape.checkpoint"
 
 echo "ALL_EXPERIMENTS_DONE" | tee -a "$OUT/run.log"

@@ -1,0 +1,150 @@
+//! Checkpoint/resume end-to-end: a sweep killed mid-shard and resumed
+//! from its checkpoint file produces the bit-identical landscape, and
+//! damaged checkpoints are rejected instead of silently corrupting it.
+
+use leonardo_landscape::checkpoint::fnv1a64;
+use leonardo_landscape::{Checkpoint, CheckpointError, StopToken, Sweep, SweepConfig, SweepStatus};
+use std::path::PathBuf;
+
+/// Fresh scratch directory per test (std-only; no tempfile crate).
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("leonardo-landscape-{test}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A small sweep config writing its checkpoint into `dir`.
+fn config(dir: &std::path::Path) -> SweepConfig {
+    let mut cfg = SweepConfig::subspace(13);
+    cfg.num_shards = 5;
+    cfg.threads = 2;
+    cfg.chunk_blocks = 4;
+    cfg.checkpoint = Some(dir.join("sweep.checkpoint"));
+    cfg.checkpoint_every_blocks = 8;
+    cfg
+}
+
+#[test]
+fn killed_then_resumed_sweep_is_bit_identical() {
+    let dir = scratch("kill-resume");
+    let cfg = config(&dir);
+
+    let mut reference = Sweep::new(cfg.clone());
+    assert_eq!(reference.run(&StopToken::never()), SweepStatus::Complete);
+    let want = reference.result();
+
+    // "kill" a fresh run mid-shard: the budgeted stop token fires at a
+    // chunk boundary, exactly the state a periodic checkpoint of a
+    // SIGKILLed process would have persisted
+    let mut killed = Sweep::new(cfg.clone());
+    assert_eq!(
+        killed.run(&StopToken::after_blocks(37)),
+        SweepStatus::Interrupted
+    );
+    let partial = killed.result();
+    assert!(!partial.complete, "the kill must land mid-sweep");
+    assert!(partial.genomes_swept < want.genomes_swept);
+    drop(killed); // the process is gone; only the file remains
+
+    let mut resumed = Sweep::resume(cfg).expect("resume from checkpoint");
+    let before = resumed.result();
+    assert_eq!(
+        before.genomes_swept, partial.genomes_swept,
+        "resume starts from exactly the checkpointed cut"
+    );
+    assert_eq!(resumed.run(&StopToken::never()), SweepStatus::Complete);
+    let got = resumed.result();
+
+    assert_eq!(got.histogram.counts(), want.histogram.counts());
+    assert_eq!(got.max_count, want.max_count);
+    assert_eq!(got.max_samples, want.max_samples);
+    assert_eq!(got.genomes_swept, want.genomes_swept);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn double_kill_still_converges_to_the_same_landscape() {
+    let dir = scratch("double-kill");
+    let cfg = config(&dir);
+    let mut reference = Sweep::new(cfg.clone());
+    reference.run(&StopToken::never());
+    let want = reference.result();
+
+    let mut first = Sweep::new(cfg.clone());
+    first.run(&StopToken::after_blocks(17));
+    drop(first);
+    let mut second = Sweep::resume(cfg.clone()).expect("first resume");
+    second.run(&StopToken::after_blocks(23));
+    drop(second);
+    let mut last = Sweep::resume(cfg).expect("second resume");
+    assert_eq!(last.run(&StopToken::never()), SweepStatus::Complete);
+    let got = last.result();
+    assert_eq!(got.histogram.counts(), want.histogram.counts());
+    assert_eq!(got.max_samples, want.max_samples);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_not_resumed() {
+    let dir = scratch("corrupt");
+    let cfg = config(&dir);
+    let mut sweep = Sweep::new(cfg.clone());
+    sweep.run(&StopToken::after_blocks(16));
+    drop(sweep);
+    let path = cfg.checkpoint.clone().unwrap();
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+
+    // flip one digit inside a histogram count: checksum must catch it
+    let tampered = text.replacen("hist ", "hist 9", 1);
+    assert_ne!(tampered, text, "tamper point must exist");
+    std::fs::write(&path, &tampered).unwrap();
+    assert!(matches!(
+        Sweep::resume(cfg.clone()),
+        Err(CheckpointError::Checksum)
+    ));
+
+    // truncation (losing the checksum line) must also be rejected
+    let cut = &text[..text.len() / 2];
+    std::fs::write(&path, cut).unwrap();
+    assert!(
+        Sweep::resume(cfg.clone()).is_err(),
+        "truncated file resumed"
+    );
+
+    // a checksum-valid file for the wrong configuration must mismatch:
+    // re-render a checkpoint claiming a different subspace width
+    let mut cp = Checkpoint::parse(&text).expect("original parses");
+    cp.subspace_bits = 12;
+    for s in &mut cp.shards {
+        s.cursor = s.cursor.min(1);
+    }
+    cp.write(&path).expect("rewrite");
+    assert!(matches!(
+        Sweep::resume(cfg),
+        Err(CheckpointError::Mismatch(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checksum_actually_covers_the_whole_file() {
+    let dir = scratch("checksum-cover");
+    let cfg = config(&dir);
+    let mut sweep = Sweep::new(cfg.clone());
+    sweep.run(&StopToken::after_blocks(12));
+    drop(sweep);
+    let path = cfg.checkpoint.unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let body = text
+        .rsplit_once("checksum ")
+        .expect("trailing checksum line")
+        .0;
+    let stated = text.trim_end().rsplit(' ').next().unwrap();
+    assert_eq!(
+        u64::from_str_radix(stated, 16).expect("hex checksum"),
+        fnv1a64(body.as_bytes()),
+        "the stored checksum is FNV-1a 64 over every preceding byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
