@@ -69,3 +69,11 @@ impl fmt::Display for Finding {
 pub fn has_errors(findings: &[Finding]) -> bool {
     findings.iter().any(|f| f.severity == Severity::Error)
 }
+
+/// Sort findings into the gate's deterministic reporting order:
+/// `(context, check, message)`. Checker scheduling must never reorder
+/// the report — CI diffs and the snapshot test depend on it.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (&a.context, a.check, &a.message).cmp(&(&b.context, b.check, &b.message)));
+}

@@ -2,8 +2,11 @@
 //! the gate must catch. `analysis fixture <name>` runs the matching check
 //! and must exit nonzero — the tests of the tests.
 
+use discipulus::fitness::{FitnessSpec, Rule};
 use discipulus::genome::{Genome, LegGene, LegId, StepId};
 use leonardo_landscape::{Shard, ShardPlan};
+use leonardo_rtl::control::GapControlFsm;
+use leonardo_rtl::fitness_rtl::FitnessUnit;
 use leonardo_rtl::netlist::{DesignNetlist, StaticNetlist};
 use leonardo_rtl::resources::Resources;
 
@@ -87,6 +90,22 @@ pub fn broken_shard_plan() -> ShardPlan {
             },
         ],
     )
+}
+
+/// An RTL fitness unit built from the wrong spec (equilibrium rules
+/// dropped): it lints clean, simulates fine, and still returns plausible
+/// scores — only the symbolic miter against the behavioural paper spec
+/// can tell, and it must return a concrete counterexample genome.
+pub fn bad_fitness_unit() -> FitnessUnit {
+    FitnessUnit::new(FitnessSpec::without(Rule::Equilibrium))
+}
+
+/// A control FSM whose `mut_we` strobe also decodes the crossover-commit
+/// state, putting two writers on the intermediate population RAM's single
+/// write port. Structurally identical to the good FSM — the k-induction
+/// write-exclusivity proof is the only check that catches it.
+pub fn two_writer_ram() -> GapControlFsm {
+    GapControlFsm::with_write_decode_bug()
 }
 
 #[cfg(test)]

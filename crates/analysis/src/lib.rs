@@ -18,6 +18,13 @@
 //!   plans (`leonardo-landscape`) form an exact ordered partition of the
 //!   block space — the arithmetic its "bit-identical for any
 //!   configuration" claim rests on;
+//! * [`solver`] is a self-contained CDCL SAT solver with Tseitin CNF
+//!   lowering of the gate-level [`leonardo_rtl::semantics`] IR;
+//! * [`symbolic`] uses it to *prove* — over every input, not a sample —
+//!   equivalence miters between independently derived circuits,
+//!   k-induction safety invariants and bounded-reachability
+//!   cross-checks (see the "Symbolic verification" section of
+//!   `ANALYSIS.md`);
 //! * [`fixtures`] holds deliberately broken designs, one per defect
 //!   class, so the gate itself is testable.
 //!
@@ -34,9 +41,12 @@ pub mod fixtures;
 pub mod genome_check;
 pub mod lint;
 pub mod shard_check;
+pub mod solver;
+pub mod symbolic;
 
 pub use fault_nodes::check_injectable_nodes;
-pub use finding::{has_errors, Finding, Severity};
+pub use finding::{has_errors, sort_findings, Finding, Severity};
 pub use genome_check::{check_genome, check_population_path, well_formed, StaticGait};
 pub use lint::{lint_design, lint_unit, packed_clbs};
 pub use shard_check::check_shard_plan;
+pub use symbolic::{check_symbolic, SymbolicReport};

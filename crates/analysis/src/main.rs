@@ -1,14 +1,24 @@
 //! The static design-verification gate.
 //!
 //! ```text
-//! analysis check [seed]        full gate: lint the chip netlist, check the
-//!                              resource budget, verify the population path
-//! analysis genome <hex>        statically check one 36-bit genome
-//! analysis fixture <name>      run a seeded-defect fixture (must fail):
-//!                              combinational-loop | width-mismatch |
-//!                              clb-overflow | trap-genome |
-//!                              broken-shard-plan
+//! analysis check [seed] [--json]   full gate: lint the chip netlist, check
+//!                                  the resource budget, run the symbolic
+//!                                  proof battery, verify the population path
+//! analysis genome <hex> [--json]   statically check one 36-bit genome
+//! analysis fixture <name> [--json] run a seeded-defect fixture (must fail):
+//!                                  combinational-loop | width-mismatch |
+//!                                  clb-overflow | trap-genome |
+//!                                  broken-shard-plan | bad-fitness-unit |
+//!                                  two-writer-ram
 //! ```
+//!
+//! With `--json`, stdout carries exactly one JSON object per finding
+//! (stable schema: `severity`, `check`, `context`, `message`), one per
+//! line, and nothing else — the CI annotation step parses this stream.
+//!
+//! Findings are reported in a deterministic order — sorted by
+//! `(context, check, message)` — regardless of which checker produced
+//! them first, so gate output diffs cleanly between runs.
 //!
 //! Exit status: 0 when no error-severity finding, 1 otherwise, 2 on usage
 //! errors.
@@ -18,6 +28,7 @@
 use analysis::finding::{has_errors, Finding};
 use analysis::{
     check_genome, check_injectable_nodes, check_population_path, check_shard_plan, fixtures, lint,
+    symbolic,
 };
 use discipulus::genome::Genome;
 use discipulus::params::GapParams;
@@ -36,34 +47,41 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // accept both `fixture <name>` and the `--fixture <name>` spelling
     let norm: Vec<&str> = args.iter().map(|a| a.trim_start_matches("--")).collect();
+    let json = norm.contains(&"json");
+    let norm: Vec<&str> = norm.into_iter().filter(|&a| a != "json").collect();
     match norm.as_slice() {
-        ["check"] => run_check(DEFAULT_SEED),
+        ["check"] => run_check(DEFAULT_SEED, json),
         ["check", seed] => match seed.parse() {
-            Ok(s) => run_check(s),
+            Ok(s) => run_check(s, json),
             Err(_) => usage(&format!("invalid seed `{seed}`")),
         },
         ["genome", hex] => {
             let hex = hex.trim_start_matches("0x");
             match u64::from_str_radix(hex, 16) {
-                Ok(bits) if bits >> 36 == 0 => report(&check_genome(Genome::from_bits(bits))),
+                Ok(bits) if bits >> 36 == 0 => report(check_genome(Genome::from_bits(bits)), json),
                 Ok(bits) => usage(&format!("{bits:#x} does not fit in 36 bits")),
                 Err(_) => usage(&format!("invalid genome hex `{hex}`")),
             }
         }
-        ["fixture", name] => run_fixture(name),
+        ["fixture", name] => run_fixture(name, json),
         _ => usage("expected `check [seed]`, `genome <hex>` or `fixture <name>`"),
     }
 }
 
-fn run_check(seed: u32) -> ExitCode {
+fn run_check(seed: u32, json: bool) -> ExitCode {
+    let say = |s: &str| {
+        if !json {
+            println!("{s}");
+        }
+    };
     let chip = DiscipulusTop::new(GapRtlConfig::paper(seed));
     let design = chip.design_netlist();
-    println!("== netlist lint: {} ==", design.design);
-    println!("{}", lint::budget_summary(&design));
+    say(&format!("== netlist lint: {} ==", design.design));
+    say(&lint::budget_summary(&design));
     let mut findings = lint::lint_design(&design);
     // the 64-lane batch engine is a host-side simulation accelerator, not
     // part of the single-chip CLB budget, so its units lint standalone
-    println!("== batch-engine units (64-lane bit-sliced) ==");
+    say("== batch-engine units (64-lane bit-sliced) ==");
     let batch = GapRtlX64::new(GapRtlX64Config::paper(), &[seed]);
     for n in [
         CaRngX64::new(&[seed]).netlist(),
@@ -71,65 +89,111 @@ fn run_check(seed: u32) -> ExitCode {
         RamX64::new(32, 36).netlist(),
         batch.netlist(),
     ] {
-        println!("   {}: lint_unit", n.unit);
+        say(&format!("   {}: lint_unit", n.unit));
         findings.extend(lint::lint_unit(&n));
     }
     // every node a fault campaign can name must exist, as wide-enough
     // clocked state, in both engine netlists
-    println!("== fault-injection node addressing ==");
+    say("== fault-injection node addressing ==");
     let params = GapParams::paper();
     for n in [
         GapRtl::new(GapRtlConfig::paper(seed)).netlist(),
         batch.netlist(),
     ] {
-        println!("   {}: check_injectable_nodes", n.unit);
+        say(&format!("   {}: check_injectable_nodes", n.unit));
         findings.extend(check_injectable_nodes(&n, 1, &params));
     }
     // the exhaustive sweep's partition arithmetic, at every shard count
     // the drivers use (CI smoke, defaults, full run) plus awkward odd ones
-    println!("== landscape shard plans ==");
+    say("== landscape shard plans ==");
     for (bits, shards) in [(24u32, 256usize), (24, 7), (36, 256), (36, 1), (36, 1000)] {
-        println!("   2^{bits} x {shards}: check_shard_plan");
+        say(&format!("   2^{bits} x {shards}: check_shard_plan"));
         findings.extend(check_shard_plan(&leonardo_landscape::ShardPlan::new(
             bits, shards,
         )));
     }
-    println!("== genome path: seed {seed:#x} ==");
+    // the symbolic battery: equivalence miters over all 2^36 genomes and
+    // 2^32 RNG states, k-induction invariants, bounded reachability
+    say("== symbolic proofs: miters, k-induction, reachability ==");
+    let sym = symbolic::check_symbolic(seed);
+    for p in &sym.proofs {
+        say(&format!(
+            "   {} {} [{}]: {} vars, {} clauses, {} conflicts, {} ms",
+            if p.proved { "proved" } else { "FAILED" },
+            p.name,
+            p.context,
+            p.stats.vars,
+            p.stats.clauses,
+            p.stats.conflicts,
+            p.millis,
+        ));
+    }
+    findings.extend(sym.findings);
+    say(&format!("== genome path: seed {seed:#x} =="));
     findings.extend(check_population_path(seed, MAX_GENERATIONS));
-    report(&findings)
+    report(findings, json)
 }
 
-fn run_fixture(name: &str) -> ExitCode {
+fn run_fixture(name: &str, json: bool) -> ExitCode {
     let findings = match name {
         "combinational-loop" => lint::lint_unit(&fixtures::combinational_loop()),
         "width-mismatch" => lint::lint_design(&fixtures::width_mismatch()),
         "clb-overflow" => lint::lint_design(&fixtures::clb_overflow()),
         "trap-genome" => check_genome(fixtures::trap_genome()),
         "broken-shard-plan" => check_shard_plan(&fixtures::broken_shard_plan()),
+        "bad-fitness-unit" => symbolic::miter_fitness_unit(&fixtures::bad_fitness_unit()).findings,
+        "two-writer-ram" => symbolic::check_control_invariant(&fixtures::two_writer_ram()).findings,
         _ => return usage(&format!("unknown fixture `{name}`")),
     };
-    report(&findings)
+    report(findings, json)
 }
 
-fn report(findings: &[Finding]) -> ExitCode {
-    for f in findings {
-        println!("{f}");
+/// Render one finding as a single-line JSON object with the stable
+/// `severity`/`check`/`context`/`message` schema.
+fn finding_json(f: &Finding) -> String {
+    use leonardo_telemetry::json::escape_into;
+    let mut out = String::with_capacity(96 + f.message.len());
+    out.push_str("{\"severity\":");
+    escape_into(&mut out, &format!("{}", f.severity));
+    out.push_str(",\"check\":");
+    escape_into(&mut out, f.check);
+    out.push_str(",\"context\":");
+    escape_into(&mut out, &f.context);
+    out.push_str(",\"message\":");
+    escape_into(&mut out, &f.message);
+    out.push('}');
+    out
+}
+
+fn report(mut findings: Vec<Finding>, json: bool) -> ExitCode {
+    // deterministic order, independent of checker scheduling
+    analysis::finding::sort_findings(&mut findings);
+    for f in &findings {
+        if json {
+            println!("{}", finding_json(f));
+        } else {
+            println!("{f}");
+        }
     }
-    if has_errors(findings) {
+    if has_errors(&findings) {
         let n = findings
             .iter()
             .filter(|f| f.severity == analysis::Severity::Error)
             .count();
-        println!("FAIL: {n} error finding(s)");
+        if !json {
+            println!("FAIL: {n} error finding(s)");
+        }
         ExitCode::FAILURE
     } else {
-        println!("OK: no error findings ({} warning(s))", findings.len());
+        if !json {
+            println!("OK: no error findings ({} warning(s))", findings.len());
+        }
         ExitCode::SUCCESS
     }
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: analysis check [seed] | genome <hex> | fixture <name>");
+    eprintln!("usage: analysis [--json] check [seed] | genome <hex> | fixture <name>");
     ExitCode::from(2)
 }

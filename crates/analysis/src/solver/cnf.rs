@@ -1,0 +1,294 @@
+//! Tseitin lowering: instantiate a gate-level [`Circuit`] as CNF clauses
+//! over solver variables.
+//!
+//! The encoding is the textbook one — a fresh solver variable per AIG
+//! node, with the defining clauses
+//!
+//! * `x ↔ a ∧ b`: `(¬x ∨ a) (¬x ∨ b) (x ∨ ¬a ∨ ¬b)` — 3 clauses;
+//! * `x ↔ a ⊕ b`: `(¬x ∨ a ∨ b) (¬x ∨ ¬a ∨ ¬b) (x ∨ a ∨ ¬b) (x ∨ ¬a ∨ b)`
+//!   — 4 clauses;
+//!
+//! so instance size is linear in circuit size. Inputs may be **bound** to
+//! pre-existing solver literals, which is how the symbolic checks share
+//! signals between circuit copies: a miter instantiates two units over
+//! one set of genome variables, and the k-induction unroller chains frame
+//! `t+1`'s state inputs to frame `t`'s next-state literals.
+
+use super::{SLit, Solver};
+use leonardo_rtl::semantics::{Circuit, Gate, Lit};
+
+/// A circuit instantiated into a [`Solver`]: the node → solver-literal
+/// map needed to constrain inputs and read outputs back out of a model.
+#[derive(Debug, Clone)]
+pub struct CircuitInstance {
+    node_lits: Vec<SLit>,
+}
+
+impl CircuitInstance {
+    /// Instantiate `circuit` with fresh solver variables for every input.
+    pub fn new(solver: &mut Solver, circuit: &Circuit) -> CircuitInstance {
+        let inputs: Vec<SLit> = (0..circuit.num_inputs())
+            .map(|_| SLit::pos(solver.new_var()))
+            .collect();
+        CircuitInstance::with_inputs(solver, circuit, &inputs)
+    }
+
+    /// Instantiate `circuit` binding input leaf `k` to `inputs[k]`.
+    ///
+    /// # Panics
+    /// Panics if `inputs` is shorter than the circuit's input count.
+    pub fn with_inputs(solver: &mut Solver, circuit: &Circuit, inputs: &[SLit]) -> CircuitInstance {
+        assert!(
+            inputs.len() >= circuit.num_inputs() as usize,
+            "circuit needs {} input bindings, got {}",
+            circuit.num_inputs(),
+            inputs.len()
+        );
+        let mut node_lits: Vec<SLit> = Vec::with_capacity(circuit.len());
+        for gate in circuit.gates() {
+            let x = match *gate {
+                Gate::False => {
+                    let f = SLit::pos(solver.new_var());
+                    solver.add_clause(&[f.not()]);
+                    f
+                }
+                Gate::Input(k) => inputs[k as usize],
+                Gate::And(a, b) => {
+                    let (sa, sb) = (map(&node_lits, a), map(&node_lits, b));
+                    let x = SLit::pos(solver.new_var());
+                    solver.add_clause(&[x.not(), sa]);
+                    solver.add_clause(&[x.not(), sb]);
+                    solver.add_clause(&[x, sa.not(), sb.not()]);
+                    x
+                }
+                Gate::Xor(a, b) => {
+                    let (sa, sb) = (map(&node_lits, a), map(&node_lits, b));
+                    let x = SLit::pos(solver.new_var());
+                    solver.add_clause(&[x.not(), sa, sb]);
+                    solver.add_clause(&[x.not(), sa.not(), sb.not()]);
+                    solver.add_clause(&[x, sa, sb.not()]);
+                    solver.add_clause(&[x, sa.not(), sb]);
+                    x
+                }
+            };
+            node_lits.push(x);
+        }
+        CircuitInstance { node_lits }
+    }
+
+    /// The solver literal carrying IR literal `l` in this instance.
+    pub fn lit(&self, l: Lit) -> SLit {
+        map(&self.node_lits, l)
+    }
+
+    /// The solver literals carrying an IR word.
+    pub fn word(&self, w: &[Lit]) -> Vec<SLit> {
+        w.iter().map(|&l| self.lit(l)).collect()
+    }
+}
+
+fn map(node_lits: &[SLit], l: Lit) -> SLit {
+    let base = node_lits[l.node()];
+    if l.negated() {
+        base.not()
+    } else {
+        base
+    }
+}
+
+/// Constrain a word of solver literals to the little-endian bits of a
+/// constant (one unit clause per bit).
+pub fn assert_word_equals(solver: &mut Solver, word: &[SLit], value: u64) {
+    for (b, &l) in word.iter().enumerate() {
+        if value >> b & 1 == 1 {
+            solver.add_clause(&[l]);
+        } else {
+            solver.add_clause(&[l.not()]);
+        }
+    }
+}
+
+/// Add clauses asserting that at least one pair of corresponding
+/// literals differs — the "some output disagrees" disjunction at the
+/// heart of every miter. Pads the shorter word with constant-false.
+pub fn assert_words_differ(solver: &mut Solver, a: &[SLit], b: &[SLit]) {
+    let f = SLit::pos(solver.new_var());
+    solver.add_clause(&[f.not()]);
+    let width = a.len().max(b.len());
+    let mut diffs: Vec<SLit> = Vec::with_capacity(width);
+    for i in 0..width {
+        let (la, lb) = (*a.get(i).unwrap_or(&f), *b.get(i).unwrap_or(&f));
+        // d ↔ la ⊕ lb
+        let d = SLit::pos(solver.new_var());
+        solver.add_clause(&[d.not(), la, lb]);
+        solver.add_clause(&[d.not(), la.not(), lb.not()]);
+        solver.add_clause(&[d, la, lb.not()]);
+        solver.add_clause(&[d, la.not(), lb]);
+        diffs.push(d);
+    }
+    solver.add_clause(&diffs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+
+    /// Evaluate-and-compare: for every input assignment of `circuit`
+    /// (≤ 12 inputs), the CNF model under those input assumptions must
+    /// give every node the value direct evaluation gives it.
+    fn check_tseitin_exhaustive(circuit: &Circuit) {
+        let n = circuit.num_inputs() as usize;
+        assert!(n <= 12, "exhaustive check capped at 12 inputs");
+        let mut solver = Solver::new();
+        let inst = CircuitInstance::new(&mut solver, circuit);
+        let input_lits: Vec<SLit> = (0..circuit.len())
+            .filter_map(|node| match circuit.gates()[node] {
+                Gate::Input(k) => Some((k, inst.node_lits[node])),
+                _ => None,
+            })
+            .fold(vec![SLit::pos(0); n], |mut acc, (k, l)| {
+                acc[k as usize] = l;
+                acc
+            });
+        for m in 0..1u64 << n {
+            let inputs: Vec<bool> = (0..n).map(|k| m >> k & 1 == 1).collect();
+            let values = circuit.eval_nodes(&inputs);
+            let assumptions: Vec<SLit> = input_lits
+                .iter()
+                .enumerate()
+                .map(|(k, &l)| if inputs[k] { l } else { l.not() })
+                .collect();
+            let (r, _, model) = solver.solve_with(&assumptions);
+            assert_eq!(r, SatResult::Sat, "inputs {m:#b} must be satisfiable");
+            for (node, &v) in values.iter().enumerate() {
+                assert_eq!(
+                    model.lit_true(inst.node_lits[node]),
+                    v,
+                    "node {node} at inputs {m:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tseitin_matches_truth_table_adder() {
+        let mut c = Circuit::new();
+        let a = c.new_input_word(4);
+        let b = c.new_input_word(4);
+        let _sum = c.add_words(&a, &b);
+        check_tseitin_exhaustive(&c);
+    }
+
+    #[test]
+    fn tseitin_matches_truth_table_popcount_compare() {
+        let mut c = Circuit::new();
+        let bits = c.new_input_word(9);
+        let count = c.popcount(&bits, 4);
+        let _lt = c.lt_const(&count, 5);
+        let _eq = c.eq_words(&count, &c.const_word(9, 4));
+        check_tseitin_exhaustive(&c);
+    }
+
+    #[test]
+    fn tseitin_matches_truth_table_mux_onehot() {
+        let mut c = Circuit::new();
+        let sel = c.new_input_word(2);
+        let t = c.new_input_word(3);
+        let e = c.new_input_word(3);
+        let picked = c.mux_word(sel[0], &t, &e);
+        let _oh = c.one_hot(&picked);
+        let _x = c.mux(sel[1], picked[0], picked[2]);
+        check_tseitin_exhaustive(&c);
+    }
+
+    #[test]
+    fn tseitin_matches_truth_table_random_circuits() {
+        // pseudo-random gate soups over 8 inputs
+        let mut state = 0xC0FF_EE00u64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..10 {
+            let mut c = Circuit::new();
+            let inputs = c.new_input_word(8);
+            let mut pool = inputs.clone();
+            for _ in 0..40 {
+                let a = pool[(rand() as usize) % pool.len()];
+                let b = pool[(rand() as usize) % pool.len()];
+                let a = if rand() & 1 == 1 { a.not() } else { a };
+                let g = match rand() % 3 {
+                    0 => c.and(a, b),
+                    1 => c.xor(a, b),
+                    _ => c.mux(a, b, pool[(rand() as usize) % pool.len()]),
+                };
+                pool.push(g);
+            }
+            check_tseitin_exhaustive(&c);
+        }
+    }
+
+    #[test]
+    fn miter_of_identical_words_is_unsat() {
+        let mut c = Circuit::new();
+        let a = c.new_input_word(5);
+        let b = c.new_input_word(5);
+        let s1 = c.add_words(&a, &b);
+        let s2 = c.add_words(&b, &a); // addition commutes
+        let mut solver = Solver::new();
+        let inst = CircuitInstance::new(&mut solver, &c);
+        let (w1, w2) = (inst.word(&s1), inst.word(&s2));
+        assert_words_differ(&mut solver, &w1, &w2);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn miter_finds_seeded_difference() {
+        let mut c = Circuit::new();
+        let a = c.new_input_word(4);
+        let one = c.const_word(1, 4);
+        let plus1 = c.add_words(&a, &one);
+        let mut solver = Solver::new();
+        let inst = CircuitInstance::new(&mut solver, &c);
+        let (w1, w2) = (inst.word(&a), inst.word(&plus1));
+        assert_words_differ(&mut solver, &w1, &w2);
+        // a != a + 1 always (mod nothing: widths differ by the carry), SAT
+        assert_eq!(solver.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn shared_input_binding_links_instances() {
+        // two instances of "negate the input" over the SAME variable
+        // must agree with each other
+        let mut c = Circuit::new();
+        let x = c.new_input();
+        let _ = c.constant(false);
+        let y = x.not();
+        let mut solver = Solver::new();
+        let shared = SLit::pos(solver.new_var());
+        let i1 = CircuitInstance::with_inputs(&mut solver, &c, &[shared]);
+        let i2 = CircuitInstance::with_inputs(&mut solver, &c, &[shared]);
+        assert_words_differ(&mut solver, &[i1.lit(y)], &[i2.lit(y)]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assert_word_equals_pins_model() {
+        let mut c = Circuit::new();
+        let w = c.new_input_word(6);
+        let mut solver = Solver::new();
+        let inst = CircuitInstance::new(&mut solver, &c);
+        let word = inst.word(&w);
+        assert_word_equals(&mut solver, &word, 0b101101);
+        assert_eq!(solver.solve(), SatResult::Sat);
+        let got: u64 = word
+            .iter()
+            .enumerate()
+            .map(|(b, &l)| u64::from(solver.lit_true(l)) << b)
+            .sum();
+        assert_eq!(got, 0b101101);
+    }
+}

@@ -1,0 +1,773 @@
+//! A compact CDCL SAT solver, hand-rolled for the symbolic checks.
+//!
+//! The analysis gate needs to decide boolean satisfiability for
+//! equivalence miters and induction queries over circuits of a few
+//! thousand gates — small by industrial SAT standards, but far beyond
+//! brute force (36-plus-state-bit input spaces). This module implements
+//! the core conflict-driven clause-learning loop in ~500 lines with no
+//! dependencies and no unsafe code:
+//!
+//! * unit propagation over **two watched literals** (the solver only
+//!   touches a clause when one of its two watches is falsified);
+//! * conflict analysis to the **first unique implication point** (1UIP),
+//!   learning one asserting clause per conflict, with recursive-minimal
+//!   self-subsumption removed in favour of simple decision-level marking;
+//! * **VSIDS**-style activity: bump variables seen in conflicts, decay
+//!   geometrically, pick the most active unassigned variable;
+//! * **phase saving** (re-assert a variable's last polarity) and **Luby
+//!   restarts**;
+//! * incremental use: clauses may be added between `solve` calls (the
+//!   enumeration loops of the reachability checks block models this way).
+//!
+//! Omitted on purpose: clause deletion, literal-block-distance,
+//! preprocessing. The Tseitin instances here stay small enough that the
+//! simple loop solves every shipped proof in milliseconds; the
+//! [`Stats`] each solve returns are surfaced per proof through telemetry
+//! so a regression in that assumption is visible.
+
+pub mod cnf;
+
+/// A solver literal: variable index with a sign bit in bit 0
+/// (`2v` = the positive literal of variable `v`, `2v+1` its negation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SLit(u32);
+
+impl SLit {
+    /// The positive literal of variable `v`.
+    pub fn pos(v: usize) -> SLit {
+        SLit((v as u32) << 1)
+    }
+
+    /// The negative literal of variable `v`.
+    pub fn neg(v: usize) -> SLit {
+        SLit((v as u32) << 1 | 1)
+    }
+
+    /// The literal's variable index.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is negated.
+    pub fn sign(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement literal.
+    ///
+    /// Deliberately an inherent method rather than `std::ops::Not`, so
+    /// call sites never need a trait import.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> SLit {
+        SLit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A literal of `var` with the given negation flag.
+    pub fn with_sign(v: usize, negated: bool) -> SLit {
+        SLit((v as u32) << 1 | u32::from(negated))
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unassigned,
+    True,
+    False,
+}
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment exists (readable via [`Solver::value`]).
+    Sat,
+    /// No satisfying assignment exists.
+    Unsat,
+}
+
+/// Per-solve statistics, surfaced in the per-proof telemetry lines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of variables in the instance.
+    pub vars: usize,
+    /// Number of problem clauses (excluding learnt).
+    pub clauses: usize,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+const ACTIVITY_DECAY: f64 = 0.95;
+const ACTIVITY_RESCALE: f64 = 1e100;
+
+/// The CDCL solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// All clauses, problem and learnt alike.
+    clauses: Vec<Vec<SLit>>,
+    /// Number of problem (non-learnt) clauses.
+    problem_clauses: usize,
+    /// Watch lists: clause indices watching each literal.
+    watches: Vec<Vec<usize>>,
+    /// Current assignment per variable.
+    values: Vec<Value>,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    activity_inc: f64,
+    /// Binary max-heap of candidate decision variables, keyed by
+    /// activity. Lazy: popped variables that turn out assigned are
+    /// simply dropped; unassignment (backtracking) re-inserts.
+    heap: Vec<usize>,
+    /// Position of each variable in `heap` (`usize::MAX` when absent).
+    heap_pos: Vec<usize>,
+    /// Assignment trail.
+    trail: Vec<SLit>,
+    /// Start of each decision level in `trail`.
+    level_starts: Vec<usize>,
+    /// Decision level per variable (valid when assigned).
+    var_level: Vec<u32>,
+    /// Clause that implied each variable (`usize::MAX` for decisions).
+    reason: Vec<usize>,
+    /// Propagation queue head into `trail`.
+    queue_head: usize,
+    /// Set when an added clause is empty (instance trivially UNSAT).
+    trivially_unsat: bool,
+    /// Accumulated statistics.
+    stats: Stats,
+    /// Conflict-analysis scratch.
+    seen: Vec<bool>,
+}
+
+impl Solver {
+    /// An empty instance.
+    pub fn new() -> Solver {
+        Solver {
+            activity_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocate a fresh variable, returning its index.
+    pub fn new_var(&mut self) -> usize {
+        let v = self.values.len();
+        self.values.push(Value::Unassigned);
+        self.phase.push(false);
+        self.activity.push(0.0);
+        self.var_level.push(0);
+        self.reason.push(usize::MAX);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap_pos.push(usize::MAX);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Add a problem clause (a disjunction of literals). Duplicate
+    /// literals are merged; tautologies are dropped. May be called
+    /// between `solve` calls.
+    ///
+    /// # Panics
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[SLit]) {
+        // solve() leaves the trail at a satisfying assignment; new
+        // clauses require a clean restart
+        self.backtrack_to(0);
+        let mut clause: Vec<SLit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!(l.var() < self.values.len(), "literal out of range");
+            if clause.contains(&l.not()) {
+                return; // tautology
+            }
+            if !clause.contains(&l) {
+                clause.push(l);
+            }
+        }
+        // level-0 simplification: after the backtrack every assignment
+        // is a permanent consequence, so true literals satisfy the
+        // clause outright and false literals can be deleted — which
+        // also guarantees both watches start out non-false
+        if clause.iter().any(|&l| self.lit_value(l) == Value::True) {
+            return;
+        }
+        clause.retain(|&l| self.lit_value(l) != Value::False);
+        match clause.len() {
+            0 => self.trivially_unsat = true,
+            1 => self.enqueue(clause[0], usize::MAX),
+            _ => {
+                let ci = self.clauses.len();
+                self.watch(clause[0], ci);
+                self.watch(clause[1], ci);
+                self.clauses.push(clause);
+                self.problem_clauses += 1;
+            }
+        }
+    }
+
+    fn watch(&mut self, l: SLit, clause: usize) {
+        self.watches[l.index()].push(clause);
+    }
+
+    fn lit_value(&self, l: SLit) -> Value {
+        match (self.values[l.var()], l.sign()) {
+            (Value::Unassigned, _) => Value::Unassigned,
+            (Value::True, false) | (Value::False, true) => Value::True,
+            _ => Value::False,
+        }
+    }
+
+    /// The model value of a variable after [`SatResult::Sat`].
+    pub fn value(&self, var: usize) -> bool {
+        debug_assert!(self.values[var] != Value::Unassigned, "no model");
+        self.values[var] == Value::True
+    }
+
+    /// The model value of a literal after [`SatResult::Sat`].
+    pub fn lit_true(&self, l: SLit) -> bool {
+        self.value(l.var()) ^ l.sign()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.vars = self.values.len();
+        s.clauses = self.problem_clauses;
+        s
+    }
+
+    fn enqueue(&mut self, l: SLit, reason: usize) {
+        debug_assert!(self.lit_value(l) == Value::Unassigned);
+        self.values[l.var()] = if l.sign() { Value::False } else { Value::True };
+        self.var_level[l.var()] = self.level_starts.len() as u32;
+        self.reason[l.var()] = reason;
+        self.phase[l.var()] = !l.sign();
+        self.trail.push(l);
+    }
+
+    /// Propagate until fixpoint; returns a conflicting clause index.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.queue_head < self.trail.len() {
+            let l = self.trail[self.queue_head];
+            self.queue_head += 1;
+            self.stats.propagations += 1;
+            // clauses watching ¬l may now be falsified
+            let falsified = l.not();
+            let mut watchers = std::mem::take(&mut self.watches[falsified.index()]);
+            let mut keep = 0;
+            let mut conflict = None;
+            'clauses: for wi in 0..watchers.len() {
+                let ci = watchers[wi];
+                // normalize: watched literals are clause[0] and clause[1]
+                {
+                    let clause = &mut self.clauses[ci];
+                    if clause[0] == falsified {
+                        clause.swap(0, 1);
+                    }
+                }
+                // first watch satisfied: clause is fine
+                if self.lit_value(self.clauses[ci][0]) == Value::True {
+                    watchers[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                // look for a replacement watch
+                for k in 2..self.clauses[ci].len() {
+                    if self.lit_value(self.clauses[ci][k]) != Value::False {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1];
+                        self.watches[new_watch.index()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // no replacement: unit or conflict
+                watchers[keep] = ci;
+                keep += 1;
+                let first = self.clauses[ci][0];
+                match self.lit_value(first) {
+                    Value::False => {
+                        // conflict: keep remaining watchers, stop
+                        for j in wi + 1..watchers.len() {
+                            let w = watchers[j];
+                            watchers[keep] = w;
+                            keep += 1;
+                        }
+                        conflict = Some(ci);
+                        break;
+                    }
+                    Value::Unassigned => self.enqueue(first, ci),
+                    Value::True => unreachable!("handled above"),
+                }
+            }
+            watchers.truncate(keep);
+            self.watches[falsified.index()] = watchers;
+            if conflict.is_some() {
+                self.queue_head = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, var: usize) {
+        self.activity[var] += self.activity_inc;
+        if self.activity[var] > ACTIVITY_RESCALE {
+            // uniform rescale preserves the heap order
+            for a in &mut self.activity {
+                *a /= ACTIVITY_RESCALE;
+            }
+            self.activity_inc /= ACTIVITY_RESCALE;
+        }
+        if self.heap_pos[var] != usize::MAX {
+            self.heap_sift_up(self.heap_pos[var]);
+        }
+    }
+
+    fn heap_insert(&mut self, v: usize) {
+        if self.heap_pos[v] != usize::MAX {
+            return;
+        }
+        self.heap_pos[v] = self.heap.len();
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i]] = i;
+        self.heap_pos[self.heap[j]] = j;
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i]] > self.activity[self.heap[parent]] {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < self.heap.len()
+                && self.activity[self.heap[right]] > self.activity[self.heap[left]]
+            {
+                right
+            } else {
+                left
+            };
+            if self.activity[self.heap[child]] > self.activity[self.heap[i]] {
+                self.heap_swap(i, child);
+                i = child;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<usize> {
+        let v = *self.heap.first()?;
+        self.heap_pos[v] = usize::MAX;
+        let last = self.heap.pop().expect("heap nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(v)
+    }
+
+    /// 1UIP conflict analysis: returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<SLit>, usize) {
+        let current_level = self.level_starts.len() as u32;
+        let mut learnt: Vec<SLit> = Vec::new();
+        let mut counter = 0usize; // current-level literals pending
+        let mut clause = conflict;
+        let mut trail_idx = self.trail.len();
+        let mut asserting = None;
+
+        loop {
+            for i in 0..self.clauses[clause].len() {
+                let q = self.clauses[clause][i];
+                // the reason clause of the literal just walked contains
+                // that literal itself; skip it
+                if asserting == Some(q) {
+                    continue;
+                }
+                let v = q.var();
+                if self.seen[v] || self.var_level[v] == 0 {
+                    continue;
+                }
+                self.seen[v] = true;
+                self.bump(v);
+                if self.var_level[v] == current_level {
+                    counter += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // walk the trail back to the next marked current-level literal
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var()] {
+                    break;
+                }
+            }
+            let p = self.trail[trail_idx];
+            self.seen[p.var()] = false;
+            counter -= 1;
+            if counter == 0 {
+                asserting = Some(p);
+                break;
+            }
+            clause = self.reason[p.var()];
+            debug_assert!(clause != usize::MAX, "UIP literal must have a reason");
+            asserting = Some(p);
+        }
+        let uip = asserting.expect("conflict at decision level > 0");
+        for l in &learnt {
+            self.seen[l.var()] = false;
+        }
+        // backtrack level: highest level among the non-asserting literals
+        let back_level = learnt
+            .iter()
+            .map(|l| self.var_level[l.var()] as usize)
+            .max()
+            .unwrap_or(0);
+        let mut clause = vec![uip.not()];
+        clause.extend(learnt);
+        (clause, back_level)
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        while self.level_starts.len() > level {
+            let start = self.level_starts.pop().expect("level exists");
+            while self.trail.len() > start {
+                let l = self.trail.pop().expect("trail aligned with levels");
+                self.values[l.var()] = Value::Unassigned;
+                self.reason[l.var()] = usize::MAX;
+                self.heap_insert(l.var());
+            }
+        }
+        self.queue_head = self.queue_head.min(self.trail.len());
+    }
+
+    fn decide(&mut self) -> Option<SLit> {
+        // every unassigned variable is in the heap, so an empty heap
+        // means a total assignment; assigned leftovers are discarded
+        while let Some(v) = self.heap_pop() {
+            if self.values[v] == Value::Unassigned {
+                return Some(SLit::with_sign(v, !self.phase[v]));
+            }
+        }
+        None
+    }
+
+    /// The `i`-th term of the Luby restart sequence (1,1,2,1,1,2,4,…).
+    fn luby(mut i: u64) -> u64 {
+        loop {
+            let mut k = 1u64;
+            while (1u64 << k) - 1 < i + 1 {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i + 1 {
+                return 1u64 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Decide satisfiability of the current clause set. On
+    /// [`SatResult::Sat`] the model is readable through
+    /// [`Solver::value`] / [`Solver::lit_true`]; clauses may be added
+    /// afterwards and `solve` called again (model enumeration).
+    pub fn solve(&mut self) -> SatResult {
+        if self.trivially_unsat {
+            return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.trivially_unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut restart_round = 0u64;
+        let mut conflicts_left = 64 * Self::luby(restart_round);
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    if self.level_starts.is_empty() {
+                        self.trivially_unsat = true;
+                        return SatResult::Unsat;
+                    }
+                    let (learnt, back_level) = self.analyze(conflict);
+                    self.backtrack_to(back_level);
+                    self.activity_inc /= ACTIVITY_DECAY;
+                    let asserting = learnt[0];
+                    if learnt.len() == 1 {
+                        self.enqueue(asserting, usize::MAX);
+                    } else {
+                        let ci = self.clauses.len();
+                        self.watch(learnt[0], ci);
+                        self.watch(learnt[1], ci);
+                        self.clauses.push(learnt);
+                        self.enqueue(asserting, ci);
+                    }
+                    if conflicts_left == 0 {
+                        restart_round += 1;
+                        conflicts_left = 64 * Self::luby(restart_round);
+                        self.stats.restarts += 1;
+                        self.backtrack_to(0);
+                    } else {
+                        conflicts_left -= 1;
+                    }
+                }
+                None => match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.level_starts.push(self.trail.len());
+                        self.enqueue(l, usize::MAX);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Solve under temporary assumptions: returns `Sat` iff the clause
+    /// set is satisfiable with every assumption literal true. The
+    /// assumptions are not retained. (Implemented by clause addition
+    /// over fresh activation variables would complicate the solver; the
+    /// proof sizes here let us simply re-add and block instead, so this
+    /// convenience asserts the assumptions as unit clauses on a clone.)
+    pub fn solve_with(&self, assumptions: &[SLit]) -> (SatResult, Stats, SolvedClone) {
+        let mut clone = Solver {
+            clauses: self.clauses.clone(),
+            problem_clauses: self.problem_clauses,
+            watches: self.watches.clone(),
+            values: self.values.clone(),
+            phase: self.phase.clone(),
+            activity: self.activity.clone(),
+            activity_inc: self.activity_inc,
+            heap: self.heap.clone(),
+            heap_pos: self.heap_pos.clone(),
+            trail: self.trail.clone(),
+            level_starts: self.level_starts.clone(),
+            var_level: self.var_level.clone(),
+            reason: self.reason.clone(),
+            queue_head: self.queue_head,
+            trivially_unsat: self.trivially_unsat,
+            stats: Stats::default(),
+            seen: self.seen.clone(),
+        };
+        for &a in assumptions {
+            clone.add_clause(&[a]);
+        }
+        let r = clone.solve();
+        let stats = clone.stats();
+        (r, stats, SolvedClone { solver: clone })
+    }
+}
+
+/// The solved clone returned by [`Solver::solve_with`], kept so callers
+/// can read the model of a satisfiable assumption query.
+#[derive(Debug)]
+pub struct SolvedClone {
+    solver: Solver,
+}
+
+impl SolvedClone {
+    /// Model value of a literal (valid after `Sat`).
+    pub fn lit_true(&self, l: SLit) -> bool {
+        self.solver.lit_true(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance_is_sat() {
+        assert_eq!(Solver::new().solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[SLit::pos(a)]);
+        s.add_clause(&[SLit::neg(a), SLit::pos(b)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.value(a) && s.value(b));
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[SLit::pos(a)]);
+        s.add_clause(&[SLit::neg(a)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // var p_{i,j}: pigeon i in hole j; 3 pigeons, 2 holes
+        let mut s = Solver::new();
+        let mut p = [[0usize; 2]; 3];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[SLit::pos(row[0]), SLit::pos(row[1])]);
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_k in &p[i + 1..] {
+                for (&a, &b) in row_i.iter().zip(row_k) {
+                    s.add_clause(&[SLit::neg(a), SLit::neg(b)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn xor_chain_parity_unsat() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x3 ⊕ x1 = 1 is unsatisfiable
+        let mut s = Solver::new();
+        let x: Vec<usize> = (0..3).map(|_| s.new_var()).collect();
+        let mut xor = |a: usize, b: usize| {
+            // a ⊕ b = 1 as two clauses
+            s.add_clause(&[SLit::pos(a), SLit::pos(b)]);
+            s.add_clause(&[SLit::neg(a), SLit::neg(b)]);
+        };
+        xor(x[0], x[1]);
+        xor(x[1], x[2]);
+        xor(x[2], x[0]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_blocking_enumerates_models() {
+        // 2 free vars: 4 models, enumerated by blocking clauses
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[SLit::pos(a), SLit::neg(a)]); // touch both vars
+        s.add_clause(&[SLit::pos(b), SLit::neg(b)]);
+        let mut models = std::collections::HashSet::new();
+        while s.solve() == SatResult::Sat {
+            let m = (s.value(a), s.value(b));
+            assert!(models.insert(m), "model repeated: {m:?}");
+            s.add_clause(&[
+                SLit::with_sign(a, s.value(a)),
+                SLit::with_sign(b, s.value(b)),
+            ]);
+        }
+        assert_eq!(models.len(), 4);
+    }
+
+    #[test]
+    fn solve_with_assumptions_does_not_pollute() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[SLit::pos(a), SLit::pos(b)]);
+        let (r1, _, model) = s.solve_with(&[SLit::neg(a)]);
+        assert_eq!(r1, SatResult::Sat);
+        assert!(model.lit_true(SLit::pos(b)));
+        let (r2, _, _) = s.solve_with(&[SLit::neg(a), SLit::neg(b)]);
+        assert_eq!(r2, SatResult::Unsat);
+        // the base instance is untouched
+        let (r3, _, _) = s.solve_with(&[SLit::pos(a)]);
+        assert_eq!(r3, SatResult::Sat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), w, "term {i}");
+        }
+    }
+
+    #[test]
+    fn random_3sat_fuzz_vs_brute_force() {
+        // small random instances cross-checked against exhaustive search
+        let mut state = 0x7E57_1234u64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..60 {
+            let nvars = 6 + (rand() % 5) as usize; // 6..=10
+            let nclauses = 3 + (rand() % 40) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (rand() as usize) % nvars;
+                    c.push(SLit::with_sign(v, rand() & 1 == 1));
+                }
+                clauses.push(c);
+            }
+            // brute force
+            let brute_sat = (0..1u32 << nvars).any(|m| {
+                clauses
+                    .iter()
+                    .all(|c| c.iter().any(|l| (m >> l.var() & 1 == 1) != l.sign()))
+            });
+            let mut s = Solver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for c in &clauses {
+                s.add_clause(c);
+            }
+            let got = s.solve();
+            assert_eq!(
+                got == SatResult::Sat,
+                brute_sat,
+                "round {round}: solver disagrees with brute force"
+            );
+            if got == SatResult::Sat {
+                // the returned model must actually satisfy every clause
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| s.lit_true(l)), "bad model");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Snapshot test of the gate's deterministic finding order.
+//!
+//! The binary sorts all findings by `(context, check, message)` before
+//! reporting, so the rendered report is identical no matter which
+//! checker ran first. This test feeds findings from several unrelated
+//! checkers through the sort in a scrambled order and pins the exact
+//! rendered sequence — if the ordering rule (or a fixture's message)
+//! changes, the snapshot below must be updated deliberately.
+
+use analysis::{check_shard_plan, fixtures, lint, sort_findings, symbolic};
+
+#[test]
+fn finding_order_is_deterministic_and_pinned() {
+    // scrambled interleave of three checkers' findings
+    let mut findings = Vec::new();
+    findings.extend(check_shard_plan(&fixtures::broken_shard_plan()));
+    findings.extend(symbolic::check_control_invariant(&fixtures::two_writer_ram()).findings);
+    findings.extend(lint::lint_unit(&fixtures::combinational_loop()));
+    let forward = {
+        let mut f = findings.clone();
+        sort_findings(&mut f);
+        f
+    };
+    // reversed insertion order must sort to the same sequence
+    findings.reverse();
+    sort_findings(&mut findings);
+    assert_eq!(findings, forward, "sort depends on insertion order");
+
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    let snapshot: Vec<(&str, &str)> = vec![
+        ("ctrl-invariant", "gap_ctrl"),
+        ("combinational-loop", "ring_oscillator"),
+        ("shard-coverage", "shard-plan 2^12 x 2"),
+    ];
+    assert_eq!(
+        findings.len(),
+        snapshot.len(),
+        "finding count changed: {rendered:#?}"
+    );
+    for (f, (check, context)) in findings.iter().zip(&snapshot) {
+        assert_eq!(f.check, *check, "order changed: {rendered:#?}");
+        assert_eq!(f.context, *context, "order changed: {rendered:#?}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Reference *gate-level* specification of the fitness function.
+//!
+//! [`crate::fitness`] defines the three rules behaviourally, in terms of
+//! [`crate::genome::Genome`] accessors and movement enums. This module
+//! restates the same 26 elementary checks (8 equilibrium + 6 symmetry +
+//! 12 coherence, paper fact F2) as pure boolean gates over the raw 36
+//! genome bits, generic over a boolean algebra [`BoolAlg`].
+//!
+//! Instantiated with [`BoolEval`] (bits are `bool`) the spec is an
+//! ordinary evaluator, pinned against [`crate::fitness::FitnessSpec`] by
+//! dense unit tests below. Instantiated with a symbolic algebra (the
+//! boolean-circuit IR in `leonardo-rtl::semantics`) the *same* derivation
+//! becomes one side of a SAT equivalence miter, so the analysis gate can
+//! prove — for all 2³⁶ inputs, not a proptest sample — that the RTL
+//! fitness network computes this specification. Keeping the gate
+//! derivation here, in the behavioural crate and written against the rule
+//! prose rather than against any RTL module, is what makes that miter a
+//! check between two independently derived networks.
+//!
+//! Bit layout (paper fact F1, as in [`crate::genome`]): bit
+//! `step·18 + leg·3 + field` with field 0 = pre-vertical (1 = up),
+//! field 1 = horizontal (1 = forward), field 2 = post-vertical (1 = up).
+//! Legs 0–2 are the left side, legs 3–5 the right side.
+
+use crate::fitness::FitnessValue;
+use crate::genome::{Genome, NUM_LEGS};
+
+/// Number of genome bits the spec reads.
+pub const GENOME_BITS: usize = 36;
+/// Width of the score word: 26 < 2⁵.
+pub const SCORE_BITS: usize = 5;
+/// Total number of elementary check bits.
+pub const CHECK_BITS: usize = 26;
+
+/// A boolean algebra: the carrier the fitness gates are built over.
+///
+/// `Bit` is `bool` for concrete evaluation ([`BoolEval`]) or a circuit
+/// literal for symbolic instantiation. Methods take `&mut self` so
+/// circuit builders can hash-cons nodes as gates are created.
+pub trait BoolAlg {
+    /// One bit of the carrier.
+    type Bit: Copy;
+
+    /// The constant `v`.
+    fn constant(&mut self, v: bool) -> Self::Bit;
+    /// Logical NOT.
+    fn not(&mut self, a: Self::Bit) -> Self::Bit;
+    /// Logical AND.
+    fn and(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit;
+    /// Logical XOR.
+    fn xor(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit;
+
+    /// Logical OR (provided: De Morgan over AND).
+    fn or(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let n = self.and(na, nb);
+        self.not(n)
+    }
+
+    /// Bit equality (provided).
+    fn xnor(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// Three-input AND (provided).
+    fn and3(&mut self, a: Self::Bit, b: Self::Bit, c: Self::Bit) -> Self::Bit {
+        let ab = self.and(a, b);
+        self.and(ab, c)
+    }
+}
+
+/// The trivial algebra: bits are plain booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolEval;
+
+impl BoolAlg for BoolEval {
+    type Bit = bool;
+
+    fn constant(&mut self, v: bool) -> bool {
+        v
+    }
+
+    fn not(&mut self, a: bool) -> bool {
+        !a
+    }
+
+    fn and(&mut self, a: bool, b: bool) -> bool {
+        a & b
+    }
+
+    fn xor(&mut self, a: bool, b: bool) -> bool {
+        a ^ b
+    }
+}
+
+/// Genome bit `step·18 + leg·3 + field` out of the flat bit array.
+fn bit<B: Copy>(bits: &[B; GENOME_BITS], step: usize, leg: usize, field: usize) -> B {
+    bits[step * 18 + leg * 3 + field]
+}
+
+/// The 26 elementary check bits, one per scored point, in the canonical
+/// order 8 equilibrium, 6 symmetry, 12 coherence.
+///
+/// * equilibrium `(step, phase, side)` — phase ∈ {pre, post}, side ∈
+///   {left, right}, ordered step-major: the check holds unless all three
+///   legs of the side are up in that vertical configuration;
+/// * symmetry `(leg)` — the leg's two horizontal bits differ;
+/// * coherence `(step, leg)` — the leg's pre-vertical bit matches its
+///   horizontal bit (up before forward, down before backward).
+pub fn fitness_check_bits<A: BoolAlg>(
+    alg: &mut A,
+    bits: &[A::Bit; GENOME_BITS],
+) -> [A::Bit; CHECK_BITS] {
+    let mut checks = Vec::with_capacity(CHECK_BITS);
+    // Rule 1 — equilibrium: 2 steps x 2 vertical configurations x 2 sides.
+    for step in 0..2 {
+        for field in [0usize, 2] {
+            for side in 0..2 {
+                let legs = [side * 3, side * 3 + 1, side * 3 + 2];
+                let all_up = alg.and3(
+                    bit(bits, step, legs[0], field),
+                    bit(bits, step, legs[1], field),
+                    bit(bits, step, legs[2], field),
+                );
+                checks.push(alg.not(all_up));
+            }
+        }
+    }
+    // Rule 2 — symmetry: one check per leg.
+    for leg in 0..NUM_LEGS {
+        let h1 = bit(bits, 0, leg, 1);
+        let h2 = bit(bits, 1, leg, 1);
+        checks.push(alg.xor(h1, h2));
+    }
+    // Rule 3 — coherence: 2 steps x 6 legs.
+    for step in 0..2 {
+        for leg in 0..NUM_LEGS {
+            let pre = bit(bits, step, leg, 0);
+            let horiz = bit(bits, step, leg, 1);
+            checks.push(alg.xnor(pre, horiz));
+        }
+    }
+    checks.try_into().unwrap_or_else(|_| unreachable!())
+}
+
+/// Add one bit into a little-endian ripple counter, dropping the final
+/// carry (the counter must be wide enough for the maximum count).
+pub fn count_into<A: BoolAlg>(alg: &mut A, counter: &mut [A::Bit], bitv: A::Bit) {
+    let mut carry = bitv;
+    for c in counter.iter_mut() {
+        let t = alg.and(*c, carry);
+        *c = alg.xor(*c, carry);
+        carry = t;
+    }
+}
+
+/// The paper's (unit-weight) fitness score as a 5-bit little-endian word:
+/// the population count of [`fitness_check_bits`]. Maximum value 26.
+pub fn fitness_score_gates<A: BoolAlg>(
+    alg: &mut A,
+    bits: &[A::Bit; GENOME_BITS],
+) -> [A::Bit; SCORE_BITS] {
+    let checks = fitness_check_bits(alg, bits);
+    let zero = alg.constant(false);
+    let mut counter = [zero; SCORE_BITS];
+    for c in checks {
+        count_into(alg, &mut counter, c);
+    }
+    counter
+}
+
+/// Concrete evaluation of the gate-level spec on a genome — the bridge
+/// the pinning tests (and the analysis counterexample replayer) use.
+pub fn evaluate_gates(genome: Genome) -> FitnessValue {
+    let raw = genome.bits();
+    let mut bits = [false; GENOME_BITS];
+    for (i, b) in bits.iter_mut().enumerate() {
+        *b = raw >> i & 1 == 1;
+    }
+    let score = fitness_score_gates(&mut BoolEval, &bits);
+    score
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| u32::from(b) << i)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::FitnessSpec;
+    use crate::genome::GENOME_MASK;
+
+    const SPEC: FitnessSpec = FitnessSpec::paper();
+
+    #[test]
+    fn corners_match_behavioural_spec() {
+        for g in [
+            Genome::ZERO,
+            Genome::from_bits(GENOME_MASK),
+            Genome::tripod(),
+        ] {
+            assert_eq!(evaluate_gates(g), SPEC.evaluate(g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn dense_sample_matches_behavioural_spec() {
+        // A multiplicative-walk sample plus the low genomes, 40k points.
+        let mut state = 1u64;
+        for i in 0..40_000u64 {
+            let bits = if i < 4096 {
+                i
+            } else {
+                state = state.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+                state >> 28
+            };
+            let g = Genome::from_bits(bits & GENOME_MASK);
+            assert_eq!(evaluate_gates(g), SPEC.evaluate(g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_from_tripod_match() {
+        let t = Genome::tripod().bits();
+        for flip in 0..36 {
+            let g = Genome::from_bits(t ^ (1 << flip));
+            assert_eq!(evaluate_gates(g), SPEC.evaluate(g), "flip {flip}");
+        }
+    }
+
+    #[test]
+    fn check_bit_count_is_26() {
+        let mut alg = BoolEval;
+        let bits = [false; GENOME_BITS];
+        assert_eq!(fitness_check_bits(&mut alg, &bits).len(), CHECK_BITS);
+        // zero genome: 8 equilibrium + 0 symmetry + 12 coherence
+        assert_eq!(evaluate_gates(Genome::ZERO), 20);
+    }
+
+    #[test]
+    fn counter_never_overflows() {
+        // 26 < 2^5, so the dropped carry is provably zero; spot-check the
+        // all-checks-true extreme through the tripod gait.
+        assert_eq!(evaluate_gates(Genome::tripod()), 26);
+    }
+}

@@ -55,6 +55,7 @@
 pub mod controller;
 pub mod fitness;
 pub mod gap;
+pub mod gates;
 pub mod genome;
 pub mod movement;
 pub mod params;

@@ -13,8 +13,10 @@
 use discipulus::fitness::FitnessSpec;
 use discipulus::genome::{GENOME_BITS, GENOME_MASK};
 use leonardo_rtl::bitslice::{
-    consecutive_genome_planes, FitnessUnitX64, LANES, LANE_BITS, SCORE_PLANES,
+    consecutive_genome_planes, lane_score_lits, FitnessUnitX64, LANES, LANE_BITS,
+    LANE_INDEX_PLANES, SCORE_PLANES,
 };
+use leonardo_rtl::semantics::{Lit, Semantics, SeqCircuit};
 
 /// Number of genomes scored per kernel step.
 pub const BLOCK_GENOMES: u64 = LANES as u64;
@@ -108,6 +110,37 @@ impl BlockKernel {
     }
 }
 
+/// Gate-level semantics of the kernel's per-genome function: what fitness
+/// does lane `lane` of block `block` receive? The genome the lane scores
+/// is assembled exactly the way [`BlockKernel::score_block`] builds its
+/// plane buffer — the low six bits come out of the fixed
+/// [`LANE_INDEX_PLANES`] tables through a lane-indexed selection network,
+/// the thirty high bits are the broadcast planes (per lane: the block
+/// base bit itself). The analysis gate miters this against the scalar
+/// `FitnessUnit` to prove the whole 2³⁶ sweep scores every genome with
+/// the specified function — including that the plane tables are right.
+impl Semantics for BlockKernel {
+    fn semantics(&self) -> SeqCircuit {
+        let mut sc = SeqCircuit::new("block_kernel");
+        let block = sc.input("block", GENOME_BITS - LANE_BITS);
+        let lane: Vec<Lit> = sc.input("lane", LANE_BITS);
+        let c = &mut sc.circuit;
+        let mut bits = [Lit::FALSE; GENOME_BITS];
+        for (b, bit) in bits.iter_mut().enumerate() {
+            if b < LANE_BITS {
+                // lane bit b = bit `lane` of the fixed index plane
+                *bit = c.select_const64(LANE_INDEX_PLANES[b], &lane);
+            } else {
+                // broadcast plane `0 - bit`: every lane reads the base bit
+                *bit = block[b - LANE_BITS];
+            }
+        }
+        let score = lane_score_lits(self.spec(), c, &bits);
+        sc.output("fitness", score);
+        sc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +204,29 @@ mod tests {
             for (l, &f) in got.iter().enumerate() {
                 let g = Genome::from_bits(block * BLOCK_GENOMES + l as u64);
                 assert_eq!(f, spec.evaluate(g), "block {block} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_semantics_matches_block_fitness() {
+        use leonardo_rtl::semantics::Circuit;
+        let mut k = BlockKernel::new(FitnessSpec::paper());
+        let sc = k.semantics();
+        sc.validate().unwrap();
+        let out = sc.find_output("fitness").unwrap();
+        for block in [0u64, 7, 1 << 22, TOTAL_BLOCKS - 1] {
+            let want = k.block_fitness(block);
+            for lane in [0usize, 1, 31, 63] {
+                let mut inputs = Vec::with_capacity(GENOME_BITS);
+                inputs.extend((0..GENOME_BITS - LANE_BITS).map(|b| block >> b & 1 == 1));
+                inputs.extend((0..LANE_BITS).map(|b| lane >> b & 1 == 1));
+                let values = sc.circuit.eval_nodes(&inputs);
+                assert_eq!(
+                    Circuit::word_value(&values, out),
+                    u64::from(want[lane]),
+                    "block {block:#x} lane {lane}"
+                );
             }
         }
     }

@@ -22,6 +22,7 @@
 use crate::bitslice::transpose::{planes_to_bytes, transposed};
 use crate::bitslice::LANES;
 use crate::resources::Resources;
+use crate::semantics::{Circuit, Lit, Semantics, SeqCircuit, Word};
 use discipulus::fitness::FitnessSpec;
 use discipulus::genome::GENOME_BITS;
 
@@ -330,6 +331,113 @@ impl FitnessUnitX64 {
     }
 }
 
+/// One lane of `FitnessUnitX64::unit_score_planes` as boolean gates:
+/// the same five carry-save counter chains and ripple-carry folds, with
+/// every word operation replaced by its single-lane gate. The projection
+/// is exact because the sliced step uses only bitwise word ops, so bit
+/// `l` of each intermediate word equals the corresponding scalar gate on
+/// lane `l`'s inputs.
+pub fn lane_unit_score_lits(c: &mut Circuit, bits: &[Lit; GENOME_BITS]) -> [Lit; SCORE_PLANES] {
+    let bit = |s: usize, leg: usize, field: usize| bits[s * 18 + leg * 3 + field];
+
+    // Rule 1 — equilibrium, one counter per step (≤ 4 each)
+    let mut eq = [[Lit::FALSE; 3]; 2];
+    for (s, eq_s) in eq.iter_mut().enumerate() {
+        for field in [0usize, 2] {
+            let left = c.and3(bit(s, 0, field), bit(s, 1, field), bit(s, 2, field));
+            let right = c.and3(bit(s, 3, field), bit(s, 4, field), bit(s, 5, field));
+            c.count_into(eq_s, left.not());
+            c.count_into(eq_s, right.not());
+        }
+    }
+    // Rule 2 — symmetry (≤ 6)
+    let mut sy = [Lit::FALSE; 3];
+    for leg in 0..6 {
+        let x = c.xor(bit(0, leg, 1), bit(1, leg, 1));
+        c.count_into(&mut sy, x);
+    }
+    // Rule 3 — coherence, one counter per step (≤ 6 each)
+    let mut co = [[Lit::FALSE; 3]; 2];
+    for (s, co_s) in co.iter_mut().enumerate() {
+        for leg in 0..6 {
+            let x = c.xnor(bit(s, leg, 0), bit(s, leg, 1));
+            c.count_into(co_s, x);
+        }
+    }
+
+    let eq4 = c.add_words(&eq[0], &eq[1]); // ≤ 8
+    let co4 = c.add_words(&co[0], &co[1]); // ≤ 12
+    let eqsy = c.add_words(&eq4, &sy); // ≤ 14
+                                       // ≤ 26: like the sliced fold, the carry out of plane 4 is statically
+                                       // zero and dropped
+    let mut total = [Lit::FALSE; SCORE_PLANES];
+    let mut carry = Lit::FALSE;
+    for (p, t) in total.iter_mut().enumerate() {
+        let cp = if p < 4 { co4[p] } else { Lit::FALSE };
+        let (s, cy) = c.full_add(eqsy[p], cp, carry);
+        *t = s;
+        carry = cy;
+    }
+    total
+}
+
+/// One lane of the sliced unit under an arbitrary spec: the unit-weight
+/// fast path above, or the per-rule counters and exact weighted
+/// recombination mirroring `FitnessUnitX64::weighted_into`.
+pub fn lane_score_lits(spec: FitnessSpec, c: &mut Circuit, bits: &[Lit; GENOME_BITS]) -> Word {
+    if (
+        spec.equilibrium_weight,
+        spec.symmetry_weight,
+        spec.coherence_weight,
+    ) == (1, 1, 1)
+    {
+        return lane_unit_score_lits(c, bits).to_vec();
+    }
+    let bit = |s: usize, leg: usize, field: usize| bits[s * 18 + leg * 3 + field];
+    let mut equilibrium = [Lit::FALSE; 4];
+    for s in 0..2 {
+        for field in [0usize, 2] {
+            let left = c.and3(bit(s, 0, field), bit(s, 1, field), bit(s, 2, field));
+            let right = c.and3(bit(s, 3, field), bit(s, 4, field), bit(s, 5, field));
+            c.count_into(&mut equilibrium, left.not());
+            c.count_into(&mut equilibrium, right.not());
+        }
+    }
+    let mut symmetry = [Lit::FALSE; 3];
+    for leg in 0..6 {
+        let x = c.xor(bit(0, leg, 1), bit(1, leg, 1));
+        c.count_into(&mut symmetry, x);
+    }
+    let mut coherence = [Lit::FALSE; 4];
+    for s in 0..2 {
+        for leg in 0..6 {
+            let x = c.xnor(bit(s, leg, 0), bit(s, leg, 1));
+            c.count_into(&mut coherence, x);
+        }
+    }
+    let weq = c.mul_const(&equilibrium, u64::from(spec.equilibrium_weight));
+    let wsy = c.mul_const(&symmetry, u64::from(spec.symmetry_weight));
+    let wco = c.mul_const(&coherence, u64::from(spec.coherence_weight));
+    let partial = c.add_words(&weq, &wsy);
+    c.add_words(&partial, &wco)
+}
+
+/// The semantics of **one lane** of the sliced network (see
+/// [`lane_unit_score_lits`] for why the projection is exact and covers
+/// all 64 lanes at once).
+impl Semantics for FitnessUnitX64 {
+    fn semantics(&self) -> SeqCircuit {
+        let mut sc = SeqCircuit::new("fitness_unit_x64");
+        let genome: [Lit; GENOME_BITS] = sc
+            .input("genome", GENOME_BITS)
+            .try_into()
+            .expect("genome width");
+        let score = lane_score_lits(self.spec, &mut sc.circuit, &genome);
+        sc.output("fitness", score);
+        sc
+    }
+}
+
 impl crate::netlist::Describe for FitnessUnitX64 {
     fn netlist(&self) -> crate::netlist::StaticNetlist {
         // fully combinational, widths scaled by the lane count
@@ -477,6 +585,31 @@ mod tests {
     #[should_panic(expected = "64-aligned")]
     fn consecutive_planes_reject_unaligned_base() {
         let _ = consecutive_genome_planes(7);
+    }
+
+    #[test]
+    fn lane_semantics_matches_sliced_lanes() {
+        for spec in [
+            FitnessSpec::paper(),
+            FitnessSpec::only(Rule::Coherence),
+            FitnessSpec::without(Rule::Symmetry),
+        ] {
+            let fu = FitnessUnitX64::new(spec);
+            let sc = fu.semantics();
+            sc.validate().unwrap();
+            let out = sc.find_output("fitness").unwrap();
+            let genomes = scatter_genomes(42);
+            let want = fu.evaluate_lanes(&genomes);
+            for (l, &g) in genomes.iter().enumerate() {
+                let inputs: Vec<bool> = (0..36).map(|b| g >> b & 1 == 1).collect();
+                let values = sc.circuit.eval_nodes(&inputs);
+                assert_eq!(
+                    crate::semantics::Circuit::word_value(&values, out),
+                    u64::from(want[l]),
+                    "lane {l} spec {spec:?}"
+                );
+            }
+        }
     }
 
     #[test]

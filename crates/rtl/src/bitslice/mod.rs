@@ -43,7 +43,8 @@ pub mod rng_x64;
 pub mod transpose;
 
 pub use fitness_x64::{
-    consecutive_genome_planes, FitnessUnitX64, LANE_BITS, LANE_INDEX_PLANES, SCORE_PLANES,
+    consecutive_genome_planes, lane_score_lits, lane_unit_score_lits, FitnessUnitX64, LANE_BITS,
+    LANE_INDEX_PLANES, SCORE_PLANES,
 };
 pub use gap_x64::{GapRtlX64, GapRtlX64Config};
 pub use ram_x64::RamX64;

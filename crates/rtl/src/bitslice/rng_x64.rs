@@ -25,6 +25,7 @@ use crate::bitslice::transpose::planes_to_bytes;
 use crate::bitslice::{LaneMask, CELLS, LANES};
 use crate::netlist::{Describe, StaticNetlist};
 use crate::resources::Resources;
+use crate::semantics::{Lit, Semantics, SeqCircuit};
 use discipulus::rng::analysis::ca_update_matrix;
 use discipulus::rng::MAXIMAL_RULE_90_150;
 use std::collections::HashMap;
@@ -306,6 +307,43 @@ impl Describe for CaRngX64 {
     }
 }
 
+/// The semantics of **one lane** of the sliced generator, derived from
+/// the word expressions of [`CaRngX64::clock_free`] by lane projection —
+/// exact because every operation in the sliced step is bitwise, so lane
+/// `l` of each word op equals the scalar op on lane `l`'s bits. The
+/// `self_taps` broadcast words project to per-cell constants. Since all
+/// 64 lanes run this identical network by construction, the analysis
+/// gate's `CaRngRtl` ↔ lane miter covers the whole sliced unit.
+impl Semantics for CaRngX64 {
+    fn semantics(&self) -> SeqCircuit {
+        let mut sc = SeqCircuit::new("ca_rng_x64");
+        // power-on state: lane 0 (any lane's projection is the same
+        // network; only the init bits differ)
+        let init: Vec<bool> = (0..CELLS).map(|i| self.cells[i] & 1 == 1).collect();
+        let cells = sc.register("cells", &init);
+        let c = &mut sc.circuit;
+        let tap = |i: usize| self.self_taps[i] & 1 == 1;
+        let mut next = vec![Lit::FALSE; CELLS];
+        // cells[0] = (c[0] & taps[0]) ^ c[1]
+        let t0 = if tap(0) { cells[0] } else { Lit::FALSE };
+        next[0] = c.xor(t0, cells[1]);
+        for i in 1..CELLS - 1 {
+            let ti = if tap(i) { cells[i] } else { Lit::FALSE };
+            let x = c.xor(ti, cells[i - 1]);
+            next[i] = c.xor(x, cells[i + 1]);
+        }
+        let tl = if tap(CELLS - 1) {
+            cells[CELLS - 1]
+        } else {
+            Lit::FALSE
+        };
+        next[CELLS - 1] = c.xor(tl, cells[CELLS - 2]);
+        sc.set_next("cells", next);
+        sc.output("word", cells);
+        sc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +474,20 @@ mod tests {
             for (l, &w) in words.iter().enumerate() {
                 assert_eq!(u32::from(w), r.lane_low_bits(l, 11), "lane {l} k=11");
             }
+        }
+    }
+
+    #[test]
+    fn lane_semantics_matches_sliced_lane_zero() {
+        let mut sliced = CaRngX64::new(&seeds64());
+        let sc = sliced.semantics();
+        sc.validate().unwrap();
+        let mut state = sc.initial_state();
+        for i in 0..300 {
+            let (next, outs) = sc.eval_step(&state, &[]);
+            assert_eq!(outs[0].1, u64::from(sliced.lane_word(0)), "cycle {i}");
+            sliced.clock(1); // lane 0 only
+            state = next;
         }
     }
 

@@ -1,0 +1,499 @@
+//! The GAP's phase-sequencing control FSM as an explicit RTL unit.
+//!
+//! [`crate::gap_rtl::GapRtl`] models the chip's phases procedurally (Rust
+//! control flow stands in for the sequencer), and its netlist accounts
+//! for the hardware reality as an 8-bit `ctrl_fsm` register. This module
+//! is that register made explicit: a one-hot eight-state machine walking
+//! the paper's phase order — initiator, fitness scan, then the
+//! selection ∥ crossover pipeline and mutation of every generation — and
+//! decoding the write-enable strobes for the population RAMs.
+//!
+//! The unit exists chiefly to be *proven about*: it implements
+//! [`Semantics`], and the analysis gate shows by k-induction that the
+//! state register never leaves the one-hot set (no undefined control
+//! state), that the two write strobes driving the intermediate-population
+//! RAM port are mutually exclusive (the single-write-port contract of
+//! [`crate::primitives::Ram::write`]), that reset reaches the defined
+//! initial state in one cycle from *any* register contents, and by
+//! bounded reachability that every phase state is actually reachable.
+//! [`GapControlFsm::with_write_decode_bug`] builds the deliberately
+//! broken variant behind the analysis gate's `two-writer-ram` must-fail
+//! fixture.
+//!
+//! Inputs are the two conditions every phase loop bottoms out on in the
+//! procedural model: `step_done` (the current individual/pair/bit is
+//! finished — a terminal count from the datapath counters) and
+//! `phase_done` (the per-phase [`crate::primitives::ModCounter`] wrapped).
+
+use crate::netlist::{Describe, StaticNetlist};
+use crate::resources::Resources;
+use crate::semantics::{Lit, Semantics, SeqCircuit};
+
+/// Number of control states (the width of the `ctrl_fsm` register in the
+/// GAP netlist).
+pub const CTRL_STATES: usize = 8;
+
+/// One-hot state indices, in phase order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CtrlState {
+    /// Initiator: drawing the two RNG words of a fresh genome.
+    InitDraw = 0,
+    /// Initiator: writing the assembled genome into the basis RAM.
+    InitWrite = 1,
+    /// Fitness scan over the basis population.
+    Fitness = 2,
+    /// Selection unit: tournament draws for one parent pair.
+    Select = 3,
+    /// Crossover unit: the 36-cycle offspring shift.
+    XoverShift = 4,
+    /// Crossover unit: committing the offspring pair to the intermediate
+    /// RAM.
+    XoverCommit = 5,
+    /// Mutation unit: the read half of the read-modify-write.
+    MutateRead = 6,
+    /// Mutation unit: the write-back half.
+    MutateWrite = 7,
+}
+
+impl CtrlState {
+    /// All states, in phase order.
+    pub const ALL: [CtrlState; CTRL_STATES] = [
+        CtrlState::InitDraw,
+        CtrlState::InitWrite,
+        CtrlState::Fitness,
+        CtrlState::Select,
+        CtrlState::XoverShift,
+        CtrlState::XoverCommit,
+        CtrlState::MutateRead,
+        CtrlState::MutateWrite,
+    ];
+
+    /// The state's one-hot register pattern.
+    pub const fn one_hot(self) -> u8 {
+        1 << self as usize
+    }
+
+    /// Short name used in findings and waveforms.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CtrlState::InitDraw => "init_draw",
+            CtrlState::InitWrite => "init_write",
+            CtrlState::Fitness => "fitness",
+            CtrlState::Select => "select",
+            CtrlState::XoverShift => "xover_shift",
+            CtrlState::XoverCommit => "xover_commit",
+            CtrlState::MutateRead => "mutate_read",
+            CtrlState::MutateWrite => "mutate_write",
+        }
+    }
+}
+
+/// The write-enable strobes the FSM decodes from its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteStrobes {
+    /// Initiator write into the basis RAM.
+    pub basis_we: bool,
+    /// Score-RAM write during the fitness scan.
+    pub score_we: bool,
+    /// Crossover-unit write into the intermediate RAM.
+    pub xover_we: bool,
+    /// Mutation-unit write-back into the intermediate RAM.
+    pub mut_we: bool,
+}
+
+/// The one-hot phase sequencer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapControlFsm {
+    state: u8,
+    /// When set, the mutation write strobe decodes from the crossover
+    /// commit state too — the seeded two-writer defect the analysis
+    /// gate's induction check must catch.
+    buggy_decode: bool,
+}
+
+impl Default for GapControlFsm {
+    fn default() -> Self {
+        GapControlFsm::new()
+    }
+}
+
+impl GapControlFsm {
+    /// The correct sequencer, starting in the initiator phase.
+    pub fn new() -> GapControlFsm {
+        GapControlFsm {
+            state: CtrlState::InitDraw.one_hot(),
+            buggy_decode: false,
+        }
+    }
+
+    /// The seeded-defect variant: its `mut_we` decode also fires during
+    /// crossover commit, putting two writers on the intermediate RAM's
+    /// single write port. Structurally it lints clean — only the symbolic
+    /// write-exclusivity proof can tell the two apart.
+    pub fn with_write_decode_bug() -> GapControlFsm {
+        GapControlFsm {
+            state: CtrlState::InitDraw.one_hot(),
+            buggy_decode: true,
+        }
+    }
+
+    /// The raw one-hot state register.
+    pub fn state_bits(&self) -> u8 {
+        self.state
+    }
+
+    /// The current state, if the register is a defined (one-hot) pattern.
+    pub fn state(&self) -> Option<CtrlState> {
+        CtrlState::ALL
+            .into_iter()
+            .find(|s| self.state == s.one_hot())
+    }
+
+    /// The decoded write strobes, valid this cycle.
+    pub fn strobes(&self) -> WriteStrobes {
+        let at = |s: CtrlState| self.state & s.one_hot() != 0;
+        WriteStrobes {
+            basis_we: at(CtrlState::InitWrite),
+            score_we: at(CtrlState::Fitness),
+            xover_we: at(CtrlState::XoverCommit),
+            mut_we: at(CtrlState::MutateWrite) || (self.buggy_decode && at(CtrlState::XoverCommit)),
+        }
+    }
+
+    /// One clock edge. `reset` synchronously forces the initiator state;
+    /// `step_done` ends the current datapath step (individual, pair,
+    /// shift, read); `phase_done` is the phase counter's terminal count.
+    ///
+    /// # Panics
+    /// Panics if the register holds a non-one-hot pattern (the condition
+    /// the symbolic one-hot invariant proves unreachable).
+    pub fn clock(&mut self, reset: bool, step_done: bool, phase_done: bool) {
+        use CtrlState::*;
+        if reset {
+            self.state = InitDraw.one_hot();
+            return;
+        }
+        let cur = self.state().expect("undefined (non-one-hot) control state");
+        let next = match cur {
+            InitDraw => {
+                if step_done {
+                    InitWrite
+                } else {
+                    InitDraw
+                }
+            }
+            InitWrite => {
+                if phase_done {
+                    Fitness
+                } else {
+                    InitDraw
+                }
+            }
+            Fitness => {
+                if phase_done {
+                    Select
+                } else {
+                    Fitness
+                }
+            }
+            Select => {
+                if step_done {
+                    XoverShift
+                } else {
+                    Select
+                }
+            }
+            XoverShift => {
+                if step_done {
+                    XoverCommit
+                } else {
+                    XoverShift
+                }
+            }
+            XoverCommit => {
+                if phase_done {
+                    MutateRead
+                } else {
+                    Select
+                }
+            }
+            MutateRead => {
+                if step_done {
+                    MutateWrite
+                } else {
+                    MutateRead
+                }
+            }
+            MutateWrite => {
+                if phase_done {
+                    Fitness
+                } else {
+                    MutateRead
+                }
+            }
+        };
+        self.state = next.one_hot();
+    }
+
+    /// Resource estimate: the netlist's 8-FF control register plus the
+    /// transition and strobe decode LUTs (matches the "initiator +
+    /// control FSM" row of the GAP's resource report).
+    pub fn resources(&self) -> Resources {
+        Resources::unit(8, 24)
+    }
+}
+
+impl Describe for GapControlFsm {
+    fn netlist(&self) -> StaticNetlist {
+        StaticNetlist::new("gap_ctrl")
+            .claim(self.resources())
+            .input("reset", 1)
+            .input("step_done", 1)
+            .input("phase_done", 1)
+            .register("state", CTRL_STATES as u32)
+            .wire("next_state", CTRL_STATES as u32)
+            .output("basis_we", 1)
+            .output("score_we", 1)
+            .output("xover_we", 1)
+            .output("mut_we", 1)
+            .fan_in(&["reset", "step_done", "phase_done", "state"], "next_state")
+            .edge("next_state", "state")
+            .edge("state", "basis_we")
+            .edge("state", "score_we")
+            .edge("state", "xover_we")
+            .edge("state", "mut_we")
+    }
+}
+
+impl Semantics for GapControlFsm {
+    fn semantics(&self) -> SeqCircuit {
+        use CtrlState::*;
+        let mut sc = SeqCircuit::new("gap_ctrl");
+        let reset = sc.input("reset", 1)[0];
+        let step_done = sc.input("step_done", 1)[0];
+        let phase_done = sc.input("phase_done", 1)[0];
+        let mut init = [false; CTRL_STATES];
+        for (i, b) in init.iter_mut().enumerate() {
+            *b = self.state >> i & 1 == 1;
+        }
+        let state = sc.register("state", &init);
+        let c = &mut sc.circuit;
+        let at = |s: CtrlState| state[s as usize];
+
+        // Each state's entry function: the union of its incoming arcs,
+        // gated by ¬reset; reset re-enters the initiator draw state.
+        let mut entry = [Lit::FALSE; CTRL_STATES];
+        /// Incoming arcs of one state: `(source, condition, negated?)`.
+        type Incoming<'a> = &'a [(CtrlState, Lit, bool)];
+        let arcs: [(CtrlState, Incoming); CTRL_STATES] = [
+            // (target, [(source, condition, condition-negated?)])
+            (
+                InitDraw,
+                &[(InitDraw, step_done, true), (InitWrite, phase_done, true)],
+            ),
+            (InitWrite, &[(InitDraw, step_done, false)]),
+            (
+                Fitness,
+                &[
+                    (InitWrite, phase_done, false),
+                    (Fitness, phase_done, true),
+                    (MutateWrite, phase_done, false),
+                ],
+            ),
+            (
+                Select,
+                &[
+                    (Fitness, phase_done, false),
+                    (Select, step_done, true),
+                    (XoverCommit, phase_done, true),
+                ],
+            ),
+            (
+                XoverShift,
+                &[(Select, step_done, false), (XoverShift, step_done, true)],
+            ),
+            (XoverCommit, &[(XoverShift, step_done, false)]),
+            (
+                MutateRead,
+                &[
+                    (XoverCommit, phase_done, false),
+                    (MutateRead, step_done, true),
+                    (MutateWrite, phase_done, true),
+                ],
+            ),
+            (MutateWrite, &[(MutateRead, step_done, false)]),
+        ];
+        for (target, sources) in arcs {
+            let mut e = Lit::FALSE;
+            for &(source, cond, negate) in sources {
+                let cond = if negate { cond.not() } else { cond };
+                let taken = c.and(at(source), cond);
+                e = c.or(e, taken);
+            }
+            entry[target as usize] = e;
+        }
+        let next: Vec<Lit> = entry
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| {
+                let held = c.and(reset.not(), e);
+                if i == InitDraw as usize {
+                    c.or(reset, held)
+                } else {
+                    held
+                }
+            })
+            .collect();
+        sc.set_next("state", next);
+
+        let c = &mut sc.circuit;
+        let basis_we = at(InitWrite);
+        let score_we = at(Fitness);
+        let xover_we = at(XoverCommit);
+        let mut_we = if self.buggy_decode {
+            c.or(at(MutateWrite), at(XoverCommit))
+        } else {
+            at(MutateWrite)
+        };
+        sc.output("basis_we", vec![basis_we]);
+        sc.output("score_we", vec![score_we]);
+        sc.output("xover_we", vec![xover_we]);
+        sc.output("mut_we", vec![mut_we]);
+        sc.output("state", state);
+        sc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the concrete FSM through one generation's phase skeleton and
+    /// pin the visited order.
+    #[test]
+    fn phase_order_matches_the_paper() {
+        use CtrlState::*;
+        let mut fsm = GapControlFsm::new();
+        let mut visited = vec![fsm.state().unwrap()];
+        let script: &[(bool, bool)] = &[
+            // (step_done, phase_done)
+            (true, false), // draw complete -> init_write
+            (false, true), // last individual -> fitness
+            (false, true), // scan complete -> select
+            (true, false), // pair selected -> xover_shift
+            (true, false), // shift complete -> xover_commit
+            (false, true), // last pair -> mutate_read
+            (true, false), // read done -> mutate_write
+            (false, true), // last flip -> fitness
+        ];
+        for &(step, phase) in script {
+            fsm.clock(false, step, phase);
+            visited.push(fsm.state().unwrap());
+        }
+        assert_eq!(
+            visited,
+            vec![
+                InitDraw,
+                InitWrite,
+                Fitness,
+                Select,
+                XoverShift,
+                XoverCommit,
+                MutateRead,
+                MutateWrite,
+                Fitness
+            ]
+        );
+    }
+
+    #[test]
+    fn loops_hold_their_state() {
+        use CtrlState::*;
+        let mut fsm = GapControlFsm::new();
+        for _ in 0..5 {
+            fsm.clock(false, false, false);
+            assert_eq!(fsm.state(), Some(InitDraw));
+        }
+        fsm.clock(false, true, false);
+        // init_write without phase_done loops back for the next individual
+        fsm.clock(false, false, false);
+        assert_eq!(fsm.state(), Some(InitDraw));
+    }
+
+    #[test]
+    fn reset_from_any_state() {
+        let mut fsm = GapControlFsm::new();
+        for &(s, p) in &[(true, false), (false, true), (false, true), (true, false)] {
+            fsm.clock(false, s, p);
+        }
+        assert_ne!(fsm.state(), Some(CtrlState::InitDraw));
+        fsm.clock(true, true, true);
+        assert_eq!(fsm.state(), Some(CtrlState::InitDraw));
+    }
+
+    #[test]
+    fn strobes_decode_one_state_each() {
+        let mut fsm = GapControlFsm::new();
+        fsm.state = CtrlState::XoverCommit.one_hot();
+        let s = fsm.strobes();
+        assert!(s.xover_we && !s.mut_we && !s.basis_we && !s.score_we);
+        fsm.state = CtrlState::MutateWrite.one_hot();
+        assert!(fsm.strobes().mut_we && !fsm.strobes().xover_we);
+    }
+
+    #[test]
+    fn buggy_decode_double_drives_the_write_port() {
+        let mut fsm = GapControlFsm::with_write_decode_bug();
+        fsm.state = CtrlState::XoverCommit.one_hot();
+        let s = fsm.strobes();
+        assert!(
+            s.xover_we && s.mut_we,
+            "the seeded defect must double-drive"
+        );
+    }
+
+    /// The symbolic model and the concrete FSM agree cycle-for-cycle over
+    /// a scripted and a pseudo-random input schedule.
+    #[test]
+    fn semantics_matches_concrete_fsm() {
+        for buggy in [false, true] {
+            let mut fsm = if buggy {
+                GapControlFsm::with_write_decode_bug()
+            } else {
+                GapControlFsm::new()
+            };
+            let sc = fsm.semantics();
+            sc.validate().unwrap();
+            let mut state = sc.initial_state();
+            let mut x = 0x2545_F491u64;
+            for i in 0..500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let reset = x >> 61 & 7 == 0; // occasional reset pulse
+                let step = x >> 33 & 1 == 1;
+                let phase = x >> 17 & 3 == 0;
+                let (next, outs) = sc.eval_step(
+                    &state,
+                    &[
+                        ("reset", u64::from(reset)),
+                        ("step_done", u64::from(step)),
+                        ("phase_done", u64::from(phase)),
+                    ],
+                );
+                let strobes = fsm.strobes();
+                let find = |name: &str| {
+                    outs.iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| *v)
+                        .unwrap()
+                };
+                assert_eq!(find("state"), u64::from(fsm.state_bits()), "cycle {i}");
+                assert_eq!(find("basis_we") == 1, strobes.basis_we, "cycle {i}");
+                assert_eq!(find("xover_we") == 1, strobes.xover_we, "cycle {i}");
+                assert_eq!(find("mut_we") == 1, strobes.mut_we, "cycle {i}");
+                fsm.clock(reset, step, phase);
+                state = next;
+            }
+        }
+    }
+}

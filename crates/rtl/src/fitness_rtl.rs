@@ -11,6 +11,7 @@
 //! 2³⁶ genomes at 1 MHz" exhaustive-search figure (experiment E2).
 
 use crate::resources::Resources;
+use crate::semantics::{Semantics, SeqCircuit};
 use discipulus::fitness::FitnessSpec;
 use discipulus::genome::Genome;
 
@@ -130,9 +131,89 @@ impl crate::netlist::Describe for FitnessUnit {
     }
 }
 
+/// Gate-level semantics derived from the word expressions of
+/// [`FitnessUnit::evaluate`]: the wide-AND side checks, the XOR/XNOR
+/// layers and the three population counters, folded by a weighted adder
+/// tree. This mirrors the *scalar* network's structure — the analysis
+/// gate miters it against the independently derived reference gates in
+/// `discipulus::gates` and against one lane of the sliced unit.
+impl Semantics for FitnessUnit {
+    fn semantics(&self) -> SeqCircuit {
+        let mut sc = SeqCircuit::new("fitness_unit");
+        let genome = sc.input("genome", 36);
+        let c = &mut sc.circuit;
+        let bit = |s: usize, leg: usize, field: usize| genome[s * 18 + leg * 3 + field];
+
+        // Rule 1 — `cfg & SIDE != SIDE` over the four vertical
+        // configurations [s1.pre, s1.post, s2.pre, s2.post]
+        let mut eq_checks = Vec::with_capacity(8);
+        for (s, field) in [(0, 0), (0, 2), (1, 0), (1, 2)] {
+            for side in 0..2 {
+                let all = c.and3(
+                    bit(s, side * 3, field),
+                    bit(s, side * 3 + 1, field),
+                    bit(s, side * 3 + 2, field),
+                );
+                eq_checks.push(all.not());
+            }
+        }
+        let eq = c.popcount(&eq_checks, 4);
+
+        // Rule 2 — `(s1.horiz ^ s2.horiz).count_ones()`
+        let sy_checks: Vec<_> = (0..6)
+            .map(|leg| c.xor(bit(0, leg, 1), bit(1, leg, 1)))
+            .collect();
+        let sy = c.popcount(&sy_checks, 3);
+
+        // Rule 3 — `(!(pre ^ horiz)).count_ones()` per step
+        let mut co_checks = Vec::with_capacity(12);
+        for s in 0..2 {
+            for leg in 0..6 {
+                co_checks.push(c.xnor(bit(s, leg, 0), bit(s, leg, 1)));
+            }
+        }
+        let co = c.popcount(&co_checks, 4);
+
+        let spec = self.spec;
+        let weq = c.mul_const(&eq, u64::from(spec.equilibrium_weight));
+        let wsy = c.mul_const(&sy, u64::from(spec.symmetry_weight));
+        let wco = c.mul_const(&co, u64::from(spec.coherence_weight));
+        let partial = c.add_words(&weq, &wsy);
+        let fitness = c.add_words(&partial, &wco);
+        sc.output("fitness", fitness);
+        sc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::semantics::Circuit;
+
+    #[test]
+    fn semantics_matches_simulation() {
+        use discipulus::fitness::Rule;
+        for spec in [
+            FitnessSpec::paper(),
+            FitnessSpec::only(Rule::Symmetry),
+            FitnessSpec::without(Rule::Equilibrium),
+        ] {
+            let unit = FitnessUnit::new(spec);
+            let sc = unit.semantics();
+            sc.validate().unwrap();
+            let fitness = sc.find_output("fitness").unwrap();
+            for i in 0..2000u64 {
+                let bits = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 28;
+                let inputs: Vec<bool> = (0..36).map(|b| bits >> b & 1 == 1).collect();
+                let values = sc.circuit.eval_nodes(&inputs);
+                assert_eq!(
+                    Circuit::word_value(&values, fitness),
+                    u64::from(unit.evaluate(Genome::from_bits(bits))),
+                    "genome {bits:#x} spec {spec:?}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn equivalent_to_behavioural_model_sampled() {

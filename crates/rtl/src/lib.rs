@@ -35,12 +35,16 @@
 //! * [`resources`] — CLB/FF/gate estimation
 //! * [`netlist`] — static self-descriptions ([`netlist::Describe`]) for
 //!   the design-verification linter in the `analysis` crate
+//! * [`semantics`] — gate-level boolean semantics
+//!   ([`semantics::Semantics`]) for the SAT-based symbolic prover in the
+//!   `analysis` crate
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bitslice;
 pub mod bitstream;
+pub mod control;
 pub mod fitness_rtl;
 pub mod gap_rtl;
 pub mod netlist;
@@ -48,6 +52,7 @@ pub mod primitives;
 pub mod pwm;
 pub mod resources;
 pub mod rng_rtl;
+pub mod semantics;
 pub mod sim;
 pub mod top;
 pub mod vcd;
@@ -59,12 +64,14 @@ pub mod prelude {
         CaRngX64, FitnessUnitX64, GapRtlX64, GapRtlX64Config, RamX64, LANES,
     };
     pub use crate::bitstream::Bitstream;
+    pub use crate::control::{CtrlState, GapControlFsm};
     pub use crate::fitness_rtl::FitnessUnit;
     pub use crate::gap_rtl::{CycleBreakdown, GapRtl, GapRtlConfig};
     pub use crate::netlist::{Describe, DesignNetlist, StaticNetlist};
     pub use crate::pwm::{PwmChannel, ServoBank};
     pub use crate::resources::{ResourceReport, Resources, XC4036EX_CLBS};
     pub use crate::rng_rtl::CaRngRtl;
+    pub use crate::semantics::{Circuit, Lit, Semantics, SeqCircuit};
     pub use crate::sim::{Clock, Probe};
     pub use crate::top::DiscipulusTop;
     pub use crate::vcd::VcdBuilder;

@@ -7,6 +7,7 @@
 
 use crate::netlist::{Describe, StaticNetlist};
 use crate::resources::Resources;
+use crate::semantics::{Lit, Semantics, SeqCircuit};
 
 /// A bank of synchronous-read/synchronous-write RAM words, modelling an
 /// on-chip population memory.
@@ -151,6 +152,51 @@ impl Describe for Ram {
     }
 }
 
+impl Semantics for Ram {
+    fn semantics(&self) -> SeqCircuit {
+        let depth = self.words.len();
+        let width = self.width as usize;
+        let addr_bits = (usize::BITS - (depth.max(2) - 1).leading_zeros()) as usize;
+        let mut sc = SeqCircuit::new("ram");
+        let read_addr = sc.input("read_addr", addr_bits);
+        let write_addr = sc.input("write_addr", addr_bits);
+        let write_data = sc.input("write_data", width);
+        // the simulation's `Option<(addr, value)>` pending write is, in
+        // hardware, a write-enable strobe
+        let write_en = sc.input("write_en", 1)[0];
+        let mut mem_init = Vec::with_capacity(depth * width);
+        for &w in &self.words {
+            mem_init.extend((0..width).map(|b| w >> b & 1 == 1));
+        }
+        let mem = sc.register("mem", &mem_init);
+        let read_init: Vec<bool> = (0..width).map(|b| self.read_reg >> b & 1 == 1).collect();
+        let read_reg = sc.register("read_reg", &read_init);
+        let c = &mut sc.circuit;
+
+        // per-word write mux (write-before-read port ordering: the read
+        // register samples the *updated* array)
+        let mut mem_next = Vec::with_capacity(depth * width);
+        let mut read_next = vec![Lit::FALSE; width];
+        for a in 0..depth {
+            let addr_const = c.const_word(a as u64, addr_bits);
+            let w_hit = c.eq_words(&write_addr, &addr_const);
+            let w_hit = c.and(w_hit, write_en);
+            let r_hit = c.eq_words(&read_addr, &addr_const);
+            for b in 0..width {
+                let cur = mem[a * width + b];
+                let nxt = c.mux(w_hit, write_data[b], cur);
+                mem_next.push(nxt);
+                let gated = c.and(r_hit, nxt);
+                read_next[b] = c.or(read_next[b], gated);
+            }
+        }
+        sc.set_next("mem", mem_next);
+        sc.set_next("read_reg", read_next);
+        sc.output("read_data", read_reg);
+        sc
+    }
+}
+
 /// A modulo-`n` counter (a phase/step counter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModCounter {
@@ -211,6 +257,25 @@ impl Describe for ModCounter {
             .edge("next", "count")
             .edge("count", "value")
             .edge("count", "wrap")
+    }
+}
+
+impl Semantics for ModCounter {
+    fn semantics(&self) -> SeqCircuit {
+        let bits = (32 - (self.modulus.max(2) - 1).leading_zeros()) as usize;
+        let mut sc = SeqCircuit::new("mod_counter");
+        let init: Vec<bool> = (0..bits).map(|b| self.value >> b & 1 == 1).collect();
+        let count = sc.register("count", &init);
+        let c = &mut sc.circuit;
+        let one = c.const_word(1, 1);
+        let inc = c.add_words(&count, &one);
+        let wrap = c.eq_words(&count, &c.const_word(u64::from(self.modulus) - 1, bits));
+        let zero = c.const_word(0, bits);
+        let next = c.mux_word(wrap, &zero, &inc[..bits]);
+        sc.set_next("count", next);
+        sc.output("value", count);
+        sc.output("wrap", vec![wrap]);
+        sc
     }
 }
 
@@ -281,6 +346,22 @@ impl Describe for ShiftReg {
             .edge("bits", "bits") // each stage feeds the next stage's D
             .edge("bits", "bit_out")
             .edge("bits", "value")
+    }
+}
+
+impl Semantics for ShiftReg {
+    fn semantics(&self) -> SeqCircuit {
+        let width = self.width as usize;
+        let mut sc = SeqCircuit::new("shift_reg");
+        let bit_in = sc.input("bit_in", 1)[0];
+        let init: Vec<bool> = (0..width).map(|b| self.bits >> b & 1 == 1).collect();
+        let bits = sc.register("bits", &init);
+        let mut next = vec![bit_in];
+        next.extend_from_slice(&bits[..width - 1]);
+        sc.set_next("bits", next);
+        sc.output("bit_out", vec![bits[width - 1]]);
+        sc.output("value", bits);
+        sc
     }
 }
 
@@ -405,5 +486,104 @@ mod tests {
     fn primitive_resources_positive() {
         assert!(ModCounter::new(36).resources().clbs > 0);
         assert!(ShiftReg::new(36).resources().flip_flops == 36);
+    }
+
+    #[test]
+    fn ram_semantics_matches_simulation() {
+        let (depth, width) = (8usize, 6u32);
+        let mut ram = Ram::new(depth, width, true);
+        let sc = ram.semantics();
+        sc.validate().unwrap();
+        let mut state = sc.initial_state();
+        let mut x = 0x1357_9BDFu64;
+        for i in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ra = (x >> 7) as usize % depth;
+            let wa = (x >> 13) as usize % depth;
+            let wd = x >> 20 & 0x3F;
+            let we = x >> 3 & 1 == 1;
+            let (next, _) = sc.eval_step(
+                &state,
+                &[
+                    ("read_addr", ra as u64),
+                    ("write_addr", wa as u64),
+                    ("write_data", wd),
+                    ("write_en", u64::from(we)),
+                ],
+            );
+            if we {
+                ram.write(wa, wd);
+            }
+            ram.set_read_addr(ra);
+            ram.clock();
+            // state layout: mem (depth*width bits), then read_reg
+            let mem_bits = depth * width as usize;
+            let read: u64 = next[mem_bits..]
+                .iter()
+                .enumerate()
+                .map(|(b, &v)| u64::from(v) << b)
+                .sum();
+            assert_eq!(read, ram.read_data(), "cycle {i}");
+            for a in 0..depth {
+                let word: u64 = next[a * width as usize..(a + 1) * width as usize]
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &v)| u64::from(v) << b)
+                    .sum();
+                assert_eq!(word, ram.peek(a), "cycle {i} word {a}");
+            }
+            state = next;
+        }
+    }
+
+    #[test]
+    fn mod_counter_semantics_matches_simulation() {
+        for modulus in [3u32, 32, 36, 49] {
+            let mut ctr = ModCounter::new(modulus);
+            let sc = ctr.semantics();
+            sc.validate().unwrap();
+            let mut state = sc.initial_state();
+            for i in 0..(modulus * 3) {
+                let (next, outs) = sc.eval_step(&state, &[]);
+                let find = |name: &str| {
+                    outs.iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| *v)
+                        .unwrap()
+                };
+                assert_eq!(
+                    find("value"),
+                    u64::from(ctr.value()),
+                    "mod {modulus} cycle {i}"
+                );
+                let wrapped = ctr.clock();
+                assert_eq!(find("wrap") == 1, wrapped, "mod {modulus} cycle {i}");
+                state = next;
+            }
+        }
+    }
+
+    #[test]
+    fn shift_reg_semantics_matches_simulation() {
+        let mut sr = ShiftReg::new(36);
+        let sc = sr.semantics();
+        sc.validate().unwrap();
+        let mut state = sc.initial_state();
+        let mut x = 0xACE1u64;
+        for i in 0..200 {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(3);
+            let bit = x >> 40 & 1 == 1;
+            let (next, outs) = sc.eval_step(&state, &[("bit_in", u64::from(bit))]);
+            let find = |name: &str| {
+                outs.iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            assert_eq!(find("value"), sr.value(), "cycle {i}");
+            let out = sr.shift_in(bit);
+            assert_eq!(find("bit_out") == 1, out, "cycle {i}");
+            state = next;
+        }
     }
 }

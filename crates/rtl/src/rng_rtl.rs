@@ -11,6 +11,7 @@
 
 use crate::netlist::{Describe, StaticNetlist};
 use crate::resources::Resources;
+use crate::semantics::{Lit, Semantics, SeqCircuit};
 use discipulus::rng::MAXIMAL_RULE_90_150;
 
 /// The 32-cell hybrid 90/150 CA generator as registered hardware.
@@ -87,6 +88,34 @@ impl Describe for CaRngRtl {
     }
 }
 
+impl Semantics for CaRngRtl {
+    fn semantics(&self) -> SeqCircuit {
+        let mut sc = SeqCircuit::new("ca_rng");
+        let init: Vec<bool> = (0..32).map(|b| self.state >> b & 1 == 1).collect();
+        let cells = sc.register("cells", &init);
+        let c = &mut sc.circuit;
+        // bit i of (s << 1) ^ (s >> 1) ^ (s & rule): neighbours with null
+        // boundary, plus the self tap on rule-150 cells — derived from the
+        // word expression in `clock`, not from the sliced engine
+        let next: Vec<Lit> = (0..32)
+            .map(|i| {
+                let left = if i > 0 { cells[i - 1] } else { Lit::FALSE };
+                let right = if i < 31 { cells[i + 1] } else { Lit::FALSE };
+                let self_tap = if self.rule >> i & 1 == 1 {
+                    cells[i]
+                } else {
+                    Lit::FALSE
+                };
+                let lr = c.xor(left, right);
+                c.xor(lr, self_tap)
+            })
+            .collect();
+        sc.set_next("cells", next);
+        sc.output("word", cells);
+        sc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +146,20 @@ mod tests {
             // with a maximal CA consecutive repeats are impossible
             assert_ne!(rtl.word(), last);
             last = rtl.word();
+        }
+    }
+
+    #[test]
+    fn semantics_matches_simulation() {
+        let mut rtl = CaRngRtl::new(0xDEAD_BEEF);
+        let sc = rtl.semantics();
+        sc.validate().unwrap();
+        let mut state = sc.initial_state();
+        for i in 0..500 {
+            let (next, outs) = sc.eval_step(&state, &[]);
+            assert_eq!(outs[0].1, u64::from(rtl.word()), "cycle {i}");
+            rtl.clock();
+            state = next;
         }
     }
 

@@ -1,0 +1,771 @@
+//! Gate-level semantics: a hand-rolled boolean-expression IR and the
+//! [`Semantics`] trait every provable RTL unit implements.
+//!
+//! Where [`crate::netlist`] describes *structure* (which nets exist, which
+//! may influence which within a cycle), this module describes *function*:
+//! each combinational output and each register's next-state value as an
+//! explicit boolean expression over the unit's inputs and current state.
+//! The `analysis` crate lowers these expressions to CNF (Tseitin) and runs
+//! a SAT solver over them — equivalence miters, k-induction invariants and
+//! bounded reachability — turning claims that were previously sampled by
+//! proptest into proofs over **all** inputs.
+//!
+//! The IR is an AIG-with-XOR: nodes are two-input AND and XOR gates plus
+//! input leaves, negation is a literal flag (free), and construction
+//! hash-conses and constant-folds on the fly, so structurally repeated
+//! logic (the 64 identical lanes of the batch engine, the mux trees of the
+//! landscape kernel's plane selection) collapses instead of exploding.
+//! XOR is kept native rather than expanded to ANDs because the design is
+//! XOR-dominated (CA rule 90/150, parity counters, comparators) and the
+//! CNF lowering has a tight 4-clause encoding for it.
+//!
+//! No external dependencies, `forbid(unsafe_code)` as everywhere else.
+
+use std::collections::HashMap;
+
+/// A literal: a node index with a complement flag in bit 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (the complement of [`Lit::TRUE`]).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    fn new(node: usize, negated: bool) -> Lit {
+        Lit((node as u32) << 1 | u32::from(negated))
+    }
+
+    /// Index of the node this literal refers to.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is complemented.
+    pub fn negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal — free, no gate is created.
+    ///
+    /// Deliberately an inherent method rather than `std::ops::Not`, so
+    /// call sites never need a trait import.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The positive-phase literal of the same node.
+    #[must_use]
+    pub fn abs(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+}
+
+/// One IR node. Node 0 is always [`Gate::False`]; inputs carry their
+/// creation index so instantiations can bind them positionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// The constant-false node (index 0 in every circuit).
+    False,
+    /// Input leaf `k` (the `k`-th call to [`Circuit::new_input`]).
+    Input(u32),
+    /// Two-input AND of the operand literals.
+    And(Lit, Lit),
+    /// Two-input XOR; operands are stored in positive phase (complements
+    /// are normalized onto the result literal).
+    Xor(Lit, Lit),
+}
+
+/// A multi-bit signal: little-endian vector of literals (bit 0 first).
+pub type Word = Vec<Lit>;
+
+/// The expression DAG under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    dedup: HashMap<Gate, u32>,
+    num_inputs: u32,
+}
+
+impl Circuit {
+    /// An empty circuit (containing only the constant node).
+    pub fn new() -> Circuit {
+        Circuit {
+            gates: vec![Gate::False],
+            dedup: HashMap::new(),
+            num_inputs: 0,
+        }
+    }
+
+    /// Number of nodes, including the constant and the inputs.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit holds only the constant node.
+    pub fn is_empty(&self) -> bool {
+        self.gates.len() <= 1
+    }
+
+    /// Number of input leaves created so far.
+    pub fn num_inputs(&self) -> u32 {
+        self.num_inputs
+    }
+
+    /// The node table (index-ordered, so every operand precedes its gate).
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// A fresh input leaf.
+    pub fn new_input(&mut self) -> Lit {
+        let idx = self.num_inputs;
+        self.num_inputs += 1;
+        // inputs are intentionally not deduplicated: every call is a new
+        // free variable
+        self.gates.push(Gate::Input(idx));
+        Lit::new(self.gates.len() - 1, false)
+    }
+
+    /// A word of `width` fresh input leaves.
+    pub fn new_input_word(&mut self, width: usize) -> Word {
+        (0..width).map(|_| self.new_input()).collect()
+    }
+
+    /// The literal for a boolean constant.
+    pub fn constant(&self, v: bool) -> Lit {
+        if v {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        }
+    }
+
+    fn intern(&mut self, gate: Gate) -> Lit {
+        if let Some(&idx) = self.dedup.get(&gate) {
+            return Lit::new(idx as usize, false);
+        }
+        self.gates.push(gate);
+        let idx = (self.gates.len() - 1) as u32;
+        self.dedup.insert(gate, idx);
+        Lit::new(idx as usize, false)
+    }
+
+    /// `a ∧ b`, with local simplification: constants, `x∧x = x`,
+    /// `x∧¬x = 0`, operands in canonical order for hash-consing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Gate::And(a, b))
+    }
+
+    /// `a ∨ b` (De Morgan over [`Circuit::and`]).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// `a ⊕ b`, with simplification: constants, `x⊕x = 0`, `x⊕¬x = 1`,
+    /// complements normalized onto the result so `Xor` operands are
+    /// always positive-phase and canonically ordered.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let sign = a.negated() ^ b.negated();
+        let (a, b) = (a.abs(), b.abs());
+        if a == b {
+            return self.constant(sign);
+        }
+        if a == Lit::FALSE {
+            return if sign { b.not() } else { b };
+        }
+        if b == Lit::FALSE {
+            return if sign { a.not() } else { a };
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let l = self.intern(Gate::Xor(a, b));
+        if sign {
+            l.not()
+        } else {
+            l
+        }
+    }
+
+    /// `¬(a ⊕ b)` — equality of two bits.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.xor(a, b).not()
+    }
+
+    /// Three-input AND.
+    pub fn and3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        self.and(ab, c)
+    }
+
+    /// `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        if t == e {
+            return t;
+        }
+        let a = self.and(sel, t);
+        let b = self.and(sel.not(), e);
+        self.or(a, b)
+    }
+
+    // --- word-level helpers -------------------------------------------
+
+    /// A constant word, little-endian.
+    pub fn const_word(&self, value: u64, width: usize) -> Word {
+        (0..width)
+            .map(|b| self.constant(value >> b & 1 == 1))
+            .collect()
+    }
+
+    /// Per-bit mux of two equal-width words.
+    ///
+    /// # Panics
+    /// Panics if the widths differ.
+    pub fn mux_word(&mut self, sel: Lit, t: &[Lit], e: &[Lit]) -> Word {
+        assert_eq!(t.len(), e.len(), "mux over unequal widths");
+        t.iter()
+            .zip(e)
+            .map(|(&ti, &ei)| self.mux(sel, ti, ei))
+            .collect()
+    }
+
+    /// Ripple-carry sum of two words into `max(len)+1` bits (shorter
+    /// operand zero-extended).
+    pub fn add_words(&mut self, a: &[Lit], b: &[Lit]) -> Word {
+        let width = a.len().max(b.len());
+        let mut out = Vec::with_capacity(width + 1);
+        let mut carry = Lit::FALSE;
+        for i in 0..width {
+            let x = a.get(i).copied().unwrap_or(Lit::FALSE);
+            let y = b.get(i).copied().unwrap_or(Lit::FALSE);
+            let (s, c) = self.full_add(x, y, carry);
+            out.push(s);
+            carry = c;
+        }
+        out.push(carry);
+        out
+    }
+
+    /// One full adder: `(sum, carry)` of `a + b + cin`.
+    pub fn full_add(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let ab = self.xor(a, b);
+        let sum = self.xor(ab, cin);
+        let maj1 = self.and(a, b);
+        let maj2 = self.and(cin, ab);
+        (sum, self.or(maj1, maj2))
+    }
+
+    /// Add a single bit into a little-endian counter word in place — the
+    /// gate-level mirror of the bit-sliced carry-save `count_into`; the
+    /// final carry out is dropped exactly like its debug-asserted-zero
+    /// counterpart, so the counter width must cover the maximum count.
+    pub fn count_into(&mut self, counter: &mut [Lit], bit: Lit) {
+        let mut carry = bit;
+        for c in counter.iter_mut() {
+            let t = self.and(*c, carry);
+            *c = self.xor(*c, carry);
+            carry = t;
+        }
+    }
+
+    /// Population count of `bits` into a `width`-bit word.
+    ///
+    /// # Panics
+    /// Panics if `width` cannot hold `bits.len()`.
+    pub fn popcount(&mut self, bits: &[Lit], width: usize) -> Word {
+        assert!(
+            bits.len() < 1usize << width,
+            "popcount width too narrow for the bit count"
+        );
+        let mut counter = vec![Lit::FALSE; width];
+        for &b in bits {
+            self.count_into(&mut counter, b);
+        }
+        counter
+    }
+
+    /// `word × constant` via shift-and-add, exact.
+    pub fn mul_const(&mut self, word: &[Lit], k: u64) -> Word {
+        let mut acc: Word = vec![Lit::FALSE];
+        for shift in 0..64 {
+            if k >> shift & 1 == 1 {
+                let mut shifted = vec![Lit::FALSE; shift as usize];
+                shifted.extend_from_slice(word);
+                acc = self.add_words(&acc, &shifted);
+            }
+        }
+        acc
+    }
+
+    /// Whether two words are equal (shorter word zero-extended).
+    pub fn eq_words(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let width = a.len().max(b.len());
+        let mut eq = Lit::TRUE;
+        for i in 0..width {
+            let x = a.get(i).copied().unwrap_or(Lit::FALSE);
+            let y = b.get(i).copied().unwrap_or(Lit::FALSE);
+            let bit_eq = self.xnor(x, y);
+            eq = self.and(eq, bit_eq);
+        }
+        eq
+    }
+
+    /// Whether `word`, read as an unsigned integer, is strictly below the
+    /// constant `c` — the comparator the mask-and-reject network uses.
+    pub fn lt_const(&mut self, word: &[Lit], c: u64) -> Lit {
+        if c >> word.len() != 0 {
+            return Lit::TRUE;
+        }
+        let mut lt = Lit::FALSE;
+        let mut eq = Lit::TRUE;
+        for i in (0..word.len()).rev() {
+            let b = word[i];
+            if c >> i & 1 == 1 {
+                let gain = self.and(eq, b.not());
+                lt = self.or(lt, gain);
+                eq = self.and(eq, b);
+            } else {
+                eq = self.and(eq, b.not());
+            }
+        }
+        lt
+    }
+
+    /// OR over all bits of a word.
+    pub fn or_all(&mut self, bits: &[Lit]) -> Lit {
+        bits.iter().fold(Lit::FALSE, |acc, &b| self.or(acc, b))
+    }
+
+    /// Exactly one bit of `bits` set (the one-hot indicator).
+    pub fn one_hot(&mut self, bits: &[Lit]) -> Lit {
+        let any = self.or_all(bits);
+        let mut pair = Lit::FALSE;
+        for (i, &a) in bits.iter().enumerate() {
+            for &b in &bits[i + 1..] {
+                let both = self.and(a, b);
+                pair = self.or(pair, both);
+            }
+        }
+        self.and(any, pair.not())
+    }
+
+    /// Select bit `index` (a symbolic word) of the 64-bit constant
+    /// `table` — a mux tree over the index bits, as the landscape
+    /// kernel's lane-plane selection network would synthesize it.
+    ///
+    /// # Panics
+    /// Panics unless `index` is exactly 6 bits.
+    pub fn select_const64(&mut self, table: u64, index: &[Lit]) -> Lit {
+        assert_eq!(index.len(), 6, "a 64-entry table needs a 6-bit index");
+        let mut level: Vec<Lit> = (0..64)
+            .map(|i| self.constant(table >> i & 1 == 1))
+            .collect();
+        for &sel in index {
+            level = level
+                .chunks(2)
+                .map(|pair| self.mux(sel, pair[1], pair[0]))
+                .collect();
+        }
+        level[0]
+    }
+
+    // --- concrete evaluation ------------------------------------------
+
+    /// Evaluate every node under the given input assignment; returns the
+    /// per-node values (index-aligned with [`Circuit::gates`]).
+    ///
+    /// # Panics
+    /// Panics if `inputs` is shorter than [`Circuit::num_inputs`].
+    pub fn eval_nodes(&self, inputs: &[bool]) -> Vec<bool> {
+        assert!(
+            inputs.len() >= self.num_inputs as usize,
+            "missing input values"
+        );
+        let mut values = vec![false; self.gates.len()];
+        let lit = |values: &[bool], l: Lit| values[l.node()] ^ l.negated();
+        for (i, g) in self.gates.iter().enumerate() {
+            values[i] = match *g {
+                Gate::False => false,
+                Gate::Input(k) => inputs[k as usize],
+                Gate::And(a, b) => lit(&values, a) & lit(&values, b),
+                Gate::Xor(a, b) => lit(&values, a) ^ lit(&values, b),
+            };
+        }
+        values
+    }
+
+    /// The value of one literal under a node valuation from
+    /// [`Circuit::eval_nodes`].
+    pub fn lit_value(values: &[bool], l: Lit) -> bool {
+        values[l.node()] ^ l.negated()
+    }
+
+    /// Read a word as an integer under a node valuation.
+    pub fn word_value(values: &[bool], word: &[Lit]) -> u64 {
+        word.iter()
+            .enumerate()
+            .map(|(i, &l)| u64::from(Circuit::lit_value(values, l)) << i)
+            .sum()
+    }
+}
+
+/// The core gate-level fitness spec instantiates straight into the IR, so
+/// the miter between the behavioural reference and the RTL circuits is a
+/// statement about two *independently derived* networks.
+impl discipulus::gates::BoolAlg for Circuit {
+    type Bit = Lit;
+
+    fn constant(&mut self, v: bool) -> Lit {
+        Circuit::constant(self, v)
+    }
+
+    fn not(&mut self, a: Lit) -> Lit {
+        a.not()
+    }
+
+    fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        Circuit::and(self, a, b)
+    }
+
+    fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        Circuit::xor(self, a, b)
+    }
+}
+
+/// One named port (an input or output of a [`SeqCircuit`]).
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Port name, unique within its direction.
+    pub name: String,
+    /// The port's bits, little-endian.
+    pub bits: Word,
+}
+
+/// One register bank of a [`SeqCircuit`].
+#[derive(Debug, Clone)]
+pub struct Register {
+    /// Register name (matches the netlist net where one exists).
+    pub name: String,
+    /// Current-state literals — always plain input leaves.
+    pub current: Word,
+    /// Next-state expressions, bit-aligned with `current`.
+    pub next: Word,
+    /// Power-on value, bit-aligned with `current`.
+    pub init: Vec<bool>,
+}
+
+/// A unit's complete gate-level semantics: free inputs, registers with
+/// next-state functions, and named outputs, all over one [`Circuit`].
+/// A purely combinational unit simply has no registers.
+#[derive(Debug, Clone)]
+pub struct SeqCircuit {
+    /// Unit name (matches [`crate::netlist::StaticNetlist::unit`]).
+    pub unit: String,
+    /// The expression DAG.
+    pub circuit: Circuit,
+    /// Free inputs, in declaration order.
+    pub inputs: Vec<Port>,
+    /// Registers, in declaration order.
+    pub regs: Vec<Register>,
+    /// Named outputs.
+    pub outputs: Vec<Port>,
+}
+
+impl SeqCircuit {
+    /// An empty semantics under construction.
+    pub fn new(unit: impl Into<String>) -> SeqCircuit {
+        SeqCircuit {
+            unit: unit.into(),
+            circuit: Circuit::new(),
+            inputs: Vec::new(),
+            regs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Declare a free input word.
+    pub fn input(&mut self, name: &str, width: usize) -> Word {
+        let bits = self.circuit.new_input_word(width);
+        self.inputs.push(Port {
+            name: name.to_string(),
+            bits: bits.clone(),
+        });
+        bits
+    }
+
+    /// Declare a register bank with a power-on value; returns the
+    /// current-state word. The next-state function must be supplied later
+    /// with [`SeqCircuit::set_next`].
+    pub fn register(&mut self, name: &str, init: &[bool]) -> Word {
+        let current = self.circuit.new_input_word(init.len());
+        self.regs.push(Register {
+            name: name.to_string(),
+            current: current.clone(),
+            next: Vec::new(),
+            init: init.to_vec(),
+        });
+        current
+    }
+
+    /// Supply the next-state function of a declared register.
+    ///
+    /// # Panics
+    /// Panics if the register is unknown or the width differs.
+    pub fn set_next(&mut self, name: &str, next: Word) {
+        let reg = self
+            .regs
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("unknown register `{name}`"));
+        assert_eq!(reg.current.len(), next.len(), "next-state width mismatch");
+        reg.next = next;
+    }
+
+    /// Declare a named output.
+    pub fn output(&mut self, name: &str, bits: Word) {
+        self.outputs.push(Port {
+            name: name.to_string(),
+            bits,
+        });
+    }
+
+    /// Look up an output word by name.
+    pub fn find_output(&self, name: &str) -> Option<&Word> {
+        self.outputs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| &p.bits)
+    }
+
+    /// Look up an input port by name.
+    pub fn find_input(&self, name: &str) -> Option<&Word> {
+        self.inputs.iter().find(|p| p.name == name).map(|p| &p.bits)
+    }
+
+    /// Every register has a complete next-state function (the builder
+    /// invariant the analysis instantiation relies on).
+    pub fn validate(&self) -> Result<(), String> {
+        for r in &self.regs {
+            if r.next.len() != r.current.len() {
+                return Err(format!(
+                    "register `{}` of `{}`: next-state incomplete ({} of {} bits)",
+                    r.name,
+                    self.unit,
+                    r.next.len(),
+                    r.current.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The power-on state, register-concatenated in declaration order.
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.regs
+            .iter()
+            .flat_map(|r| r.init.iter().copied())
+            .collect()
+    }
+
+    /// Concretely evaluate one clock cycle: given the current state
+    /// (concatenated like [`SeqCircuit::initial_state`]) and named input
+    /// values, return the next state and all output values. This is the
+    /// bridge the unit tests use to pin each semantic model against its
+    /// simulation twin, cycle by cycle.
+    ///
+    /// # Panics
+    /// Panics on width mismatches or an unknown input name.
+    pub fn eval_step(
+        &self,
+        state: &[bool],
+        inputs: &[(&str, u64)],
+    ) -> (Vec<bool>, Vec<(String, u64)>) {
+        let mut leaf = vec![false; self.circuit.num_inputs() as usize];
+        let mut cursor = 0;
+        for r in &self.regs {
+            for (i, l) in r.current.iter().enumerate() {
+                leaf[Self::leaf_index(*l)] = state[cursor + i];
+            }
+            cursor += r.current.len();
+        }
+        assert_eq!(cursor, state.len(), "state width mismatch");
+        for (name, value) in inputs {
+            let port = self
+                .find_input(name)
+                .unwrap_or_else(|| panic!("unknown input `{name}`"));
+            for (i, l) in port.iter().enumerate() {
+                leaf[Self::leaf_index(*l)] = value >> i & 1 == 1;
+            }
+        }
+        let values = self.circuit.eval_nodes(&leaf);
+        let next = self
+            .regs
+            .iter()
+            .flat_map(|r| r.next.iter().map(|&l| Circuit::lit_value(&values, l)))
+            .collect();
+        let outs = self
+            .outputs
+            .iter()
+            .map(|p| (p.name.clone(), Circuit::word_value(&values, &p.bits)))
+            .collect();
+        (next, outs)
+    }
+
+    fn leaf_index(l: Lit) -> usize {
+        debug_assert!(!l.negated(), "port literals are positive-phase leaves");
+        l.node() - 1 // node 0 is the constant; inputs follow in order
+    }
+}
+
+/// An RTL unit that can state its gate-level meaning, not just its
+/// structure. The contract mirrors [`crate::netlist::Describe`]: the
+/// returned circuit must depend only on construction-time configuration
+/// (widths, modes, rule constants), never on simulation state — except
+/// for register power-on values, which capture the construction-time
+/// state exactly like the hardware's configuration bitstream would.
+pub trait Semantics {
+    /// The unit's semantics as a sequential circuit.
+    fn semantics(&self) -> SeqCircuit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_and_idempotence() {
+        let mut c = Circuit::new();
+        let a = c.new_input();
+        assert_eq!(c.and(a, Lit::TRUE), a);
+        assert_eq!(c.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(c.and(a, a), a);
+        assert_eq!(c.and(a, a.not()), Lit::FALSE);
+        assert_eq!(c.xor(a, a), Lit::FALSE);
+        assert_eq!(c.xor(a, a.not()), Lit::TRUE);
+        assert_eq!(c.xor(a, Lit::FALSE), a);
+        assert_eq!(c.xor(a, Lit::TRUE), a.not());
+        // nothing above created a gate
+        assert_eq!(c.len(), 2); // constant + the input
+    }
+
+    #[test]
+    fn hash_consing_reuses_nodes() {
+        let mut c = Circuit::new();
+        let a = c.new_input();
+        let b = c.new_input();
+        let x = c.and(a, b);
+        let y = c.and(b, a);
+        assert_eq!(x, y, "commuted AND must dedup");
+        let p = c.xor(a.not(), b);
+        let q = c.xor(a, b.not());
+        assert_eq!(p, q, "XOR complement normalization must dedup");
+    }
+
+    #[test]
+    fn adder_matches_integer_addition() {
+        let mut c = Circuit::new();
+        let a = c.new_input_word(5);
+        let b = c.new_input_word(5);
+        let sum = c.add_words(&a, &b);
+        for x in 0..32u64 {
+            for y in 0..32u64 {
+                let mut inputs = Vec::new();
+                inputs.extend((0..5).map(|i| x >> i & 1 == 1));
+                inputs.extend((0..5).map(|i| y >> i & 1 == 1));
+                let values = c.eval_nodes(&inputs);
+                assert_eq!(Circuit::word_value(&values, &sum), x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_and_lt_const() {
+        let mut c = Circuit::new();
+        let w = c.new_input_word(6);
+        let pc = c.popcount(&w, 3);
+        let lt = c.lt_const(&w, 27);
+        for v in 0..64u64 {
+            let inputs: Vec<bool> = (0..6).map(|i| v >> i & 1 == 1).collect();
+            let values = c.eval_nodes(&inputs);
+            assert_eq!(Circuit::word_value(&values, &pc), u64::from(v.count_ones()));
+            assert_eq!(Circuit::lit_value(&values, lt), v < 27);
+        }
+    }
+
+    #[test]
+    fn mul_const_exact() {
+        let mut c = Circuit::new();
+        let w = c.new_input_word(4);
+        let p = c.mul_const(&w, 13);
+        for v in 0..16u64 {
+            let inputs: Vec<bool> = (0..4).map(|i| v >> i & 1 == 1).collect();
+            let values = c.eval_nodes(&inputs);
+            assert_eq!(Circuit::word_value(&values, &p), v * 13);
+        }
+    }
+
+    #[test]
+    fn one_hot_detector() {
+        let mut c = Circuit::new();
+        let w = c.new_input_word(8);
+        let oh = c.one_hot(&w);
+        for v in [0u64, 1, 2, 128, 3, 0x81, 255, 64] {
+            let inputs: Vec<bool> = (0..8).map(|i| v >> i & 1 == 1).collect();
+            let values = c.eval_nodes(&inputs);
+            assert_eq!(
+                Circuit::lit_value(&values, oh),
+                v.count_ones() == 1,
+                "value {v:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn select_const64_reads_the_table() {
+        let mut c = Circuit::new();
+        let idx = c.new_input_word(6);
+        let table = 0xDEAD_BEEF_1234_5678u64;
+        let bit = c.select_const64(table, &idx);
+        for i in 0..64u64 {
+            let inputs: Vec<bool> = (0..6).map(|b| i >> b & 1 == 1).collect();
+            let values = c.eval_nodes(&inputs);
+            assert_eq!(Circuit::lit_value(&values, bit), table >> i & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn seq_circuit_step_eval() {
+        // a 3-bit counter with synchronous reset
+        let mut sc = SeqCircuit::new("ctr");
+        let reset = sc.input("reset", 1);
+        let count = sc.register("count", &[false, false, false]);
+        let one = sc.circuit.const_word(1, 1);
+        let inc = sc.circuit.add_words(&count, &one);
+        let zero = sc.circuit.const_word(0, 3);
+        let next = sc.circuit.mux_word(reset[0], &zero, &inc[..3]);
+        sc.set_next("count", next);
+        sc.output("value", count.clone());
+        sc.validate().unwrap();
+
+        let mut state = sc.initial_state();
+        for expect in [0u64, 1, 2, 3, 4, 5, 6, 7, 0, 1] {
+            let (next, outs) = sc.eval_step(&state, &[("reset", 0)]);
+            assert_eq!(outs[0], ("value".to_string(), expect));
+            state = next;
+        }
+        let (after_reset, _) = sc.eval_step(&state, &[("reset", 1)]);
+        assert_eq!(after_reset, vec![false, false, false]);
+    }
+}
