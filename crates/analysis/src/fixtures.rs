@@ -5,6 +5,7 @@
 use discipulus::fitness::{FitnessSpec, Rule};
 use discipulus::genome::{Genome, LegGene, LegId, StepId};
 use leonardo_landscape::{Shard, ShardPlan};
+use leonardo_rtl::bitslice::PlaneWidth;
 use leonardo_rtl::control::GapControlFsm;
 use leonardo_rtl::fitness_rtl::FitnessUnit;
 use leonardo_rtl::netlist::{DesignNetlist, StaticNetlist};
@@ -98,6 +99,45 @@ pub fn broken_shard_plan() -> ShardPlan {
 /// can tell, and it must return a concrete counterexample genome.
 pub fn bad_fitness_unit() -> FitnessUnit {
     FitnessUnit::new(FitnessSpec::without(Rule::Equilibrium))
+}
+
+/// A "miscompiled" plane width: the 128-lane batch GAP with one
+/// population bit silently flipped mid-schedule — bit-for-bit what a
+/// broken wide-kernel port looks like. The engine still lints clean and
+/// steps without complaint; only the registry probe's comparison against
+/// the scalar engine can tell, and it must name a diverging lane.
+pub fn broken_plane_width() -> PlaneWidth {
+    PlaneWidth {
+        name: "w128",
+        lanes: 128,
+        words: 2,
+        probe: broken_plane_probe,
+    }
+}
+
+/// The broken "kernel": the real 128-lane engine run on the registry
+/// probe's schedule, with a single stray population-bit flip in every
+/// lane between the two generations.
+fn broken_plane_probe() -> Result<(), String> {
+    use leonardo_rtl::bitslice::{GapRtlXW, GapRtlXWConfig, Plane, W128};
+    use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
+
+    let seeds: Vec<u32> = (0..128u32).map(|i| 0x5EED ^ (i << 8)).collect();
+    let mut gap = GapRtlXW::<W128>::new(GapRtlXWConfig::paper(), &seeds);
+    gap.step_generation();
+    gap.inject_upset(17, W128::ONES); // the defect: a stray bit flip
+    gap.step_generation();
+    for l in [0usize, 64, 127] {
+        let mut scalar = GapRtl::new(GapRtlConfig::paper(seeds[l]));
+        scalar.step_generation();
+        scalar.step_generation();
+        if gap.population(l) != scalar.population() {
+            return Err(format!(
+                "w128: GapRtlXW lane {l} population diverges from the scalar GAP"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// A control FSM whose `mut_we` strobe also decodes the crossover-commit

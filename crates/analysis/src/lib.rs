@@ -25,6 +25,10 @@
 //!   k-induction safety invariants and bounded-reachability
 //!   cross-checks (see the "Symbolic verification" section of
 //!   `ANALYSIS.md`);
+//! * [`plane_check`] validates the bit-slice plane-width registry
+//!   (`leonardo_rtl::bitslice::plane_registry`): shape sanity, every
+//!   width's scalar-equivalence probe, and lane-equivalence-suite
+//!   coverage — a plane width can neither ship broken nor untested;
 //! * [`fixtures`] holds deliberately broken designs, one per defect
 //!   class, so the gate itself is testable.
 //!
@@ -40,6 +44,7 @@ pub mod finding;
 pub mod fixtures;
 pub mod genome_check;
 pub mod lint;
+pub mod plane_check;
 pub mod shard_check;
 pub mod solver;
 pub mod symbolic;
@@ -48,5 +53,6 @@ pub use fault_nodes::check_injectable_nodes;
 pub use finding::{has_errors, sort_findings, Finding, Severity};
 pub use genome_check::{check_genome, check_population_path, well_formed, StaticGait};
 pub use lint::{lint_design, lint_unit, packed_clbs};
+pub use plane_check::check_plane_registry;
 pub use shard_check::check_shard_plan;
 pub use symbolic::{check_symbolic, SymbolicReport};

@@ -9,7 +9,7 @@
 //!                                  combinational-loop | width-mismatch |
 //!                                  clb-overflow | trap-genome |
 //!                                  broken-shard-plan | bad-fitness-unit |
-//!                                  two-writer-ram
+//!                                  two-writer-ram | broken-plane-kernel
 //! ```
 //!
 //! With `--json`, stdout carries exactly one JSON object per finding
@@ -27,8 +27,8 @@
 
 use analysis::finding::{has_errors, Finding};
 use analysis::{
-    check_genome, check_injectable_nodes, check_population_path, check_shard_plan, fixtures, lint,
-    symbolic,
+    check_genome, check_injectable_nodes, check_plane_registry, check_population_path,
+    check_shard_plan, fixtures, lint, symbolic,
 };
 use discipulus::genome::Genome;
 use discipulus::params::GapParams;
@@ -103,6 +103,22 @@ fn run_check(seed: u32, json: bool) -> ExitCode {
         say(&format!("   {}: check_injectable_nodes", n.unit));
         findings.extend(check_injectable_nodes(&n, 1, &params));
     }
+    // every registered bit-slice plane width: shape sanity, the per-width
+    // scalar-equivalence probe, lane-equivalence-suite coverage
+    say("== plane-width registry: shape, probes, suite coverage ==");
+    let registry = leonardo_rtl::bitslice::plane_registry();
+    for w in registry {
+        say(&format!(
+            "   {}: {} lanes ({} limb(s)): probe",
+            w.name, w.lanes, w.words
+        ));
+    }
+    let suite = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/bitslice_equivalence.rs"
+    ))
+    .ok();
+    findings.extend(check_plane_registry(registry, suite.as_deref()));
     // the exhaustive sweep's partition arithmetic, at every shard count
     // the drivers use (CI smoke, defaults, full run) plus awkward odd ones
     say("== landscape shard plans ==");
@@ -143,6 +159,9 @@ fn run_fixture(name: &str, json: bool) -> ExitCode {
         "broken-shard-plan" => check_shard_plan(&fixtures::broken_shard_plan()),
         "bad-fitness-unit" => symbolic::miter_fitness_unit(&fixtures::bad_fitness_unit()).findings,
         "two-writer-ram" => symbolic::check_control_invariant(&fixtures::two_writer_ram()).findings,
+        "broken-plane-kernel" => {
+            check_plane_registry(&[fixtures::broken_plane_width()], Some("w128"))
+        }
         _ => return usage(&format!("unknown fixture `{name}`")),
     };
     report(findings, json)

@@ -1,0 +1,145 @@
+//! Plane-width registry checks.
+//!
+//! The bit-slice layer ships a registry of plane widths
+//! ([`leonardo_rtl::bitslice::plane_registry`]); every entry carries a
+//! probe that pins that width's kernels to the scalar engine. This
+//! checker is the gate side of the contract: it validates the registry's
+//! shape, runs every probe, and verifies the lane-equivalence suite in
+//! `tests/` actually instantiates every registered width — so a width
+//! can neither ship broken nor ship untested.
+
+use crate::finding::Finding;
+use leonardo_rtl::bitslice::PlaneWidth;
+
+/// Check name under which registry-shape defects are reported.
+const SHAPE: &str = "plane-registry-shape";
+/// Check name under which probe failures are reported.
+const PROBE: &str = "plane-probe";
+/// Check name under which suite-coverage holes are reported.
+const COVERAGE: &str = "plane-suite-coverage";
+
+/// Validate a plane-width registry: shape sanity, then every width's
+/// scalar-equivalence probe, then (when the suite source is available)
+/// that the lane-equivalence suite names every registered width.
+///
+/// `suite` is the text of `tests/bitslice_equivalence.rs` when the gate
+/// runs inside the repository; `None` (an installed binary, a stripped
+/// tarball) downgrades the coverage check to a warning.
+pub fn check_plane_registry(registry: &[PlaneWidth], suite: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if registry.is_empty() {
+        findings.push(Finding::error(
+            SHAPE,
+            "plane_registry",
+            "the plane-width registry is empty".to_string(),
+        ));
+        return findings;
+    }
+
+    let mut prev_lanes = 0usize;
+    for w in registry {
+        let ctx = format!("plane:{}", w.name);
+        if w.lanes != 64 * w.words {
+            findings.push(Finding::error(
+                SHAPE,
+                ctx.clone(),
+                format!(
+                    "{} lanes != 64 x {} limbs — a plane word must be whole u64 limbs",
+                    w.lanes, w.words
+                ),
+            ));
+        }
+        if w.lanes <= prev_lanes {
+            findings.push(Finding::error(
+                SHAPE,
+                ctx.clone(),
+                format!(
+                    "registry not strictly ascending by lane count ({} after {prev_lanes})",
+                    w.lanes
+                ),
+            ));
+        }
+        prev_lanes = w.lanes;
+
+        match (w.probe)() {
+            Ok(()) => {}
+            Err(msg) => findings.push(Finding::error(
+                PROBE,
+                ctx.clone(),
+                format!("width fails its scalar-equivalence probe: {msg}"),
+            )),
+        }
+
+        match suite {
+            Some(text) if !text.contains(w.name) => findings.push(Finding::error(
+                COVERAGE,
+                ctx,
+                format!(
+                    "registered width `{}` never appears in the lane-equivalence suite",
+                    w.name
+                ),
+            )),
+            Some(_) => {}
+            None => findings.push(Finding::warning(
+                COVERAGE,
+                ctx,
+                "lane-equivalence suite source unavailable; coverage not checked".to_string(),
+            )),
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leonardo_rtl::bitslice::plane_registry;
+
+    #[test]
+    fn shipped_registry_passes_probes() {
+        let findings = check_plane_registry(plane_registry(), Some("u64 w128 w256 w512"));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_suite_entry_is_an_error() {
+        let findings = check_plane_registry(plane_registry(), Some("u64 w128 w512"));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].check, COVERAGE);
+        assert!(findings[0].context.contains("w256"));
+    }
+
+    #[test]
+    fn unavailable_suite_is_only_a_warning() {
+        let findings = check_plane_registry(plane_registry(), None);
+        assert_eq!(findings.len(), plane_registry().len());
+        assert!(findings
+            .iter()
+            .all(|f| f.severity == crate::Severity::Warning));
+    }
+
+    #[test]
+    fn shape_defects_are_caught() {
+        let good = plane_registry()[0];
+        let bad = PlaneWidth {
+            name: "w96",
+            lanes: 96,
+            words: 2,
+            probe: || Ok(()),
+        };
+        let findings = check_plane_registry(&[good, bad, good], Some("u64 w96"));
+        assert!(findings.iter().any(|f| f.check == SHAPE
+            && f.context == "plane:w96"
+            && f.message.contains("whole u64 limbs")));
+        assert!(findings
+            .iter()
+            .any(|f| f.check == SHAPE && f.message.contains("ascending")));
+    }
+
+    #[test]
+    fn empty_registry_is_an_error() {
+        let findings = check_plane_registry(&[], Some(""));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].check, SHAPE);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion bench: the width-generic batch engines across plane widths —
+//! per-generation GA throughput and raw plane-kernel throughput at 64,
+//! 128, 256 and 512 lanes, normalized per lane by dividing reported time
+//! by the lane count mentally (the ids carry the width).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use discipulus::fitness::FitnessSpec;
+use leonardo_landscape::BlockKernelW;
+use leonardo_rtl::bitslice::{GapRtlXW, GapRtlXWConfig, Plane, W128, W256, W512};
+use std::hint::black_box;
+
+fn seeds(n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| 0x1000 + 7 * i).collect()
+}
+
+fn bench_generation_at<P: Plane>(c: &mut Criterion) {
+    c.bench_function(&format!("rtl_{}_batch_generation", P::NAME), |b| {
+        let mut gap = GapRtlXW::<P>::new(GapRtlXWConfig::paper(), &seeds(P::LANES));
+        b.iter(|| {
+            gap.step_generation();
+            black_box(gap.cycles(0))
+        });
+    });
+}
+
+fn bench_batch_generation_widths(c: &mut Criterion) {
+    bench_generation_at::<u64>(c);
+    bench_generation_at::<W128>(c);
+    bench_generation_at::<W256>(c);
+    bench_generation_at::<W512>(c);
+}
+
+fn bench_landscape_block_at<P: Plane>(c: &mut Criterion) {
+    c.bench_function(&format!("landscape_{}_block", P::NAME), |b| {
+        let mut kernel = BlockKernelW::<P>::new(FitnessSpec::paper());
+        let mut block = 0u64;
+        b.iter(|| {
+            // sequential blocks: the incremental plane-diff fast path,
+            // exactly what the exhaustive sweep runs
+            let planes = kernel.score_block(block % BlockKernelW::<P>::BLOCKS);
+            block += 1;
+            black_box(planes[0])
+        });
+    });
+}
+
+fn bench_landscape_block_widths(c: &mut Criterion) {
+    bench_landscape_block_at::<u64>(c);
+    bench_landscape_block_at::<W128>(c);
+    bench_landscape_block_at::<W256>(c);
+    bench_landscape_block_at::<W512>(c);
+}
+
+criterion_group!(
+    benches,
+    bench_batch_generation_widths,
+    bench_landscape_block_widths
+);
+criterion_main!(benches);

@@ -13,7 +13,11 @@
 //! asserts the two reports agree bit-for-bit, so the matrix doubles as a
 //! whole-run cross-engine equivalence check under fault injection.
 //!
-//! Usage: `e14_fault_matrix [--trials N] [--max-gens G]`
+//! Cells are independent campaigns, so the matrix fans out over the
+//! work-stealing executor; reports come back in cell order, making the
+//! printed table and the manifest rows identical for any `--threads`.
+//!
+//! Usage: `e14_fault_matrix [--trials N] [--max-gens G] [--threads T]`
 
 use leonardo_bench::harness::{arg_or, trial_seeds};
 use leonardo_bench::ExperimentSession;
@@ -25,12 +29,14 @@ const DWELL_WINDOW: u64 = 32;
 fn main() {
     let trials: usize = arg_or("--trials", 8).min(64);
     let max_gens: u64 = arg_or("--max-gens", 30_000);
+    let threads: usize = arg_or("--threads", 0);
     let seeds = trial_seeds(trials);
 
     let mut session = ExperimentSession::begin("e14_fault_matrix");
     session.set_param("trials", trials as f64);
     session.set_param("max_generations", max_gens as f64);
     session.set_param("dwell_window", DWELL_WINDOW as f64);
+    session.set_threads(threads);
     session.set_seeds(&seeds);
 
     println!("E14: recovery matrix over fault model × rate × engine\n");
@@ -40,14 +46,35 @@ fn main() {
     );
     println!("{:-<84}", "");
 
-    for model in FaultModel::ALL {
-        for rate in RATES {
+    // one cell = one (model, rate) campaign on both engines; the executor
+    // hands reports back in cell order, so everything downstream — the
+    // table, the oracle panics, the manifest rows — is thread-count-blind
+    let cells: Vec<(FaultModel, f64)> = FaultModel::ALL
+        .into_iter()
+        .flat_map(|m| RATES.map(|r| (m, r)))
+        .collect();
+    let reports = leonardo_exec::ordered_map(
+        if threads == 0 {
+            leonardo_exec::available_threads()
+        } else {
+            threads
+        },
+        cells,
+        |_, (model, rate)| {
             let campaign = Campaign::new(model, rate)
                 .with_max_generations(max_gens)
                 .with_dwell_window(DWELL_WINDOW);
-            let x64 = campaign.run_x64(&seeds);
-            let scalar = campaign.run_scalar(&seeds);
+            (
+                model,
+                rate,
+                campaign.run_x64(&seeds),
+                campaign.run_scalar(&seeds),
+            )
+        },
+    );
 
+    for (model, rate, x64, scalar) in reports {
+        {
             x64.verify()
                 .unwrap_or_else(|e| panic!("{model} @ {rate} x64 oracle: {e}"));
             scalar

@@ -1,21 +1,34 @@
-//! Machine-readable throughput report for the bit-sliced batch engine.
+//! Machine-readable throughput report for the bit-sliced batch engines.
 //!
-//! Runs the same multi-seed RTL convergence sample twice — once on scalar
-//! `GapRtl` trials spread over all cores, once on the 64-lane `GapRtlX64`
-//! batch engine with lane refilling, same thread count — asserts the
-//! per-seed results are bit-identical, and writes the measured simulated-
-//! cycle throughput of both sides as JSON.
+//! Runs the same multi-seed RTL convergence sample across the full
+//! **plane-width × thread-count matrix** — scalar `GapRtl` as the
+//! reference, then the width-generic batch engine at 64/128/256/512
+//! lanes under every thread count in the sweep — asserts every cell's
+//! per-seed results are bit-identical to the scalar reference, and
+//! writes the measured simulated-cycle throughput of every cell as JSON
+//! (`cycles_per_sec` and `cycles_per_sec_per_core`).
+//!
+//! The GA engine interleaves plane arithmetic with per-lane work (draw
+//! extraction, score gathers), so the report also times the *pure*
+//! plane kernel — the landscape block scorer, which is bit-slice
+//! arithmetic end to end — at every width. That row is where wider
+//! planes show their raw autovectorized speedup.
 //!
 //! Alongside the JSON it writes a versioned run manifest
-//! (`<out>.manifest.json`) recording trials, seeds, git revision and
-//! wall/cycle totals, so perf trajectories across commits stay
-//! reproducible. No telemetry sink is installed during the timed
-//! region — the report measures the engines, not the instrumentation.
+//! (`<out>.manifest.json`, schema v4 with `host_cores`/`plane_width`/
+//! `threads`) so perf trajectories across commits stay reproducible. No
+//! telemetry sink is installed during the timed region — the report
+//! measures the engines, not the instrumentation.
 //!
 //! Usage: `perf_report [--trials N] [--max-gens G] [--reps R] [--out FILE]`
 
-use leonardo_bench::harness::{arg_or, rtl_convergence_batch, rtl_convergence_scalar, trial_seeds};
-use leonardo_telemetry::RunManifest;
+use discipulus::fitness::FitnessSpec;
+use leonardo_bench::harness::{
+    arg_or, engine_label, rtl_convergence_batch_w, rtl_convergence_scalar, trial_seeds, RtlTrial,
+};
+use leonardo_landscape::BlockKernelW;
+use leonardo_rtl::bitslice::{Plane, W128, W256, W512};
+use leonardo_telemetry::{host_cores, RunManifest};
 use std::time::Instant;
 
 /// Wall-time the fastest of `reps` runs of `f` (best-of-N absorbs cold
@@ -32,40 +45,205 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, last.expect("reps >= 1"))
 }
 
+/// One measured cell of the width × threads matrix.
+struct Cell {
+    engine: &'static str,
+    plane_width: usize,
+    threads: usize,
+    wall_seconds: f64,
+    cycles_per_sec: f64,
+    per_core: f64,
+}
+
+impl Cell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{ \"engine\": \"{}\", \"plane_width\": {}, \"threads\": {}, \
+             \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.0}, \
+             \"cycles_per_sec_per_core\": {:.0} }}",
+            self.engine,
+            self.plane_width,
+            self.threads,
+            self.wall_seconds,
+            self.cycles_per_sec,
+            self.per_core
+        )
+    }
+}
+
+/// Shared context for the width × threads sweep: the workload, the thread
+/// sweep, and the scalar reference every cell must reproduce bit-for-bit.
+struct SweepCtx<'a> {
+    seeds: &'a [u32],
+    max_gens: u64,
+    reps: usize,
+    thread_sweep: &'a [usize],
+    cores: usize,
+    cycles: u64,
+    reference: &'a [RtlTrial],
+}
+
+/// Measure one plane width across the thread sweep, asserting every cell
+/// reproduces the scalar reference bit-for-bit.
+fn measure_width<P: Plane>(ctx: &SweepCtx<'_>, matrix: &mut Vec<Cell>) {
+    for &threads in ctx.thread_sweep {
+        let (wall, got) = best_of(ctx.reps, || {
+            rtl_convergence_batch_w::<P>(ctx.seeds, ctx.max_gens, threads)
+        });
+        assert_eq!(
+            got,
+            ctx.reference,
+            "{} @ {threads} threads diverged from scalar per-seed results",
+            engine_label::<P>()
+        );
+        let rate = ctx.cycles as f64 / wall;
+        matrix.push(Cell {
+            engine: engine_label::<P>(),
+            plane_width: P::LANES,
+            threads,
+            wall_seconds: wall,
+            cycles_per_sec: rate,
+            per_core: rate / threads.min(ctx.cores) as f64,
+        });
+        eprintln!(
+            "  {:>8} x{threads:<2} {wall:>9.3}s  {:>6.3}G cycles/s",
+            engine_label::<P>(),
+            rate / 1e9
+        );
+    }
+}
+
+/// Genomes scored per second by the pure plane kernel (the landscape
+/// block scorer) at one width, over the same genome count per width.
+/// `black_box` on the block index and the accumulated popcounts keeps
+/// the compiler from folding the sweep away.
+fn measure_kernel<P: Plane>(reps: usize, genomes: u64) -> (f64, f64) {
+    use std::hint::black_box;
+    let blocks = genomes / P::LANES as u64;
+    let (wall, _) = best_of(reps, || {
+        let mut kernel = BlockKernelW::<P>::new(FitnessSpec::paper());
+        let mut acc = 0u64;
+        for b in 0..blocks {
+            let planes = kernel.score_block(black_box(b));
+            for p in &planes {
+                acc = acc.wrapping_add(u64::from(p.count_ones()));
+            }
+        }
+        black_box(acc)
+    });
+    (wall, (blocks * P::LANES as u64) as f64 / wall)
+}
+
 fn main() {
     let trials: usize = arg_or("--trials", 1024);
     let max_gens: u64 = arg_or("--max-gens", 30_000);
     let reps: usize = arg_or("--reps", 3);
-    let out: String = arg_or("--out", "BENCH_PR2.json".to_string());
+    let out: String = arg_or("--out", "BENCH_PR7.json".to_string());
     let seeds = trial_seeds(trials);
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let cores = host_cores() as usize;
 
-    eprintln!("perf_report: {trials} trials x {reps} reps, {threads} threads each side");
+    // 1, 2, 4, … up to (and always including) the core count
+    let mut thread_sweep: Vec<usize> = std::iter::successors(Some(1usize), |&t| Some(t * 2))
+        .take_while(|&t| t < cores)
+        .collect();
+    thread_sweep.push(cores);
 
-    let (scalar_wall, scalar) = best_of(reps, || rtl_convergence_scalar(&seeds, max_gens));
-    let (sliced_wall, sliced) = best_of(reps, || rtl_convergence_batch(&seeds, max_gens));
-    assert_eq!(
-        scalar, sliced,
-        "batch engine diverged from scalar per-seed results"
+    eprintln!(
+        "perf_report: {trials} trials x {reps} reps, {cores} cores, threads {thread_sweep:?}"
     );
 
+    let (scalar_wall, scalar) = best_of(reps, || rtl_convergence_scalar(&seeds, max_gens));
     let cycles: u64 = scalar.iter().map(|t| t.cycles).sum();
     let scalar_rate = cycles as f64 / scalar_wall;
-    let sliced_rate = cycles as f64 / sliced_wall;
-    let speedup = sliced_rate / scalar_rate;
     let converged = scalar.iter().filter(|t| t.converged).count();
+    eprintln!(
+        "  scalar ref {scalar_wall:>9.3}s  {:>6.3}G cycles/s",
+        scalar_rate / 1e9
+    );
 
+    let ctx = SweepCtx {
+        seeds: &seeds,
+        max_gens,
+        reps,
+        thread_sweep: &thread_sweep,
+        cores,
+        cycles,
+        reference: &scalar,
+    };
+    let mut matrix = Vec::new();
+    measure_width::<u64>(&ctx, &mut matrix);
+    measure_width::<W128>(&ctx, &mut matrix);
+    measure_width::<W256>(&ctx, &mut matrix);
+    measure_width::<W512>(&ctx, &mut matrix);
+
+    let best = matrix
+        .iter()
+        .max_by(|a, b| a.cycles_per_sec.total_cmp(&b.cycles_per_sec))
+        .expect("matrix is non-empty");
+    let u64_t1 = matrix
+        .iter()
+        .find(|c| c.plane_width == 64 && c.threads == 1)
+        .expect("u64 single-thread cell always measured");
+
+    // pure plane-kernel sweep: same genome count per width so walls compare
+    let kernel_genomes: u64 = 1 << 26;
+    eprintln!("plane kernel ({kernel_genomes} genomes each):");
+    let kernel_rows: Vec<(usize, f64, f64)> = {
+        let mut rows = Vec::new();
+        let (w, r) = measure_kernel::<u64>(reps, kernel_genomes);
+        rows.push((64, w, r));
+        let (w, r) = measure_kernel::<W128>(reps, kernel_genomes);
+        rows.push((128, w, r));
+        let (w, r) = measure_kernel::<W256>(reps, kernel_genomes);
+        rows.push((256, w, r));
+        let (w, r) = measure_kernel::<W512>(reps, kernel_genomes);
+        rows.push((512, w, r));
+        for &(lanes, wall, rate) in &rows {
+            eprintln!("  w{lanes:<4} {wall:>9.3}s  {:>7.1}M genomes/s", rate / 1e6);
+        }
+        rows
+    };
+    let kernel_u64 = kernel_rows[0].2;
+    let kernel_best = kernel_rows
+        .iter()
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("kernel rows non-empty");
+
+    let matrix_json = matrix
+        .iter()
+        .map(|c| format!("    {}", c.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let kernel_json = kernel_rows
+        .iter()
+        .map(|(lanes, wall, rate)| {
+            format!(
+                "    {{ \"plane_width\": {lanes}, \"wall_seconds\": {wall:.6}, \
+                 \"genomes_per_sec\": {rate:.0}, \"speedup_vs_u64\": {:.3} }}",
+                rate / kernel_u64
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"multi_seed_rtl_convergence_sampling\",\n  \
+        "{{\n  \"bench\": \"rtl_width_threads_matrix\",\n  \
          \"trials\": {trials},\n  \"converged\": {converged},\n  \
          \"max_generations\": {max_gens},\n  \"reps\": {reps},\n  \
-         \"lanes\": 64,\n  \"threads\": {threads},\n  \"host_cores\": {threads},\n  \
-         \"simulated_cycles\": {cycles},\n  \
+         \"host_cores\": {cores},\n  \"simulated_cycles\": {cycles},\n  \
          \"scalar\": {{ \"wall_seconds\": {scalar_wall:.6}, \"cycles_per_sec\": {scalar_rate:.0} }},\n  \
-         \"sliced\": {{ \"wall_seconds\": {sliced_wall:.6}, \"cycles_per_sec\": {sliced_rate:.0} }},\n  \
-         \"speedup\": {speedup:.3}\n}}\n"
+         \"matrix\": [\n{matrix_json}\n  ],\n  \
+         \"best\": {{ \"engine\": \"{}\", \"plane_width\": {}, \"threads\": {}, \
+         \"cycles_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.3}, \"speedup_vs_u64_t1\": {:.3} }},\n  \
+         \"plane_kernel\": {{\n  \"genomes\": {kernel_genomes},\n  \"widths\": [\n{kernel_json}\n  ],\n  \
+         \"best_plane_width\": {},\n  \"best_speedup_vs_u64\": {:.3}\n  }}\n}}\n",
+        best.engine,
+        best.plane_width,
+        best.threads,
+        best.cycles_per_sec,
+        best.cycles_per_sec / scalar_rate,
+        best.cycles_per_sec / u64_t1.cycles_per_sec,
+        kernel_best.0,
+        kernel_best.2 / kernel_u64,
     );
     std::fs::write(&out, &json).expect("write report");
     println!("{json}");
@@ -76,11 +254,17 @@ fn main() {
         .with_param("max_generations", max_gens as f64)
         .with_param("reps", reps as f64)
         .with_param("scalar_wall_seconds", scalar_wall)
-        .with_param("sliced_wall_seconds", sliced_wall)
-        .with_param("speedup", speedup);
+        .with_param("best_cycles_per_sec", best.cycles_per_sec)
+        .with_param("speedup_vs_scalar", best.cycles_per_sec / scalar_rate)
+        .with_param(
+            "speedup_vs_u64_t1",
+            best.cycles_per_sec / u64_t1.cycles_per_sec,
+        )
+        .with_param("kernel_best_speedup_vs_u64", kernel_best.2 / kernel_u64);
     manifest.seeds = seeds.iter().map(|&s| u64::from(s)).collect();
-    manifest.threads = threads as u64;
-    manifest.wall_seconds = scalar_wall + sliced_wall;
+    manifest.threads = best.threads as u64;
+    manifest.plane_width = best.plane_width as u64;
+    manifest.wall_seconds = scalar_wall + matrix.iter().map(|c| c.wall_seconds).sum::<f64>();
     manifest.simulated_cycles = Some(cycles);
     let manifest_path = format!("{out}.manifest.json");
     manifest.write(&manifest_path).expect("write manifest");

@@ -3,7 +3,7 @@
 use discipulus::gap::GeneticAlgorithmProcessor;
 use discipulus::params::GapParams;
 use discipulus::stats::SampleSummary;
-use leonardo_rtl::bitslice::{lanes, GapRtlX64, GapRtlX64Config, LANES};
+use leonardo_rtl::bitslice::{GapRtlXW, GapRtlXWConfig, Plane};
 use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
 use leonardo_telemetry as tele;
 use parking_lot::Mutex;
@@ -118,23 +118,47 @@ pub fn rtl_convergence_scalar(seeds: &[u32], max_generations: u64) -> Vec<RtlTri
     })
 }
 
+/// The telemetry engine label of a plane width (the historical `rtl_x64`
+/// for the 64-lane engine — pinned by the golden JSONL suites).
+pub fn engine_label<P: Plane>() -> &'static str {
+    match P::NAME {
+        "u64" => "rtl_x64",
+        "w128" => "rtl_w128",
+        "w256" => "rtl_w256",
+        "w512" => "rtl_w512",
+        _ => "rtl_wide",
+    }
+}
+
 /// Multi-seed RTL convergence sampling on the bit-sliced batch engine:
-/// each thread owns a [`GapRtlX64`] and pulls seeds from a shared queue
-/// into lanes as they free up, so all 64 lanes of every engine stay busy
-/// until the queue drains. Per-seed results are bit-identical to
-/// [`rtl_convergence_scalar`] and come back in seed order.
-pub fn rtl_convergence_batch(seeds: &[u32], max_generations: u64) -> Vec<RtlTrial> {
+/// each worker thread owns a [`GapRtlXW`] and pulls seeds from a shared
+/// queue into lanes as they free up, so all `P::LANES` lanes of every
+/// engine stay busy until the queue drains. Per-seed results are
+/// bit-identical to [`rtl_convergence_scalar`] — and to any other width
+/// or thread count — and come back in seed order; which *engine* runs a
+/// given seed varies with scheduling, but every lane is bit-exact with a
+/// fresh scalar chip on that seed, so the per-seed outcome cannot.
+pub fn rtl_convergence_batch_w<P: Plane>(
+    seeds: &[u32],
+    max_generations: u64,
+    threads: usize,
+) -> Vec<RtlTrial> {
     let n = seeds.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        leonardo_exec::available_threads()
+    } else {
+        threads
+    }
+    .min(n.div_ceil(P::LANES).max(1));
     let results: Mutex<Vec<(usize, RtlTrial)>> = Mutex::new(Vec::with_capacity(n));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.div_ceil(LANES).max(1));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                batch_worker(seeds, max_generations, &next, &results);
+                batch_worker::<P>(seeds, max_generations, &next, &results);
             });
         }
     });
@@ -143,9 +167,16 @@ pub fn rtl_convergence_batch(seeds: &[u32], max_generations: u64) -> Vec<RtlTria
     collected.into_iter().map(|(_, r)| r).collect()
 }
 
-/// One refilling batch engine: claim up to 64 seeds, run the converged-or-
-/// out-of-budget lanes dry, and reseed each freed lane from the queue.
-fn batch_worker(
+/// [`rtl_convergence_batch_w`] at the historical width and thread count:
+/// 64 lanes, one engine per available core.
+pub fn rtl_convergence_batch(seeds: &[u32], max_generations: u64) -> Vec<RtlTrial> {
+    rtl_convergence_batch_w::<u64>(seeds, max_generations, 0)
+}
+
+/// One refilling batch engine: claim up to `P::LANES` seeds, run the
+/// converged-or-out-of-budget lanes dry, and reseed each freed lane from
+/// the queue.
+fn batch_worker<P: Plane>(
     seeds: &[u32],
     max_generations: u64,
     next: &std::sync::atomic::AtomicUsize,
@@ -165,14 +196,14 @@ fn batch_worker(
     // lanes it reseeds, so freed lanes pool up and refill as a group
     const REFILL_GROUP: usize = 8;
 
-    let first = claim(LANES);
+    let first = claim(P::LANES);
     if first.is_empty() {
         return;
     }
     let lane_seeds: Vec<u32> = first.iter().map(|&i| seeds[i]).collect();
-    let mut gap = GapRtlX64::new(GapRtlX64Config::paper(), &lane_seeds);
+    let mut gap = GapRtlXW::<P>::new(GapRtlXWConfig::paper(), &lane_seeds);
     // which queued trial each enabled lane is currently running
-    let mut trial: [Option<usize>; LANES] = [None; LANES];
+    let mut trial: Vec<Option<usize>> = vec![None; P::LANES];
     for (l, &i) in first.iter().enumerate() {
         trial[l] = Some(i);
     }
@@ -181,22 +212,25 @@ fn batch_worker(
     loop {
         let running = gap.running_mask(max_generations);
         // harvest finished lanes into the free pool
-        for l in lanes(gap.enabled() & !running) {
-            let Some(i) = trial[l].take() else { continue };
+        (gap.enabled() & !running).for_each_set_lane(|l| {
+            let Some(i) = trial[l].take() else { return };
             let done = RtlTrial {
                 converged: gap.converged(l),
                 generations: gap.generation(l),
                 cycles: gap.cycles(l),
             };
-            emit_trial("rtl_x64", seeds[i], done);
+            emit_trial(engine_label::<P>(), seeds[i], done);
             results.lock().push((i, done));
             free.push(l);
-        }
-        let active = lanes(gap.enabled())
-            .filter(|&l| trial[l].is_some())
-            .fold(0u64, |m, l| m | 1u64 << l)
-            & running;
-        if free.len() >= REFILL_GROUP || active == 0 {
+        });
+        let mut active = P::ZERO;
+        gap.enabled().for_each_set_lane(|l| {
+            if trial[l].is_some() {
+                active.set_bit(l, true);
+            }
+        });
+        active &= running;
+        if free.len() >= REFILL_GROUP || active.is_zero() {
             let claimed = claim(free.len());
             if !claimed.is_empty() {
                 let resets: Vec<(usize, u32)> = claimed
@@ -212,38 +246,34 @@ fn batch_worker(
                 continue;
             }
         }
-        if active == 0 {
+        if active.is_zero() {
             return;
         }
         gap.step_generation_masked(active);
     }
 }
 
-/// Map `f` over `items` on all available cores, preserving input order.
-/// Results are independent of thread scheduling.
+/// Map `f` over `items` on `threads` work-stealing workers, preserving
+/// input order. Results are independent of thread scheduling. `threads`
+/// of 0 means one per available core.
+pub fn parallel_map_threads<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    let threads = if threads == 0 {
+        leonardo_exec::available_threads()
+    } else {
+        threads
+    };
+    leonardo_exec::ordered_map_range(threads.min(items.len().max(1)), items.len(), |i| {
+        f(&items[i])
+    })
+}
+
+/// [`parallel_map_threads`] on all available cores.
 pub fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
-    let n = items.len();
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock().push((i, r));
-            });
-        }
-    });
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, r)| r).collect()
+    parallel_map_threads(0, items, f)
 }
 
 /// Parse a `--flag value` style argument from the command line, with a
@@ -313,6 +343,17 @@ mod tests {
             batch.iter().any(|t| t.converged) && batch.iter().any(|t| !t.converged),
             "budget should split the trials into both outcomes"
         );
+    }
+
+    #[test]
+    fn rtl_batch_bit_identical_across_widths_and_threads() {
+        use leonardo_rtl::bitslice::{W128, W256};
+        let seeds = trial_seeds(70);
+        let base = rtl_convergence_batch_w::<u64>(&seeds, 40, 1);
+        assert_eq!(base, rtl_convergence_batch_w::<u64>(&seeds, 40, 2));
+        // 70 trials in one W128 engine crosses the limb boundary
+        assert_eq!(base, rtl_convergence_batch_w::<W128>(&seeds, 40, 1));
+        assert_eq!(base, rtl_convergence_batch_w::<W256>(&seeds, 40, 8));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! # leonardo-bench — the experiment harness
 //!
-//! Shared utilities for the `e1`–`e10` experiment binaries (see
+//! Shared utilities for the `e1`–`e15` experiment binaries (see
 //! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for the
 //! recorded results). Each binary regenerates one of the paper's
 //! quantitative claims; this crate provides the common measurement

@@ -99,9 +99,21 @@ impl ExperimentSession {
         self.manifest.seeds = seeds.iter().map(|&s| u64::from(s)).collect();
     }
 
-    /// Record the worker-thread count into the manifest.
+    /// Record the worker-thread count into the manifest. Zero means
+    /// "auto" at the call sites, so it is resolved to the detected
+    /// parallelism before it lands in the manifest.
     pub fn set_threads(&mut self, threads: usize) {
-        self.manifest.threads = threads as u64;
+        self.manifest.threads = if threads == 0 {
+            leonardo_exec::available_threads() as u64
+        } else {
+            threads as u64
+        };
+    }
+
+    /// Record the bit-slice plane width (lanes per plane word) the run's
+    /// kernels used.
+    pub fn set_plane_width(&mut self, lanes: usize) {
+        self.manifest.plane_width = lanes as u64;
     }
 
     /// Record one fault-campaign summary row into the manifest's

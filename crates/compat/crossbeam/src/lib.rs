@@ -1,13 +1,249 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Implements the multi-producer multi-consumer unbounded channel the
-//! sweep driver uses as a work queue: cloneable [`channel::Sender`] and
-//! [`channel::Receiver`], with `recv` blocking until a message arrives or
-//! every sender is dropped. Built on a mutex-guarded queue plus a condvar
-//! — adequate for work distribution, not a lock-free replacement.
+//! Implements the two work-distribution primitives this workspace uses:
+//!
+//! * [`channel`] — the multi-producer multi-consumer unbounded channel
+//!   the sweep driver uses as a work queue: cloneable
+//!   [`channel::Sender`] and [`channel::Receiver`], with `recv` blocking
+//!   until a message arrives or every sender is dropped;
+//! * [`deque`] — the `crossbeam-deque` work-stealing triple
+//!   ([`deque::Injector`] / [`deque::Worker`] / [`deque::Stealer`]) the
+//!   parallel batch executor schedules on.
+//!
+//! Both are built on mutex-guarded queues (the workspace forbids `unsafe`,
+//! so no lock-free Chase-Lev here) — adequate for distributing work items
+//! that each run for microseconds or more, not a contended-hot-path
+//! replacement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Work-stealing deques, mirroring the `crossbeam-deque` API subset the
+/// workspace uses: a shared [`Injector`](deque::Injector) feeding
+/// per-thread [`Worker`](deque::Worker) queues whose
+/// [`Stealer`](deque::Stealer) handles let idle threads take work from
+/// busy ones.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried. (The
+        /// mutex-based implementation never loses races; the variant
+        /// exists for API fidelity, so callers written against the real
+        /// crate keep compiling.)
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO task injector, shared by reference across threads.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Injector<T> {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector mutex").push_back(task);
+        }
+
+        /// Whether the global queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector mutex").is_empty()
+        }
+
+        /// Steal one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector mutex").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move a batch of tasks into `worker`'s local queue and pop one:
+        /// the front task is returned, and up to half the remaining global
+        /// queue (capped at [`MAX_BATCH`](Self::MAX_BATCH)) rides along so
+        /// the worker comes back less often.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector mutex");
+            let Some(first) = queue.pop_front() else {
+                return Steal::Empty;
+            };
+            let batch = (queue.len() / 2).min(Self::MAX_BATCH);
+            if batch > 0 {
+                let mut local = worker.queue.lock().expect("worker mutex");
+                local.extend(queue.drain(..batch));
+            }
+            Steal::Success(first)
+        }
+
+        /// Largest number of tasks a batch steal moves at once.
+        pub const MAX_BATCH: usize = 32;
+    }
+
+    /// A per-thread FIFO work queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// An empty FIFO worker queue.
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task onto the local queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker mutex").push_back(task);
+        }
+
+        /// Pop the next local task (front — FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker mutex").pop_front()
+        }
+
+        /// Whether the local queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker mutex").is_empty()
+        }
+
+        /// A handle other threads use to steal from this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A cloneable stealing handle onto one [`Worker`]'s queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the back of the owner's queue (the end the
+        /// owner touches last, minimizing interference).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("worker mutex").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert_eq!(inj.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn batch_steal_moves_half_into_the_worker() {
+            let inj = Injector::new();
+            for i in 0..9 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            // 8 remained; half (4) moved into the local queue
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(4));
+            assert_eq!(w.pop(), None);
+            assert_eq!(inj.steal(), Steal::Success(5));
+        }
+
+        #[test]
+        fn stealers_drain_a_worker_from_the_back() {
+            let w = Worker::new_fifo();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            let s = w.stealer();
+            assert_eq!(s.steal(), Steal::Success(3));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(s.steal(), Steal::Success(2));
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn every_task_is_executed_exactly_once_across_threads() {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let inj = Injector::new();
+            for i in 0..500u64 {
+                inj.push(i);
+            }
+            let workers: Vec<Worker<u64>> = (0..4).map(|_| Worker::new_fifo()).collect();
+            let stealers: Vec<Stealer<u64>> = workers.iter().map(Worker::stealer).collect();
+            let sum = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for w in &workers {
+                    let (inj, stealers, sum) = (&inj, &stealers, &sum);
+                    scope.spawn(move || loop {
+                        let task = w
+                            .pop()
+                            .or_else(|| inj.steal_batch_and_pop(w).success())
+                            .or_else(|| stealers.iter().find_map(|s| s.steal().success()));
+                        match task {
+                            Some(t) => {
+                                sum.fetch_add(t, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    });
+                }
+            });
+            assert_eq!(sum.into_inner(), 499 * 500 / 2);
+        }
+    }
+}
 
 /// Multi-producer multi-consumer channels, mirroring `crossbeam::channel`.
 pub mod channel {

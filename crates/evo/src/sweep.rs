@@ -1,17 +1,20 @@
 //! Parallel parameter-sweep driver (experiment E9).
 //!
 //! Runs a grid of GA configurations × seeds over a problem, distributing
-//! trials across worker threads through a crossbeam work channel, and
-//! aggregates success rate / generations-to-solution / evaluation counts
-//! per configuration. Results are independent of thread scheduling (each
-//! trial is deterministic; aggregation sorts by configuration).
+//! trials across a work-stealing pool ([`leonardo_exec::ordered_map`]),
+//! and aggregates success rate / generations-to-solution / evaluation
+//! counts per configuration. Results are **bit-identical for any thread
+//! count**: each trial is deterministic, and the executor hands trial
+//! results back in (point, seed) input order, so the floating-point
+//! aggregation always folds in the same sequence. (The earlier channel
+//! version collected in completion order, whose per-point float sums
+//! could drift in the last ulp between thread counts.)
 
 use crate::ga::{Ga, GaConfig};
 use crate::problem::Problem;
 use crate::stats::{success_rate, Summary};
 use core::fmt;
 use leonardo_telemetry as tele;
-use parking_lot::Mutex;
 
 /// One configuration in a sweep, with a human-readable label.
 #[derive(Debug, Clone)]
@@ -112,57 +115,38 @@ impl SweepRunner {
         assert!(!points.is_empty(), "no sweep points");
         assert!(!self.seeds.is_empty(), "no seeds");
         let threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
+            leonardo_exec::available_threads()
         } else {
             self.threads
         };
 
-        // job = (point index, seed); results collected under a mutex
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, u64)>();
-        for (pi, _) in points.iter().enumerate() {
-            for &seed in &self.seeds {
-                tx.send((pi, seed)).expect("queue send");
-            }
-        }
-        drop(tx);
-
+        // job = (point index, seed); results come back in job order, so
+        // the per-point aggregation below is scheduling-independent
+        let jobs: Vec<(usize, u64)> = points
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, _)| self.seeds.iter().map(move |&seed| (pi, seed)))
+            .collect();
         type Trial = (usize, bool, u64, u64); // point, success, gens, evals
-        let results: Mutex<Vec<Trial>> = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let rx = rx.clone();
-                let results = &results;
-                scope.spawn(move || {
-                    while let Ok((pi, seed)) = rx.recv() {
-                        let mut ga = Ga::new(points[pi].config, problem, seed);
-                        let out = ga.run(self.max_generations, target);
-                        if tele::enabled_at(tele::Level::Metric) {
-                            tele::emit(
-                                tele::Level::Metric,
-                                "evo.sweep.trial",
-                                &[
-                                    ("point", pi.into()),
-                                    ("seed", seed.into()),
-                                    ("success", out.reached_target.into()),
-                                    ("generations", out.generations.into()),
-                                    ("evaluations", out.evaluations.into()),
-                                ],
-                            );
-                        }
-                        results.lock().push((
-                            pi,
-                            out.reached_target,
-                            out.generations,
-                            out.evaluations,
-                        ));
-                    }
-                });
+        let all: Vec<Trial> = leonardo_exec::ordered_map(threads, jobs, |_, (pi, seed)| {
+            let mut ga = Ga::new(points[pi].config, problem, seed);
+            let out = ga.run(self.max_generations, target);
+            if tele::enabled_at(tele::Level::Metric) {
+                tele::emit(
+                    tele::Level::Metric,
+                    "evo.sweep.trial",
+                    &[
+                        ("point", pi.into()),
+                        ("seed", seed.into()),
+                        ("success", out.reached_target.into()),
+                        ("generations", out.generations.into()),
+                        ("evaluations", out.evaluations.into()),
+                    ],
+                );
             }
+            (pi, out.reached_target, out.generations, out.evaluations)
         });
 
-        let all = results.into_inner();
         let rows = points
             .iter()
             .enumerate()
@@ -205,21 +189,42 @@ mod tests {
     }
 
     #[test]
-    fn sweep_deterministic_regardless_of_threads() {
-        let points = vec![SweepPoint::new("d", GaConfig::default())];
+    fn sweep_bit_identical_for_any_thread_count() {
+        let points = vec![
+            SweepPoint::new("d", GaConfig::default()),
+            SweepPoint::new("p16", GaConfig::default().with_population_size(16)),
+        ];
+        let p = OneMax(20);
         let mut one = SweepRunner::new(6, 500);
         one.threads = 1;
-        let mut many = SweepRunner::new(6, 500);
-        many.threads = 4;
-        let p = OneMax(20);
         let a = one.run(&p, &points, None);
-        let b = many.run(&p, &points, None);
-        assert_eq!(a.rows[0].success_rate, b.rows[0].success_rate);
-        assert_eq!(a.rows[0].evaluations.mean, b.rows[0].evaluations.mean);
-        assert_eq!(
-            a.rows[0].generations.map(|s| s.mean),
-            b.rows[0].generations.map(|s| s.mean)
-        );
+        for threads in [2, 4, 8] {
+            let mut many = SweepRunner::new(6, 500);
+            many.threads = threads;
+            let b = many.run(&p, &points, None);
+            for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                // bit-exact, not approximately equal: the merge order is
+                // canonical, so even the float folds must agree to the ulp
+                assert_eq!(
+                    ra.success_rate.to_bits(),
+                    rb.success_rate.to_bits(),
+                    "{threads} threads"
+                );
+                assert_eq!(ra.evaluations.mean.to_bits(), rb.evaluations.mean.to_bits());
+                assert_eq!(
+                    ra.evaluations.stddev.to_bits(),
+                    rb.evaluations.stddev.to_bits()
+                );
+                assert_eq!(
+                    ra.generations.map(|s| s.mean.to_bits()),
+                    rb.generations.map(|s| s.mean.to_bits())
+                );
+                assert_eq!(
+                    ra.generations.map(|s| s.stddev.to_bits()),
+                    rb.generations.map(|s| s.stddev.to_bits())
+                );
+            }
+        }
     }
 
     #[test]

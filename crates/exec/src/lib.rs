@@ -1,0 +1,167 @@
+//! Deterministic work-stealing parallel execution for the batch drivers.
+//!
+//! Every multi-trial driver in this workspace (the evolution sweeps, the
+//! bench harness, the fault campaigns, the landscape sweeper) has the same
+//! shape: a statically-known list of independent work items, each
+//! internally deterministic, whose results must merge into a result that
+//! is **bit-identical for any thread count** — the repo's reproducibility
+//! contract extends to `--threads`. [`ordered_map`] is that shape as a
+//! function: items fan out over a work-stealing pool (a shared
+//! [`crossbeam::deque::Injector`] feeding per-thread worker deques, idle
+//! threads stealing from busy ones), results carry their item index home,
+//! and the merge sorts by index before returning. Thread scheduling
+//! decides only *when* an item runs, never *where its result lands* — so
+//! floating-point folds, RNG hand-offs and JSON outputs downstream of the
+//! merge see one canonical order.
+//!
+//! One thread (or one item) short-circuits to a plain in-place loop — the
+//! single-threaded path is the literal sequential program, not a pool of
+//! one, which keeps `--threads 1` runs byte-for-byte comparable with the
+//! historical single-core drivers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::sync::Mutex;
+
+/// Number of worker threads the host can usefully run, for drivers whose
+/// `--threads 0` means "auto". Falls back to 1 when the platform cannot
+/// say.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on `threads` work-stealing workers and return the
+/// results **in item order**, regardless of which thread ran what when.
+///
+/// `f` receives the item's index alongside the item, so per-item work can
+/// derive deterministic per-item seeds or labels without threading them
+/// through the item type. With `threads ≤ 1` (or fewer than two items)
+/// the map runs inline on the calling thread.
+///
+/// # Panics
+/// Propagates panics from `f` (the scoped pool joins before returning).
+pub fn ordered_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let injector = Injector::new();
+    for task in items.into_iter().enumerate() {
+        injector.push(task);
+    }
+    let workers: Vec<Worker<(usize, T)>> =
+        (0..threads.min(n)).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = workers.iter().map(Worker::stealer).collect();
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for w in &workers {
+            let (injector, stealers, results, f) = (&injector, &stealers, &results, &f);
+            scope.spawn(move || {
+                // collect locally, merge once: the lock is taken exactly
+                // once per thread, not once per item
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let task = w
+                        .pop()
+                        .or_else(|| injector.steal_batch_and_pop(w).success())
+                        .or_else(|| stealers.iter().find_map(|s| s.steal().success()));
+                    match task {
+                        Some((i, t)) => local.push((i, f(i, t))),
+                        None => break,
+                    }
+                }
+                results.lock().expect("results mutex").append(&mut local);
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("results mutex");
+    debug_assert_eq!(results.len(), n);
+    // the canonical merge order: item index, not completion order
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`ordered_map`] over the index range `0..n` — the common case where
+/// the work item *is* its index (a trial number, a matrix cell, a shard).
+pub fn ordered_map_range<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    ordered_map(threads, (0..n).collect(), |_, i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = ordered_map_range(threads, 100, |i| i * i);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = ordered_map(4, (0..257).collect::<Vec<u64>>(), |i, v| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i as u64, v);
+            v
+        });
+        assert_eq!(hits.into_inner(), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn float_fold_is_bit_identical_across_thread_counts() {
+        // the motivating case: a float accumulation whose value depends on
+        // summation order — identical for any thread count because the
+        // merge is index-ordered
+        let fold = |threads: usize| -> f64 {
+            ordered_map_range(threads, 1000, |i| ((i as f64) * 0.1).sin() / (i + 1) as f64)
+                .into_iter()
+                .sum()
+        };
+        let want = fold(1);
+        for threads in [2, 3, 8, 16] {
+            assert_eq!(want.to_bits(), fold(threads).to_bits(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        assert_eq!(ordered_map_range(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(ordered_map_range(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(ordered_map_range(64, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -1,11 +1,13 @@
-//! The bit-parallel block kernel: 64 consecutive genomes per step.
+//! The bit-parallel block kernel: one [`Plane`] of consecutive genomes
+//! per step (64 on the classic `u64` kernel, up to 512 on
+//! [`W512`](leonardo_rtl::bitslice::W512)).
 //!
-//! An aligned block of 64 consecutive genomes differs only in the low six
-//! bits — exactly one bit per lane index. Transposed, the block is six
-//! fixed lane-index planes plus thirty broadcast words, so building the
-//! fitness network's input costs a couple of word stores per block
-//! (amortized: advancing the base by 64 flips two high bits on average,
-//! and only flipped bits rewrite their plane). The sliced network then
+//! An aligned block of `P::LANES` consecutive genomes differs only in the
+//! low lane-index bits. Transposed, the block is a handful of fixed
+//! lane-index planes plus broadcast planes, so building the fitness
+//! network's input costs a couple of plane stores per block (amortized:
+//! advancing the base by one block flips two high bits on average, and
+//! only flipped bits rewrite their plane). The sliced network then
 //! produces five carry-save score planes, and a 32-leaf mask tree decodes
 //! them into one lane mask per fitness value — `popcount` on those masks
 //! is the histogram, and the max-level mask names the maximal genomes.
@@ -13,25 +15,25 @@
 use discipulus::fitness::FitnessSpec;
 use discipulus::genome::{GENOME_BITS, GENOME_MASK};
 use leonardo_rtl::bitslice::{
-    consecutive_genome_planes, lane_score_lits, FitnessUnitX64, LANES, LANE_BITS,
+    consecutive_genome_planes_w, lane_score_lits, FitnessUnitXW, Plane, LANES, LANE_BITS,
     LANE_INDEX_PLANES, SCORE_PLANES,
 };
 use leonardo_rtl::semantics::{Lit, Semantics, SeqCircuit};
 
-/// Number of genomes scored per kernel step.
+/// Number of genomes scored per step of the classic 64-lane kernel.
 pub const BLOCK_GENOMES: u64 = LANES as u64;
 
-/// Total number of blocks in the full 2³⁶ space.
+/// Total number of 64-genome blocks in the full 2³⁶ space.
 pub const TOTAL_BLOCKS: u64 = 1 << (GENOME_BITS - LANE_BITS);
 
 /// Decode five sliced score planes into per-value lane masks: bit `l` of
 /// `masks[v]` is set iff lane `l`'s score is exactly `v`. A binary
 /// expansion tree over the planes (MSB first) touches each plane once per
-/// level — ~124 word ops for all 32 masks, versus ~300 for the naive
+/// level — ~124 plane ops for all 32 masks, versus ~300 for the naive
 /// per-value AND chain.
-pub fn score_masks(planes: &[u64; SCORE_PLANES]) -> [u64; 1 << SCORE_PLANES] {
-    let mut masks = [0u64; 1 << SCORE_PLANES];
-    masks[0] = !0u64;
+pub fn score_masks_w<P: Plane>(planes: &[P; SCORE_PLANES]) -> [P; 1 << SCORE_PLANES] {
+    let mut masks = [P::ZERO; 1 << SCORE_PLANES];
+    masks[0] = P::ONES;
     let mut width = 1usize;
     for p in (0..SCORE_PLANES).rev() {
         for v in (0..width).rev() {
@@ -44,23 +46,37 @@ pub fn score_masks(planes: &[u64; SCORE_PLANES]) -> [u64; 1 << SCORE_PLANES] {
     masks
 }
 
+/// [`score_masks_w`] on the 64-lane kernel's `u64` planes.
+pub fn score_masks(planes: &[u64; SCORE_PLANES]) -> [u64; 1 << SCORE_PLANES] {
+    score_masks_w(planes)
+}
+
 /// A reusable sweep kernel: owns the sliced fitness unit and the
 /// incrementally-maintained transposed plane buffer.
 #[derive(Debug, Clone)]
-pub struct BlockKernel {
-    unit: FitnessUnitX64,
-    planes: [u64; GENOME_BITS],
+pub struct BlockKernelW<P: Plane> {
+    unit: FitnessUnitXW<P>,
+    planes: [P; GENOME_BITS],
     /// Base genome of the planes currently in the buffer, or `u64::MAX`
     /// when the buffer is unset.
     base: u64,
 }
 
-impl BlockKernel {
+/// The classic 64-genomes-per-step kernel.
+pub type BlockKernel = BlockKernelW<u64>;
+
+impl<P: Plane> BlockKernelW<P> {
+    /// Number of genomes scored per kernel step at this width.
+    pub const GENOMES_PER_BLOCK: u64 = P::LANES as u64;
+
+    /// Total number of `P::LANES`-genome blocks in the full 2³⁶ space.
+    pub const BLOCKS: u64 = (1 << GENOME_BITS) / P::LANES as u64;
+
     /// A kernel scoring under `spec`.
-    pub fn new(spec: FitnessSpec) -> BlockKernel {
-        BlockKernel {
-            unit: FitnessUnitX64::new(spec),
-            planes: [0u64; GENOME_BITS],
+    pub fn new(spec: FitnessSpec) -> BlockKernelW<P> {
+        BlockKernelW {
+            unit: FitnessUnitXW::new(spec),
+            planes: [P::ZERO; GENOME_BITS],
             base: u64::MAX,
         }
     }
@@ -70,25 +86,27 @@ impl BlockKernel {
         self.unit.spec()
     }
 
-    /// Score block `block` (genomes `64·block .. 64·block + 64`) into
-    /// sliced score planes. Sequential blocks reuse the plane buffer and
-    /// only rewrite the planes of genome bits that changed.
+    /// Score block `block` (genomes `P::LANES·block .. P::LANES·(block+1)`)
+    /// into sliced score planes. Sequential blocks reuse the plane buffer
+    /// and only rewrite the planes of genome bits that changed.
     ///
     /// # Panics
-    /// Panics if `block` is outside the 2³⁰ block space.
-    pub fn score_block(&mut self, block: u64) -> [u64; SCORE_PLANES] {
-        assert!(block < TOTAL_BLOCKS, "block index exceeds the 2^36 space");
-        let base = block * BLOCK_GENOMES;
+    /// Panics if `block` is outside the block space.
+    pub fn score_block(&mut self, block: u64) -> [P; SCORE_PLANES] {
+        assert!(block < Self::BLOCKS, "block index exceeds the 2^36 space");
+        let base = block * Self::GENOMES_PER_BLOCK;
         if self.base == u64::MAX {
-            self.planes = consecutive_genome_planes(base);
+            self.planes = consecutive_genome_planes_w(base);
         } else {
             // rewrite only the planes whose genome bit flipped: for a
-            // +64 step that is the trailing-carry run above the lane
-            // field, two bits on average
-            let mut diff = (self.base ^ base) & GENOME_MASK & !(BLOCK_GENOMES - 1);
+            // one-block step that is the trailing-carry run above the lane
+            // field, two bits on average. Bits at or above the block
+            // granularity are pure broadcasts (the within-block limb
+            // offsets live strictly below them), so a splat suffices.
+            let mut diff = (self.base ^ base) & GENOME_MASK & !(Self::GENOMES_PER_BLOCK - 1);
             while diff != 0 {
                 let b = diff.trailing_zeros() as usize;
-                self.planes[b] = 0u64.wrapping_sub(base >> b & 1);
+                self.planes[b] = P::splat(base >> b & 1 == 1);
                 diff &= diff - 1;
             }
         }
@@ -98,27 +116,39 @@ impl BlockKernel {
 
     /// Integer fitness of every genome in `block`, lane by lane — the
     /// slow-path reference the conformance tests compare against.
-    pub fn block_fitness(&mut self, block: u64) -> [u32; LANES] {
+    pub fn block_fitness_into(&mut self, block: u64, out: &mut [u32]) {
+        debug_assert_eq!(out.len(), P::LANES);
         let planes = self.score_block(block);
-        let mut out = [0u32; LANES];
         for (l, o) in out.iter_mut().enumerate() {
             *o = (0..SCORE_PLANES)
-                .map(|p| ((planes[p] >> l & 1) as u32) << p)
+                .map(|p| u32::from(planes[p].bit(l)) << p)
                 .sum();
         }
+    }
+}
+
+impl BlockKernel {
+    /// [`BlockKernelW::block_fitness_into`] as the classic fixed-size
+    /// 64-lane array.
+    pub fn block_fitness(&mut self, block: u64) -> [u32; LANES] {
+        let mut out = [0u32; LANES];
+        self.block_fitness_into(block, &mut out);
         out
     }
 }
 
 /// Gate-level semantics of the kernel's per-genome function: what fitness
 /// does lane `lane` of block `block` receive? The genome the lane scores
-/// is assembled exactly the way [`BlockKernel::score_block`] builds its
+/// is assembled exactly the way [`BlockKernelW::score_block`] builds its
 /// plane buffer — the low six bits come out of the fixed
 /// [`LANE_INDEX_PLANES`] tables through a lane-indexed selection network,
 /// the thirty high bits are the broadcast planes (per lane: the block
 /// base bit itself). The analysis gate miters this against the scalar
 /// `FitnessUnit` to prove the whole 2³⁶ sweep scores every genome with
 /// the specified function — including that the plane tables are right.
+/// (The wide kernels reduce to the same function with the extra lane bits
+/// folded into the block index, which is what the per-width probes in
+/// `plane_registry` pin.)
 impl Semantics for BlockKernel {
     fn semantics(&self) -> SeqCircuit {
         let mut sc = SeqCircuit::new("block_kernel");
@@ -146,6 +176,7 @@ mod tests {
     use super::*;
     use discipulus::fitness::Rule;
     use discipulus::genome::Genome;
+    use leonardo_rtl::bitslice::{W256, W512};
 
     #[test]
     fn score_masks_partition_all_lanes() {
@@ -180,6 +211,33 @@ mod tests {
     }
 
     #[test]
+    fn wide_score_masks_partition_and_agree() {
+        let mut planes = [W256::ZERO; SCORE_PLANES];
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for p in planes.iter_mut() {
+            *p = W256::from_words(|_| {
+                x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(21);
+                x
+            });
+        }
+        let masks = score_masks_w(&planes);
+        let mut union = W256::ZERO;
+        for (i, &m) in masks.iter().enumerate() {
+            for (j, &n) in masks.iter().enumerate().skip(i + 1) {
+                assert!((m & n).is_zero(), "masks {i} and {j} overlap");
+            }
+            union |= m;
+        }
+        assert_eq!(union, W256::ONES);
+        for l in 0..256 {
+            let v: usize = (0..SCORE_PLANES)
+                .map(|p| usize::from(planes[p].bit(l)) << p)
+                .sum();
+            assert!(masks[v].bit(l), "lane {l} must sit in mask {v}");
+        }
+    }
+
+    #[test]
     fn sequential_and_random_block_order_agree() {
         let mut seq = BlockKernel::new(FitnessSpec::paper());
         let mut jump = BlockKernel::new(FitnessSpec::paper());
@@ -209,6 +267,38 @@ mod tests {
     }
 
     #[test]
+    fn wide_blocks_match_the_64_lane_kernel() {
+        let mut narrow = BlockKernel::new(FitnessSpec::paper());
+        let mut wide = BlockKernelW::<W512>::new(FitnessSpec::paper());
+        // one wide block covers 8 consecutive narrow blocks; exercise the
+        // incremental path with a sequential pair and a far jump
+        let wide_blocks = [0u64, 1, 0x40_0000, BlockKernelW::<W512>::BLOCKS - 1];
+        let mut got = vec![0u32; 512];
+        for &wb in &wide_blocks {
+            wide.block_fitness_into(wb, &mut got);
+            for nb in 0..8u64 {
+                let narrow_scores = narrow.block_fitness(wb * 8 + nb);
+                assert_eq!(
+                    &got[64 * nb as usize..64 * (nb + 1) as usize],
+                    &narrow_scores[..],
+                    "wide block {wb:#x} narrow sub-block {nb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_spec_blocks_match_scalar() {
+        let spec = FitnessSpec::without(Rule::Equilibrium);
+        let mut k = BlockKernel::new(spec);
+        let got = k.block_fitness(99);
+        for (l, &f) in got.iter().enumerate() {
+            let g = Genome::from_bits(99 * BLOCK_GENOMES + l as u64);
+            assert_eq!(f, spec.evaluate(g));
+        }
+    }
+
+    #[test]
     fn kernel_semantics_matches_block_fitness() {
         use leonardo_rtl::semantics::Circuit;
         let mut k = BlockKernel::new(FitnessSpec::paper());
@@ -228,17 +318,6 @@ mod tests {
                     "block {block:#x} lane {lane}"
                 );
             }
-        }
-    }
-
-    #[test]
-    fn ablation_spec_blocks_match_scalar() {
-        let spec = FitnessSpec::without(Rule::Equilibrium);
-        let mut k = BlockKernel::new(spec);
-        let got = k.block_fitness(99);
-        for (l, &f) in got.iter().enumerate() {
-            let g = Genome::from_bits(99 * BLOCK_GENOMES + l as u64);
-            assert_eq!(f, spec.evaluate(g));
         }
     }
 }

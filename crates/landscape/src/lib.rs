@@ -46,7 +46,7 @@ pub mod shard;
 pub mod sweep;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use kernel::{score_masks, BlockKernel};
+pub use kernel::{score_masks, score_masks_w, BlockKernel, BlockKernelW};
 pub use shard::{Shard, ShardPlan};
 pub use sweep::{LandscapeResult, StopToken, Sweep, SweepConfig, SweepStatus};
 

@@ -1,13 +1,15 @@
-//! The combinational fitness network, 64 genomes per evaluation.
+//! The combinational fitness network, one plane of genomes per
+//! evaluation.
 //!
 //! Same boolean algebra as [`crate::fitness_rtl::FitnessUnit`], executed
-//! bit-sliced: the genome arrives as 36 transposed words (word `b` = bit
-//! `b` of all 64 lanes), the three rules produce per-lane counts through
-//! word-wide AND/XOR layers and carry-save compressor trees, and the
-//! per-lane scores come out either as **bit-planes** (word `p` = score bit
-//! `p` of every lane — what the batch engine consumes, so its best-update
-//! comparator and selection gather stay in the sliced domain) or as
-//! integers through a byte-spread column gather.
+//! bit-sliced: the genome arrives as 36 transposed planes (plane `b` =
+//! bit `b` of every lane — 64 lanes on a `u64`, up to 512 on a
+//! [`W512`](crate::bitslice::W512)), the three rules produce per-lane
+//! counts through plane-wide AND/XOR layers and carry-save compressor
+//! trees, and the per-lane scores come out either as **bit-planes**
+//! (plane `p` = score bit `p` of every lane — what the batch engine
+//! consumes, so its best-update comparator and selection gather stay in
+//! the sliced domain) or as integers through a byte-spread column gather.
 //!
 //! Two scoring paths share the check network:
 //!
@@ -19,10 +21,12 @@
 //!   extractions, exact `u32` recombination per lane — bit-for-bit the
 //!   scalar unit under any weighting.
 
-use crate::bitslice::transpose::{planes_to_bytes, transposed};
+use crate::bitslice::plane::Plane;
+use crate::bitslice::transpose::{planes_to_bytes_wide, transposed_planes};
 use crate::bitslice::LANES;
 use crate::resources::Resources;
 use crate::semantics::{Circuit, Lit, Semantics, SeqCircuit, Word};
+use core::marker::PhantomData;
 use discipulus::fitness::FitnessSpec;
 use discipulus::genome::GENOME_BITS;
 
@@ -31,7 +35,7 @@ use discipulus::genome::GENOME_BITS;
 pub const SCORE_PLANES: usize = 5;
 
 /// Number of low genome bits that address a lane within one consecutive
-/// 64-genome block (`2^6 = 64` lanes).
+/// 64-genome block (`2^6 = 64` lanes per `u64` limb).
 pub const LANE_BITS: usize = 6;
 
 /// The fixed bit-planes of the lane index itself: `LANE_INDEX_PLANES[b]`
@@ -40,7 +44,9 @@ pub const LANE_BITS: usize = 6;
 /// the observation the exhaustive landscape sweep builds on: adjacent
 /// genomes share every bit above the lane field, so a whole block's
 /// transposed form costs a handful of broadcast words instead of a 64×64
-/// transpose.
+/// transpose. On a wide plane the same six patterns repeat in every limb
+/// and the limb index supplies the next `log2(P::WORDS)` genome bits (see
+/// [`consecutive_genome_planes_w`]).
 pub const LANE_INDEX_PLANES: [u64; LANE_BITS] = [
     0xAAAA_AAAA_AAAA_AAAA,
     0xCCCC_CCCC_CCCC_CCCC,
@@ -68,44 +74,76 @@ pub fn consecutive_genome_planes(first: u64) -> [u64; GENOME_BITS] {
     planes
 }
 
-/// The bit-sliced fitness network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FitnessUnitX64 {
-    spec: FitnessSpec,
+/// [`consecutive_genome_planes`] for any plane width: the transposed
+/// bit-planes of the `P::LANES` consecutive genomes
+/// `first..first + P::LANES`. Limb `w` of lane-bit plane `b < 6` repeats
+/// `LANE_INDEX_PLANES[b]`; every higher plane's limb `w` broadcasts bit
+/// `b` of `first + 64·w` (the limb offset never carries into those bits
+/// because `first` is `P::LANES`-aligned).
+///
+/// # Panics
+/// Panics unless `first` is `P::LANES`-aligned and below 2³⁶.
+pub fn consecutive_genome_planes_w<P: Plane>(first: u64) -> [P; GENOME_BITS] {
+    assert_eq!(
+        first % P::LANES as u64,
+        0,
+        "block base must be {}-aligned",
+        P::LANES
+    );
+    assert!(first >> GENOME_BITS == 0, "block base exceeds 36 bits");
+    let mut planes = [P::ZERO; GENOME_BITS];
+    for (b, plane) in planes.iter_mut().enumerate() {
+        if b < LANE_BITS {
+            *plane = P::from_words(|_| LANE_INDEX_PLANES[b]);
+        } else {
+            *plane = P::from_words(|w| 0u64.wrapping_sub((first + 64 * w as u64) >> b & 1));
+        }
+    }
+    planes
 }
+
+/// The bit-sliced fitness network, `P::LANES` genomes per evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitnessUnitXW<P: Plane> {
+    spec: FitnessSpec,
+    _plane: PhantomData<P>,
+}
+
+/// The 64-lane network (one `u64` plane per signal).
+pub type FitnessUnitX64 = FitnessUnitXW<u64>;
 
 /// Add one sliced bit into a little-endian carry-save counter of `W`
 /// planes (const width so the ripple unrolls).
 #[inline(always)]
-fn count_into<const W: usize>(counter: &mut [u64; W], bit: u64) {
+fn count_into<P: Plane, const W: usize>(counter: &mut [P; W], bit: P) {
     let mut carry = bit;
     for c in counter.iter_mut() {
         let t = *c & carry;
         *c ^= carry;
         carry = t;
     }
-    debug_assert_eq!(carry, 0, "carry-save counter overflow");
+    debug_assert!(carry.is_zero(), "carry-save counter overflow");
 }
 
 /// Sliced full adder: per-lane `a + b + cin` as (sum, carry-out).
 #[inline(always)]
-fn full_add(a: u64, b: u64, cin: u64) -> (u64, u64) {
+fn full_add<P: Plane>(a: P, b: P, cin: P) -> (P, P) {
     let ab = a ^ b;
     (ab ^ cin, (a & b) | (cin & ab))
 }
 
 /// Sliced ripple-carry add of an `A`-plane and a `B ≤ A`-plane counter
-/// into `O = A + 1` planes (per lane, all 64 at once).
+/// into `O = A + 1` planes (per lane, every lane at once).
 #[inline(always)]
-fn add_planes<const A: usize, const B: usize, const O: usize>(
-    a: &[u64; A],
-    b: &[u64; B],
-) -> [u64; O] {
+fn add_planes<P: Plane, const A: usize, const B: usize, const O: usize>(
+    a: &[P; A],
+    b: &[P; B],
+) -> [P; O] {
     debug_assert!(B <= A && O == A + 1);
-    let mut out = [0u64; O];
-    let mut carry = 0u64;
+    let mut out = [P::ZERO; O];
+    let mut carry = P::ZERO;
     for p in 0..A {
-        let bp = if p < B { b[p] } else { 0 };
+        let bp = if p < B { b[p] } else { P::ZERO };
         let (s, c) = full_add(a[p], bp, carry);
         out[p] = s;
         carry = c;
@@ -114,21 +152,18 @@ fn add_planes<const A: usize, const B: usize, const O: usize>(
     out
 }
 
-/// Read all 64 lanes of a `W ≤ 8`-plane carry-save counter at once.
-#[inline]
-fn counter_to_bytes<const W: usize>(counter: &[u64; W], out: &mut [u8; LANES]) {
-    planes_to_bytes(counter, out);
-}
-
-impl FitnessUnitX64 {
+impl<P: Plane> FitnessUnitXW<P> {
     /// A sliced unit implementing `spec`.
-    pub fn new(spec: FitnessSpec) -> FitnessUnitX64 {
-        FitnessUnitX64 { spec }
+    pub fn new(spec: FitnessSpec) -> FitnessUnitXW<P> {
+        FitnessUnitXW {
+            spec,
+            _plane: PhantomData,
+        }
     }
 
     /// The paper's rule set with unit weights.
-    pub fn paper() -> FitnessUnitX64 {
-        FitnessUnitX64::new(FitnessSpec::paper())
+    pub fn paper() -> FitnessUnitXW<P> {
+        FitnessUnitXW::new(FitnessSpec::paper())
     }
 
     /// The spec in force.
@@ -136,36 +171,40 @@ impl FitnessUnitX64 {
         self.spec
     }
 
-    /// Score 64 genomes presented transposed: `bits[b]` carries genome
-    /// bit `b` of every lane. Returns the per-lane weighted fitness.
-    pub fn evaluate_transposed(&self, bits: &[u64; GENOME_BITS]) -> [u32; LANES] {
-        let mut out = [0u32; LANES];
+    /// Score `P::LANES` genomes presented transposed: `bits[b]` carries
+    /// genome bit `b` of every lane. Returns the per-lane weighted
+    /// fitness.
+    pub fn evaluate_transposed(&self, bits: &[P; GENOME_BITS]) -> Vec<u32> {
+        let mut out = vec![0u32; P::LANES];
         self.evaluate_transposed_into(bits, &mut out);
         out
     }
 
-    /// [`Self::evaluate_transposed`] writing into a caller buffer.
-    pub fn evaluate_transposed_into(&self, bits: &[u64; GENOME_BITS], out: &mut [u32; LANES]) {
+    /// [`Self::evaluate_transposed`] writing into a caller buffer of
+    /// `P::LANES` scores.
+    pub fn evaluate_transposed_into(&self, bits: &[P; GENOME_BITS], out: &mut [u32]) {
+        debug_assert_eq!(out.len(), P::LANES);
         if self.is_unit_weight() {
             let planes = self.unit_score_planes(bits);
-            let mut bytes = [0u8; LANES];
-            counter_to_bytes(&planes, &mut bytes);
-            for l in 0..LANES {
-                out[l] = u32::from(bytes[l]);
+            let mut bytes = vec![0u8; P::LANES];
+            planes_to_bytes_wide(&planes, &mut bytes);
+            for (o, &b) in out.iter_mut().zip(bytes.iter()) {
+                *o = u32::from(b);
             }
         } else {
             self.weighted_into(bits, out);
         }
     }
 
-    /// Score 64 transposed genomes into [`SCORE_PLANES`] bit-planes: word
-    /// `p` of the result is score bit `p` of every lane. This is the batch
-    /// engine's path — the score never leaves the sliced domain, so the
-    /// engine can compare and select on it with word ops.
+    /// Score `P::LANES` transposed genomes into [`SCORE_PLANES`]
+    /// bit-planes: plane `p` of the result is score bit `p` of every
+    /// lane. This is the batch engine's path — the score never leaves the
+    /// sliced domain, so the engine can compare and select on it with
+    /// plane ops.
     ///
     /// # Panics
     /// Debug-asserts the spec's maximum fitness fits the plane width.
-    pub fn evaluate_transposed_planes(&self, bits: &[u64; GENOME_BITS]) -> [u64; SCORE_PLANES] {
+    pub fn evaluate_transposed_planes(&self, bits: &[P; GENOME_BITS]) -> [P; SCORE_PLANES] {
         debug_assert!(
             self.spec.max_fitness() < 1 << SCORE_PLANES,
             "score exceeds the sliced plane width"
@@ -175,32 +214,33 @@ impl FitnessUnitX64 {
         }
         // arbitrary weights: exact per-lane u32 recombination, re-sliced.
         // Cold path — every ablation spec is unit-weight on some subset.
-        let mut out = [0u32; LANES];
+        let mut out = vec![0u32; P::LANES];
         self.weighted_into(bits, &mut out);
-        let mut planes = [0u64; SCORE_PLANES];
+        let mut planes = [P::ZERO; SCORE_PLANES];
         for (l, &v) in out.iter().enumerate() {
             for (p, plane) in planes.iter_mut().enumerate() {
-                *plane |= u64::from(v >> p & 1) << l;
+                plane.set_bit(l, v >> p & 1 == 1);
             }
         }
         planes
     }
 
-    /// Score the 64 consecutive genomes `first..first + 64` into sliced
-    /// score planes without materializing or transposing them (see
-    /// [`consecutive_genome_planes`]) — the landscape sweep's kernel step.
+    /// Score the `P::LANES` consecutive genomes `first..first + P::LANES`
+    /// into sliced score planes without materializing or transposing them
+    /// (see [`consecutive_genome_planes_w`]) — the landscape sweep's
+    /// kernel step.
     ///
     /// # Panics
-    /// Panics unless `first` is 64-aligned and below 2³⁶.
-    pub fn evaluate_consecutive_planes(&self, first: u64) -> [u64; SCORE_PLANES] {
-        self.evaluate_transposed_planes(&consecutive_genome_planes(first))
+    /// Panics unless `first` is `P::LANES`-aligned and below 2³⁶.
+    pub fn evaluate_consecutive_planes(&self, first: u64) -> [P; SCORE_PLANES] {
+        self.evaluate_transposed_planes(&consecutive_genome_planes_w(first))
     }
 
-    /// [`Self::evaluate_transposed_planes`] for lane-major genomes.
-    pub fn evaluate_lanes_planes(&self, genomes: &[u64; LANES]) -> [u64; SCORE_PLANES] {
-        let t = transposed(genomes);
-        let mut bits = [0u64; GENOME_BITS];
-        bits.copy_from_slice(&t[..GENOME_BITS]);
+    /// [`Self::evaluate_transposed_planes`] for `P::LANES` lane-major
+    /// genomes.
+    pub fn evaluate_lanes_planes(&self, genomes: &[u64]) -> [P; SCORE_PLANES] {
+        let mut bits = [P::ZERO; GENOME_BITS];
+        transposed_planes(genomes, &mut bits);
         self.evaluate_transposed_planes(&bits)
     }
 
@@ -216,11 +256,11 @@ impl FitnessUnitX64 {
     /// chains (two per two-step rule, one for symmetry) folded by sliced
     /// ripple-carry adds. The split keeps every ripple ≤ 6 deep and lets
     /// the chains execute in parallel instead of one 26-long dependency.
-    fn unit_score_planes(&self, bits: &[u64; GENOME_BITS]) -> [u64; SCORE_PLANES] {
+    fn unit_score_planes(&self, bits: &[P; GENOME_BITS]) -> [P; SCORE_PLANES] {
         let bit = |s: usize, leg: usize, field: usize| bits[s * 18 + leg * 3 + field];
 
         // Rule 1 — equilibrium, one counter per step (≤ 4 each)
-        let mut eq = [[0u64; 3]; 2];
+        let mut eq = [[P::ZERO; 3]; 2];
         for (s, eq_s) in eq.iter_mut().enumerate() {
             for field in [0usize, 2] {
                 let left = bit(s, 0, field) & bit(s, 1, field) & bit(s, 2, field);
@@ -230,37 +270,37 @@ impl FitnessUnitX64 {
             }
         }
         // Rule 2 — symmetry (≤ 6)
-        let mut sy = [0u64; 3];
+        let mut sy = [P::ZERO; 3];
         for leg in 0..6 {
             count_into(&mut sy, bit(0, leg, 1) ^ bit(1, leg, 1));
         }
         // Rule 3 — coherence, one counter per step (≤ 6 each)
-        let mut co = [[0u64; 3]; 2];
+        let mut co = [[P::ZERO; 3]; 2];
         for (s, co_s) in co.iter_mut().enumerate() {
             for leg in 0..6 {
                 count_into(co_s, !(bit(s, leg, 0) ^ bit(s, leg, 1)));
             }
         }
 
-        let eq: [u64; 4] = add_planes(&eq[0], &eq[1]); // ≤ 8
-        let co: [u64; 4] = add_planes(&co[0], &co[1]); // ≤ 12
-        let eqsy: [u64; 5] = add_planes(&eq, &sy); // ≤ 14
-                                                   // ≤ 26: the carry out of plane 4 is statically zero
-        let mut total = [0u64; SCORE_PLANES];
-        let mut carry = 0u64;
+        let eq: [P; 4] = add_planes(&eq[0], &eq[1]); // ≤ 8
+        let co: [P; 4] = add_planes(&co[0], &co[1]); // ≤ 12
+        let eqsy: [P; 5] = add_planes(&eq, &sy); // ≤ 14
+                                                 // ≤ 26: the carry out of plane 4 is statically zero
+        let mut total = [P::ZERO; SCORE_PLANES];
+        let mut carry = P::ZERO;
         for p in 0..SCORE_PLANES {
-            let cp = if p < 4 { co[p] } else { 0 };
+            let cp = if p < 4 { co[p] } else { P::ZERO };
             let (s, c) = full_add(eqsy[p], cp, carry);
             total[p] = s;
             carry = c;
         }
-        debug_assert_eq!(carry, 0, "unit-weight total overflows 5 planes");
+        debug_assert!(carry.is_zero(), "unit-weight total overflows 5 planes");
         total
     }
 
     /// Arbitrary-weight scoring: per-rule counters, three extractions,
     /// exact `u32` recombination per lane.
-    fn weighted_into(&self, bits: &[u64; GENOME_BITS], out: &mut [u32; LANES]) {
+    fn weighted_into(&self, bits: &[P; GENOME_BITS], out: &mut [u32]) {
         let bit = |s: usize, leg: usize, field: usize| bits[s * 18 + leg * 3 + field];
         let (we, ws, wc) = (
             self.spec.equilibrium_weight,
@@ -270,7 +310,7 @@ impl FitnessUnitX64 {
 
         // Rule 1 — equilibrium: a side fails when all three of its legs
         // are up, checked on the four vertical configurations (0..=8)
-        let mut equilibrium = [0u64; 4];
+        let mut equilibrium = [P::ZERO; 4];
         for s in 0..2 {
             for field in [0usize, 2] {
                 let left = bit(s, 0, field) & bit(s, 1, field) & bit(s, 2, field);
@@ -282,14 +322,14 @@ impl FitnessUnitX64 {
 
         // Rule 2 — symmetry: legs whose horizontal direction differs
         // between the two steps (0..=6)
-        let mut symmetry = [0u64; 3];
+        let mut symmetry = [P::ZERO; 3];
         for leg in 0..6 {
             count_into(&mut symmetry, bit(0, leg, 1) ^ bit(1, leg, 1));
         }
 
         // Rule 3 — coherence: pre-vertical equals horizontal, per step per
         // leg (0..=12)
-        let mut coherence = [0u64; 4];
+        let mut coherence = [P::ZERO; 4];
         for s in 0..2 {
             for leg in 0..6 {
                 count_into(&mut coherence, !(bit(s, leg, 0) ^ bit(s, leg, 1)));
@@ -298,45 +338,46 @@ impl FitnessUnitX64 {
 
         // weighted recombination per lane — exact u32 arithmetic, so any
         // rule weighting matches the scalar unit bit-for-bit
-        let mut eq = [0u8; LANES];
-        let mut sy = [0u8; LANES];
-        let mut co = [0u8; LANES];
-        counter_to_bytes(&equilibrium, &mut eq);
-        counter_to_bytes(&symmetry, &mut sy);
-        counter_to_bytes(&coherence, &mut co);
-        for l in 0..LANES {
-            out[l] = we * u32::from(eq[l]) + ws * u32::from(sy[l]) + wc * u32::from(co[l]);
+        let mut eq = vec![0u8; P::LANES];
+        let mut sy = vec![0u8; P::LANES];
+        let mut co = vec![0u8; P::LANES];
+        planes_to_bytes_wide(&equilibrium, &mut eq);
+        planes_to_bytes_wide(&symmetry, &mut sy);
+        planes_to_bytes_wide(&coherence, &mut co);
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = we * u32::from(eq[l]) + ws * u32::from(sy[l]) + wc * u32::from(co[l]);
         }
     }
 
-    /// Score 64 genomes presented lane-major (word `l` = lane `l`'s
-    /// genome bits): transpose, then [`Self::evaluate_transposed`].
-    pub fn evaluate_lanes(&self, genomes: &[u64; LANES]) -> [u32; LANES] {
-        let mut out = [0u32; LANES];
+    /// Score `P::LANES` genomes presented lane-major (word `l` = lane
+    /// `l`'s genome bits): transpose, then [`Self::evaluate_transposed`].
+    pub fn evaluate_lanes(&self, genomes: &[u64]) -> Vec<u32> {
+        let mut out = vec![0u32; P::LANES];
         self.evaluate_lanes_into(genomes, &mut out);
         out
     }
 
-    /// [`Self::evaluate_lanes`] writing into a caller buffer.
-    pub fn evaluate_lanes_into(&self, genomes: &[u64; LANES], out: &mut [u32; LANES]) {
-        let t = transposed(genomes);
-        let mut bits = [0u64; GENOME_BITS];
-        bits.copy_from_slice(&t[..GENOME_BITS]);
+    /// [`Self::evaluate_lanes`] writing into a caller buffer of
+    /// `P::LANES` scores.
+    pub fn evaluate_lanes_into(&self, genomes: &[u64], out: &mut [u32]) {
+        let mut bits = [P::ZERO; GENOME_BITS];
+        transposed_planes(genomes, &mut bits);
         self.evaluate_transposed_into(&bits, out);
     }
 
-    /// Resource estimate: 64 copies of the scalar combinational network.
+    /// Resource estimate: `P::LANES` copies of the scalar combinational
+    /// network.
     pub fn resources(&self) -> Resources {
-        Resources::logic_functions((26 + 21 + 10) * LANES as u32)
+        Resources::logic_functions((26 + 21 + 10) * P::LANES as u32)
     }
 }
 
-/// One lane of `FitnessUnitX64::unit_score_planes` as boolean gates:
+/// One lane of `FitnessUnitXW::unit_score_planes` as boolean gates:
 /// the same five carry-save counter chains and ripple-carry folds, with
-/// every word operation replaced by its single-lane gate. The projection
-/// is exact because the sliced step uses only bitwise word ops, so bit
-/// `l` of each intermediate word equals the corresponding scalar gate on
-/// lane `l`'s inputs.
+/// every plane operation replaced by its single-lane gate. The projection
+/// is exact because the sliced step uses only bitwise plane ops, so bit
+/// `l` of each intermediate plane equals the corresponding scalar gate on
+/// lane `l`'s inputs — at any plane width.
 pub fn lane_unit_score_lits(c: &mut Circuit, bits: &[Lit; GENOME_BITS]) -> [Lit; SCORE_PLANES] {
     let bit = |s: usize, leg: usize, field: usize| bits[s * 18 + leg * 3 + field];
 
@@ -383,7 +424,7 @@ pub fn lane_unit_score_lits(c: &mut Circuit, bits: &[Lit; GENOME_BITS]) -> [Lit;
 
 /// One lane of the sliced unit under an arbitrary spec: the unit-weight
 /// fast path above, or the per-rule counters and exact weighted
-/// recombination mirroring `FitnessUnitX64::weighted_into`.
+/// recombination mirroring `FitnessUnitXW::weighted_into`.
 pub fn lane_score_lits(spec: FitnessSpec, c: &mut Circuit, bits: &[Lit; GENOME_BITS]) -> Word {
     if (
         spec.equilibrium_weight,
@@ -424,7 +465,7 @@ pub fn lane_score_lits(spec: FitnessSpec, c: &mut Circuit, bits: &[Lit; GENOME_B
 
 /// The semantics of **one lane** of the sliced network (see
 /// [`lane_unit_score_lits`] for why the projection is exact and covers
-/// all 64 lanes at once).
+/// every lane of every width at once).
 impl Semantics for FitnessUnitX64 {
     fn semantics(&self) -> SeqCircuit {
         let mut sc = SeqCircuit::new("fitness_unit_x64");
@@ -432,7 +473,7 @@ impl Semantics for FitnessUnitX64 {
             .input("genome", GENOME_BITS)
             .try_into()
             .expect("genome width");
-        let score = lane_score_lits(self.spec, &mut sc.circuit, &genome);
+        let score = lane_score_lits(self.spec(), &mut sc.circuit, &genome);
         sc.output("fitness", score);
         sc
     }
@@ -463,6 +504,8 @@ impl crate::netlist::Describe for FitnessUnitX64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitslice::plane::{W256, W512};
+    use crate::bitslice::transpose::transposed;
     use crate::fitness_rtl::FitnessUnit;
     use discipulus::fitness::{FitnessSpec, Rule};
     use discipulus::genome::{Genome, GENOME_MASK};
@@ -478,9 +521,9 @@ mod tests {
         g
     }
 
-    fn plane_value(planes: &[u64; SCORE_PLANES], lane: usize) -> u32 {
+    fn plane_value<P: Plane>(planes: &[P; SCORE_PLANES], lane: usize) -> u32 {
         (0..SCORE_PLANES)
-            .map(|p| ((planes[p] >> lane & 1) as u32) << p)
+            .map(|p| u32::from(planes[p].bit(lane)) << p)
             .sum()
     }
 
@@ -502,6 +545,28 @@ mod tests {
     }
 
     #[test]
+    fn wide_lanes_match_scalar_unit() {
+        let sliced = FitnessUnitXW::<W512>::paper();
+        let scalar = FitnessUnit::paper();
+        for round in 0..8 {
+            let mut genomes = vec![0u64; 512];
+            for (i, w) in genomes.iter_mut().enumerate() {
+                *w = (round * 512 + i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(31)
+                    & GENOME_MASK;
+            }
+            let scores = sliced.evaluate_lanes(&genomes);
+            let planes = sliced.evaluate_lanes_planes(&genomes);
+            for (l, &g) in genomes.iter().enumerate() {
+                let want = scalar.evaluate(Genome::from_bits(g));
+                assert_eq!(scores[l], want, "round {round} lane {l}");
+                assert_eq!(plane_value(&planes, l), want, "planes lane {l}");
+            }
+        }
+    }
+
+    #[test]
     fn weighted_specs_match_scalar_unit() {
         for spec in [
             FitnessSpec::only(Rule::Symmetry),
@@ -514,6 +579,24 @@ mod tests {
             let scores = sliced.evaluate_lanes(&genomes);
             for l in 0..LANES {
                 assert_eq!(scores[l], scalar.evaluate(Genome::from_bits(genomes[l])));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_weighted_specs_match_scalar_unit() {
+        for spec in [
+            FitnessSpec::only(Rule::Symmetry),
+            FitnessSpec::without(Rule::Equilibrium),
+        ] {
+            let sliced = FitnessUnitXW::<W256>::new(spec);
+            let scalar = FitnessUnit::new(spec);
+            let genomes: Vec<u64> = (0..256u64)
+                .map(|i| i.wrapping_mul(0xD1B5_4A32_D192_ED03).rotate_left(9) & GENOME_MASK)
+                .collect();
+            let scores = sliced.evaluate_lanes(&genomes);
+            for (l, &g) in genomes.iter().enumerate() {
+                assert_eq!(scores[l], scalar.evaluate(Genome::from_bits(g)), "lane {l}");
             }
         }
     }
@@ -569,6 +652,17 @@ mod tests {
     }
 
     #[test]
+    fn wide_consecutive_planes_match_explicit_transpose() {
+        for base in [0u64, 512, 0xA_4567_8800, (GENOME_MASK + 1) - 512] {
+            let lanes: Vec<u64> = (0..512).map(|l| base + l as u64).collect();
+            let mut t = [W512::ZERO; GENOME_BITS];
+            transposed_planes(&lanes, &mut t);
+            let planes = consecutive_genome_planes_w::<W512>(base);
+            assert_eq!(&t[..], &planes[..], "base {base:#x}");
+        }
+    }
+
+    #[test]
     fn consecutive_scores_match_scalar_unit() {
         let sliced = FitnessUnitX64::paper();
         let scalar = FitnessUnit::paper();
@@ -585,6 +679,12 @@ mod tests {
     #[should_panic(expected = "64-aligned")]
     fn consecutive_planes_reject_unaligned_base() {
         let _ = consecutive_genome_planes(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "256-aligned")]
+    fn wide_consecutive_planes_reject_unaligned_base() {
+        let _ = consecutive_genome_planes_w::<W256>(64);
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! The Genetic Algorithm Processor, 64 chips per step.
+//! The Genetic Algorithm Processor, one [`Plane`] of chips per step.
 //!
-//! [`GapRtlX64`] replays the exact control flow of the scalar
+//! [`GapRtlXW`] replays the exact control flow of the scalar
 //! [`GapRtl`](crate::gap_rtl::GapRtl) — same phases, same draw sequence,
 //! same mask-and-reject retries, same free-running RNG discipline — but
-//! carries 64 independently-seeded instances through it at once. The
-//! engine is **bit-exact per lane**: populations, best registers, drawn
-//! logs, cycle counts and per-phase breakdowns all match a scalar run
-//! with the same seed (locked by the lane-equivalence suite in `tests/`).
+//! carries `P::LANES` independently-seeded instances through it at once
+//! (64 on the [`GapRtlX64`] alias, up to 512 on
+//! [`W512`](crate::bitslice::W512)). The engine is **bit-exact per
+//! lane**: populations, best registers, drawn logs, cycle counts and
+//! per-phase breakdowns all match a scalar run with the same seed (locked
+//! by the lane-equivalence suite in `tests/` and the per-width probes in
+//! [`crate::bitslice::plane_registry`]).
 //!
 //! ## Where lanes diverge, and how that stays exact
 //!
@@ -20,7 +23,7 @@
 //!    draw runs under the success mask;
 //! 3. convergence: finished lanes freeze wholesale (their columns are
 //!    carried across the double-buffer swap untouched), and a frozen lane
-//!    can be recycled for a fresh trial with [`GapRtlX64::reset_lane`].
+//!    can be recycled for a fresh trial with [`GapRtlXW::reset_lane`].
 //!
 //! Everything else is lane-uniform and never touches per-lane state at
 //! all: dead cycles (RAM read/write turnaround, the 36-cycle crossover
@@ -37,11 +40,12 @@
 //! copy), so the padding path is dead for every reachable configuration
 //! and the batch engine omits it (debug-asserted).
 
-use crate::bitslice::fitness_x64::{FitnessUnitX64, SCORE_PLANES};
-use crate::bitslice::ram_x64::RamX64;
-use crate::bitslice::rng_x64::CaRngX64;
-use crate::bitslice::transpose::{planes_to_bytes, planes_to_u16};
-use crate::bitslice::{for_each_lane, lane_mask, lanes, LaneMask, LANES};
+use crate::bitslice::fitness_xw::{FitnessUnitXW, SCORE_PLANES};
+use crate::bitslice::plane::Plane;
+use crate::bitslice::ram_xw::RamXW;
+use crate::bitslice::rng_xw::CaRngXW;
+use crate::bitslice::transpose::{planes_to_bytes_wide, planes_to_u16_wide};
+use crate::bitslice::LANES;
 use crate::gap_rtl::CycleBreakdown;
 use crate::resources::{ResourceReport, Resources};
 use discipulus::gap::Population;
@@ -53,24 +57,27 @@ use leonardo_telemetry as tele;
 /// scalar constant): 36 shift cycles plus two commit writes.
 const XOVER_CYCLES: u64 = GENOME_BITS as u64 + 2;
 
-/// Configuration of the 64-lane batch GAP.
+/// Configuration of the batch GAP (any plane width).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GapRtlX64Config {
+pub struct GapRtlXWConfig {
     /// Algorithm parameters (shared with the scalar and behavioural GAPs).
     pub params: GapParams,
     /// Whether selection and crossover overlap in the pipeline.
     pub pipelined: bool,
     /// Record every consumed RNG word per lane. The scalar `GapRtl`
     /// always records; here it is opt-in (equivalence tests) because at
-    /// 64 lanes the logs dominate memory and defeat the purpose of a
-    /// throughput engine.
+    /// full lane count the logs dominate memory and defeat the purpose of
+    /// a throughput engine.
     pub record_draws: bool,
 }
 
-impl GapRtlX64Config {
+/// The historical name of the 64-lane configuration.
+pub type GapRtlX64Config = GapRtlXWConfig;
+
+impl GapRtlXWConfig {
     /// The paper's configuration (pipelined), draw recording off.
-    pub fn paper() -> GapRtlX64Config {
-        GapRtlX64Config {
+    pub fn paper() -> GapRtlXWConfig {
+        GapRtlXWConfig {
             params: GapParams::paper(),
             pipelined: true,
             record_draws: false,
@@ -78,15 +85,15 @@ impl GapRtlX64Config {
     }
 
     /// The unpipelined ablation, draw recording off.
-    pub fn unpipelined() -> GapRtlX64Config {
-        GapRtlX64Config {
+    pub fn unpipelined() -> GapRtlXWConfig {
+        GapRtlXWConfig {
             pipelined: false,
-            ..GapRtlX64Config::paper()
+            ..GapRtlXWConfig::paper()
         }
     }
 
     /// Same configuration with per-lane draw recording enabled.
-    pub fn recording(mut self) -> GapRtlX64Config {
+    pub fn recording(mut self) -> GapRtlXWConfig {
         self.record_draws = true;
         self
     }
@@ -115,13 +122,13 @@ fn phase_field(b: &mut CycleBreakdown, phase: Phase) -> &mut u64 {
 /// Per-step cycle accounting: cycles common to every active lane
 /// accumulate once here and are flushed to the per-lane counters when the
 /// step ends; divergent (subset-masked) cycles post directly.
-struct Acct {
-    active: LaneMask,
+struct Acct<P: Plane> {
+    active: P,
     uniform: CycleBreakdown,
 }
 
-impl Acct {
-    fn new(active: LaneMask) -> Acct {
+impl<P: Plane> Acct<P> {
+    fn new(active: P) -> Acct<P> {
         Acct {
             active,
             uniform: CycleBreakdown::default(),
@@ -130,42 +137,44 @@ impl Acct {
 }
 
 /// Reusable per-step working buffers (zeroed once per step, not once per
-/// pair — 3 KiB of memset per selection stage is real money at 16 pairs
-/// per generation).
-struct Scratch {
-    pa: [u64; LANES],
-    pb: [u64; LANES],
-    c: [u64; LANES],
-    d: [u64; LANES],
-    val: [u32; LANES],
+/// pair — kilobytes of memset per selection stage is real money at 16
+/// pairs per generation).
+struct Scratch<P: Plane> {
+    pa: Vec<u64>,
+    pb: Vec<u64>,
+    c: Vec<u64>,
+    d: Vec<u64>,
+    val: Vec<u32>,
+    idx: Vec<u8>,
     /// Score planes per individual, padded to a power of two for the
     /// selection mux tree (padding entries are never addressed: index
     /// draws are bounded by the population size).
-    mux: Vec<[u64; SCORE_PLANES]>,
+    mux: Vec<[P; SCORE_PLANES]>,
     /// Working levels of the mux reduction (half the leaf count).
-    mux_tmp: Vec<[u64; SCORE_PLANES]>,
+    mux_tmp: Vec<[P; SCORE_PLANES]>,
 }
 
-impl Scratch {
-    fn new(pop: usize) -> Scratch {
+impl<P: Plane> Scratch<P> {
+    fn new(pop: usize) -> Scratch<P> {
         let leaves = pop.next_power_of_two();
         Scratch {
-            pa: [0; LANES],
-            pb: [0; LANES],
-            c: [0; LANES],
-            d: [0; LANES],
-            val: [0; LANES],
-            mux: vec![[0u64; SCORE_PLANES]; leaves],
-            mux_tmp: vec![[0u64; SCORE_PLANES]; leaves / 2],
+            pa: vec![0; P::LANES],
+            pb: vec![0; P::LANES],
+            c: vec![0; P::LANES],
+            d: vec![0; P::LANES],
+            val: vec![0; P::LANES],
+            idx: vec![0; P::LANES],
+            mux: vec![[P::ZERO; SCORE_PLANES]; leaves],
+            mux_tmp: vec![[P::ZERO; SCORE_PLANES]; leaves / 2],
         }
     }
 }
 
 /// Per-lane strict `a > b` over score planes (MSB-first sliced
-/// comparator — the word-parallel form of 64 integer compares).
-fn gt_planes(a: &[u64; SCORE_PLANES], b: &[u64; SCORE_PLANES]) -> LaneMask {
-    let mut gt = 0u64;
-    let mut eq = !0u64;
+/// comparator — the plane-parallel form of `P::LANES` integer compares).
+fn gt_planes<P: Plane>(a: &[P; SCORE_PLANES], b: &[P; SCORE_PLANES]) -> P {
+    let mut gt = P::ZERO;
+    let mut eq = P::ONES;
     for p in (0..SCORE_PLANES).rev() {
         gt |= eq & a[p] & !b[p];
         eq &= !(a[p] ^ b[p]);
@@ -174,9 +183,9 @@ fn gt_planes(a: &[u64; SCORE_PLANES], b: &[u64; SCORE_PLANES]) -> LaneMask {
 }
 
 /// Per-lane `a ≥ b` over score planes.
-fn ge_planes(a: &[u64; SCORE_PLANES], b: &[u64; SCORE_PLANES]) -> LaneMask {
-    let mut gt = 0u64;
-    let mut eq = !0u64;
+fn ge_planes<P: Plane>(a: &[P; SCORE_PLANES], b: &[P; SCORE_PLANES]) -> P {
+    let mut gt = P::ZERO;
+    let mut eq = P::ONES;
     for p in (0..SCORE_PLANES).rev() {
         gt |= eq & a[p] & !b[p];
         eq &= !(a[p] ^ b[p]);
@@ -185,31 +194,31 @@ fn ge_planes(a: &[u64; SCORE_PLANES], b: &[u64; SCORE_PLANES]) -> LaneMask {
 }
 
 /// One lane's integer value out of a plane-sliced register.
-fn plane_value(planes: &[u64; SCORE_PLANES], lane: usize) -> u32 {
+fn plane_value<P: Plane>(planes: &[P; SCORE_PLANES], lane: usize) -> u32 {
     let mut v = 0u32;
-    for (p, &plane) in planes.iter().enumerate() {
-        v |= ((plane >> lane & 1) as u32) << p;
+    for (p, plane) in planes.iter().enumerate() {
+        v |= u32::from(plane.bit(lane)) << p;
     }
     v
 }
 
 /// Set one lane's value in a plane-sliced register.
-fn set_plane_value(planes: &mut [u64; SCORE_PLANES], lane: usize, v: u32) {
+fn set_plane_value<P: Plane>(planes: &mut [P; SCORE_PLANES], lane: usize, v: u32) {
     for (p, plane) in planes.iter_mut().enumerate() {
-        *plane = (*plane & !(1u64 << lane)) | u64::from(v >> p & 1) << lane;
+        plane.set_bit(lane, v >> p & 1 == 1);
     }
 }
 
 /// Sliced score gather: per lane, `mux[idx]` where the per-lane index
 /// arrives as `k` bit-planes — a binary mux tree reduced level by level,
-/// so 64 random-index score reads cost ~`3·5·len` word ops and no
-/// data-dependent loads at all.
-fn gather_scores(
-    mux: &[[u64; SCORE_PLANES]],
-    tmp: &mut [[u64; SCORE_PLANES]],
-    idx: &[u64],
+/// so a full batch of random-index score reads costs ~`3·5·len` plane
+/// ops and no data-dependent loads at all.
+fn gather_scores<P: Plane>(
+    mux: &[[P; SCORE_PLANES]],
+    tmp: &mut [[P; SCORE_PLANES]],
+    idx: &[P],
     k: usize,
-) -> [u64; SCORE_PLANES] {
+) -> [P; SCORE_PLANES] {
     let mut len = mux.len();
     debug_assert_eq!(len, 1usize << k);
     if len == 1 {
@@ -238,47 +247,54 @@ fn gather_scores(
     tmp[0]
 }
 
-/// The 64-lane batch Genetic Algorithm Processor.
+/// The width-generic batch Genetic Algorithm Processor.
 #[derive(Debug, Clone)]
-pub struct GapRtlX64 {
-    config: GapRtlX64Config,
-    enabled: LaneMask,
-    rng: CaRngX64,
-    fitness_unit: FitnessUnitX64,
-    basis: RamX64,
-    intermediate: RamX64,
+pub struct GapRtlXW<P: Plane> {
+    config: GapRtlXWConfig,
+    enabled: P,
+    rng: CaRngXW<P>,
+    fitness_unit: FitnessUnitXW<P>,
+    basis: RamXW<P>,
+    intermediate: RamXW<P>,
     /// Fitness score registers, bit-plane-sliced per individual
-    /// (`scores[i][p]` = score bit `p` of individual `i`, all 64 lanes).
-    scores: Vec<[u64; SCORE_PLANES]>,
-    best_genome: [u64; LANES],
-    best_fitness: [u32; LANES],
+    /// (`scores[i][p]` = score bit `p` of individual `i`, every lane).
+    scores: Vec<[P; SCORE_PLANES]>,
+    best_genome: Vec<u64>,
+    best_fitness: Vec<u32>,
     /// The best-fitness registers again, as score planes — the sliced
     /// operand of the strict-improvement comparator.
-    best_planes: [u64; SCORE_PLANES],
-    generation: [u64; LANES],
-    cycles: [u64; LANES],
-    breakdown: [CycleBreakdown; LANES],
+    best_planes: [P; SCORE_PLANES],
+    generation: Vec<u64>,
+    cycles: Vec<u64>,
+    breakdown: Vec<CycleBreakdown>,
     drawn_log: Option<Vec<Vec<u32>>>,
     /// Dead cycles accounted but not yet applied to the RNG; settled as
     /// one jump at the next draw (or at step end). Always owed by the
     /// whole active set — dead cycles are lane-uniform by construction.
     rng_owed: u64,
     max_fitness: u32,
+    /// Per-lane extraction buffers for the bounded-draw read-back.
+    byte_buf: Vec<u8>,
+    u16_buf: Vec<u16>,
 }
 
-impl GapRtlX64 {
-    /// Build 64 chips (one per seed, at most [`LANES`]) and run the
-    /// initiator phase on every enabled lane. Seeds map to lanes in
-    /// order: lane `l` is bit-exact with `GapRtl` seeded `seeds[l]`.
+/// The 64-lane batch engine (one `u64` plane per signal).
+pub type GapRtlX64 = GapRtlXW<u64>;
+
+impl<P: Plane> GapRtlXW<P> {
+    /// Build one chip per seed (at most `P::LANES`) and run the initiator
+    /// phase on every enabled lane. Seeds map to lanes in order: lane `l`
+    /// is bit-exact with `GapRtl` seeded `seeds[l]`.
     ///
     /// # Panics
     /// Panics if the parameters fail validation or `seeds` is empty or
-    /// longer than [`LANES`].
-    pub fn new(config: GapRtlX64Config, seeds: &[u32]) -> GapRtlX64 {
+    /// longer than `P::LANES`.
+    pub fn new(config: GapRtlXWConfig, seeds: &[u32]) -> GapRtlXW<P> {
         config.params.validate().expect("invalid GAP parameters");
         assert!(
-            !seeds.is_empty() && seeds.len() <= LANES,
-            "between 1 and {LANES} seeds"
+            !seeds.is_empty() && seeds.len() <= P::LANES,
+            "between 1 and {} seeds",
+            P::LANES
         );
         assert!(
             config.params.fitness.max_fitness() < 1 << SCORE_PLANES,
@@ -289,24 +305,26 @@ impl GapRtlX64 {
             "batch engine reads selection indices as bytes"
         );
         let n = config.params.population_size;
-        let enabled = lane_mask(seeds.len());
-        let mut gap = GapRtlX64 {
+        let enabled = P::low_mask(seeds.len());
+        let mut gap = GapRtlXW {
             config,
             enabled,
-            rng: CaRngX64::new(seeds),
-            fitness_unit: FitnessUnitX64::new(config.params.fitness),
-            basis: RamX64::new(n, 36),
-            intermediate: RamX64::new(n, 36),
-            scores: vec![[0u64; SCORE_PLANES]; n],
-            best_genome: [0u64; LANES],
-            best_fitness: [0u32; LANES],
-            best_planes: [0u64; SCORE_PLANES],
-            generation: [0u64; LANES],
-            cycles: [0u64; LANES],
-            breakdown: [CycleBreakdown::default(); LANES],
-            drawn_log: config.record_draws.then(|| vec![Vec::new(); LANES]),
+            rng: CaRngXW::new(seeds),
+            fitness_unit: FitnessUnitXW::new(config.params.fitness),
+            basis: RamXW::new(n, 36),
+            intermediate: RamXW::new(n, 36),
+            scores: vec![[P::ZERO; SCORE_PLANES]; n],
+            best_genome: vec![0u64; P::LANES],
+            best_fitness: vec![0u32; P::LANES],
+            best_planes: [P::ZERO; SCORE_PLANES],
+            generation: vec![0u64; P::LANES],
+            cycles: vec![0u64; P::LANES],
+            breakdown: vec![CycleBreakdown::default(); P::LANES],
+            drawn_log: config.record_draws.then(|| vec![Vec::new(); P::LANES]),
             rng_owed: 0,
             max_fitness: config.params.fitness.max_fitness(),
+            byte_buf: vec![0u8; P::LANES],
+            u16_buf: vec![0u16; P::LANES],
         };
         let mut acct = Acct::new(enabled);
         gap.run_initiator(&mut acct);
@@ -319,11 +337,11 @@ impl GapRtlX64 {
     /// initiator and first fitness scan on that lane alone (every other
     /// lane holds), and zero its counters. Afterwards the lane is
     /// bit-exact with a brand-new `GapRtl` seeded `seed` — this is what
-    /// lets a convergence-sampling driver keep all 64 lanes busy instead
+    /// lets a convergence-sampling driver keep every lane busy instead
     /// of waiting on the slowest trial of each batch.
     ///
     /// # Panics
-    /// Panics if `lane ≥ 64`.
+    /// Panics if `lane ≥ P::LANES`.
     pub fn reset_lane(&mut self, lane: usize, seed: u32) {
         self.reset_lanes(&[(lane, seed)]);
     }
@@ -335,17 +353,17 @@ impl GapRtlX64 {
     /// brand-new `GapRtl` seeded `seed`, exactly as [`Self::reset_lane`].
     ///
     /// # Panics
-    /// Panics if any lane is ≥ 64 or listed twice.
+    /// Panics if any lane is ≥ `P::LANES` or listed twice.
     pub fn reset_lanes(&mut self, resets: &[(usize, u32)]) {
         if resets.is_empty() {
             return;
         }
-        let mut m = 0u64;
+        let mut m = P::ZERO;
         for &(lane, seed) in resets {
-            assert!(lane < LANES, "lane out of range");
-            assert_eq!(m & (1u64 << lane), 0, "lane {lane} listed twice");
-            m |= 1u64 << lane;
-            self.enabled |= 1u64 << lane;
+            assert!(lane < P::LANES, "lane out of range");
+            assert!(!m.bit(lane), "lane {lane} listed twice");
+            m.set_bit(lane, true);
+            self.enabled |= P::lane_bit(lane);
             self.rng.seed_lane(lane, seed);
             self.generation[lane] = 0;
             self.cycles[lane] = 0;
@@ -365,26 +383,28 @@ impl GapRtlX64 {
 
     /// Post the step's uniform cycle total to every active lane and settle
     /// the RNG's dead-cycle debt.
-    fn flush(&mut self, acct: &Acct) {
+    fn flush(&mut self, acct: &Acct<P>) {
         self.flush_owed(acct.active);
         let u = acct.uniform;
         if u.total() == 0 {
             return;
         }
-        for l in lanes(acct.active) {
-            self.cycles[l] += u.total();
-            let b = &mut self.breakdown[l];
+        let cycles = &mut self.cycles;
+        let breakdown = &mut self.breakdown;
+        acct.active.for_each_set_lane(|l| {
+            cycles[l] += u.total();
+            let b = &mut breakdown[l];
             b.init += u.init;
             b.fitness += u.fitness;
             b.reproduce += u.reproduce;
             b.mutate += u.mutate;
             b.overhead += u.overhead;
-        }
+        });
     }
 
     /// Apply any owed dead cycles to the RNG (one jump), under the step's
     /// active set.
-    fn flush_owed(&mut self, active: LaneMask) {
+    fn flush_owed(&mut self, active: P) {
         if self.rng_owed > 0 {
             let n = self.rng_owed;
             self.rng_owed = 0;
@@ -394,8 +414,8 @@ impl GapRtlX64 {
 
     /// Advance the RNG, blend-free when no enabled lane needs to hold.
     #[inline]
-    fn rng_advance(&mut self, mask: LaneMask, n: u64) {
-        if self.enabled & !mask == 0 {
+    fn rng_advance(&mut self, mask: P, n: u64) {
+        if (self.enabled & !mask).is_zero() {
             self.rng.advance_free(n);
         } else {
             self.rng.advance(mask, n);
@@ -405,14 +425,14 @@ impl GapRtlX64 {
     /// `n` system cycles in which no lane consumes an RNG word: account
     /// now, owe the RNG the advancement. Dead cycles are always uniform
     /// across the active set, which is what makes the deferral sound.
-    fn advance_dead(&mut self, acct: &mut Acct, phase: Phase, n: u64) {
+    fn advance_dead(&mut self, acct: &mut Acct<P>, phase: Phase, n: u64) {
         *phase_field(&mut acct.uniform, phase) += n;
         self.rng_owed += n;
     }
 
     /// One cycle whose RNG word is consumed by the lanes in `mask`:
     /// settles the owed dead cycles in the same jump, logs when recording.
-    fn draw(&mut self, acct: &mut Acct, mask: LaneMask, phase: Phase) {
+    fn draw(&mut self, acct: &mut Acct<P>, mask: P, phase: Phase) {
         if mask == acct.active {
             let n = self.rng_owed + 1;
             self.rng_owed = 0;
@@ -423,15 +443,16 @@ impl GapRtlX64 {
             // active set first, then step only the drawing lanes
             self.flush_owed(acct.active);
             self.rng_advance(mask, 1);
-            for l in lanes(mask) {
-                self.cycles[l] += 1;
-                *phase_field(&mut self.breakdown[l], phase) += 1;
-            }
+            let cycles = &mut self.cycles;
+            let breakdown = &mut self.breakdown;
+            mask.for_each_set_lane(|l| {
+                cycles[l] += 1;
+                *phase_field(&mut breakdown[l], phase) += 1;
+            });
         }
         if let Some(log) = self.drawn_log.as_mut() {
-            for l in lanes(mask) {
-                log[l].push(self.rng.lane_word(l));
-            }
+            let rng = &self.rng;
+            mask.for_each_set_lane(|l| log[l].push(rng.lane_word(l)));
         }
     }
 
@@ -442,22 +463,22 @@ impl GapRtlX64 {
     /// byte-spread extraction at the end, however many rounds it took.
     fn draw_below(
         &mut self,
-        acct: &mut Acct,
-        mask: LaneMask,
+        acct: &mut Acct<P>,
+        mask: P,
         bound: u32,
         phase: Phase,
-        out: &mut [u32; LANES],
+        out: &mut [u32],
     ) {
-        let mut planes = [0u64; 16];
+        let mut planes = [P::ZERO; 16];
         let k = self.draw_below_planes(acct, mask, bound, phase, &mut planes);
         if k <= 8 {
-            let mut bytes = [0u8; LANES];
-            planes_to_bytes(&planes[..k], &mut bytes);
-            for_each_lane(mask, |l| out[l] = u32::from(bytes[l]));
+            planes_to_bytes_wide(&planes[..k], &mut self.byte_buf);
+            let bytes = &self.byte_buf;
+            mask.for_each_set_lane(|l| out[l] = u32::from(bytes[l]));
         } else {
-            let mut words = [0u16; LANES];
-            planes_to_u16(&planes[..k], &mut words);
-            for_each_lane(mask, |l| out[l] = u32::from(words[l]));
+            planes_to_u16_wide(&planes[..k], &mut self.u16_buf);
+            let words = &self.u16_buf;
+            mask.for_each_set_lane(|l| out[l] = u32::from(words[l]));
         }
     }
 
@@ -467,25 +488,25 @@ impl GapRtlX64 {
     /// Bit-exact per lane with the scalar `draw_below`.
     fn draw_below_planes(
         &mut self,
-        acct: &mut Acct,
-        mask: LaneMask,
+        acct: &mut Acct<P>,
+        mask: P,
         bound: u32,
         phase: Phase,
-        out: &mut [u64; 16],
+        out: &mut [P; 16],
     ) -> usize {
         debug_assert!(bound > 0);
         let word_mask = bound.next_power_of_two().wrapping_sub(1) | (bound - 1);
         let k = word_mask.count_ones() as usize;
         debug_assert!(k <= 16, "plane draws are read back as at most u16s");
         let mut remaining = mask;
-        while remaining != 0 {
+        while !remaining.is_zero() {
             self.draw(acct, remaining, phase);
             let accept = remaining & self.rng.lt_const(k, bound);
             if accept == mask {
                 // everyone accepted on the first attempt (always, when the
                 // bound is a power of two): a plain copy
                 out[..k].copy_from_slice(self.rng.low_cells(k));
-            } else if accept != 0 {
+            } else if !accept.is_zero() {
                 let cells = self.rng.low_cells(k);
                 for (o, &c) in out.iter_mut().zip(cells) {
                     *o = (c & accept) | (*o & !accept);
@@ -498,24 +519,25 @@ impl GapRtlX64 {
 
     /// Threshold comparison on the low byte for every lane of `mask`;
     /// returns the success mask.
-    fn chance(&mut self, acct: &mut Acct, mask: LaneMask, threshold: u8, phase: Phase) -> LaneMask {
+    fn chance(&mut self, acct: &mut Acct<P>, mask: P, threshold: u8, phase: Phase) -> P {
         self.draw(acct, mask, phase);
         mask & self.rng.lt_const(8, u32::from(threshold))
     }
 
     /// Initiator: fill the basis population, 2 RNG words + 1 write cycle
     /// per individual, per lane.
-    fn run_initiator(&mut self, acct: &mut Acct) {
+    fn run_initiator(&mut self, acct: &mut Acct<P>) {
         let a = acct.active;
+        let mut lo = vec![0u64; P::LANES];
+        let mut genome = vec![0u64; P::LANES];
         for i in 0..self.config.params.population_size {
             self.draw(acct, a, Phase::Init);
-            let mut lo = [0u64; LANES];
             let rng = &self.rng;
-            for_each_lane(a, |l| lo[l] = u64::from(rng.lane_word(l)));
+            a.for_each_set_lane(|l| lo[l] = u64::from(rng.lane_word(l)));
             self.draw(acct, a, Phase::Init);
-            let mut genome = [0u64; LANES];
             let rng = &self.rng;
-            for_each_lane(a, |l| {
+            let lo = &lo;
+            a.for_each_set_lane(|l| {
                 let hi = u64::from(rng.lane_word(l) & 0xF);
                 genome[l] = (lo[l] | hi << 32) & GENOME_MASK;
             });
@@ -534,15 +556,15 @@ impl GapRtlX64 {
     /// frozen lane the population column held, so the recomputed score is
     /// the value already there and the strict `>` never fires — cheaper
     /// than masking the bulk evaluation, and provably state-preserving.
-    fn run_fitness_phase(&mut self, acct: &mut Acct, latch: LaneMask) {
+    fn run_fitness_phase(&mut self, acct: &mut Acct<P>, latch: P) {
         let fu = self.fitness_unit;
-        if latch != 0 {
+        if !latch.is_zero() {
             let f0 = fu.evaluate_lanes_planes(self.basis.column(0));
             let basis = &self.basis;
             let bg = &mut self.best_genome;
             let bf = &mut self.best_fitness;
             let bp = &mut self.best_planes;
-            for_each_lane(latch, |l| {
+            latch.for_each_set_lane(|l| {
                 bg[l] = basis.peek(0, l);
                 let v = plane_value(&f0, l);
                 bf[l] = v;
@@ -554,18 +576,21 @@ impl GapRtlX64 {
             let f = fu.evaluate_lanes_planes(self.basis.column(i));
             self.scores[i] = f;
             // strict-improvement scan, entirely sliced: one 5-plane
-            // comparator replaces 64 load-compare-branch iterations, and
-            // it reports nothing for frozen lanes (their recomputed score
-            // equals the stored one, and strict `>` never fires)
+            // comparator replaces per-lane load-compare-branch iterations,
+            // and it reports nothing for frozen lanes (their recomputed
+            // score equals the stored one, and strict `>` never fires)
             let gt = gt_planes(&f, &self.best_planes);
-            if gt != 0 {
+            if !gt.is_zero() {
                 let basis = &self.basis;
-                for l in lanes(gt) {
+                let bg = &mut self.best_genome;
+                let bf = &mut self.best_fitness;
+                let bp = &mut self.best_planes;
+                gt.for_each_set_lane(|l| {
                     let v = plane_value(&f, l);
-                    self.best_fitness[l] = v;
-                    self.best_genome[l] = basis.peek(i, l);
-                    set_plane_value(&mut self.best_planes, l, v);
-                }
+                    bf[l] = v;
+                    bg[l] = basis.peek(i, l);
+                    set_plane_value(bp, l, v);
+                });
             }
         }
     }
@@ -573,11 +598,11 @@ impl GapRtlX64 {
     /// Selection-unit work for one parent on every active lane: two index
     /// draws, the dual-port score read (2 cycles), the threshold choice
     /// (1 cycle). Writes the chosen parent's genome bits per lane.
-    fn select_parent(&mut self, acct: &mut Acct, s: &mut Scratch, second: bool) {
+    fn select_parent(&mut self, acct: &mut Acct<P>, s: &mut Scratch<P>, second: bool) {
         let a = acct.active;
         let n = self.config.params.population_size as u32;
-        let mut ip = [0u64; 16];
-        let mut jp = [0u64; 16];
+        let mut ip = [P::ZERO; 16];
+        let mut jp = [P::ZERO; 16];
         let k = self.draw_below_planes(acct, a, n, Phase::Reproduce, &mut ip);
         self.draw_below_planes(acct, a, n, Phase::Reproduce, &mut jp);
         self.advance_dead(acct, Phase::Reproduce, 2); // dual-port score read
@@ -595,24 +620,24 @@ impl GapRtlX64 {
         let si = gather_scores(&s.mux, &mut s.mux_tmp, &ip, k);
         let sj = gather_scores(&s.mux, &mut s.mux_tmp, &jp, k);
         let choose_i = !(ge_planes(&si, &sj) ^ take_better);
-        let mut chosen = [0u64; 8];
+        let mut chosen = [P::ZERO; 8];
         for p in 0..k {
             chosen[p] = (ip[p] & choose_i) | (jp[p] & !choose_i);
         }
         // only the winner's index leaves the sliced domain, to address the
         // lane-major genome gather
-        let mut idx = [0u8; LANES];
-        planes_to_bytes(&chosen[..k], &mut idx);
+        planes_to_bytes_wide(&chosen[..k], &mut s.idx);
         let basis = &self.basis;
+        let idx = &s.idx;
         let out = if second { &mut s.pb } else { &mut s.pa };
-        for_each_lane(a, |l| out[l] = basis.peek(usize::from(idx[l]), l));
+        a.for_each_set_lane(|l| out[l] = basis.peek(usize::from(idx[l]), l));
     }
 
     /// Selection stage for one pair: two parents, the crossover decision,
     /// the cut draw under the success mask, and the 36-cycle bit-serial
     /// parent copy (owed to the RNG as one jump). Leaves the offspring in
     /// the scratch `c`/`d`.
-    fn selection_stage(&mut self, acct: &mut Acct, s: &mut Scratch) {
+    fn selection_stage(&mut self, acct: &mut Acct<P>, s: &mut Scratch<P>) {
         let a = acct.active;
         self.select_parent(acct, s, false);
         self.select_parent(acct, s, true);
@@ -622,7 +647,7 @@ impl GapRtlX64 {
             self.config.params.crossover_threshold.0,
             Phase::Reproduce,
         );
-        if xover != 0 {
+        if !xover.is_zero() {
             // only successful lanes spend cycles drawing the cut point
             self.draw_below(
                 acct,
@@ -640,9 +665,9 @@ impl GapRtlX64 {
         // a data-dependent branch here mispredicts constantly. Stale cut
         // entries are ≤ 34 (only cut draws write `val` during this phase),
         // so the shift below never overflows.
-        for l in 0..LANES {
+        for l in 0..P::LANES {
             debug_assert!(cut[l] <= 34);
-            let xm = (xover >> l & 1).wrapping_neg();
+            let xm = u64::from(xover.bit(l)).wrapping_neg();
             let low = (1u64 << (1 + cut[l])) - 1;
             let high = GENOME_MASK & !low;
             let cx = pa[l] & low | pb[l] & high;
@@ -655,7 +680,7 @@ impl GapRtlX64 {
     }
 
     /// Reproduction phase: all pairs through selection ∥ crossover.
-    fn run_reproduce_phase(&mut self, acct: &mut Acct, s: &mut Scratch) {
+    fn run_reproduce_phase(&mut self, acct: &mut Acct<P>, s: &mut Scratch<P>) {
         let a = acct.active;
         let pairs = self.config.params.population_size / 2;
         // The scalar pipeline pads when the 38-cycle crossover drain
@@ -679,7 +704,7 @@ impl GapRtlX64 {
 
     /// Mutation phase: per flip, a bounded address draw and a 3-cycle
     /// read-modify-write on the intermediate RAM, per lane.
-    fn run_mutate_phase(&mut self, acct: &mut Acct, s: &mut Scratch) {
+    fn run_mutate_phase(&mut self, acct: &mut Acct<P>, s: &mut Scratch<P>) {
         let a = acct.active;
         let bits = self.config.params.population_bits() as u32;
         for _ in 0..self.config.params.mutations_per_generation {
@@ -687,7 +712,7 @@ impl GapRtlX64 {
             self.advance_dead(acct, Phase::Mutate, 3); // read addr + data + write back
             let ram = &mut self.intermediate;
             let pos = &s.val;
-            for_each_lane(a, |l| {
+            a.for_each_set_lane(|l| {
                 let idx = pos[l] as usize / GENOME_BITS;
                 let bit = pos[l] as usize % GENOME_BITS;
                 ram.xor_lane(idx, l, 1u64 << bit);
@@ -695,7 +720,7 @@ impl GapRtlX64 {
         }
     }
 
-    fn step_internal(&mut self, acct: &mut Acct) {
+    fn step_internal(&mut self, acct: &mut Acct<P>) {
         let a = acct.active;
         let mut scratch = Scratch::new(self.config.params.population_size);
         // the selection mux reads the score planes the previous step's
@@ -709,31 +734,36 @@ impl GapRtlX64 {
         // into the buffer that is about to become the basis.
         self.advance_dead(acct, Phase::Overhead, 1);
         let frozen = self.enabled & !a;
-        if frozen != 0 {
+        if !frozen.is_zero() {
             self.intermediate.copy_lanes_from(&self.basis, frozen);
         }
         std::mem::swap(&mut self.basis, &mut self.intermediate);
         let gen = &mut self.generation;
-        for_each_lane(a, |l| gen[l] += 1);
-        self.run_fitness_phase(acct, 0);
+        a.for_each_set_lane(|l| gen[l] += 1);
+        self.run_fitness_phase(acct, P::ZERO);
     }
 
     /// Advance the lanes of `mask` (intersected with the enabled set) by
     /// one generation; every register of every other lane holds.
-    pub fn step_generation_masked(&mut self, mask: LaneMask) {
+    pub fn step_generation_masked(&mut self, mask: P) {
         let active = mask & self.enabled;
-        if active == 0 {
+        if active.is_zero() {
             return;
         }
         let telemetry = tele::enabled_at(tele::Level::Metric);
-        let converged_before = if telemetry { self.converged_mask() } else { 0 };
+        let converged_before = if telemetry {
+            self.converged_mask()
+        } else {
+            P::ZERO
+        };
         let mut acct = Acct::new(active);
         self.step_internal(&mut acct);
         self.flush(&acct);
         if telemetry {
             if tele::enabled_at(tele::Level::Trace) {
                 // lane occupancy of this lockstep step: the batch engine's
-                // pipeline utilisation metric (64 = full, 1 = worst case)
+                // pipeline utilisation metric (full lane count = full,
+                // 1 = worst case)
                 tele::emit(
                     tele::Level::Trace,
                     "rtl.x64.step",
@@ -744,36 +774,43 @@ impl GapRtlX64 {
                 );
             }
             let fresh = self.converged_mask() & !converged_before;
-            for l in lanes(fresh) {
+            let generation = &self.generation;
+            let cycles = &self.cycles;
+            let best_fitness = &self.best_fitness;
+            fresh.for_each_set_lane(|l| {
                 tele::emit(
                     tele::Level::Metric,
                     "rtl.x64.lane_converged",
                     &[
                         ("lane", l.into()),
-                        ("generation", self.generation[l].into()),
-                        ("cycles", self.cycles[l].into()),
-                        ("best", self.best_fitness[l].into()),
+                        ("generation", generation[l].into()),
+                        ("cycles", cycles[l].into()),
+                        ("best", best_fitness[l].into()),
                     ],
                 );
-            }
+            });
         }
     }
 
     /// Advance every enabled lane one generation (lockstep batch step —
-    /// the direct counterpart of 64 scalar `step_generation` calls).
+    /// the direct counterpart of `P::LANES` scalar `step_generation`
+    /// calls).
     pub fn step_generation(&mut self) {
         self.step_generation_masked(self.enabled);
     }
 
     /// The mask of enabled lanes still worth stepping: not converged and
     /// under the generation budget.
-    pub fn running_mask(&self, max_generations: u64) -> LaneMask {
-        let mut active = 0u64;
-        for l in lanes(self.enabled) {
-            if self.best_fitness[l] != self.max_fitness && self.generation[l] < max_generations {
-                active |= 1u64 << l;
+    pub fn running_mask(&self, max_generations: u64) -> P {
+        let mut active = P::ZERO;
+        let best = &self.best_fitness;
+        let gen = &self.generation;
+        let max = self.max_fitness;
+        self.enabled.for_each_set_lane(|l| {
+            if best[l] != max && gen[l] < max_generations {
+                active.set_bit(l, true);
             }
-        }
+        });
         active
     }
 
@@ -781,10 +818,10 @@ impl GapRtlX64 {
     /// a maximal-fitness best genome or has run `max_generations`.
     /// Returns the converged mask. Per lane this is exactly the scalar
     /// `run_to_convergence` loop; converged lanes freeze.
-    pub fn run_to_convergence(&mut self, max_generations: u64) -> LaneMask {
+    pub fn run_to_convergence(&mut self, max_generations: u64) -> P {
         loop {
             let active = self.running_mask(max_generations);
-            if active == 0 {
+            if active.is_zero() {
                 return self.converged_mask();
             }
             self.step_generation_masked(active);
@@ -792,7 +829,7 @@ impl GapRtlX64 {
     }
 
     /// The enabled-lane mask (low `seeds.len()` bits).
-    pub fn enabled(&self) -> LaneMask {
+    pub fn enabled(&self) -> P {
         self.enabled
     }
 
@@ -802,13 +839,15 @@ impl GapRtlX64 {
     }
 
     /// The mask of enabled lanes that have converged.
-    pub fn converged_mask(&self) -> LaneMask {
-        let mut m = 0u64;
-        for l in lanes(self.enabled) {
-            if self.best_fitness[l] == self.max_fitness {
-                m |= 1u64 << l;
+    pub fn converged_mask(&self) -> P {
+        let mut m = P::ZERO;
+        let best = &self.best_fitness;
+        let max = self.max_fitness;
+        self.enabled.for_each_set_lane(|l| {
+            if best[l] == max {
+                m.set_bit(l, true);
             }
-        }
+        });
         m
     }
 
@@ -856,7 +895,7 @@ impl GapRtlX64 {
     }
 
     /// The configuration in force.
-    pub fn config(&self) -> &GapRtlX64Config {
+    pub fn config(&self) -> &GapRtlXWConfig {
         &self.config
     }
 
@@ -866,7 +905,7 @@ impl GapRtlX64 {
     ///
     /// # Panics
     /// Panics if `pos` exceeds the population bit count.
-    pub fn inject_upset(&mut self, pos: usize, mask: LaneMask) {
+    pub fn inject_upset(&mut self, pos: usize, mask: P) {
         assert!(
             pos < self.config.params.population_bits(),
             "upset position out of range"
@@ -887,10 +926,11 @@ impl GapRtlX64 {
     // debt is always settled when `step_generation_masked` returns).
 
     /// Read one bit of one lane's basis population storage, addressed like
-    /// [`GapRtlX64::inject_upset`].
+    /// [`GapRtlXW::inject_upset`].
     ///
     /// # Panics
-    /// Panics if `pos` exceeds the population bit count or `lane ≥ 64`.
+    /// Panics if `pos` exceeds the population bit count or
+    /// `lane ≥ P::LANES`.
     pub fn population_bit(&self, lane: usize, pos: usize) -> bool {
         assert!(
             pos < self.config.params.population_bits(),
@@ -903,18 +943,22 @@ impl GapRtlX64 {
     /// lane holds.
     ///
     /// # Panics
-    /// Panics if `pos` exceeds the population bit count or `lane ≥ 64`.
+    /// Panics if `pos` exceeds the population bit count or
+    /// `lane ≥ P::LANES`.
     pub fn set_population_bit(&mut self, lane: usize, pos: usize, value: bool) {
         if self.population_bit(lane, pos) != value {
-            self.basis
-                .flip_bit(pos / GENOME_BITS, (pos % GENOME_BITS) as u32, 1u64 << lane);
+            self.basis.flip_bit(
+                pos / GENOME_BITS,
+                (pos % GENOME_BITS) as u32,
+                P::lane_bit(lane),
+            );
         }
     }
 
     /// Read one CA state cell of one lane's free-running RNG.
     ///
     /// # Panics
-    /// Panics if `lane ≥ 64` or `cell ≥ 32`.
+    /// Panics if `lane ≥ P::LANES` or `cell ≥ 32`.
     pub fn rng_state_bit(&self, lane: usize, cell: usize) -> bool {
         self.rng.cell_bit(lane, cell)
     }
@@ -922,7 +966,7 @@ impl GapRtlX64 {
     /// Force one CA state cell of one lane's RNG; every other lane holds.
     ///
     /// # Panics
-    /// Panics if `lane ≥ 64` or `cell ≥ 32`.
+    /// Panics if `lane ≥ P::LANES` or `cell ≥ 32`.
     pub fn set_rng_state_bit(&mut self, lane: usize, cell: usize, value: bool) {
         self.rng.set_cell_bit(lane, cell, value);
     }
@@ -930,9 +974,9 @@ impl GapRtlX64 {
     /// Read one bit of one lane's best-genome register.
     ///
     /// # Panics
-    /// Panics if `lane ≥ 64` or `bit ≥ 36`.
+    /// Panics if `lane ≥ P::LANES` or `bit ≥ 36`.
     pub fn best_genome_bit(&self, lane: usize, bit: usize) -> bool {
-        assert!(lane < LANES, "lane out of range");
+        assert!(lane < P::LANES, "lane out of range");
         assert!(bit < GENOME_BITS, "best-genome bit out of range");
         self.best_genome[lane] >> bit & 1 == 1
     }
@@ -944,44 +988,53 @@ impl GapRtlX64 {
     /// afterwards.
     ///
     /// # Panics
-    /// Panics if `lane ≥ 64` or `bit ≥ 36`.
+    /// Panics if `lane ≥ P::LANES` or `bit ≥ 36`.
     pub fn set_best_genome_bit(&mut self, lane: usize, bit: usize, value: bool) {
-        assert!(lane < LANES, "lane out of range");
+        assert!(lane < P::LANES, "lane out of range");
         assert!(bit < GENOME_BITS, "best-genome bit out of range");
         let b = 1u64 << bit;
         self.best_genome[lane] = (self.best_genome[lane] & !b) | (u64::from(value) << bit);
     }
 
-    /// Per-unit resource estimate: 64 chips' worth of Figure 5.
+    /// Per-unit resource estimate: `P::LANES` chips' worth of Figure 5.
     pub fn resource_report(&self) -> ResourceReport {
-        let lanes = LANES as u32;
+        let lanes = P::LANES as u32;
         let mut rep = ResourceReport::new();
-        rep.add("rng (32-cell CA ×64)", self.rng.resources());
-        rep.add("population RAM (basis ×64)", self.basis.resources());
+        rep.add(format!("rng (32-cell CA ×{lanes})"), self.rng.resources());
         rep.add(
-            "population RAM (interm. ×64)",
+            format!("population RAM (basis ×{lanes})"),
+            self.basis.resources(),
+        );
+        rep.add(
+            format!("population RAM (interm. ×{lanes})"),
             self.intermediate.resources(),
         );
         rep.add(
-            "fitness score LUT-RAM ×64",
+            format!("fitness score LUT-RAM ×{lanes}"),
             Resources::lut_ram_bits(self.scores.len() as u32 * 5 * lanes),
         );
         rep.add(
-            "best-individual registers ×64",
+            format!("best-individual registers ×{lanes}"),
             Resources::unit((36 + 5) * lanes, 4 * lanes),
         );
-        rep.add("fitness unit ×64", self.fitness_unit.resources());
         rep.add(
-            "selection unit ×64",
+            format!("fitness unit ×{lanes}"),
+            self.fitness_unit.resources(),
+        );
+        rep.add(
+            format!("selection unit ×{lanes}"),
             Resources::unit(12 * lanes, 24 * lanes),
         );
         rep.add(
-            "crossover unit ×64",
+            format!("crossover unit ×{lanes}"),
             Resources::unit((2 * 36 + 6) * lanes, 16 * lanes),
         );
-        rep.add("mutation unit ×64", Resources::unit(12 * lanes, 10 * lanes));
         rep.add(
-            "initiator + control FSM ×64",
+            format!("mutation unit ×{lanes}"),
+            Resources::unit(12 * lanes, 10 * lanes),
+        );
+        rep.add(
+            format!("initiator + control FSM ×{lanes}"),
             Resources::unit(8 * lanes, 24 * lanes),
         );
         rep
@@ -1050,6 +1103,7 @@ impl crate::netlist::Describe for GapRtlX64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitslice::plane::W128;
     use crate::gap_rtl::{GapRtl, GapRtlConfig};
 
     fn seeds(n: usize) -> Vec<u32> {
@@ -1092,6 +1146,36 @@ mod tests {
                     "gen {gen} lane {l}"
                 );
                 assert_eq!(batch.breakdown(l), scalar.breakdown(), "gen {gen} lane {l}");
+                assert_eq!(batch.drawn_log(l), scalar.drawn_log(), "gen {gen} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lockstep_generations_match_scalar() {
+        // 80 lanes crosses the first limb boundary of a W128 plane, so the
+        // partial-batch mask, the retry ladder and the score gather all
+        // exercise the multi-limb paths
+        let s = seeds(80);
+        let mut batch = GapRtlXW::<W128>::new(GapRtlXWConfig::paper().recording(), &s);
+        let mut scalars: Vec<GapRtl> = s
+            .iter()
+            .map(|&seed| GapRtl::new(GapRtlConfig::paper(seed)))
+            .collect();
+        for gen in 0..5 {
+            batch.step_generation();
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                scalar.step_generation();
+                assert_eq!(
+                    batch.population(l),
+                    scalar.population(),
+                    "gen {gen} lane {l}"
+                );
+                assert_eq!(
+                    batch.cycles(l),
+                    scalar.clock().cycles(),
+                    "gen {gen} lane {l}"
+                );
                 assert_eq!(batch.drawn_log(l), scalar.drawn_log(), "gen {gen} lane {l}");
             }
         }

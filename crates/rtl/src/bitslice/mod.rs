@@ -1,63 +1,77 @@
-//! Bit-sliced (SWAR) 64-lane batch simulation backend.
+//! Bit-sliced (SWAR) batch simulation backend, 64 to 512 lanes wide.
 //!
 //! The classic parallel-pattern technique from EDA fault simulation,
 //! applied to the whole Discipulus GAP: every logic signal is carried in a
-//! `u64` whose bit `l` belongs to simulation **lane** `l`, so one update of
-//! a sliced unit advances 64 independent, independently-seeded chip
-//! instances at once. [`GapRtlX64`] is the batch counterpart of
-//! [`crate::gap_rtl::GapRtl`] and is **bit-exact per lane**: lane `l` of a
-//! 64-seed batch reproduces the populations, best registers, cycle counts
-//! and drawn-word log of a scalar `GapRtl` run with seed `l` — the
-//! lane-equivalence suite in `tests/` locks the two together.
+//! [`Plane`] whose bit `l` belongs to simulation **lane** `l`, so one
+//! update of a sliced unit advances `P::LANES` independent,
+//! independently-seeded chip instances at once. The plane is `u64` on the
+//! historical 64-lane engine and `[u64; N]` on the wide ones
+//! ([`W128`]/[`W256`]/[`W512`]), whose elementwise word loops the compiler
+//! autovectorizes — no intrinsics, no `unsafe`. [`GapRtlXW`] is the batch
+//! counterpart of [`crate::gap_rtl::GapRtl`] and is **bit-exact per
+//! lane** at every width: lane `l` of a seeded batch reproduces the
+//! populations, best registers, cycle counts and drawn-word log of a
+//! scalar `GapRtl` run with seed `l` — the lane-equivalence suite in
+//! `tests/` and the per-width probes behind [`plane_registry`] lock the
+//! engines together.
 //!
 //! Three representation tricks make this fast rather than merely parallel:
 //!
-//! * the free-running CA RNG is stored **transposed** ([`CaRngX64`]:
-//!   `cells[i]` holds cell `i` of all lanes), so one clock edge of all 64
-//!   generators is 32 shifted XOR words instead of 64 scalar updates — and
+//! * the free-running CA RNG is stored **transposed** ([`CaRngXW`]:
+//!   `cells[i]` holds cell `i` of all lanes), so one clock edge of all
+//!   generators is 32 shifted XOR planes instead of per-lane updates — and
 //!   because the CA is linear over GF(2), uniform dead-cycle stretches
 //!   (the 36-cycle crossover shift, the 38-cycle pipeline drain) are
 //!   applied as precomputed jump matrices `M³⁶`, `M³⁸` in one go;
 //! * the combinational fitness network is evaluated **bit-sliced**
-//!   ([`FitnessUnitX64`]): 36 transposed genome-bit words flow through the
+//!   ([`FitnessUnitXW`]): 36 transposed genome-bit planes flow through the
 //!   same boolean algebra as the scalar unit, with carry-save counters
-//!   replacing popcounts, scoring 64 genomes per call;
-//! * populations and scores stay **lane-major** ([`RamX64`]), because
+//!   replacing popcounts, scoring `P::LANES` genomes per call;
+//! * populations and scores stay **lane-major** ([`RamXW`]), because
 //!   selection and mutation address them with per-lane divergent indices;
-//!   the 64×64 bit-matrix transpose ([`transpose::transpose64`]) bridges
-//!   the two layouts on demand.
+//!   the per-limb 64×64 bit-matrix transpose
+//!   ([`transpose::transposed_planes`]) bridges the two layouts on demand.
 //!
 //! Lanes diverge in *time* (mask-and-reject draws retry per lane, the
 //! crossover decision draws a cut point only on success), which is handled
-//! by masked clocking: every RNG step carries a [`LaneMask`] and lanes
-//! outside it hold state, so each lane always sits at exactly the cycle
-//! its scalar twin would occupy. Converged lanes freeze entirely, which is
-//! also what makes E13's SEU campaign cheap: an upset is a one-hot
-//! lane-mask XOR into the population RAM ([`GapRtlX64::inject_upset`])
-//! instead of a per-fault rerun.
+//! by masked clocking: every RNG step carries a lane mask — itself a
+//! `Plane` — and lanes outside it hold state, so each lane always sits at
+//! exactly the cycle its scalar twin would occupy. Converged lanes freeze
+//! entirely, which is also what makes E13's SEU campaign cheap: an upset
+//! is a one-hot lane-mask XOR into the population RAM
+//! ([`GapRtlXW::inject_upset`]) instead of a per-fault rerun.
+//!
+//! The 64-lane names ([`GapRtlX64`], [`CaRngX64`], [`FitnessUnitX64`],
+//! [`RamX64`]) are aliases of the width-generic types at `P = u64`; the
+//! netlist descriptions and SAT-checked semantics claims live on those
+//! aliases, pinned to the historical `*_x64` unit names.
 
-pub mod fitness_x64;
-pub mod gap_x64;
-pub mod ram_x64;
-pub mod rng_x64;
+pub mod fitness_xw;
+pub mod gap_xw;
+pub mod plane;
+pub mod ram_xw;
+pub mod rng_xw;
 pub mod transpose;
 
-pub use fitness_x64::{
-    consecutive_genome_planes, lane_score_lits, lane_unit_score_lits, FitnessUnitX64, LANE_BITS,
-    LANE_INDEX_PLANES, SCORE_PLANES,
+pub use fitness_xw::{
+    consecutive_genome_planes, consecutive_genome_planes_w, lane_score_lits, lane_unit_score_lits,
+    FitnessUnitX64, FitnessUnitXW, LANE_BITS, LANE_INDEX_PLANES, SCORE_PLANES,
 };
-pub use gap_x64::{GapRtlX64, GapRtlX64Config};
-pub use ram_x64::RamX64;
-pub use rng_x64::CaRngX64;
+pub use gap_xw::{GapRtlX64, GapRtlX64Config, GapRtlXW, GapRtlXWConfig};
+pub use plane::{plane_registry, Plane, PlaneWidth, Wide, W128, W256, W512};
+pub use ram_xw::{RamX64, RamXW};
+pub use rng_xw::{CaRngX64, CaRngXW};
 
-/// Number of simulation lanes carried per machine word.
+/// Number of simulation lanes carried per machine word on the historical
+/// 64-lane engine ([`Plane::LANES`] of `u64`; wide planes carry more).
 pub const LANES: usize = 64;
 
 /// Number of cells in the hybrid 90/150 CA generator (shared with the
 /// scalar [`crate::rng_rtl::CaRngRtl`]).
 pub const CELLS: usize = 32;
 
-/// A set of lanes: bit `l` selects lane `l`.
+/// A set of 64-lane-engine lanes: bit `l` selects lane `l`. (On the wide
+/// engines the mask type is the plane itself.)
 pub type LaneMask = u64;
 
 /// The mask selecting the first `n` lanes.
@@ -76,22 +90,6 @@ pub fn lane_mask(n: usize) -> LaneMask {
 /// Iterate over the lane indices present in `mask`, ascending.
 pub fn lanes(mask: LaneMask) -> Lanes {
     Lanes(mask)
-}
-
-/// Run `f` for every lane in `mask`. The full-mask case — the steady
-/// state of a batch run — takes a plain counted loop instead of the
-/// find-and-clear bit scan, which the hot per-lane loops care about.
-#[inline(always)]
-pub(crate) fn for_each_lane(mask: LaneMask, mut f: impl FnMut(usize)) {
-    if mask == !0 {
-        for l in 0..LANES {
-            f(l);
-        }
-    } else {
-        for l in lanes(mask) {
-            f(l);
-        }
-    }
 }
 
 /// Iterator returned by [`lanes`].

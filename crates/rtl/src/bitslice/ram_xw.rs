@@ -1,11 +1,12 @@
-//! The population RAM, 64 lanes wide.
+//! The population RAM, one [`Plane`] of lanes wide.
 //!
-//! Storage is **lane-major** (`words[addr][lane]`), not bit-sliced:
-//! selection and mutation address the population with per-lane divergent
-//! indices, and gathering a 36-bit genome out of 36 transposed words per
-//! lane would cost more than it saves. The bit-sliced fitness unit gets
-//! its transposed view on demand via
-//! [`crate::bitslice::transpose::transpose64`].
+//! Storage is **lane-major** (`words[addr][lane]`, flattened to one
+//! contiguous buffer with a `P::LANES` stride), not bit-sliced: selection
+//! and mutation address the population with per-lane divergent indices,
+//! and gathering a 36-bit genome out of 36 transposed planes per lane
+//! would cost more than it saves. The bit-sliced fitness unit gets its
+//! transposed view on demand via
+//! [`crate::bitslice::transpose::transposed_planes`].
 //!
 //! Unlike the scalar [`crate::primitives::Ram`], this model does not carry
 //! the one-write-per-cycle port bookkeeping: the batch engine's phase
@@ -13,41 +14,52 @@
 //! RAM already checks, and dropping the `Option` dance per lane-write is
 //! part of the throughput budget.
 
-use crate::bitslice::{lanes, LaneMask, LANES};
+use crate::bitslice::plane::Plane;
+use crate::bitslice::LANES;
 use crate::netlist::{Describe, StaticNetlist};
 use crate::resources::Resources;
+use core::marker::PhantomData;
 
-/// A `depth × width`-bit RAM replicated across 64 lanes.
+/// A `depth × width`-bit RAM replicated across `P::LANES` lanes.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RamX64 {
-    words: Vec<[u64; LANES]>,
+pub struct RamXW<P: Plane> {
+    /// Lane-major storage: word `addr` of lane `l` lives at
+    /// `words[addr * P::LANES + l]`.
+    words: Vec<u64>,
+    depth: usize,
     width: u32,
     mask: u64,
+    _plane: PhantomData<P>,
 }
 
-impl RamX64 {
+/// The 64-lane RAM.
+pub type RamX64 = RamXW<u64>;
+
+impl<P: Plane> RamXW<P> {
     /// A zero-initialized RAM of `depth` words of `width ≤ 64` bits per
     /// lane.
     ///
     /// # Panics
     /// Panics if `width` is 0 or exceeds 64.
-    pub fn new(depth: usize, width: u32) -> RamX64 {
+    pub fn new(depth: usize, width: u32) -> RamXW<P> {
         assert!((1..=64).contains(&width), "width must be 1..=64 bits");
         let mask = if width == 64 {
             u64::MAX
         } else {
             (1u64 << width) - 1
         };
-        RamX64 {
-            words: vec![[0u64; LANES]; depth],
+        RamXW {
+            words: vec![0u64; depth * P::LANES],
+            depth,
             width,
             mask,
+            _plane: PhantomData,
         }
     }
 
     /// Number of words per lane.
     pub fn depth(&self) -> usize {
-        self.words.len()
+        self.depth
     }
 
     /// Word width in bits.
@@ -58,19 +70,21 @@ impl RamX64 {
     /// Combinational read of one lane's word.
     #[inline]
     pub fn peek(&self, addr: usize, lane: usize) -> u64 {
-        self.words[addr][lane]
+        debug_assert!(lane < P::LANES);
+        self.words[addr * P::LANES + lane]
     }
 
-    /// The full 64-lane column at `addr` (lane-major).
+    /// The full lane-major column at `addr` (`P::LANES` words).
     #[inline]
-    pub fn column(&self, addr: usize) -> &[u64; LANES] {
-        &self.words[addr]
+    pub fn column(&self, addr: usize) -> &[u64] {
+        &self.words[addr * P::LANES..(addr + 1) * P::LANES]
     }
 
     /// Write one lane's word (masked to the RAM width).
     #[inline]
     pub fn write_lane(&mut self, addr: usize, lane: usize, value: u64) {
-        self.words[addr][lane] = value & self.mask;
+        debug_assert!(lane < P::LANES);
+        self.words[addr * P::LANES + lane] = value & self.mask;
     }
 
     /// XOR `bits` into one lane's word (masked to the RAM width) — the
@@ -78,33 +92,35 @@ impl RamX64 {
     /// the hot path touches the column exactly once.
     #[inline]
     pub fn xor_lane(&mut self, addr: usize, lane: usize, bits: u64) {
-        self.words[addr][lane] ^= bits & self.mask;
+        debug_assert!(lane < P::LANES);
+        self.words[addr * P::LANES + lane] ^= bits & self.mask;
     }
 
     /// Write per-lane values into every lane of `mask`; other lanes hold.
-    pub fn write_masked(&mut self, addr: usize, mask: LaneMask, values: &[u64; LANES]) {
-        let col = &mut self.words[addr];
-        if mask == !0 {
+    ///
+    /// # Panics
+    /// Debug-asserts `values.len() == P::LANES`.
+    pub fn write_masked(&mut self, addr: usize, mask: P, values: &[u64]) {
+        debug_assert_eq!(values.len(), P::LANES);
+        let col = &mut self.words[addr * P::LANES..(addr + 1) * P::LANES];
+        if mask == P::ONES {
             // full batch: a straight column copy, the steady-state case
             for (c, &v) in col.iter_mut().zip(values) {
                 *c = v & self.mask;
             }
         } else {
-            for l in lanes(mask) {
-                col[l] = values[l] & self.mask;
-            }
+            let m = self.mask;
+            mask.for_each_set_lane(|l| col[l] = values[l] & m);
         }
     }
 
     /// Flip bit `bit` of word `addr` in every lane of `mask` — the SEU
     /// injection port: one fault campaign step is a one-hot lane-mask XOR.
-    pub fn flip_bit(&mut self, addr: usize, bit: u32, mask: LaneMask) {
+    pub fn flip_bit(&mut self, addr: usize, bit: u32, mask: P) {
         debug_assert!(bit < self.width);
         let flip = 1u64 << bit;
-        let col = &mut self.words[addr];
-        for l in lanes(mask) {
-            col[l] ^= flip;
-        }
+        let col = &mut self.words[addr * P::LANES..(addr + 1) * P::LANES];
+        mask.for_each_set_lane(|l| col[l] ^= flip);
     }
 
     /// Copy the lanes in `mask` wholesale from `other` (used to hold
@@ -112,35 +128,37 @@ impl RamX64 {
     ///
     /// # Panics
     /// Panics if the two RAMs have different shapes.
-    pub fn copy_lanes_from(&mut self, other: &RamX64, mask: LaneMask) {
-        assert_eq!(self.depth(), other.depth());
+    pub fn copy_lanes_from(&mut self, other: &RamXW<P>, mask: P) {
+        assert_eq!(self.depth, other.depth);
         assert_eq!(self.width, other.width);
-        for (dst, src) in self.words.iter_mut().zip(&other.words) {
-            for l in lanes(mask) {
-                dst[l] = src[l];
-            }
+        for (dst, src) in self
+            .words
+            .chunks_exact_mut(P::LANES)
+            .zip(other.words.chunks_exact(P::LANES))
+        {
+            mask.for_each_set_lane(|l| dst[l] = src[l]);
         }
     }
 
-    /// Resource estimate: 64 lanes of flip-flop storage.
+    /// Resource estimate: `P::LANES` lanes of flip-flop storage.
     pub fn resources(&self) -> Resources {
-        Resources::flip_flop_bits(self.words.len() as u32 * self.width * LANES as u32)
+        Resources::flip_flop_bits(self.depth as u32 * self.width * P::LANES as u32)
     }
 }
 
 impl Describe for RamX64 {
     fn netlist(&self) -> StaticNetlist {
-        let addr_bits = usize::BITS - (self.words.len().max(2) - 1).leading_zeros();
+        let addr_bits = usize::BITS - (self.depth().max(2) - 1).leading_zeros();
         let lanes = LANES as u32;
         StaticNetlist::new("ram_x64")
             .claim(self.resources())
             .input("read_addr", addr_bits * lanes)
             .input("write_addr", addr_bits * lanes)
-            .input("write_data", self.width * lanes)
+            .input("write_data", self.width() * lanes)
             .input("lane_mask", lanes)
-            .register("mem", self.words.len() as u32 * self.width * lanes)
-            .register("read_reg", self.width * lanes)
-            .output("read_data", self.width * lanes)
+            .register("mem", self.depth() as u32 * self.width() * lanes)
+            .register("read_reg", self.width() * lanes)
+            .output("read_data", self.width() * lanes)
             .fan_in(&["write_addr", "write_data", "lane_mask"], "mem")
             .fan_in(&["read_addr", "mem"], "read_reg")
             .edge("read_reg", "read_data")
@@ -150,6 +168,7 @@ impl Describe for RamX64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitslice::plane::W256;
 
     #[test]
     fn lanes_are_independent() {
@@ -186,11 +205,34 @@ mod tests {
     }
 
     #[test]
+    fn wide_masked_writes_hold_unselected_lanes() {
+        let mut ram = RamXW::<W256>::new(2, 36);
+        let vals: Vec<u64> = (0..256).map(|l| l as u64 * 3 + 1).collect();
+        ram.write_masked(1, W256::ONES, &vals);
+        let mut mask = W256::ZERO;
+        for l in (0..256).step_by(5) {
+            mask.set_bit(l, true);
+        }
+        let vals2: Vec<u64> = (0..256).map(|l| l as u64 + 0x1000).collect();
+        ram.write_masked(1, mask, &vals2);
+        for l in 0..256 {
+            let want = if l % 5 == 0 {
+                l as u64 + 0x1000
+            } else {
+                l as u64 * 3 + 1
+            };
+            assert_eq!(ram.peek(1, l), want, "lane {l}");
+        }
+        assert_eq!(ram.column(1).len(), 256);
+        assert_eq!(ram.peek(0, 100), 0);
+    }
+
+    #[test]
     fn flip_bit_is_a_masked_involution() {
         let mut ram = RamX64::new(3, 36);
         let vals: [u64; LANES] = core::array::from_fn(|l| l as u64 * 7);
         ram.write_masked(1, u64::MAX, &vals);
-        let before = *ram.column(1);
+        let before = ram.column(1).to_vec();
         ram.flip_bit(1, 11, 0xA5);
         for (l, &b) in before.iter().enumerate() {
             let expect = if 0xA5u64 >> l & 1 == 1 {
@@ -201,7 +243,7 @@ mod tests {
             assert_eq!(ram.peek(1, l), expect, "lane {l}");
         }
         ram.flip_bit(1, 11, 0xA5);
-        assert_eq!(*ram.column(1), before);
+        assert_eq!(ram.column(1), &before[..]);
     }
 
     #[test]

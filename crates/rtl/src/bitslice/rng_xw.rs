@@ -1,28 +1,32 @@
-//! The free-running CA RNG, 64 lanes per word.
+//! The free-running CA RNG, one plane of lanes per signal.
 //!
 //! State is stored transposed: `cells[i]` bit `l` is CA cell `i` of lane
 //! `l`, so the hybrid 90/150 update (`left ⊕ right`, plus `⊕ self` on
-//! rule-150 cells; null boundary) is 32 word-wide XOR rows per clock for
-//! all 64 generators. Because the update is linear over GF(2), advancing a
-//! lane by `k` cycles equals applying the matrix power `Mᵏ`; the dead-cycle
-//! stretches of the GAP (the 36-cycle crossover shift, the 38-cycle
-//! pipeline drain, and the fitness phase's read cycles) therefore execute
-//! as precomputed jump tables instead of stepping — the single biggest
-//! lever behind the batch engine's throughput. Jump tables for arbitrary
-//! strides are built lazily (one `Mⁿ` per distinct stride ever used) and
-//! applied with the four-Russians trick: the 32 current cell words are
-//! folded into 8 nibble tables of 16 precombined XORs, so a dense matrix
-//! row costs 8 lookups instead of ~16 word XORs.
+//! rule-150 cells; null boundary) is 32 plane-wide XOR rows per clock for
+//! every generator at once — 64 lanes per row on a `u64` plane, 512 on a
+//! [`W512`](crate::bitslice::W512). Because the update is linear over
+//! GF(2), advancing a lane by `k` cycles equals applying the matrix power
+//! `Mᵏ`; the dead-cycle stretches of the GAP (the 36-cycle crossover
+//! shift, the 38-cycle pipeline drain, and the fitness phase's read
+//! cycles) therefore execute as precomputed jump tables instead of
+//! stepping — the single biggest lever behind the batch engine's
+//! throughput. Jump tables for arbitrary strides are built lazily (one
+//! `Mⁿ` per distinct stride ever used; the table depends only on the
+//! stride, not the plane width) and applied with the four-Russians trick:
+//! the 32 current cell planes are folded into 8 nibble tables of 16
+//! precombined XORs, so a dense matrix row costs 8 plane lookups instead
+//! of ~16 plane XORs.
 //!
-//! All stateful operations take a [`LaneMask`]; lanes outside it hold
-//! their state. That is what lets each lane sit at its own point in time
-//! even though mask-and-reject draws retry a different number of cycles
-//! per lane. The `*_free` variants skip the hold-blend and are valid
-//! whenever every lane the caller cares about is in the mask (the engine
-//! uses them when no enabled lane is frozen).
+//! All stateful operations take a lane mask of the same [`Plane`] width;
+//! lanes outside it hold their state. That is what lets each lane sit at
+//! its own point in time even though mask-and-reject draws retry a
+//! different number of cycles per lane. The `*_free` variants skip the
+//! hold-blend and are valid whenever every lane the caller cares about is
+//! in the mask (the engine uses them when no enabled lane is frozen).
 
-use crate::bitslice::transpose::planes_to_bytes;
-use crate::bitslice::{LaneMask, CELLS, LANES};
+use crate::bitslice::plane::Plane;
+use crate::bitslice::transpose::planes_to_bytes_wide;
+use crate::bitslice::{CELLS, LANES};
 use crate::netlist::{Describe, StaticNetlist};
 use crate::resources::Resources;
 use crate::semantics::{Lit, Semantics, SeqCircuit};
@@ -30,49 +34,53 @@ use discipulus::rng::analysis::ca_update_matrix;
 use discipulus::rng::MAXIMAL_RULE_90_150;
 use std::collections::HashMap;
 
-/// 64 independent 32-cell hybrid 90/150 CA generators, bit-sliced.
+/// `P::LANES` independent 32-cell hybrid 90/150 CA generators,
+/// bit-sliced.
 ///
 /// (No `PartialEq`: the lazily built jump-table cache is an accident of
 /// call history, so structural equality would lie about state equality.)
 #[derive(Debug, Clone)]
-pub struct CaRngX64 {
+pub struct CaRngXW<P: Plane> {
     /// Transposed state: `cells[i]` bit `l` = cell `i` of lane `l`.
-    cells: [u64; CELLS],
-    /// Per-cell rule-150 self-tap, broadcast to all lanes
-    /// (`!0` where the rule bit is set, `0` elsewhere — branch-free step).
-    self_taps: [u64; CELLS],
+    cells: [P; CELLS],
+    /// Per-cell rule-150 self-tap, broadcast to all lanes (all-ones where
+    /// the rule bit is set, zero elsewhere — branch-free step).
+    self_taps: [P; CELLS],
     /// Lazily built rows of `Mⁿ` per distinct advance stride `n`
-    /// (bit `j` of row `i` = tap from cell `j`).
+    /// (bit `j` of row `i` = tap from cell `j`; width-independent).
     jumps: HashMap<u64, [u32; CELLS]>,
 }
+
+/// The 64-lane generator (one `u64` plane per signal).
+pub type CaRngX64 = CaRngXW<u64>;
 
 /// Stepping is cheaper than a table jump below this stride.
 const MIN_JUMP: u64 = 8;
 
-impl CaRngX64 {
-    /// Create generators for `seeds.len() ≤ 64` lanes with the certified
-    /// maximal rule vector; zero seeds are remapped to 1 exactly like the
-    /// scalar [`crate::rng_rtl::CaRngRtl`]. Unused lanes are seeded to 1
-    /// so no lane ever sits at the CA's all-zero fixed point.
+impl<P: Plane> CaRngXW<P> {
+    /// Create generators for `seeds.len() ≤ P::LANES` lanes with the
+    /// certified maximal rule vector; zero seeds are remapped to 1 exactly
+    /// like the scalar [`crate::rng_rtl::CaRngRtl`]. Unused lanes are
+    /// seeded to 1 so no lane ever sits at the CA's all-zero fixed point.
     ///
     /// # Panics
-    /// Panics if more than [`LANES`] seeds are given.
-    pub fn new(seeds: &[u32]) -> CaRngX64 {
-        assert!(seeds.len() <= LANES, "at most {LANES} lanes");
-        let mut rng = CaRngX64 {
-            cells: [0u64; CELLS],
-            self_taps: [0u64; CELLS],
+    /// Panics if more than `P::LANES` seeds are given.
+    pub fn new(seeds: &[u32]) -> CaRngXW<P> {
+        assert!(seeds.len() <= P::LANES, "at most {} lanes", P::LANES);
+        let mut rng = CaRngXW {
+            cells: [P::ZERO; CELLS],
+            self_taps: [P::ZERO; CELLS],
             jumps: HashMap::new(),
         };
         let rule = MAXIMAL_RULE_90_150;
         for (i, t) in rng.self_taps.iter_mut().enumerate() {
-            *t = if rule >> i & 1 == 1 { !0 } else { 0 };
+            *t = P::splat(rule >> i & 1 == 1);
         }
         for (l, &seed) in seeds.iter().enumerate() {
             rng.seed_lane(l, seed);
         }
-        for l in seeds.len()..LANES {
-            rng.cells[0] |= 1u64 << l;
+        for l in seeds.len()..P::LANES {
+            rng.cells[0].set_bit(l, true);
         }
         rng
     }
@@ -81,16 +89,15 @@ impl CaRngX64 {
     /// a finished lane for a fresh trial); all other lanes hold.
     pub fn seed_lane(&mut self, lane: usize, seed: u32) {
         let s = if seed == 0 { 1 } else { seed };
-        let bit = 1u64 << lane;
         for (i, c) in self.cells.iter_mut().enumerate() {
-            *c = (*c & !bit) | (u64::from(s >> i & 1) << lane);
+            c.set_bit(lane, s >> i & 1 == 1);
         }
     }
 
     /// One clock edge for the lanes in `mask`; all other lanes hold.
     #[inline]
-    pub fn clock(&mut self, mask: LaneMask) {
-        if mask == !0 {
+    pub fn clock(&mut self, mask: P) {
+        if mask == P::ONES {
             self.clock_free();
             return;
         }
@@ -120,7 +127,7 @@ impl CaRngX64 {
 
     /// Advance the lanes in `mask` by `n` cycles: short strides step,
     /// long strides apply a (cached) `Mⁿ` jump table.
-    pub fn advance(&mut self, mask: LaneMask, n: u64) {
+    pub fn advance(&mut self, mask: P, n: u64) {
         if n < MIN_JUMP {
             for _ in 0..n {
                 self.clock(mask);
@@ -139,7 +146,7 @@ impl CaRngX64 {
             }
         } else {
             let table = self.jump_table(n);
-            self.apply_jump(!0, &table);
+            self.apply_jump(P::ONES, &table);
         }
     }
 
@@ -155,10 +162,10 @@ impl CaRngX64 {
 
     /// Apply a matrix-power row table to the lanes in `mask` with the
     /// four-Russians nibble decomposition.
-    fn apply_jump(&mut self, mask: LaneMask, table: &[u32; CELLS]) {
-        // fold the 32 cell words into 8 nibble tables of 16 XOR combos
+    fn apply_jump(&mut self, mask: P, table: &[u32; CELLS]) {
+        // fold the 32 cell planes into 8 nibble tables of 16 XOR combos
         let c = self.cells;
-        let mut nib = [[0u64; 16]; 8];
+        let mut nib = [[P::ZERO; 16]; 8];
         for (g, t) in nib.iter_mut().enumerate() {
             let base = 4 * g;
             for m in 1usize..16 {
@@ -166,9 +173,9 @@ impl CaRngX64 {
                 t[m] = t[low] ^ c[base + (m ^ low).trailing_zeros() as usize];
             }
         }
-        if mask == !0 {
+        if mask == P::ONES {
             for (i, &row) in table.iter().enumerate() {
-                let mut n = 0u64;
+                let mut n = P::ZERO;
                 for (g, t) in nib.iter().enumerate() {
                     n ^= t[(row >> (4 * g) & 15) as usize];
                 }
@@ -176,7 +183,7 @@ impl CaRngX64 {
             }
         } else {
             for (i, &row) in table.iter().enumerate() {
-                let mut n = 0u64;
+                let mut n = P::ZERO;
                 for (g, t) in nib.iter().enumerate() {
                     n ^= t[(row >> (4 * g) & 15) as usize];
                 }
@@ -195,11 +202,11 @@ impl CaRngX64 {
     /// [`crate::rng_rtl::CaRngRtl::state_bit`].
     ///
     /// # Panics
-    /// Panics if `lane ≥ 64` or `cell ≥ 32`.
+    /// Panics if `lane ≥ P::LANES` or `cell ≥ 32`.
     pub fn cell_bit(&self, lane: usize, cell: usize) -> bool {
-        assert!(lane < LANES, "lane out of range");
+        assert!(lane < P::LANES, "lane out of range");
         assert!(cell < CELLS, "CA cell out of range");
-        self.cells[cell] >> lane & 1 == 1
+        self.cells[cell].bit(lane)
     }
 
     /// Force one CA state cell of one lane — the control half of the
@@ -208,12 +215,11 @@ impl CaRngX64 {
     /// upsets.
     ///
     /// # Panics
-    /// Panics if `lane ≥ 64` or `cell ≥ 32`.
+    /// Panics if `lane ≥ P::LANES` or `cell ≥ 32`.
     pub fn set_cell_bit(&mut self, lane: usize, cell: usize, value: bool) {
-        assert!(lane < LANES, "lane out of range");
+        assert!(lane < P::LANES, "lane out of range");
         assert!(cell < CELLS, "CA cell out of range");
-        let bit = 1u64 << lane;
-        self.cells[cell] = (self.cells[cell] & !bit) | (u64::from(value) << lane);
+        self.cells[cell].set_bit(lane, value);
     }
 
     /// The low `k ≤ 32` bits of one lane's output word.
@@ -221,7 +227,7 @@ impl CaRngX64 {
         debug_assert!(k <= CELLS);
         let mut w = 0u32;
         for i in 0..k {
-            w |= ((self.cells[i] >> lane & 1) as u32) << i;
+            w |= u32::from(self.cells[i].bit(lane)) << i;
         }
         w
     }
@@ -229,51 +235,55 @@ impl CaRngX64 {
     /// The low `k` output bit-planes themselves (plane `p` = output bit
     /// `p` of every lane) — for consumers that stay in the sliced domain
     /// and never need per-lane integers at all.
-    pub fn low_cells(&self, k: usize) -> &[u64] {
+    pub fn low_cells(&self, k: usize) -> &[P] {
         &self.cells[..k]
     }
 
     /// Extract the low `k ≤ 8` bits of every lane's output word into one
-    /// byte per lane — the word-parallel form of 64 `lane_low_bits` calls
-    /// (SWAR byte-spread instead of a per-lane bit gather).
-    pub fn extract_low_bytes(&self, k: usize, out: &mut [u8; LANES]) {
+    /// byte per lane — the word-parallel form of `P::LANES`
+    /// `lane_low_bits` calls (SWAR byte-spread instead of a per-lane bit
+    /// gather).
+    ///
+    /// # Panics
+    /// Debug-asserts `k ≤ 8` and `out.len() == P::LANES`.
+    pub fn extract_low_bytes(&self, k: usize, out: &mut [u8]) {
         debug_assert!(k <= 8);
-        planes_to_bytes(&self.cells[..k], out);
+        planes_to_bytes_wide(&self.cells[..k], out);
     }
 
     /// Extract the low `k ≤ 16` bits of every lane's output word, one
     /// `u16` per lane (two byte-spread passes).
-    pub fn extract_low_u16(&self, k: usize, out: &mut [u16; LANES]) {
+    ///
+    /// # Panics
+    /// Debug-asserts `k ≤ 16` and `out.len() == P::LANES`.
+    pub fn extract_low_u16(&self, k: usize, out: &mut [u16]) {
         debug_assert!(k <= 16);
-        let mut lo = [0u8; LANES];
-        let mut hi = [0u8; LANES];
-        planes_to_bytes(&self.cells[..k.min(8)], &mut lo);
-        planes_to_bytes(&self.cells[8..k.max(8)], &mut hi);
-        for l in 0..LANES {
-            out[l] = u16::from(lo[l]) | u16::from(hi[l]) << 8;
+        debug_assert_eq!(out.len(), P::LANES);
+        let mut lo = vec![0u8; P::LANES];
+        let mut hi = vec![0u8; P::LANES];
+        planes_to_bytes_wide(&self.cells[..k.min(8)], &mut lo);
+        planes_to_bytes_wide(&self.cells[8..k.max(8)], &mut hi);
+        for (o, (&l, &h)) in out.iter_mut().zip(lo.iter().zip(hi.iter())) {
+            *o = u16::from(l) | u16::from(h) << 8;
         }
     }
 
-    /// The output words of all 64 lanes.
-    pub fn words(&self) -> [u32; LANES] {
-        let mut out = [0u32; LANES];
-        for (l, o) in out.iter_mut().enumerate() {
-            *o = self.lane_word(l);
-        }
-        out
+    /// The output words of all lanes.
+    pub fn words(&self) -> Vec<u32> {
+        (0..P::LANES).map(|l| self.lane_word(l)).collect()
     }
 
     /// Sliced comparator: the mask of lanes whose low `k` bits, read as an
     /// integer, are strictly below `c` (the hardware would fold this into
     /// the mask-and-reject / threshold compare network). If `c` needs more
     /// than `k` bits every lane qualifies.
-    pub fn lt_const(&self, k: usize, c: u32) -> LaneMask {
+    pub fn lt_const(&self, k: usize, c: u32) -> P {
         debug_assert!(k <= CELLS);
         if u64::from(c) >> k != 0 {
-            return !0;
+            return P::ONES;
         }
-        let mut lt = 0u64;
-        let mut eq = !0u64;
+        let mut lt = P::ZERO;
+        let mut eq = P::ONES;
         for i in (0..k).rev() {
             let b = self.cells[i];
             if c >> i & 1 == 1 {
@@ -286,10 +296,13 @@ impl CaRngX64 {
         lt
     }
 
-    /// Resource estimate: 64 scalar generators' worth of state and XOR
-    /// network.
+    /// Resource estimate: `P::LANES` scalar generators' worth of state
+    /// and XOR network.
     pub fn resources(&self) -> Resources {
-        Resources::unit(CELLS as u32 * LANES as u32, CELLS as u32 * LANES as u32)
+        Resources::unit(
+            CELLS as u32 * P::LANES as u32,
+            CELLS as u32 * P::LANES as u32,
+        )
     }
 }
 
@@ -308,12 +321,14 @@ impl Describe for CaRngX64 {
 }
 
 /// The semantics of **one lane** of the sliced generator, derived from
-/// the word expressions of [`CaRngX64::clock_free`] by lane projection —
+/// the plane expressions of [`CaRngXW::clock_free`] by lane projection —
 /// exact because every operation in the sliced step is bitwise, so lane
-/// `l` of each word op equals the scalar op on lane `l`'s bits. The
-/// `self_taps` broadcast words project to per-cell constants. Since all
-/// 64 lanes run this identical network by construction, the analysis
-/// gate's `CaRngRtl` ↔ lane miter covers the whole sliced unit.
+/// `l` of each plane op equals the scalar op on lane `l`'s bits. The
+/// `self_taps` broadcast planes project to per-cell constants. Every lane
+/// of every plane width runs this identical network by construction, so
+/// the analysis gate's `CaRngRtl` ↔ lane miter covers the whole sliced
+/// unit; the per-width probes in [`crate::bitslice::plane_registry`] pin
+/// the wide instantiations concretely on top.
 impl Semantics for CaRngX64 {
     fn semantics(&self) -> SeqCircuit {
         let mut sc = SeqCircuit::new("ca_rng_x64");
@@ -347,12 +362,17 @@ impl Semantics for CaRngX64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitslice::plane::{Wide, W128, W512};
     use crate::rng_rtl::CaRngRtl;
 
-    fn seeds64() -> Vec<u32> {
-        (0..64u32)
+    fn seeds(n: usize) -> Vec<u32> {
+        (0..n as u32)
             .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0xBEEF)
             .collect()
+    }
+
+    fn seeds64() -> Vec<u32> {
+        seeds(64)
     }
 
     #[test]
@@ -368,6 +388,34 @@ mod tests {
             for (l, s) in scalars.iter_mut().enumerate() {
                 s.clock();
                 assert_eq!(sliced.lane_word(l), s.word(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lanes_bit_exact_with_scalar_rtl() {
+        let seeds = seeds(512);
+        let mut sliced = CaRngXW::<W512>::new(&seeds);
+        let mut scalars: Vec<CaRngRtl> = seeds.iter().map(|&s| CaRngRtl::new(s)).collect();
+        for step in 0..120 {
+            sliced.clock(W512::ONES);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                s.clock();
+                assert_eq!(sliced.lane_word(l), s.word(), "step {step} lane {l}");
+            }
+        }
+        // masked clocking holds unselected wide lanes
+        let mut mask = W512::ZERO;
+        for l in (0..512).step_by(3) {
+            mask.set_bit(l, true);
+        }
+        for _ in 0..50 {
+            sliced.clock(mask);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                if mask.bit(l) {
+                    s.clock();
+                }
+                assert_eq!(sliced.lane_word(l), s.word(), "masked lane {l}");
             }
         }
     }
@@ -399,6 +447,21 @@ mod tests {
             let mut jumped = CaRngX64::new(&seeds);
             let mut stepped = CaRngX64::new(&seeds);
             let mask = 0xDEAD_BEEF_0BAD_F00Du64;
+            jumped.advance(mask, n);
+            for _ in 0..n {
+                stepped.clock(mask);
+            }
+            assert_eq!(jumped.cells, stepped.cells, "jump {n}");
+        }
+    }
+
+    #[test]
+    fn wide_jump_strides_equal_stepping() {
+        let seeds = seeds(128);
+        for n in [8u64, 36, 38, 74] {
+            let mut jumped = CaRngXW::<W128>::new(&seeds);
+            let mut stepped = CaRngXW::<W128>::new(&seeds);
+            let mask = Wide([0xDEAD_BEEF_0BAD_F00Du64, 0x1234_5678_9ABC_DEF0]);
             jumped.advance(mask, n);
             for _ in 0..n {
                 stepped.clock(mask);
@@ -473,6 +536,22 @@ mod tests {
             r.extract_low_u16(11, &mut words);
             for (l, &w) in words.iter().enumerate() {
                 assert_eq!(u32::from(w), r.lane_low_bits(l, 11), "lane {l} k=11");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_extraction_matches_bit_gather() {
+        let mut r = CaRngXW::<W128>::new(&seeds(128));
+        let mut bytes = vec![0u8; 128];
+        let mut words = vec![0u16; 128];
+        for _ in 0..40 {
+            r.clock(W128::ONES);
+            r.extract_low_bytes(6, &mut bytes);
+            r.extract_low_u16(11, &mut words);
+            for l in 0..128 {
+                assert_eq!(u32::from(bytes[l]), r.lane_low_bits(l, 6), "byte lane {l}");
+                assert_eq!(u32::from(words[l]), r.lane_low_bits(l, 11), "u16 lane {l}");
             }
         }
     }

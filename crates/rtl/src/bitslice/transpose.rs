@@ -1,6 +1,13 @@
 //! 64×64 bit-matrix transpose — the bridge between the lane-major layout
 //! (word `l` = lane `l`'s value) and the bit-sliced layout (word `b` = bit
 //! `b` across all lanes).
+//!
+//! The wide-plane generalizations ([`transposed_planes`],
+//! [`planes_to_bytes_wide`], [`planes_to_u16_wide`]) apply the same 64-lane
+//! kernels once per `u64` limb of a [`Plane`]: a `W512` transpose is eight
+//! independent 64×64 block transposes, one per lane group.
+
+use crate::bitslice::plane::Plane;
 
 /// Transpose a 64×64 bit matrix in place: afterwards, bit `c` of word `r`
 /// holds what bit `r` of word `c` held before. Recursive block-swap
@@ -78,6 +85,74 @@ pub fn planes_to_u16(planes: &[u64], out: &mut [u16; 64]) {
     }
 }
 
+/// [`planes_to_bytes`] for any plane width: gather up to 8 wide
+/// bit-planes into one byte per lane, one byte-spread pass per 64-lane
+/// limb.
+///
+/// # Panics
+/// Debug-asserts `planes.len() ≤ 8` and `out.len() == P::LANES`.
+pub fn planes_to_bytes_wide<P: Plane>(planes: &[P], out: &mut [u8]) {
+    debug_assert!(planes.len() <= 8, "at most 8 planes fit a byte");
+    debug_assert_eq!(out.len(), P::LANES);
+    for w in 0..P::WORDS {
+        for group in 0..8 {
+            let mut acc = 0u64;
+            for (j, plane) in planes.iter().enumerate() {
+                acc |= spread8(plane.word(w), group, j as u32);
+            }
+            let base = 64 * w + 8 * group;
+            out[base..base + 8].copy_from_slice(&acc.swap_bytes().to_le_bytes());
+        }
+    }
+}
+
+/// [`planes_to_u16`] for any plane width.
+///
+/// # Panics
+/// Debug-asserts `8 < planes.len() ≤ 16` and `out.len() == P::LANES`.
+pub fn planes_to_u16_wide<P: Plane>(planes: &[P], out: &mut [u16]) {
+    debug_assert!(planes.len() > 8 && planes.len() <= 16);
+    debug_assert_eq!(out.len(), P::LANES);
+    for w in 0..P::WORDS {
+        for group in 0..8 {
+            let mut lo = 0u64;
+            let mut hi = 0u64;
+            for (j, plane) in planes.iter().enumerate() {
+                if j < 8 {
+                    lo |= spread8(plane.word(w), group, j as u32);
+                } else {
+                    hi |= spread8(plane.word(w), group, j as u32 - 8);
+                }
+            }
+            let lo = lo.swap_bytes().to_le_bytes();
+            let hi = hi.swap_bytes().to_le_bytes();
+            let base = 64 * w + 8 * group;
+            for k in 0..8 {
+                out[base + k] = u16::from(lo[k]) | u16::from(hi[k]) << 8;
+            }
+        }
+    }
+}
+
+/// Transpose `P::LANES` lane-major words into up to 64 wide bit-planes:
+/// afterwards `out[b]` carries bit `b` of every lane. One 64×64 block
+/// transpose per limb — the wide form of [`transposed`].
+///
+/// # Panics
+/// Debug-asserts `lane_major.len() == P::LANES` and `out.len() ≤ 64`.
+pub fn transposed_planes<P: Plane>(lane_major: &[u64], out: &mut [P]) {
+    debug_assert_eq!(lane_major.len(), P::LANES);
+    debug_assert!(out.len() <= 64);
+    for w in 0..P::WORDS {
+        let mut block = [0u64; 64];
+        block.copy_from_slice(&lane_major[64 * w..64 * w + 64]);
+        transpose64(&mut block);
+        for (b, o) in out.iter_mut().enumerate() {
+            o.set_word(w, block[b]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +224,44 @@ mod tests {
                 assert_eq!(got, want, "lane {l} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn wide_helpers_match_per_lane_gather() {
+        use crate::bitslice::plane::W256;
+        let mut lane_major = vec![0u64; 256];
+        let mut x = 0x0F1E_2D3C_4B5A_6978u64;
+        for w in lane_major.iter_mut() {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(13);
+            *w = x;
+        }
+        let mut planes = [W256::ZERO; 40];
+        transposed_planes(&lane_major, &mut planes);
+        for (b, p) in planes.iter().enumerate() {
+            for (l, &w) in lane_major.iter().enumerate() {
+                assert_eq!(p.bit(l), w >> b & 1 == 1, "plane {b} lane {l}");
+            }
+        }
+        let mut bytes = vec![0u8; 256];
+        planes_to_bytes_wide(&planes[..7], &mut bytes);
+        let mut words = vec![0u16; 256];
+        planes_to_u16_wide(&planes[..12], &mut words);
+        for (l, &w) in lane_major.iter().enumerate() {
+            assert_eq!(u64::from(bytes[l]), w & 0x7F, "byte lane {l}");
+            assert_eq!(u64::from(words[l]), w & 0xFFF, "u16 lane {l}");
+        }
+    }
+
+    #[test]
+    fn wide_u64_helpers_agree_with_narrow() {
+        let planes: Vec<u64> = (0..6u64)
+            .map(|i| i.wrapping_mul(0xA5A5_5A5A_1234_8765) ^ (i << 40))
+            .collect();
+        let mut narrow = [0u8; 64];
+        planes_to_bytes(&planes, &mut narrow);
+        let mut wide = vec![0u8; 64];
+        planes_to_bytes_wide::<u64>(&planes, &mut wide);
+        assert_eq!(&narrow[..], &wide[..]);
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! Module map (mirrors Figures 3–5 of the paper):
 //!
 //! * [`sim`] — clocked-simulation kernel (cycle counter, probes)
-//! * [`bitslice`] — 64-lane SWAR batch engine (64 GAP instances per word)
+//! * [`bitslice`] — width-generic SWAR batch engine (64–512 GAP
+//!   instances per plane word, one lane per bit)
 //! * [`primitives`] — registers, counters, RAMs, shift registers
 //! * [`rng_rtl`] — the free-running cellular-automaton RNG
 //! * [`fitness_rtl`] — the combinational three-rule fitness network
@@ -61,7 +62,8 @@ pub mod walkctl_rtl;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::bitslice::{
-        CaRngX64, FitnessUnitX64, GapRtlX64, GapRtlX64Config, RamX64, LANES,
+        CaRngX64, CaRngXW, FitnessUnitX64, FitnessUnitXW, GapRtlX64, GapRtlX64Config, GapRtlXW,
+        GapRtlXWConfig, Plane, RamX64, RamXW, LANES, W128, W256, W512,
     };
     pub use crate::bitstream::Bitstream;
     pub use crate::control::{CtrlState, GapControlFsm};

@@ -69,7 +69,7 @@ pub mod sink;
 
 pub use event::{Event, Level, Payload, Value};
 pub use manifest::{
-    CampaignRow, LandscapeRow, ManifestError, RunManifest, MANIFEST_SCHEMA_VERSION,
+    host_cores, CampaignRow, LandscapeRow, ManifestError, RunManifest, MANIFEST_SCHEMA_VERSION,
 };
 
 #[cfg(feature = "runtime")]

@@ -18,7 +18,10 @@ use std::path::Path;
 /// * **3** — optional `landscape` section (exhaustive-sweep summary
 ///   rows: subspace width, shard/thread configuration, the full fitness
 ///   histogram and the max-set cardinality).
-pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
+/// * **4** — `host_cores` (detected hardware parallelism) and
+///   `plane_width` (bit-slice lanes per plane word) execution-shape
+///   fields. Both default when absent, so v1–v3 manifests stay readable.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 4;
 
 /// A reproducibility record for one experiment run.
 ///
@@ -43,6 +46,14 @@ pub struct RunManifest {
     pub seeds: Vec<u64>,
     /// Worker threads used (1 for serial runs).
     pub threads: u64,
+    /// CPU cores the host reported at run time (schema v4; defaults to 1
+    /// when reading older manifests). Together with `threads` this tells
+    /// a reader whether a run was core-bound or under-subscribed.
+    pub host_cores: u64,
+    /// Bit-slice lanes per plane word the run's kernels used — 64 for
+    /// the classic `u64` engine, 128/256/512 for the wide planes
+    /// (schema v4; defaults to 64 when reading older manifests).
+    pub plane_width: u64,
     /// Wall-clock duration of the run in seconds.
     pub wall_seconds: f64,
     /// Total simulated RTL cycles, when the run drove an RTL engine.
@@ -235,6 +246,8 @@ impl RunManifest {
             params: Vec::new(),
             seeds: Vec::new(),
             threads: 1,
+            host_cores: host_cores(),
+            plane_width: 64,
             wall_seconds: 0.0,
             simulated_cycles: None,
             events_file: None,
@@ -284,6 +297,11 @@ impl RunManifest {
                 Json::Arr(self.seeds.iter().map(|s| Json::Num(*s as f64)).collect()),
             ),
             ("threads".to_string(), Json::Num(self.threads as f64)),
+            ("host_cores".to_string(), Json::Num(self.host_cores as f64)),
+            (
+                "plane_width".to_string(),
+                Json::Num(self.plane_width as f64),
+            ),
             ("wall_seconds".to_string(), Json::Num(self.wall_seconds)),
         ];
         if let Some(cycles) = self.simulated_cycles {
@@ -357,6 +375,20 @@ impl RunManifest {
                     .ok_or_else(|| ManifestError::BadField("seeds".to_string()))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // v4 execution-shape fields; older manifests get the values every
+        // pre-v4 run actually had (one plane word = 64 lanes, cores unknown)
+        let host_cores = match root.get("host_cores") {
+            None => 1,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| ManifestError::BadField("host_cores".to_string()))?,
+        };
+        let plane_width = match root.get("plane_width") {
+            None => 64,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| ManifestError::BadField("plane_width".to_string()))?,
+        };
         let simulated_cycles = match root.get("simulated_cycles") {
             None => None,
             Some(v) => Some(
@@ -400,6 +432,8 @@ impl RunManifest {
             params,
             seeds,
             threads: uint("threads")?,
+            host_cores,
+            plane_width,
             wall_seconds: num("wall_seconds")?,
             simulated_cycles,
             events_file,
@@ -479,6 +513,14 @@ pub fn git_revision() -> String {
     }
 }
 
+/// CPU cores the host reports, or 1 when detection fails (containers
+/// without cpuset information, exotic platforms).
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
 fn unix_now() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -496,6 +538,8 @@ mod tests {
             .with_param("mutation_flips", 15.0);
         m.seeds = vec![0x1000, 0x1007, 0x100E];
         m.threads = 8;
+        m.host_cores = 16;
+        m.plane_width = 256;
         m.wall_seconds = 1.25;
         m.simulated_cycles = Some(123_456_789);
         m.events_file = Some("e1_convergence.events.jsonl".to_string());
@@ -559,6 +603,32 @@ mod tests {
             RunManifest::from_json_str(bad),
             Err(ManifestError::Missing(field)) if field == "landscape[0].histogram"
         ));
+    }
+
+    #[test]
+    fn v3_manifests_default_execution_shape_fields() {
+        let v3 = r#"{"schema_version":3,"experiment":"e9_sweep","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[7],"threads":4,"wall_seconds":0.25}"#;
+        let back = RunManifest::from_json_str(v3).expect("v3 manifests stay readable");
+        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.host_cores, 1, "pre-v4 runs did not record cores");
+        assert_eq!(back.plane_width, 64, "pre-v4 runs were 64-lane only");
+        assert_eq!(back.threads, 4);
+        let bad = r#"{"schema_version":4,"experiment":"x","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,
+            "host_cores":"many","plane_width":64,"wall_seconds":0}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(bad),
+            Err(ManifestError::BadField(field)) if field == "host_cores"
+        ));
+    }
+
+    #[test]
+    fn new_manifest_detects_host_shape() {
+        let m = RunManifest::new("probe");
+        assert!(m.host_cores >= 1);
+        assert_eq!(m.plane_width, 64, "64 lanes unless a run says otherwise");
+        assert_eq!(m.schema_version, 4);
     }
 
     #[test]

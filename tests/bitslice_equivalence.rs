@@ -1,15 +1,24 @@
-//! Lane-equivalence: the 64-lane bit-sliced batch GAP is 64 scalar RTL
-//! chips.
+//! Lane-equivalence: the bit-sliced batch GAP at any plane width is that
+//! many scalar RTL chips.
 //!
 //! The contract is total, not statistical: for every lane `l`, every
 //! architecturally visible register of `GapRtlX64` — population words,
 //! best-individual registers, generation and cycle counters, per-phase
 //! breakdowns, and (in recording mode) the full consumed-RNG-word log —
-//! is bit-for-bit the scalar `GapRtl` seeded with `seeds[l]`.
+//! is bit-for-bit the scalar `GapRtl` seeded with `seeds[l]`. The wide
+//! planes (w128, w256, w512) are then pinned chunk-by-chunk to the
+//! 64-lane engine, with full-state comparisons each generation, so every
+//! registered width inherits the scalar contract transitively — and the
+//! registry-coverage test plus the analysis gate's `plane-suite-coverage`
+//! lint keep this suite and `plane_registry()` in lockstep.
 
 use discipulus::params::GapParams;
+use leonardo_bench::harness::rtl_convergence_batch_w;
 use leonardo_faults::{Campaign, FaultModel};
-use leonardo_rtl::bitslice::{GapRtlX64, GapRtlX64Config, LANES};
+use leonardo_rtl::bitslice::{
+    plane_registry, GapRtlX64, GapRtlX64Config, GapRtlXW, GapRtlXWConfig, Plane, LANES, W128, W256,
+    W512,
+};
 use leonardo_rtl::gap_rtl::{GapRtl, GapRtlConfig};
 use leonardo_rtl::rng_rtl::CaRngRtl;
 
@@ -154,6 +163,134 @@ fn seu_injection_via_lane_masks_matches_scalar() {
         }
         assert_lane_matches(&batch, &scalar, l, "after upsets");
     }
+}
+
+/// One wide engine against `P::LANES / 64` of the already-pinned 64-lane
+/// engines on the same seed chunks: full visible state, every lane,
+/// every generation, drawn logs included. With the scalar suites above,
+/// this pins every wide lane to a scalar chip transitively — without
+/// paying for `P::LANES` scalar replays per width.
+fn wide_lanes_match_the_x64_engine<P: Plane>(generations: usize) {
+    let s = seeds(P::LANES);
+    let mut wide = GapRtlXW::<P>::new(GapRtlXWConfig::paper().recording(), &s);
+    let mut chunks: Vec<GapRtlX64> = s
+        .chunks(LANES)
+        .map(|c| GapRtlX64::new(GapRtlX64Config::paper().recording(), c))
+        .collect();
+    for gen in 0..generations {
+        wide.step_generation();
+        for chunk in &mut chunks {
+            chunk.step_generation();
+        }
+        for l in 0..P::LANES {
+            let (c, cl) = (l / LANES, l % LANES);
+            let ctx = format!("{} gen {gen} lane {l}", P::NAME);
+            assert_eq!(
+                wide.population(l),
+                chunks[c].population(cl),
+                "{ctx}: population"
+            );
+            assert_eq!(wide.best(l), chunks[c].best(cl), "{ctx}: best");
+            assert_eq!(
+                wide.generation(l),
+                chunks[c].generation(cl),
+                "{ctx}: generation"
+            );
+            assert_eq!(wide.cycles(l), chunks[c].cycles(cl), "{ctx}: cycles");
+            assert_eq!(
+                wide.breakdown(l),
+                chunks[c].breakdown(cl),
+                "{ctx}: breakdown"
+            );
+            assert_eq!(
+                wide.drawn_log(l),
+                chunks[c].drawn_log(cl),
+                "{ctx}: drawn log"
+            );
+        }
+    }
+}
+
+#[test]
+fn w128_lanes_match_the_x64_engine() {
+    wide_lanes_match_the_x64_engine::<W128>(12);
+}
+
+#[test]
+fn w256_lanes_match_the_x64_engine() {
+    wide_lanes_match_the_x64_engine::<W256>(8);
+}
+
+#[test]
+fn w512_lanes_match_the_x64_engine() {
+    wide_lanes_match_the_x64_engine::<W512>(5);
+}
+
+/// Partial fills work at wide widths too: seed counts straddling every
+/// limb boundary drive only the enabled lanes, and those match scalars.
+#[test]
+fn partial_wide_batches_match_scalar() {
+    for n in [1usize, 64, 65, 127] {
+        let s = seeds(n);
+        let mut batch = GapRtlXW::<W128>::new(GapRtlXWConfig::paper(), &s);
+        for _ in 0..6 {
+            batch.step_generation();
+        }
+        for (l, &seed) in s.iter().enumerate() {
+            let mut scalar = GapRtl::new(GapRtlConfig::paper(seed));
+            for _ in 0..6 {
+                scalar.step_generation();
+            }
+            assert_eq!(
+                batch.population(l),
+                scalar.population(),
+                "w128 partial n={n} lane {l}"
+            );
+            assert_eq!(
+                batch.cycles(l),
+                scalar.clock().cycles(),
+                "w128 n={n} lane {l}"
+            );
+        }
+    }
+}
+
+/// The width registry and this suite cover each other exactly: the
+/// analysis gate greps this file for every registered width name, and
+/// this test pins the reverse direction — the suite instantiates no
+/// width the registry doesn't know, and every probe passes.
+#[test]
+fn plane_registry_matches_this_suite() {
+    let names: Vec<&str> = plane_registry().iter().map(|w| w.name).collect();
+    assert_eq!(
+        names,
+        ["u64", "w128", "w256", "w512"],
+        "a width was added or removed; extend this suite and the registry together"
+    );
+    for w in plane_registry() {
+        (w.probe)().unwrap_or_else(|e| panic!("{} probe: {e}", w.name));
+    }
+}
+
+/// The parallel batch driver is scheduling-blind: per-seed results for
+/// any thread count and any plane width are bit-identical to the
+/// single-threaded 64-lane golden run.
+#[test]
+fn batch_driver_thread_count_and_width_are_unobservable() {
+    let s: Vec<u32> = (0..100u32).map(|i| 0x2000 + 11 * i).collect();
+    let golden = rtl_convergence_batch_w::<u64>(&s, 30_000, 1);
+    for threads in [2, 8] {
+        assert_eq!(
+            rtl_convergence_batch_w::<u64>(&s, 30_000, threads),
+            golden,
+            "u64 @ {threads} threads"
+        );
+    }
+    assert_eq!(
+        rtl_convergence_batch_w::<W256>(&s, 30_000, 2),
+        golden,
+        "w256 @ 2 threads"
+    );
 }
 
 /// Faulted lockstep over the whole campaign engine: for every fault

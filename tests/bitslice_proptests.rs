@@ -4,7 +4,10 @@
 
 use discipulus::fitness::FitnessSpec;
 use discipulus::genome::{Genome, GENOME_MASK};
-use leonardo_rtl::bitslice::{CaRngX64, FitnessUnitX64, GapRtlX64, GapRtlX64Config, LANES};
+use leonardo_rtl::bitslice::{
+    CaRngX64, CaRngXW, FitnessUnitX64, FitnessUnitXW, GapRtlX64, GapRtlX64Config, GapRtlXW,
+    GapRtlXWConfig, Plane, LANES, W128, W256, W512,
+};
 use leonardo_rtl::fitness_rtl::FitnessUnit;
 use leonardo_rtl::rng_rtl::CaRngRtl;
 use proptest::prelude::*;
@@ -77,6 +80,75 @@ proptest! {
         let scalar = FitnessUnit::new(spec);
         for l in 0..LANES {
             prop_assert_eq!(scores[l], scalar.evaluate(Genome::from_bits(genomes[l])));
+        }
+    }
+
+    /// The wide planes obey the same per-lane contract: random seeds and
+    /// a random masked clocking schedule on the 256-lane CA RNG, every
+    /// lane against its scalar generator.
+    #[test]
+    fn wide_ca_rng_matches_scalar_on_every_lane(
+        all_seeds in prop::collection::vec(any::<u32>(), 256),
+        schedule in prop::collection::vec(prop::collection::vec(any::<u64>(), 4), 12),
+    ) {
+        let mut sliced = CaRngXW::<W256>::new(&all_seeds);
+        let mut scalars: Vec<CaRngRtl> =
+            all_seeds.iter().map(|&s| CaRngRtl::new(s)).collect();
+        for words in schedule {
+            let mask = W256::from_words(|w| words[w]);
+            sliced.clock(mask);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                if mask.bit(l) {
+                    s.clock();
+                }
+                prop_assert!(sliced.lane_word(l) == s.word(), "w256 lane {}", l);
+            }
+        }
+    }
+
+    /// Random genomes across all 512 lanes of the widest fitness
+    /// network: every lane scores exactly like the scalar unit.
+    #[test]
+    fn wide_fitness_matches_scalar_on_every_lane(
+        genomes in prop::collection::vec(0u64..=GENOME_MASK, 512),
+    ) {
+        let scores = FitnessUnitXW::<W512>::paper().evaluate_lanes(&genomes);
+        let scalar = FitnessUnit::paper();
+        for (l, (&g, &got)) in genomes.iter().zip(&scores).enumerate() {
+            prop_assert!(
+                got == scalar.evaluate(Genome::from_bits(g)),
+                "w512 lane {}: sliced {}", l, got
+            );
+        }
+    }
+
+    /// SEU injection through a wide (multi-limb) lane mask flips exactly
+    /// the addressed bit in the masked lanes and nothing anywhere else —
+    /// the 128-lane version of the u64 property below.
+    #[test]
+    fn wide_seu_mask_flips_exactly_the_masked_lanes(
+        pos in 0usize..1152,
+        lo in any::<u64>(),
+        hi in any::<u64>(),
+    ) {
+        let seeds: Vec<u32> = (0..128u32).map(|i| 0x77 + 13 * i).collect();
+        let mut gap = GapRtlXW::<W128>::new(GapRtlXWConfig::paper(), &seeds);
+        let before: Vec<_> = (0..128).map(|l| gap.population(l)).collect();
+        let mask = W128::from_words(|w| if w == 0 { lo } else { hi });
+        gap.inject_upset(pos, mask);
+        for (l, before_l) in before.iter().enumerate() {
+            let after = gap.population(l);
+            let flips: u32 = before_l
+                .genomes()
+                .iter()
+                .zip(after.genomes())
+                .map(|(a, b)| a.hamming_distance(*b))
+                .sum();
+            if mask.bit(l) {
+                prop_assert!(flips == 1, "w128 lane {}: {} flips", l, flips);
+            } else {
+                prop_assert!(flips == 0, "w128 lane {} must hold", l);
+            }
         }
     }
 
