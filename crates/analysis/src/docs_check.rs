@@ -1,0 +1,363 @@
+//! Documentation conformance checks: the server API reference and
+//! cross-document links.
+//!
+//! Two checkers, both pure over in-memory text so the seeded-defect
+//! fixtures can exercise them without touching the filesystem:
+//!
+//! * [`check_server_api`] holds `docs/SERVER.md` to the route registry
+//!   ([`leonardo_server::route_specs`]): every served route needs a
+//!   `## METHOD /path` section documenting its request schema (when it
+//!   takes a body), its response, and every query parameter it accepts —
+//!   and, in reverse, every `## METHOD /path` heading in the reference
+//!   must name a route the server actually serves. The registry is the
+//!   single source of truth; prose cannot drift from dispatch.
+//! * [`check_doc_links`] follows every relative markdown link in the
+//!   given documents — `[text](path)`, `[text](path#anchor)` and
+//!   `[text](#anchor)` — and reports targets that do not exist and
+//!   anchors that match no heading in the target document.
+
+use crate::finding::Finding;
+use leonardo_server::RouteSpec;
+use std::collections::BTreeMap;
+
+/// One markdown document, addressed by its repo-relative path.
+#[derive(Debug, Clone)]
+pub struct DocFile {
+    /// Repo-relative path, e.g. `docs/SERVER.md`.
+    pub path: String,
+    /// Full markdown text.
+    pub content: String,
+}
+
+/// Check `docs/SERVER.md` against the live route registry.
+pub fn check_server_api(specs: &[RouteSpec], server_md: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let text = strip_code_fences(server_md);
+    let sections = route_sections(&text);
+
+    for spec in specs {
+        let Some(section) = sections.get(spec.label) else {
+            findings.push(Finding::error(
+                "undocumented-route",
+                spec.label.to_string(),
+                format!(
+                    "served route has no `## {}` section in docs/SERVER.md",
+                    spec.label
+                ),
+            ));
+            continue;
+        };
+        if spec.has_request_body && !section.contains("Request") {
+            findings.push(Finding::error(
+                "route-doc-incomplete",
+                spec.label.to_string(),
+                "route takes a request body but its section documents no request schema"
+                    .to_string(),
+            ));
+        }
+        if !section.contains("Response") {
+            findings.push(Finding::error(
+                "route-doc-incomplete",
+                spec.label.to_string(),
+                "route section documents no response schema".to_string(),
+            ));
+        }
+        for param in spec.query_params {
+            if !section.contains(&format!("`{param}`")) {
+                findings.push(Finding::error(
+                    "route-doc-incomplete",
+                    spec.label.to_string(),
+                    format!("accepted query parameter `{param}` is not documented"),
+                ));
+            }
+        }
+    }
+
+    // reverse direction: prose must not invent routes
+    for label in sections.keys() {
+        if !specs.iter().any(|s| s.label == *label) {
+            findings.push(Finding::error(
+                "phantom-route-doc",
+                label.clone(),
+                format!("docs/SERVER.md documents `{label}` but the server serves no such route"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Check every relative link in `docs` resolves. `file_exists` answers
+/// whether a repo-relative path names a real file (injected so fixtures
+/// can run against a fake tree).
+pub fn check_doc_links(docs: &[DocFile], file_exists: &dyn Fn(&str) -> bool) -> Vec<Finding> {
+    // heading anchors per document, for #fragment resolution
+    let anchors: BTreeMap<&str, Vec<String>> = docs
+        .iter()
+        .map(|d| (d.path.as_str(), heading_anchors(&d.content)))
+        .collect();
+    let mut findings = Vec::new();
+    for doc in docs {
+        let text = strip_code_fences(&doc.content);
+        for target in extract_link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                doc.path.clone()
+            } else {
+                resolve_relative(&doc.path, path_part)
+            };
+            if !path_part.is_empty() && !file_exists(&resolved) {
+                findings.push(Finding::error(
+                    "broken-doc-link",
+                    doc.path.clone(),
+                    format!("link target `{target}` does not exist (resolved to `{resolved}`)"),
+                ));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                // anchors are only checkable in documents we were given
+                if let Some(heads) = anchors.get(resolved.as_str()) {
+                    if !heads.iter().any(|h| h == anchor) {
+                        findings.push(Finding::error(
+                            "broken-doc-anchor",
+                            doc.path.clone(),
+                            format!("anchor `#{anchor}` matches no heading in `{resolved}`"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Split the SERVER.md route reference into `## METHOD /path` sections.
+/// Returns label → section text (heading line through the next `## `).
+fn route_sections(text: &str) -> BTreeMap<String, String> {
+    let mut sections: BTreeMap<String, String> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        if let Some(head) = line.strip_prefix("## ") {
+            let head = head.trim();
+            current = if head.starts_with("GET /") || head.starts_with("POST /") {
+                sections.insert(head.to_string(), String::new());
+                Some(head.to_string())
+            } else {
+                None
+            };
+            continue;
+        }
+        if let Some(label) = &current {
+            let s = sections.get_mut(label).expect("section exists");
+            s.push_str(line);
+            s.push('\n');
+        }
+    }
+    sections
+}
+
+/// GitHub-style anchor slugs for every markdown heading in `text`.
+fn heading_anchors(text: &str) -> Vec<String> {
+    strip_code_fences(text)
+        .lines()
+        .filter(|l| l.starts_with('#'))
+        .map(|l| slugify(l.trim_start_matches('#').trim()))
+        .collect()
+}
+
+/// GitHub's heading-to-anchor rule: lowercase, drop everything but
+/// alphanumerics/spaces/hyphens, spaces become hyphens.
+fn slugify(heading: &str) -> String {
+    heading
+        .to_lowercase()
+        .chars()
+        .filter(|c| c.is_alphanumeric() || *c == ' ' || *c == '-')
+        .map(|c| if c == ' ' { '-' } else { c })
+        .collect()
+}
+
+/// Every `](target)` in the text, code fences already stripped.
+fn extract_link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                let target = text[i + 2..i + 2 + end].trim();
+                // drop optional markdown titles: [x](path "title")
+                let target = target.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    targets.push(target.to_string());
+                }
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Resolve `link` against the directory of `from` (both repo-relative),
+/// normalising `.` and `..` components.
+fn resolve_relative(from: &str, link: &str) -> String {
+    let mut parts: Vec<&str> = from.split('/').collect();
+    parts.pop(); // drop the filename
+    for comp in link.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            c => parts.push(c),
+        }
+    }
+    parts.join("/")
+}
+
+/// Remove fenced code blocks so example snippets (curl bodies, JSON)
+/// neither declare headings nor links.
+fn strip_code_fences(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::has_errors;
+    use leonardo_server::route_specs;
+
+    fn doc(path: &str, content: &str) -> DocFile {
+        DocFile {
+            path: path.to_string(),
+            content: content.to_string(),
+        }
+    }
+
+    /// A SERVER.md skeleton that satisfies the registry check.
+    fn complete_server_md() -> String {
+        let mut md = String::from("# Server API\n\n");
+        for spec in route_specs() {
+            md.push_str(&format!("## {}\n\n", spec.label));
+            if spec.has_request_body {
+                md.push_str("### Request\n\nschema\n\n");
+            }
+            md.push_str("### Response\n\nschema\n\n");
+            for p in spec.query_params {
+                md.push_str(&format!("- `{p}`: a parameter\n"));
+            }
+            md.push('\n');
+        }
+        md
+    }
+
+    #[test]
+    fn complete_reference_passes() {
+        let findings = check_server_api(route_specs(), &complete_server_md());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_route_section_fails() {
+        let md = complete_server_md().replace("## GET /metrics", "## skipped");
+        let findings = check_server_api(route_specs(), &md);
+        assert!(findings
+            .iter()
+            .any(|f| f.check == "undocumented-route" && f.context == "GET /metrics"));
+    }
+
+    #[test]
+    fn undocumented_query_param_fails() {
+        let md = complete_server_md().replace("- `bits`: a parameter\n", "");
+        let findings = check_server_api(route_specs(), &md);
+        assert!(findings
+            .iter()
+            .any(|f| f.check == "route-doc-incomplete" && f.message.contains("`bits`")));
+    }
+
+    #[test]
+    fn phantom_route_doc_fails() {
+        let md = format!("{}\n## GET /teapot\n\n### Response\n", complete_server_md());
+        let findings = check_server_api(route_specs(), &md);
+        assert!(findings
+            .iter()
+            .any(|f| f.check == "phantom-route-doc" && f.context == "GET /teapot"));
+    }
+
+    #[test]
+    fn resolves_relative_paths() {
+        assert_eq!(
+            resolve_relative("docs/SERVER.md", "../README.md"),
+            "README.md"
+        );
+        assert_eq!(
+            resolve_relative("README.md", "docs/FAULTS.md"),
+            "docs/FAULTS.md"
+        );
+        assert_eq!(resolve_relative("docs/A.md", "./B.md"), "docs/B.md");
+    }
+
+    #[test]
+    fn dead_links_and_anchors_fail_good_ones_pass() {
+        let docs = vec![
+            doc(
+                "README.md",
+                "See [the api](docs/SERVER.md#overview) and [gone](docs/GONE.md).\n\
+                 Also [self](#local-heading).\n\n# Local Heading\n",
+            ),
+            doc(
+                "docs/SERVER.md",
+                "# Overview\n\nBack to [readme](../README.md).\n",
+            ),
+        ];
+        let exists = |p: &str| p == "README.md" || p == "docs/SERVER.md";
+        let findings = check_doc_links(&docs, &exists);
+        assert!(has_errors(&findings));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].check, "broken-doc-link");
+        assert!(findings[0].message.contains("docs/GONE.md"));
+    }
+
+    #[test]
+    fn bad_anchor_is_reported() {
+        let docs = vec![
+            doc("README.md", "[jump](docs/S.md#no-such-heading)\n"),
+            doc("docs/S.md", "# Real Heading\n"),
+        ];
+        let exists = |_: &str| true;
+        let findings = check_doc_links(&docs, &exists);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].check, "broken-doc-anchor");
+    }
+
+    #[test]
+    fn code_fences_are_ignored() {
+        let docs = vec![doc(
+            "docs/S.md",
+            "```bash\ncurl [not a link](nowhere.md)\n```\nreal text\n",
+        )];
+        let exists = |_: &str| false;
+        assert!(check_doc_links(&docs, &exists).is_empty());
+    }
+}

@@ -148,6 +148,32 @@ pub fn two_writer_ram() -> GapControlFsm {
     GapControlFsm::with_write_decode_bug()
 }
 
+/// A doc set with one dead cross-reference: the README links to an API
+/// reference that does not exist in the (empty) file tree.
+pub fn broken_doc_link() -> Vec<crate::docs_check::DocFile> {
+    vec![crate::docs_check::DocFile {
+        path: "README.md".to_string(),
+        content: "See [the server API](docs/SERVER.md#post-evolve) for details.\n".to_string(),
+    }]
+}
+
+/// A SERVER.md that documents every route except `POST /evolve` — the
+/// registry cross-check must flag the served-but-undocumented route.
+pub fn undocumented_route_md() -> String {
+    let mut md = String::from("# leonardo-server API\n\n");
+    for spec in leonardo_server::route_specs() {
+        if spec.label == "POST /evolve" {
+            continue; // the defect
+        }
+        md.push_str(&format!("## {}\n\n### Response\n\nschema\n\n", spec.label));
+        for p in spec.query_params {
+            md.push_str(&format!("- `{p}`: documented\n"));
+        }
+        md.push('\n');
+    }
+    md
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

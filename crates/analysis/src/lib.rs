@@ -29,6 +29,11 @@
 //!   (`leonardo_rtl::bitslice::plane_registry`): shape sanity, every
 //!   width's scalar-equivalence probe, and lane-equivalence-suite
 //!   coverage — a plane width can neither ship broken nor untested;
+//! * [`docs_check`] holds the documentation to the code: `docs/SERVER.md`
+//!   must document exactly the routes [`leonardo_server::route_specs`]
+//!   serves (request/response schemas, every query parameter), and every
+//!   relative markdown link and heading anchor across the repo's docs
+//!   must resolve;
 //! * [`fixtures`] holds deliberately broken designs, one per defect
 //!   class, so the gate itself is testable.
 //!
@@ -39,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod docs_check;
 pub mod fault_nodes;
 pub mod finding;
 pub mod fixtures;
@@ -49,6 +55,7 @@ pub mod shard_check;
 pub mod solver;
 pub mod symbolic;
 
+pub use docs_check::{check_doc_links, check_server_api, DocFile};
 pub use fault_nodes::check_injectable_nodes;
 pub use finding::{has_errors, sort_findings, Finding, Severity};
 pub use genome_check::{check_genome, check_population_path, well_formed, StaticGait};

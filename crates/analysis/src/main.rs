@@ -9,7 +9,8 @@
 //!                                  combinational-loop | width-mismatch |
 //!                                  clb-overflow | trap-genome |
 //!                                  broken-shard-plan | bad-fitness-unit |
-//!                                  two-writer-ram | broken-plane-kernel
+//!                                  two-writer-ram | broken-plane-kernel |
+//!                                  broken-doc-link | undocumented-route
 //! ```
 //!
 //! With `--json`, stdout carries exactly one JSON object per finding
@@ -145,9 +146,63 @@ fn run_check(seed: u32, json: bool) -> ExitCode {
         ));
     }
     findings.extend(sym.findings);
+    // the documentation gate: SERVER.md must match the route registry,
+    // and every relative doc link / anchor must resolve
+    say("== docs: server API reference + cross-document links ==");
+    findings.extend(run_doc_checks(&say));
     say(&format!("== genome path: seed {seed:#x} =="));
     findings.extend(check_population_path(seed, MAX_GENERATIONS));
     report(findings, json)
+}
+
+/// The markdown files the link checker walks, repo-relative. Root-level
+/// docs plus everything under `docs/`.
+const DOC_FILES: &[&str] = &[
+    "README.md",
+    "ANALYSIS.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/FAULTS.md",
+    "docs/LANDSCAPE.md",
+    "docs/SERVER.md",
+    "docs/TELEMETRY.md",
+];
+
+/// Load the repo's docs and run both documentation checkers.
+fn run_doc_checks(say: &dyn Fn(&str)) -> Vec<Finding> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut docs = Vec::new();
+    let mut findings = Vec::new();
+    for path in DOC_FILES {
+        match std::fs::read_to_string(format!("{root}/{path}")) {
+            Ok(content) => docs.push(analysis::DocFile {
+                path: (*path).to_string(),
+                content,
+            }),
+            Err(e) => findings.push(Finding::error(
+                "missing-doc",
+                (*path).to_string(),
+                format!("required document cannot be read: {e}"),
+            )),
+        }
+    }
+    say(&format!(
+        "   {} route(s) vs docs/SERVER.md: check_server_api",
+        leonardo_server::route_specs().len()
+    ));
+    if let Some(server_md) = docs.iter().find(|d| d.path == "docs/SERVER.md") {
+        findings.extend(analysis::check_server_api(
+            leonardo_server::route_specs(),
+            &server_md.content,
+        ));
+    }
+    say(&format!("   {} document(s): check_doc_links", docs.len()));
+    // directories are fine link targets (crate folders, results/)
+    let exists = |p: &str| std::path::Path::new(&format!("{root}/{p}")).exists();
+    findings.extend(analysis::check_doc_links(&docs, &exists));
+    findings
 }
 
 fn run_fixture(name: &str, json: bool) -> ExitCode {
@@ -162,6 +217,12 @@ fn run_fixture(name: &str, json: bool) -> ExitCode {
         "broken-plane-kernel" => {
             check_plane_registry(&[fixtures::broken_plane_width()], Some("w128"))
         }
+        // an empty file tree: the README's link must come up dead
+        "broken-doc-link" => analysis::check_doc_links(&fixtures::broken_doc_link(), &|_| false),
+        "undocumented-route" => analysis::check_server_api(
+            leonardo_server::route_specs(),
+            &fixtures::undocumented_route_md(),
+        ),
         _ => return usage(&format!("unknown fixture `{name}`")),
     };
     report(findings, json)

@@ -87,6 +87,19 @@ pub struct RtlTrial {
     pub cycles: u64,
 }
 
+/// [`RtlTrial`] plus the evolved artefact itself — what a caller that
+/// wants the *result* of the evolution (the `leonardo-server` `/evolve`
+/// endpoint), not just its statistics, gets back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvolvedTrial {
+    /// Convergence statistics of the trial.
+    pub trial: RtlTrial,
+    /// Best genome held by the lane when the trial stopped.
+    pub best_genome: discipulus::genome::Genome,
+    /// Fitness of that best genome as the chip recorded it.
+    pub best_fitness: u32,
+}
+
 /// Summarize RTL trials the same way [`convergence_sample`] does.
 pub fn rtl_stats(trials: &[RtlTrial]) -> ConvergenceStats {
     let generations: Vec<f64> = trials
@@ -143,6 +156,20 @@ pub fn rtl_convergence_batch_w<P: Plane>(
     max_generations: u64,
     threads: usize,
 ) -> Vec<RtlTrial> {
+    rtl_evolve_batch_w::<P>(seeds, max_generations, threads)
+        .into_iter()
+        .map(|t| t.trial)
+        .collect()
+}
+
+/// [`rtl_convergence_batch_w`] keeping the evolved best genome and its
+/// fitness per trial. Same driver, same determinism contract: per-seed
+/// results are bit-identical for any plane width and thread count.
+pub fn rtl_evolve_batch_w<P: Plane>(
+    seeds: &[u32],
+    max_generations: u64,
+    threads: usize,
+) -> Vec<EvolvedTrial> {
     let n = seeds.len();
     if n == 0 {
         return Vec::new();
@@ -153,7 +180,7 @@ pub fn rtl_convergence_batch_w<P: Plane>(
         threads
     }
     .min(n.div_ceil(P::LANES).max(1));
-    let results: Mutex<Vec<(usize, RtlTrial)>> = Mutex::new(Vec::with_capacity(n));
+    let results: Mutex<Vec<(usize, EvolvedTrial)>> = Mutex::new(Vec::with_capacity(n));
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -180,7 +207,7 @@ fn batch_worker<P: Plane>(
     seeds: &[u32],
     max_generations: u64,
     next: &std::sync::atomic::AtomicUsize,
-    results: &Mutex<Vec<(usize, RtlTrial)>>,
+    results: &Mutex<Vec<(usize, EvolvedTrial)>>,
 ) {
     use std::sync::atomic::Ordering::Relaxed;
     let claim = |cap: usize| -> Vec<usize> {
@@ -219,8 +246,16 @@ fn batch_worker<P: Plane>(
                 generations: gap.generation(l),
                 cycles: gap.cycles(l),
             };
+            let (best_genome, best_fitness) = gap.best(l);
             emit_trial(engine_label::<P>(), seeds[i], done);
-            results.lock().push((i, done));
+            results.lock().push((
+                i,
+                EvolvedTrial {
+                    trial: done,
+                    best_genome,
+                    best_fitness,
+                },
+            ));
             free.push(l);
         });
         let mut active = P::ZERO;
@@ -343,6 +378,22 @@ mod tests {
             batch.iter().any(|t| t.converged) && batch.iter().any(|t| !t.converged),
             "budget should split the trials into both outcomes"
         );
+    }
+
+    #[test]
+    fn evolve_batch_returns_maximal_best_genomes() {
+        let seeds = trial_seeds(4);
+        let out = rtl_evolve_batch_w::<u64>(&seeds, 30_000, 1);
+        let spec = discipulus::fitness::FitnessSpec::paper();
+        for t in &out {
+            assert!(t.trial.converged);
+            assert_eq!(t.best_fitness, spec.max_fitness());
+            // the artefact is genuine: the stored genome re-scores maximal
+            assert_eq!(spec.evaluate(t.best_genome), spec.max_fitness());
+        }
+        // and the statistics view is exactly the convergence driver's
+        let stats = rtl_convergence_batch_w::<u64>(&seeds, 30_000, 1);
+        assert_eq!(stats, out.iter().map(|t| t.trial).collect::<Vec<_>>());
     }
 
     #[test]

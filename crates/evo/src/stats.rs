@@ -63,6 +63,28 @@ impl Summary {
         let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Some(sorted[rank - 1])
     }
+
+    /// Several nearest-rank percentiles of one sample, sorting it once
+    /// (the latency-report case: p50/p90/p99 over thousands of request
+    /// timings). Returns `None` for an empty sample or any `p` outside
+    /// `0..=100`; otherwise one value per requested percentile, in
+    /// request order.
+    pub fn percentiles(sample: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
+        if sample.is_empty() || ps.iter().any(|p| !(0.0..=100.0).contains(p)) {
+            return None;
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        Some(
+            ps.iter()
+                .map(|p| {
+                    let rank =
+                        ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                    sorted[rank - 1]
+                })
+                .collect(),
+        )
+    }
 }
 
 impl fmt::Display for Summary {
@@ -120,6 +142,18 @@ mod tests {
         assert_eq!(Summary::percentile(&sample, 1.0), Some(1.0));
         assert_eq!(Summary::percentile(&[], 50.0), None);
         assert_eq!(Summary::percentile(&sample, 150.0), None);
+    }
+
+    #[test]
+    fn percentiles_sort_once_matches_percentile() {
+        let sample = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let got = Summary::percentiles(&sample, &[1.0, 50.0, 99.0, 100.0]).unwrap();
+        for (p, v) in [1.0, 50.0, 99.0, 100.0].iter().zip(&got) {
+            assert_eq!(Summary::percentile(&sample, *p), Some(*v));
+        }
+        assert_eq!(Summary::percentiles(&[], &[50.0]), None);
+        assert_eq!(Summary::percentiles(&sample, &[101.0]), None);
+        assert_eq!(Summary::percentiles(&sample, &[]), Some(vec![]));
     }
 
     #[test]

@@ -104,6 +104,88 @@ where
     ordered_map(threads, (0..n).collect(), |_, i| f(i))
 }
 
+/// A persistent pool of worker threads draining a shared job queue — the
+/// long-lived counterpart of [`ordered_map`] for workloads whose items
+/// arrive over time instead of as one batch (the `leonardo-server`
+/// connection reactor: each accepted connection becomes one job).
+///
+/// Jobs are boxed `FnOnce` closures run in FIFO submission order (any
+/// idle worker may pick up any job, so *completion* order is
+/// scheduling-dependent — per-job determinism is the submitter's
+/// business, exactly as with [`ordered_map`]). Dropping the pool wakes
+/// every worker, lets queued jobs finish, and joins the threads.
+pub struct WorkerPool {
+    queue: std::sync::Arc<PoolQueue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: Mutex<std::collections::VecDeque<Job>>,
+    ready: std::sync::Condvar,
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let queue = std::sync::Arc::new(PoolQueue {
+            jobs: Mutex::new(std::collections::VecDeque::new()),
+            ready: std::sync::Condvar::new(),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let queue = std::sync::Arc::clone(&queue);
+                std::thread::spawn(move || loop {
+                    let mut jobs = queue.jobs.lock().expect("pool queue");
+                    let job = loop {
+                        if let Some(job) = jobs.pop_front() {
+                            break job;
+                        }
+                        if queue.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+                            return;
+                        }
+                        jobs = queue.ready.wait(jobs).expect("pool queue");
+                    };
+                    drop(jobs);
+                    job();
+                })
+            })
+            .collect();
+        WorkerPool { queue, workers }
+    }
+
+    /// Enqueue one job; some idle worker will run it. Jobs submitted
+    /// after the pool started dropping are silently discarded.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut jobs = self.queue.jobs.lock().expect("pool queue");
+        jobs.push_back(Box::new(job));
+        drop(jobs);
+        self.queue.ready.notify_one();
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::Release);
+        self.queue.ready.notify_all();
+        for w in self.workers.drain(..) {
+            // a panicking job poisons nothing here: each job runs outside
+            // the queue lock, so the pool only ever loses that worker
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +245,50 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_submitted_job() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let hits = std::sync::Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = std::sync::Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // drains the queue and joins
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn worker_pool_zero_threads_still_works() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(move || tx.send(7usize).expect("receiver alive"));
+        assert_eq!(rx.recv().expect("job ran"), 7);
+    }
+
+    #[test]
+    fn worker_pool_jobs_overlap_across_threads() {
+        // two jobs that each wait for the other prove two workers run
+        // concurrently (a single-threaded pool would deadlock the pair —
+        // bounded here by generous channel timeouts)
+        let pool = WorkerPool::new(2);
+        let (txa, rxa) = std::sync::mpsc::channel();
+        let (txb, rxb) = std::sync::mpsc::channel();
+        pool.submit(move || {
+            txa.send(()).expect("peer");
+            rxb.recv_timeout(std::time::Duration::from_secs(10))
+                .expect("peer job ran concurrently");
+        });
+        pool.submit(move || {
+            txb.send(()).expect("peer");
+            rxa.recv_timeout(std::time::Duration::from_secs(10))
+                .expect("peer job ran concurrently");
+        });
+        drop(pool);
     }
 }

@@ -1,0 +1,405 @@
+//! A minimal, strict HTTP/1.1 layer over blocking streams.
+//!
+//! The workspace builds with no registry access, so there is no hyper;
+//! this module is the small honest subset the job server needs: parse
+//! one request (request line, headers, `Content-Length` body) off a
+//! stream with hard size limits, and write one `Connection: keep-alive`
+//! or `close` response back. Anything outside that subset — chunked
+//! bodies, upgrades, HTTP/2 — is rejected loudly rather than guessed at.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Default cap on a request body, in bytes (configurable per server).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, percent-decoded (`/evolve`).
+    pub path: String,
+    /// Query parameters in target order, percent-decoded.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when there was none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`, if any.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// First header named `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read off the stream.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly before sending anything —
+    /// the normal end of a keep-alive session, not an error to report.
+    Closed,
+    /// The stream ended or failed mid-request (the "mid-stream
+    /// disconnect" case: the connection is dropped, no response is owed).
+    Disconnected(io::Error),
+    /// The bytes received do not parse as an HTTP/1.1 request the server
+    /// supports (answer 400).
+    Malformed(String),
+    /// The request line + headers exceeded [`MAX_HEAD_BYTES`] (431).
+    HeadTooLarge,
+    /// The declared body length exceeded the server's cap (413).
+    BodyTooLarge(usize),
+}
+
+/// Read and parse one request. `max_body` caps the accepted
+/// `Content-Length`.
+pub fn read_request<S: Read>(
+    reader: &mut BufReader<S>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let head = read_head(reader)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "unparseable request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::Malformed(
+            "chunked transfer encoding is not supported".to_string(),
+        ));
+    }
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw)
+        .ok_or_else(|| ReadError::Malformed(format!("undecodable path `{path_raw}`")))?;
+    let mut query = Vec::new();
+    for pair in query_raw.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match (percent_decode(k), percent_decode(v)) {
+            (Some(k), Some(v)) => query.push((k, v)),
+            _ => {
+                return Err(ReadError::Malformed(format!(
+                    "undecodable query pair `{pair}`"
+                )))
+            }
+        }
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if content_length > max_body {
+        // drop the connection after answering: the body is not read
+        return Err(ReadError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(ReadError::Disconnected)?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Read up to and including the blank line terminating the header block,
+/// consuming exactly the head's bytes — whatever follows the terminator
+/// (the body, or a pipelined next request) stays in the reader.
+fn read_head<S: Read>(reader: &mut BufReader<S>) -> Result<String, ReadError> {
+    let mut head: Vec<u8> = Vec::new();
+    loop {
+        // copy the buffered window so `consume` can take a partial chunk
+        let chunk: Vec<u8> = reader.fill_buf().map_err(ReadError::Disconnected)?.to_vec();
+        if chunk.is_empty() {
+            return if head.is_empty() {
+                Err(ReadError::Closed)
+            } else {
+                Err(ReadError::Disconnected(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                )))
+            };
+        }
+        let mut consumed = chunk.len();
+        let mut done = false;
+        for (i, &b) in chunk.iter().enumerate() {
+            head.push(b);
+            if head.ends_with(b"\r\n\r\n") {
+                consumed = i + 1;
+                done = true;
+                break;
+            }
+        }
+        reader.consume(consumed);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::HeadTooLarge);
+        }
+        if done {
+            head.truncate(head.len() - 4);
+            return String::from_utf8(head)
+                .map_err(|_| ReadError::Malformed("head is not UTF-8".to_string()));
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+`-as-space; `None` on truncated or
+/// non-hex escapes or non-UTF-8 results.
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// One HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 400, …).
+    pub status: u16,
+    /// Response body; always `application/json` in this server.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// Canonical reason phrase for the status codes this server emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize status line, headers and body to `out`. `close` selects
+    /// the `Connection` header value.
+    ///
+    /// The whole response goes out in a single `write_all` — head and
+    /// body split across small writes would interact with Nagle +
+    /// delayed ACK and cost tens of milliseconds per request.
+    pub fn write_to<W: Write>(&self, out: &mut W, close: bool) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        let mut wire = Vec::with_capacity(head.len() + self.body.len());
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(&self.body);
+        out.write_all(&wire)?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse(b"GET /landscape?bits=24&samples=2 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/landscape");
+        assert_eq!(r.query_param("bits"), Some("24"));
+        assert_eq!(r.query_param("samples"), Some("2"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse(
+            b"POST /evolve HTTP/1.1\r\nContent-Length: 11\r\nConnection: close\r\n\r\n{\"seed\": 1}",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"seed\": 1}");
+        assert!(r.wants_close());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        let r = parse(b"GET /landscape?genome=0x3%20f+x HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.query_param("genome"), Some("0x3 f x"));
+        assert!(matches!(
+            parse(b"GET /a?x=%zz HTTP/1.1\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_protocol() {
+        assert!(matches!(
+            parse(b"NOT A REQUEST AT ALL\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/2\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn clean_close_vs_midstream_disconnect() {
+        assert!(matches!(parse(b""), Err(ReadError::Closed)));
+        assert!(matches!(
+            parse(b"GET /x HTT"),
+            Err(ReadError::Disconnected(_))
+        ));
+        // body shorter than content-length = disconnect mid-body
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ReadError::Disconnected(_))
+        ));
+    }
+
+    #[test]
+    fn size_limits() {
+        let huge = format!(
+            "GET /x HTTP/1.1\r\npad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(ReadError::HeadTooLarge)
+        ));
+        let r = read_request(
+            &mut BufReader::new(&b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n"[..]),
+            10,
+        );
+        assert!(matches!(r, Err(ReadError::BodyTooLarge(100))));
+    }
+
+    #[test]
+    fn response_serializes_with_connection_mode() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2"));
+        assert!(text.contains("connection: keep-alive"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        Response::json(404, "x").write_to(&mut out, true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("connection: close"));
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_in_sequence() {
+        let raw: &[u8] =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /evolve HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let mut reader = BufReader::new(raw);
+        let a = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(a.path, "/healthz");
+        let b = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(b.path, "/evolve");
+        assert_eq!(b.body, b"{}");
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            Err(ReadError::Closed)
+        ));
+    }
+}

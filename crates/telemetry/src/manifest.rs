@@ -21,7 +21,10 @@ use std::path::Path;
 /// * **4** — `host_cores` (detected hardware parallelism) and
 ///   `plane_width` (bit-slice lanes per plane word) execution-shape
 ///   fields. Both default when absent, so v1–v3 manifests stay readable.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 4;
+/// * **5** — optional `server` section (per-route latency/throughput
+///   summary rows from `leonardo-server` load runs). Absent from the
+///   JSON when empty, so v1–v4 manifests stay readable.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 5;
 
 /// A reproducibility record for one experiment run.
 ///
@@ -69,6 +72,80 @@ pub struct RunManifest {
     /// landscape (schema v3; absent from the JSON when empty, so v1/v2
     /// readers and sweep-free runs are unaffected).
     pub landscape: Vec<LandscapeRow>,
+    /// Server load-run summary rows, when the run drove `leonardo-server`
+    /// (schema v5; absent from the JSON when empty, so v1–v4 readers and
+    /// serverless runs are unaffected).
+    pub server: Vec<ServerRow>,
+}
+
+/// One server load-run summary line in a [`RunManifest`]: how one route
+/// fared under one client concurrency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerRow {
+    /// Route identifier as `"METHOD /path"` (e.g. `"POST /evolve"`), or
+    /// `"ALL"` for a mixed-route aggregate.
+    pub route: String,
+    /// Concurrent clients driving the server during the measurement.
+    pub clients: u64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub ok: u64,
+    /// Responses with a non-2xx status (or transport failures).
+    pub errors: u64,
+    /// Median request latency in microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_micros: f64,
+    /// Mean request latency in microseconds.
+    pub mean_micros: f64,
+    /// Completed requests per second over the measurement window.
+    pub rps: f64,
+}
+
+impl ServerRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("route".to_string(), Json::Str(self.route.clone())),
+            ("clients".to_string(), Json::Num(self.clients as f64)),
+            ("requests".to_string(), Json::Num(self.requests as f64)),
+            ("ok".to_string(), Json::Num(self.ok as f64)),
+            ("errors".to_string(), Json::Num(self.errors as f64)),
+            ("p50_micros".to_string(), Json::Num(self.p50_micros)),
+            ("p99_micros".to_string(), Json::Num(self.p99_micros)),
+            ("mean_micros".to_string(), Json::Num(self.mean_micros)),
+            ("rps".to_string(), Json::Num(self.rps)),
+        ])
+    }
+
+    fn from_json(v: &Json, idx: usize) -> Result<ServerRow, ManifestError> {
+        let ctx = |name: &str| format!("server[{idx}].{name}");
+        let field = |name: &str| v.get(name).ok_or_else(|| ManifestError::Missing(ctx(name)));
+        let uint = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| ManifestError::BadField(ctx(name)))
+        };
+        let num = |name: &str| {
+            field(name)?
+                .as_f64()
+                .ok_or_else(|| ManifestError::BadField(ctx(name)))
+        };
+        Ok(ServerRow {
+            route: field("route")?
+                .as_str()
+                .ok_or_else(|| ManifestError::BadField(ctx("route")))?
+                .to_string(),
+            clients: uint("clients")?,
+            requests: uint("requests")?,
+            ok: uint("ok")?,
+            errors: uint("errors")?,
+            p50_micros: num("p50_micros")?,
+            p99_micros: num("p99_micros")?,
+            mean_micros: num("mean_micros")?,
+            rps: num("rps")?,
+        })
+    }
 }
 
 /// One exhaustive-sweep summary line in a [`RunManifest`]: what slice of
@@ -253,6 +330,7 @@ impl RunManifest {
             events_file: None,
             campaigns: Vec::new(),
             landscape: Vec::new(),
+            server: Vec::new(),
         }
     }
 
@@ -320,6 +398,12 @@ impl RunManifest {
             obj.push((
                 "landscape".to_string(),
                 Json::Arr(self.landscape.iter().map(LandscapeRow::to_json).collect()),
+            ));
+        }
+        if !self.server.is_empty() {
+            obj.push((
+                "server".to_string(),
+                Json::Arr(self.server.iter().map(ServerRow::to_json).collect()),
             ));
         }
         Json::Obj(obj)
@@ -424,6 +508,16 @@ impl RunManifest {
                 .map(|(i, row)| LandscapeRow::from_json(row, i))
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let server = match root.get("server") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ManifestError::BadField("server".to_string()))?
+                .iter()
+                .enumerate()
+                .map(|(i, row)| ServerRow::from_json(row, i))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(RunManifest {
             schema_version,
             experiment: string("experiment")?,
@@ -439,6 +533,7 @@ impl RunManifest {
             events_file,
             campaigns,
             landscape,
+            server,
         })
     }
 
@@ -564,6 +659,45 @@ mod tests {
         assert_eq!(back.events_file, None);
         assert!(back.campaigns.is_empty(), "absent campaigns parse as none");
         assert!(back.landscape.is_empty(), "absent landscape parses as none");
+        assert!(back.server.is_empty(), "absent server rows parse as none");
+    }
+
+    #[test]
+    fn server_rows_round_trip() {
+        let mut m = sample();
+        m.server = vec![ServerRow {
+            route: "POST /evolve".to_string(),
+            clients: 4,
+            requests: 64,
+            ok: 64,
+            errors: 0,
+            p50_micros: 812.5,
+            p99_micros: 2190.0,
+            mean_micros: 901.25,
+            rps: 1034.7,
+        }];
+        let text = m.to_json().to_string();
+        assert!(text.contains("\"server\""));
+        let back = RunManifest::from_json_str(&text).expect("parse back");
+        assert_eq!(back, m);
+        assert_eq!(back.server[0].clients, 4);
+    }
+
+    #[test]
+    fn v4_manifests_without_server_rows_still_parse() {
+        let v4 = r#"{"schema_version":4,"experiment":"perf_report","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[7],"threads":4,"host_cores":1,
+            "plane_width":512,"wall_seconds":0.25}"#;
+        let back = RunManifest::from_json_str(v4).expect("v4 manifests stay readable");
+        assert_eq!(back.schema_version, 4);
+        assert!(back.server.is_empty());
+        let bad = r#"{"schema_version":5,"experiment":"x","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,"wall_seconds":0,
+            "server":[{"route":"GET /healthz"}]}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(bad),
+            Err(ManifestError::Missing(field)) if field == "server[0].clients"
+        ));
     }
 
     #[test]
@@ -628,7 +762,7 @@ mod tests {
         let m = RunManifest::new("probe");
         assert!(m.host_cores >= 1);
         assert_eq!(m.plane_width, 64, "64 lanes unless a run says otherwise");
-        assert_eq!(m.schema_version, 4);
+        assert_eq!(m.schema_version, 5);
     }
 
     #[test]

@@ -48,4 +48,22 @@ run e14_fault_matrix --trials 8
 # interrupted run resumes with `--resume` (bit-identical result either way)
 run e15_landscape --checkpoint "$OUT/e15_landscape.checkpoint"
 
+# the server latency report: serve the engines over HTTP, sweep client
+# concurrency with loadgen, record the passes in a schema-v5 manifest
+# (see docs/SERVER.md); regenerates BENCH_PR8.json at the repo root
+echo "=== running server_latency (leonardo-server + loadgen) ===" | tee -a "$OUT/run.log"
+t0=$(date +%s)
+./target/release/leonardo-server --addr 127.0.0.1:7878 --threads 24 > "$OUT/server_latency.txt" 2>&1 &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+  grep -q 'listening on' "$OUT/server_latency.txt" && break
+  sleep 0.2
+done
+./target/release/loadgen --addr 127.0.0.1:7878 --requests 384 --clients 1,4,16 \
+  --out BENCH_PR8.json --manifest "$OUT/bench_pr8_manifest.json" --label bench_pr8 \
+  2>> "$OUT/server_latency.txt"
+kill "$SERVER_PID"
+t1=$(date +%s)
+echo "$((t1 - t0)) s" > "$OUT/server_latency.time"
+
 echo "ALL_EXPERIMENTS_DONE" | tee -a "$OUT/run.log"
