@@ -157,6 +157,17 @@ pub fn broken_doc_link() -> Vec<crate::docs_check::DocFile> {
     }]
 }
 
+/// A walk objective whose probe returns NaN on every genome — the
+/// objective checker must flag the non-finite probe.
+pub fn bad_objective() -> leonardo_walker::objectives::ObjectiveSpec {
+    leonardo_walker::objectives::ObjectiveSpec {
+        name: "bad_objective",
+        unit: "mm",
+        summary: "a deliberately broken objective that scores every genome NaN",
+        probe: |_| f64::NAN,
+    }
+}
+
 /// A SERVER.md that documents every route except `POST /evolve` — the
 /// registry cross-check must flag the served-but-undocumented route.
 pub fn undocumented_route_md() -> String {

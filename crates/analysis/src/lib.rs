@@ -29,6 +29,11 @@
 //!   (`leonardo_rtl::bitslice::plane_registry`): shape sanity, every
 //!   width's scalar-equivalence probe, and lane-equivalence-suite
 //!   coverage — a plane width can neither ship broken nor untested;
+//! * [`objective_check`] validates the walk-objective registry
+//!   (`leonardo_walker::objectives::objective_registry`): shape sanity,
+//!   finiteness/determinism probes on a spread of genomes, and
+//!   objective-suite coverage — an objective can neither ship
+//!   NaN-producing nor untested;
 //! * [`docs_check`] holds the documentation to the code: `docs/SERVER.md`
 //!   must document exactly the routes [`leonardo_server::route_specs`]
 //!   serves (request/response schemas, every query parameter), and every
@@ -50,6 +55,7 @@ pub mod finding;
 pub mod fixtures;
 pub mod genome_check;
 pub mod lint;
+pub mod objective_check;
 pub mod plane_check;
 pub mod shard_check;
 pub mod solver;
@@ -60,6 +66,7 @@ pub use fault_nodes::check_injectable_nodes;
 pub use finding::{has_errors, sort_findings, Finding, Severity};
 pub use genome_check::{check_genome, check_population_path, well_formed, StaticGait};
 pub use lint::{lint_design, lint_unit, packed_clbs};
+pub use objective_check::check_objectives;
 pub use plane_check::check_plane_registry;
 pub use shard_check::check_shard_plan;
 pub use symbolic::{check_symbolic, SymbolicReport};

@@ -10,7 +10,8 @@
 //!                                  clb-overflow | trap-genome |
 //!                                  broken-shard-plan | bad-fitness-unit |
 //!                                  two-writer-ram | broken-plane-kernel |
-//!                                  broken-doc-link | undocumented-route
+//!                                  broken-doc-link | undocumented-route |
+//!                                  bad-objective
 //! ```
 //!
 //! With `--json`, stdout carries exactly one JSON object per finding
@@ -28,8 +29,8 @@
 
 use analysis::finding::{has_errors, Finding};
 use analysis::{
-    check_genome, check_injectable_nodes, check_plane_registry, check_population_path,
-    check_shard_plan, fixtures, lint, symbolic,
+    check_genome, check_injectable_nodes, check_objectives, check_plane_registry,
+    check_population_path, check_shard_plan, fixtures, lint, symbolic,
 };
 use discipulus::genome::Genome;
 use discipulus::params::GapParams;
@@ -120,6 +121,19 @@ fn run_check(seed: u32, json: bool) -> ExitCode {
     ))
     .ok();
     findings.extend(check_plane_registry(registry, suite.as_deref()));
+    // every registered walk objective: shape sanity, finiteness and
+    // determinism probes, objective-suite coverage
+    say("== walk-objective registry: shape, probes, suite coverage ==");
+    let objectives = leonardo_walker::objectives::objective_registry();
+    for o in objectives {
+        say(&format!("   {} ({}): probe", o.name, o.unit));
+    }
+    let obj_suite = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/walk_objectives.rs"
+    ))
+    .ok();
+    findings.extend(check_objectives(objectives, obj_suite.as_deref()));
     // the exhaustive sweep's partition arithmetic, at every shard count
     // the drivers use (CI smoke, defaults, full run) plus awkward odd ones
     say("== landscape shard plans ==");
@@ -166,6 +180,7 @@ const DOC_FILES: &[&str] = &[
     "docs/ARCHITECTURE.md",
     "docs/FAULTS.md",
     "docs/LANDSCAPE.md",
+    "docs/PARETO.md",
     "docs/SERVER.md",
     "docs/TELEMETRY.md",
 ];
@@ -223,6 +238,7 @@ fn run_fixture(name: &str, json: bool) -> ExitCode {
             leonardo_server::route_specs(),
             &fixtures::undocumented_route_md(),
         ),
+        "bad-objective" => check_objectives(&[fixtures::bad_objective()], Some("bad_objective")),
         _ => return usage(&format!("unknown fixture `{name}`")),
     };
     report(findings, json)

@@ -1,0 +1,170 @@
+//! Walk-objective registry checks.
+//!
+//! The walker ships a registry of gait objectives
+//! ([`leonardo_walker::objectives::objective_registry`]); every entry
+//! carries a probe that scores a genome on flat ground. This checker is
+//! the gate side of the multi-objective contract: every registered
+//! objective must be finite and deterministic on a spread of probe
+//! genomes, and must be exercised by the objective test suite — so an
+//! objective can neither ship NaN-producing nor ship untested.
+
+use crate::finding::Finding;
+use discipulus::genome::Genome;
+use leonardo_walker::objectives::ObjectiveSpec;
+
+/// Check name under which registry-shape defects are reported.
+const SHAPE: &str = "objective-registry-shape";
+/// Check name under which probe failures are reported.
+const PROBE: &str = "objective-probe";
+/// Check name under which suite-coverage holes are reported.
+const COVERAGE: &str = "objective-suite-coverage";
+
+/// The genomes every objective is probed on: the canonical good walker,
+/// the all-zero statue, and an adversarial alternating pattern.
+fn probe_genomes() -> [Genome; 3] {
+    [
+        Genome::tripod(),
+        Genome::ZERO,
+        Genome::from_bits(0x5_5555_5555),
+    ]
+}
+
+/// Validate an objective registry: shape sanity, then every objective's
+/// finiteness/determinism probes, then (when the suite source is
+/// available) that the objective test suite names every registered
+/// objective.
+///
+/// `suite` is the text of `tests/walk_objectives.rs` when the gate runs
+/// inside the repository; `None` (an installed binary, a stripped
+/// tarball) downgrades the coverage check to a warning.
+pub fn check_objectives(registry: &[ObjectiveSpec], suite: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if registry.is_empty() {
+        findings.push(Finding::error(
+            SHAPE,
+            "objective_registry",
+            "the walk-objective registry is empty".to_string(),
+        ));
+        return findings;
+    }
+
+    let mut seen: Vec<&str> = Vec::new();
+    for spec in registry {
+        let ctx = format!("objective:{}", spec.name);
+        if spec.name.is_empty() || spec.unit.is_empty() || spec.summary.is_empty() {
+            findings.push(Finding::error(
+                SHAPE,
+                ctx.clone(),
+                "objective name, unit and summary must all be non-empty".to_string(),
+            ));
+        }
+        if seen.contains(&spec.name) {
+            findings.push(Finding::error(
+                SHAPE,
+                ctx.clone(),
+                format!("objective name `{}` is registered twice", spec.name),
+            ));
+        }
+        seen.push(spec.name);
+
+        for g in probe_genomes() {
+            let a = (spec.probe)(g);
+            if !a.is_finite() {
+                findings.push(Finding::error(
+                    PROBE,
+                    ctx.clone(),
+                    format!("probe on genome {:#011x} is not finite: {a}", g.bits()),
+                ));
+                continue;
+            }
+            let b = (spec.probe)(g);
+            if a != b {
+                findings.push(Finding::error(
+                    PROBE,
+                    ctx.clone(),
+                    format!(
+                        "probe on genome {:#011x} is not deterministic: {a} then {b}",
+                        g.bits()
+                    ),
+                ));
+            }
+        }
+
+        match suite {
+            Some(text) if !text.contains(spec.name) => findings.push(Finding::error(
+                COVERAGE,
+                ctx,
+                format!(
+                    "registered objective `{}` never appears in the objective suite",
+                    spec.name
+                ),
+            )),
+            Some(_) => {}
+            None => findings.push(Finding::warning(
+                COVERAGE,
+                ctx,
+                "objective suite source unavailable; coverage not checked".to_string(),
+            )),
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leonardo_walker::objectives::objective_registry;
+
+    #[test]
+    fn shipped_registry_passes() {
+        let findings = check_objectives(
+            objective_registry(),
+            Some("distance_mm min_margin_mm neg_energy_j"),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_suite_entry_is_an_error() {
+        let findings = check_objectives(objective_registry(), Some("distance_mm neg_energy_j"));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].check, COVERAGE);
+        assert!(findings[0].context.contains("min_margin_mm"));
+    }
+
+    #[test]
+    fn unavailable_suite_is_only_a_warning() {
+        let findings = check_objectives(objective_registry(), None);
+        assert_eq!(findings.len(), objective_registry().len());
+        assert!(findings
+            .iter()
+            .all(|f| f.severity == crate::Severity::Warning));
+    }
+
+    #[test]
+    fn nan_probe_is_an_error() {
+        let findings = check_objectives(&[crate::fixtures::bad_objective()], Some("bad_objective"));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.check == PROBE && f.message.contains("not finite")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_names_are_an_error() {
+        let spec = objective_registry()[0];
+        let findings = check_objectives(&[spec, spec], Some("distance_mm"));
+        assert!(findings
+            .iter()
+            .any(|f| f.check == SHAPE && f.message.contains("twice")));
+    }
+
+    #[test]
+    fn empty_registry_is_an_error() {
+        let findings = check_objectives(&[], Some(""));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].check, SHAPE);
+    }
+}

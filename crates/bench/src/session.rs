@@ -128,6 +128,12 @@ impl ExperimentSession {
         self.manifest.landscape.push(row);
     }
 
+    /// Record one multi-objective campaign summary row into the
+    /// manifest's `pareto` section (schema v6).
+    pub fn add_pareto_row(&mut self, row: tele::ParetoRow) {
+        self.manifest.pareto.push(row);
+    }
+
     /// Total simulated RTL cycles over all `bench.trial` and
     /// `fault.recovery` events recorded so far (0 when no event carried a
     /// `cycles` field).

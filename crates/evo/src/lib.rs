@@ -9,6 +9,9 @@
 //!   [`crossover`], [`mutate`]) over arbitrary-width bit-string genomes
 //!   ([`genome`]);
 //! * generational ([`ga`]) and steady-state ([`steady`]) GA engines;
+//! * an NSGA-II multi-objective engine ([`mo`]) over Pareto machinery
+//!   ([`pareto`]: non-dominated sort, crowding distance, crowded
+//!   tournament);
 //! * baseline searchers — random search, exhaustive enumeration,
 //!   hill climbing, (1+1)-ES, simulated annealing ([`baselines`]);
 //! * a deterministic multi-threaded island model ([`island`]);
@@ -36,7 +39,9 @@ pub mod crossover;
 pub mod ga;
 pub mod genome;
 pub mod island;
+pub mod mo;
 pub mod mutate;
+pub mod pareto;
 pub mod problem;
 pub mod select;
 pub mod stats;
@@ -53,7 +58,13 @@ pub mod prelude {
     pub use crate::ga::{Ga, GaConfig, GaOutcome};
     pub use crate::genome::BitString;
     pub use crate::island::{IslandConfig, IslandModel, IslandOutcome};
+    pub use crate::mo::{
+        FnMultiObjective, MoOutcome, MultiObjective, MultiObjectiveGa, ScalarObjective,
+    };
     pub use crate::mutate::Mutation;
+    pub use crate::pareto::{
+        crowding_distance, dominates, fast_non_dominated_sort, FrontPoint, ParetoRank,
+    };
     pub use crate::problem::{FnProblem, Problem};
     pub use crate::select::Selection;
     pub use crate::stats::Summary;

@@ -130,6 +130,19 @@ pub fn parse_genome(s: &str) -> Result<u64, ApiError> {
 /// The engine widths `POST /evolve` can dispatch to.
 pub const EVOLVE_WIDTHS: [&str; 4] = ["x64", "w128", "w256", "w512"];
 
+/// The evolution modes `POST /evolve` serves: `rules` runs the chip's
+/// scalar rule-fitness GA on the bit-sliced batch engines; `objectives`
+/// runs NSGA-II over the walker's multi-objective surface.
+pub const EVOLVE_MODES: [&str; 2] = ["rules", "objectives"];
+
+/// Generation budget ceiling in `objectives` mode — every generation
+/// walks `population` genomes through the whole scenario catalog, so the
+/// budget is orders of magnitude smaller than the rules-mode cap.
+pub const OBJECTIVES_MAX_GENERATIONS: u64 = 200;
+
+/// Population ceiling in `objectives` mode.
+pub const OBJECTIVES_MAX_POPULATION: usize = 64;
+
 /// A parsed `POST /evolve` body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvolveRequest {
@@ -138,10 +151,14 @@ pub struct EvolveRequest {
     pub seeds: Vec<u32>,
     /// Generation budget per trial.
     pub max_generations: u64,
-    /// Engine width: one of [`EVOLVE_WIDTHS`].
+    /// Engine width: one of [`EVOLVE_WIDTHS`] (`rules` mode only).
     pub width: String,
     /// Worker threads (0 = one engine per available core).
     pub threads: usize,
+    /// Evolution mode: one of [`EVOLVE_MODES`].
+    pub mode: String,
+    /// NSGA-II population size (`objectives` mode only; even).
+    pub population: usize,
 }
 
 /// Configured ceilings the parser enforces (wired from `ServerConfig`).
@@ -170,6 +187,8 @@ impl EvolveRequest {
             "max_generations",
             "width",
             "threads",
+            "mode",
+            "population",
         ];
         if let Json::Obj(members) = &v {
             if let Some((k, _)) = members.iter().find(|(k, _)| !known.contains(&k.as_str())) {
@@ -231,21 +250,49 @@ impl EvolveRequest {
             )));
         }
 
+        let mode = match v.get("mode") {
+            None => "rules".to_string(),
+            Some(m) => {
+                let m = m
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad_request("`mode` must be a string"))?;
+                if !EVOLVE_MODES.contains(&m) {
+                    return Err(ApiError::bad_request(format!(
+                        "unknown mode `{m}` (one of rules, objectives)"
+                    )));
+                }
+                m.to_string()
+            }
+        };
+        let objectives_mode = mode == "objectives";
+
         let max_generations = match v.get("max_generations") {
+            None if objectives_mode => 12,
             None => 100_000,
             Some(m) => m.as_u64().filter(|&m| m >= 1).ok_or_else(|| {
                 ApiError::bad_request("`max_generations` must be a positive integer")
             })?,
         };
-        if max_generations > limits.max_generations {
+        // objectives mode pays a scenario-catalog walk per evaluation, so
+        // its generation cap is far below the logic engines'
+        let generation_cap = if objectives_mode {
+            limits.max_generations.min(OBJECTIVES_MAX_GENERATIONS)
+        } else {
+            limits.max_generations
+        };
+        if max_generations > generation_cap {
             return Err(ApiError::limit(format!(
-                "max_generations {} exceeds server cap {}",
-                max_generations, limits.max_generations
+                "max_generations {max_generations} exceeds the {mode}-mode cap {generation_cap}"
             )));
         }
 
         let width = match v.get("width") {
             None => "x64".to_string(),
+            Some(_) if objectives_mode => {
+                return Err(ApiError::bad_request(
+                    "`width` only applies to rules mode (objectives mode has no RTL engine)",
+                ))
+            }
             Some(w) => {
                 let w = w
                     .as_str()
@@ -256,6 +303,26 @@ impl EvolveRequest {
                     )));
                 }
                 w.to_string()
+            }
+        };
+
+        let population = match v.get("population") {
+            None => 16,
+            Some(_) if !objectives_mode => {
+                return Err(ApiError::bad_request(
+                    "`population` only applies to objectives mode",
+                ))
+            }
+            Some(p) => {
+                let p = p
+                    .as_u64()
+                    .filter(|&p| p >= 2 && p % 2 == 0 && p <= OBJECTIVES_MAX_POPULATION as u64)
+                    .ok_or_else(|| {
+                        ApiError::bad_request(format!(
+                            "`population` must be an even integer in 2..={OBJECTIVES_MAX_POPULATION}"
+                        ))
+                    })?;
+                p as usize
             }
         };
 
@@ -272,6 +339,8 @@ impl EvolveRequest {
             max_generations,
             width,
             threads,
+            mode,
+            population,
         })
     }
 }
@@ -345,6 +414,53 @@ pub fn evolve_response(engine: &str, req: &EvolveRequest, trials: &[EvolvedTrial
         ),
         ("trials".to_string(), Json::Arr(rows)),
         ("summary".to_string(), Json::Obj(summary)),
+    ])
+    .to_string()
+}
+
+/// Render the `POST /evolve` response body in `objectives` mode. A pure
+/// function of `(req, campaigns)`; the campaigns themselves are
+/// bit-identical at any thread count, so the body is too.
+pub fn evolve_objectives_response(
+    req: &EvolveRequest,
+    campaigns: &[leonardo_bench::MoCampaign],
+) -> String {
+    let names: Vec<Json> = leonardo_walker::objectives::objective_registry()
+        .iter()
+        .map(|s| Json::Str(s.name.to_string()))
+        .collect();
+    let rows: Vec<Json> = campaigns
+        .iter()
+        .map(|c| {
+            let front: Vec<Json> = c
+                .front
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("genome".to_string(), Json::Str(genome_hex(r.genome_bits))),
+                        ("distance_mm".to_string(), Json::Num(r.distance_mm)),
+                        ("min_margin_mm".to_string(), Json::Num(r.min_margin_mm)),
+                        ("energy_j".to_string(), Json::Num(r.energy_j)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("seed".to_string(), Json::Num(c.seed as f64)),
+                ("generations".to_string(), Json::Num(c.generations as f64)),
+                ("evaluations".to_string(), Json::Num(c.evaluations as f64)),
+                ("front".to_string(), Json::Arr(front)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("engine".to_string(), Json::Str("nsga2_walk".to_string())),
+        (
+            "max_generations".to_string(),
+            Json::Num(req.max_generations as f64),
+        ),
+        ("population".to_string(), Json::Num(req.population as f64)),
+        ("objectives".to_string(), Json::Arr(names)),
+        ("campaigns".to_string(), Json::Arr(rows)),
     ])
     .to_string()
 }
@@ -525,6 +641,57 @@ mod tests {
             let err = EvolveRequest::parse(body, LIMITS).unwrap_err();
             assert_eq!(err.code, want, "{}", String::from_utf8_lossy(body));
         }
+    }
+
+    #[test]
+    fn evolve_objectives_mode_defaults_and_caps() {
+        let r = EvolveRequest::parse(br#"{"mode": "objectives"}"#, LIMITS).unwrap();
+        assert_eq!(r.mode, "objectives");
+        assert_eq!(r.max_generations, 12, "objectives default is small");
+        assert_eq!(r.population, 16);
+        assert_eq!(r.width, "x64", "width stays at its default, unused");
+        let r = EvolveRequest::parse(br#"{}"#, LIMITS).unwrap();
+        assert_eq!(r.mode, "rules");
+        assert_eq!(r.population, 16);
+
+        let cases: [(&[u8], ErrorCode); 5] = [
+            (br#"{"mode": "walking"}"#, ErrorCode::BadRequest),
+            (
+                br#"{"mode": "objectives", "width": "x64"}"#,
+                ErrorCode::BadRequest,
+            ),
+            (br#"{"population": 8}"#, ErrorCode::BadRequest),
+            (
+                br#"{"mode": "objectives", "population": 7}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                br#"{"mode": "objectives", "max_generations": 5000}"#,
+                ErrorCode::LimitExceeded,
+            ),
+        ];
+        for (body, want) in cases {
+            let err = EvolveRequest::parse(body, LIMITS).unwrap_err();
+            assert_eq!(err.code, want, "{}", String::from_utf8_lossy(body));
+        }
+    }
+
+    #[test]
+    fn objectives_response_is_deterministic() {
+        let req = EvolveRequest::parse(
+            br#"{"mode": "objectives", "seeds": [17], "max_generations": 2,
+                "population": 8}"#,
+            LIMITS,
+        )
+        .unwrap();
+        let problem = leonardo_bench::GaitMoProblem::flat_only();
+        let campaigns = leonardo_bench::nsga2_campaigns(&problem, &[17], 2, 8, 1);
+        let a = evolve_objectives_response(&req, &campaigns);
+        let b = evolve_objectives_response(&req, &campaigns);
+        assert_eq!(a, b);
+        assert!(a.contains("\"engine\":\"nsga2_walk\""));
+        assert!(a.contains("\"objectives\":[\"distance_mm\",\"min_margin_mm\",\"neg_energy_j\"]"));
+        assert!(a.contains("\"front\":["));
     }
 
     #[test]

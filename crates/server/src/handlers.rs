@@ -67,6 +67,21 @@ fn evolve(state: &AppState, request: &Request) -> Result<String, ApiError> {
             max_generations: state.config.max_evolve_generations,
         },
     )?;
+    if req.mode == "objectives" {
+        // the same campaign driver e16_pareto runs — per-seed campaigns
+        // are pure functions of their seeds, so served bytes equal a
+        // local run's at any thread count
+        let problem = leonardo_bench::GaitMoProblem::standard();
+        let seeds: Vec<u64> = req.seeds.iter().map(|&s| u64::from(s)).collect();
+        let campaigns = leonardo_bench::nsga2_campaigns(
+            &problem,
+            &seeds,
+            req.max_generations,
+            req.population,
+            req.threads,
+        );
+        return Ok(api::evolve_objectives_response(&req, &campaigns));
+    }
     // the same batch-refill driver a direct harness call runs — that, plus
     // the per-seed bit-exactness of the engines, is the determinism
     // contract: served bytes equal a local run's for any width and thread

@@ -221,12 +221,42 @@ fn served_evolve_equals_a_direct_harness_call() {
         max_generations: 100_000,
         width: "x64".to_string(),
         threads: 2,
+        mode: "rules".to_string(),
+        population: 16,
     };
     let direct = leonardo_server::api::evolve_response("rtl_x64", &req, &trials);
     assert_eq!(
         served, direct,
         "served bytes must equal a direct sweep call"
     );
+}
+
+#[test]
+fn evolve_objectives_mode_serves_deterministic_fronts() {
+    let server = start_server();
+    let body = r#"{"mode": "objectives", "seeds": [23], "max_generations": 2, "population": 8, "threads": 1}"#;
+    let (status, served) = request(&server, "POST", "/evolve", body);
+    assert_eq!(status, 200, "{served}");
+    assert!(served.contains("\"engine\":\"nsga2_walk\""));
+    assert!(served.contains("\"objectives\":[\"distance_mm\",\"min_margin_mm\",\"neg_energy_j\"]"));
+    // thread count must be unobservable in the served bytes
+    let rethreaded = r#"{"mode": "objectives", "seeds": [23], "max_generations": 2, "population": 8, "threads": 4}"#;
+    let (status, again) = request(&server, "POST", "/evolve", rethreaded);
+    assert_eq!(status, 200);
+    assert_eq!(served, again, "objectives bytes vary with thread count");
+    // and the served bytes equal a direct campaign call
+    let problem = leonardo_bench::GaitMoProblem::standard();
+    let campaigns = leonardo_bench::nsga2_campaigns(&problem, &[23], 2, 8, 1);
+    let req = leonardo_server::api::EvolveRequest {
+        seeds: vec![23],
+        max_generations: 2,
+        width: "x64".to_string(),
+        threads: 1,
+        mode: "objectives".to_string(),
+        population: 8,
+    };
+    let direct = leonardo_server::api::evolve_objectives_response(&req, &campaigns);
+    assert_eq!(served, direct);
 }
 
 #[test]

@@ -69,7 +69,7 @@ pub mod sink;
 
 pub use event::{Event, Level, Payload, Value};
 pub use manifest::{
-    host_cores, CampaignRow, LandscapeRow, ManifestError, RunManifest, ServerRow,
+    host_cores, CampaignRow, LandscapeRow, ManifestError, ParetoRow, RunManifest, ServerRow,
     MANIFEST_SCHEMA_VERSION,
 };
 

@@ -24,7 +24,10 @@ use std::path::Path;
 /// * **5** — optional `server` section (per-route latency/throughput
 ///   summary rows from `leonardo-server` load runs). Absent from the
 ///   JSON when empty, so v1–v4 manifests stay readable.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 5;
+/// * **6** — optional `pareto` section (multi-objective campaign rows:
+///   objective names, front size, per-objective bests). Absent from the
+///   JSON when empty, so v1–v5 manifests stay readable.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 6;
 
 /// A reproducibility record for one experiment run.
 ///
@@ -76,6 +79,108 @@ pub struct RunManifest {
     /// (schema v5; absent from the JSON when empty, so v1–v4 readers and
     /// serverless runs are unaffected).
     pub server: Vec<ServerRow>,
+    /// Multi-objective campaign summary rows, when the run evolved or
+    /// scored Pareto fronts (schema v6; absent from the JSON when empty,
+    /// so v1–v5 readers and single-objective runs are unaffected).
+    pub pareto: Vec<ParetoRow>,
+}
+
+/// One multi-objective campaign's summary line in a [`RunManifest`]: a
+/// seeded NSGA-II run (or a walk-table scoring pass) and the shape of the
+/// front it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoRow {
+    /// Campaign identifier (e.g. `"nsga2_walk"`, `"max_set_walk_table"`).
+    pub campaign: String,
+    /// The RNG seed the campaign consumed.
+    pub seed: u64,
+    /// Population size (or sample size for scoring passes).
+    pub population: u64,
+    /// Generations executed (0 for scoring passes).
+    pub generations: u64,
+    /// Objective-vector evaluations performed.
+    pub evaluations: u64,
+    /// Members of the final Pareto front.
+    pub front_size: u64,
+    /// Objective names, in vector order.
+    pub objectives: Vec<String>,
+    /// Best value reached per objective (maximized), index-aligned with
+    /// `objectives`.
+    pub best: Vec<f64>,
+}
+
+impl ParetoRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("campaign".to_string(), Json::Str(self.campaign.clone())),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            ("population".to_string(), Json::Num(self.population as f64)),
+            (
+                "generations".to_string(),
+                Json::Num(self.generations as f64),
+            ),
+            (
+                "evaluations".to_string(),
+                Json::Num(self.evaluations as f64),
+            ),
+            ("front_size".to_string(), Json::Num(self.front_size as f64)),
+            (
+                "objectives".to_string(),
+                Json::Arr(
+                    self.objectives
+                        .iter()
+                        .map(|o| Json::Str(o.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "best".to_string(),
+                Json::Arr(self.best.iter().map(|&b| Json::Num(b)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json, idx: usize) -> Result<ParetoRow, ManifestError> {
+        let ctx = |name: &str| format!("pareto[{idx}].{name}");
+        let field = |name: &str| v.get(name).ok_or_else(|| ManifestError::Missing(ctx(name)));
+        let uint = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| ManifestError::BadField(ctx(name)))
+        };
+        let objectives = field("objectives")?
+            .as_array()
+            .ok_or_else(|| ManifestError::BadField(ctx("objectives")))?
+            .iter()
+            .map(|o| {
+                o.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ManifestError::BadField(ctx("objectives")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let best = field("best")?
+            .as_array()
+            .ok_or_else(|| ManifestError::BadField(ctx("best")))?
+            .iter()
+            .map(|b| {
+                b.as_f64()
+                    .ok_or_else(|| ManifestError::BadField(ctx("best")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParetoRow {
+            campaign: field("campaign")?
+                .as_str()
+                .ok_or_else(|| ManifestError::BadField(ctx("campaign")))?
+                .to_string(),
+            seed: uint("seed")?,
+            population: uint("population")?,
+            generations: uint("generations")?,
+            evaluations: uint("evaluations")?,
+            front_size: uint("front_size")?,
+            objectives,
+            best,
+        })
+    }
 }
 
 /// One server load-run summary line in a [`RunManifest`]: how one route
@@ -331,6 +436,7 @@ impl RunManifest {
             campaigns: Vec::new(),
             landscape: Vec::new(),
             server: Vec::new(),
+            pareto: Vec::new(),
         }
     }
 
@@ -404,6 +510,12 @@ impl RunManifest {
             obj.push((
                 "server".to_string(),
                 Json::Arr(self.server.iter().map(ServerRow::to_json).collect()),
+            ));
+        }
+        if !self.pareto.is_empty() {
+            obj.push((
+                "pareto".to_string(),
+                Json::Arr(self.pareto.iter().map(ParetoRow::to_json).collect()),
             ));
         }
         Json::Obj(obj)
@@ -518,6 +630,16 @@ impl RunManifest {
                 .map(|(i, row)| ServerRow::from_json(row, i))
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let pareto = match root.get("pareto") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ManifestError::BadField("pareto".to_string()))?
+                .iter()
+                .enumerate()
+                .map(|(i, row)| ParetoRow::from_json(row, i))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(RunManifest {
             schema_version,
             experiment: string("experiment")?,
@@ -534,6 +656,7 @@ impl RunManifest {
             campaigns,
             landscape,
             server,
+            pareto,
         })
     }
 
@@ -762,7 +885,51 @@ mod tests {
         let m = RunManifest::new("probe");
         assert!(m.host_cores >= 1);
         assert_eq!(m.plane_width, 64, "64 lanes unless a run says otherwise");
-        assert_eq!(m.schema_version, 5);
+        assert_eq!(m.schema_version, 6);
+    }
+
+    #[test]
+    fn pareto_rows_round_trip() {
+        let mut m = sample();
+        m.pareto = vec![ParetoRow {
+            campaign: "nsga2_walk".to_string(),
+            seed: 0x1000,
+            population: 32,
+            generations: 120,
+            evaluations: 3872,
+            front_size: 9,
+            objectives: vec![
+                "distance_mm".to_string(),
+                "min_margin_mm".to_string(),
+                "neg_energy_j".to_string(),
+            ],
+            best: vec![612.5, 14.25, -18.75],
+        }];
+        let text = m.to_json().to_string();
+        assert!(text.contains("\"pareto\""));
+        let back = RunManifest::from_json_str(&text).expect("parse back");
+        assert_eq!(back, m);
+        assert_eq!(back.pareto[0].objectives.len(), back.pareto[0].best.len());
+    }
+
+    #[test]
+    fn v5_manifests_without_pareto_rows_still_parse() {
+        let v5 = r#"{"schema_version":5,"experiment":"bench_pr8","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[7],"threads":4,"host_cores":8,
+            "plane_width":64,"wall_seconds":0.25,
+            "server":[{"route":"ALL","clients":4,"requests":64,"ok":64,"errors":0,
+            "p50_micros":1,"p99_micros":2,"mean_micros":1.5,"rps":100}]}"#;
+        let back = RunManifest::from_json_str(v5).expect("v5 manifests stay readable");
+        assert_eq!(back.schema_version, 5);
+        assert!(back.pareto.is_empty());
+        assert_eq!(back.server.len(), 1);
+        let bad = r#"{"schema_version":6,"experiment":"x","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,"wall_seconds":0,
+            "pareto":[{"campaign":"nsga2_walk","objectives":[],"best":[]}]}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(bad),
+            Err(ManifestError::Missing(field)) if field == "pareto[0].seed"
+        ));
     }
 
     #[test]

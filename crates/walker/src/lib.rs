@@ -22,7 +22,11 @@
 //!
 //! This gives experiment E5 its measurement device: score every
 //! max-rule-fitness genome in simulation and compare against the global
-//! best walker (quantifying the paper's claim F9).
+//! best walker (quantifying the paper's claim F9). The [`scenario`]
+//! catalog (flat, incline, uneven, obstacle field, payload) and the
+//! [`objectives`] evaluator turn that device multi-objective: distance,
+//! worst-case stability margin and energy per genome, the surface the
+//! NSGA-II engine in `evo` optimizes.
 //!
 //! ## Quick start
 //!
@@ -43,6 +47,8 @@ pub mod gait;
 pub mod leg;
 pub mod locomotion;
 pub mod metrics;
+pub mod objectives;
+pub mod scenario;
 pub mod sensors;
 pub mod servo;
 pub mod stability;
@@ -56,6 +62,10 @@ pub mod prelude {
     pub use crate::leg::{FootPosition, LegKinematics};
     pub use crate::locomotion::PhaseOutcome;
     pub use crate::metrics::{walking_fitness, WalkScore};
+    pub use crate::objectives::{
+        energy_j, objective_registry, GaitObjectives, ObjectiveSpec, WalkObjectives,
+    };
+    pub use crate::scenario::{catalog, Scenario};
     pub use crate::sensors::{ContactSensors, Obstacle};
     pub use crate::servo::Servo;
     pub use crate::stability::{stability_margin, support_polygon};

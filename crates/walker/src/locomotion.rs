@@ -39,6 +39,11 @@ pub struct RobotState {
     pub heading: f64,
     /// Body articulation angle, radians (turns the robot while walking).
     pub articulation: f64,
+    /// Effective centre-of-mass offset in the body frame, mm — how
+    /// gravity projects the CoM when the ground tilts the body (slope,
+    /// roughness) or a payload rides off-centre. Zero on flat unloaded
+    /// ground, so the legacy trials are untouched.
+    pub com_offset_mm: (f64, f64),
 }
 
 impl RobotState {
@@ -51,6 +56,7 @@ impl RobotState {
             position: (0.0, 0.0),
             heading: 0.0,
             articulation: 0.0,
+            com_offset_mm: (0.0, 0.0),
         }
     }
 
@@ -70,7 +76,11 @@ impl RobotState {
 
     /// Current static stability margin, mm.
     pub fn stability_margin(&self) -> f64 {
-        stability_margin(&self.feet(), self.body.center_of_mass())
+        let (cx, cy) = self.body.center_of_mass();
+        stability_margin(
+            &self.feet(),
+            (cx + self.com_offset_mm.0, cy + self.com_offset_mm.1),
+        )
     }
 
     /// Number of grounded feet.
@@ -286,6 +296,18 @@ mod tests {
         recover_from_fall(&mut state, 25.0);
         assert_eq!(state.grounded_count(), NUM_LEGS);
         assert!((state.position.0 - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn com_offset_shrinks_the_margin() {
+        let mut state = RobotState::rest(LEONARDO);
+        let centred = state.stability_margin();
+        state.com_offset_mm = (40.0, 0.0);
+        let shifted = state.stability_margin();
+        assert!(
+            shifted < centred,
+            "forward CoM shift must cost margin: {shifted} vs {centred}"
+        );
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Multi-objective gait scoring: distance, worst-case stability, energy.
+//!
+//! [`WalkObjectives`] walks a genome through a [`Scenario`] set and
+//! reduces the reports to three maximized objectives — the F9 settlement
+//! surface: among the 86 436 genomes the logic fitness cannot separate,
+//! which actually *walk* best, and at what stability and energy cost?
+//!
+//! * **distance_mm** — mean net forward distance across scenarios;
+//! * **min_margin_mm** — the worst static stability margin of any
+//!   micro-phase in any scenario (clamped at -100 so one fall does not
+//!   swallow the whole score);
+//! * **energy_j** — mean energy of the walk under the quasi-static cost
+//!   model below. As an objective it is *negated* ([`WalkObjectives::vector`])
+//!   so every component is maximized.
+//!
+//! The energy model charges four terms: servo hold power over the walk's
+//! duration, transport cost per millimetre of commanded body travel, slip
+//! losses, and the potential energy of climbing a slope. The constants
+//! are order-of-magnitude for 1 kg hobby-servo hexapods, not calibrated —
+//! only *comparisons* between gaits are meaningful.
+//!
+//! The [`objective_registry`] is the analysis gate's hook: `analysis --
+//! check` re-derives every registered objective twice per probe genome
+//! and fails the build if any is non-finite, non-deterministic, or
+//! missing from the objective test suite.
+
+use crate::scenario::{catalog, Scenario};
+use crate::world::WalkReport;
+use discipulus::genome::Genome;
+
+/// Servo hold power for the whole robot, watts.
+pub const HOLD_POWER_W: f64 = 2.5;
+
+/// Transport cost per millimetre of body travel per kilogram, joules.
+pub const TRANSPORT_COST_J_PER_MM_KG: f64 = 0.02;
+
+/// Energy lost per millimetre of foot slip, joules.
+pub const SLIP_COST_J_PER_MM: f64 = 0.01;
+
+/// Standard gravity, m/s².
+const GRAVITY_M_S2: f64 = 9.81;
+
+/// The three gait objectives of one genome (aggregated over a scenario
+/// set). All values are finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaitObjectives {
+    /// Mean net forward distance, mm (maximize).
+    pub distance_mm: f64,
+    /// Worst micro-phase stability margin across all scenarios, mm,
+    /// clamped at -100 (maximize).
+    pub min_margin_mm: f64,
+    /// Mean energy spent, joules (minimize — negated in the objective
+    /// vector).
+    pub energy_j: f64,
+}
+
+/// Energy of one walk report in `scenario` under the quasi-static cost
+/// model: hold power × duration + transport × commanded travel + slip
+/// losses + climb work. Always finite and non-negative.
+pub fn energy_j(report: &WalkReport, scenario: &Scenario) -> f64 {
+    let mass_kg = 1.0 + scenario.payload_kg; // LEONARDO body is 1 kg
+    let travel_mm: f64 = report
+        .outcomes
+        .iter()
+        .map(|o| o.displacement_mm.abs())
+        .sum();
+    let hold = HOLD_POWER_W * report.duration_s;
+    let transport = TRANSPORT_COST_J_PER_MM_KG * travel_mm * mass_kg;
+    let slip = SLIP_COST_J_PER_MM * report.total_slip_mm();
+    let climb = mass_kg
+        * GRAVITY_M_S2
+        * scenario.terrain.slope_rad.sin()
+        * (report.distance_mm().max(0.0) / 1000.0);
+    hold + transport + slip + climb
+}
+
+/// A multi-objective gait evaluator over a scenario set.
+#[derive(Debug, Clone)]
+pub struct WalkObjectives {
+    scenarios: Vec<Scenario>,
+    cycles: usize,
+}
+
+impl WalkObjectives {
+    /// The standard evaluator: the full five-scenario
+    /// [`catalog`], 6 gait cycles each.
+    pub fn standard() -> WalkObjectives {
+        WalkObjectives {
+            scenarios: catalog(),
+            cycles: 6,
+        }
+    }
+
+    /// Flat ground only — the cheap evaluator the golden walk table and
+    /// the analysis probes use.
+    pub fn flat_only() -> WalkObjectives {
+        WalkObjectives {
+            scenarios: vec![Scenario::flat()],
+            cycles: 6,
+        }
+    }
+
+    /// An evaluator over an explicit scenario set.
+    ///
+    /// # Panics
+    /// Panics on an empty scenario set or zero cycles.
+    pub fn over(scenarios: Vec<Scenario>, cycles: usize) -> WalkObjectives {
+        assert!(!scenarios.is_empty(), "scenario set must not be empty");
+        assert!(cycles > 0, "cycles must be positive");
+        WalkObjectives { scenarios, cycles }
+    }
+
+    /// The scenario set walked per evaluation.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Gait cycles walked per scenario.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Walk `genome` through every scenario and aggregate the three
+    /// objectives.
+    pub fn evaluate(&self, genome: Genome) -> GaitObjectives {
+        let mut distance_sum = 0.0;
+        let mut energy_sum = 0.0;
+        let mut min_margin = f64::INFINITY;
+        for s in &self.scenarios {
+            let report = s.trial(genome, self.cycles).run();
+            distance_sum += report.distance_mm();
+            energy_sum += energy_j(&report, s);
+            min_margin = min_margin.min(report.min_stability_margin());
+        }
+        let n = self.scenarios.len() as f64;
+        GaitObjectives {
+            distance_mm: distance_sum / n,
+            min_margin_mm: min_margin,
+            energy_j: energy_sum / n,
+        }
+    }
+
+    /// The maximized objective vector `[distance_mm, min_margin_mm,
+    /// -energy_j]` — what the NSGA-II driver consumes.
+    pub fn vector(&self, genome: Genome) -> [f64; 3] {
+        let o = self.evaluate(genome);
+        [o.distance_mm, o.min_margin_mm, -o.energy_j]
+    }
+}
+
+/// One registered objective: a named, unit-annotated probe the analysis
+/// gate can re-derive.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectiveSpec {
+    /// Stable objective name (telemetry rows, golden tables, docs).
+    pub name: &'static str,
+    /// Physical unit of the maximized value.
+    pub unit: &'static str,
+    /// One sentence of what the objective rewards.
+    pub summary: &'static str,
+    /// Evaluate the objective for one genome on flat ground — must be
+    /// finite and deterministic for *every* genome.
+    pub probe: fn(Genome) -> f64,
+}
+
+/// Every objective the multi-objective pipeline scores, in vector order.
+/// The analysis gate's `check_objectives` lint walks this registry.
+pub fn objective_registry() -> &'static [ObjectiveSpec] {
+    &[
+        ObjectiveSpec {
+            name: "distance_mm",
+            unit: "mm",
+            summary: "mean net forward distance across the scenario set",
+            probe: |g| WalkObjectives::flat_only().evaluate(g).distance_mm,
+        },
+        ObjectiveSpec {
+            name: "min_margin_mm",
+            unit: "mm",
+            summary: "worst micro-phase static stability margin, clamped at -100",
+            probe: |g| WalkObjectives::flat_only().evaluate(g).min_margin_mm,
+        },
+        ObjectiveSpec {
+            name: "neg_energy_j",
+            unit: "J",
+            summary: "negated mean energy of the walk (maximized)",
+            probe: |g| -WalkObjectives::flat_only().evaluate(g).energy_j,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tripod_beats_zero_genome_on_every_axis() {
+        let obj = WalkObjectives::flat_only();
+        let tripod = obj.evaluate(Genome::tripod());
+        let zero = obj.evaluate(Genome::ZERO);
+        assert!(tripod.distance_mm > zero.distance_mm);
+        assert!(tripod.min_margin_mm > 0.0);
+        // the zero genome never lifts a foot: maximal support polygon
+        assert!(zero.min_margin_mm > tripod.min_margin_mm);
+        assert!(zero.distance_mm.abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_evaluator_covers_all_five_scenarios() {
+        let obj = WalkObjectives::standard();
+        assert_eq!(obj.scenarios().len(), 5);
+        let o = obj.evaluate(Genome::tripod());
+        assert!(o.distance_mm > 100.0, "distance {}", o.distance_mm);
+        assert!(o.min_margin_mm > 0.0, "margin {}", o.min_margin_mm);
+        assert!(o.energy_j > 0.0);
+        // the multi-scenario minimum can only be at or below flat's
+        let flat = WalkObjectives::flat_only().evaluate(Genome::tripod());
+        assert!(o.min_margin_mm <= flat.min_margin_mm);
+    }
+
+    #[test]
+    fn objective_vector_negates_energy() {
+        let obj = WalkObjectives::flat_only();
+        let o = obj.evaluate(Genome::tripod());
+        let v = obj.vector(Genome::tripod());
+        assert_eq!(v, [o.distance_mm, o.min_margin_mm, -o.energy_j]);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn energy_charges_every_term() {
+        let s = Scenario::incline();
+        let report = s.trial(Genome::tripod(), 6).run();
+        let e = energy_j(&report, &s);
+        // strictly more than hold power alone: transport + climb count
+        assert!(e > HOLD_POWER_W * report.duration_s);
+        assert!(e.is_finite());
+        // the same walk on flat ground skips the climb term
+        let flat = Scenario::flat();
+        let flat_report = flat.trial(Genome::tripod(), 6).run();
+        assert!(energy_j(&flat_report, &flat) < e);
+    }
+
+    #[test]
+    fn registry_probes_are_finite_and_deterministic() {
+        let probes = [
+            Genome::tripod(),
+            Genome::ZERO,
+            Genome::from_bits(0x5_5555_5555),
+        ];
+        for spec in objective_registry() {
+            assert!(!spec.name.is_empty() && !spec.unit.is_empty());
+            for &g in &probes {
+                let a = (spec.probe)(g);
+                let b = (spec.probe)(g);
+                assert!(a.is_finite(), "{} is not finite", spec.name);
+                assert_eq!(a, b, "{} is not deterministic", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_ordered_like_the_vector() {
+        let names: Vec<&str> = objective_registry().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["distance_mm", "min_margin_mm", "neg_energy_j"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! The evaluation scenario catalog: the five worlds a gait is scored
+//! against.
+//!
+//! The 1999 paper evaluated walking by eye, on the lab floor. The
+//! multi-objective pipeline instead walks every candidate through a fixed
+//! set of scenarios — flat ground, an incline, uneven terrain, an
+//! obstacle field, and an off-centre payload — the terrain-diversity
+//! recipe of the evolved-gait literature (PAPERS.md). Every scenario is
+//! fully deterministic: same genome, same scenario, same report.
+
+use crate::sensors::Obstacle;
+use crate::world::{Terrain, WalkTrial};
+use discipulus::genome::Genome;
+
+/// One named evaluation world: terrain plus payload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name (used in telemetry rows and golden tables).
+    pub name: &'static str,
+    /// The terrain walked.
+    pub terrain: Terrain,
+    /// Payload mass, kg (0 = unloaded).
+    pub payload_kg: f64,
+    /// Payload centre in the body frame, mm.
+    pub payload_offset_mm: (f64, f64),
+}
+
+impl Scenario {
+    /// Flat, empty, unloaded ground — the legacy trial world.
+    pub fn flat() -> Scenario {
+        Scenario {
+            name: "flat",
+            terrain: Terrain::flat(),
+            payload_kg: 0.0,
+            payload_offset_mm: (0.0, 0.0),
+        }
+    }
+
+    /// A smooth 0.1 rad (~5.7°) uphill slope — steep enough to erode the
+    /// stability margin, shallow enough that the reference tripod still
+    /// walks it clean.
+    pub fn incline() -> Scenario {
+        Scenario {
+            name: "incline",
+            terrain: Terrain::sloped(0.1),
+            payload_kg: 0.0,
+            payload_offset_mm: (0.0, 0.0),
+        }
+    }
+
+    /// Uneven ground: a seeded ±12 mm height field.
+    pub fn uneven() -> Scenario {
+        Scenario {
+            name: "uneven",
+            terrain: Terrain::rough(12.0, 0x5EED),
+            payload_kg: 0.0,
+            payload_offset_mm: (0.0, 0.0),
+        }
+    }
+
+    /// A field of low walls across the path; feet carried high enough
+    /// pass over, dragged feet are stopped.
+    pub fn obstacle_field() -> Scenario {
+        Scenario {
+            name: "obstacle_field",
+            terrain: Terrain::with_obstacles(vec![
+                Obstacle {
+                    x_mm: 250.0,
+                    height_mm: 10.0,
+                },
+                Obstacle {
+                    x_mm: 500.0,
+                    height_mm: 10.0,
+                },
+                Obstacle {
+                    x_mm: 750.0,
+                    height_mm: 10.0,
+                },
+            ]),
+            payload_kg: 0.0,
+            payload_offset_mm: (0.0, 0.0),
+        }
+    }
+
+    /// A 0.3 kg payload riding forward-left of the body centre — about
+    /// half the tripod's flat-ground margin, so careless gaits topple but
+    /// a clean tripod carries it.
+    pub fn payload() -> Scenario {
+        Scenario {
+            name: "payload",
+            terrain: Terrain::flat(),
+            payload_kg: 0.3,
+            payload_offset_mm: (25.0, 15.0),
+        }
+    }
+
+    /// A configured trial of `genome` in this scenario.
+    pub fn trial(&self, genome: Genome, cycles: usize) -> WalkTrial {
+        WalkTrial::new(genome)
+            .cycles(cycles)
+            .terrain(self.terrain.clone())
+            .payload(self.payload_kg, self.payload_offset_mm)
+    }
+}
+
+/// The standard five-scenario evaluation set, in catalog order.
+pub fn catalog() -> Vec<Scenario> {
+    vec![
+        Scenario::flat(),
+        Scenario::incline(),
+        Scenario::uneven(),
+        Scenario::obstacle_field(),
+        Scenario::payload(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_the_documented_five() {
+        let names: Vec<&str> = catalog().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["flat", "incline", "uneven", "obstacle_field", "payload"]
+        );
+    }
+
+    #[test]
+    fn tripod_walks_every_scenario_without_falling() {
+        for s in catalog() {
+            let r = s.trial(Genome::tripod(), 6).run();
+            assert_eq!(r.falls(), 0, "tripod fell in scenario {}", s.name);
+            assert!(
+                r.distance_mm() > 100.0,
+                "tripod stalled in scenario {}: {} mm",
+                s.name,
+                r.distance_mm()
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_are_harder_than_flat_ground() {
+        let flat = Scenario::flat().trial(Genome::tripod(), 6).run();
+        for s in catalog().into_iter().skip(1) {
+            let r = s.trial(Genome::tripod(), 6).run();
+            let harder = r.min_stability_margin() < flat.min_stability_margin()
+                || r.distance_mm() < flat.distance_mm();
+            assert!(harder, "scenario {} is not harder than flat", s.name);
+        }
+    }
+
+    #[test]
+    fn scenario_trials_are_deterministic() {
+        for s in catalog() {
+            let a = s.trial(Genome::tripod(), 4).run();
+            let b = s.trial(Genome::tripod(), 4).run();
+            assert_eq!(a.final_position, b.final_position, "{}", s.name);
+            assert_eq!(a.falls, b.falls, "{}", s.name);
+        }
+    }
+}

@@ -11,11 +11,20 @@ use discipulus::genome::Genome;
 /// Forward-progress penalty paid on each fall, mm.
 pub const FALL_PENALTY_MM: f64 = 30.0;
 
+/// Grid pitch of the deterministic roughness field, mm.
+const ROUGHNESS_GRID_MM: f64 = 80.0;
+
 /// The world a trial runs in.
 #[derive(Debug, Clone, Default)]
 pub struct Terrain {
     /// Obstacles across the path.
     pub obstacles: Vec<Obstacle>,
+    /// Uphill slope along world +x, radians (0 = level ground).
+    pub slope_rad: f64,
+    /// Peak height deviation of the roughness field, mm (0 = smooth).
+    pub roughness_amp_mm: f64,
+    /// Seed of the deterministic roughness field.
+    pub roughness_seed: u64,
 }
 
 impl Terrain {
@@ -26,8 +35,67 @@ impl Terrain {
 
     /// Flat ground with obstacles.
     pub fn with_obstacles(obstacles: Vec<Obstacle>) -> Terrain {
-        Terrain { obstacles }
+        Terrain {
+            obstacles,
+            ..Terrain::default()
+        }
     }
+
+    /// A smooth uphill slope along +x.
+    pub fn sloped(slope_rad: f64) -> Terrain {
+        Terrain {
+            slope_rad,
+            ..Terrain::default()
+        }
+    }
+
+    /// Uneven ground: a seeded, smoothly interpolated height field of
+    /// `amp_mm` peak deviation.
+    pub fn rough(amp_mm: f64, seed: u64) -> Terrain {
+        Terrain {
+            roughness_amp_mm: amp_mm,
+            roughness_seed: seed,
+            ..Terrain::default()
+        }
+    }
+
+    /// Ground surface height at a world position, mm: the slope plane
+    /// plus the seeded roughness field. A pure deterministic function of
+    /// `(terrain, x, y)`.
+    pub fn surface_height(&self, x_mm: f64, y_mm: f64) -> f64 {
+        let mut h = x_mm * self.slope_rad.tan();
+        if self.roughness_amp_mm != 0.0 {
+            h += self.roughness_amp_mm * self.roughness(x_mm, y_mm);
+        }
+        h
+    }
+
+    /// Bilinear interpolation of the per-cell hash noise, in [-1, 1].
+    fn roughness(&self, x_mm: f64, y_mm: f64) -> f64 {
+        let gx = x_mm / ROUGHNESS_GRID_MM;
+        let gy = y_mm / ROUGHNESS_GRID_MM;
+        let (ix, iy) = (gx.floor(), gy.floor());
+        let (fx, fy) = (gx - ix, gy - iy);
+        // smoothstep weights keep the field C1 across cell boundaries
+        let (wx, wy) = (fx * fx * (3.0 - 2.0 * fx), fy * fy * (3.0 - 2.0 * fy));
+        let (ix, iy) = (ix as i64, iy as i64);
+        let n = |dx: i64, dy: i64| cell_noise(self.roughness_seed, ix + dx, iy + dy);
+        let top = n(0, 0) * (1.0 - wx) + n(1, 0) * wx;
+        let bottom = n(0, 1) * (1.0 - wx) + n(1, 1) * wx;
+        top * (1.0 - wy) + bottom * wy
+    }
+}
+
+/// Deterministic cell noise in [-1, 1]: a splitmix64 finalizer over the
+/// (seed, cell) tuple — no RNG state, so terrain queries are pure.
+fn cell_noise(seed: u64, ix: i64, iy: i64) -> f64 {
+    let mut z = seed
+        ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (iy as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
 }
 
 /// The gait source of a trial: a two-step genome (executed through the
@@ -39,6 +107,10 @@ enum GaitSource {
     Table(Vec<PhaseCommand>),
 }
 
+/// Height of the centre of mass above the ground, mm — the lever arm
+/// through which ground tilt projects the CoM across the support polygon.
+pub const COM_HEIGHT_MM: f64 = 60.0;
+
 /// A configured walk trial (builder style).
 #[derive(Debug, Clone)]
 pub struct WalkTrial {
@@ -47,6 +119,8 @@ pub struct WalkTrial {
     body: BodyGeometry,
     terrain: Terrain,
     articulation: f64,
+    payload_kg: f64,
+    payload_offset_mm: (f64, f64),
 }
 
 impl WalkTrial {
@@ -59,6 +133,8 @@ impl WalkTrial {
             body: LEONARDO,
             terrain: Terrain::flat(),
             articulation: 0.0,
+            payload_kg: 0.0,
+            payload_offset_mm: (0.0, 0.0),
         }
     }
 
@@ -76,6 +152,8 @@ impl WalkTrial {
             body: LEONARDO,
             terrain: Terrain::flat(),
             articulation: 0.0,
+            payload_kg: 0.0,
+            payload_offset_mm: (0.0, 0.0),
         }
     }
 
@@ -105,6 +183,49 @@ impl WalkTrial {
     pub fn body(mut self, body: BodyGeometry) -> WalkTrial {
         self.body = body;
         self
+    }
+
+    /// Carry a payload of `kg` whose centre sits at `offset_mm` in the
+    /// body frame — it drags the effective CoM toward itself by its share
+    /// of the total mass.
+    #[must_use]
+    pub fn payload(mut self, kg: f64, offset_mm: (f64, f64)) -> WalkTrial {
+        self.payload_kg = kg;
+        self.payload_offset_mm = offset_mm;
+        self
+    }
+
+    /// Effective body-frame CoM offset at the robot's current position:
+    /// ground tilt (slope + roughness, sampled across the body footprint)
+    /// projects gravity through [`COM_HEIGHT_MM`], and an off-centre
+    /// payload pulls by its mass share. Identically zero on flat unloaded
+    /// ground, keeping the legacy trials bit-exact.
+    fn com_offset(&self, state: &RobotState) -> (f64, f64) {
+        let t = &self.terrain;
+        if t.slope_rad == 0.0 && t.roughness_amp_mm == 0.0 && self.payload_kg == 0.0 {
+            return (0.0, 0.0);
+        }
+        let (x, y) = state.position;
+        let (hl, hw) = (self.body.length_mm / 2.0, self.body.width_mm / 2.0);
+        // body pitch/roll from the surface heights under the footprint
+        // (world axes — headings stay small in straight walks)
+        let pitch =
+            ((t.surface_height(x + hl, y) - t.surface_height(x - hl, y)) / (2.0 * hl)).atan();
+        let roll =
+            ((t.surface_height(x, y + hw) - t.surface_height(x, y - hw)) / (2.0 * hw)).atan();
+        // gravity pulls the raised CoM downhill
+        let wx = -pitch.tan() * COM_HEIGHT_MM;
+        let wy = -roll.tan() * COM_HEIGHT_MM;
+        // rotate the world-frame pull into the body frame
+        let (s, c) = state.heading.sin_cos();
+        let mut bx = wx * c + wy * s;
+        let mut by = -wx * s + wy * c;
+        if self.payload_kg > 0.0 {
+            let share = self.payload_kg / (self.body.mass_kg + self.payload_kg);
+            bx += self.payload_offset_mm.0 * share;
+            by += self.payload_offset_mm.1 * share;
+        }
+        (bx, by)
     }
 
     /// Run the trial.
@@ -148,6 +269,7 @@ impl WalkTrial {
         let mut falls = 0u32;
         let mut obstacle_contacts = 0u32;
         for _ in 0..self.cycles * phases_per_cycle {
+            state.com_offset_mm = self.com_offset(&state);
             let (cmd, _dt) = executor.step();
             let out = apply_phase(&mut state, &cmd);
             if out.fell {
@@ -225,6 +347,19 @@ impl WalkReport {
             .map(|o| o.stability_margin_mm.max(-100.0)) // clamp -inf falls
             .collect();
         finite.iter().sum::<f64>() / finite.len() as f64
+    }
+
+    /// Worst (minimum) stability margin over all phases, mm, clamped at
+    /// -100 like the mean (a fall's -inf would swallow every other
+    /// phase). 0 for an empty trial.
+    pub fn min_stability_margin(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.stability_margin_mm.max(-100.0))
+            .fold(None, |acc: Option<f64>, m| {
+                Some(acc.map_or(m, |a| a.min(m)))
+            })
+            .unwrap_or(0.0)
     }
 
     /// Total foot slip, mm.
@@ -339,6 +474,57 @@ mod tests {
             wide_report.distance_mm()
         );
         assert_eq!(wide_report.falls(), 0);
+    }
+
+    #[test]
+    fn incline_erodes_margin_but_the_tripod_still_walks() {
+        let flat = WalkTrial::new(Genome::tripod()).cycles(6).run();
+        let up = WalkTrial::new(Genome::tripod())
+            .cycles(6)
+            .terrain(Terrain::sloped(0.1))
+            .run();
+        assert_eq!(up.falls(), 0, "tripod must hold a 0.1 rad incline");
+        assert!(
+            up.min_stability_margin() < flat.min_stability_margin(),
+            "uphill walking must cost margin: {} vs {}",
+            up.min_stability_margin(),
+            flat.min_stability_margin()
+        );
+        assert!(up.distance_mm() > 300.0);
+    }
+
+    #[test]
+    fn roughness_field_is_deterministic_and_bounded() {
+        let t = Terrain::rough(12.0, 0x5EED);
+        let mut deviates = false;
+        for (x, y) in [(0.0, 0.0), (133.7, -50.0), (-400.0, 91.0), (777.0, 3.0)] {
+            let h = t.surface_height(x, y);
+            assert!(h.abs() <= 12.0 + 1e-9, "height {h} exceeds the amplitude");
+            assert_eq!(h, t.surface_height(x, y));
+            deviates |= h.abs() > 0.5;
+        }
+        assert!(deviates, "roughness field is suspiciously flat");
+        // different seeds give different ground
+        let other = Terrain::rough(12.0, 1);
+        assert_ne!(
+            t.surface_height(133.7, -50.0),
+            other.surface_height(133.7, -50.0)
+        );
+    }
+
+    #[test]
+    fn payload_costs_stability_margin() {
+        let free = WalkTrial::new(Genome::tripod()).cycles(6).run();
+        let loaded = WalkTrial::new(Genome::tripod())
+            .cycles(6)
+            .payload(0.5, (40.0, 25.0))
+            .run();
+        assert!(
+            loaded.min_stability_margin() < free.min_stability_margin(),
+            "an off-centre payload must cost margin: {} vs {}",
+            loaded.min_stability_margin(),
+            free.min_stability_margin()
+        );
     }
 
     #[test]

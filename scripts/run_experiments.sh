@@ -47,6 +47,9 @@ run e14_fault_matrix --trials 8
 # the full 2^36 enumeration — minutes of wall clock, checkpointed so an
 # interrupted run resumes with `--resume` (bit-identical result either way)
 run e15_landscape --checkpoint "$OUT/e15_landscape.checkpoint"
+# NSGA-II gait fronts + the 512-genome max-set walk table (schema-v6
+# pareto manifest rows; see docs/PARETO.md)
+run e16_pareto
 
 # the server latency report: serve the engines over HTTP, sweep client
 # concurrency with loadgen, record the passes in a schema-v5 manifest

@@ -78,6 +78,28 @@ fn rtl_walk_controller_drives_same_phases_as_walker_sim_input() {
 }
 
 #[test]
+fn executed_tripod_micro_phases_stay_statically_stable_off_flat_ground() {
+    // The tripod's static stability is not a flat-ground artefact: every
+    // executed micro-phase keeps the centre of mass strictly inside the
+    // support polygon on the incline and uneven-terrain scenarios too.
+    use leonardo_walker::scenario::Scenario;
+    for scenario in [Scenario::flat(), Scenario::incline(), Scenario::uneven()] {
+        let report = scenario.trial(Genome::tripod(), 6).run();
+        assert_eq!(report.falls(), 0, "{}: tripod fell", scenario.name);
+        assert!(!report.outcomes.is_empty());
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert!(!outcome.fell, "{}: micro-phase {i} fell", scenario.name);
+            assert!(
+                outcome.stability_margin_mm > 0.0,
+                "{}: micro-phase {i} margin {} mm is not statically stable",
+                scenario.name,
+                outcome.stability_margin_mm
+            );
+        }
+    }
+}
+
+#[test]
 fn gap_champion_is_always_rule_maximal_and_walker_scores_it_consistently() {
     for seed in [1u32, 2, 3] {
         let mut gap = GeneticAlgorithmProcessor::new(GapParams::paper(), seed);

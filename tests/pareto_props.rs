@@ -1,0 +1,165 @@
+//! Property tests over the NSGA-II Pareto core (`evo::pareto`) and the
+//! differential pin of the multi-objective driver against plain
+//! truncation selection (docs/PARETO.md).
+//!
+//! The objective matrices are drawn from a small discrete value set on
+//! purpose: duplicates, all-equal rows and degenerate fronts (no spread
+//! in any objective) appear constantly, which is exactly where a naive
+//! sort/crowding implementation breaks.
+
+// `obj` below is a column index across many rows, not a loop over one
+// slice — the range loop is the honest shape.
+#![allow(clippy::needless_range_loop)]
+
+use evo::ga::GaConfig;
+use evo::mo::{MultiObjectiveGa, ScalarObjective};
+use evo::pareto::{crowding_distance, dominates, fast_non_dominated_sort, ParetoRank};
+use evo::problem::OneMax;
+use proptest::prelude::*;
+
+/// Truncate the fixed-size generated matrix to `n` rows of `f64`.
+fn matrix(raw: &[Vec<u8>], n: usize) -> Vec<Vec<f64>> {
+    raw.iter()
+        .take(n.max(1))
+        .map(|row| row.iter().map(|&v| f64::from(v)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fronts_are_a_valid_partition(
+        raw in prop::collection::vec(prop::collection::vec(0u8..4, 3), 12),
+        n in 1usize..=12,
+    ) {
+        let objs = matrix(&raw, n);
+        let fronts = fast_non_dominated_sort(&objs);
+
+        // every index appears exactly once across fronts
+        let mut seen: Vec<usize> = fronts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..objs.len()).collect::<Vec<_>>());
+
+        // within a front, members are mutually non-dominating
+        for front in &fronts {
+            for &a in front {
+                for &b in front {
+                    prop_assert!(!dominates(&objs[a], &objs[b]));
+                }
+            }
+        }
+
+        // every member of front k (k >= 1) is dominated by someone in
+        // front k-1
+        for k in 1..fronts.len() {
+            for &b in &fronts[k] {
+                prop_assert!(
+                    fronts[k - 1].iter().any(|&a| dominates(&objs[a], &objs[b])),
+                    "front {k} member {b} undominated by front {}", k - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_is_permutation_invariant_with_inf_boundaries(
+        raw in prop::collection::vec(prop::collection::vec(0u8..4, 3), 10),
+        n in 2usize..=10,
+    ) {
+        let objs = matrix(&raw, n);
+        let fronts = fast_non_dominated_sort(&objs);
+        for front in &fronts {
+            let base = crowding_distance(&objs, front);
+
+            // invariance under reversal and rotation of the front order
+            let mut reversed: Vec<usize> = front.clone();
+            reversed.reverse();
+            let rev = crowding_distance(&objs, &reversed);
+            for (i, &m) in front.iter().enumerate() {
+                let j = reversed.iter().position(|&x| x == m).unwrap();
+                prop_assert_eq!(base[i], rev[j]);
+            }
+            let mut rotated: Vec<usize> = front.clone();
+            rotated.rotate_left(1);
+            let rot = crowding_distance(&objs, &rotated);
+            for (i, &m) in front.iter().enumerate() {
+                let j = rotated.iter().position(|&x| x == m).unwrap();
+                prop_assert_eq!(base[i], rot[j]);
+            }
+
+            // a member extremal in any objective with spread gets inf;
+            // a front with no spread anywhere is all inf
+            for obj in 0..3 {
+                let vals: Vec<f64> = front.iter().map(|&m| objs[m][obj]).collect();
+                let (lo, hi) = vals.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| {
+                    (l.min(v), h.max(v))
+                });
+                if lo == hi {
+                    continue;
+                }
+                for (i, &v) in vals.iter().enumerate() {
+                    if v == lo || v == hi {
+                        prop_assert_eq!(base[i], f64::INFINITY);
+                    }
+                }
+            }
+            if (0..3).all(|obj| front.iter().all(|&m| objs[m][obj] == objs[front[0]][obj])) {
+                prop_assert!(base.iter().all(|&d| d == f64::INFINITY));
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_never_prefers_a_dominated_individual(
+        raw in prop::collection::vec(prop::collection::vec(0u8..4, 3), 10),
+        n in 2usize..=10,
+    ) {
+        use std::cmp::Ordering;
+        let objs = matrix(&raw, n);
+        let rank = ParetoRank::of(&objs);
+        for a in 0..objs.len() {
+            for b in 0..objs.len() {
+                if dominates(&objs[a], &objs[b]) {
+                    prop_assert_eq!(rank.crowded_compare(a, b), Ordering::Less);
+                }
+                // antisymmetry: a vs b inverts b vs a (ties stay ties)
+                prop_assert_eq!(
+                    rank.crowded_compare(a, b),
+                    rank.crowded_compare(b, a).reverse()
+                );
+            }
+        }
+    }
+}
+
+/// Differential pin: with a single objective, NSGA-II's front-rank +
+/// crowding machinery must degenerate to plain truncation selection —
+/// the survivor set is exactly the best N of the 2N parent+offspring
+/// pool, generation after generation for a thousand generations.
+#[test]
+fn single_objective_nsga2_is_truncation_selection_for_1000_generations() {
+    const POP: usize = 16;
+    let mut mo = MultiObjectiveGa::new(
+        GaConfig::default().with_population_size(POP),
+        ScalarObjective(OneMax(24)),
+        0xD1FF,
+    );
+    for generation in 0..1000 {
+        mo.step();
+        let mut pool: Vec<f64> = mo.last_pool().iter().map(|o| o[0]).collect();
+        pool.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut kept: Vec<f64> = mo.objectives().iter().map(|o| o[0]).collect();
+        kept.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(
+            kept,
+            pool[..POP].to_vec(),
+            "generation {generation}: survivors are not the pool's best {POP}"
+        );
+    }
+    // and the machinery still optimizes: OneMax(24) is long solved
+    assert_eq!(
+        mo.objectives().iter().map(|o| o[0]).fold(0.0, f64::max),
+        24.0
+    );
+}
