@@ -168,6 +168,54 @@ pub fn bad_objective() -> leonardo_walker::objectives::ObjectiveSpec {
     }
 }
 
+/// A problem whose fitness alternates between two values on successive
+/// calls (hidden evaluation state — the classic broken-memoization bug)
+/// and whose registered shape disagrees with the instance: the problem
+/// checker must flag both the non-deterministic fitness and the
+/// shape mismatch.
+pub fn bad_problem() -> leonardo_problems::ProblemSpec {
+    leonardo_problems::ProblemSpec {
+        name: "bad_problem",
+        summary: "a deliberately broken problem with stateful fitness",
+        // the defect, part 1: the instance below says 8 bits / max 255
+        width: 16,
+        max_fitness: 64,
+        make: || Box::new(FlickerProblem),
+        // kernels are never exercised: the broken probe below keeps the
+        // checker on the scalar path, so any registered kernel works
+        kernel_u64: || Box::new(leonardo_problems::GaitKernel::paper()),
+        kernel_w128: || Box::new(leonardo_problems::GaitKernel::paper()),
+        kernel_w256: || Box::new(leonardo_problems::GaitKernel::paper()),
+        kernel_w512: || Box::new(leonardo_problems::GaitKernel::paper()),
+        probe: || Ok(()),
+    }
+}
+
+/// The broken instance behind [`bad_problem`]: every `fitness` call
+/// flips a hidden global bit into the score.
+struct FlickerProblem;
+
+impl evo::evolvable::EvolvableProblem for FlickerProblem {
+    fn name(&self) -> &'static str {
+        "bad_problem"
+    }
+
+    fn width(&self) -> usize {
+        8 // the defect, part 2: disagrees with the registered 16
+    }
+
+    fn fitness(&self, genome: u64) -> u32 {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let flicker = CALLS.fetch_add(1, Ordering::Relaxed) & 1;
+        ((genome as u32) & 0x3F) ^ flicker
+    }
+
+    fn max_fitness(&self) -> Option<u32> {
+        Some(64)
+    }
+}
+
 /// A SERVER.md that documents every route except `POST /evolve` — the
 /// registry cross-check must flag the served-but-undocumented route.
 pub fn undocumented_route_md() -> String {

@@ -34,6 +34,11 @@
 //!   finiteness/determinism probes on a spread of genomes, and
 //!   objective-suite coverage — an objective can neither ship
 //!   NaN-producing nor untested;
+//! * [`problem_check`] validates the evolvable-problem registry
+//!   (`leonardo_problems::problem_registry`): shape sanity,
+//!   instance-vs-registration agreement, determinism and bound spot
+//!   checks, every entry's kernel-pinning probe, and conformance-suite
+//!   coverage — a problem can neither ship broken nor untested;
 //! * [`docs_check`] holds the documentation to the code: `docs/SERVER.md`
 //!   must document exactly the routes [`leonardo_server::route_specs`]
 //!   serves (request/response schemas, every query parameter), and every
@@ -57,6 +62,7 @@ pub mod genome_check;
 pub mod lint;
 pub mod objective_check;
 pub mod plane_check;
+pub mod problem_check;
 pub mod shard_check;
 pub mod solver;
 pub mod symbolic;
@@ -68,5 +74,6 @@ pub use genome_check::{check_genome, check_population_path, well_formed, StaticG
 pub use lint::{lint_design, lint_unit, packed_clbs};
 pub use objective_check::check_objectives;
 pub use plane_check::check_plane_registry;
+pub use problem_check::check_problems;
 pub use shard_check::check_shard_plan;
 pub use symbolic::{check_symbolic, SymbolicReport};

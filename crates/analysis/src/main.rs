@@ -11,7 +11,7 @@
 //!                                  broken-shard-plan | bad-fitness-unit |
 //!                                  two-writer-ram | broken-plane-kernel |
 //!                                  broken-doc-link | undocumented-route |
-//!                                  bad-objective
+//!                                  bad-objective | bad-problem
 //! ```
 //!
 //! With `--json`, stdout carries exactly one JSON object per finding
@@ -30,7 +30,7 @@
 use analysis::finding::{has_errors, Finding};
 use analysis::{
     check_genome, check_injectable_nodes, check_objectives, check_plane_registry,
-    check_population_path, check_shard_plan, fixtures, lint, symbolic,
+    check_population_path, check_problems, check_shard_plan, fixtures, lint, symbolic,
 };
 use discipulus::genome::Genome;
 use discipulus::params::GapParams;
@@ -134,6 +134,23 @@ fn run_check(seed: u32, json: bool) -> ExitCode {
     ))
     .ok();
     findings.extend(check_objectives(objectives, obj_suite.as_deref()));
+    // every registered evolvable problem: shape sanity, determinism and
+    // bound spot checks, the kernel-pinning probe, conformance-suite
+    // coverage
+    say("== evolvable-problem registry: shape, probes, suite coverage ==");
+    let problems = leonardo_problems::problem_registry();
+    for p in problems {
+        say(&format!(
+            "   {} ({} bits, max {}): probe",
+            p.name, p.width, p.max_fitness
+        ));
+    }
+    let problem_suite = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/problem_conformance.rs"
+    ))
+    .ok();
+    findings.extend(check_problems(problems, problem_suite.as_deref()));
     // the exhaustive sweep's partition arithmetic, at every shard count
     // the drivers use (CI smoke, defaults, full run) plus awkward odd ones
     say("== landscape shard plans ==");
@@ -181,6 +198,7 @@ const DOC_FILES: &[&str] = &[
     "docs/FAULTS.md",
     "docs/LANDSCAPE.md",
     "docs/PARETO.md",
+    "docs/PROBLEMS.md",
     "docs/SERVER.md",
     "docs/TELEMETRY.md",
 ];
@@ -239,6 +257,7 @@ fn run_fixture(name: &str, json: bool) -> ExitCode {
             &fixtures::undocumented_route_md(),
         ),
         "bad-objective" => check_objectives(&[fixtures::bad_objective()], Some("bad_objective")),
+        "bad-problem" => check_problems(&[fixtures::bad_problem()], Some("bad_problem")),
         _ => return usage(&format!("unknown fixture `{name}`")),
     };
     report(findings, json)

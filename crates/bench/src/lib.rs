@@ -12,6 +12,7 @@
 pub mod gait_problem;
 pub mod harness;
 pub mod mo_campaign;
+pub mod problems_campaign;
 pub mod report;
 pub mod session;
 
@@ -21,5 +22,6 @@ pub use mo_campaign::{
     max_set_walk_table, nsga2_campaigns, rule_walk_front, seeded_subsample_indices, GaitMoProblem,
     MoCampaign, MoFrontRow, WalkTableRow,
 };
+pub use problems_campaign::{problem_campaigns, problem_row, problem_table, ProblemTrial};
 pub use report::{Comparison, ComparisonTable, Verdict};
 pub use session::{trial_stats, ExperimentSession};

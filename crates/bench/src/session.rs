@@ -134,6 +134,12 @@ impl ExperimentSession {
         self.manifest.pareto.push(row);
     }
 
+    /// Record one registry-problem campaign summary row into the
+    /// manifest's `problems` section (schema v7).
+    pub fn add_problem_row(&mut self, row: tele::ProblemRow) {
+        self.manifest.problems.push(row);
+    }
+
     /// Total simulated RTL cycles over all `bench.trial` and
     /// `fault.recovery` events recorded so far (0 when no event carried a
     /// `cycles` field).

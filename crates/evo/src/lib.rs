@@ -16,7 +16,10 @@
 //!   hill climbing, (1+1)-ES, simulated annealing ([`baselines`]);
 //! * a deterministic multi-threaded island model ([`island`]);
 //! * a parallel parameter-sweep driver ([`sweep`]) and sample statistics
-//!   ([`stats`]).
+//!   ([`stats`]);
+//! * the width-generic [`evolvable`] contract — named single-word
+//!   integer-fitness problems (gait rules, FSM synthesis) that adapt onto
+//!   every searcher here via [`evolvable::Evolvable`].
 //!
 //! ## Quick start
 //!
@@ -36,6 +39,7 @@
 
 pub mod baselines;
 pub mod crossover;
+pub mod evolvable;
 pub mod ga;
 pub mod genome;
 pub mod island;
@@ -55,6 +59,7 @@ pub mod prelude {
         SearchBudget, SearchResult,
     };
     pub use crate::crossover::Crossover;
+    pub use crate::evolvable::{Evolvable, EvolvableProblem};
     pub use crate::ga::{Ga, GaConfig, GaOutcome};
     pub use crate::genome::BitString;
     pub use crate::island::{IslandConfig, IslandModel, IslandOutcome};

@@ -1,0 +1,424 @@
+//! Mealy-machine synthesis from I/O traces.
+//!
+//! The genome is a flat Mealy transition/output table: for every
+//! (state, input) pair, `state_bits` next-state bits followed by one
+//! output bit, LSB-first, in pair order `state · 2^input_bits + input`.
+//! Fitness is the number of output bits the encoded machine reproduces
+//! when replayed over a fixed trace suite from the reset state — the
+//! trace-agreement score of the FSM-synthesis literature (arXiv:1307.6995),
+//! maximal exactly when the machine matches every recorded step.
+//!
+//! Two instances ship in the registry:
+//!
+//! * [`MealyProblem::fsm_traces`] — recover a hidden overlapping `1101`
+//!   sequence detector (4 states, 1 input bit, 24-bit genome) from its
+//!   traces alone.
+//! * [`MealyProblem::serial_adder`] — the GA-designed sequential-logic
+//!   benchmark (arXiv:1110.1038): a 1-bit serial adder (2 carry states,
+//!   2 input bits, 16-bit genome) scored over bit-serial additions.
+//!
+//! State counts are powers of two, so every next-state encoding is a
+//! valid state and decode→encode is the exact masked identity — the
+//! round-trip the conformance suite pins.
+
+use evo::evolvable::EvolvableProblem;
+use std::fmt::Write as _;
+
+/// One recorded I/O trace: the machine starts in state 0 and must emit
+/// `outputs[k]` on `inputs[k]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Input symbols, each below `2^input_bits`.
+    pub inputs: Vec<u8>,
+    /// Expected output bit per step.
+    pub outputs: Vec<bool>,
+}
+
+/// A decoded Mealy machine: dense next-state and output tables indexed by
+/// `state · 2^input_bits + input`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MealyMachine {
+    /// Next state per (state, input) pair.
+    pub next: Vec<u8>,
+    /// Output bit per (state, input) pair.
+    pub out: Vec<bool>,
+}
+
+/// A trace-agreement synthesis problem over a fixed Mealy shape.
+#[derive(Debug, Clone)]
+pub struct MealyProblem {
+    name: &'static str,
+    states: usize,
+    input_bits: usize,
+    traces: Vec<Trace>,
+    optimum: u64,
+}
+
+impl MealyProblem {
+    /// A problem over `states` states (a power of two, ≤ 4) and
+    /// `input_bits` input bits (≤ 2), scored against `target` replayed on
+    /// `input_streams`. The target machine becomes the known optimum.
+    ///
+    /// # Panics
+    /// Panics on an unsupported shape, mismatched table sizes, or an
+    /// out-of-range input symbol.
+    pub fn from_target(
+        name: &'static str,
+        states: usize,
+        input_bits: usize,
+        target: &MealyMachine,
+        input_streams: &[Vec<u8>],
+    ) -> MealyProblem {
+        assert!(
+            states.is_power_of_two() && states <= 4,
+            "states must be a power of two up to 4"
+        );
+        assert!((1..=2).contains(&input_bits), "input_bits must be 1 or 2");
+        let pairs = states << input_bits;
+        assert_eq!(target.next.len(), pairs, "next table shape");
+        assert_eq!(target.out.len(), pairs, "output table shape");
+        assert!(
+            target.next.iter().all(|&s| (s as usize) < states),
+            "next states in range"
+        );
+        let mut shell = MealyProblem {
+            name,
+            states,
+            input_bits,
+            traces: Vec::new(),
+            optimum: 0,
+        };
+        shell.optimum = shell.encode(target);
+        shell.traces = input_streams
+            .iter()
+            .map(|inputs| {
+                assert!(
+                    inputs.iter().all(|&i| (i as usize) < (1 << input_bits)),
+                    "input symbols in range"
+                );
+                let outputs = shell.replay(target, inputs);
+                Trace {
+                    inputs: inputs.clone(),
+                    outputs,
+                }
+            })
+            .collect();
+        shell
+    }
+
+    /// FSM synthesis from traces: a hidden overlapping `1101` sequence
+    /// detector (4 states, 1 input bit), to be recovered from four
+    /// recorded 16-step traces. 24-bit genome, max fitness 64.
+    pub fn fsm_traces() -> MealyProblem {
+        // KMP states of the pattern 1101: progress 0..=3 matched symbols
+        #[rustfmt::skip]
+        let target = MealyMachine {
+            //      s0/0  s0/1  s1/0  s1/1  s2/0  s2/1  s3/0  s3/1
+            next: vec![0, 1, 0, 2, 3, 2, 0, 1],
+            out: vec![
+                false, false, false, false, false, false, false, true,
+            ],
+        };
+        MealyProblem::from_target(
+            "fsm_traces",
+            4,
+            1,
+            &target,
+            &trace_streams(4, 16, 1, 0x1101),
+        )
+    }
+
+    /// The serial-adder benchmark: 2 carry states, 2 input bits (addend
+    /// bits `a` = bit 0, `b` = bit 1), output `a ⊕ b ⊕ carry`, next carry
+    /// the majority. Scored over four 12-step bit-serial additions.
+    /// 16-bit genome, max fitness 48.
+    pub fn serial_adder() -> MealyProblem {
+        let pairs = 2usize << 2;
+        let mut next = vec![0u8; pairs];
+        let mut out = vec![false; pairs];
+        for carry in 0..2usize {
+            for sym in 0..4usize {
+                let (a, b) = (sym & 1, sym >> 1);
+                let p = (carry << 2) | sym;
+                out[p] = (a + b + carry) % 2 == 1;
+                next[p] = u8::from(a + b + carry >= 2);
+            }
+        }
+        let target = MealyMachine { next, out };
+        MealyProblem::from_target(
+            "serial_adder",
+            2,
+            2,
+            &target,
+            &trace_streams(4, 12, 2, 0xADD),
+        )
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of input bits.
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Bits per encoded next state.
+    pub fn state_bits(&self) -> usize {
+        self.states.trailing_zeros() as usize
+    }
+
+    /// Genome bits per (state, input) pair: the next state plus one
+    /// output bit.
+    pub fn stride(&self) -> usize {
+        self.state_bits() + 1
+    }
+
+    /// Number of (state, input) pairs.
+    pub fn pairs(&self) -> usize {
+        self.states << self.input_bits
+    }
+
+    /// Genome bit offset of the table entry for `(state, input)`.
+    pub fn pair_offset(&self, state: usize, input: usize) -> usize {
+        ((state << self.input_bits) | input) * self.stride()
+    }
+
+    /// The recorded trace suite.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Total scored steps across the suite (= the maximum fitness).
+    pub fn total_steps(&self) -> usize {
+        self.traces.iter().map(|t| t.inputs.len()).sum()
+    }
+
+    /// Decode a genome into its transition/output tables.
+    pub fn decode(&self, genome: u64) -> MealyMachine {
+        let sb = self.state_bits();
+        let (mut next, mut out) = (Vec::new(), Vec::new());
+        for p in 0..self.pairs() {
+            let field = genome >> (p * self.stride());
+            next.push((field & ((1 << sb) - 1)) as u8);
+            out.push(field >> sb & 1 == 1);
+        }
+        MealyMachine { next, out }
+    }
+
+    /// Encode transition/output tables back into a genome.
+    ///
+    /// # Panics
+    /// Panics on mismatched table sizes or an out-of-range next state.
+    pub fn encode(&self, machine: &MealyMachine) -> u64 {
+        assert_eq!(machine.next.len(), self.pairs());
+        assert_eq!(machine.out.len(), self.pairs());
+        let sb = self.state_bits();
+        let mut genome = 0u64;
+        for p in 0..self.pairs() {
+            assert!((machine.next[p] as usize) < self.states, "next state range");
+            let field = u64::from(machine.next[p]) | u64::from(machine.out[p]) << sb;
+            genome |= field << (p * self.stride());
+        }
+        genome
+    }
+
+    /// Replay `machine` over one input stream from state 0.
+    pub fn replay(&self, machine: &MealyMachine, inputs: &[u8]) -> Vec<bool> {
+        let mut state = 0usize;
+        inputs
+            .iter()
+            .map(|&i| {
+                let p = (state << self.input_bits) | i as usize;
+                state = machine.next[p] as usize;
+                machine.out[p]
+            })
+            .collect()
+    }
+
+    /// Trace-agreement score of a decoded machine: matched output bits
+    /// across the whole suite.
+    pub fn agreement(&self, machine: &MealyMachine) -> u32 {
+        self.traces
+            .iter()
+            .map(|t| {
+                self.replay(machine, &t.inputs)
+                    .iter()
+                    .zip(&t.outputs)
+                    .filter(|(got, want)| got == want)
+                    .count() as u32
+            })
+            .sum()
+    }
+}
+
+impl EvolvableProblem for MealyProblem {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn width(&self) -> usize {
+        self.pairs() * self.stride()
+    }
+
+    fn fitness(&self, genome: u64) -> u32 {
+        self.agreement(&self.decode(genome & self.mask()))
+    }
+
+    fn max_fitness(&self) -> Option<u32> {
+        Some(self.total_steps() as u32)
+    }
+
+    fn known_optimum(&self) -> Option<u64> {
+        Some(self.optimum)
+    }
+
+    fn round_trip(&self, genome: u64) -> u64 {
+        self.encode(&self.decode(genome & self.mask()))
+    }
+
+    fn describe(&self, genome: u64) -> String {
+        let m = self.decode(genome & self.mask());
+        let mut text = format!(
+            "mealy {}: {} states, {} input bit(s), agreement {}/{}",
+            self.name,
+            self.states,
+            self.input_bits,
+            self.agreement(&m),
+            self.total_steps()
+        );
+        for s in 0..self.states {
+            for i in 0..1usize << self.input_bits {
+                let p = (s << self.input_bits) | i;
+                write!(
+                    text,
+                    "\n  s{s} -{i:0w$b}/{o}-> s{n}",
+                    w = self.input_bits,
+                    o = u8::from(m.out[p]),
+                    n = m.next[p]
+                )
+                .unwrap();
+            }
+        }
+        text
+    }
+}
+
+/// Deterministic input streams: `count` traces of `len` symbols of
+/// `input_bits` bits each, drawn from a seeded LCG (Numerical Recipes
+/// constants — determinism is the requirement, quality is not).
+fn trace_streams(count: usize, len: usize, input_bits: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut state = seed;
+    let mut step = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    (0..count)
+        .map(|_| {
+            (0..len)
+                .map(|_| (step() & ((1 << input_bits) - 1)) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsm_traces_shape_and_optimum() {
+        let p = MealyProblem::fsm_traces();
+        assert_eq!(p.width(), 24);
+        assert_eq!(p.max_fitness(), Some(64));
+        assert_eq!(p.total_steps(), 64);
+        let opt = p.known_optimum().expect("target encoded");
+        assert_eq!(p.fitness(opt), 64, "the hidden target matches its traces");
+    }
+
+    #[test]
+    fn serial_adder_shape_and_optimum() {
+        let p = MealyProblem::serial_adder();
+        assert_eq!(p.width(), 16);
+        assert_eq!(p.max_fitness(), Some(48));
+        let opt = p.known_optimum().expect("the adder is known");
+        assert_eq!(p.fitness(opt), 48);
+    }
+
+    #[test]
+    fn serial_adder_actually_adds() {
+        // replay 13 + 11 bit-serially (LSB first) through the optimum
+        let p = MealyProblem::serial_adder();
+        let m = p.decode(p.known_optimum().unwrap());
+        let (a, b) = (13u32, 11u32);
+        let inputs: Vec<u8> = (0..6)
+            .map(|k| ((a >> k & 1) | (b >> k & 1) << 1) as u8)
+            .collect();
+        let sum: u32 = p
+            .replay(&m, &inputs)
+            .iter()
+            .enumerate()
+            .map(|(k, &bit)| u32::from(bit) << k)
+            .sum();
+        assert_eq!(sum, 24);
+    }
+
+    #[test]
+    fn detector_fires_exactly_on_1101() {
+        let p = MealyProblem::fsm_traces();
+        let m = p.decode(p.known_optimum().unwrap());
+        let stream = [1u8, 1, 0, 1, 1, 0, 1, 0, 1, 1, 0, 1];
+        let out = p.replay(&m, &stream);
+        // overlapping matches end at indices 3, 6 and 11
+        let fired: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &b)| b.then_some(k))
+            .collect();
+        assert_eq!(fired, vec![3, 6, 11]);
+    }
+
+    #[test]
+    fn decode_encode_is_the_masked_identity() {
+        for p in [MealyProblem::fsm_traces(), MealyProblem::serial_adder()] {
+            for g in [0u64, u64::MAX, 0xAAAA_AAAA, 0x0123_4567, p.optimum] {
+                assert_eq!(p.round_trip(g), g & p.mask(), "{} {g:#x}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fitness_is_bounded_and_wrong_machines_score_lower() {
+        let p = MealyProblem::fsm_traces();
+        let max = p.max_fitness().unwrap();
+        let mut below = 0usize;
+        for g in 0..512u64 {
+            let f = p.fitness(g * 0x8765_4321);
+            assert!(f <= max);
+            below += usize::from(f < max);
+        }
+        assert!(below > 500, "almost all random machines must miss steps");
+    }
+
+    #[test]
+    fn trace_streams_are_deterministic_and_in_range() {
+        let a = trace_streams(3, 10, 2, 7);
+        assert_eq!(a, trace_streams(3, 10, 2, 7));
+        assert_ne!(a, trace_streams(3, 10, 2, 8));
+        assert!(a.iter().flatten().all(|&s| s < 4));
+        assert!(trace_streams(2, 32, 1, 7).iter().flatten().all(|&s| s < 2));
+    }
+
+    #[test]
+    fn describe_renders_the_full_table() {
+        let p = MealyProblem::serial_adder();
+        let text = p.describe(p.known_optimum().unwrap());
+        assert!(text.contains("agreement 48/48"));
+        // 2 states × 4 symbols = 8 transition lines
+        assert_eq!(text.lines().count(), 9);
+        assert!(text.contains("s1 -11/1-> s1"), "{text}");
+    }
+}

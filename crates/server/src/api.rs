@@ -11,8 +11,10 @@ use discipulus::fitness::FitnessSpec;
 use discipulus::genome::Genome;
 use evo::stats::Summary;
 use leonardo_bench::harness::EvolvedTrial;
+use leonardo_bench::ProblemTrial;
 use leonardo_faults::campaign::CampaignReport;
 use leonardo_faults::model::FaultModel;
+use leonardo_problems::{problem_registry, ProblemSpec};
 use leonardo_telemetry::json::Json;
 
 /// Machine-readable error codes, one per failure class (documented in
@@ -143,6 +145,12 @@ pub const OBJECTIVES_MAX_GENERATIONS: u64 = 200;
 /// Population ceiling in `objectives` mode.
 pub const OBJECTIVES_MAX_POPULATION: usize = 64;
 
+/// Generation budget ceiling for non-gait registry problems — the
+/// scalar GA pays a full trace replay (or rule evaluation) per fitness
+/// call, so the cap sits well below the RTL engines' budget. 20 000
+/// generations is 5x the recorded E17 budget.
+pub const PROBLEM_MAX_GENERATIONS: u64 = 20_000;
+
 /// A parsed `POST /evolve` body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvolveRequest {
@@ -159,6 +167,11 @@ pub struct EvolveRequest {
     pub mode: String,
     /// NSGA-II population size (`objectives` mode only; even).
     pub population: usize,
+    /// Registry problem to evolve (`rules` mode only). `"gait"` — the
+    /// default — keeps the classic RTL batch-engine path; any other
+    /// registered name runs the generic GA campaign driver with a
+    /// kernel cross-check at the requested width.
+    pub problem: String,
 }
 
 /// Configured ceilings the parser enforces (wired from `ServerConfig`).
@@ -189,6 +202,7 @@ impl EvolveRequest {
             "threads",
             "mode",
             "population",
+            "problem",
         ];
         if let Json::Obj(members) = &v {
             if let Some((k, _)) = members.iter().find(|(k, _)| !known.contains(&k.as_str())) {
@@ -266,17 +280,47 @@ impl EvolveRequest {
         };
         let objectives_mode = mode == "objectives";
 
+        let problem = match v.get("problem") {
+            None => "gait".to_string(),
+            Some(p) => {
+                let p = p
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad_request("`problem` must be a string"))?;
+                if ProblemSpec::find(p).is_none() {
+                    return Err(ApiError::bad_request(format!(
+                        "unknown problem `{p}` (one of {})",
+                        problem_registry()
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+                p.to_string()
+            }
+        };
+        let registry_mode = problem != "gait";
+        if registry_mode && objectives_mode {
+            return Err(ApiError::bad_request(
+                "`problem` only applies to rules mode (the walker only evolves gaits)",
+            ));
+        }
+
         let max_generations = match v.get("max_generations") {
             None if objectives_mode => 12,
+            None if registry_mode => 4000,
             None => 100_000,
             Some(m) => m.as_u64().filter(|&m| m >= 1).ok_or_else(|| {
                 ApiError::bad_request("`max_generations` must be a positive integer")
             })?,
         };
-        // objectives mode pays a scenario-catalog walk per evaluation, so
-        // its generation cap is far below the logic engines'
+        // objectives mode pays a scenario-catalog walk per evaluation and
+        // registry problems a scalar fitness call per genome, so their
+        // generation caps are far below the logic engines'
         let generation_cap = if objectives_mode {
             limits.max_generations.min(OBJECTIVES_MAX_GENERATIONS)
+        } else if registry_mode {
+            limits.max_generations.min(PROBLEM_MAX_GENERATIONS)
         } else {
             limits.max_generations
         };
@@ -341,6 +385,7 @@ impl EvolveRequest {
             threads,
             mode,
             population,
+            problem,
         })
     }
 }
@@ -461,6 +506,82 @@ pub fn evolve_objectives_response(
         ("population".to_string(), Json::Num(req.population as f64)),
         ("objectives".to_string(), Json::Arr(names)),
         ("campaigns".to_string(), Json::Arr(rows)),
+    ])
+    .to_string()
+}
+
+/// Render the `POST /evolve` response body for a non-gait registry
+/// problem. A pure function of `(spec, seeds, max_generations, trials)`
+/// — the campaign trials are bit-identical at any thread count and plane
+/// width, so the body is too. Genome hex is scaled to the problem's
+/// genome width rather than the gait register's.
+pub fn evolve_problem_response(
+    spec: &ProblemSpec,
+    req: &EvolveRequest,
+    trials: &[ProblemTrial],
+) -> String {
+    // "0x" plus one hex digit per genome nibble
+    let hex_width = 2 + spec.width.div_ceil(4);
+    let rows: Vec<Json> = trials
+        .iter()
+        .map(|t| {
+            Json::Obj(vec![
+                ("seed".to_string(), Json::Num(t.seed as f64)),
+                ("converged".to_string(), Json::Bool(t.converged)),
+                ("generations".to_string(), Json::Num(t.generations as f64)),
+                ("evaluations".to_string(), Json::Num(t.evaluations as f64)),
+                (
+                    "best_genome".to_string(),
+                    Json::Str(format!("{:#0hex_width$x}", t.best_genome)),
+                ),
+                (
+                    "best_fitness".to_string(),
+                    Json::Num(f64::from(t.best_fitness)),
+                ),
+            ])
+        })
+        .collect();
+    let generations: Vec<f64> = trials
+        .iter()
+        .filter(|t| t.converged)
+        .map(|t| t.generations as f64)
+        .collect();
+    let converged = generations.len();
+    let mut summary = vec![
+        ("trials".to_string(), Json::Num(trials.len() as f64)),
+        ("converged".to_string(), Json::Num(converged as f64)),
+        (
+            "success_rate".to_string(),
+            Json::Num(converged as f64 / trials.len().max(1) as f64),
+        ),
+    ];
+    summary.push((
+        "generations".to_string(),
+        match Summary::of(&generations) {
+            None => Json::Null,
+            Some(s) => Json::Obj(vec![
+                ("mean".to_string(), Json::Num(s.mean)),
+                ("stddev".to_string(), Json::Num(s.stddev)),
+                ("min".to_string(), Json::Num(s.min)),
+                ("median".to_string(), Json::Num(s.median)),
+                ("max".to_string(), Json::Num(s.max)),
+            ]),
+        },
+    ));
+    Json::Obj(vec![
+        ("engine".to_string(), Json::Str("evo_ga".to_string())),
+        ("problem".to_string(), Json::Str(spec.name.to_string())),
+        ("genome_width".to_string(), Json::Num(spec.width as f64)),
+        (
+            "max_generations".to_string(),
+            Json::Num(req.max_generations as f64),
+        ),
+        (
+            "max_fitness".to_string(),
+            Json::Num(f64::from(spec.max_fitness)),
+        ),
+        ("trials".to_string(), Json::Arr(rows)),
+        ("summary".to_string(), Json::Obj(summary)),
     ])
     .to_string()
 }
@@ -674,6 +795,68 @@ mod tests {
             let err = EvolveRequest::parse(body, LIMITS).unwrap_err();
             assert_eq!(err.code, want, "{}", String::from_utf8_lossy(body));
         }
+    }
+
+    #[test]
+    fn evolve_problem_defaults_and_caps() {
+        let r = EvolveRequest::parse(br#"{"problem": "fsm_traces"}"#, LIMITS).unwrap();
+        assert_eq!(r.problem, "fsm_traces");
+        assert_eq!(r.mode, "rules");
+        assert_eq!(
+            r.max_generations, 4000,
+            "registry default is the E17 budget"
+        );
+        let r = EvolveRequest::parse(b"{}", LIMITS).unwrap();
+        assert_eq!(r.problem, "gait", "gait stays the default problem");
+        let r = EvolveRequest::parse(br#"{"problem": "gait"}"#, LIMITS).unwrap();
+        assert_eq!(
+            r.max_generations, 100_000,
+            "explicit gait keeps the RTL budget"
+        );
+
+        let cases: [(&[u8], ErrorCode); 4] = [
+            (br#"{"problem": "maze"}"#, ErrorCode::BadRequest),
+            (br#"{"problem": 7}"#, ErrorCode::BadRequest),
+            (
+                br#"{"problem": "serial_adder", "mode": "objectives"}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                br#"{"problem": "serial_adder", "max_generations": 50000}"#,
+                ErrorCode::LimitExceeded,
+            ),
+        ];
+        for (body, want) in cases {
+            let err = EvolveRequest::parse(body, LIMITS).unwrap_err();
+            assert_eq!(err.code, want, "{}", String::from_utf8_lossy(body));
+        }
+        let err = EvolveRequest::parse(br#"{"problem": "maze"}"#, LIMITS).unwrap_err();
+        assert!(
+            err.message.contains("gait, fsm_traces, serial_adder"),
+            "the rejection lists the registry: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn problem_response_is_deterministic_and_width_scaled() {
+        let req = EvolveRequest::parse(br#"{"problem": "serial_adder", "seeds": [4096]}"#, LIMITS)
+            .unwrap();
+        let spec = ProblemSpec::find("serial_adder").unwrap();
+        let trials =
+            leonardo_bench::problem_campaigns::<u64>(spec, &[4096], req.max_generations, 1);
+        let a = evolve_problem_response(spec, &req, &trials);
+        let b = evolve_problem_response(spec, &req, &trials);
+        assert_eq!(a, b);
+        assert!(a.contains("\"engine\":\"evo_ga\""));
+        assert!(a.contains("\"problem\":\"serial_adder\""));
+        assert!(a.contains("\"genome_width\":16"));
+        assert!(a.contains("\"max_fitness\":48"));
+        // 16-bit genome: "0x" + 4 hex digits, not the gait register's 9
+        assert!(
+            a.contains("\"best_genome\":\"0x") && !a.contains("\"best_genome\":\"0x00000"),
+            "{a}"
+        );
     }
 
     #[test]

@@ -11,8 +11,10 @@ use crate::routes::route_specs;
 use crate::server::AppState;
 use discipulus::fitness::FitnessSpec;
 use leonardo_bench::harness::{engine_label, rtl_evolve_batch_w, EvolvedTrial};
+use leonardo_bench::problem_campaigns;
 use leonardo_faults::campaign::Campaign;
 use leonardo_landscape::FULL_SWEEP_MAX_SET;
+use leonardo_problems::ProblemSpec;
 use leonardo_rtl::bitslice::{W128, W256, W512};
 use leonardo_telemetry::json::Json;
 use leonardo_telemetry::MANIFEST_SCHEMA_VERSION;
@@ -81,6 +83,22 @@ fn evolve(state: &AppState, request: &Request) -> Result<String, ApiError> {
             req.threads,
         );
         return Ok(api::evolve_objectives_response(&req, &campaigns));
+    }
+    if req.problem != "gait" {
+        // the same generic campaign driver e17_fsm runs — per-seed trials
+        // are pure functions of their seeds and unobservable to plane
+        // width and thread count, so served bytes equal a local run's;
+        // the width still selects the kernel used for the winner
+        // cross-check
+        let spec = ProblemSpec::find(&req.problem).expect("parse validated the problem");
+        let seeds: Vec<u64> = req.seeds.iter().map(|&s| u64::from(s)).collect();
+        let trials = match req.width.as_str() {
+            "x64" => problem_campaigns::<u64>(spec, &seeds, req.max_generations, req.threads),
+            "w128" => problem_campaigns::<W128>(spec, &seeds, req.max_generations, req.threads),
+            "w256" => problem_campaigns::<W256>(spec, &seeds, req.max_generations, req.threads),
+            _ => problem_campaigns::<W512>(spec, &seeds, req.max_generations, req.threads),
+        };
+        return Ok(api::evolve_problem_response(spec, &req, &trials));
     }
     // the same batch-refill driver a direct harness call runs — that, plus
     // the per-seed bit-exactness of the engines, is the determinism

@@ -223,6 +223,7 @@ fn served_evolve_equals_a_direct_harness_call() {
         threads: 2,
         mode: "rules".to_string(),
         population: 16,
+        problem: "gait".to_string(),
     };
     let direct = leonardo_server::api::evolve_response("rtl_x64", &req, &trials);
     assert_eq!(
@@ -254,9 +255,45 @@ fn evolve_objectives_mode_serves_deterministic_fronts() {
         threads: 1,
         mode: "objectives".to_string(),
         population: 8,
+        problem: "gait".to_string(),
     };
     let direct = leonardo_server::api::evolve_objectives_response(&req, &campaigns);
     assert_eq!(served, direct);
+}
+
+#[test]
+fn evolve_problem_mode_serves_registry_campaigns() {
+    let server = start_server();
+    let body =
+        r#"{"problem": "fsm_traces", "seeds": [4096], "max_generations": 200, "threads": 1}"#;
+    let (status, served) = request(&server, "POST", "/evolve", body);
+    assert_eq!(status, 200, "{served}");
+    assert!(served.contains("\"engine\":\"evo_ga\""));
+    assert!(served.contains("\"problem\":\"fsm_traces\""));
+    assert!(served.contains("\"genome_width\":24"));
+    // plane width and thread count must be unobservable in the served bytes
+    let reconfigured = r#"{"problem": "fsm_traces", "seeds": [4096], "max_generations": 200, "width": "w512", "threads": 3}"#;
+    let (status, again) = request(&server, "POST", "/evolve", reconfigured);
+    assert_eq!(status, 200);
+    assert_eq!(served, again, "problem bytes vary with width or threads");
+    // and the served bytes equal a direct campaign call
+    let spec = leonardo_problems::ProblemSpec::find("fsm_traces").unwrap();
+    let trials = leonardo_bench::problem_campaigns::<u64>(spec, &[4096], 200, 1);
+    let req = leonardo_server::api::EvolveRequest {
+        seeds: vec![4096],
+        max_generations: 200,
+        width: "x64".to_string(),
+        threads: 1,
+        mode: "rules".to_string(),
+        population: 16,
+        problem: "fsm_traces".to_string(),
+    };
+    let direct = leonardo_server::api::evolve_problem_response(spec, &req, &trials);
+    assert_eq!(served, direct);
+    // an unknown problem is rejected with the registry in the message
+    let (status, err) = request(&server, "POST", "/evolve", r#"{"problem": "maze"}"#);
+    assert_eq!(status, 400);
+    assert_eq!(error_code(&err), "bad_request");
 }
 
 #[test]

@@ -69,8 +69,8 @@ pub mod sink;
 
 pub use event::{Event, Level, Payload, Value};
 pub use manifest::{
-    host_cores, CampaignRow, LandscapeRow, ManifestError, ParetoRow, RunManifest, ServerRow,
-    MANIFEST_SCHEMA_VERSION,
+    host_cores, CampaignRow, LandscapeRow, ManifestError, ParetoRow, ProblemRow, RunManifest,
+    ServerRow, MANIFEST_SCHEMA_VERSION,
 };
 
 #[cfg(feature = "runtime")]

@@ -27,7 +27,11 @@ use std::path::Path;
 /// * **6** — optional `pareto` section (multi-objective campaign rows:
 ///   objective names, front size, per-objective bests). Absent from the
 ///   JSON when empty, so v1–v5 manifests stay readable.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 6;
+/// * **7** — optional `problems` section (registry-problem GA campaign
+///   rows: problem name, genome width, seed, budget spent and the best
+///   genome reached). Absent from the JSON when empty, so v1–v6
+///   manifests stay readable.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 7;
 
 /// A reproducibility record for one experiment run.
 ///
@@ -83,6 +87,92 @@ pub struct RunManifest {
     /// scored Pareto fronts (schema v6; absent from the JSON when empty,
     /// so v1–v5 readers and single-objective runs are unaffected).
     pub pareto: Vec<ParetoRow>,
+    /// Registry-problem GA campaign summary rows, when the run evolved a
+    /// registered evolvable problem (schema v7; absent from the JSON
+    /// when empty, so v1–v6 readers and problem-free runs are
+    /// unaffected).
+    pub problems: Vec<ProblemRow>,
+}
+
+/// One registry-problem GA campaign's summary line in a [`RunManifest`]:
+/// a seeded single-objective run against one registered problem and the
+/// best genome it reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemRow {
+    /// Registered problem name (e.g. `"gait"`, `"fsm_traces"`).
+    pub problem: String,
+    /// Genome width in bits.
+    pub width: u64,
+    /// The RNG seed the campaign consumed.
+    pub seed: u64,
+    /// Generations executed.
+    pub generations: u64,
+    /// Fitness evaluations performed.
+    pub evaluations: u64,
+    /// Best fitness reached.
+    pub best_fitness: u64,
+    /// Best genome reached, as a `0x`-prefixed hex literal.
+    pub best_genome: String,
+    /// Whether the run reached the problem's registered maximum.
+    pub converged: bool,
+}
+
+impl ProblemRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("problem".to_string(), Json::Str(self.problem.clone())),
+            ("width".to_string(), Json::Num(self.width as f64)),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            (
+                "generations".to_string(),
+                Json::Num(self.generations as f64),
+            ),
+            (
+                "evaluations".to_string(),
+                Json::Num(self.evaluations as f64),
+            ),
+            (
+                "best_fitness".to_string(),
+                Json::Num(self.best_fitness as f64),
+            ),
+            (
+                "best_genome".to_string(),
+                Json::Str(self.best_genome.clone()),
+            ),
+            ("converged".to_string(), Json::Bool(self.converged)),
+        ])
+    }
+
+    fn from_json(v: &Json, idx: usize) -> Result<ProblemRow, ManifestError> {
+        let ctx = |name: &str| format!("problems[{idx}].{name}");
+        let field = |name: &str| v.get(name).ok_or_else(|| ManifestError::Missing(ctx(name)));
+        let uint = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| ManifestError::BadField(ctx(name)))
+        };
+        let string = |name: &str| {
+            Ok::<String, ManifestError>(
+                field(name)?
+                    .as_str()
+                    .ok_or_else(|| ManifestError::BadField(ctx(name)))?
+                    .to_string(),
+            )
+        };
+        let converged = field("converged")?
+            .as_bool()
+            .ok_or_else(|| ManifestError::BadField(ctx("converged")))?;
+        Ok(ProblemRow {
+            problem: string("problem")?,
+            width: uint("width")?,
+            seed: uint("seed")?,
+            generations: uint("generations")?,
+            evaluations: uint("evaluations")?,
+            best_fitness: uint("best_fitness")?,
+            best_genome: string("best_genome")?,
+            converged,
+        })
+    }
 }
 
 /// One multi-objective campaign's summary line in a [`RunManifest`]: a
@@ -437,6 +527,7 @@ impl RunManifest {
             landscape: Vec::new(),
             server: Vec::new(),
             pareto: Vec::new(),
+            problems: Vec::new(),
         }
     }
 
@@ -516,6 +607,12 @@ impl RunManifest {
             obj.push((
                 "pareto".to_string(),
                 Json::Arr(self.pareto.iter().map(ParetoRow::to_json).collect()),
+            ));
+        }
+        if !self.problems.is_empty() {
+            obj.push((
+                "problems".to_string(),
+                Json::Arr(self.problems.iter().map(ProblemRow::to_json).collect()),
             ));
         }
         Json::Obj(obj)
@@ -640,6 +737,16 @@ impl RunManifest {
                 .map(|(i, row)| ParetoRow::from_json(row, i))
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let problems = match root.get("problems") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ManifestError::BadField("problems".to_string()))?
+                .iter()
+                .enumerate()
+                .map(|(i, row)| ProblemRow::from_json(row, i))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(RunManifest {
             schema_version,
             experiment: string("experiment")?,
@@ -657,6 +764,7 @@ impl RunManifest {
             landscape,
             server,
             pareto,
+            problems,
         })
     }
 
@@ -885,7 +993,7 @@ mod tests {
         let m = RunManifest::new("probe");
         assert!(m.host_cores >= 1);
         assert_eq!(m.plane_width, 64, "64 lanes unless a run says otherwise");
-        assert_eq!(m.schema_version, 6);
+        assert_eq!(m.schema_version, 7);
     }
 
     #[test]
@@ -929,6 +1037,68 @@ mod tests {
         assert!(matches!(
             RunManifest::from_json_str(bad),
             Err(ManifestError::Missing(field)) if field == "pareto[0].seed"
+        ));
+    }
+
+    #[test]
+    fn problem_rows_round_trip() {
+        let mut m = sample();
+        m.problems = vec![
+            ProblemRow {
+                problem: "fsm_traces".to_string(),
+                width: 24,
+                seed: 0x1000,
+                generations: 13,
+                evaluations: 448,
+                best_fitness: 64,
+                best_genome: "0x00c0de".to_string(),
+                converged: true,
+            },
+            ProblemRow {
+                problem: "serial_adder".to_string(),
+                width: 16,
+                seed: 0x1007,
+                generations: 4000,
+                evaluations: 128_032,
+                best_fitness: 47,
+                best_genome: "0xbeef".to_string(),
+                converged: false,
+            },
+        ];
+        let text = m.to_json().to_string();
+        assert!(text.contains("\"problems\""));
+        let back = RunManifest::from_json_str(&text).expect("parse back");
+        assert_eq!(back, m);
+        assert!(back.problems[0].converged);
+        assert!(!back.problems[1].converged);
+    }
+
+    #[test]
+    fn v6_manifests_without_problem_rows_still_parse() {
+        let v6 = r#"{"schema_version":6,"experiment":"e16_pareto","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[7],"threads":4,"host_cores":8,
+            "plane_width":64,"wall_seconds":0.25,
+            "pareto":[{"campaign":"nsga2_walk","seed":7,"population":32,
+            "generations":10,"evaluations":352,"front_size":3,
+            "objectives":["distance_mm"],"best":[612.5]}]}"#;
+        let back = RunManifest::from_json_str(v6).expect("v6 manifests stay readable");
+        assert_eq!(back.schema_version, 6);
+        assert!(back.problems.is_empty());
+        assert_eq!(back.pareto.len(), 1);
+        let bad = r#"{"schema_version":7,"experiment":"x","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,"wall_seconds":0,
+            "problems":[{"problem":"gait","width":36,"converged":true}]}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(bad),
+            Err(ManifestError::Missing(field)) if field == "problems[0].seed"
+        ));
+        let wrong = r#"{"schema_version":7,"experiment":"x","git_revision":"g",
+            "created_unix":0,"params":{},"seeds":[],"threads":1,"wall_seconds":0,
+            "problems":[{"problem":"gait","width":36,"seed":1,"generations":1,
+            "evaluations":1,"best_fitness":1,"best_genome":"0x0","converged":"yes"}]}"#;
+        assert!(matches!(
+            RunManifest::from_json_str(wrong),
+            Err(ManifestError::BadField(field)) if field == "problems[0].converged"
         ));
     }
 

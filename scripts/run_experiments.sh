@@ -47,9 +47,12 @@ run e14_fault_matrix --trials 8
 # the full 2^36 enumeration — minutes of wall clock, checkpointed so an
 # interrupted run resumes with `--resume` (bit-identical result either way)
 run e15_landscape --checkpoint "$OUT/e15_landscape.checkpoint"
-# NSGA-II gait fronts + the 512-genome max-set walk table (schema-v6
-# pareto manifest rows; see docs/PARETO.md)
+# NSGA-II gait fronts + the 512-genome max-set walk table (pareto
+# manifest rows; see docs/PARETO.md)
 run e16_pareto
+# evolvable-problem registry campaigns + subspace sweeps (schema-v7
+# problem manifest rows; see docs/PROBLEMS.md)
+run e17_fsm
 
 # the server latency report: serve the engines over HTTP, sweep client
 # concurrency with loadgen, record the passes in a schema-v5 manifest
